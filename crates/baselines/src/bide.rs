@@ -1,0 +1,203 @@
+//! BIDE-style mining of **closed** sequential patterns.
+//!
+//! A sequential pattern `P` is closed when no super-pattern of `P` has the
+//! same sequence-count support (Wang & Han, ICDE 2004). BIDE detects this
+//! without keeping previously mined patterns by checking *forward*
+//! extensions (an event appended after the pattern) and *backward*
+//! extensions (an event inserted before the pattern or between two of its
+//! events): `P` is closed iff no such extension preserves the support.
+//!
+//! This implementation runs the same prefix-projected DFS as
+//! [`crate::prefixspan`] and applies the bidirectional extension check at
+//! every node. The BackScan search-space pruning of the original paper is
+//! not implemented — the output is identical, the search just visits every
+//! frequent prefix (this is sufficient for the runtime-shape comparison of
+//! the evaluation and is cross-checked against the post-filtering miner in
+//! [`crate::clospan_lite`]).
+
+use std::collections::HashMap;
+
+use seqdb::{EventId, SequenceDatabase};
+
+use crate::prefixspan::{sequence_support, SequentialConfig, SequentialPattern};
+
+/// Mines the closed frequent sequential patterns of `db`.
+pub fn mine_closed_sequential(
+    db: &SequenceDatabase,
+    config: &SequentialConfig,
+) -> Vec<SequentialPattern> {
+    let mut miner = Bide {
+        db,
+        config,
+        result: Vec::new(),
+        truncated: false,
+    };
+    let initial: Vec<(usize, usize)> = (0..db.num_sequences()).map(|s| (s, 0)).collect();
+    miner.grow(&mut Vec::new(), &initial);
+    miner.result
+}
+
+struct Bide<'a> {
+    db: &'a SequenceDatabase,
+    config: &'a SequentialConfig,
+    result: Vec<SequentialPattern>,
+    truncated: bool,
+}
+
+impl Bide<'_> {
+    fn grow(&mut self, prefix: &mut Vec<EventId>, projection: &[(usize, usize)]) {
+        if self.truncated {
+            return;
+        }
+        if let Some(max_len) = self.config.max_pattern_length {
+            if prefix.len() >= max_len {
+                return;
+            }
+        }
+        let mut counts: HashMap<EventId, u64> = HashMap::new();
+        for &(seq, offset) in projection {
+            let events = self.db.sequence(seq).expect("sequence exists").events();
+            let mut seen: Vec<EventId> = Vec::new();
+            for &e in &events[offset..] {
+                if !seen.contains(&e) {
+                    seen.push(e);
+                    *counts.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut candidates: Vec<(EventId, u64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= self.config.min_sup)
+            .collect();
+        candidates.sort_by_key(|&(e, _)| e);
+
+        for (event, support) in candidates {
+            if self.truncated {
+                return;
+            }
+            prefix.push(event);
+            if is_closed_sequential(self.db, prefix, support) {
+                self.result.push(SequentialPattern {
+                    events: prefix.clone(),
+                    support,
+                });
+                if let Some(cap) = self.config.max_patterns {
+                    if self.result.len() >= cap {
+                        self.truncated = true;
+                        prefix.pop();
+                        return;
+                    }
+                }
+            }
+            let mut projected: Vec<(usize, usize)> = Vec::with_capacity(projection.len());
+            for &(seq, offset) in projection {
+                let events = self.db.sequence(seq).expect("sequence exists").events();
+                if let Some(pos) = events[offset..].iter().position(|&e| e == event) {
+                    projected.push((seq, offset + pos + 1));
+                }
+            }
+            self.grow(prefix, &projected);
+            prefix.pop();
+        }
+    }
+}
+
+/// The bidirectional extension check: `pattern` (with sequence-count support
+/// `support`) is closed iff no single-event insertion at any slot —
+/// before the pattern, between two events, or after it — yields a
+/// super-pattern with the same support.
+pub fn is_closed_sequential(db: &SequenceDatabase, pattern: &[EventId], support: u64) -> bool {
+    let candidate_events: Vec<EventId> = db.catalog().ids().collect();
+    for slot in 0..=pattern.len() {
+        for &event in &candidate_events {
+            let mut extended = Vec::with_capacity(pattern.len() + 1);
+            extended.extend_from_slice(&pattern[..slot]);
+            extended.push(event);
+            extended.extend_from_slice(&pattern[slot..]);
+            if extended.len() == pattern.len() + 1 && sequence_support(db, &extended) == support {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clospan_lite::mine_closed_sequential_by_filter;
+    use crate::prefixspan::mine_sequential;
+
+    fn pattern(db: &SequenceDatabase, s: &str) -> Vec<EventId> {
+        db.pattern_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn closed_sequential_patterns_on_example_1_1() {
+        let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+        let closed = mine_closed_sequential(&db, &SequentialConfig::new(2));
+        // ABCD is contained in both sequences, so every sub-pattern of ABCD
+        // with support 2 is non-closed; ABCD itself is closed.
+        let abcd = pattern(&db, "ABCD");
+        assert!(closed.iter().any(|p| p.events == abcd && p.support == 2));
+        let ab = pattern(&db, "AB");
+        assert!(!closed.iter().any(|p| p.events == ab));
+    }
+
+    #[test]
+    fn bide_agrees_with_post_filtering_on_small_databases() {
+        for rows in [
+            vec!["AABCDABB", "ABCD"],
+            vec!["ABCABCA", "AABBCCC"],
+            vec!["ABCACBDDB", "ACDBACADD"],
+            vec!["CABABABABABD", "ABCD", "BCA"],
+        ] {
+            let db = SequenceDatabase::from_str_rows(&rows);
+            for min_sup in [1, 2] {
+                let config = SequentialConfig::new(min_sup);
+                let mut bide = mine_closed_sequential(&db, &config);
+                let mut filtered = mine_closed_sequential_by_filter(&db, &config);
+                bide.sort_by(|a, b| a.events.cmp(&b.events));
+                filtered.sort_by(|a, b| a.events.cmp(&b.events));
+                assert_eq!(bide, filtered, "rows {rows:?} min_sup {min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_output_is_a_subset_of_all_output() {
+        let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]);
+        let config = SequentialConfig::new(2);
+        let all = mine_sequential(&db, &config);
+        let closed = mine_closed_sequential(&db, &config);
+        assert!(closed.len() <= all.len());
+        for p in &closed {
+            assert!(all.iter().any(|q| q.events == p.events && q.support == p.support));
+        }
+    }
+
+    #[test]
+    fn every_frequent_sequential_pattern_has_a_closed_superpattern() {
+        let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]);
+        let config = SequentialConfig::new(2);
+        let all = mine_sequential(&db, &config);
+        let closed = mine_closed_sequential(&db, &config);
+        for p in &all {
+            let covered = closed.iter().any(|c| {
+                c.support == p.support
+                    && (c.events == p.events
+                        || crate::prefixspan::is_subsequence(&p.events, &c.events))
+            });
+            assert!(covered, "{:?} not covered", p.events);
+        }
+    }
+
+    #[test]
+    fn single_sequence_database_has_one_maximal_closed_pattern() {
+        let db = SequenceDatabase::from_str_rows(&["ABC"]);
+        let closed = mine_closed_sequential(&db, &SequentialConfig::new(1));
+        // The only closed pattern is ABC itself (support 1).
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].events, pattern(&db, "ABC"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Serial episode mining over event sequences (Mannila, Toivonen & Verkamo).
+//!
+//! Episode mining is the second family of related work the paper discusses
+//! (Table I, row "Manilla et al."): the input is a single long sequence, a
+//! *serial episode* is an ordered list of events, and the support is either
+//!
+//! * **WINEPI** — the number of width-`w` sliding windows that contain the
+//!   episode as a subsequence (definition (i) in the paper's discussion), or
+//! * **MINEPI** — the number of *minimal windows* containing the episode
+//!   (definition (ii)).
+//!
+//! The WINEPI support is anti-monotone under sub-episodes (any window
+//! containing an episode contains all of its sub-episodes), so a prefix DFS
+//! with Apriori pruning enumerates all frequent serial episodes. The MINEPI
+//! count is reported alongside each mined episode but is not itself used for
+//! pruning (it is not anti-monotone in general).
+//!
+//! These miners serve two purposes in the reproduction: they let the Table I
+//! comparison be produced by *miners*, not just by per-pattern support
+//! calculators, and they provide a qualitative contrast with repetitive
+//! support (window-based supports over-count overlapping occurrences, the
+//! paper's motivating criticism).
+
+use serde::{Deserialize, Serialize};
+
+use seqdb::{EventId, Sequence, SequenceDatabase};
+
+use crate::semantics::{episode_window_count, minimal_window_count};
+
+/// A mined serial episode with its window-based supports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Episode {
+    /// The events of the episode, in order.
+    pub events: Vec<EventId>,
+    /// WINEPI support: number of width-`w` windows containing the episode.
+    pub window_support: u64,
+    /// MINEPI support: number of minimal windows containing the episode.
+    pub minimal_window_support: u64,
+}
+
+/// Configuration of the serial episode miners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    /// Window width `w` (in events).
+    pub window_width: usize,
+    /// Minimum WINEPI support (number of windows).
+    pub min_window_support: u64,
+    /// Maximum episode length; episodes longer than the window can never
+    /// occur, so this is additionally capped at `window_width`.
+    pub max_episode_length: usize,
+}
+
+impl EpisodeConfig {
+    /// Creates a configuration with window width `window_width` and
+    /// threshold `min_window_support`.
+    pub fn new(window_width: usize, min_window_support: u64) -> Self {
+        Self {
+            window_width,
+            min_window_support,
+            max_episode_length: window_width,
+        }
+    }
+
+    /// Caps the episode length.
+    pub fn with_max_episode_length(mut self, max_len: usize) -> Self {
+        self.max_episode_length = max_len;
+        self
+    }
+
+    fn effective_max_length(&self) -> usize {
+        self.max_episode_length.min(self.window_width)
+    }
+}
+
+/// Mines every frequent serial episode of a single `sequence`.
+pub fn mine_episodes(sequence: &Sequence, config: &EpisodeConfig) -> Vec<Episode> {
+    if config.window_width == 0 || sequence.is_empty() {
+        return Vec::new();
+    }
+    let mut alphabet: Vec<EventId> = sequence.events().to_vec();
+    alphabet.sort_unstable();
+    alphabet.dedup();
+
+    let mut result = Vec::new();
+    let mut stack: Vec<Vec<EventId>> = alphabet.iter().map(|&e| vec![e]).collect();
+    // Depth-first enumeration with Apriori pruning on the WINEPI support.
+    while let Some(candidate) = stack.pop() {
+        let window_support = episode_window_count(sequence, &candidate, config.window_width);
+        if window_support < config.min_window_support.max(1) {
+            continue;
+        }
+        if candidate.len() < config.effective_max_length() {
+            for &e in &alphabet {
+                let mut grown = candidate.clone();
+                grown.push(e);
+                stack.push(grown);
+            }
+        }
+        result.push(Episode {
+            minimal_window_support: minimal_window_count(sequence, &candidate),
+            window_support,
+            events: candidate,
+        });
+    }
+    result.sort_by(|a, b| {
+        b.window_support
+            .cmp(&a.window_support)
+            .then_with(|| a.events.len().cmp(&b.events.len()))
+            .then_with(|| a.events.cmp(&b.events))
+    });
+    result
+}
+
+/// Mines frequent serial episodes of every sequence of a database and sums
+/// the per-sequence window supports (the multi-sequence generalization used
+/// by the experiment harness; episode mining proper is single-sequence).
+pub fn mine_episodes_database(db: &SequenceDatabase, config: &EpisodeConfig) -> Vec<Episode> {
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<Vec<EventId>, (u64, u64)> = BTreeMap::new();
+    for sequence in db.sequences() {
+        for episode in mine_episodes(sequence, config) {
+            let entry = totals.entry(episode.events).or_insert((0, 0));
+            entry.0 += episode.window_support;
+            entry.1 += episode.minimal_window_support;
+        }
+    }
+    let mut result: Vec<Episode> = totals
+        .into_iter()
+        .map(|(events, (window_support, minimal_window_support))| Episode {
+            events,
+            window_support,
+            minimal_window_support,
+        })
+        .filter(|e| e.window_support >= config.min_window_support.max(1))
+        .collect();
+    result.sort_by(|a, b| {
+        b.window_support
+            .cmp(&a.window_support)
+            .then_with(|| a.events.len().cmp(&b.events.len()))
+            .then_with(|| a.events.cmp(&b.events))
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// S1 of Example 1.1: AABCDABB.
+    fn s1() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["AABCDABB"])
+    }
+
+    #[test]
+    fn example_1_1_window_support_of_ab_is_four() {
+        // The paper: with w = 4, serial episode AB has support 4 in S1
+        // (windows [1,4], [2,5], [4,7], [5,8]).
+        let db = s1();
+        let ab = db.pattern_from_str("AB").unwrap();
+        let episodes = mine_episodes(db.sequence(0).unwrap(), &EpisodeConfig::new(4, 1));
+        let found = episodes
+            .iter()
+            .find(|e| e.events == ab)
+            .expect("AB is a frequent episode");
+        assert_eq!(found.window_support, 4);
+        // Definition (ii): AB has 2 minimal windows in S1.
+        assert_eq!(found.minimal_window_support, 2);
+    }
+
+    #[test]
+    fn mining_respects_the_support_threshold_and_window_length() {
+        let db = s1();
+        let config = EpisodeConfig::new(4, 3);
+        let episodes = mine_episodes(db.sequence(0).unwrap(), &config);
+        assert!(!episodes.is_empty());
+        for e in &episodes {
+            assert!(e.window_support >= 3, "{e:?}");
+            assert!(e.events.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_window_support_descending() {
+        let db = s1();
+        let episodes = mine_episodes(db.sequence(0).unwrap(), &EpisodeConfig::new(4, 1));
+        for w in episodes.windows(2) {
+            assert!(w[0].window_support >= w[1].window_support);
+        }
+    }
+
+    #[test]
+    fn every_sub_episode_of_a_frequent_episode_is_frequent() {
+        // The Apriori property WINEPI relies on.
+        let db = s1();
+        let episodes = mine_episodes(db.sequence(0).unwrap(), &EpisodeConfig::new(5, 2));
+        for e in &episodes {
+            if e.events.len() < 2 {
+                continue;
+            }
+            for drop in 0..e.events.len() {
+                let mut sub = e.events.clone();
+                sub.remove(drop);
+                assert!(
+                    episodes.iter().any(|other| other.events == sub),
+                    "sub-episode {:?} of {:?} missing",
+                    sub,
+                    e.events
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn episodes_longer_than_the_window_are_never_reported() {
+        let db = SequenceDatabase::from_str_rows(&["ABCABCABC"]);
+        let episodes = mine_episodes(db.sequence(0).unwrap(), &EpisodeConfig::new(2, 1));
+        assert!(episodes.iter().all(|e| e.events.len() <= 2));
+    }
+
+    #[test]
+    fn zero_width_windows_and_empty_sequences_yield_nothing() {
+        let db = s1();
+        assert!(mine_episodes(db.sequence(0).unwrap(), &EpisodeConfig::new(0, 1)).is_empty());
+        let empty = SequenceDatabase::from_str_rows(&[""]);
+        assert!(mine_episodes(empty.sequence(0).unwrap(), &EpisodeConfig::new(3, 1)).is_empty());
+    }
+
+    #[test]
+    fn database_level_mining_sums_per_sequence_supports() {
+        let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+        let ab = db.pattern_from_str("AB").unwrap();
+        let episodes = mine_episodes_database(&db, &EpisodeConfig::new(4, 1));
+        let found = episodes.iter().find(|e| e.events == ab).unwrap();
+        // 4 windows in S1 plus 1 window in S2 (the only width-4 window).
+        assert_eq!(found.window_support, 5);
+    }
+
+    #[test]
+    fn max_episode_length_caps_the_search() {
+        let db = s1();
+        let config = EpisodeConfig::new(6, 1).with_max_episode_length(2);
+        let episodes = mine_episodes(db.sequence(0).unwrap(), &config);
+        assert!(episodes.iter().all(|e| e.events.len() <= 2));
+    }
+}

@@ -1,0 +1,37 @@
+//! # baselines — sequential-pattern miners and alternative support semantics
+//!
+//! The ICDE'09 paper positions repetitive gapped subsequence mining against
+//! two families of related work:
+//!
+//! 1. **Sequential pattern mining** (PrefixSpan, CloSpan, BIDE, SPAM), where
+//!    the support of a pattern is the *number of sequences* containing it —
+//!    repetitions within a sequence are ignored. The experiment section
+//!    compares CloGSgrow's runtime against these miners; this crate provides
+//!    from-scratch implementations of [`prefixspan`] (all sequential
+//!    patterns), [`bide`] (closed sequential patterns via bidirectional
+//!    extension checking), [`clospan_lite`] (closed patterns by
+//!    post-filtering, used to cross-check BIDE), and [`spam`] (vertical
+//!    bitmap mining, cross-checked against PrefixSpan).
+//! 2. **Alternative occurrence/support semantics** from Table I: episode
+//!    mining with fixed-width or minimal windows, periodic patterns with a
+//!    gap requirement, interaction patterns over substrings, and iterative
+//!    patterns (MSC/LSC semantics). The [`semantics`] module implements each
+//!    of those support counters so the Example 1.1 comparison can be
+//!    reproduced exactly, and [`episode`] provides WINEPI/MINEPI-style
+//!    serial episode miners on top of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bide;
+pub mod clospan_lite;
+pub mod episode;
+pub mod prefixspan;
+pub mod semantics;
+pub mod spam;
+
+pub use bide::mine_closed_sequential;
+pub use clospan_lite::mine_closed_sequential_by_filter;
+pub use episode::{mine_episodes, mine_episodes_database, Episode, EpisodeConfig};
+pub use prefixspan::{mine_sequential, SequentialPattern};
+pub use spam::{mine_sequential_spam, PositionBitmap, VerticalDatabase};

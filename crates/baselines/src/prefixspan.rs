@@ -1,0 +1,280 @@
+//! PrefixSpan: classical sequential pattern mining by prefix-projected
+//! pattern growth (Pei et al., ICDE 2001), specialized to sequences of
+//! single events.
+//!
+//! The support of a pattern here is the **number of sequences** that contain
+//! the pattern as a (gapped) subsequence — repetitions within a sequence do
+//! not count. This is the semantics the paper contrasts with repetitive
+//! support in Example 1.1 (`sup(AB) = sup(CD) = 2` under sequential pattern
+//! mining).
+//!
+//! The implementation uses pseudo-projection: a projected database is a list
+//! of `(sequence index, offset)` pairs, where `offset` is the position right
+//! after the last matched event.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use seqdb::{EventId, SequenceDatabase};
+
+/// A sequential pattern with its sequence-count support.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequentialPattern {
+    /// The events of the pattern.
+    pub events: Vec<EventId>,
+    /// The number of sequences containing the pattern.
+    pub support: u64,
+}
+
+impl SequentialPattern {
+    /// Returns `true` if `self`'s events form a (gapped) subsequence of
+    /// `other`'s events.
+    pub fn is_subpattern_of(&self, other: &SequentialPattern) -> bool {
+        is_subsequence(&self.events, &other.events)
+    }
+}
+
+/// Returns `true` when `needle` is a (gapped) subsequence of `haystack`.
+pub(crate) fn is_subsequence(needle: &[EventId], haystack: &[EventId]) -> bool {
+    let mut j = 0;
+    for &e in haystack {
+        if j < needle.len() && e == needle[j] {
+            j += 1;
+        }
+    }
+    j == needle.len()
+}
+
+/// Configuration for the sequential miners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequentialConfig {
+    /// Minimum number of sequences that must contain a pattern.
+    pub min_sup: u64,
+    /// Optional maximum pattern length.
+    pub max_pattern_length: Option<usize>,
+    /// Optional cap on the number of emitted patterns (safety valve for
+    /// experiments on dense data).
+    pub max_patterns: Option<usize>,
+}
+
+impl SequentialConfig {
+    /// Creates a configuration with the given support threshold.
+    pub fn new(min_sup: u64) -> Self {
+        Self {
+            min_sup,
+            max_pattern_length: None,
+            max_patterns: None,
+        }
+    }
+
+    /// Sets the maximum pattern length.
+    pub fn with_max_pattern_length(mut self, max_len: usize) -> Self {
+        self.max_pattern_length = Some(max_len);
+        self
+    }
+
+    /// Sets the emitted-pattern cap.
+    pub fn with_max_patterns(mut self, cap: usize) -> Self {
+        self.max_patterns = Some(cap);
+        self
+    }
+}
+
+/// A pseudo-projected database: one `(sequence, offset)` entry per sequence
+/// that still contains the current prefix, where `offset` is the 0-based
+/// index into the event slice from which the postfix starts.
+type Projection = Vec<(usize, usize)>;
+
+/// Mines all frequent sequential patterns of `db` (PrefixSpan).
+pub fn mine_sequential(db: &SequenceDatabase, config: &SequentialConfig) -> Vec<SequentialPattern> {
+    let mut miner = PrefixSpan {
+        db,
+        config,
+        result: Vec::new(),
+        truncated: false,
+    };
+    let initial: Projection = (0..db.num_sequences()).map(|s| (s, 0)).collect();
+    miner.grow(&mut Vec::new(), &initial);
+    miner.result
+}
+
+struct PrefixSpan<'a> {
+    db: &'a SequenceDatabase,
+    config: &'a SequentialConfig,
+    result: Vec<SequentialPattern>,
+    truncated: bool,
+}
+
+impl PrefixSpan<'_> {
+    /// Recursively grows `prefix` by every locally frequent event of the
+    /// projected database.
+    fn grow(&mut self, prefix: &mut Vec<EventId>, projection: &Projection) {
+        if self.truncated {
+            return;
+        }
+        if let Some(max_len) = self.config.max_pattern_length {
+            if prefix.len() >= max_len {
+                return;
+            }
+        }
+        // Count, per candidate event, in how many projected sequences it
+        // still occurs.
+        let mut counts: HashMap<EventId, u64> = HashMap::new();
+        for &(seq, offset) in projection {
+            let events = self.db.sequence(seq).expect("sequence exists").events();
+            let mut seen: Vec<EventId> = Vec::new();
+            for &e in &events[offset..] {
+                if !seen.contains(&e) {
+                    seen.push(e);
+                    *counts.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut candidates: Vec<(EventId, u64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= self.config.min_sup)
+            .collect();
+        candidates.sort_by_key(|&(e, _)| e);
+
+        for (event, support) in candidates {
+            if self.truncated {
+                return;
+            }
+            prefix.push(event);
+            self.result.push(SequentialPattern {
+                events: prefix.clone(),
+                support,
+            });
+            if let Some(cap) = self.config.max_patterns {
+                if self.result.len() >= cap {
+                    self.truncated = true;
+                    prefix.pop();
+                    return;
+                }
+            }
+            // Project: advance each sequence past its first occurrence of
+            // `event` at or after the current offset.
+            let mut projected: Projection = Vec::with_capacity(projection.len());
+            for &(seq, offset) in projection {
+                let events = self.db.sequence(seq).expect("sequence exists").events();
+                if let Some(pos) = events[offset..].iter().position(|&e| e == event) {
+                    projected.push((seq, offset + pos + 1));
+                }
+            }
+            self.grow(prefix, &projected);
+            prefix.pop();
+        }
+    }
+}
+
+/// Computes the sequence-count support of an arbitrary pattern directly
+/// (used by tests and by the closed-pattern checkers).
+pub fn sequence_support(db: &SequenceDatabase, pattern: &[EventId]) -> u64 {
+    db.sequences()
+        .iter()
+        .filter(|s| s.contains_subsequence(pattern))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_db() -> SequenceDatabase {
+        // Example 1.1 of the paper.
+        SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"])
+    }
+
+    fn pattern(db: &SequenceDatabase, s: &str) -> Vec<EventId> {
+        db.pattern_from_str(s).unwrap()
+    }
+
+    #[test]
+    fn sequence_support_ignores_within_sequence_repetition() {
+        // Under sequential-pattern semantics AB and CD both have support 2.
+        let db = example_db();
+        assert_eq!(sequence_support(&db, &pattern(&db, "AB")), 2);
+        assert_eq!(sequence_support(&db, &pattern(&db, "CD")), 2);
+        assert_eq!(sequence_support(&db, &pattern(&db, "BB")), 1);
+        assert_eq!(sequence_support(&db, &pattern(&db, "DD")), 0);
+    }
+
+    #[test]
+    fn prefixspan_finds_all_frequent_sequential_patterns() {
+        let db = example_db();
+        let mined = mine_sequential(&db, &SequentialConfig::new(2));
+        // Brute force over all patterns up to length 4.
+        let events: Vec<EventId> = db.catalog().ids().collect();
+        let mut expected: Vec<(Vec<EventId>, u64)> = Vec::new();
+        let mut frontier: Vec<Vec<EventId>> = vec![Vec::new()];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for prefix in &frontier {
+                for &e in &events {
+                    let mut candidate = prefix.clone();
+                    candidate.push(e);
+                    let support = sequence_support(&db, &candidate);
+                    if support >= 2 {
+                        expected.push((candidate.clone(), support));
+                        next.push(candidate);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        assert_eq!(mined.len(), expected.len());
+        for (events, support) in expected {
+            let found = mined
+                .iter()
+                .find(|p| p.events == events)
+                .unwrap_or_else(|| panic!("missing pattern {events:?}"));
+            assert_eq!(found.support, support);
+        }
+    }
+
+    #[test]
+    fn supports_reported_by_prefixspan_match_direct_counting() {
+        let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC", "CBA"]);
+        let mined = mine_sequential(&db, &SequentialConfig::new(1));
+        for p in &mined {
+            assert_eq!(p.support, sequence_support(&db, &p.events), "{:?}", p.events);
+        }
+    }
+
+    #[test]
+    fn max_pattern_length_limits_output() {
+        let db = example_db();
+        let mined = mine_sequential(&db, &SequentialConfig::new(1).with_max_pattern_length(2));
+        assert!(mined.iter().all(|p| p.events.len() <= 2));
+        assert!(!mined.is_empty());
+    }
+
+    #[test]
+    fn max_patterns_truncates() {
+        let db = example_db();
+        let mined = mine_sequential(&db, &SequentialConfig::new(1).with_max_patterns(3));
+        assert_eq!(mined.len(), 3);
+    }
+
+    #[test]
+    fn empty_database_mines_nothing() {
+        let db = SequenceDatabase::new();
+        assert!(mine_sequential(&db, &SequentialConfig::new(1)).is_empty());
+    }
+
+    #[test]
+    fn subpattern_relation_on_sequential_patterns() {
+        let db = example_db();
+        let ab = SequentialPattern {
+            events: pattern(&db, "AB"),
+            support: 2,
+        };
+        let acb = SequentialPattern {
+            events: pattern(&db, "ACB"),
+            support: 1,
+        };
+        assert!(ab.is_subpattern_of(&acb));
+        assert!(!acb.is_subpattern_of(&ab));
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation — the effect of the landmark border checking strategy
+//! (Theorem 5) on CloGSgrow's runtime.
+//!
+//! The paper attributes CloGSgrow's scalability at low support thresholds to
+//! this pruning rule; the ablation runs the closed miner with and without it
+//! on the Figure-2 dataset. The mined pattern set is identical in both modes
+//! (verified by unit tests); only the amount of search differs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig2_dataset, fig2_thresholds, Scale};
+use rgs_core::{mine_closed, MiningConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let (_, db) = fig2_dataset(Scale::Dev);
+    let thresholds = fig2_thresholds(Scale::Dev);
+    let mid = thresholds[thresholds.len() / 2];
+    let cap = 200_000;
+
+    let mut group = c.benchmark_group("ablation_landmark_pruning");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::new("with_lb_pruning", mid), &mid, |b, &min_sup| {
+        b.iter(|| mine_closed(&db, &MiningConfig::new(min_sup).with_max_patterns(cap)))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("without_lb_pruning", mid),
+        &mid,
+        |b, &min_sup| {
+            b.iter(|| {
+                mine_closed(
+                    &db,
+                    &MiningConfig::new(min_sup)
+                        .with_max_patterns(cap)
+                        .without_landmark_pruning(),
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

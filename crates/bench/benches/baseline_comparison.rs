@@ -1,0 +1,45 @@
+//! Experiment-1 baseline comparison — CloGSgrow vs the sequential-pattern
+//! miners (PrefixSpan, BIDE-style, CloSpan-lite) on the Figure-2 dataset.
+//!
+//! The paper reports that its closed miner is slightly slower than BIDE but
+//! comparable to / faster than CloSpan and PrefixSpan on the synthetic
+//! dataset while solving a strictly harder problem (it additionally counts
+//! repetitions within each sequence).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig2_dataset, fig2_thresholds, Scale};
+use rgs_bench::runner::{run_miner, MinerKind, RunLimits};
+
+fn bench_baselines(c: &mut Criterion) {
+    let (_, db) = fig2_dataset(Scale::Dev);
+    let limits = RunLimits::dev();
+    let thresholds = fig2_thresholds(Scale::Dev);
+    let repetitive_min_sup = thresholds[thresholds.len() / 2];
+    // Sequential miners use sequence-count support: threshold as a fraction
+    // of the number of sequences.
+    let sequential_min_sup = ((db.num_sequences() as f64) * 0.05).ceil() as u64;
+
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("CloGSgrow", repetitive_min_sup), |b| {
+        b.iter(|| run_miner(&db, MinerKind::CloGsGrow, repetitive_min_sup, limits))
+    });
+    for (label, miner) in [
+        ("PrefixSpan", MinerKind::PrefixSpan),
+        ("BIDE-style", MinerKind::Bide),
+        ("CloSpan-lite", MinerKind::CloSpanLite),
+    ] {
+        group.bench_function(BenchmarkId::new(label, sequential_min_sup), |b| {
+            b.iter(|| run_miner(&db, miner, sequential_min_sup, limits))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

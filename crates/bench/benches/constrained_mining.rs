@@ -1,0 +1,42 @@
+//! Ablation bench for the gap-constrained mining extension: how runtime and
+//! output size react as the gap/window constraints tighten on the QUEST
+//! synthetic dataset.
+//!
+//! The paper's future-work section motivates gap constraints for long
+//! sequences; this bench quantifies the practical effect the constraints
+//! have on the search (tighter constraints → fewer admissible instances →
+//! smaller frequent set → faster mining).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig2_dataset, Scale};
+use rgs_core::{mine_all_constrained, GapConstraints, MiningConfig};
+
+fn bench_constrained(c: &mut Criterion) {
+    let (_, db) = fig2_dataset(Scale::Dev);
+    let config = MiningConfig::new(15).with_max_patterns(200_000);
+    let mut group = c.benchmark_group("constrained_mining");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let cases: Vec<(&str, GapConstraints)> = vec![
+        ("unbounded", GapConstraints::unbounded()),
+        ("max_gap_8", GapConstraints::max_gap(8)),
+        ("max_gap_2", GapConstraints::max_gap(2)),
+        ("window_10", GapConstraints::max_window(10)),
+        ("gap2_window10", GapConstraints::max_gap(2).with_max_window(10)),
+    ];
+    for (label, constraints) in cases {
+        group.bench_with_input(
+            BenchmarkId::new("mine_all_constrained", label),
+            &constraints,
+            |b, &constraints| b.iter(|| mine_all_constrained(&db, &config, constraints)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constrained);
+criterion_main!(benches);

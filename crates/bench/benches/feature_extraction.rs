@@ -1,0 +1,56 @@
+//! Bench for the classification-feature pipeline: per-sequence support
+//! extraction and the end-to-end mine → select → train pipeline on labeled
+//! traces.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_core::{mine_closed, MiningConfig, Pattern};
+use rgs_features::pipeline::{run_pipeline, PipelineConfig};
+use rgs_features::{extract_features, LabeledDatabase};
+use synthgen::labeled::LabeledTraceConfig;
+
+fn corpus() -> LabeledDatabase {
+    let (db, labels) = LabeledTraceConfig::default()
+        .with_traces_per_class(40)
+        .generate();
+    LabeledDatabase::new(db, labels).expect("aligned labels")
+}
+
+fn bench_features(c: &mut Criterion) {
+    let data = corpus();
+    let mined = mine_closed(
+        data.database(),
+        &MiningConfig::new(40).with_max_pattern_length(4),
+    );
+    let candidates: Vec<Pattern> = mined
+        .patterns
+        .iter()
+        .filter(|mp| mp.pattern.len() >= 2)
+        .map(|mp| mp.pattern.clone())
+        .collect();
+
+    let mut group = c.benchmark_group("feature_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_with_input(
+        BenchmarkId::new("extract_features", candidates.len()),
+        &candidates,
+        |b, candidates| b.iter(|| extract_features(data.database(), candidates)),
+    );
+    group.bench_function("run_pipeline_end_to_end", |b| {
+        b.iter(|| {
+            run_pipeline(
+                &data,
+                &PipelineConfig::new(40, 6).with_max_pattern_length(4),
+            )
+            .expect("pipeline runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

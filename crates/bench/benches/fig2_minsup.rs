@@ -1,0 +1,44 @@
+//! Figure 2 — runtime of GSgrow ("All") and CloGSgrow ("Closed") while the
+//! support threshold `min_sup` varies on the QUEST synthetic dataset
+//! (D5C20N10S20, dev-scaled).
+//!
+//! The paper's shape: runtime grows as the threshold drops, and the closed
+//! miner stays tractable at thresholds where the all-pattern miner must be
+//! cut off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig2_dataset, fig2_thresholds, Scale};
+use rgs_bench::runner::{run_miner, MinerKind, RunLimits};
+
+fn bench_fig2(c: &mut Criterion) {
+    let (_, db) = fig2_dataset(Scale::Dev);
+    let thresholds = fig2_thresholds(Scale::Dev);
+    let limits = RunLimits::dev();
+    let mut group = c.benchmark_group("fig2_minsup");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &min_sup in &thresholds {
+        group.bench_with_input(
+            BenchmarkId::new("closed_clogsgrow", min_sup),
+            &min_sup,
+            |b, &min_sup| b.iter(|| run_miner(&db, MinerKind::CloGsGrow, min_sup, limits)),
+        );
+    }
+    // The all-pattern miner is only benchmarked above the cut-off threshold,
+    // exactly like the paper's Figure 2 (points after "..." on the x-axis).
+    for &min_sup in &thresholds[..thresholds.len() - 1] {
+        group.bench_with_input(
+            BenchmarkId::new("all_gsgrow", min_sup),
+            &min_sup,
+            |b, &min_sup| b.iter(|| run_miner(&db, MinerKind::GsGrow, min_sup, limits)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 3 — runtime of GSgrow and CloGSgrow while `min_sup` varies on the
+//! Gazelle-like clickstream (heavy-tailed session lengths).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig3_dataset, fig3_thresholds, Scale};
+use rgs_bench::runner::{run_miner, MinerKind, RunLimits};
+
+fn bench_fig3(c: &mut Criterion) {
+    let (_, db) = fig3_dataset(Scale::Dev);
+    let thresholds = fig3_thresholds(Scale::Dev);
+    let limits = RunLimits::dev();
+    let mut group = c.benchmark_group("fig3_gazelle");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &min_sup in &thresholds {
+        group.bench_with_input(
+            BenchmarkId::new("closed_clogsgrow", min_sup),
+            &min_sup,
+            |b, &min_sup| b.iter(|| run_miner(&db, MinerKind::CloGsGrow, min_sup, limits)),
+        );
+    }
+    for &min_sup in &thresholds[..thresholds.len() - 1] {
+        group.bench_with_input(
+            BenchmarkId::new("all_gsgrow", min_sup),
+            &min_sup,
+            |b, &min_sup| b.iter(|| run_miner(&db, MinerKind::GsGrow, min_sup, limits)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

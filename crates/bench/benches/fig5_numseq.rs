@@ -1,0 +1,39 @@
+//! Figure 5 — runtime of GSgrow and CloGSgrow while the number of sequences
+//! grows (D = 5..25K at paper scale, dev-scaled here), C = S = 50, N = 10K,
+//! min_sup = 20.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig5_datasets, fig5_fig6_threshold, Scale};
+use rgs_bench::runner::{run_miner, MinerKind, RunLimits};
+
+fn bench_fig5(c: &mut Criterion) {
+    let datasets = fig5_datasets(Scale::Dev);
+    let min_sup = fig5_fig6_threshold(Scale::Dev);
+    let limits = RunLimits::dev();
+    let mut group = c.benchmark_group("fig5_numseq");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for (idx, (name, db)) in datasets.iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("closed_clogsgrow", name),
+            db,
+            |b, db| b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits)),
+        );
+        // The all-pattern miner stops terminating in reasonable time on the
+        // larger settings (the paper stops it at ~15K sequences); to keep
+        // the bench suite short it is only benchmarked on the smallest one.
+        if idx == 0 {
+            group.bench_with_input(BenchmarkId::new("all_gsgrow", name), db, |b, db| {
+                b.iter(|| run_miner(db, MinerKind::GsGrow, min_sup, limits))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6 — runtime of GSgrow and CloGSgrow while the average sequence
+//! length grows (C = S = 20..100), D = 10K (dev-scaled), N = 10K,
+//! min_sup = 20.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig5_fig6_threshold, fig6_datasets, Scale};
+use rgs_bench::runner::{run_miner, MinerKind, RunLimits};
+
+fn bench_fig6(c: &mut Criterion) {
+    let datasets = fig6_datasets(Scale::Dev);
+    let min_sup = fig5_fig6_threshold(Scale::Dev);
+    let limits = RunLimits::dev();
+    let mut group = c.benchmark_group("fig6_seqlen");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for (idx, (name, db)) in datasets.iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("closed_clogsgrow", name),
+            db,
+            |b, db| b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits)),
+        );
+        // GSgrow is cut off from average length 80 onwards in the paper; to
+        // keep the bench suite short it is only benchmarked on the two
+        // shortest settings.
+        if idx <= 1 {
+            group.bench_with_input(BenchmarkId::new("all_gsgrow", name), db, |b, db| {
+                b.iter(|| run_miner(db, MinerKind::GsGrow, min_sup, limits))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for top-k closed mining: cost of the threshold-free exploratory
+//! interface versus a conventional fixed-threshold CloGSgrow run.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rgs_bench::datasets::{fig2_dataset, Scale};
+use rgs_core::{mine_closed, mine_top_k, MiningConfig, TopKConfig};
+
+fn bench_topk(c: &mut Criterion) {
+    let (_, db) = fig2_dataset(Scale::Dev);
+    let mut group = c.benchmark_group("topk_mining");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for k in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::new("mine_top_k", k), &k, |b, &k| {
+            b.iter(|| mine_top_k(&db, &TopKConfig::new(k).with_min_sup_floor(5)))
+        });
+    }
+    for min_sup in [20u64, 30] {
+        group.bench_with_input(
+            BenchmarkId::new("clogsgrow_fixed_threshold", min_sup),
+            &min_sup,
+            |b, &min_sup| b.iter(|| mine_closed(&db, &MiningConfig::new(min_sup))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Experiment harness binary.
+//!
+//! Regenerates every figure of the paper's evaluation, the Table I
+//! semantics comparison, the baseline comparison and the case study, and
+//! writes Markdown/CSV/JSON reports under `results/`.
+//!
+//! ```text
+//! experiments [--scale dev|paper] [--out DIR] [table1|fig2|fig3|fig4|fig5|fig6|baselines|case-study|all]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rgs_bench::datasets::Scale;
+use rgs_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Dev;
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--scale needs a value (dev|paper)");
+                    return ExitCode::FAILURE;
+                };
+                match Scale::parse(value) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{value}' (expected dev|paper)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(value);
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+
+    let run_all = targets.iter().any(|t| t == "all");
+    let wants = |name: &str| run_all || targets.iter().any(|t| t == name);
+    let mut ran_any = false;
+
+    if wants("table1") {
+        emit(&experiments::table1(), &out_dir);
+        ran_any = true;
+    }
+    if wants("fig2") {
+        emit(&experiments::fig2(scale), &out_dir);
+        ran_any = true;
+    }
+    if wants("fig3") {
+        emit(&experiments::fig3(scale), &out_dir);
+        ran_any = true;
+    }
+    if wants("fig4") {
+        emit(&experiments::fig4(scale), &out_dir);
+        ran_any = true;
+    }
+    if wants("fig5") {
+        emit(&experiments::fig5(scale), &out_dir);
+        ran_any = true;
+    }
+    if wants("fig6") {
+        emit(&experiments::fig6(scale), &out_dir);
+        ran_any = true;
+    }
+    if wants("baselines") {
+        emit(&experiments::baselines_comparison(scale), &out_dir);
+        ran_any = true;
+    }
+    if wants("case-study") || wants("case_study") {
+        let outcome = experiments::case_study(scale);
+        emit(&outcome.report, &out_dir);
+        println!("Top post-processed patterns:");
+        for line in outcome.ranked_patterns.iter().take(10) {
+            println!("  {line}");
+        }
+        println!();
+        ran_any = true;
+    }
+
+    if !ran_any {
+        eprintln!("no known experiment in {targets:?}");
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn emit(report: &rgs_bench::ExperimentReport, out_dir: &std::path::Path) {
+    println!("{}", report.to_markdown());
+    if let Err(err) = report.write_to_dir(out_dir) {
+        eprintln!("warning: could not write report files for {}: {err}", report.id);
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments [--scale dev|paper] [--out DIR] \
+         [table1|fig2|fig3|fig4|fig5|fig6|baselines|case-study|all]"
+    );
+}

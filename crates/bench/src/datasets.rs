@@ -1,0 +1,202 @@
+//! Dataset presets for every experiment.
+//!
+//! Each preset can be produced at the paper's full size (`Scale::Paper`) or
+//! scaled down (`Scale::Dev`, the default), so the whole harness completes
+//! in minutes on a laptop while preserving the qualitative shape of the
+//! figures.
+
+use seqdb::SequenceDatabase;
+use synthgen::{GazelleConfig, JbossConfig, QuestConfig, TcasConfig};
+
+/// How large the generated datasets should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down presets for quick runs (default).
+    Dev,
+    /// The paper's full-size parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"dev"` / `"paper"` / `"full"`.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.to_ascii_lowercase().as_str() {
+            "dev" | "small" => Some(Scale::Dev),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// The QUEST dataset of Figure 2 (`D5C20N10S20`).
+pub fn fig2_dataset(scale: Scale) -> (String, SequenceDatabase) {
+    let config = QuestConfig::paper(5, 20, 10, 20);
+    let config = match scale {
+        Scale::Paper => config,
+        Scale::Dev => config.scaled_down(25),
+    };
+    (config.name(), config.generate())
+}
+
+/// The support thresholds swept in Figure 2 (scaled variant uses thresholds
+/// appropriate for the smaller database; the paper sweeps 3..10 on the full
+/// data with a cut-off below 7 for mining all patterns).
+pub fn fig2_thresholds(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Paper => vec![10, 9, 8, 7, 3],
+        Scale::Dev => vec![40, 30, 20, 15, 10],
+    }
+}
+
+/// The Gazelle-like clickstream dataset of Figure 3.
+pub fn fig3_dataset(scale: Scale) -> (String, SequenceDatabase) {
+    let config = match scale {
+        Scale::Paper => GazelleConfig::default(),
+        Scale::Dev => GazelleConfig::default().scaled_down(40),
+    };
+    ("Gazelle-like".to_owned(), config.generate())
+}
+
+/// The support thresholds swept in Figure 3 (paper: 66 down to 8).
+pub fn fig3_thresholds(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Paper => vec![66, 65, 64, 63, 8],
+        Scale::Dev => vec![60, 40, 30, 20, 12],
+    }
+}
+
+/// The TCAS-like trace dataset of Figure 4.
+pub fn fig4_dataset(scale: Scale) -> (String, SequenceDatabase) {
+    let config = match scale {
+        Scale::Paper => TcasConfig::default(),
+        Scale::Dev => TcasConfig::default().scaled_down(16),
+    };
+    ("TCAS-like".to_owned(), config.generate())
+}
+
+/// The support thresholds swept in Figure 4 (paper: 889 down to 1). The
+/// dev-scale sweep stops at 4: on the loop-heavy dev dataset the closed set
+/// below that is large enough that a single run dominates the whole harness;
+/// the paper-scale sweep keeps the "down to min_sup = 1" headline setting.
+pub fn fig4_thresholds(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Paper => vec![889, 888, 887, 886, 1],
+        Scale::Dev => vec![60, 40, 20, 10, 4],
+    }
+}
+
+/// The datasets of Figure 5: `D` (number of sequences, in thousands at paper
+/// scale) varies, `C = S = 50`, `N = 10`(K), `min_sup = 20`.
+pub fn fig5_datasets(scale: Scale) -> Vec<(String, SequenceDatabase)> {
+    let d_values = [5usize, 10, 15, 20, 25];
+    d_values
+        .iter()
+        .map(|&d| {
+            let config = QuestConfig::paper(d, 50, 10, 50);
+            let config = match scale {
+                Scale::Paper => config,
+                Scale::Dev => config.scaled_down(50),
+            };
+            (config.name(), config.generate())
+        })
+        .collect()
+}
+
+/// The fixed support threshold of Figures 5 and 6.
+pub fn fig5_fig6_threshold(scale: Scale) -> u64 {
+    match scale {
+        Scale::Paper => 20,
+        Scale::Dev => 20,
+    }
+}
+
+/// The datasets of Figure 6: the average sequence length (`C = S`) varies
+/// over {20, 40, 60, 80, 100}, `D = 10`(K), `N = 10`(K), `min_sup = 20`.
+pub fn fig6_datasets(scale: Scale) -> Vec<(String, SequenceDatabase)> {
+    let lengths = [20usize, 40, 60, 80, 100];
+    lengths
+        .iter()
+        .map(|&len| {
+            let config = QuestConfig::paper(10, len, 10, len);
+            let config = match scale {
+                Scale::Paper => config,
+                Scale::Dev => config.scaled_down(100),
+            };
+            (config.name(), config.generate())
+        })
+        .collect()
+}
+
+/// The JBoss-like case-study dataset (§IV-B); it is small in the paper (28
+/// traces), so both scales generate the same data.
+pub fn case_study_dataset(_scale: Scale) -> (String, SequenceDatabase) {
+    ("JBoss-transaction-like".to_owned(), JbossConfig::default().generate())
+}
+
+/// The case-study support threshold (`min_sup = 18` in the paper).
+pub fn case_study_threshold() -> u64 {
+    18
+}
+
+/// Example 1.1's two-sequence database, used by the Table I experiment.
+pub fn table1_dataset() -> SequenceDatabase {
+    SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dev_scale_datasets_are_small_enough_for_ci() {
+        let (_, fig2) = fig2_dataset(Scale::Dev);
+        assert!(fig2.num_sequences() <= 1_000);
+        let (_, fig3) = fig3_dataset(Scale::Dev);
+        assert!(fig3.num_sequences() <= 2_000);
+        let (_, fig4) = fig4_dataset(Scale::Dev);
+        assert!(fig4.num_sequences() <= 200);
+        assert_eq!(fig5_datasets(Scale::Dev).len(), 5);
+        assert_eq!(fig6_datasets(Scale::Dev).len(), 5);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_parameters() {
+        let (name, _) = {
+            // Only check the name construction cheaply: generating the full
+            // 5k x 20 dataset here would slow the test suite down.
+            let config = synthgen::QuestConfig::paper(5, 20, 10, 20);
+            (config.name(), ())
+        };
+        assert_eq!(name, "D5C20N10S20");
+        assert_eq!(fig4_thresholds(Scale::Paper).last(), Some(&1));
+        assert_eq!(case_study_threshold(), 18);
+    }
+
+    #[test]
+    fn scale_parse_accepts_known_values() {
+        assert_eq!(Scale::parse("dev"), Some(Scale::Dev));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn threshold_sweeps_are_descending_towards_harder_settings() {
+        for thresholds in [
+            fig2_thresholds(Scale::Dev),
+            fig3_thresholds(Scale::Dev),
+            fig4_thresholds(Scale::Dev),
+        ] {
+            assert!(thresholds.windows(2).all(|w| w[0] >= w[1]));
+            assert!(!thresholds.is_empty());
+        }
+    }
+
+    #[test]
+    fn table1_dataset_is_example_1_1() {
+        let db = table1_dataset();
+        assert_eq!(db.num_sequences(), 2);
+        assert_eq!(db.sequences()[0].len(), 8);
+        assert_eq!(db.sequences()[1].len(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rgs-bench — experiment harness for the ICDE'09 evaluation
+//!
+//! This crate regenerates every figure of the paper's performance study
+//! (Figures 2–6), the Table I semantics comparison, the baseline runtime
+//! comparison, and the §IV-B case study, on the synthetic stand-ins provided
+//! by the `synthgen` crate.
+//!
+//! The harness is organized as:
+//!
+//! * [`datasets`] — the per-experiment dataset presets (paper-sized and
+//!   scaled-down),
+//! * [`runner`] — a uniform way to run each miner and record runtime and
+//!   pattern counts,
+//! * [`report`] — small table/markdown/JSON reporting utilities,
+//! * [`experiments`] — one function per experiment, returning a
+//!   [`report::ExperimentReport`].
+//!
+//! Absolute runtimes are hardware-dependent; what the harness is expected to
+//! reproduce is the *shape* of every figure: the closed miner reports far
+//! fewer patterns and stays tractable at thresholds where mining all
+//! patterns blows up, runtimes grow with the number of sequences and with
+//! the average sequence length, and the case study recovers the long
+//! end-to-end behaviour plus the lock→unlock micro-pattern.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::{ExperimentReport, ReportRow};
+pub use runner::{run_miner, MinerKind, RunRecord};

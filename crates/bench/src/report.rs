@@ -1,0 +1,253 @@
+//! Reporting utilities: experiment reports rendered as Markdown tables,
+//! CSV, and JSON.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::runner::RunRecord;
+
+/// One row of an experiment report: a parameter setting (e.g. a support
+/// threshold or a dataset size) plus the records of every miner run at that
+/// setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// The value of the varied parameter (e.g. `min_sup = 10` or
+    /// `D = 5K sequences`).
+    pub parameter: String,
+    /// The miner runs at this setting.
+    pub runs: Vec<RunRecord>,
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Short experiment identifier (e.g. `fig2`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Description of the dataset used (name + summary statistics).
+    pub dataset: String,
+    /// What the paper reports for this experiment (the expected shape).
+    pub paper_expectation: String,
+    /// The measured rows.
+    pub rows: Vec<ReportRow>,
+    /// Free-form notes (e.g. observed shape statements checked by tests).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, dataset: &str, paper_expectation: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            dataset: dataset.to_owned(),
+            paper_expectation: paper_expectation.to_owned(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, parameter: impl Into<String>, runs: Vec<RunRecord>) {
+        self.rows.push(ReportRow {
+            parameter: parameter.into(),
+            runs,
+        });
+    }
+
+    /// Appends a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The distinct miner labels appearing in the report, in first-seen
+    /// order (they become the column groups of the Markdown table).
+    pub fn miner_labels(&self) -> Vec<&'static str> {
+        let mut labels = Vec::new();
+        for row in &self.rows {
+            for run in &row.runs {
+                let label = run.miner.label();
+                if !labels.contains(&label) {
+                    labels.push(label);
+                }
+            }
+        }
+        labels
+    }
+
+    /// Renders the report as Markdown (title, dataset, expectation, one
+    /// table with a runtime and a pattern-count column per miner, notes).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "*Dataset:* {}", self.dataset);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "*Paper expectation:* {}", self.paper_expectation);
+        let _ = writeln!(out);
+        let labels = self.miner_labels();
+        let mut header = String::from("| parameter |");
+        let mut rule = String::from("|---|");
+        for label in &labels {
+            let _ = write!(header, " {label} runtime (s) | {label} #patterns |");
+            rule.push_str("---|---|");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let mut line = format!("| {} |", row.parameter);
+            for label in &labels {
+                match row.runs.iter().find(|r| r.miner.label() == *label) {
+                    Some(run) => {
+                        let patterns = if run.truncated {
+                            format!(">{} (cut off)", run.num_patterns)
+                        } else {
+                            run.num_patterns.to_string()
+                        };
+                        let _ = write!(line, " {:.3} | {} |", run.runtime_seconds, patterns);
+                    }
+                    None => {
+                        let _ = write!(line, " – | – |");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+            for note in &self.notes {
+                let _ = writeln!(out, "* {note}");
+            }
+        }
+        out
+    }
+
+    /// Renders the report as CSV (`parameter,miner,min_sup,runtime_seconds,
+    /// num_patterns,truncated`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("parameter,miner,min_sup,runtime_seconds,num_patterns,truncated\n");
+        for row in &self.rows {
+            for run in &row.runs {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{:.6},{},{}",
+                    row.parameter,
+                    run.miner.label(),
+                    run.min_sup,
+                    run.runtime_seconds,
+                    run.num_patterns,
+                    run.truncated
+                );
+            }
+        }
+        out
+    }
+
+    /// Writes the Markdown, CSV and JSON renderings of the report into
+    /// `dir`, named after the experiment id.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::MinerKind;
+
+    fn sample_report() -> ExperimentReport {
+        let mut report = ExperimentReport::new("figX", "demo", "toy dataset", "closed << all");
+        report.push_row(
+            "min_sup=2",
+            vec![
+                RunRecord {
+                    miner: MinerKind::GsGrow,
+                    min_sup: 2,
+                    runtime_seconds: 0.5,
+                    num_patterns: 100,
+                    truncated: false,
+                },
+                RunRecord {
+                    miner: MinerKind::CloGsGrow,
+                    min_sup: 2,
+                    runtime_seconds: 0.1,
+                    num_patterns: 10,
+                    truncated: false,
+                },
+            ],
+        );
+        report.push_note("closed is 10x smaller");
+        report
+    }
+
+    #[test]
+    fn markdown_contains_all_columns_and_notes() {
+        let md = sample_report().to_markdown();
+        assert!(md.contains("## figX — demo"));
+        assert!(md.contains("All (GSgrow) runtime (s)"));
+        assert!(md.contains("Closed (CloGSgrow) #patterns"));
+        assert!(md.contains("| min_sup=2 |"));
+        assert!(md.contains("closed is 10x smaller"));
+    }
+
+    #[test]
+    fn truncated_runs_are_marked_as_cut_off() {
+        let mut report = sample_report();
+        report.rows[0].runs[0].truncated = true;
+        let md = report.to_markdown();
+        assert!(md.contains("cut off"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_run_plus_header() {
+        let csv = sample_report().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("parameter,miner"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn write_to_dir_creates_three_files() {
+        let dir = std::env::temp_dir().join("rgs_bench_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample_report().write_to_dir(&dir).unwrap();
+        assert!(dir.join("figX.md").exists());
+        assert!(dir.join("figX.csv").exists());
+        assert!(dir.join("figX.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_miner_cells_render_as_dashes() {
+        let mut report = sample_report();
+        report.push_row(
+            "min_sup=1",
+            vec![RunRecord {
+                miner: MinerKind::CloGsGrow,
+                min_sup: 1,
+                runtime_seconds: 0.2,
+                num_patterns: 20,
+                truncated: false,
+            }],
+        );
+        let md = report.to_markdown();
+        assert!(md.contains("| min_sup=1 | – | – | 0.200 | 20 |"));
+    }
+}

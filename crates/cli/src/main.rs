@@ -1,0 +1,230 @@
+//! `rgs-mine` — command-line miner for (closed) repetitive gapped
+//! subsequences.
+//!
+//! ```text
+//! rgs-mine --input FILE [--format tokens|spmf|chars] --min-sup K
+//!          [--closed] [--all] [--max-len L] [--max-patterns N]
+//!          [--top T] [--density R] [--maximal]
+//! rgs-mine --demo [--min-sup K] [--closed]
+//! ```
+//!
+//! The miner loads a sequence database from a text file (one sequence per
+//! line), runs GSgrow or CloGSgrow, optionally post-processes the result
+//! (density + maximality filters, as in the paper's case study) and prints
+//! the top patterns with their repetitive supports.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rgs_core::{mine_all, mine_closed, postprocess, MiningConfig, PostProcessConfig};
+use seqdb::{io as seqio, SequenceDatabase};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+struct Options {
+    input: Option<PathBuf>,
+    format: Format,
+    min_sup: u64,
+    closed: bool,
+    max_len: Option<usize>,
+    max_patterns: Option<usize>,
+    top: usize,
+    density: Option<f64>,
+    maximal: bool,
+    demo: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Tokens,
+    Spmf,
+    Chars,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            input: None,
+            format: Format::Tokens,
+            min_sup: 2,
+            closed: true,
+            max_len: None,
+            max_patterns: None,
+            top: 20,
+            density: None,
+            maximal: false,
+            demo: false,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let db = if options.demo {
+        // The running example of the paper (Table III).
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    } else {
+        let Some(path) = &options.input else {
+            eprintln!("error: --input FILE or --demo is required");
+            print_usage();
+            return ExitCode::FAILURE;
+        };
+        let loaded = match options.format {
+            Format::Tokens => seqio::read_tokens_file(path),
+            Format::Spmf => seqio::read_spmf_file(path),
+            Format::Chars => seqio::read_chars_file(path),
+        };
+        match loaded {
+            Ok(db) => db,
+            Err(err) => {
+                eprintln!("error: cannot read {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    eprintln!("# dataset: {}", db.stats().summary());
+
+    let mut config = MiningConfig::new(options.min_sup);
+    if let Some(len) = options.max_len {
+        config = config.with_max_pattern_length(len);
+    }
+    if let Some(cap) = options.max_patterns {
+        config = config.with_max_patterns(cap);
+    }
+
+    let mut outcome = if options.closed {
+        mine_closed(&db, &config)
+    } else {
+        mine_all(&db, &config)
+    };
+    eprintln!(
+        "# {} {} patterns mined in {:.3}s (visited {} nodes{})",
+        outcome.len(),
+        if options.closed { "closed" } else { "frequent" },
+        outcome.stats.elapsed_seconds,
+        outcome.stats.visited,
+        if outcome.truncated { ", TRUNCATED" } else { "" },
+    );
+
+    let patterns = if options.density.is_some() || options.maximal {
+        let pp = PostProcessConfig {
+            min_density: options.density.unwrap_or(0.0),
+            maximal_only: options.maximal,
+            rank_by_length: true,
+        };
+        postprocess(&outcome.patterns, &pp)
+    } else {
+        outcome.sort_for_report();
+        outcome.patterns.clone()
+    };
+
+    for mined in patterns.iter().take(options.top) {
+        println!(
+            "{}\tsup={}\tlen={}",
+            mined.pattern.render_with(db.catalog(), " "),
+            mined.support,
+            mined.pattern.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut options = Options::default();
+    let mut explicit_all = false;
+    let mut explicit_closed = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let next_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print_usage();
+                return Ok(None);
+            }
+            "--input" | "-i" => options.input = Some(PathBuf::from(next_value(&mut i)?)),
+            "--format" | "-f" => {
+                options.format = match next_value(&mut i)?.as_str() {
+                    "tokens" => Format::Tokens,
+                    "spmf" => Format::Spmf,
+                    "chars" => Format::Chars,
+                    other => return Err(format!("unknown format '{other}'")),
+                }
+            }
+            "--min-sup" | "-s" => {
+                options.min_sup = next_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "min-sup must be an integer".to_owned())?
+            }
+            "--closed" => {
+                options.closed = true;
+                explicit_closed = true;
+            }
+            "--all" => {
+                options.closed = false;
+                explicit_all = true;
+            }
+            "--max-len" => {
+                options.max_len = Some(
+                    next_value(&mut i)?
+                        .parse()
+                        .map_err(|_| "max-len must be an integer".to_owned())?,
+                )
+            }
+            "--max-patterns" => {
+                options.max_patterns = Some(
+                    next_value(&mut i)?
+                        .parse()
+                        .map_err(|_| "max-patterns must be an integer".to_owned())?,
+                )
+            }
+            "--top" => {
+                options.top = next_value(&mut i)?
+                    .parse()
+                    .map_err(|_| "top must be an integer".to_owned())?
+            }
+            "--density" => {
+                options.density = Some(
+                    next_value(&mut i)?
+                        .parse()
+                        .map_err(|_| "density must be a number".to_owned())?,
+                )
+            }
+            "--maximal" => options.maximal = true,
+            "--demo" => options.demo = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if explicit_all && explicit_closed {
+        return Err("--all and --closed are mutually exclusive".to_owned());
+    }
+    Ok(Some(options))
+}
+
+fn print_usage() {
+    println!(
+        "rgs-mine: mine (closed) repetitive gapped subsequences\n\
+         \n\
+         usage:\n\
+           rgs-mine --input FILE [--format tokens|spmf|chars] --min-sup K [--closed|--all]\n\
+                    [--max-len L] [--max-patterns N] [--top T] [--density R] [--maximal]\n\
+           rgs-mine --demo [--min-sup K]\n"
+    );
+}

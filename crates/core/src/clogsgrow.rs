@@ -1,0 +1,304 @@
+//! CloGSgrow (Algorithm 4): depth-first mining of **closed** frequent
+//! repetitive gapped subsequences.
+//!
+//! The DFS is the same as GSgrow's, with two additions per visited pattern
+//! `P` (Algorithm 4, lines 6–7):
+//!
+//! * **landmark border checking** (`LBCheck`, Theorem 5) — if it says
+//!   *prune*, neither `P` nor any pattern with prefix `P` can be closed, so
+//!   the whole subtree is skipped;
+//! * **closure checking** (`CCheck`, Theorem 4) — `P` is emitted only when
+//!   no extension of `P` has equal support.
+
+use std::time::Instant;
+
+use seqdb::{EventId, SequenceDatabase};
+
+use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::config::MiningConfig;
+use crate::growth::SupportComputer;
+use crate::gsgrow::frequent_events;
+use crate::pattern::Pattern;
+use crate::result::{MinedPattern, MiningOutcome};
+use crate::support::SupportSet;
+
+/// Mines the closed frequent repetitive gapped subsequences of `db` with
+/// respect to `config.min_sup` (Algorithm 4, CloGSgrow).
+pub fn mine_closed(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
+    let start = Instant::now();
+    let sc = SupportComputer::new(db);
+    let min_sup = config.effective_min_sup();
+    let events = frequent_events(&sc, db, min_sup);
+    let checker = ClosureChecker::new(&sc, &events);
+    let mut miner = CloGsGrow {
+        sc: &sc,
+        config,
+        min_sup,
+        frequent_events: events.clone(),
+        checker,
+        outcome: MiningOutcome::default(),
+    };
+    miner.run();
+    let mut outcome = miner.outcome;
+    outcome.stats.set_elapsed(start.elapsed());
+    outcome
+}
+
+struct CloGsGrow<'a, 'b> {
+    sc: &'a SupportComputer<'b>,
+    config: &'a MiningConfig,
+    min_sup: u64,
+    frequent_events: Vec<EventId>,
+    checker: ClosureChecker<'a, 'b>,
+    outcome: MiningOutcome,
+}
+
+impl CloGsGrow<'_, '_> {
+    fn run(&mut self) {
+        let events = self.frequent_events.clone();
+        for &event in &events {
+            if self.outcome.truncated {
+                break;
+            }
+            let support = self.sc.initial_support_set(event);
+            if support.support() >= self.min_sup {
+                let mut stack = vec![support];
+                self.mine(Pattern::single(event), &mut stack);
+                debug_assert_eq!(stack.len(), 1);
+            }
+        }
+    }
+
+    /// Visits pattern `P` whose prefix support sets (including `P`'s own)
+    /// are on `stack`.
+    fn mine(&mut self, pattern: Pattern, stack: &mut Vec<SupportSet>) {
+        self.outcome.stats.visited += 1;
+        let support = stack.last().expect("stack holds P's support set").support();
+
+        // Compute the append children first: they are needed both for the
+        // closed/non-closed verdict (Theorem 4 covers append extensions) and
+        // for the recursion.
+        let mut children: Vec<(EventId, SupportSet)> = Vec::new();
+        let mut append_equal = false;
+        if self.config.allows_growth(pattern.len()) || !self.frequent_events.is_empty() {
+            for &event in &self.frequent_events {
+                self.outcome.stats.instance_growths += 1;
+                let grown = self
+                    .sc
+                    .instance_growth(stack.last().expect("support set"), event);
+                if grown.support() == support {
+                    append_equal = true;
+                }
+                if grown.support() >= self.min_sup {
+                    children.push((event, grown));
+                }
+            }
+        }
+
+        match self.checker.check(&pattern, stack, append_equal) {
+            ClosureStatus::Prune if self.config.use_landmark_pruning => {
+                self.outcome.stats.landmark_border_prunes += 1;
+                return;
+            }
+            // Ablation mode (Theorem 5 disabled): a prunable pattern is
+            // still non-closed, so it is suppressed from the output but its
+            // subtree is explored like any other non-closed pattern.
+            ClosureStatus::Prune | ClosureStatus::NonClosed => {
+                self.outcome.stats.non_closed_filtered += 1;
+            }
+            ClosureStatus::Closed => {
+                self.emit(&pattern, stack.last().expect("support set"));
+            }
+        }
+
+        if self.outcome.truncated || !self.config.allows_growth(pattern.len()) {
+            return;
+        }
+        for (event, grown) in children {
+            if self.outcome.truncated {
+                return;
+            }
+            stack.push(grown);
+            self.mine(pattern.grow(event), stack);
+            stack.pop();
+        }
+    }
+
+    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) {
+        let mut mined = MinedPattern::new(pattern.clone(), support.support());
+        if self.config.keep_support_sets {
+            mined.support_set = Some(support.clone());
+        }
+        self.outcome.patterns.push(mined);
+        if let Some(cap) = self.config.max_patterns {
+            if self.outcome.patterns.len() >= cap {
+                self.outcome.truncated = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsgrow::mine_all;
+    use crate::reference::{closed_subset, pattern_set};
+
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    fn simple_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"])
+    }
+
+    #[test]
+    fn closed_set_equals_reference_filter_of_all_patterns_table_iii() {
+        let db = running_example();
+        for min_sup in [2, 3, 4, 5] {
+            let all = mine_all(&db, &MiningConfig::new(min_sup));
+            let expected = closed_subset(&all.patterns);
+            let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+            assert_eq!(
+                pattern_set(&closed.patterns),
+                pattern_set(&expected),
+                "min_sup = {min_sup}"
+            );
+            for mp in &expected {
+                assert_eq!(closed.support_of(&mp.pattern), Some(mp.support));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_set_equals_reference_filter_on_table_ii() {
+        let db = simple_example();
+        for min_sup in [2, 3, 4] {
+            let all = mine_all(&db, &MiningConfig::new(min_sup));
+            let expected = closed_subset(&all.patterns);
+            let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+            assert_eq!(
+                pattern_set(&closed.patterns),
+                pattern_set(&expected),
+                "min_sup = {min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn ab_is_not_reported_but_abd_is() {
+        // Example 3.5/3.6 with min_sup = 3.
+        let db = running_example();
+        let closed = mine_closed(&db, &MiningConfig::new(3));
+        let ab = Pattern::new(db.pattern_from_str("AB").unwrap());
+        let abd = Pattern::new(db.pattern_from_str("ABD").unwrap());
+        let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
+        let aad = Pattern::new(db.pattern_from_str("AAD").unwrap());
+        assert!(!closed.contains(&ab), "AB has the equal-support extension ACB");
+        assert!(closed.contains(&abd), "ABD is closed");
+        assert!(!closed.contains(&aa), "AA is pruned by landmark border checking");
+        assert!(!closed.contains(&aad), "AAD is not closed (ACAD has equal support)");
+    }
+
+    #[test]
+    fn landmark_border_pruning_fires_on_the_running_example() {
+        let db = running_example();
+        let closed = mine_closed(&db, &MiningConfig::new(3));
+        assert!(closed.stats.landmark_border_prunes > 0);
+        // Pruning must visit no more nodes than plain GSgrow.
+        let all = mine_all(&db, &MiningConfig::new(3));
+        assert!(closed.stats.visited <= all.stats.visited);
+    }
+
+    #[test]
+    fn closed_output_is_never_larger_than_all_output() {
+        for rows in [
+            vec!["ABCABCA", "AABBCCC"],
+            vec!["ABCACBDDB", "ACDBACADD"],
+            vec!["AABCDABB", "ABCD"],
+            vec!["ABABABAB", "BABA", "AABB"],
+        ] {
+            let db = SequenceDatabase::from_str_rows(&rows);
+            for min_sup in [1, 2, 3] {
+                let all = mine_all(&db, &MiningConfig::new(min_sup));
+                let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+                assert!(closed.len() <= all.len(), "rows {rows:?} min_sup {min_sup}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_frequent_pattern_has_a_closed_superpattern_with_equal_support() {
+        // The compactness guarantee that makes the closed set a lossless
+        // representation (Lemma 2).
+        let db = running_example();
+        let min_sup = 2;
+        let all = mine_all(&db, &MiningConfig::new(min_sup));
+        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        for mp in &all.patterns {
+            let covered = closed.patterns.iter().any(|cp| {
+                cp.support == mp.support
+                    && (cp.pattern == mp.pattern || mp.pattern.is_subpattern_of(&cp.pattern))
+            });
+            assert!(covered, "{:?} (sup {}) not covered", mp.pattern, mp.support);
+        }
+    }
+
+    #[test]
+    fn ablation_without_landmark_pruning_yields_identical_patterns() {
+        // Theorem 5 only prunes search; the mined closed set is unchanged,
+        // but more DFS nodes are visited without it.
+        for rows in [
+            vec!["ABCACBDDB", "ACDBACADD"],
+            vec!["ABCABCA", "AABBCCC"],
+            vec!["ABABABAB", "BABA", "AABB"],
+        ] {
+            let db = SequenceDatabase::from_str_rows(&rows);
+            for min_sup in [2, 3] {
+                let pruned = mine_closed(&db, &MiningConfig::new(min_sup));
+                let unpruned =
+                    mine_closed(&db, &MiningConfig::new(min_sup).without_landmark_pruning());
+                assert_eq!(
+                    crate::reference::pattern_set(&pruned.patterns),
+                    crate::reference::pattern_set(&unpruned.patterns),
+                    "rows {rows:?} min_sup {min_sup}"
+                );
+                assert!(unpruned.stats.visited >= pruned.stats.visited);
+                assert_eq!(unpruned.stats.landmark_border_prunes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn max_patterns_truncates_closed_mining_too() {
+        let db = running_example();
+        let closed = mine_closed(&db, &MiningConfig::new(1).with_max_patterns(3));
+        assert!(closed.truncated);
+        assert_eq!(closed.len(), 3);
+    }
+
+    #[test]
+    fn empty_database_yields_empty_closed_result() {
+        let db = SequenceDatabase::new();
+        let closed = mine_closed(&db, &MiningConfig::new(1));
+        assert!(closed.is_empty());
+    }
+
+    #[test]
+    fn single_sequence_of_repeats_reports_the_long_closed_pattern() {
+        // In AAAA, instances of AA may share positions at *different*
+        // pattern indices (Definition 2.3), so <1,2>, <2,3>, <3,4> are
+        // pairwise non-overlapping: sup(A) = 4, sup(AA) = 3, sup(AAA) = 2,
+        // sup(AAAA) = 1. With min_sup = 2 all of A, AA, AAA are closed
+        // (each super-pattern has strictly smaller support).
+        let db = SequenceDatabase::from_str_rows(&["AAAA"]);
+        let closed = mine_closed(&db, &MiningConfig::new(2));
+        let a = Pattern::new(db.pattern_from_str("A").unwrap());
+        let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
+        let aaa = Pattern::new(db.pattern_from_str("AAA").unwrap());
+        assert_eq!(closed.support_of(&a), Some(4));
+        assert_eq!(closed.support_of(&aa), Some(3));
+        assert_eq!(closed.support_of(&aaa), Some(2));
+        assert_eq!(closed.len(), 3);
+    }
+}

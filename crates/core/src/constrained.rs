@@ -1,0 +1,595 @@
+//! Gap-constrained repetitive mining (the paper's future-work direction).
+//!
+//! This module extends instance growth (Algorithm 2), `supComp`
+//! (Algorithm 1), and the two miners to honour [`GapConstraints`]: bounds on
+//! the gap between successive pattern events and on the total window an
+//! instance may span. The concluding section of the paper names this
+//! extension explicitly ("mining approximate repetitive patterns with gap
+//! constraints, which is useful for mining subsequences from long sequences
+//! of DNA, protein, and text data").
+//!
+//! # Semantics
+//!
+//! The *constrained repetitive support* `sup_C(P)` computed here is the size
+//! of the instance set produced by constrained leftmost instance growth:
+//! instances are extended greedily in right-shift order, and an extension is
+//! admissible only if the new landmark position respects the `min_gap`,
+//! `max_gap`, and `max_window` bounds relative to the instance being grown.
+//!
+//! Key properties (all exercised by the tests below):
+//!
+//! * With [`GapConstraints::unbounded`] every function of this module agrees
+//!   exactly with the unconstrained algorithms (`sup_C = sup`).
+//! * `sup_C` is **prefix anti-monotone**: dropping trailing events of a
+//!   pattern never decreases the value, because every grown instance of
+//!   `P ◦ e` extends an instance of `P`. This is what the depth-first search
+//!   needs for completeness, so [`mine_all_constrained`] enumerates *every*
+//!   pattern whose constrained support reaches `min_sup`.
+//! * `sup_C` is **not** anti-monotone under arbitrary super-patterns: with a
+//!   `max_gap`, inserting an event can *increase* the support (the classic
+//!   example is contiguous matching, `max_gap = 0`, where `ABC` may occur
+//!   often while `AC` never occurs contiguously). Consequently the landmark
+//!   border pruning of Theorem 5 is not sound under constraints and
+//!   [`mine_closed_constrained`] instead filters the complete frequent set —
+//!   a pattern is reported iff no frequent super-pattern has the same
+//!   constrained support.
+//! * `sup_C(P) ≤ sup(P)`: constraining can only remove admissible instances.
+//!
+//! The greedy value is exactly the paper's maximum-non-overlapping count in
+//! the unconstrained case (Lemma 4); under constraints it is the natural
+//! operational extension of the same greedy and a lower bound on the true
+//! maximum. [`crate::reference::max_non_overlapping_constrained`] provides a
+//! brute-force exact maximum for small inputs, used by the property tests.
+
+use std::time::Instant;
+
+use seqdb::{EventId, SequenceDatabase};
+
+use crate::config::MiningConfig;
+use crate::constraints::GapConstraints;
+use crate::growth::SupportComputer;
+use crate::instance::{Instance, Landmark};
+use crate::pattern::Pattern;
+use crate::reference::closed_subset;
+use crate::result::{MinedPattern, MiningOutcome};
+use crate::support::SupportSet;
+
+/// A [`SupportComputer`] paired with gap/window constraints.
+///
+/// All queries on this type interpret supports as *constrained* repetitive
+/// supports (`sup_C`, see the module documentation).
+#[derive(Debug)]
+pub struct ConstrainedSupportComputer<'a> {
+    sc: SupportComputer<'a>,
+    constraints: GapConstraints,
+}
+
+impl<'a> ConstrainedSupportComputer<'a> {
+    /// Builds the inverted index for `db` and attaches `constraints`.
+    pub fn new(db: &'a SequenceDatabase, constraints: GapConstraints) -> Self {
+        Self {
+            sc: SupportComputer::new(db),
+            constraints,
+        }
+    }
+
+    /// The constraints this computer applies.
+    pub fn constraints(&self) -> &GapConstraints {
+        &self.constraints
+    }
+
+    /// The underlying unconstrained support computer.
+    pub fn inner(&self) -> &SupportComputer<'a> {
+        &self.sc
+    }
+
+    /// The constrained leftmost support set of the single-event pattern
+    /// `event` (constraints never restrict single events).
+    pub fn initial_support_set(&self, event: EventId) -> SupportSet {
+        self.sc.initial_support_set(event)
+    }
+
+    /// Constrained instance growth: extends `support` (a constrained
+    /// leftmost support set of some pattern `P`) into one of `P ◦ event`,
+    /// admitting only extensions that satisfy the gap and window bounds.
+    pub fn instance_growth(&self, support: &SupportSet, event: EventId) -> SupportSet {
+        let mut grown = SupportSet::new();
+        for (seq, instances) in support.per_sequence() {
+            let mut last_position = 0u32;
+            for instance in instances {
+                let lowest = last_position.max(self.constraints.lowest_exclusive(instance.last));
+                let highest = self
+                    .constraints
+                    .highest_inclusive(instance.first, instance.last);
+                match self.sc.index().next(seq, event, lowest) {
+                    Some(pos) if pos <= highest => {
+                        last_position = pos;
+                        grown.push(Instance::new(instance.seq, instance.first, pos));
+                    }
+                    // The next occurrence exists but violates a constraint:
+                    // this instance cannot be extended, but instances ending
+                    // further right might still be, so keep scanning.
+                    Some(_) => continue,
+                    // No occurrence of `event` remains in this sequence at
+                    // all: later instances end even further right, so stop.
+                    None => break,
+                }
+            }
+        }
+        grown
+    }
+
+    /// Constrained `supComp`: the constrained leftmost support set of an
+    /// arbitrary pattern.
+    pub fn support_set(&self, pattern: &Pattern) -> SupportSet {
+        let events = pattern.events();
+        let Some((&first, rest)) = events.split_first() else {
+            return SupportSet::new();
+        };
+        let mut support = self.initial_support_set(first);
+        for &event in rest {
+            if support.is_empty() {
+                return support;
+            }
+            support = self.instance_growth(&support, event);
+        }
+        support
+    }
+
+    /// The constrained repetitive support `sup_C(P)`.
+    pub fn support(&self, pattern: &Pattern) -> u64 {
+        self.support_set(pattern).support()
+    }
+
+    /// The full landmarks of the constrained leftmost support set, obtained
+    /// by replaying the constrained greedy with complete position lists.
+    pub fn support_landmarks(&self, pattern: &Pattern) -> Vec<Landmark> {
+        let events = pattern.events();
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let db = self.sc.database();
+        let index = self.sc.index();
+        let mut landmarks = Vec::new();
+        for seq in 0..db.num_sequences() {
+            let first_positions = match index.event_positions(seq, events[0]) {
+                Some(p) if !p.is_empty() => p,
+                _ => continue,
+            };
+            let mut current: Vec<Vec<u32>> = first_positions.iter().map(|&p| vec![p]).collect();
+            for &event in &events[1..] {
+                let mut grown: Vec<Vec<u32>> = Vec::with_capacity(current.len());
+                let mut last_position = 0u32;
+                let mut exhausted = false;
+                for landmark in &current {
+                    let first = landmark[0];
+                    let prev = *landmark.last().expect("non-empty landmark");
+                    let lowest = last_position.max(self.constraints.lowest_exclusive(prev));
+                    let highest = self.constraints.highest_inclusive(first, prev);
+                    match index.next(seq, event, lowest) {
+                        Some(pos) if pos <= highest => {
+                            last_position = pos;
+                            let mut extended = landmark.clone();
+                            extended.push(pos);
+                            grown.push(extended);
+                        }
+                        Some(_) => continue,
+                        None => {
+                            exhausted = true;
+                            break;
+                        }
+                    }
+                }
+                let _ = exhausted;
+                current = grown;
+                if current.is_empty() {
+                    break;
+                }
+            }
+            landmarks.extend(
+                current
+                    .into_iter()
+                    .map(|positions| Landmark::new(seq, positions)),
+            );
+        }
+        landmarks
+    }
+}
+
+/// Convenience wrapper: the constrained repetitive support of a pattern
+/// given as raw event ids, building a temporary index.
+pub fn constrained_support(
+    db: &SequenceDatabase,
+    pattern: &[EventId],
+    constraints: GapConstraints,
+) -> u64 {
+    ConstrainedSupportComputer::new(db, constraints).support(&Pattern::new(pattern.to_vec()))
+}
+
+/// Mines **all** patterns whose constrained repetitive support reaches
+/// `config.min_sup` under `constraints` (constrained GSgrow).
+///
+/// With [`GapConstraints::unbounded`] the result is identical to
+/// [`crate::mine_all`].
+pub fn mine_all_constrained(
+    db: &SequenceDatabase,
+    config: &MiningConfig,
+    constraints: GapConstraints,
+) -> MiningOutcome {
+    let start = Instant::now();
+    let csc = ConstrainedSupportComputer::new(db, constraints);
+    let min_sup = config.effective_min_sup();
+    let frequent_events: Vec<EventId> = db
+        .catalog()
+        .ids()
+        .filter(|&e| csc.inner().index().total_count(e) as u64 >= min_sup)
+        .collect();
+    let mut miner = ConstrainedMiner {
+        csc: &csc,
+        config,
+        min_sup,
+        frequent_events,
+        outcome: MiningOutcome::default(),
+    };
+    miner.run();
+    let mut outcome = miner.outcome;
+    outcome.stats.set_elapsed(start.elapsed());
+    outcome
+}
+
+/// Mines the **closed** constrained-frequent patterns: the subset of
+/// [`mine_all_constrained`]'s output with no frequent super-pattern of equal
+/// constrained support.
+///
+/// Because constrained support is not anti-monotone under arbitrary
+/// super-patterns (see the module documentation), the landmark border
+/// pruning of Theorem 5 cannot be applied here; closedness is determined by
+/// filtering the complete frequent set, which is sound because prefix
+/// anti-monotonicity guarantees the frequent set is complete.
+pub fn mine_closed_constrained(
+    db: &SequenceDatabase,
+    config: &MiningConfig,
+    constraints: GapConstraints,
+) -> MiningOutcome {
+    let start = Instant::now();
+    let mut outcome = mine_all_constrained(db, config, constraints);
+    outcome.patterns = closed_subset(&outcome.patterns);
+    outcome.stats.set_elapsed(start.elapsed());
+    outcome
+}
+
+struct ConstrainedMiner<'a, 'b> {
+    csc: &'a ConstrainedSupportComputer<'b>,
+    config: &'a MiningConfig,
+    min_sup: u64,
+    frequent_events: Vec<EventId>,
+    outcome: MiningOutcome,
+}
+
+impl ConstrainedMiner<'_, '_> {
+    fn run(&mut self) {
+        let events = self.frequent_events.clone();
+        for &event in &events {
+            if self.outcome.truncated {
+                break;
+            }
+            let support = self.csc.initial_support_set(event);
+            if support.support() >= self.min_sup {
+                self.mine(Pattern::single(event), support);
+            }
+        }
+    }
+
+    fn mine(&mut self, pattern: Pattern, support: SupportSet) {
+        self.outcome.stats.visited += 1;
+        self.emit(&pattern, &support);
+        if self.outcome.truncated || !self.config.allows_growth(pattern.len()) {
+            return;
+        }
+        let events = self.frequent_events.clone();
+        for &event in &events {
+            if self.outcome.truncated {
+                return;
+            }
+            self.outcome.stats.instance_growths += 1;
+            let grown = self.csc.instance_growth(&support, event);
+            if grown.support() >= self.min_sup {
+                self.mine(pattern.grow(event), grown);
+            }
+        }
+    }
+
+    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) {
+        let mut mined = MinedPattern::new(pattern.clone(), support.support());
+        if self.config.keep_support_sets {
+            mined.support_set = Some(support.clone());
+        }
+        self.outcome.patterns.push(mined);
+        if let Some(cap) = self.config.max_patterns {
+            if self.outcome.patterns.len() >= cap {
+                self.outcome.truncated = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsgrow::mine_all;
+    use crate::reference::pattern_set;
+    use crate::support::{are_valid_instances, is_non_redundant};
+
+    /// Table III: S1 = ABCACBDDB, S2 = ACDBACADD.
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    fn pattern(db: &SequenceDatabase, s: &str) -> Pattern {
+        Pattern::new(db.pattern_from_str(s).unwrap())
+    }
+
+    #[test]
+    fn unbounded_constraints_reproduce_the_unconstrained_supports() {
+        let db = running_example();
+        let csc = ConstrainedSupportComputer::new(&db, GapConstraints::unbounded());
+        let sc = SupportComputer::new(&db);
+        for s in ["A", "AB", "AC", "ACB", "ACA", "AAD", "ACAD", "DD", "BD"] {
+            let p = pattern(&db, s);
+            assert_eq!(csc.support(&p), sc.support(&p), "pattern {s}");
+            assert_eq!(csc.support_set(&p), sc.support_set(&p), "pattern {s}");
+        }
+    }
+
+    #[test]
+    fn max_gap_zero_requires_contiguous_instances() {
+        // S1 = ABCACBDDB: contiguous AB occurs once (positions 1,2);
+        // contiguous AC occurs once (4,5); DD occurs once (7,8).
+        let db = running_example();
+        let contiguous = GapConstraints::max_gap(0);
+        assert_eq!(
+            constrained_support(&db, &db.pattern_from_str("AB").unwrap(), contiguous),
+            1
+        );
+        assert_eq!(
+            constrained_support(&db, &db.pattern_from_str("DD").unwrap(), contiguous),
+            2 // S1: (7,8); S2: (8,9)
+        );
+    }
+
+    #[test]
+    fn contiguous_ac_support_counts_every_adjacent_occurrence() {
+        let db = running_example();
+        let contiguous = GapConstraints::max_gap(0);
+        let csc = ConstrainedSupportComputer::new(&db, contiguous);
+        // S1 = ABCACBDDB: "AC" adjacent at positions (4,5) only.
+        // S2 = ACDBACADD: "AC" adjacent at (1,2) and (5,6).
+        assert_eq!(csc.support(&pattern(&db, "AC")), 3);
+        let landmarks = csc.support_landmarks(&pattern(&db, "AC"));
+        assert_eq!(
+            landmarks,
+            vec![
+                Landmark::new(0, vec![4, 5]),
+                Landmark::new(1, vec![1, 2]),
+                Landmark::new(1, vec![5, 6]),
+            ]
+        );
+        assert!(is_non_redundant(&landmarks));
+        assert!(are_valid_instances(
+            &db,
+            &db.pattern_from_str("AC").unwrap(),
+            &landmarks
+        ));
+        for l in &landmarks {
+            assert!(contiguous.admits_landmark(&l.positions));
+        }
+    }
+
+    #[test]
+    fn max_window_limits_the_span_of_instances() {
+        let db = running_example();
+        // Unconstrained sup(ACB) = 3 with spans 6, 6, and 4.
+        let acb = db.pattern_from_str("ACB").unwrap();
+        assert_eq!(
+            constrained_support(&db, &acb, GapConstraints::unbounded()),
+            3
+        );
+        assert_eq!(
+            constrained_support(&db, &acb, GapConstraints::max_window(6)),
+            3
+        );
+        // A window of 4 admits only (1,<4,5,6>) in S1 (span 3) and
+        // (2,<1,2,4>) in S2 (span 4).
+        assert_eq!(
+            constrained_support(&db, &acb, GapConstraints::max_window(4)),
+            2
+        );
+        // A window of 2 cannot hold a 3-event pattern at all.
+        assert_eq!(
+            constrained_support(&db, &acb, GapConstraints::max_window(2)),
+            0
+        );
+    }
+
+    #[test]
+    fn min_gap_excludes_adjacent_matches() {
+        let db = SequenceDatabase::from_str_rows(&["ABAB"]);
+        let ab = db.pattern_from_str("AB").unwrap();
+        assert_eq!(constrained_support(&db, &ab, GapConstraints::unbounded()), 2);
+        // Requiring at least one event between A and B leaves only A@1,B@4.
+        let spaced = GapConstraints::unbounded().with_min_gap(1);
+        assert_eq!(constrained_support(&db, &ab, spaced), 1);
+        // Requiring at least three events between them leaves nothing.
+        let wide = GapConstraints::unbounded().with_min_gap(3);
+        assert_eq!(constrained_support(&db, &ab, wide), 0);
+    }
+
+    #[test]
+    fn constrained_support_never_exceeds_the_unconstrained_support() {
+        let db = running_example();
+        let sc = SupportComputer::new(&db);
+        let cases = [
+            GapConstraints::max_gap(0),
+            GapConstraints::max_gap(1),
+            GapConstraints::max_gap(3),
+            GapConstraints::max_window(3),
+            GapConstraints::max_window(5),
+            GapConstraints::gap_range(1, 4),
+        ];
+        for s in ["AB", "AC", "ACB", "ACA", "AAD", "AD", "CD", "DD"] {
+            let p = pattern(&db, s);
+            let unconstrained = sc.support(&p);
+            for c in cases {
+                assert!(
+                    constrained_support(&db, p.events(), c) <= unconstrained,
+                    "pattern {s} under {}",
+                    c.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_anti_monotonicity_holds_under_constraints() {
+        let db = running_example();
+        let cases = [
+            GapConstraints::max_gap(1),
+            GapConstraints::max_window(5),
+            GapConstraints::gap_range(1, 3),
+        ];
+        for c in cases {
+            let csc = ConstrainedSupportComputer::new(&db, c);
+            for s in ["ACB", "ACAD", "ABDD", "AAD"] {
+                let p = pattern(&db, s);
+                let mut prev = u64::MAX;
+                for len in 1..=p.len() {
+                    let sup = csc.support(&p.prefix(len));
+                    assert!(
+                        sup <= prev,
+                        "constrained support must not increase along prefixes ({s}, {})",
+                        c.describe()
+                    );
+                    prev = sup;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_miner_with_unbounded_constraints_equals_gsgrow() {
+        let db = running_example();
+        for min_sup in [2, 3] {
+            let config = MiningConfig::new(min_sup);
+            let plain = mine_all(&db, &config);
+            let constrained = mine_all_constrained(&db, &config, GapConstraints::unbounded());
+            assert_eq!(
+                pattern_set(&plain.patterns),
+                pattern_set(&constrained.patterns)
+            );
+        }
+    }
+
+    #[test]
+    fn constrained_mining_is_complete_for_its_own_support() {
+        // Every reported pattern has constrained support >= min_sup, and
+        // every pattern found by unconstrained mining whose constrained
+        // support reaches the threshold is reported.
+        let db = running_example();
+        let config = MiningConfig::new(2);
+        let constraints = GapConstraints::max_gap(2);
+        let mined = mine_all_constrained(&db, &config, constraints);
+        for mp in &mined.patterns {
+            assert!(mp.support >= 2);
+            assert_eq!(
+                mp.support,
+                constrained_support(&db, mp.pattern.events(), constraints)
+            );
+        }
+        let unconstrained = mine_all(&db, &MiningConfig::new(1));
+        for mp in &unconstrained.patterns {
+            let csup = constrained_support(&db, mp.pattern.events(), constraints);
+            if csup >= 2 {
+                assert!(
+                    mined.contains(&mp.pattern),
+                    "missing {:?} with constrained support {}",
+                    mp.pattern,
+                    csup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_constrained_patterns_are_a_closed_subset() {
+        let db = running_example();
+        let config = MiningConfig::new(2);
+        let constraints = GapConstraints::max_gap(3);
+        let all = mine_all_constrained(&db, &config, constraints);
+        let closed = mine_closed_constrained(&db, &config, constraints);
+        assert!(!closed.is_empty());
+        assert!(closed.len() <= all.len());
+        // No closed pattern has a frequent super-pattern of equal support.
+        for c in &closed.patterns {
+            for other in &all.patterns {
+                if other.pattern.is_proper_superpattern_of(&c.pattern) {
+                    assert_ne!(
+                        other.support, c.support,
+                        "{:?} is not closed: {:?} has equal support",
+                        c.pattern, other.pattern
+                    );
+                }
+            }
+        }
+        // Every frequent pattern has a closed super-pattern (or itself) with
+        // the same support in the closed result.
+        for mp in &all.patterns {
+            assert!(
+                closed.patterns.iter().any(|c| c.support == mp.support
+                    && (c.pattern == mp.pattern
+                        || c.pattern.is_proper_superpattern_of(&mp.pattern))),
+                "no closed representative for {:?}",
+                mp.pattern
+            );
+        }
+    }
+
+    #[test]
+    fn max_gap_can_make_a_super_pattern_more_frequent_than_its_sub_pattern() {
+        // Documents why Theorem 5 pruning is unsound under constraints:
+        // with contiguous matching, ABC occurs while AC does not.
+        let db = SequenceDatabase::from_str_rows(&["ABCABC"]);
+        let contiguous = GapConstraints::max_gap(0);
+        let ac = db.pattern_from_str("AC").unwrap();
+        let abc = db.pattern_from_str("ABC").unwrap();
+        assert_eq!(constrained_support(&db, &ac, contiguous), 0);
+        assert_eq!(constrained_support(&db, &abc, contiguous), 2);
+    }
+
+    #[test]
+    fn empty_database_and_empty_pattern_edge_cases() {
+        let db = SequenceDatabase::new();
+        let outcome = mine_all_constrained(&db, &MiningConfig::new(1), GapConstraints::max_gap(1));
+        assert!(outcome.is_empty());
+        let db2 = running_example();
+        let csc = ConstrainedSupportComputer::new(&db2, GapConstraints::max_gap(1));
+        assert_eq!(csc.support(&Pattern::empty()), 0);
+        assert!(csc.support_landmarks(&Pattern::empty()).is_empty());
+    }
+
+    #[test]
+    fn truncation_and_length_caps_are_respected() {
+        let db = running_example();
+        let config = MiningConfig::new(1)
+            .with_max_patterns(4)
+            .with_support_sets();
+        let mined = mine_all_constrained(&db, &config, GapConstraints::max_gap(2));
+        assert!(mined.truncated);
+        assert_eq!(mined.len(), 4);
+        for mp in &mined.patterns {
+            assert!(mp.support_set.is_some());
+        }
+        let capped = MiningConfig::new(1).with_max_pattern_length(2);
+        let short = mine_all_constrained(&db, &capped, GapConstraints::max_gap(2));
+        assert!(short.max_pattern_length() <= 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! # rgs-core — mining (closed) repetitive gapped subsequences
+//!
+//! This crate is a from-scratch Rust implementation of the algorithms of
+//! Ding, Lo, Han & Khoo, *"Efficient Mining of Closed Repetitive Gapped
+//! Subsequences from a Sequence Database"*, ICDE 2009:
+//!
+//! * the **repetitive support** measure — the maximum number of pairwise
+//!   non-overlapping instances of a gapped subsequence across *and within*
+//!   the sequences of a database (Definitions 2.2–2.5),
+//! * the **instance growth** operation `INSgrow` and the support computation
+//!   routine `supComp` (Algorithms 1 and 2),
+//! * **GSgrow** — depth-first mining of *all* frequent repetitive gapped
+//!   subsequences (Algorithm 3),
+//! * **CloGSgrow** — mining of *closed* frequent patterns using the *closure
+//!   checking* (Theorem 4) and *landmark border checking* (Theorem 5)
+//!   strategies (Algorithm 4),
+//! * the case-study **post-processing** pipeline of §IV-B (density filter,
+//!   maximality filter, ranking by length).
+//!
+//! Beyond the paper's two algorithms, the crate implements the extensions
+//! its conclusion sketches as future work:
+//!
+//! * [`constrained`] — gap/window-constrained mining (with the constraint
+//!   vocabulary in [`constraints`]), for long DNA/protein/text sequences,
+//! * [`topk`] — top-k (closed) mining with a dynamically raised threshold,
+//! * [`maximal`] — maximal frequent patterns, the subsumption frontier of
+//!   the closed set.
+//!
+//! # Quick start
+//!
+//! ```
+//! use seqdb::SequenceDatabase;
+//! use rgs_core::{MiningConfig, mine_all, mine_closed, repetitive_support};
+//!
+//! // Example 1.1 of the paper.
+//! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+//!
+//! // Repetitive support counts repetitions within sequences, too:
+//! let ab = db.pattern_from_str("AB").unwrap();
+//! let cd = db.pattern_from_str("CD").unwrap();
+//! assert_eq!(repetitive_support(&db, &ab), 4);
+//! assert_eq!(repetitive_support(&db, &cd), 2);
+//!
+//! // Mine every frequent pattern with support >= 2, and the closed subset.
+//! let all = mine_all(&db, &MiningConfig::new(2));
+//! let closed = mine_closed(&db, &MiningConfig::new(2));
+//! assert!(closed.patterns.len() <= all.patterns.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod clogsgrow;
+pub mod config;
+pub mod constrained;
+pub mod constraints;
+pub mod growth;
+pub mod gsgrow;
+pub mod instance;
+pub mod maximal;
+pub mod pattern;
+pub mod postprocess;
+pub mod reference;
+pub mod result;
+pub mod support;
+pub mod topk;
+
+pub use clogsgrow::mine_closed;
+pub use config::MiningConfig;
+pub use constrained::{
+    constrained_support, mine_all_constrained, mine_closed_constrained,
+    ConstrainedSupportComputer,
+};
+pub use constraints::GapConstraints;
+pub use growth::{instance_growth, repetitive_support, support_set, SupportComputer};
+pub use gsgrow::mine_all;
+pub use instance::{Instance, Landmark};
+pub use maximal::{is_maximal, mine_maximal};
+pub use pattern::Pattern;
+pub use postprocess::{postprocess, PostProcessConfig};
+pub use result::{MinedPattern, MiningOutcome, MiningStats};
+pub use support::SupportSet;
+pub use topk::{mine_top_k, TopKConfig};

@@ -1,0 +1,220 @@
+//! Patterns (gapped subsequences) and pattern-level utilities.
+//!
+//! A pattern `P = e1 e2 ... em` is an ordered list of events. Patterns are
+//! grown event by event during mining (`P ◦ e`, Definition 3.3) and compared
+//! by the sub-pattern relation (Definition 2.1) when checking closedness and
+//! maximality.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use seqdb::{EventCatalog, EventId};
+
+/// A pattern: a non-empty ordered list of events (gapped subsequence).
+///
+/// The empty pattern is representable (it is convenient as the DFS root) but
+/// is never reported by the miners.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pattern {
+    events: Vec<EventId>,
+}
+
+impl Pattern {
+    /// Creates the empty pattern.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pattern from a vector of events.
+    pub fn new(events: Vec<EventId>) -> Self {
+        Self { events }
+    }
+
+    /// Creates a single-event pattern.
+    pub fn single(event: EventId) -> Self {
+        Self {
+            events: vec![event],
+        }
+    }
+
+    /// The events of the pattern.
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// The length `|P|` (number of events) of the pattern.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The pattern growth `P ◦ e` (Definition 3.3): `e` appended at the end.
+    pub fn grow(&self, event: EventId) -> Pattern {
+        let mut events = Vec::with_capacity(self.events.len() + 1);
+        events.extend_from_slice(&self.events);
+        events.push(event);
+        Pattern { events }
+    }
+
+    /// The extension of this pattern with `event` inserted at `slot`
+    /// (Definition 3.4): `slot = 0` prepends, `slot = len()` appends, and an
+    /// interior slot inserts between two existing events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot > len()`.
+    pub fn extend_at(&self, slot: usize, event: EventId) -> Pattern {
+        assert!(slot <= self.events.len(), "slot out of range");
+        let mut events = Vec::with_capacity(self.events.len() + 1);
+        events.extend_from_slice(&self.events[..slot]);
+        events.push(event);
+        events.extend_from_slice(&self.events[slot..]);
+        Pattern { events }
+    }
+
+    /// The prefix of the first `len` events.
+    pub fn prefix(&self, len: usize) -> Pattern {
+        Pattern {
+            events: self.events[..len].to_vec(),
+        }
+    }
+
+    /// Number of distinct events in the pattern (used by the density filter
+    /// of the case-study post-processing).
+    pub fn distinct_events(&self) -> usize {
+        let mut seen: Vec<EventId> = self.events.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Returns `true` if `self` is a sub-pattern (gapped subsequence) of
+    /// `other` (Definition 2.1).
+    pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
+        if self.events.len() > other.events.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &e in &other.events {
+            if j < self.events.len() && e == self.events[j] {
+                j += 1;
+            }
+        }
+        j == self.events.len()
+    }
+
+    /// Returns `true` if `self` is a **proper** super-pattern of `other`.
+    pub fn is_proper_superpattern_of(&self, other: &Pattern) -> bool {
+        self.events.len() > other.events.len() && other.is_subpattern_of(self)
+    }
+
+    /// Renders the pattern using the labels of `catalog`, concatenated (the
+    /// paper's notation for single-character events).
+    pub fn render(&self, catalog: &EventCatalog) -> String {
+        catalog.render(&self.events, "")
+    }
+
+    /// Renders the pattern using the labels of `catalog`, joined by `sep`.
+    pub fn render_with(&self, catalog: &EventCatalog, sep: &str) -> String {
+        catalog.render(&self.events, sep)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        write!(f, "[{}]", rendered.join(" "))
+    }
+}
+
+impl From<Vec<EventId>> for Pattern {
+    fn from(events: Vec<EventId>) -> Self {
+        Pattern::new(events)
+    }
+}
+
+impl FromIterator<EventId> for Pattern {
+    fn from_iter<T: IntoIterator<Item = EventId>>(iter: T) -> Self {
+        Pattern::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32]) -> Pattern {
+        ids.iter().map(|&i| EventId(i)).collect()
+    }
+
+    #[test]
+    fn grow_appends() {
+        let ab = p(&[0, 1]);
+        assert_eq!(ab.grow(EventId(2)), p(&[0, 1, 2]));
+        assert_eq!(ab.len(), 2);
+    }
+
+    #[test]
+    fn extend_at_covers_all_three_cases_of_definition_3_4() {
+        let ab = p(&[0, 1]);
+        // append
+        assert_eq!(ab.extend_at(2, EventId(9)), p(&[0, 1, 9]));
+        // interior insertion
+        assert_eq!(ab.extend_at(1, EventId(9)), p(&[0, 9, 1]));
+        // prepend
+        assert_eq!(ab.extend_at(0, EventId(9)), p(&[9, 0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn extend_at_rejects_out_of_range_slot() {
+        p(&[0]).extend_at(2, EventId(1));
+    }
+
+    #[test]
+    fn subpattern_relation() {
+        let ab = p(&[0, 1]);
+        let acb = p(&[0, 2, 1]);
+        let ba = p(&[1, 0]);
+        assert!(ab.is_subpattern_of(&acb));
+        assert!(!acb.is_subpattern_of(&ab));
+        assert!(!ba.is_subpattern_of(&acb));
+        assert!(Pattern::empty().is_subpattern_of(&ab));
+        assert!(ab.is_subpattern_of(&ab));
+        assert!(acb.is_proper_superpattern_of(&ab));
+        assert!(!ab.is_proper_superpattern_of(&ab));
+    }
+
+    #[test]
+    fn distinct_events_counts_unique_events() {
+        assert_eq!(p(&[0, 1, 0, 2, 1]).distinct_events(), 3);
+        assert_eq!(p(&[5, 5, 5]).distinct_events(), 1);
+        assert_eq!(Pattern::empty().distinct_events(), 0);
+    }
+
+    #[test]
+    fn prefix_returns_leading_events() {
+        let abc = p(&[0, 1, 2]);
+        assert_eq!(abc.prefix(0), Pattern::empty());
+        assert_eq!(abc.prefix(2), p(&[0, 1]));
+        assert_eq!(abc.prefix(3), abc);
+    }
+
+    #[test]
+    fn render_uses_catalog_labels() {
+        let catalog = EventCatalog::from_labels(["A", "B", "C"]);
+        let acb = p(&[0, 2, 1]);
+        assert_eq!(acb.render(&catalog), "ACB");
+        assert_eq!(acb.render_with(&catalog, "-"), "A-C-B");
+    }
+
+    #[test]
+    fn display_is_id_based() {
+        assert_eq!(p(&[0, 2]).to_string(), "[e0 e2]");
+    }
+}

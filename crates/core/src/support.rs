@@ -1,0 +1,325 @@
+//! Support sets: non-redundant instance sets of maximum size.
+//!
+//! A *support set* of a pattern `P` (Definition 2.5) is a non-redundant
+//! (pairwise non-overlapping) set of instances of `P` whose size equals the
+//! repetitive support `sup(P)`. The mining algorithms always manipulate the
+//! *leftmost* support set (Definition 3.2), which is produced incrementally
+//! by instance growth.
+//!
+//! Instances are stored in their compressed form (`(seq, first, last)`,
+//! §III-D), sorted by sequence index and, within a sequence, in right-shift
+//! order. [`SupportSet::reconstruct_landmarks`] rebuilds full landmarks when
+//! they are needed for reporting.
+
+use serde::{Deserialize, Serialize};
+
+use seqdb::{EventId, InvertedIndex, SequenceDatabase};
+
+use crate::instance::{Instance, Landmark};
+use crate::pattern::Pattern;
+
+/// The (leftmost) support set of a pattern: a maximum-size set of pairwise
+/// non-overlapping instances, in compressed storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupportSet {
+    instances: Vec<Instance>,
+}
+
+impl SupportSet {
+    /// Creates an empty support set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a support set from instances already in `(seq, last)` order.
+    ///
+    /// Debug builds assert the ordering invariant.
+    pub fn from_sorted(instances: Vec<Instance>) -> Self {
+        debug_assert!(
+            instances
+                .windows(2)
+                .all(|w| (w[0].seq, w[0].last) <= (w[1].seq, w[1].last)),
+            "support set instances must be sorted by (seq, last)"
+        );
+        Self { instances }
+    }
+
+    /// The instances of the support set, sorted by `(seq, last)`.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The size of the support set, i.e. the repetitive support of the
+    /// pattern it was computed for.
+    pub fn support(&self) -> u64 {
+        self.instances.len() as u64
+    }
+
+    /// Returns `true` when the set holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Appends an instance; the caller must respect the `(seq, last)` order.
+    pub(crate) fn push(&mut self, instance: Instance) {
+        debug_assert!(
+            self.instances
+                .last()
+                .map_or(true, |prev| (prev.seq, prev.last) <= (instance.seq, instance.last)),
+            "instances must be appended in (seq, last) order"
+        );
+        self.instances.push(instance);
+    }
+
+    /// Iterates over the maximal runs of instances that belong to the same
+    /// sequence, yielding `(sequence index, instances)`.
+    pub fn per_sequence(&self) -> impl Iterator<Item = (usize, &[Instance])> {
+        PerSequence {
+            instances: &self.instances,
+            start: 0,
+        }
+    }
+
+    /// The number of instances contributed by sequence `seq`.
+    pub fn count_in_sequence(&self, seq: usize) -> usize {
+        self.instances
+            .iter()
+            .filter(|inst| inst.seq as usize == seq)
+            .count()
+    }
+
+    /// The last landmark positions of all instances, in `(seq, last)` order.
+    ///
+    /// These are the "landmark borders" compared by the landmark border
+    /// checking strategy (Theorem 5).
+    pub fn last_positions(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.instances.iter().map(|inst| (inst.seq, inst.last))
+    }
+
+    /// Reconstructs the full landmarks of the leftmost support set of
+    /// `pattern` for reporting purposes.
+    ///
+    /// The compressed instances only store `(seq, first, last)`; the interior
+    /// positions are recomputed by replaying the greedy instance growth of
+    /// Algorithm 2 on the inverted index. The result corresponds instance by
+    /// instance to [`Self::instances`].
+    pub fn reconstruct_landmarks(
+        &self,
+        db: &SequenceDatabase,
+        index: &InvertedIndex,
+        pattern: &Pattern,
+    ) -> Vec<Landmark> {
+        reconstruct_landmarks_impl(db, index, pattern)
+            .into_iter()
+            .take(self.instances.len())
+            .collect()
+    }
+}
+
+struct PerSequence<'a> {
+    instances: &'a [Instance],
+    start: usize,
+}
+
+impl<'a> Iterator for PerSequence<'a> {
+    type Item = (usize, &'a [Instance]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.start >= self.instances.len() {
+            return None;
+        }
+        let seq = self.instances[self.start].seq;
+        let mut end = self.start + 1;
+        while end < self.instances.len() && self.instances[end].seq == seq {
+            end += 1;
+        }
+        let slice = &self.instances[self.start..end];
+        self.start = end;
+        Some((seq as usize, slice))
+    }
+}
+
+/// Replays the instance-growth greedy keeping full landmarks. Shared by
+/// [`SupportSet::reconstruct_landmarks`] and the verbose API in
+/// [`crate::growth`].
+pub(crate) fn reconstruct_landmarks_impl(
+    db: &SequenceDatabase,
+    index: &InvertedIndex,
+    pattern: &Pattern,
+) -> Vec<Landmark> {
+    let events = pattern.events();
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let mut landmarks: Vec<Landmark> = Vec::new();
+    for seq in 0..db.num_sequences() {
+        // Initial instances: every occurrence of the first event.
+        let first_positions = match index.event_positions(seq, events[0]) {
+            Some(p) if !p.is_empty() => p,
+            _ => continue,
+        };
+        let mut current: Vec<Vec<u32>> = first_positions.iter().map(|&p| vec![p]).collect();
+        for &event in &events[1..] {
+            let mut grown: Vec<Vec<u32>> = Vec::with_capacity(current.len());
+            let mut last_position = 0u32;
+            for landmark in &current {
+                let prev = *landmark.last().expect("non-empty landmark");
+                let lowest = last_position.max(prev);
+                match index.next(seq, event, lowest) {
+                    Some(pos) => {
+                        last_position = pos;
+                        let mut extended = landmark.clone();
+                        extended.push(pos);
+                        grown.push(extended);
+                    }
+                    None => break,
+                }
+            }
+            current = grown;
+            if current.is_empty() {
+                break;
+            }
+        }
+        landmarks.extend(
+            current
+                .into_iter()
+                .map(|positions| Landmark::new(seq, positions)),
+        );
+    }
+    landmarks
+}
+
+/// Checks that a set of full landmarks of the same pattern is non-redundant
+/// (pairwise non-overlapping, Definition 2.4). Exposed for tests and for the
+/// reference implementation.
+pub fn is_non_redundant(landmarks: &[Landmark]) -> bool {
+    for (i, a) in landmarks.iter().enumerate() {
+        for b in &landmarks[i + 1..] {
+            if a.overlaps(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that every landmark is a valid occurrence of `pattern` in `db`.
+pub fn are_valid_instances(db: &SequenceDatabase, pattern: &[EventId], landmarks: &[Landmark]) -> bool {
+    landmarks.iter().all(|landmark| {
+        if landmark.positions.len() != pattern.len() {
+            return false;
+        }
+        if !landmark.positions.windows(2).all(|w| w[0] < w[1]) {
+            return false;
+        }
+        let Some(sequence) = db.sequence(landmark.seq) else {
+            return false;
+        };
+        landmark
+            .positions
+            .iter()
+            .zip(pattern.iter())
+            .all(|(&pos, &event)| sequence.at(pos as usize) == Some(event))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    #[test]
+    fn per_sequence_groups_runs() {
+        let set = SupportSet::from_sorted(vec![
+            Instance::new(0, 1, 6),
+            Instance::new(0, 4, 9),
+            Instance::new(1, 1, 4),
+        ]);
+        let groups: Vec<(usize, usize)> = set.per_sequence().map(|(s, g)| (s, g.len())).collect();
+        assert_eq!(groups, vec![(0, 2), (1, 1)]);
+        assert_eq!(set.count_in_sequence(0), 2);
+        assert_eq!(set.count_in_sequence(1), 1);
+        assert_eq!(set.count_in_sequence(2), 0);
+    }
+
+    #[test]
+    fn reconstruct_landmarks_matches_table_iv() {
+        // Table IV: the leftmost support set of ACB is
+        // {(1,<1,3,6>), (1,<4,5,9>), (2,<1,2,4>)}.
+        let db = running_example();
+        let index = db.inverted_index();
+        let pattern = Pattern::new(db.pattern_from_str("ACB").unwrap());
+        let landmarks = reconstruct_landmarks_impl(&db, &index, &pattern);
+        assert_eq!(
+            landmarks,
+            vec![
+                Landmark::new(0, vec![1, 3, 6]),
+                Landmark::new(0, vec![4, 5, 9]),
+                Landmark::new(1, vec![1, 2, 4]),
+            ]
+        );
+        assert!(is_non_redundant(&landmarks));
+        assert!(are_valid_instances(&db, pattern.events(), &landmarks));
+    }
+
+    #[test]
+    fn reconstruct_landmarks_of_aca_allows_reuse_at_different_indices() {
+        // Example 3.1 step 3': I_ACA = {(1,<1,3,4>), (2,<1,2,5>), (2,<5,6,7>)}.
+        let db = running_example();
+        let index = db.inverted_index();
+        let pattern = Pattern::new(db.pattern_from_str("ACA").unwrap());
+        let landmarks = reconstruct_landmarks_impl(&db, &index, &pattern);
+        assert_eq!(
+            landmarks,
+            vec![
+                Landmark::new(0, vec![1, 3, 4]),
+                Landmark::new(1, vec![1, 2, 5]),
+                Landmark::new(1, vec![5, 6, 7]),
+            ]
+        );
+        assert!(is_non_redundant(&landmarks));
+    }
+
+    #[test]
+    fn non_redundancy_detects_overlaps() {
+        let good = vec![Landmark::new(0, vec![1, 2]), Landmark::new(0, vec![4, 5])];
+        let bad = vec![Landmark::new(0, vec![1, 2]), Landmark::new(0, vec![1, 5])];
+        assert!(is_non_redundant(&good));
+        assert!(!is_non_redundant(&bad));
+    }
+
+    #[test]
+    fn validity_checks_positions_and_events() {
+        let db = running_example();
+        let acb = db.pattern_from_str("ACB").unwrap();
+        let valid = vec![Landmark::new(0, vec![1, 3, 6])];
+        let wrong_event = vec![Landmark::new(0, vec![1, 2, 6])];
+        let wrong_len = vec![Landmark::new(0, vec![1, 3])];
+        let out_of_range = vec![Landmark::new(7, vec![1, 3, 6])];
+        assert!(are_valid_instances(&db, &acb, &valid));
+        assert!(!are_valid_instances(&db, &acb, &wrong_event));
+        assert!(!are_valid_instances(&db, &acb, &wrong_len));
+        assert!(!are_valid_instances(&db, &acb, &out_of_range));
+    }
+
+    #[test]
+    fn empty_pattern_has_no_landmarks() {
+        let db = running_example();
+        let index = db.inverted_index();
+        assert!(reconstruct_landmarks_impl(&db, &index, &Pattern::empty()).is_empty());
+    }
+
+    #[test]
+    fn last_positions_follow_storage_order() {
+        let set = SupportSet::from_sorted(vec![
+            Instance::new(0, 1, 6),
+            Instance::new(0, 4, 9),
+            Instance::new(1, 1, 4),
+        ]);
+        let lasts: Vec<(u32, u32)> = set.last_positions().collect();
+        assert_eq!(lasts, vec![(0, 6), (0, 9), (1, 4)]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Top-k mining of repetitive gapped subsequences.
+//!
+//! For exploratory use, choosing `min_sup` is awkward: too low and the
+//! result explodes (the paper's Figures 2–6 show exactly this), too high and
+//! nothing interesting is found. Top-k mining sidesteps the problem by
+//! asking for the `k` most frequent patterns of at least a minimum length,
+//! raising the support threshold dynamically as better patterns are found
+//! (in the spirit of TSP-style top-k closed sequential pattern mining).
+//!
+//! The search is the same prefix DFS as GSgrow; the Apriori property lets
+//! the miner prune any subtree whose root support is already below the
+//! current dynamic threshold, because no descendant can beat it.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::time::Instant;
+
+use seqdb::{EventId, SequenceDatabase};
+
+use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::growth::SupportComputer;
+use crate::gsgrow::frequent_events;
+use crate::pattern::Pattern;
+use crate::result::{MinedPattern, MiningOutcome};
+use crate::support::SupportSet;
+
+/// Configuration for [`mine_top_k`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKConfig {
+    /// How many patterns to return.
+    pub k: usize,
+    /// Only patterns of at least this length compete for the top-k slots
+    /// (length-1 patterns are trivially the most frequent, so `min_len = 2`
+    /// is a sensible exploratory default).
+    pub min_len: usize,
+    /// When `true`, only *closed* patterns (Definition 2.6, verified by the
+    /// closure check of Theorem 4) occupy top-k slots.
+    pub closed_only: bool,
+    /// A hard floor on the support: patterns below this never qualify even
+    /// if fewer than `k` better patterns exist.
+    pub min_sup_floor: u64,
+    /// Optional cap on pattern length for the DFS.
+    pub max_pattern_length: Option<usize>,
+}
+
+impl TopKConfig {
+    /// Top-k closed patterns of length at least 2 with no support floor.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            min_len: 2,
+            closed_only: true,
+            min_sup_floor: 1,
+            max_pattern_length: None,
+        }
+    }
+
+    /// Sets the minimum qualifying pattern length.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len;
+        self
+    }
+
+    /// Includes non-closed patterns in the ranking.
+    pub fn including_non_closed(mut self) -> Self {
+        self.closed_only = false;
+        self
+    }
+
+    /// Sets a hard floor on the support of qualifying patterns.
+    pub fn with_min_sup_floor(mut self, floor: u64) -> Self {
+        self.min_sup_floor = floor.max(1);
+        self
+    }
+
+    /// Caps the pattern length explored by the DFS.
+    pub fn with_max_pattern_length(mut self, max_len: usize) -> Self {
+        self.max_pattern_length = Some(max_len);
+        self
+    }
+}
+
+/// Mines the `k` most frequent (optionally closed) repetitive gapped
+/// subsequences of length at least `config.min_len`.
+///
+/// The result is sorted by descending support, then by descending length,
+/// then lexicographically; ties at the k-th support value are broken by that
+/// order, so the result always has at most `k` patterns.
+pub fn mine_top_k(db: &SequenceDatabase, config: &TopKConfig) -> MiningOutcome {
+    let start = Instant::now();
+    let mut outcome = MiningOutcome::default();
+    if config.k == 0 {
+        return outcome;
+    }
+    let sc = SupportComputer::new(db);
+    let events = frequent_events(&sc, db, config.min_sup_floor.max(1));
+    let checker = ClosureChecker::new(&sc, &events);
+    let mut state = TopKState {
+        sc: &sc,
+        checker,
+        config,
+        events: events.clone(),
+        // Min-heap over the supports currently occupying top-k slots.
+        heap: BinaryHeap::new(),
+        collected: Vec::new(),
+        visited: 0,
+        growths: 0,
+    };
+    for &event in &events {
+        let support = sc.initial_support_set(event);
+        if support.support() >= state.threshold() {
+            let mut stack = vec![support];
+            state.descend(Pattern::single(event), &mut stack);
+        }
+    }
+    outcome.stats.visited = state.visited;
+    outcome.stats.instance_growths = state.growths;
+    let mut collected = state.collected;
+    collected.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
+    collected.truncate(config.k);
+    outcome.patterns = collected;
+    outcome.stats.set_elapsed(start.elapsed());
+    outcome
+}
+
+struct TopKState<'a, 'b> {
+    sc: &'a SupportComputer<'b>,
+    checker: ClosureChecker<'a, 'b>,
+    config: &'a TopKConfig,
+    events: Vec<EventId>,
+    heap: BinaryHeap<Reverse<u64>>,
+    collected: Vec<MinedPattern>,
+    visited: u64,
+    growths: u64,
+}
+
+impl TopKState<'_, '_> {
+    /// The dynamic support threshold: while fewer than `k` qualifying
+    /// patterns have been found it is the configured floor, afterwards it is
+    /// the smallest support among the current top-k.
+    fn threshold(&self) -> u64 {
+        if self.heap.len() < self.config.k {
+            self.config.min_sup_floor.max(1)
+        } else {
+            self.heap
+                .peek()
+                .map(|Reverse(s)| *s)
+                .unwrap_or(self.config.min_sup_floor)
+                .max(self.config.min_sup_floor)
+        }
+    }
+
+    fn allows_growth(&self, len: usize) -> bool {
+        self.config.max_pattern_length.map_or(true, |max| len < max)
+    }
+
+    /// Visits `pattern`, whose prefix support sets (including its own, on
+    /// top) are held by `stack`.
+    fn descend(&mut self, pattern: Pattern, stack: &mut Vec<SupportSet>) {
+        self.visited += 1;
+        let sup = stack.last().expect("support of pattern").support();
+
+        // Compute the append children up front: they are needed both for the
+        // closure verdict (append extensions with equal support) and for the
+        // recursion.
+        let events = self.events.clone();
+        let mut children: Vec<(EventId, SupportSet)> = Vec::new();
+        let mut append_equal = false;
+        if self.allows_growth(pattern.len()) {
+            for &event in &events {
+                self.growths += 1;
+                let grown = self
+                    .sc
+                    .instance_growth(stack.last().expect("support set"), event);
+                if grown.support() == sup {
+                    append_equal = true;
+                }
+                if grown.support() >= 1 {
+                    children.push((event, grown));
+                }
+            }
+        }
+
+        if pattern.len() >= self.config.min_len && sup >= self.threshold() {
+            let qualifies = if self.config.closed_only {
+                self.checker.check(&pattern, stack, append_equal) == ClosureStatus::Closed
+            } else {
+                true
+            };
+            if qualifies {
+                self.heap.push(Reverse(sup));
+                if self.heap.len() > self.config.k {
+                    self.heap.pop();
+                }
+                self.collected.push(MinedPattern::new(pattern.clone(), sup));
+            }
+        }
+
+        for (event, grown) in children {
+            // Apriori pruning against the *current* dynamic threshold: no
+            // pattern in this subtree can have higher support than `grown`.
+            if grown.support() >= self.threshold() {
+                stack.push(grown);
+                self.descend(pattern.grow(event), stack);
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clogsgrow::mine_closed;
+    use crate::config::MiningConfig;
+    use crate::gsgrow::mine_all;
+
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    fn simple_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"])
+    }
+
+    #[test]
+    fn top_k_returns_at_most_k_patterns_sorted_by_support() {
+        let db = running_example();
+        let outcome = mine_top_k(&db, &TopKConfig::new(5));
+        assert!(outcome.len() <= 5);
+        assert!(!outcome.is_empty());
+        for w in outcome.patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+        for mp in &outcome.patterns {
+            assert!(mp.pattern.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn top_k_closed_matches_exhaustive_closed_mining() {
+        // The k best closed patterns of length >= 2 must agree (as a support
+        // multiset) with sorting the full closed result.
+        let db = running_example();
+        for k in [1, 3, 5, 10] {
+            let topk = mine_top_k(&db, &TopKConfig::new(k));
+            let mut full = mine_closed(&db, &MiningConfig::new(1));
+            full.patterns.retain(|mp| mp.pattern.len() >= 2);
+            full.sort_for_report();
+            let expected: Vec<u64> = full.patterns.iter().take(k).map(|mp| mp.support).collect();
+            let got: Vec<u64> = topk.patterns.iter().map(|mp| mp.support).collect();
+            assert_eq!(got, expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_including_non_closed_matches_exhaustive_all_mining() {
+        let db = simple_example();
+        for k in [1, 4, 8] {
+            let topk = mine_top_k(&db, &TopKConfig::new(k).including_non_closed());
+            let mut full = mine_all(&db, &MiningConfig::new(1));
+            full.patterns.retain(|mp| mp.pattern.len() >= 2);
+            full.sort_for_report();
+            let expected: Vec<u64> = full.patterns.iter().take(k).map(|mp| mp.support).collect();
+            let got: Vec<u64> = topk.patterns.iter().map(|mp| mp.support).collect();
+            assert_eq!(got, expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn min_len_one_lets_single_events_compete() {
+        let db = running_example();
+        let outcome = mine_top_k(&db, &TopKConfig::new(3).with_min_len(1).including_non_closed());
+        // The best support is 5 (A, D, and the length-2 pattern AD all reach
+        // it); the length-desc tie-break puts AD first, and the single
+        // events are allowed to occupy the remaining slots.
+        assert_eq!(outcome.patterns[0].support, 5);
+        assert_eq!(outcome.patterns.len(), 3);
+        assert!(outcome.patterns.iter().all(|mp| mp.support == 5));
+        assert!(outcome.patterns.iter().any(|mp| mp.pattern.len() == 1));
+    }
+
+    #[test]
+    fn support_floor_filters_low_support_patterns() {
+        let db = running_example();
+        let config = TopKConfig::new(50).with_min_sup_floor(3);
+        let outcome = mine_top_k(&db, &config);
+        assert!(!outcome.is_empty());
+        for mp in &outcome.patterns {
+            assert!(mp.support >= 3, "{:?}", mp);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_database_yield_empty_results() {
+        let db = running_example();
+        assert!(mine_top_k(&db, &TopKConfig::new(0)).is_empty());
+        let empty = SequenceDatabase::new();
+        assert!(mine_top_k(&empty, &TopKConfig::new(5)).is_empty());
+    }
+
+    #[test]
+    fn max_pattern_length_caps_exploration() {
+        let db = running_example();
+        let outcome = mine_top_k(
+            &db,
+            &TopKConfig::new(10)
+                .including_non_closed()
+                .with_max_pattern_length(2),
+        );
+        assert!(outcome.max_pattern_length() <= 2);
+    }
+
+    #[test]
+    fn every_reported_pattern_has_its_true_support() {
+        let db = simple_example();
+        let sc = SupportComputer::new(&db);
+        let outcome = mine_top_k(&db, &TopKConfig::new(6));
+        for mp in &outcome.patterns {
+            assert_eq!(sc.support(&mp.pattern), mp.support);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the core mining invariants on random small
+//! databases.
+//!
+//! These tests compare the efficient algorithms (instance growth, GSgrow,
+//! CloGSgrow) against the brute-force reference implementations in
+//! `rgs_core::reference`, which work directly from the paper's definitions.
+
+use proptest::prelude::*;
+
+use rgs_core::reference::{
+    closed_subset, enumerate_frequent, max_non_overlapping, pattern_set,
+};
+use rgs_core::{
+    mine_all, mine_closed, repetitive_support, MiningConfig, Pattern, SupportComputer,
+};
+use seqdb::SequenceDatabase;
+use seqdb::EventId;
+
+/// A strategy producing small random databases over a small alphabet: 1–4
+/// sequences of length 0–10 over up to 4 distinct events.
+fn small_database() -> impl Strategy<Value = SequenceDatabase> {
+    let sequence = prop::collection::vec(0u32..4, 0..=10);
+    prop::collection::vec(sequence, 1..=4).prop_map(|rows| {
+        let labels = ["A", "B", "C", "D"];
+        let string_rows: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|row| row.iter().map(|&e| labels[e as usize]).collect())
+            .collect();
+        SequenceDatabase::from_token_rows(&string_rows)
+    })
+}
+
+/// A strategy producing a short random pattern over the same alphabet.
+fn small_pattern() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..4, 1..=4)
+}
+
+fn to_pattern(db: &SequenceDatabase, raw: &[u32]) -> Option<Vec<EventId>> {
+    let labels = ["A", "B", "C", "D"];
+    raw.iter()
+        .map(|&e| db.catalog().id(labels[e as usize]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Instance growth computes exactly the maximum number of
+    /// non-overlapping instances (Definition 2.5 / Lemma 4).
+    #[test]
+    fn support_matches_brute_force(db in small_database(), raw in small_pattern()) {
+        if let Some(pattern) = to_pattern(&db, &raw) {
+            let fast = repetitive_support(&db, &pattern);
+            let brute = max_non_overlapping(&db, &pattern);
+            prop_assert_eq!(fast, brute);
+        }
+    }
+
+    /// Apriori property (Lemma 1 / Theorem 1): the support of every prefix
+    /// is at least the support of the full pattern, and dropping any single
+    /// event never decreases the support.
+    #[test]
+    fn support_is_monotone_under_subpatterns(db in small_database(), raw in small_pattern()) {
+        if let Some(pattern) = to_pattern(&db, &raw) {
+            let sc = SupportComputer::new(&db);
+            let full = sc.support(&Pattern::new(pattern.clone()));
+            for drop in 0..pattern.len() {
+                let mut sub = pattern.clone();
+                sub.remove(drop);
+                if sub.is_empty() {
+                    continue;
+                }
+                let sub_sup = sc.support(&Pattern::new(sub));
+                prop_assert!(sub_sup >= full, "sub {sub_sup} < full {full}");
+            }
+        }
+    }
+
+    /// The landmarks reconstructed for the leftmost support set are valid,
+    /// pairwise non-overlapping occurrences of the pattern, and there are
+    /// exactly `sup(P)` of them.
+    #[test]
+    fn leftmost_support_set_is_valid_and_non_redundant(
+        db in small_database(),
+        raw in small_pattern(),
+    ) {
+        if let Some(pattern) = to_pattern(&db, &raw) {
+            let sc = SupportComputer::new(&db);
+            let p = Pattern::new(pattern.clone());
+            let landmarks = sc.support_landmarks(&p);
+            prop_assert_eq!(landmarks.len() as u64, sc.support(&p));
+            prop_assert!(rgs_core::support::is_non_redundant(&landmarks));
+            prop_assert!(rgs_core::support::are_valid_instances(&db, &pattern, &landmarks));
+        }
+    }
+
+    /// GSgrow finds exactly the frequent patterns found by brute-force
+    /// enumeration, with identical supports.
+    #[test]
+    fn gsgrow_is_complete_and_sound(db in small_database(), min_sup in 1u64..4) {
+        let mined = mine_all(&db, &MiningConfig::new(min_sup));
+        let brute = enumerate_frequent(&db, min_sup, 12);
+        prop_assert_eq!(pattern_set(&mined.patterns), pattern_set(&brute));
+        for mp in &brute {
+            prop_assert_eq!(mined.support_of(&mp.pattern), Some(mp.support));
+        }
+    }
+
+    /// CloGSgrow's output equals the closed subset of GSgrow's output.
+    #[test]
+    fn clogsgrow_equals_closed_subset_of_all(db in small_database(), min_sup in 1u64..4) {
+        let all = mine_all(&db, &MiningConfig::new(min_sup));
+        let expected = closed_subset(&all.patterns);
+        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        prop_assert_eq!(pattern_set(&closed.patterns), pattern_set(&expected));
+        for mp in &expected {
+            prop_assert_eq!(closed.support_of(&mp.pattern), Some(mp.support));
+        }
+    }
+
+    /// Every frequent pattern is represented in the closed set: it has a
+    /// closed super-pattern (or itself) with exactly the same support
+    /// (the compactness guarantee of Lemma 2).
+    #[test]
+    fn closed_set_is_a_lossless_summary(db in small_database(), min_sup in 1u64..4) {
+        let all = mine_all(&db, &MiningConfig::new(min_sup));
+        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        for mp in &all.patterns {
+            let covered = closed.patterns.iter().any(|cp| {
+                cp.support == mp.support
+                    && (cp.pattern == mp.pattern || mp.pattern.is_subpattern_of(&cp.pattern))
+            });
+            prop_assert!(covered, "pattern {:?} with support {} is not covered", mp.pattern, mp.support);
+        }
+    }
+
+    /// The number of visited DFS nodes of CloGSgrow never exceeds GSgrow's
+    /// (landmark border pruning only removes work).
+    #[test]
+    fn pruning_never_increases_visited_nodes(db in small_database(), min_sup in 1u64..4) {
+        let all = mine_all(&db, &MiningConfig::new(min_sup));
+        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        prop_assert!(closed.stats.visited <= all.stats.visited);
+        prop_assert!(closed.len() <= all.len());
+    }
+
+    /// Single-event supports equal raw occurrence counts.
+    #[test]
+    fn single_event_support_equals_occurrence_count(db in small_database()) {
+        let sc = SupportComputer::new(&db);
+        for event in db.catalog().ids() {
+            let p = Pattern::single(event);
+            prop_assert_eq!(sc.support(&p), db.event_occurrences(event) as u64);
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Reference classifiers and evaluation utilities.
+//!
+//! These classifiers are intentionally simple — the point of the crate is
+//! the *feature pipeline* (repetitive-support features plus discriminative
+//! selection), not state-of-the-art learning. They are nonetheless complete,
+//! deterministic, and dependency-free, which keeps the end-to-end
+//! "mine → select → classify" experiments reproducible.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::ClassId;
+use crate::matrix::FeatureMatrix;
+
+/// A classifier over dense feature vectors.
+pub trait Classifier {
+    /// Fits the classifier to a training matrix and its row labels.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `labels.len()` differs from the number of
+    /// matrix rows or when the training set is empty.
+    fn fit(&mut self, features: &FeatureMatrix, labels: &[ClassId]);
+
+    /// Predicts the class of one feature vector (same column order as the
+    /// training matrix).
+    fn predict(&self, row: &[f64]) -> ClassId;
+
+    /// Predicts every row of a matrix.
+    fn predict_all(&self, features: &FeatureMatrix) -> Vec<ClassId> {
+        features.rows().map(|row| self.predict(row)).collect()
+    }
+}
+
+fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn validate_training_input(features: &FeatureMatrix, labels: &[ClassId]) {
+    assert_eq!(
+        features.num_rows(),
+        labels.len(),
+        "one label per training row is required"
+    );
+    assert!(features.num_rows() > 0, "training set must not be empty");
+}
+
+/// Nearest-centroid classifier: one mean feature vector per class, a row is
+/// assigned to the class of the closest centroid (Euclidean distance).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NearestCentroid {
+    centroids: BTreeMap<ClassId, Vec<f64>>,
+}
+
+impl NearestCentroid {
+    /// Creates an unfitted classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fitted centroids, keyed by class.
+    pub fn centroids(&self) -> &BTreeMap<ClassId, Vec<f64>> {
+        &self.centroids
+    }
+}
+
+impl Classifier for NearestCentroid {
+    fn fit(&mut self, features: &FeatureMatrix, labels: &[ClassId]) {
+        validate_training_input(features, labels);
+        let cols = features.num_columns();
+        let mut sums: BTreeMap<ClassId, (Vec<f64>, usize)> = BTreeMap::new();
+        for (row, &class) in features.rows().zip(labels) {
+            let entry = sums.entry(class).or_insert_with(|| (vec![0.0; cols], 0));
+            for (s, &v) in entry.0.iter_mut().zip(row) {
+                *s += v;
+            }
+            entry.1 += 1;
+        }
+        self.centroids = sums
+            .into_iter()
+            .map(|(class, (sum, count))| {
+                (
+                    class,
+                    sum.into_iter().map(|s| s / count as f64).collect(),
+                )
+            })
+            .collect();
+    }
+
+    fn predict(&self, row: &[f64]) -> ClassId {
+        assert!(!self.centroids.is_empty(), "classifier is not fitted");
+        self.centroids
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                euclidean_distance(row, a)
+                    .partial_cmp(&euclidean_distance(row, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(&class, _)| class)
+            .expect("at least one centroid")
+    }
+}
+
+/// Multinomial naive Bayes with Laplace smoothing, suited to the
+/// non-negative repetition-count features produced by
+/// [`crate::matrix::extract_features`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MultinomialNaiveBayes {
+    /// log prior per class.
+    log_priors: BTreeMap<ClassId, f64>,
+    /// log feature probability per class (same column order as training).
+    log_likelihoods: BTreeMap<ClassId, Vec<f64>>,
+    /// Laplace smoothing constant.
+    alpha: f64,
+}
+
+impl MultinomialNaiveBayes {
+    /// Creates an unfitted classifier with Laplace smoothing `alpha = 1`.
+    pub fn new() -> Self {
+        Self::with_alpha(1.0)
+    }
+
+    /// Creates an unfitted classifier with the given smoothing constant.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "smoothing constant must be positive");
+        Self {
+            log_priors: BTreeMap::new(),
+            log_likelihoods: BTreeMap::new(),
+            alpha,
+        }
+    }
+}
+
+impl Classifier for MultinomialNaiveBayes {
+    fn fit(&mut self, features: &FeatureMatrix, labels: &[ClassId]) {
+        validate_training_input(features, labels);
+        let cols = features.num_columns();
+        let n = labels.len() as f64;
+        let mut class_counts: BTreeMap<ClassId, usize> = BTreeMap::new();
+        let mut feature_sums: BTreeMap<ClassId, Vec<f64>> = BTreeMap::new();
+        for (row, &class) in features.rows().zip(labels) {
+            *class_counts.entry(class).or_insert(0) += 1;
+            let sums = feature_sums.entry(class).or_insert_with(|| vec![0.0; cols]);
+            for (s, &v) in sums.iter_mut().zip(row) {
+                debug_assert!(v >= 0.0, "multinomial NB requires non-negative features");
+                *s += v;
+            }
+        }
+        self.log_priors = class_counts
+            .iter()
+            .map(|(&class, &count)| (class, (count as f64 / n).ln()))
+            .collect();
+        self.log_likelihoods = feature_sums
+            .into_iter()
+            .map(|(class, sums)| {
+                let total: f64 = sums.iter().sum::<f64>() + self.alpha * cols as f64;
+                let logs = sums
+                    .into_iter()
+                    .map(|s| ((s + self.alpha) / total).ln())
+                    .collect();
+                (class, logs)
+            })
+            .collect();
+    }
+
+    fn predict(&self, row: &[f64]) -> ClassId {
+        assert!(!self.log_priors.is_empty(), "classifier is not fitted");
+        self.log_priors
+            .iter()
+            .map(|(&class, &prior)| {
+                let likelihood: f64 = self.log_likelihoods[&class]
+                    .iter()
+                    .zip(row)
+                    .map(|(&log_p, &count)| log_p * count)
+                    .sum();
+                (class, prior + likelihood)
+            })
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(class, _)| class)
+            .expect("at least one class")
+    }
+}
+
+/// k-nearest-neighbour classifier (Euclidean distance, majority vote, ties
+/// broken towards the smaller class id for determinism).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<ClassId>,
+}
+
+impl KnnClassifier {
+    /// Creates an unfitted k-NN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self {
+            k,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, features: &FeatureMatrix, labels: &[ClassId]) {
+        validate_training_input(features, labels);
+        self.rows = features.rows().map(|r| r.to_vec()).collect();
+        self.labels = labels.to_vec();
+    }
+
+    fn predict(&self, row: &[f64]) -> ClassId {
+        assert!(!self.rows.is_empty(), "classifier is not fitted");
+        let mut distances: Vec<(f64, ClassId)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(r, &class)| (euclidean_distance(row, r), class))
+            .collect();
+        distances.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let mut votes: BTreeMap<ClassId, usize> = BTreeMap::new();
+        for (_, class) in distances.into_iter().take(self.k) {
+            *votes.entry(class).or_insert(0) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(class, _)| class)
+            .expect("at least one vote")
+    }
+}
+
+/// The result of evaluating predictions against ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// `confusion[actual][predicted]` counts.
+    pub confusion: Vec<Vec<usize>>,
+    /// Total number of evaluated rows.
+    pub total: usize,
+    /// Number of correct predictions.
+    pub correct: usize,
+}
+
+impl Evaluation {
+    /// Compares predictions against the true labels.
+    pub fn compare(truth: &[ClassId], predicted: &[ClassId]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "length mismatch");
+        let num_classes = truth
+            .iter()
+            .chain(predicted)
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut confusion = vec![vec![0usize; num_classes]; num_classes];
+        let mut correct = 0;
+        for (&t, &p) in truth.iter().zip(predicted) {
+            confusion[t][p] += 1;
+            if t == p {
+                correct += 1;
+            }
+        }
+        Self {
+            confusion,
+            total: truth.len(),
+            correct,
+        }
+    }
+
+    /// Overall accuracy in `[0, 1]` (1.0 for an empty evaluation).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Precision of one class: `TP / (TP + FP)`, or 1.0 when the class was
+    /// never predicted.
+    pub fn precision(&self, class: ClassId) -> f64 {
+        let predicted: usize = self.confusion.iter().map(|row| row[class]).sum();
+        if predicted == 0 {
+            return 1.0;
+        }
+        self.confusion[class][class] as f64 / predicted as f64
+    }
+
+    /// Recall of one class: `TP / (TP + FN)`, or 1.0 when the class never
+    /// occurs in the truth.
+    pub fn recall(&self, class: ClassId) -> f64 {
+        let actual: usize = self.confusion[class].iter().sum();
+        if actual == 0 {
+            return 1.0;
+        }
+        self.confusion[class][class] as f64 / actual as f64
+    }
+
+    /// F1 score of one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: ClassId) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 across all classes.
+    pub fn macro_f1(&self) -> f64 {
+        let classes = self.confusion.len();
+        if classes == 0 {
+            return 1.0;
+        }
+        (0..classes).map(|c| self.f1(c)).sum::<f64>() / classes as f64
+    }
+}
+
+/// Fits `classifier` on `(train, train_labels)` and evaluates it on
+/// `(test, test_labels)`.
+pub fn train_and_evaluate<C: Classifier>(
+    classifier: &mut C,
+    train: &FeatureMatrix,
+    train_labels: &[ClassId],
+    test: &FeatureMatrix,
+    test_labels: &[ClassId],
+) -> Evaluation {
+    classifier.fit(train, train_labels);
+    let predictions = classifier.predict_all(test);
+    Evaluation::compare(test_labels, &predictions)
+}
+
+/// k-fold cross validation over a precomputed feature matrix.
+///
+/// `folds[i]` holds the row indices of fold `i` (e.g. from
+/// [`crate::dataset::LabeledDatabase::stratified_folds`]); each fold is used
+/// once as the test set while the remaining folds train a fresh classifier
+/// created by `make_classifier`.
+pub fn cross_validate<C: Classifier>(
+    matrix: &FeatureMatrix,
+    labels: &[ClassId],
+    folds: &[Vec<usize>],
+    mut make_classifier: impl FnMut() -> C,
+) -> Vec<Evaluation> {
+    folds
+        .iter()
+        .enumerate()
+        .map(|(i, test_rows)| {
+            let train_rows: Vec<usize> = folds
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            let train = matrix.select_rows(&train_rows);
+            let test = matrix.select_rows(test_rows);
+            let train_labels: Vec<ClassId> = train_rows.iter().map(|&r| labels[r]).collect();
+            let test_labels: Vec<ClassId> = test_rows.iter().map(|&r| labels[r]).collect();
+            let mut classifier = make_classifier();
+            train_and_evaluate(&mut classifier, &train, &train_labels, &test, &test_labels)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgs_core::Pattern;
+
+    /// A tiny linearly separable dataset: class 0 has large first feature,
+    /// class 1 has large second feature.
+    fn separable() -> (FeatureMatrix, Vec<ClassId>) {
+        let patterns = vec![Pattern::empty(), Pattern::empty()];
+        let values = vec![
+            5.0, 0.0, //
+            4.0, 1.0, //
+            5.0, 1.0, //
+            0.0, 5.0, //
+            1.0, 4.0, //
+            0.0, 4.0, //
+        ];
+        (FeatureMatrix::from_parts(patterns, values, 6), vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn nearest_centroid_learns_a_separable_problem() {
+        let (matrix, labels) = separable();
+        let mut nc = NearestCentroid::new();
+        nc.fit(&matrix, &labels);
+        assert_eq!(nc.centroids().len(), 2);
+        assert_eq!(nc.predict(&[6.0, 0.0]), 0);
+        assert_eq!(nc.predict(&[0.0, 6.0]), 1);
+        let eval = Evaluation::compare(&labels, &nc.predict_all(&matrix));
+        assert_eq!(eval.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn naive_bayes_learns_a_separable_problem() {
+        let (matrix, labels) = separable();
+        let mut nb = MultinomialNaiveBayes::new();
+        nb.fit(&matrix, &labels);
+        assert_eq!(nb.predict(&[3.0, 0.0]), 0);
+        assert_eq!(nb.predict(&[0.0, 3.0]), 1);
+        let eval = Evaluation::compare(&labels, &nb.predict_all(&matrix));
+        assert_eq!(eval.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn knn_learns_a_separable_problem_for_various_k() {
+        let (matrix, labels) = separable();
+        for k in [1, 3, 5] {
+            let mut knn = KnnClassifier::new(k);
+            knn.fit(&matrix, &labels);
+            assert_eq!(knn.predict(&[5.0, 0.5]), 0, "k = {k}");
+            assert_eq!(knn.predict(&[0.5, 5.0]), 1, "k = {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn knn_rejects_k_zero() {
+        KnnClassifier::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predicting_before_fitting_panics() {
+        NearestCentroid::new().predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per training row")]
+    fn fit_rejects_mismatched_labels() {
+        let (matrix, _) = separable();
+        NearestCentroid::new().fit(&matrix, &[0, 1]);
+    }
+
+    #[test]
+    fn evaluation_metrics_on_a_known_confusion_matrix() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let predicted = vec![0, 0, 1, 1, 1, 0];
+        let eval = Evaluation::compare(&truth, &predicted);
+        assert_eq!(eval.confusion, vec![vec![2, 1], vec![1, 2]]);
+        assert!((eval.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((eval.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((eval.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((eval.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((eval.macro_f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_edge_cases() {
+        let eval = Evaluation::compare(&[], &[]);
+        assert_eq!(eval.accuracy(), 1.0);
+        assert_eq!(eval.macro_f1(), 1.0);
+        // A class that never occurs and is never predicted gets
+        // precision = recall = 1 by convention.
+        let eval = Evaluation::compare(&[0, 2], &[0, 2]);
+        assert_eq!(eval.precision(1), 1.0);
+        assert_eq!(eval.recall(1), 1.0);
+    }
+
+    #[test]
+    fn cross_validation_runs_every_fold_once() {
+        let (matrix, labels) = separable();
+        let folds = vec![vec![0, 3], vec![1, 4], vec![2, 5]];
+        let evals = cross_validate(&matrix, &labels, &folds, NearestCentroid::new);
+        assert_eq!(evals.len(), 3);
+        let total: usize = evals.iter().map(|e| e.total).sum();
+        assert_eq!(total, 6);
+        for eval in &evals {
+            assert_eq!(eval.accuracy(), 1.0);
+        }
+    }
+
+    #[test]
+    fn train_and_evaluate_reports_test_performance_only() {
+        let (matrix, _labels) = separable();
+        let train = matrix.select_rows(&[0, 1, 3, 4]);
+        let test = matrix.select_rows(&[2, 5]);
+        let mut nb = MultinomialNaiveBayes::with_alpha(0.5);
+        let eval = train_and_evaluate(&mut nb, &train, &[0, 0, 1, 1], &test, &[0, 1]);
+        assert_eq!(eval.total, 2);
+        assert_eq!(eval.accuracy(), 1.0);
+    }
+}

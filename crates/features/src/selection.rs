@@ -1,0 +1,296 @@
+//! Discriminative pattern selection.
+//!
+//! "The patterns which repeat frequently in some sequences while
+//! infrequently in others could be discriminative features for
+//! classification" (paper, §V). This module scores every column of a
+//! [`FeatureMatrix`] against the class labels and keeps the most
+//! discriminative ones.
+//!
+//! Three standard scores are provided:
+//!
+//! * [`SelectionMethod::InformationGain`] — reduction of class entropy when
+//!   splitting on presence (`value > 0`) of the pattern,
+//! * [`SelectionMethod::ChiSquared`] — chi-squared statistic of the
+//!   presence/class contingency table,
+//! * [`SelectionMethod::MeanDifference`] — the spread of per-class mean
+//!   supports (max minus min), which uses the *repetition counts* rather
+//!   than mere presence and therefore captures exactly the paper's point
+//!   that `AB` repeating five times per sequence in one group and once in
+//!   the other is discriminative even though it is present in both.
+
+use serde::{Deserialize, Serialize};
+
+use rgs_core::Pattern;
+
+use crate::dataset::ClassId;
+use crate::matrix::FeatureMatrix;
+
+/// The scoring function used to rank patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionMethod {
+    /// Information gain of the presence split.
+    InformationGain,
+    /// Chi-squared statistic of the presence/class contingency table.
+    ChiSquared,
+    /// Spread of per-class mean supports (max minus min class mean).
+    MeanDifference,
+}
+
+/// A pattern together with its discriminativeness score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPattern {
+    /// The column index in the feature matrix the score was computed from.
+    pub column: usize,
+    /// The pattern.
+    pub pattern: Pattern,
+    /// The score (higher = more discriminative).
+    pub score: f64,
+}
+
+/// Scores every column of `matrix` against `labels` with `method`.
+///
+/// `labels[i]` is the class of row `i`; the slice length must equal the
+/// number of rows.
+pub fn score_patterns(
+    matrix: &FeatureMatrix,
+    labels: &[ClassId],
+    method: SelectionMethod,
+) -> Vec<ScoredPattern> {
+    assert_eq!(
+        matrix.num_rows(),
+        labels.len(),
+        "one label per matrix row is required"
+    );
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    (0..matrix.num_columns())
+        .map(|column| {
+            let values = matrix.column(column);
+            let score = match method {
+                SelectionMethod::InformationGain => {
+                    information_gain(&values, labels, num_classes)
+                }
+                SelectionMethod::ChiSquared => chi_squared(&values, labels, num_classes),
+                SelectionMethod::MeanDifference => mean_difference(&values, labels, num_classes),
+            };
+            ScoredPattern {
+                column,
+                pattern: matrix.patterns()[column].clone(),
+                score,
+            }
+        })
+        .collect()
+}
+
+/// Scores the columns and returns the `k` highest-scoring ones, best first.
+/// Ties are broken by column index for determinism.
+pub fn select_top_k(
+    matrix: &FeatureMatrix,
+    labels: &[ClassId],
+    method: SelectionMethod,
+    k: usize,
+) -> Vec<ScoredPattern> {
+    let mut scored = score_patterns(matrix, labels, method);
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.column.cmp(&b.column))
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// Shannon entropy (base 2) of a class-count histogram.
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn class_histogram(labels: &[ClassId], num_classes: usize, keep: impl Fn(usize) -> bool) -> Vec<usize> {
+    let mut counts = vec![0usize; num_classes];
+    for (i, &class) in labels.iter().enumerate() {
+        if keep(i) {
+            counts[class] += 1;
+        }
+    }
+    counts
+}
+
+/// Information gain of splitting the rows on `value > 0`.
+fn information_gain(values: &[f64], labels: &[ClassId], num_classes: usize) -> f64 {
+    if num_classes == 0 || values.is_empty() {
+        return 0.0;
+    }
+    let all = class_histogram(labels, num_classes, |_| true);
+    let present = class_histogram(labels, num_classes, |i| values[i] > 0.0);
+    let absent = class_histogram(labels, num_classes, |i| values[i] <= 0.0);
+    let n = values.len() as f64;
+    let n_present: usize = present.iter().sum();
+    let n_absent: usize = absent.iter().sum();
+    let conditional = (n_present as f64 / n) * entropy(&present)
+        + (n_absent as f64 / n) * entropy(&absent);
+    (entropy(&all) - conditional).max(0.0)
+}
+
+/// Chi-squared statistic of the presence/class contingency table.
+fn chi_squared(values: &[f64], labels: &[ClassId], num_classes: usize) -> f64 {
+    if num_classes == 0 || values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let present = class_histogram(labels, num_classes, |i| values[i] > 0.0);
+    let absent = class_histogram(labels, num_classes, |i| values[i] <= 0.0);
+    let class_totals = class_histogram(labels, num_classes, |_| true);
+    let n_present: usize = present.iter().sum();
+    let n_absent: usize = absent.iter().sum();
+    let mut statistic = 0.0;
+    for class in 0..num_classes {
+        for (observed, row_total) in [(present[class], n_present), (absent[class], n_absent)] {
+            let expected = (row_total as f64) * (class_totals[class] as f64) / n;
+            if expected > 0.0 {
+                let d = observed as f64 - expected;
+                statistic += d * d / expected;
+            }
+        }
+    }
+    statistic
+}
+
+/// The spread (max - min) of the per-class mean support values.
+fn mean_difference(values: &[f64], labels: &[ClassId], num_classes: usize) -> f64 {
+    if num_classes == 0 || values.is_empty() {
+        return 0.0;
+    }
+    let mut sums = vec![0.0f64; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (&v, &class) in values.iter().zip(labels) {
+        sums[class] += v;
+        counts[class] += 1;
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    let max = means.iter().cloned().fold(f64::MIN, f64::max);
+    let min = means.iter().cloned().fold(f64::MAX, f64::min);
+    (max - min).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::extract_features;
+    use seqdb::SequenceDatabase;
+
+    /// The larger example of the introduction: 4 sequences where class 0
+    /// repeats AB five times per sequence and class 1 only once; CD appears
+    /// exactly once everywhere.
+    fn intro_example() -> (SequenceDatabase, Vec<ClassId>, FeatureMatrix) {
+        let db = SequenceDatabase::from_str_rows(&[
+            "CABABABABABD",
+            "CABABABABABD",
+            "ABCD",
+            "ABCD",
+        ]);
+        let labels = vec![0, 0, 1, 1];
+        let patterns: Vec<Pattern> = ["AB", "CD"]
+            .iter()
+            .map(|s| Pattern::new(db.pattern_from_str(s).unwrap()))
+            .collect();
+        let matrix = extract_features(&db, &patterns);
+        (db, labels, matrix)
+    }
+
+    #[test]
+    fn mean_difference_separates_ab_from_cd_like_the_introduction_argues() {
+        let (_, labels, matrix) = intro_example();
+        let scored = score_patterns(&matrix, &labels, SelectionMethod::MeanDifference);
+        // AB: class-0 mean 5, class-1 mean 1 -> spread 4. CD: 1 vs 1 -> 0.
+        assert!((scored[0].score - 4.0).abs() < 1e-12);
+        assert!((scored[1].score - 0.0).abs() < 1e-12);
+        let top = select_top_k(&matrix, &labels, SelectionMethod::MeanDifference, 1);
+        assert_eq!(top[0].pattern, matrix.patterns()[0].clone());
+    }
+
+    #[test]
+    fn presence_based_scores_cannot_separate_the_introduction_example() {
+        // Both AB and CD are present in every sequence, so presence-based
+        // information gain and chi-squared are 0 for both — exactly the
+        // limitation of sequence-count support the paper points out.
+        let (_, labels, matrix) = intro_example();
+        for method in [SelectionMethod::InformationGain, SelectionMethod::ChiSquared] {
+            let scored = score_patterns(&matrix, &labels, method);
+            assert!(scored.iter().all(|s| s.score.abs() < 1e-12), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn information_gain_is_maximal_for_a_perfect_presence_split() {
+        let db = SequenceDatabase::from_str_rows(&["ABAB", "AB", "CD", "CDCD"]);
+        let labels = vec![0, 0, 1, 1];
+        let patterns = vec![
+            Pattern::new(db.pattern_from_str("AB").unwrap()),
+            Pattern::new(db.pattern_from_str("C").unwrap()),
+        ];
+        let matrix = extract_features(&db, &patterns);
+        let ig = score_patterns(&matrix, &labels, SelectionMethod::InformationGain);
+        // Both columns split the two balanced classes perfectly: gain = 1 bit.
+        assert!((ig[0].score - 1.0).abs() < 1e-12);
+        assert!((ig[1].score - 1.0).abs() < 1e-12);
+        let chi = score_patterns(&matrix, &labels, SelectionMethod::ChiSquared);
+        // Perfect 2x2 separation of 4 rows has chi-squared = n = 4.
+        assert!((chi[0].score - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_columns_score_zero_everywhere() {
+        let db = SequenceDatabase::from_str_rows(&["AA", "AA", "AA", "AA"]);
+        let labels = vec![0, 0, 1, 1];
+        let patterns = vec![Pattern::new(db.pattern_from_str("A").unwrap())];
+        let matrix = extract_features(&db, &patterns);
+        for method in [
+            SelectionMethod::InformationGain,
+            SelectionMethod::ChiSquared,
+            SelectionMethod::MeanDifference,
+        ] {
+            let scored = score_patterns(&matrix, &labels, method);
+            assert!(scored[0].score.abs() < 1e-12, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn select_top_k_truncates_and_orders_deterministically() {
+        let (_, labels, matrix) = intro_example();
+        let top = select_top_k(&matrix, &labels, SelectionMethod::MeanDifference, 5);
+        assert_eq!(top.len(), 2); // only two columns exist
+        assert!(top[0].score >= top[1].score);
+        let top0 = select_top_k(&matrix, &labels, SelectionMethod::MeanDifference, 0);
+        assert!(top0.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per matrix row")]
+    fn mismatched_label_length_panics() {
+        let (_, _, matrix) = intro_example();
+        score_patterns(&matrix, &[0, 1], SelectionMethod::ChiSquared);
+    }
+
+    #[test]
+    fn entropy_helper_behaves_on_edge_cases() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[5]), 0.0);
+        assert!((entropy(&[2, 2]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! The *inverted event index* of §III-D.
+//!
+//! For each sequence `Si` and event `e`, the index stores the ordered list
+//! `L_{e,Si} = { j | Si[j] = e }` of 1-based positions at which `e` occurs.
+//! The `next(S, e, lowest)` subroutine of Algorithm 2 is then a single
+//! binary search (`O(log L)`), exactly as prescribed by the paper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::EventId;
+use crate::database::SequenceDatabase;
+
+/// Per-database inverted event index.
+///
+/// The index is laid out as `positions[seq][event] = Vec<u32>` where the
+/// inner vectors are strictly increasing 1-based positions. The per-sequence
+/// outer vector is indexed densely by event id, so lookups never hash.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    /// `positions[seq][event.index()]` = sorted positions of `event` in `seq`.
+    positions: Vec<Vec<Vec<u32>>>,
+    num_events: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index for `db` in a single pass over the data
+    /// (`O(total_length)` time and space).
+    pub fn build(db: &SequenceDatabase) -> Self {
+        let num_events = db.num_events();
+        let mut positions = Vec::with_capacity(db.num_sequences());
+        for sequence in db.sequences() {
+            let mut per_event: Vec<Vec<u32>> = vec![Vec::new(); num_events];
+            for (pos, event) in sequence.iter_positions() {
+                per_event[event.index()].push(pos as u32);
+            }
+            positions.push(per_event);
+        }
+        Self {
+            positions,
+            num_events,
+        }
+    }
+
+    /// Number of sequences covered by the index.
+    pub fn num_sequences(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of distinct events covered by the index.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// The `next(S, e, lowest)` subroutine (Algorithm 2, line 9): the
+    /// smallest 1-based position `l` in sequence `seq` with `l > lowest` and
+    /// `S[l] = event`, or `None` (the paper's `∞`) when no such position
+    /// exists.
+    #[inline]
+    pub fn next(&self, seq: usize, event: EventId, lowest: u32) -> Option<u32> {
+        let list = self.event_positions(seq, event)?;
+        let idx = list.partition_point(|&p| p <= lowest);
+        list.get(idx).copied()
+    }
+
+    /// All positions of `event` in sequence `seq` (sorted ascending), or
+    /// `None` when the sequence id or event id is out of range.
+    pub fn event_positions(&self, seq: usize, event: EventId) -> Option<&[u32]> {
+        self.positions
+            .get(seq)?
+            .get(event.index())
+            .map(Vec::as_slice)
+    }
+
+    /// Number of occurrences of `event` in sequence `seq`.
+    pub fn count_in_sequence(&self, seq: usize, event: EventId) -> usize {
+        self.event_positions(seq, event).map_or(0, <[u32]>::len)
+    }
+
+    /// Total number of occurrences of `event` in the whole database, i.e.
+    /// the repetitive support of the single-event pattern `event`.
+    pub fn total_count(&self, event: EventId) -> usize {
+        (0..self.positions.len())
+            .map(|s| self.count_in_sequence(s, event))
+            .sum()
+    }
+
+    /// Number of sequences in which `event` occurs at least once (classical
+    /// sequence support of a single event).
+    pub fn sequence_count(&self, event: EventId) -> usize {
+        (0..self.positions.len())
+            .filter(|&s| self.count_in_sequence(s, event) > 0)
+            .count()
+    }
+
+    /// Iterates over the sequences in which `event` occurs, yielding the
+    /// sequence index and the sorted position list.
+    pub fn sequences_with_event(
+        &self,
+        event: EventId,
+    ) -> impl Iterator<Item = (usize, &[u32])> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(move |(seq, per_event)| {
+                per_event
+                    .get(event.index())
+                    .filter(|v| !v.is_empty())
+                    .map(|v| (seq, v.as_slice()))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::SequenceDatabase;
+
+    /// Table III of the paper: S1 = ABCACBDDB, S2 = ACDBACADD.
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    #[test]
+    fn next_returns_strictly_greater_position() {
+        let db = running_example();
+        let index = db.inverted_index();
+        let c = db.catalog().id("C").unwrap();
+        // C occurs at positions 3 and 5 in S1.
+        assert_eq!(index.next(0, c, 0), Some(3));
+        assert_eq!(index.next(0, c, 3), Some(5));
+        assert_eq!(index.next(0, c, 5), None);
+    }
+
+    #[test]
+    fn next_matches_example_3_3() {
+        // In INSgrow(SeqDB, AC, I, B) the paper computes
+        // next(S1, B, max{6,5}) = 9.
+        let db = running_example();
+        let index = db.inverted_index();
+        let b = db.catalog().id("B").unwrap();
+        assert_eq!(index.next(0, b, 6), Some(9));
+    }
+
+    #[test]
+    fn counts_match_manual_inspection() {
+        let db = running_example();
+        let index = db.inverted_index();
+        let a = db.catalog().id("A").unwrap();
+        let d = db.catalog().id("D").unwrap();
+        // A: positions {1,4} in S1 and {1,5,7} in S2.
+        assert_eq!(index.count_in_sequence(0, a), 2);
+        assert_eq!(index.count_in_sequence(1, a), 3);
+        assert_eq!(index.total_count(a), 5);
+        assert_eq!(index.sequence_count(a), 2);
+        // D: positions {7,8} in S1 and {3,8,9} in S2.
+        assert_eq!(index.total_count(d), 5);
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_none_or_zero() {
+        let db = running_example();
+        let index = db.inverted_index();
+        assert_eq!(index.next(10, EventId(0), 0), None);
+        assert_eq!(index.next(0, EventId(99), 0), None);
+        assert_eq!(index.count_in_sequence(0, EventId(99)), 0);
+    }
+
+    #[test]
+    fn sequences_with_event_skips_sequences_without_it() {
+        let db = SequenceDatabase::from_str_rows(&["AAB", "CC", "BA"]);
+        let index = db.inverted_index();
+        let a = db.catalog().id("A").unwrap();
+        let hits: Vec<usize> = index.sequences_with_event(a).map(|(s, _)| s).collect();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn positions_are_sorted_and_one_based() {
+        let db = running_example();
+        let index = db.inverted_index();
+        for seq in 0..db.num_sequences() {
+            for event in db.catalog().ids() {
+                let positions = index.event_positions(seq, event).unwrap();
+                assert!(positions.windows(2).all(|w| w[0] < w[1]));
+                for &p in positions {
+                    assert_eq!(db.sequence(seq).unwrap().at(p as usize), Some(event));
+                }
+            }
+        }
+    }
+}

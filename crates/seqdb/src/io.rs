@@ -1,0 +1,288 @@
+//! Dataset readers and writers.
+//!
+//! Three textual formats are supported:
+//!
+//! * **SPMF integer format** — one sequence per line, events are
+//!   non-negative integers separated by `-1` (itemset terminator) and the
+//!   line is terminated by `-2`. Since this crate models *sequences of
+//!   single events* (not of itemsets), each itemset is expected to contain
+//!   exactly one event; a multi-event itemset is flattened in order.
+//! * **Token format** — one sequence per line, whitespace-separated string
+//!   tokens, `#`-prefixed lines are comments.
+//! * **Character format** — one sequence per line, every character is an
+//!   event (the notation used in the paper's examples).
+//!
+//! All readers work on any `BufRead`, so they can parse in-memory strings in
+//! tests and files in the CLI/benchmark harness.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::database::{DatabaseBuilder, SequenceDatabase};
+
+/// Errors produced by the dataset readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A token could not be parsed in the SPMF integer format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, token } => {
+                write!(f, "line {line}: cannot parse token '{token}' as an event id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(value: io::Error) -> Self {
+        IoError::Io(value)
+    }
+}
+
+/// Reads a database in the SPMF integer format from `reader`.
+///
+/// Event `k` is interned with the label `k.to_string()`, so the ids visible
+/// through the catalog are stable and human-readable.
+pub fn read_spmf<R: BufRead>(reader: R) -> Result<SequenceDatabase, IoError> {
+    let mut builder = DatabaseBuilder::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('@') {
+            continue;
+        }
+        let mut events: Vec<String> = Vec::new();
+        for token in trimmed.split_whitespace() {
+            match token.parse::<i64>() {
+                Ok(-1) => continue,
+                Ok(-2) => break,
+                Ok(v) if v >= 0 => events.push(v.to_string()),
+                _ => {
+                    return Err(IoError::Parse {
+                        line: line_no + 1,
+                        token: token.to_owned(),
+                    })
+                }
+            }
+        }
+        builder.push_tokens(events.iter().map(String::as_str));
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a database in the whitespace token format from `reader`.
+pub fn read_tokens<R: BufRead>(reader: R) -> Result<SequenceDatabase, IoError> {
+    let mut builder = DatabaseBuilder::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        builder.push_tokens(trimmed.split_whitespace());
+    }
+    Ok(builder.finish())
+}
+
+/// Reads a database in the character format (each character an event).
+pub fn read_chars<R: BufRead>(reader: R) -> Result<SequenceDatabase, IoError> {
+    let mut builder = DatabaseBuilder::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<String> = trimmed
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c.to_string())
+            .collect();
+        builder.push_tokens(tokens.iter().map(String::as_str));
+    }
+    Ok(builder.finish())
+}
+
+/// Convenience wrapper: reads an SPMF file from disk.
+pub fn read_spmf_file<P: AsRef<Path>>(path: P) -> Result<SequenceDatabase, IoError> {
+    read_spmf(BufReader::new(File::open(path)?))
+}
+
+/// Convenience wrapper: reads a token file from disk.
+pub fn read_tokens_file<P: AsRef<Path>>(path: P) -> Result<SequenceDatabase, IoError> {
+    read_tokens(BufReader::new(File::open(path)?))
+}
+
+/// Convenience wrapper: reads a character file from disk.
+pub fn read_chars_file<P: AsRef<Path>>(path: P) -> Result<SequenceDatabase, IoError> {
+    read_chars(BufReader::new(File::open(path)?))
+}
+
+/// Writes `db` in the SPMF integer format.
+///
+/// Events are numbered by their catalog id, so `write_spmf` followed by
+/// [`read_spmf`] preserves the structure (but re-labels events `0..E`).
+pub fn write_spmf<W: Write>(db: &SequenceDatabase, writer: &mut W) -> io::Result<()> {
+    for sequence in db.sequences() {
+        let mut first = true;
+        for event in sequence.events() {
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{} -1", event.0)?;
+            first = false;
+        }
+        if first {
+            write!(writer, "-2")?;
+        } else {
+            write!(writer, " -2")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Writes `db` in the token format using catalog labels.
+pub fn write_tokens<W: Write>(db: &SequenceDatabase, writer: &mut W) -> io::Result<()> {
+    for sequence in db.sequences() {
+        let row: Vec<String> = sequence
+            .events()
+            .iter()
+            .map(|&e| db.catalog().label_or_default(e))
+            .collect();
+        writeln!(writer, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: writes a token file to disk.
+pub fn write_tokens_file<P: AsRef<Path>>(db: &SequenceDatabase, path: P) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    write_tokens(db, &mut writer)?;
+    Ok(())
+}
+
+/// Convenience wrapper: writes an SPMF file to disk.
+pub fn write_spmf_file<P: AsRef<Path>>(db: &SequenceDatabase, path: P) -> Result<(), IoError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    write_spmf(db, &mut writer)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn spmf_round_trip_preserves_structure() {
+        let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+        let mut buf = Vec::new();
+        write_spmf(&db, &mut buf).unwrap();
+        let read_back = read_spmf(Cursor::new(buf)).unwrap();
+        assert_eq!(read_back.num_sequences(), db.num_sequences());
+        assert_eq!(read_back.num_events(), db.num_events());
+        assert_eq!(read_back.total_length(), db.total_length());
+        // The shape of each sequence is identical (ids map 1:1 because both
+        // databases intern in first-seen order).
+        for (a, b) in db.sequences().iter().zip(read_back.sequences()) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn spmf_reader_parses_standard_lines() {
+        let text = "1 -1 2 -1 3 -1 -2\n# comment\n\n2 -1 2 -1 -2\n";
+        let db = read_spmf(Cursor::new(text)).unwrap();
+        assert_eq!(db.num_sequences(), 2);
+        assert_eq!(db.num_events(), 3);
+        assert_eq!(db.sequences()[1].len(), 2);
+    }
+
+    #[test]
+    fn spmf_reader_rejects_garbage() {
+        let text = "1 -1 x -1 -2\n";
+        let err = read_spmf(Cursor::new(text)).unwrap_err();
+        match err {
+            IoError::Parse { line, token } => {
+                assert_eq!(line, 1);
+                assert_eq!(token, "x");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn token_round_trip_preserves_labels() {
+        let rows = vec![
+            vec!["lock", "unlock", "commit"],
+            vec!["lock", "unlock"],
+        ];
+        let db = SequenceDatabase::from_token_rows(&rows);
+        let mut buf = Vec::new();
+        write_tokens(&db, &mut buf).unwrap();
+        let read_back = read_tokens(Cursor::new(buf)).unwrap();
+        assert_eq!(read_back, db);
+    }
+
+    #[test]
+    fn char_reader_matches_from_str_rows() {
+        let text = "ABCABCA\nAABBCCC\n";
+        let db = read_chars(Cursor::new(text)).unwrap();
+        assert_eq!(db, SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\nAB\n# trailing\nBA\n";
+        let db = read_chars(Cursor::new(text)).unwrap();
+        assert_eq!(db.num_sequences(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_round_trips_through_spmf() {
+        let db = read_spmf(Cursor::new("-2\n1 -1 -2\n")).unwrap();
+        assert_eq!(db.num_sequences(), 2);
+        assert_eq!(db.sequences()[0].len(), 0);
+        let mut buf = Vec::new();
+        write_spmf(&db, &mut buf).unwrap();
+        let again = read_spmf(Cursor::new(buf)).unwrap();
+        assert_eq!(again.num_sequences(), 2);
+        assert_eq!(again.sequences()[0].len(), 0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("seqdb_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.tokens");
+        let db = SequenceDatabase::from_str_rows(&["ABAB", "BA"]);
+        write_tokens_file(&db, &path).unwrap();
+        let back = read_tokens_file(&path).unwrap();
+        assert_eq!(back, db);
+        std::fs::remove_file(&path).ok();
+    }
+}

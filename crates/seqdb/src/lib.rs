@@ -1,0 +1,51 @@
+//! # seqdb — sequence database substrate
+//!
+//! This crate implements the input model of the ICDE'09 paper *"Efficient
+//! Mining of Closed Repetitive Gapped Subsequences from a Sequence
+//! Database"*: a database `SeqDB = {S1, S2, ..., SN}` of sequences, where
+//! each sequence is an ordered list of events drawn from a finite alphabet.
+//!
+//! The crate provides:
+//!
+//! * [`EventCatalog`] — interning of event labels to dense [`EventId`]s so
+//!   that the mining algorithms work on small integers,
+//! * [`Sequence`] and [`SequenceDatabase`] — the database model with
+//!   builders and statistics,
+//! * [`InvertedIndex`] — the *inverted event index* of §III-D of the paper,
+//!   answering `next(S, e, lowest)` queries in `O(log L)` time,
+//! * [`io`] — readers and writers for common on-disk formats (SPMF integer
+//!   format, whitespace-token format, single-character string format, CSV),
+//! * [`stats`] — dataset summary statistics used by the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use seqdb::SequenceDatabase;
+//!
+//! // The running example of Table II in the paper.
+//! let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]);
+//! assert_eq!(db.num_sequences(), 2);
+//! assert_eq!(db.num_events(), 3);
+//! assert_eq!(db.total_length(), 14);
+//!
+//! let index = db.inverted_index();
+//! // the first 'C' in S1 strictly after position 0 (1-based positions)
+//! let a = db.catalog().id("C").unwrap();
+//! assert_eq!(index.next(0, a, 0), Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod database;
+pub mod index;
+pub mod io;
+pub mod sequence;
+pub mod stats;
+
+pub use catalog::{EventCatalog, EventId};
+pub use database::{DatabaseBuilder, SequenceDatabase};
+pub use index::InvertedIndex;
+pub use sequence::Sequence;
+pub use stats::DatabaseStats;

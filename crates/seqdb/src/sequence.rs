@@ -1,0 +1,190 @@
+//! A single sequence `S = e1 e2 ... e_len` of events.
+//!
+//! Positions are **1-based** throughout the crate family, matching the
+//! notation of the paper (`S[i]` is the i-th event, landmarks are sequences
+//! of 1-based positions). Internally events are stored densely in a `Vec`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::EventId;
+
+/// An ordered list of events; the unit stored in a
+/// [`SequenceDatabase`](crate::SequenceDatabase).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sequence {
+    events: Vec<EventId>,
+}
+
+impl Sequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a sequence from a vector of event ids.
+    pub fn from_events(events: Vec<EventId>) -> Self {
+        Self { events }
+    }
+
+    /// Appends an event to the end of the sequence.
+    pub fn push(&mut self, event: EventId) {
+        self.events.push(event);
+    }
+
+    /// Number of events in the sequence (`length` in the paper).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the sequence contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event at **1-based** position `pos` (`S[pos]` in the paper).
+    ///
+    /// Returns `None` when `pos == 0` or `pos > len`.
+    pub fn at(&self, pos: usize) -> Option<EventId> {
+        if pos == 0 {
+            return None;
+        }
+        self.events.get(pos - 1).copied()
+    }
+
+    /// The underlying events as a slice (0-based indexing).
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Iterates over `(position, event)` pairs with 1-based positions.
+    pub fn iter_positions(&self) -> impl Iterator<Item = (usize, EventId)> + '_ {
+        self.events.iter().copied().enumerate().map(|(i, e)| (i + 1, e))
+    }
+
+    /// Returns `true` if `pattern` occurs in this sequence as a (gapped)
+    /// subsequence, i.e. if there exists at least one landmark of `pattern`.
+    ///
+    /// This is the classical subsequence test used by sequential pattern
+    /// mining (Definition 2.1); it runs a greedy left-to-right scan in
+    /// `O(len)` time.
+    pub fn contains_subsequence(&self, pattern: &[EventId]) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        let mut j = 0;
+        for &e in &self.events {
+            if e == pattern[j] {
+                j += 1;
+                if j == pattern.len() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Finds the *leftmost landmark* of `pattern` in this sequence starting
+    /// strictly after position `after` (1-based), if any.
+    ///
+    /// Returns 1-based positions. This is a convenience routine used by the
+    /// baseline miners and by tests; the repetitive-support machinery in
+    /// `rgs-core` uses the inverted index instead.
+    pub fn leftmost_landmark_after(&self, pattern: &[EventId], after: usize) -> Option<Vec<usize>> {
+        if pattern.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut landmark = Vec::with_capacity(pattern.len());
+        let mut j = 0;
+        for (pos, e) in self.iter_positions() {
+            if pos <= after {
+                continue;
+            }
+            if e == pattern[j] {
+                landmark.push(pos);
+                j += 1;
+                if j == pattern.len() {
+                    return Some(landmark);
+                }
+            }
+        }
+        None
+    }
+
+    /// Counts occurrences of a single event in the sequence.
+    pub fn count_event(&self, event: EventId) -> usize {
+        self.events.iter().filter(|&&e| e == event).count()
+    }
+}
+
+impl FromIterator<EventId> for Sequence {
+    fn from_iter<T: IntoIterator<Item = EventId>>(iter: T) -> Self {
+        Sequence::from_events(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<EventId>> for Sequence {
+    fn from(events: Vec<EventId>) -> Self {
+        Sequence::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ids: &[u32]) -> Sequence {
+        ids.iter().map(|&i| EventId(i)).collect()
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let s = seq(&[10, 20, 30]);
+        assert_eq!(s.at(0), None);
+        assert_eq!(s.at(1), Some(EventId(10)));
+        assert_eq!(s.at(3), Some(EventId(30)));
+        assert_eq!(s.at(4), None);
+    }
+
+    #[test]
+    fn contains_subsequence_with_gaps() {
+        // S1 = A B C A B C A  (Table II), pattern ABA
+        let s = seq(&[0, 1, 2, 0, 1, 2, 0]);
+        assert!(s.contains_subsequence(&[EventId(0), EventId(1), EventId(0)]));
+        assert!(s.contains_subsequence(&[]));
+        assert!(!s.contains_subsequence(&[EventId(2), EventId(2), EventId(2)]));
+    }
+
+    #[test]
+    fn leftmost_landmark_respects_after() {
+        // A B C A B C A
+        let s = seq(&[0, 1, 2, 0, 1, 2, 0]);
+        let p = [EventId(0), EventId(1)];
+        assert_eq!(s.leftmost_landmark_after(&p, 0), Some(vec![1, 2]));
+        assert_eq!(s.leftmost_landmark_after(&p, 1), Some(vec![4, 5]));
+        assert_eq!(s.leftmost_landmark_after(&p, 4), None);
+    }
+
+    #[test]
+    fn count_event_counts_all_occurrences() {
+        let s = seq(&[0, 0, 1, 0, 2]);
+        assert_eq!(s.count_event(EventId(0)), 3);
+        assert_eq!(s.count_event(EventId(9)), 0);
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut s = Sequence::new();
+        assert!(s.is_empty());
+        s.push(EventId(5));
+        s.push(EventId(6));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events(), &[EventId(5), EventId(6)]);
+    }
+
+    #[test]
+    fn iter_positions_yields_one_based_pairs() {
+        let s = seq(&[7, 8]);
+        let v: Vec<_> = s.iter_positions().collect();
+        assert_eq!(v, vec![(1, EventId(7)), (2, EventId(8))]);
+    }
+}

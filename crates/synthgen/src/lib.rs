@@ -1,0 +1,36 @@
+//! # synthgen — synthetic workloads for the ICDE'09 evaluation
+//!
+//! The paper evaluates GSgrow/CloGSgrow on one synthetic and three real
+//! datasets. The real datasets (the KDD-Cup 2000 *Gazelle* clickstream, the
+//! *TCAS* software traces, and the JBoss transaction-component traces of the
+//! case study) are not redistributable, so this crate provides generators
+//! that reproduce their **published summary statistics and structural
+//! properties** — the properties the evaluation's qualitative conclusions
+//! depend on (see DESIGN.md, "Substitutions").
+//!
+//! * [`quest`] — an IBM QUEST-style sequence generator with the paper's
+//!   parameter vocabulary (`D`, `C`, `N`, `S`),
+//! * [`gazelle`] — a heavy-tailed clickstream generator,
+//! * [`tcas`] — a branching-and-loop program-trace generator,
+//! * [`jboss`] — a transaction-component trace generator with named events
+//!   for the case study,
+//! * [`labeled`] — a labeled buggy/normal trace generator for the
+//!   classification pipeline of the `rgs-features` crate.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gazelle;
+pub mod jboss;
+pub mod labeled;
+pub mod quest;
+pub mod tcas;
+mod util;
+
+pub use gazelle::GazelleConfig;
+pub use jboss::JbossConfig;
+pub use labeled::LabeledTraceConfig;
+pub use quest::QuestConfig;
+pub use tcas::TcasConfig;

@@ -1,0 +1,295 @@
+//! IBM QUEST-style synthetic sequence generator.
+//!
+//! The paper's synthetic datasets are produced by the IBM data generator of
+//! Agrawal & Srikant with four parameters: `D` — number of sequences (in
+//! thousands), `C` — average number of events per sequence, `N` — number of
+//! distinct events (in thousands), and `S` — average length of the maximal
+//! potentially-frequent sequences embedded in the data (e.g.
+//! `D5C20N10S20`). This module re-implements that generation scheme from
+//! scratch:
+//!
+//! 1. a pool of "maximal potential patterns" is drawn (lengths around `S`,
+//!    events drawn from a Zipf-skewed alphabet, patterns partially derived
+//!    from one another so that they share sub-patterns),
+//! 2. each sequence is assembled by embedding one or more patterns (with
+//!    gaps, noise events and occasional within-sequence repetition) until a
+//!    target length around `C` is reached.
+//!
+//! The within-sequence repetition knob is what makes the data interesting
+//! for *repetitive* gapped-subsequence mining: the same pattern instance can
+//! occur several times in one sequence, exactly the behaviour the paper's
+//! support definition is designed to capture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use seqdb::{DatabaseBuilder, SequenceDatabase};
+
+use crate::util::{sample_length, ZipfSampler};
+
+/// Configuration of the QUEST-style generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestConfig {
+    /// Number of sequences (`D`, absolute — not thousands).
+    pub num_sequences: usize,
+    /// Average number of events per sequence (`C`).
+    pub avg_sequence_length: usize,
+    /// Number of distinct events (`N`, absolute — not thousands).
+    pub num_events: usize,
+    /// Average length of the embedded maximal patterns (`S`).
+    pub avg_pattern_length: usize,
+    /// Size of the pool of maximal potential patterns (QUEST's `NS`
+    /// parameter; 100–5000 in the original generator).
+    pub num_patterns: usize,
+    /// Probability that an embedded pattern is immediately embedded again
+    /// (producing within-sequence repetition).
+    pub repetition_probability: f64,
+    /// Fraction of noise events interleaved between pattern events.
+    pub noise_ratio: f64,
+    /// Zipf exponent of the event-popularity distribution.
+    pub event_skew: f64,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        Self {
+            num_sequences: 1_000,
+            avg_sequence_length: 20,
+            num_events: 1_000,
+            avg_pattern_length: 8,
+            num_patterns: 200,
+            repetition_probability: 0.35,
+            noise_ratio: 0.25,
+            event_skew: 0.8,
+            seed: 0x1CDE_2009,
+        }
+    }
+}
+
+impl QuestConfig {
+    /// The paper's parameter notation: `D` and `N` in thousands, `C` and `S`
+    /// as-is. `QuestConfig::paper(5, 20, 10, 20)` is the `D5C20N10S20`
+    /// dataset of Figure 2.
+    pub fn paper(d_thousands: usize, c: usize, n_thousands: usize, s: usize) -> Self {
+        Self {
+            num_sequences: d_thousands * 1_000,
+            avg_sequence_length: c,
+            num_events: n_thousands * 1_000,
+            avg_pattern_length: s,
+            ..Self::default()
+        }
+    }
+
+    /// A proportionally scaled-down version of the same workload: sequence
+    /// and event counts are divided by `factor` (lengths are preserved).
+    /// Used by the default experiment presets so the whole harness runs in
+    /// minutes while keeping the qualitative shape of the figures.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        self.num_sequences = (self.num_sequences / factor).max(10);
+        self.num_events = (self.num_events / factor).max(20);
+        self.num_patterns = (self.num_patterns / factor.min(4)).max(20);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The canonical dataset name in the paper's notation, e.g.
+    /// `D5C20N10S20` (rounded to the nearest thousand for `D` and `N`).
+    pub fn name(&self) -> String {
+        format!(
+            "D{}C{}N{}S{}",
+            (self.num_sequences as f64 / 1000.0).round() as usize,
+            self.avg_sequence_length,
+            (self.num_events as f64 / 1000.0).round() as usize,
+            self.avg_pattern_length
+        )
+    }
+
+    /// Generates the database.
+    pub fn generate(&self) -> SequenceDatabase {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_events = self.num_events.max(2);
+        let event_sampler = ZipfSampler::new(num_events, self.event_skew);
+
+        // 1. Pattern pool. Later patterns reuse a prefix of an earlier one
+        //    with some probability, mimicking QUEST's "corruption" step that
+        //    makes patterns share structure.
+        let mut pool: Vec<Vec<usize>> = Vec::with_capacity(self.num_patterns.max(1));
+        for _ in 0..self.num_patterns.max(1) {
+            let len = sample_length(
+                &mut rng,
+                self.avg_pattern_length.max(2) as f64,
+                2,
+                (self.avg_pattern_length.max(2)) * 3,
+            );
+            let mut pattern = Vec::with_capacity(len);
+            if !pool.is_empty() && rng.gen_bool(0.4) {
+                let parent: &Vec<usize> = &pool[rng.gen_range(0..pool.len())];
+                let keep = rng.gen_range(1..=parent.len().min(len));
+                pattern.extend_from_slice(&parent[..keep]);
+            }
+            while pattern.len() < len {
+                pattern.push(event_sampler.sample(&mut rng));
+            }
+            pool.push(pattern);
+        }
+        // Pattern popularity is also skewed.
+        let pattern_sampler = ZipfSampler::new(pool.len(), 0.7);
+
+        // 2. Sequences.
+        let mut builder = DatabaseBuilder::new();
+        // Pre-intern all event labels so ids are dense and stable.
+        for e in 0..num_events {
+            builder.intern(&format!("e{e}"));
+        }
+        for _ in 0..self.num_sequences {
+            let target = sample_length(
+                &mut rng,
+                self.avg_sequence_length.max(1) as f64,
+                1,
+                self.avg_sequence_length.max(1) * 4,
+            );
+            let mut events: Vec<usize> = Vec::with_capacity(target + 8);
+            while events.len() < target {
+                let pattern = &pool[pattern_sampler.sample(&mut rng)];
+                let mut embeds = 1;
+                while rng.gen_bool(self.repetition_probability) && embeds < 4 {
+                    embeds += 1;
+                }
+                for _ in 0..embeds {
+                    for &event in pattern {
+                        if rng.gen_bool(self.noise_ratio) {
+                            events.push(event_sampler.sample(&mut rng));
+                        }
+                        events.push(event);
+                        if events.len() >= target + 8 {
+                            break;
+                        }
+                    }
+                    if events.len() >= target + 8 {
+                        break;
+                    }
+                }
+            }
+            events.truncate(target.max(1));
+            let labels: Vec<String> = events.iter().map(|e| format!("e{e}")).collect();
+            builder.push_tokens(labels.iter().map(String::as_str));
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_a_fixed_seed() {
+        let config = QuestConfig {
+            num_sequences: 50,
+            avg_sequence_length: 15,
+            num_events: 100,
+            avg_pattern_length: 5,
+            num_patterns: 20,
+            ..QuestConfig::default()
+        };
+        let a = config.generate();
+        let b = config.generate();
+        assert_eq!(a, b);
+        let c = config.clone().with_seed(99).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn statistics_roughly_match_the_configuration() {
+        let config = QuestConfig {
+            num_sequences: 300,
+            avg_sequence_length: 20,
+            num_events: 200,
+            avg_pattern_length: 6,
+            num_patterns: 40,
+            ..QuestConfig::default()
+        };
+        let db = config.generate();
+        let stats = db.stats();
+        assert_eq!(stats.num_sequences, 300);
+        assert!(stats.num_events <= 200);
+        assert!(
+            (stats.avg_length - 20.0).abs() < 6.0,
+            "avg length {} too far from 20",
+            stats.avg_length
+        );
+        assert!(stats.max_length <= 80);
+    }
+
+    #[test]
+    fn paper_notation_builds_the_figure_2_name() {
+        let config = QuestConfig::paper(5, 20, 10, 20);
+        assert_eq!(config.name(), "D5C20N10S20");
+        assert_eq!(config.num_sequences, 5_000);
+        assert_eq!(config.num_events, 10_000);
+    }
+
+    #[test]
+    fn scaled_down_divides_sizes_but_keeps_lengths() {
+        let config = QuestConfig::paper(5, 20, 10, 20).scaled_down(50);
+        assert_eq!(config.num_sequences, 100);
+        assert_eq!(config.num_events, 200);
+        assert_eq!(config.avg_sequence_length, 20);
+        assert_eq!(config.avg_pattern_length, 20);
+    }
+
+    #[test]
+    fn sequences_repeat_patterns_within_themselves() {
+        // The whole point of the workload: some event must occur more than
+        // once within a single sequence reasonably often.
+        let config = QuestConfig {
+            num_sequences: 100,
+            avg_sequence_length: 30,
+            num_events: 50,
+            avg_pattern_length: 5,
+            num_patterns: 10,
+            repetition_probability: 0.5,
+            ..QuestConfig::default()
+        };
+        let db = config.generate();
+        let repeated = db
+            .sequences()
+            .iter()
+            .filter(|s| {
+                let mut counts = std::collections::HashMap::new();
+                for &e in s.events() {
+                    *counts.entry(e).or_insert(0usize) += 1;
+                }
+                counts.values().any(|&c| c >= 2)
+            })
+            .count();
+        assert!(
+            repeated > 50,
+            "expected most sequences to contain repeated events, got {repeated}/100"
+        );
+    }
+
+    #[test]
+    fn tiny_configurations_do_not_panic() {
+        let config = QuestConfig {
+            num_sequences: 3,
+            avg_sequence_length: 1,
+            num_events: 2,
+            avg_pattern_length: 2,
+            num_patterns: 1,
+            ..QuestConfig::default()
+        };
+        let db = config.generate();
+        assert_eq!(db.num_sequences(), 3);
+        assert!(db.total_length() >= 3);
+    }
+}

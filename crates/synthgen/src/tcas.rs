@@ -1,0 +1,186 @@
+//! TCAS-like program-trace generator.
+//!
+//! The TCAS dataset of Figure 4 consists of 1 578 execution traces of the
+//! Traffic alert and Collision Avoidance System over 75 distinct events,
+//! with an average trace length of 36 and a maximum of 70. The decisive
+//! structural property for the evaluation is that traces come from a program
+//! with branches and loops: the same short blocks of events repeat within a
+//! trace, so the number of *all* frequent repetitive patterns explodes even
+//! at high support thresholds while the closed set stays manageable
+//! (CloGSgrow finishes at `min_sup = 1`, GSgrow does not finish at 886).
+//!
+//! The generator models a small procedure-call state machine: an entry
+//! block, a main loop whose body is one of a few alternative branch blocks,
+//! and an exit block.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use seqdb::{DatabaseBuilder, SequenceDatabase};
+
+/// Configuration of the TCAS-like trace generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcasConfig {
+    /// Number of traces. The real dataset has 1 578.
+    pub num_sequences: usize,
+    /// Number of distinct events. The real dataset has 75.
+    pub num_events: usize,
+    /// Maximum trace length. The real dataset's maximum is 70.
+    pub max_length: usize,
+    /// Average number of loop iterations per trace.
+    pub avg_loop_iterations: usize,
+    /// Number of alternative branch blocks inside the loop body.
+    pub num_branches: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TcasConfig {
+    fn default() -> Self {
+        Self {
+            num_sequences: 1_578,
+            num_events: 75,
+            max_length: 70,
+            avg_loop_iterations: 4,
+            num_branches: 4,
+            seed: 1_578,
+        }
+    }
+}
+
+impl TcasConfig {
+    /// A scaled-down preset (sequence count divided by `factor`; the event
+    /// alphabet and trace shape are preserved because they are already
+    /// small).
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        self.num_sequences = (self.num_sequences / factor.max(1)).max(30);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the trace database.
+    pub fn generate(&self) -> SequenceDatabase {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_events = self.num_events.max(12);
+
+        // Partition the alphabet into blocks: entry, per-branch bodies,
+        // a guard block executed every iteration, and exit.
+        let entry_len = (num_events / 8).max(2);
+        let exit_len = (num_events / 10).max(2);
+        let guard_len = (num_events / 10).max(2);
+        let branch_count = self.num_branches.max(1);
+        let remaining = num_events.saturating_sub(entry_len + exit_len + guard_len);
+        let branch_len = (remaining / branch_count).max(2);
+
+        let mut next_event = 0usize;
+        let mut take = |n: usize| {
+            let block: Vec<usize> = (next_event..next_event + n).collect();
+            next_event += n;
+            block
+        };
+        let entry = take(entry_len);
+        let guard = take(guard_len);
+        let branches: Vec<Vec<usize>> = (0..branch_count).map(|_| take(branch_len)).collect();
+        let exit = take(exit_len);
+
+        let mut builder = DatabaseBuilder::new();
+        for e in 0..num_events {
+            builder.intern(&format!("fn{e}"));
+        }
+        for _ in 0..self.num_sequences {
+            let mut events: Vec<usize> = Vec::with_capacity(self.max_length);
+            events.extend_from_slice(&entry);
+            let iterations = 1 + rng.gen_range(0..=self.avg_loop_iterations * 2);
+            for _ in 0..iterations {
+                if events.len() + guard.len() + branch_len + exit.len() > self.max_length {
+                    break;
+                }
+                events.extend_from_slice(&guard);
+                let branch = &branches[rng.gen_range(0..branches.len())];
+                // Branch bodies occasionally skip trailing calls (early
+                // return), so traces are not all identical.
+                let keep = rng.gen_range((branch.len() / 2).max(1)..=branch.len());
+                events.extend_from_slice(&branch[..keep]);
+            }
+            events.extend_from_slice(&exit);
+            events.truncate(self.max_length);
+            let labels: Vec<String> = events.iter().map(|e| format!("fn{e}")).collect();
+            builder.push_tokens(labels.iter().map(String::as_str));
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TcasConfig {
+        TcasConfig::default().scaled_down(16)
+    }
+
+    #[test]
+    fn default_matches_published_summary_statistics() {
+        let config = TcasConfig::default();
+        assert_eq!(config.num_sequences, 1_578);
+        assert_eq!(config.num_events, 75);
+        assert_eq!(config.max_length, 70);
+    }
+
+    #[test]
+    fn traces_respect_the_maximum_length_and_alphabet() {
+        let db = small().generate();
+        let stats = db.stats();
+        assert!(stats.max_length <= 70);
+        assert!(stats.num_events <= 75);
+        assert!(stats.avg_length > 10.0, "avg {}", stats.avg_length);
+        assert!(stats.avg_length < 70.0);
+    }
+
+    #[test]
+    fn loops_produce_within_trace_repetition() {
+        let db = small().generate();
+        // The guard block runs once per loop iteration, so most traces
+        // repeat its first event at least twice.
+        let repeated = db
+            .sequences()
+            .iter()
+            .filter(|s| {
+                let mut counts = std::collections::HashMap::new();
+                for &e in s.events() {
+                    *counts.entry(e).or_insert(0usize) += 1;
+                }
+                counts.values().any(|&c| c >= 2)
+            })
+            .count();
+        assert!(
+            repeated * 10 >= db.num_sequences() * 6,
+            "expected >=60% of traces to contain repetition, got {repeated}/{}",
+            db.num_sequences()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(small().generate(), small().generate());
+        assert_ne!(
+            small().generate(),
+            small().with_seed(4242).generate()
+        );
+    }
+
+    #[test]
+    fn every_trace_starts_with_the_entry_block_and_ends_in_the_exit_block() {
+        let db = small().generate();
+        let entry_first = db.catalog().id("fn0").unwrap();
+        for seq in db.sequences() {
+            assert_eq!(seq.at(1), Some(entry_first));
+        }
+    }
+}

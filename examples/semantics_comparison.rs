@@ -1,0 +1,66 @@
+//! Reproduces the Table I / Example 1.1 comparison: the support of the
+//! patterns `AB` and `CD` under every related-work support semantics.
+//!
+//! Run with `cargo run --example semantics_comparison`.
+
+use repetitive_gapped_mining::baselines::semantics;
+use repetitive_gapped_mining::prelude::*;
+
+fn main() {
+    // Example 1.1: S1 = AABCDABB (customer with repeating behaviour),
+    //              S2 = ABCD (one-off customer).
+    let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+    let s1 = db.sequence(0).expect("S1 exists");
+    let ab = db.pattern_from_str("AB").expect("AB");
+    let cd = db.pattern_from_str("CD").expect("CD");
+
+    println!("S1 = AABCDABB, S2 = ABCD\n");
+    println!("{:<55} {:>7} {:>7}", "support semantics", "sup(AB)", "sup(CD)");
+    println!("{}", "-".repeat(71));
+
+    let row = |name: &str, ab_value: u64, cd_value: u64| {
+        println!("{name:<55} {ab_value:>7} {cd_value:>7}");
+    };
+
+    row(
+        "sequential pattern mining (sequences containing P)",
+        semantics::sequence_count_support(&db, &ab),
+        semantics::sequence_count_support(&db, &cd),
+    );
+    row(
+        "episode mining, width-4 windows (S1 only)",
+        semantics::episode_window_count(s1, &ab, 4),
+        semantics::episode_window_count(s1, &cd, 4),
+    );
+    row(
+        "episode mining, minimal windows (S1 only)",
+        semantics::minimal_window_count(s1, &ab),
+        semantics::minimal_window_count(s1, &cd),
+    );
+    row(
+        "periodic patterns, gap requirement 0..=3 (S1 only)",
+        semantics::gap_constrained_count(s1, &ab, 0, 3),
+        semantics::gap_constrained_count(s1, &cd, 0, 3),
+    );
+    row(
+        "interaction patterns (substrings, whole DB)",
+        semantics::interaction_pattern_support(&db, &ab),
+        semantics::interaction_pattern_support(&db, &cd),
+    );
+    row(
+        "iterative patterns (MSC/LSC semantics, whole DB)",
+        semantics::iterative_pattern_support(&db, &ab),
+        semantics::iterative_pattern_support(&db, &cd),
+    );
+    row(
+        "repetitive support (this paper, whole DB)",
+        repetitive_support(&db, &ab),
+        repetitive_support(&db, &cd),
+    );
+
+    println!(
+        "\nOnly repetitive support both (i) counts within-sequence repetition and\n\
+         (ii) counts every sequence's non-overlapping occurrences exactly once,\n\
+         which is why AB (4) is separated from CD (2) without over-counting."
+    );
+}

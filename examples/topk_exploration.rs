@@ -1,0 +1,57 @@
+//! Exploring a dataset with top-k and maximal mining instead of guessing a
+//! support threshold.
+//!
+//! Figures 2–6 of the paper show how sensitive the output size is to
+//! `min_sup`; for exploratory analysis it is often easier to ask for "the
+//! 15 most frequent closed patterns of length ≥ 2" (top-k mining) or for
+//! "the longest patterns that are still frequent" (maximal mining). Both are
+//! built on the same instance-growth machinery.
+//!
+//! Run with `cargo run --release --example topk_exploration`.
+
+use repetitive_gapped_mining::prelude::*;
+use repetitive_gapped_mining::synthgen::QuestConfig;
+
+fn main() {
+    // A small QUEST-style synthetic dataset (the paper's D?C20N10S20 shape,
+    // scaled down so the example runs in well under a second).
+    let db = QuestConfig::paper(5, 20, 10, 20).scaled_down(50).generate();
+    println!("dataset: {}", db.stats().summary());
+
+    // 1. Top-k closed patterns of length >= 2, no threshold guessing.
+    let topk = mine_top_k(&db, &TopKConfig::new(15).with_min_sup_floor(3));
+    println!("\ntop-{} closed patterns (length >= 2):", topk.len());
+    let catalog = db.catalog();
+    for mp in &topk.patterns {
+        println!("  sup {:>4}  {}", mp.support, mp.pattern.render_with(catalog, " "));
+    }
+
+    // 2. The support of the 15th pattern is a data-driven threshold: use it
+    //    for a conventional closed-pattern run and compare sizes.
+    let data_driven_threshold = topk.patterns.last().map(|mp| mp.support).unwrap_or(2);
+    let closed = mine_closed(&db, &MiningConfig::new(data_driven_threshold));
+    println!(
+        "\nclosed patterns at the data-driven threshold {}: {}",
+        data_driven_threshold,
+        closed.len()
+    );
+
+    // 3. Maximal patterns at the same threshold: the frontier of longest
+    //    frequent behaviour.
+    let maximal = mine_maximal(&db, &MiningConfig::new(data_driven_threshold));
+    println!(
+        "maximal patterns at the same threshold: {} (longest length {})",
+        maximal.len(),
+        maximal.max_pattern_length()
+    );
+    let mut by_length = maximal.patterns.clone();
+    by_length.sort_by(|a, b| b.pattern.len().cmp(&a.pattern.len()));
+    for mp in by_length.iter().take(5) {
+        println!(
+            "  len {:>2} sup {:>3}  {}",
+            mp.pattern.len(),
+            mp.support,
+            mp.pattern.render_with(catalog, " ")
+        );
+    }
+}

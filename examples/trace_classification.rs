@@ -1,0 +1,69 @@
+//! Classifying buggy vs. normal program traces with repetitive-pattern
+//! features — the application sketched in the paper's future-work section.
+//!
+//! The pipeline is: generate a labeled corpus of execution traces, mine the
+//! closed repetitive gapped subsequences of the training split, keep the
+//! most discriminative patterns (by the spread of per-class mean supports),
+//! train a simple classifier on the per-sequence repetition counts, and
+//! evaluate on the held-out split.
+//!
+//! Run with `cargo run --release --example trace_classification`.
+
+use repetitive_gapped_mining::features::pipeline::{run_pipeline, PipelineConfig};
+use repetitive_gapped_mining::features::{LabeledDatabase, SelectionMethod};
+use repetitive_gapped_mining::synthgen::labeled::LabeledTraceConfig;
+
+fn main() {
+    // 1. A labeled corpus: 60 normal + 60 buggy traces of a small
+    //    resource-handling program. Both classes share the vocabulary; they
+    //    differ in how often `error retry` bursts and unmatched `acquire`s
+    //    repeat within a trace.
+    let (db, labels) = LabeledTraceConfig::default().generate();
+    let data = LabeledDatabase::new(db, labels).expect("labels align with sequences");
+    println!("corpus: {}", data.summary());
+
+    // 2. Stratified train/test split.
+    let (train, test) = data
+        .stratified_split(0.7, 42)
+        .expect("both classes are large enough to split");
+    println!(
+        "train: {} sequences, test: {} sequences",
+        train.num_sequences(),
+        test.num_sequences()
+    );
+
+    // 3. Mine → select → train on the training split only. Candidate
+    //    patterns are capped at length 4: the discriminative behaviours
+    //    (`error retry` bursts, unmatched `acquire use`) are short, and the
+    //    cap keeps the candidate set small on these loop-heavy traces.
+    let config = PipelineConfig::new(60, 8)
+        .with_selection(SelectionMethod::MeanDifference)
+        .with_max_pattern_length(4);
+    let report = run_pipeline(&train, &config).expect("pipeline runs");
+    println!(
+        "mined {} closed patterns, selected {} discriminative features:",
+        report.mined_patterns,
+        report.pipeline.selected.len()
+    );
+    let catalog = train.database().catalog();
+    for scored in &report.pipeline.selected {
+        println!(
+            "  {:<30} score {:.3}",
+            scored.pattern.render_with(catalog, " "),
+            scored.score
+        );
+    }
+    println!("training accuracy: {:.3}", report.training_accuracy);
+
+    // 4. Evaluate on the held-out traces.
+    let eval = report.pipeline.evaluate(&test);
+    println!("held-out accuracy: {:.3}", eval.accuracy());
+    println!("held-out macro-F1: {:.3}", eval.macro_f1());
+    for (class, name) in test.class_names().iter().enumerate() {
+        println!(
+            "  class {name:<7} precision {:.3} recall {:.3}",
+            eval.precision(class),
+            eval.recall(class)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! # repetitive-gapped-mining — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *"Efficient Mining of Closed
+//! Repetitive Gapped Subsequences from a Sequence Database"* (Ding, Lo, Han
+//! & Khoo, ICDE 2009).
+//!
+//! This crate re-exports the public API of the workspace members so that a
+//! downstream user only needs one dependency:
+//!
+//! * [`seqdb`] — sequence database model, inverted event index, dataset I/O,
+//! * [`core`] (crate `rgs-core`) — repetitive support, instance growth,
+//!   GSgrow, CloGSgrow, case-study post-processing,
+//! * [`synthgen`] — synthetic workload generators reproducing the paper's
+//!   evaluation datasets,
+//! * [`baselines`] — sequential-pattern miners (PrefixSpan, BIDE-style,
+//!   CloSpan-lite, SPAM-style), serial episode miners, and the alternative
+//!   support semantics of Table I,
+//! * [`features`] (crate `rgs-features`) — per-sequence repetitive-support
+//!   feature extraction, discriminative pattern selection, and sequence
+//!   classification (the paper's future-work direction).
+//!
+//! Beyond the paper's two algorithms, `rgs-core` also ships the extensions
+//! sketched in the paper's conclusion: gap/window-constrained mining
+//! ([`core::constrained`]), top-k mining ([`core::topk`]), and maximal
+//! pattern mining ([`core::maximal`]).
+//!
+//! # Example
+//!
+//! ```
+//! use repetitive_gapped_mining::prelude::*;
+//!
+//! // Example 1.1 of the paper: two customers' purchase histories.
+//! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+//!
+//! // Closed repetitive gapped subsequences with support >= 2.
+//! let closed = mine_closed(&db, &MiningConfig::new(2));
+//! assert!(!closed.is_empty());
+//!
+//! // Repetitive support distinguishes AB (repeats within S1) from CD.
+//! let ab = db.pattern_from_str("AB").unwrap();
+//! let cd = db.pattern_from_str("CD").unwrap();
+//! assert_eq!(repetitive_support(&db, &ab), 4);
+//! assert_eq!(repetitive_support(&db, &cd), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use rgs_core as core;
+pub use rgs_features as features;
+pub use seqdb;
+pub use synthgen;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use rgs_core::{
+        constrained_support, instance_growth, mine_all, mine_all_constrained, mine_closed,
+        mine_closed_constrained, mine_maximal, mine_top_k, postprocess, repetitive_support,
+        support_set, GapConstraints, Instance, Landmark, MinedPattern, MiningConfig,
+        MiningOutcome, Pattern, PostProcessConfig, SupportComputer, SupportSet, TopKConfig,
+    };
+    pub use rgs_features::{
+        extract_features, ClassId, Classifier, FeatureMatrix, LabeledDatabase, SelectionMethod,
+    };
+    pub use seqdb::{
+        DatabaseBuilder, EventCatalog, EventId, InvertedIndex, Sequence, SequenceDatabase,
+    };
+}

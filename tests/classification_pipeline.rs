@@ -1,0 +1,144 @@
+//! End-to-end integration test of the classification pipeline: labeled trace
+//! generation (synthgen) → closed repetitive pattern mining (rgs-core) →
+//! feature extraction, selection, training, and evaluation (rgs-features).
+
+use repetitive_gapped_mining::features::classify::{
+    cross_validate, MultinomialNaiveBayes, NearestCentroid,
+};
+use repetitive_gapped_mining::features::pipeline::{run_pipeline, ClassifierKind, PipelineConfig};
+use repetitive_gapped_mining::features::{
+    extract_features, select_top_k, LabeledDatabase, SelectionMethod,
+};
+use repetitive_gapped_mining::prelude::*;
+use repetitive_gapped_mining::synthgen::labeled::{LabeledTraceConfig, BUGGY_LABEL};
+
+fn corpus() -> LabeledDatabase {
+    let (db, labels) = LabeledTraceConfig::default()
+        .with_traces_per_class(40)
+        .with_seed(77)
+        .generate();
+    LabeledDatabase::new(db, labels).expect("aligned labels")
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig::new(40, 6).with_max_pattern_length(4)
+}
+
+#[test]
+fn pipeline_separates_buggy_from_normal_traces_on_held_out_data() {
+    let data = corpus();
+    let (train, test) = data.stratified_split(0.7, 3).unwrap();
+    let report = run_pipeline(&train, &pipeline_config()).unwrap();
+    assert!(report.mined_patterns > 0);
+    assert!(!report.pipeline.selected.is_empty());
+    let eval = report.pipeline.evaluate(&test);
+    assert!(
+        eval.accuracy() >= 0.7,
+        "held-out accuracy {} too low",
+        eval.accuracy()
+    );
+    // Both classes must be predicted at least once (no degenerate model).
+    let predictions = report.pipeline.predict(test.database());
+    assert!(predictions.iter().any(|&c| c == 0));
+    assert!(predictions.iter().any(|&c| c == 1));
+}
+
+#[test]
+fn selected_features_capture_the_buggy_behaviour() {
+    let data = corpus();
+    let report = run_pipeline(&data, &pipeline_config()).unwrap();
+    let catalog = data.database().catalog();
+    let rendered: Vec<String> = report
+        .pipeline
+        .feature_patterns()
+        .iter()
+        .map(|p| p.render_with(catalog, " "))
+        .collect();
+    // The error/retry burst is the hallmark of buggy traces; at least one of
+    // the selected discriminative patterns must mention it.
+    assert!(
+        rendered.iter().any(|p| p.contains("error") || p.contains("retry")),
+        "selected features {rendered:?} miss the buggy behaviour"
+    );
+}
+
+#[test]
+fn both_classifiers_beat_a_majority_baseline_in_cross_validation() {
+    let data = corpus();
+    // Mine + select once on the full corpus, then cross-validate the
+    // classifiers over the resulting feature matrix.
+    let mined = mine_closed(
+        data.database(),
+        &MiningConfig::new(40).with_max_pattern_length(4),
+    );
+    let candidates: Vec<Pattern> = mined
+        .patterns
+        .iter()
+        .filter(|mp| mp.pattern.len() >= 2)
+        .map(|mp| mp.pattern.clone())
+        .collect();
+    assert!(!candidates.is_empty());
+    let matrix = extract_features(data.database(), &candidates);
+    let selected = select_top_k(&matrix, data.class_ids(), SelectionMethod::MeanDifference, 6);
+    let columns: Vec<usize> = selected.iter().map(|s| s.column).collect();
+    let reduced = matrix.select_columns(&columns);
+    let folds = data.stratified_folds(4, 9).unwrap();
+
+    let nc_evals = cross_validate(&reduced, data.class_ids(), &folds, NearestCentroid::new);
+    let nb_evals = cross_validate(
+        &reduced,
+        data.class_ids(),
+        &folds,
+        MultinomialNaiveBayes::new,
+    );
+    for evals in [&nc_evals, &nb_evals] {
+        let mean_accuracy: f64 =
+            evals.iter().map(|e| e.accuracy()).sum::<f64>() / evals.len() as f64;
+        assert!(
+            mean_accuracy > 0.6,
+            "cross-validated accuracy {mean_accuracy} is not better than chance"
+        );
+    }
+}
+
+#[test]
+fn naive_bayes_pipeline_variant_also_works_end_to_end() {
+    let data = corpus();
+    let config = pipeline_config()
+        .with_classifier(ClassifierKind::NaiveBayes)
+        .with_selection(SelectionMethod::InformationGain);
+    let report = run_pipeline(&data, &config).unwrap();
+    assert!(report.training_accuracy >= 0.6);
+}
+
+#[test]
+fn per_sequence_features_reflect_within_trace_repetition() {
+    // The defining property of repetitive-support features: a buggy trace
+    // with many error-retry bursts gets a *larger* feature value than a
+    // normal trace where the pattern occurs once, even though both contain
+    // the pattern (presence is identical).
+    let data = corpus();
+    let db = data.database();
+    let error_retry = Pattern::new(db.pattern_from_labels(&["error", "retry"]).unwrap());
+    let matrix = extract_features(db, &[error_retry]);
+    let mut buggy_total = 0.0;
+    let mut buggy_count = 0.0;
+    let mut normal_total = 0.0;
+    let mut normal_count = 0.0;
+    for (seq, label) in (0..data.num_sequences()).zip(data.class_ids()) {
+        let value = matrix.value(seq, 0);
+        if data.class_names()[*label] == BUGGY_LABEL {
+            buggy_total += value;
+            buggy_count += 1.0;
+        } else {
+            normal_total += value;
+            normal_count += 1.0;
+        }
+    }
+    let buggy_mean = buggy_total / buggy_count;
+    let normal_mean = normal_total / normal_count;
+    assert!(
+        buggy_mean > normal_mean * 2.0,
+        "buggy mean {buggy_mean} should dwarf normal mean {normal_mean}"
+    );
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests of the extension features (gap-constrained
+//! mining, top-k mining, maximal mining) on generated workloads.
+
+use repetitive_gapped_mining::prelude::*;
+use repetitive_gapped_mining::synthgen::{QuestConfig, TcasConfig};
+
+/// A small but non-trivial synthetic dataset shared by the tests.
+fn quest_db() -> SequenceDatabase {
+    QuestConfig::paper(5, 20, 10, 20).scaled_down(100).generate()
+}
+
+#[test]
+fn constrained_mining_nests_by_constraint_tightness() {
+    // Tighter constraints can only shrink supports, so the frequent set at a
+    // fixed threshold shrinks as the window gets tighter.
+    let db = quest_db();
+    let config = MiningConfig::new(8).with_max_patterns(100_000);
+    let loose = mine_all_constrained(&db, &config, GapConstraints::max_window(50));
+    let medium = mine_all_constrained(&db, &config, GapConstraints::max_window(10));
+    let tight = mine_all_constrained(&db, &config, GapConstraints::max_window(3));
+    assert!(loose.len() >= medium.len());
+    assert!(medium.len() >= tight.len());
+    // Every pattern frequent under the tight window is frequent under the
+    // loose one (its support can only grow as the window widens).
+    for mp in &tight.patterns {
+        assert!(
+            loose.contains(&mp.pattern),
+            "{:?} frequent under the tight window but missing under the loose one",
+            mp.pattern
+        );
+    }
+}
+
+#[test]
+fn constrained_supports_increase_with_the_window() {
+    let db = quest_db();
+    let closed = mine_closed(&db, &MiningConfig::new(10));
+    for mp in closed.patterns.iter().take(50) {
+        let events = mp.pattern.events();
+        let tight = constrained_support(&db, events, GapConstraints::max_window(4));
+        let loose = constrained_support(&db, events, GapConstraints::max_window(40));
+        let unconstrained = repetitive_support(&db, events);
+        assert!(tight <= loose, "{:?}", mp.pattern);
+        assert!(loose <= unconstrained, "{:?}", mp.pattern);
+    }
+}
+
+#[test]
+fn top_k_is_consistent_with_closed_mining_on_quest_data() {
+    let db = quest_db();
+    let k = 20;
+    let topk = mine_top_k(&db, &TopKConfig::new(k).with_min_sup_floor(4));
+    assert!(topk.len() <= k);
+    assert!(!topk.is_empty());
+    // The supports reported by top-k match a full closed run restricted to
+    // length >= 2.
+    let mut closed = mine_closed(&db, &MiningConfig::new(4));
+    closed.patterns.retain(|mp| mp.pattern.len() >= 2);
+    closed.sort_for_report();
+    let expected: Vec<u64> = closed
+        .patterns
+        .iter()
+        .take(topk.len())
+        .map(|mp| mp.support)
+        .collect();
+    let got: Vec<u64> = topk.patterns.iter().map(|mp| mp.support).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn maximal_mining_summarizes_the_tcas_like_workload() {
+    let db = TcasConfig::default().scaled_down(64).generate();
+    let min_sup = (db.num_sequences() as u64) * 2;
+    let config = MiningConfig::new(min_sup).with_max_patterns(200_000);
+    let closed = mine_closed(&db, &config);
+    let maximal = mine_maximal(&db, &config);
+    assert!(!maximal.is_empty());
+    assert!(maximal.len() <= closed.len());
+    // Loop-structured traces must produce at least one non-trivial maximal
+    // behaviour.
+    assert!(maximal.max_pattern_length() >= 2);
+    // Every maximal pattern is closed and not contained in another closed
+    // pattern.
+    for mp in &maximal.patterns {
+        assert!(closed.contains(&mp.pattern));
+        assert!(
+            !closed
+                .patterns
+                .iter()
+                .any(|other| other.pattern.is_proper_superpattern_of(&mp.pattern)),
+            "{:?} is subsumed",
+            mp.pattern
+        );
+    }
+}
+
+#[test]
+fn gap_constrained_closed_mining_respects_the_constraints_on_real_shapes() {
+    let db = TcasConfig::default().scaled_down(64).generate();
+    let constraints = GapConstraints::max_gap(2).with_max_window(12);
+    let min_sup = (db.num_sequences() as u64) * 2;
+    let config = MiningConfig::new(min_sup).with_max_patterns(100_000);
+    let closed = mine_closed_constrained(&db, &config, constraints);
+    assert!(!closed.is_empty());
+    // Spot-check the reported supports and that instances admitted by the
+    // constraints exist (support > 0 implies admissible landmarks exist).
+    for mp in closed.patterns.iter().take(30) {
+        assert_eq!(
+            mp.support,
+            constrained_support(&db, mp.pattern.events(), constraints)
+        );
+        assert!(mp.support >= min_sup);
+    }
+}
+
+#[test]
+fn top_k_with_floor_equals_plain_top_k_prefix() {
+    // Raising the floor must not change the top of the ranking as long as
+    // the floor stays below the k-th best support.
+    let db = quest_db();
+    let unfloored = mine_top_k(&db, &TopKConfig::new(10).with_min_sup_floor(2));
+    let kth = unfloored.patterns.last().map(|mp| mp.support).unwrap_or(2);
+    if kth > 3 {
+        let floored = mine_top_k(&db, &TopKConfig::new(10).with_min_sup_floor(3));
+        let a: Vec<u64> = unfloored.patterns.iter().map(|mp| mp.support).collect();
+        let b: Vec<u64> = floored.patterns.iter().map(|mp| mp.support).collect();
+        assert_eq!(a, b);
+    }
+}
