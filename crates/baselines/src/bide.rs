@@ -172,7 +172,9 @@ mod tests {
         let closed = mine_closed_sequential(&db, &config);
         assert!(closed.len() <= all.len());
         for p in &closed {
-            assert!(all.iter().any(|q| q.events == p.events && q.support == p.support));
+            assert!(all
+                .iter()
+                .any(|q| q.events == p.events && q.support == p.support));
         }
     }
 

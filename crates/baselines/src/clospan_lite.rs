@@ -77,13 +77,8 @@ mod tests {
         // 5+5 sequences): CABABABABABD and ABCD. Under sequential semantics
         // AB is contained in every sequence (support 10), but so is its
         // super-pattern ABD, hence AB is not closed; ABD is closed.
-        let mut rows: Vec<&str> = Vec::new();
-        for _ in 0..5 {
-            rows.push("CABABABABABD");
-        }
-        for _ in 0..5 {
-            rows.push("ABCD");
-        }
+        let mut rows: Vec<&str> = vec!["CABABABABABD"; 5];
+        rows.extend(std::iter::repeat_n("ABCD", 5));
         let db = SequenceDatabase::from_str_rows(&rows);
         let closed = mine_closed_sequential_by_filter(&db, &SequentialConfig::new(5));
         let ab = db.pattern_from_str("AB").unwrap();

@@ -21,14 +21,12 @@
 //! support (window-based supports over-count overlapping occurrences, the
 //! paper's motivating criticism).
 
-use serde::{Deserialize, Serialize};
-
 use seqdb::{EventId, Sequence, SequenceDatabase};
 
 use crate::semantics::{episode_window_count, minimal_window_count};
 
 /// A mined serial episode with its window-based supports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Episode {
     /// The events of the episode, in order.
     pub events: Vec<EventId>,
@@ -39,7 +37,7 @@ pub struct Episode {
 }
 
 /// Configuration of the serial episode miners.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpisodeConfig {
     /// Window width `w` (in events).
     pub window_width: usize,
@@ -126,11 +124,13 @@ pub fn mine_episodes_database(db: &SequenceDatabase, config: &EpisodeConfig) -> 
     }
     let mut result: Vec<Episode> = totals
         .into_iter()
-        .map(|(events, (window_support, minimal_window_support))| Episode {
-            events,
-            window_support,
-            minimal_window_support,
-        })
+        .map(
+            |(events, (window_support, minimal_window_support))| Episode {
+                events,
+                window_support,
+                minimal_window_support,
+            },
+        )
         .filter(|e| e.window_support >= config.min_window_support.max(1))
         .collect();
     result.sort_by(|a, b| {

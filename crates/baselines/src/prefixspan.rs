@@ -14,12 +14,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use seqdb::{EventId, SequenceDatabase};
 
 /// A sequential pattern with its sequence-count support.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SequentialPattern {
     /// The events of the pattern.
     pub events: Vec<EventId>,
@@ -47,7 +45,7 @@ pub(crate) fn is_subsequence(needle: &[EventId], haystack: &[EventId]) -> bool {
 }
 
 /// Configuration for the sequential miners.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SequentialConfig {
     /// Minimum number of sequences that must contain a pattern.
     pub min_sup: u64,
@@ -238,7 +236,12 @@ mod tests {
         let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC", "CBA"]);
         let mined = mine_sequential(&db, &SequentialConfig::new(1));
         for p in &mined {
-            assert_eq!(p.support, sequence_support(&db, &p.events), "{:?}", p.events);
+            assert_eq!(
+                p.support,
+                sequence_support(&db, &p.events),
+                "{:?}",
+                p.events
+            );
         }
     }
 

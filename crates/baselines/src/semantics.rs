@@ -113,6 +113,7 @@ pub fn gap_constrained_count(
     // occurrences of pattern[..=j] ending exactly at `pos`.
     let len = sequence.len();
     let mut ways = vec![0u64; len + 1];
+    #[allow(clippy::needless_range_loop)] // 1-based positions mirror the paper's indexing
     for pos in 1..=len {
         if sequence.at(pos) == Some(pattern[0]) {
             ways[pos] = 1;
@@ -120,6 +121,7 @@ pub fn gap_constrained_count(
     }
     for &event in &pattern[1..] {
         let mut next = vec![0u64; len + 1];
+        #[allow(clippy::needless_range_loop)] // 1-based positions mirror the paper's indexing
         for pos in 1..=len {
             if sequence.at(pos) != Some(event) {
                 continue;
@@ -127,9 +129,11 @@ pub fn gap_constrained_count(
             // Previous event must sit at pos' with min_gap..=max_gap events
             // strictly between, i.e. pos - pos' - 1 in [min_gap, max_gap].
             let lo = pos.saturating_sub(max_gap + 1).max(1);
-            let hi = pos.saturating_sub(min_gap + 1);
-            for prev in lo..=hi.min(len) {
-                next[pos] += ways[prev];
+            let hi = pos.saturating_sub(min_gap + 1).min(len);
+            // min_gap > max_gap (or pos too early) leaves no admissible
+            // previous position.
+            if lo <= hi {
+                next[pos] += ways[lo..=hi].iter().sum::<u64>();
             }
         }
         ways = next;
@@ -300,6 +304,17 @@ mod tests {
     /// Example 1.1: S1 = AABCDABB, S2 = ABCD.
     fn example_db() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"])
+    }
+
+    #[test]
+    fn gap_constrained_count_with_min_gap_above_max_gap_is_zero() {
+        // An inverted gap requirement admits no previous position; it must
+        // yield zero rather than panic on an inverted slice range.
+        let db = SequenceDatabase::from_str_rows(&["ABAB"]);
+        let ab = db.pattern_from_str("AB").unwrap();
+        let seq = db.sequence(0).unwrap();
+        assert_eq!(gap_constrained_count(seq, &ab, 3, 0), 0);
+        assert_eq!(gap_constrained_count(seq, &ab, 0, 0), 2); // sanity: adjacent ABs
     }
 
     fn pattern(db: &SequenceDatabase, s: &str) -> Vec<EventId> {

@@ -14,15 +14,13 @@
 //! [`PositionBitmap`] and the miner in [`mine_sequential_spam`]; tests check
 //! it against the PrefixSpan implementation pattern for pattern.
 
-use serde::{Deserialize, Serialize};
-
 use seqdb::{EventId, SequenceDatabase};
 
 use crate::prefixspan::{SequentialConfig, SequentialPattern};
 
 /// A per-sequence position bitmap (1-based positions, bit `p - 1` set when
 /// position `p` matches).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PositionBitmap {
     words: Vec<u64>,
     len: usize,
@@ -156,7 +154,11 @@ impl VerticalDatabase {
     }
 
     /// The S-step extension of a pattern's bitmaps with `event`.
-    pub fn extend(&self, pattern_bitmaps: &[PositionBitmap], event: EventId) -> Vec<PositionBitmap> {
+    pub fn extend(
+        &self,
+        pattern_bitmaps: &[PositionBitmap],
+        event: EventId,
+    ) -> Vec<PositionBitmap> {
         pattern_bitmaps
             .iter()
             .zip(self.event(event))
@@ -340,10 +342,8 @@ mod tests {
     #[test]
     fn caps_on_length_and_pattern_count_are_respected() {
         let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]);
-        let capped = mine_sequential_spam(
-            &db,
-            &SequentialConfig::new(1).with_max_pattern_length(2),
-        );
+        let capped =
+            mine_sequential_spam(&db, &SequentialConfig::new(1).with_max_pattern_length(2));
         assert!(capped.iter().all(|p| p.events.len() <= 2));
         let truncated = mine_sequential_spam(&db, &SequentialConfig::new(1).with_max_patterns(4));
         assert_eq!(truncated.len(), 4);

@@ -11,7 +11,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rgs_bench::datasets::{fig2_dataset, fig2_thresholds, Scale};
-use rgs_core::{mine_closed, MiningConfig};
+use rgs_core::{Miner, Mode};
 
 fn bench_ablation(c: &mut Criterion) {
     let (_, db) = fig2_dataset(Scale::Dev);
@@ -23,20 +23,30 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
-    group.bench_with_input(BenchmarkId::new("with_lb_pruning", mid), &mid, |b, &min_sup| {
-        b.iter(|| mine_closed(&db, &MiningConfig::new(min_sup).with_max_patterns(cap)))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("with_lb_pruning", mid),
+        &mid,
+        |b, &min_sup| {
+            b.iter(|| {
+                Miner::new(&db)
+                    .min_sup(min_sup)
+                    .mode(Mode::Closed)
+                    .max_patterns(cap)
+                    .run()
+            })
+        },
+    );
     group.bench_with_input(
         BenchmarkId::new("without_lb_pruning", mid),
         &mid,
         |b, &min_sup| {
             b.iter(|| {
-                mine_closed(
-                    &db,
-                    &MiningConfig::new(min_sup)
-                        .with_max_patterns(cap)
-                        .without_landmark_pruning(),
-                )
+                Miner::new(&db)
+                    .min_sup(min_sup)
+                    .mode(Mode::Closed)
+                    .max_patterns(cap)
+                    .landmark_pruning(false)
+                    .run()
             })
         },
     );

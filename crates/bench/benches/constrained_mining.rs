@@ -12,11 +12,10 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rgs_bench::datasets::{fig2_dataset, Scale};
-use rgs_core::{mine_all_constrained, GapConstraints, MiningConfig};
+use rgs_core::{GapConstraints, Miner, Mode};
 
 fn bench_constrained(c: &mut Criterion) {
     let (_, db) = fig2_dataset(Scale::Dev);
-    let config = MiningConfig::new(15).with_max_patterns(200_000);
     let mut group = c.benchmark_group("constrained_mining");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
@@ -26,13 +25,25 @@ fn bench_constrained(c: &mut Criterion) {
         ("max_gap_8", GapConstraints::max_gap(8)),
         ("max_gap_2", GapConstraints::max_gap(2)),
         ("window_10", GapConstraints::max_window(10)),
-        ("gap2_window10", GapConstraints::max_gap(2).with_max_window(10)),
+        (
+            "gap2_window10",
+            GapConstraints::max_gap(2).with_max_window(10),
+        ),
     ];
     for (label, constraints) in cases {
         group.bench_with_input(
             BenchmarkId::new("mine_all_constrained", label),
             &constraints,
-            |b, &constraints| b.iter(|| mine_all_constrained(&db, &config, constraints)),
+            |b, &constraints| {
+                b.iter(|| {
+                    Miner::new(&db)
+                        .min_sup(15)
+                        .mode(Mode::All)
+                        .constraints(constraints)
+                        .max_patterns(200_000)
+                        .run()
+                })
+            },
         );
     }
     group.finish();

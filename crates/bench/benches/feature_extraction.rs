@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use rgs_core::{mine_closed, MiningConfig, Pattern};
+use rgs_core::{Miner, Mode, Pattern};
 use rgs_features::pipeline::{run_pipeline, PipelineConfig};
 use rgs_features::{extract_features, LabeledDatabase};
 use synthgen::labeled::LabeledTraceConfig;
@@ -20,10 +20,11 @@ fn corpus() -> LabeledDatabase {
 
 fn bench_features(c: &mut Criterion) {
     let data = corpus();
-    let mined = mine_closed(
-        data.database(),
-        &MiningConfig::new(40).with_max_pattern_length(4),
-    );
+    let mined = Miner::new(data.database())
+        .min_sup(40)
+        .mode(Mode::Closed)
+        .max_pattern_length(4)
+        .run();
     let candidates: Vec<Pattern> = mined
         .patterns
         .iter()

@@ -18,11 +18,9 @@ fn bench_fig6(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
     for (idx, (name, db)) in datasets.iter().enumerate() {
-        group.bench_with_input(
-            BenchmarkId::new("closed_clogsgrow", name),
-            db,
-            |b, db| b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits)),
-        );
+        group.bench_with_input(BenchmarkId::new("closed_clogsgrow", name), db, |b, db| {
+            b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits))
+        });
         // GSgrow is cut off from average length 80 onwards in the paper; to
         // keep the bench suite short it is only benchmarked on the two
         // shortest settings.

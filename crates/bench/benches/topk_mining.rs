@@ -6,7 +6,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rgs_bench::datasets::{fig2_dataset, Scale};
-use rgs_core::{mine_closed, mine_top_k, MiningConfig, TopKConfig};
+use rgs_core::{Miner, Mode};
 
 fn bench_topk(c: &mut Criterion) {
     let (_, db) = fig2_dataset(Scale::Dev);
@@ -16,14 +16,21 @@ fn bench_topk(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for k in [10usize, 50, 200] {
         group.bench_with_input(BenchmarkId::new("mine_top_k", k), &k, |b, &k| {
-            b.iter(|| mine_top_k(&db, &TopKConfig::new(k).with_min_sup_floor(5)))
+            b.iter(|| {
+                Miner::new(&db)
+                    .min_sup(5)
+                    .mode(Mode::Closed)
+                    .top_k(k)
+                    .min_len(2)
+                    .run()
+            })
         });
     }
     for min_sup in [20u64, 30] {
         group.bench_with_input(
             BenchmarkId::new("clogsgrow_fixed_threshold", min_sup),
             &min_sup,
-            |b, &min_sup| b.iter(|| mine_closed(&db, &MiningConfig::new(min_sup))),
+            |b, &min_sup| b.iter(|| Miner::new(&db).min_sup(min_sup).mode(Mode::Closed).run()),
         );
     }
     group.finish();

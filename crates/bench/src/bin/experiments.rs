@@ -111,7 +111,10 @@ fn main() -> ExitCode {
 fn emit(report: &rgs_bench::ExperimentReport, out_dir: &std::path::Path) {
     println!("{}", report.to_markdown());
     if let Err(err) = report.write_to_dir(out_dir) {
-        eprintln!("warning: could not write report files for {}: {err}", report.id);
+        eprintln!(
+            "warning: could not write report files for {}: {err}",
+            report.id
+        );
     }
 }
 

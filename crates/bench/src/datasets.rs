@@ -130,7 +130,10 @@ pub fn fig6_datasets(scale: Scale) -> Vec<(String, SequenceDatabase)> {
 /// The JBoss-like case-study dataset (§IV-B); it is small in the paper (28
 /// traces), so both scales generate the same data.
 pub fn case_study_dataset(_scale: Scale) -> (String, SequenceDatabase) {
-    ("JBoss-transaction-like".to_owned(), JbossConfig::default().generate())
+    (
+        "JBoss-transaction-like".to_owned(),
+        JbossConfig::default().generate(),
+    )
 }
 
 /// The case-study support threshold (`min_sup = 18` in the paper).

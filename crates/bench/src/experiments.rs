@@ -1,7 +1,7 @@
 //! One function per experiment of the paper's evaluation (§IV), each
 //! returning an [`ExperimentReport`].
 
-use rgs_core::{mine_closed, postprocess, MiningConfig, PostProcessConfig};
+use rgs_core::{postprocess, Miner, Mode, PostProcessConfig};
 use seqdb::SequenceDatabase;
 use synthgen::JbossConfig;
 
@@ -35,7 +35,9 @@ pub fn table1() -> ExperimentReport {
     );
 
     let mut note = |name: &str, ab_value: u64, cd_value: u64| {
-        report.push_note(format!("{name}: sup(AB) = {ab_value}, sup(CD) = {cd_value}"));
+        report.push_note(format!(
+            "{name}: sup(AB) = {ab_value}, sup(CD) = {cd_value}"
+        ));
     };
     note(
         "sequential pattern mining (sequence count)",
@@ -77,6 +79,7 @@ pub fn table1() -> ExperimentReport {
 
 /// Runs the "All" and "Closed" miners over a sweep of support thresholds on
 /// one dataset (the template of Figures 2, 3 and 4).
+#[allow(clippy::too_many_arguments)] // experiment descriptor, not an API
 fn minsup_sweep(
     id: &str,
     title: &str,
@@ -98,7 +101,7 @@ fn minsup_sweep(
         let mut runs: Vec<RunRecord> = Vec::new();
         // The paper only runs GSgrow above the "cut-off" threshold; below it
         // the number of frequent patterns is too large.
-        let run_all = all_cutoff.map_or(true, |cutoff| min_sup >= cutoff);
+        let run_all = all_cutoff.is_none_or(|cutoff| min_sup >= cutoff);
         if run_all {
             runs.push(run_miner(db, MinerKind::GsGrow, min_sup, limits));
         }
@@ -207,19 +210,23 @@ fn dataset_sweep(
     limits: RunLimits,
     all_limit: Option<usize>,
 ) -> ExperimentReport {
-    let mut report = ExperimentReport::new(id, title, "QUEST synthetic data (see rows)", expectation);
+    let mut report =
+        ExperimentReport::new(id, title, "QUEST synthetic data (see rows)", expectation);
     for (idx, (name, db)) in datasets.iter().enumerate() {
         let stats = db.stats();
         let mut runs = Vec::new();
         // The paper stops running GSgrow on the larger settings (it does not
         // terminate in reasonable time); `all_limit` is the index of the
         // last setting on which the all-miner is run.
-        if all_limit.map_or(true, |limit| idx <= limit) {
+        if all_limit.is_none_or(|limit| idx <= limit) {
             runs.push(run_miner(db, MinerKind::GsGrow, min_sup, limits));
         }
         runs.push(run_miner(db, MinerKind::CloGsGrow, min_sup, limits));
         report.push_row(
-            format!("{name} ({} seqs, avg len {:.0})", stats.num_sequences, stats.avg_length),
+            format!(
+                "{name} ({} seqs, avg len {:.0})",
+                stats.num_sequences, stats.avg_length
+            ),
             runs,
         );
     }
@@ -283,15 +290,23 @@ pub fn baselines_comparison(scale: Scale) -> ExperimentReport {
     // Sequence-count supports are bounded by the number of sequences, so the
     // sequential miners get a threshold scaled to sequence count.
     let seq_min_sup = ((stats.num_sequences as f64 * 0.05).ceil() as u64).max(2);
-    let mut runs = Vec::new();
-    runs.push(run_miner(&db, MinerKind::CloGsGrow, min_sup, limits));
-    runs.push(run_miner(&db, MinerKind::GsGrow, min_sup, limits));
+    let runs = vec![
+        run_miner(&db, MinerKind::CloGsGrow, min_sup, limits),
+        run_miner(&db, MinerKind::GsGrow, min_sup, limits),
+    ];
     report.push_row(format!("repetitive miners, min_sup={min_sup}"), runs);
     let mut seq_runs = Vec::new();
-    for miner in [MinerKind::PrefixSpan, MinerKind::Bide, MinerKind::CloSpanLite] {
+    for miner in [
+        MinerKind::PrefixSpan,
+        MinerKind::Bide,
+        MinerKind::CloSpanLite,
+    ] {
         seq_runs.push(run_miner(&db, miner, seq_min_sup, limits));
     }
-    report.push_row(format!("sequential miners, min_sup={seq_min_sup}"), seq_runs);
+    report.push_row(
+        format!("sequential miners, min_sup={seq_min_sup}"),
+        seq_runs,
+    );
     report.push_note(
         "the sequential miners use sequence-count support, so their threshold is \
          expressed as a fraction of |SeqDB|"
@@ -329,8 +344,11 @@ pub fn case_study(scale: Scale) -> CaseStudyOutcome {
     );
 
     let start = std::time::Instant::now();
-    let config = MiningConfig::new(min_sup).with_max_patterns(limits_for(scale).max_patterns);
-    let closed = mine_closed(&db, &config);
+    let closed = Miner::new(&db)
+        .min_sup(min_sup)
+        .mode(Mode::Closed)
+        .max_patterns(limits_for(scale).max_patterns)
+        .run();
     let elapsed = start.elapsed().as_secs_f64();
     report.push_row(
         format!("min_sup={min_sup}"),
@@ -419,7 +437,9 @@ mod tests {
     fn table1_reproduces_every_number_of_example_1_1() {
         let report = table1();
         let joined = report.notes.join("\n");
-        assert!(joined.contains("sequential pattern mining (sequence count): sup(AB) = 2, sup(CD) = 2"));
+        assert!(
+            joined.contains("sequential pattern mining (sequence count): sup(AB) = 2, sup(CD) = 2")
+        );
         assert!(joined.contains("episode mining, width-4 windows in S1: sup(AB) = 4"));
         assert!(joined.contains("episode mining, minimal windows in S1: sup(AB) = 2"));
         assert!(joined.contains("periodic patterns with gap requirement 0..=3 in S1: sup(AB) = 4"));
@@ -432,7 +452,8 @@ mod tests {
     fn case_study_recovers_the_headline_findings() {
         let outcome = case_study(Scale::Dev);
         let notes = outcome.report.notes.join("\n");
-        assert!(notes.contains("spans all six behavioural blocks (connection set-up .. disposal): true"));
+        assert!(notes
+            .contains("spans all six behavioural blocks (connection set-up .. disposal): true"));
         assert!(!outcome.ranked_patterns.is_empty());
         // The longest pattern should be long (the paper's is 66 events).
         let first = &outcome.ranked_patterns[0];

@@ -6,14 +6,12 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use crate::runner::RunRecord;
 
 /// One row of an experiment report: a parameter setting (e.g. a support
 /// threshold or a dataset size) plus the records of every miner run at that
 /// setting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportRow {
     /// The value of the varied parameter (e.g. `min_sup = 10` or
     /// `D = 5K sequences`).
@@ -23,7 +21,7 @@ pub struct ReportRow {
 }
 
 /// A full experiment report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Short experiment identifier (e.g. `fig2`).
     pub id: String,
@@ -130,7 +128,8 @@ impl ExperimentReport {
     /// Renders the report as CSV (`parameter,miner,min_sup,runtime_seconds,
     /// num_patterns,truncated`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("parameter,miner,min_sup,runtime_seconds,num_patterns,truncated\n");
+        let mut out =
+            String::from("parameter,miner,min_sup,runtime_seconds,num_patterns,truncated\n");
         for row in &self.rows {
             for run in &row.runs {
                 let _ = writeln!(
@@ -148,16 +147,82 @@ impl ExperimentReport {
         out
     }
 
+    /// Renders the report as JSON (hand-rolled so the harness works without
+    /// a serialization dependency; the schema mirrors the struct fields).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(out, "  \"dataset\": {},", json_string(&self.dataset));
+        let _ = writeln!(
+            out,
+            "  \"paper_expectation\": {},",
+            json_string(&self.paper_expectation)
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"parameter\": {}, \"runs\": [",
+                json_string(&row.parameter)
+            );
+            for (j, run) in row.runs.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "      {{\"miner\": {}, \"min_sup\": {}, \"runtime_seconds\": {:.6}, \
+                     \"num_patterns\": {}, \"truncated\": {}}}",
+                    json_string(run.miner.label()),
+                    run.min_sup,
+                    run.runtime_seconds,
+                    run.num_patterns,
+                    run.truncated
+                );
+                out.push_str(if j + 1 < row.runs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("    ]}");
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(note));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// Writes the Markdown, CSV and JSON renderings of the report into
     /// `dir`, named after the experiment id.
     pub fn write_to_dir(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
         fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
-        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
-        fs::write(dir.join(format!("{}.json", self.id)), json)?;
+        fs::write(dir.join(format!("{}.json", self.id)), self.to_json())?;
         Ok(())
     }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -216,11 +281,22 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips() {
-        let report = sample_report();
-        let json = serde_json::to_string(&report).unwrap();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, report);
+    fn json_contains_every_field_and_escapes_strings() {
+        let mut report = sample_report();
+        report.push_note("quote \" and backslash \\ survive");
+        let json = report.to_json();
+        assert!(json.contains("\"id\": \"figX\""));
+        assert!(json.contains("\"miner\": \"All (GSgrow)\""));
+        assert!(json.contains("\"num_patterns\": 100"));
+        assert!(json.contains("\"truncated\": false"));
+        assert!(json.contains("quote \\\" and backslash \\\\ survive"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
     }
 
     #[test]

@@ -3,14 +3,12 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use baselines::prefixspan::SequentialConfig;
-use rgs_core::MiningConfig;
+use rgs_core::{Miner, Mode};
 use seqdb::SequenceDatabase;
 
 /// The miners the experiments compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MinerKind {
     /// GSgrow — all frequent repetitive gapped subsequences (this paper).
     GsGrow,
@@ -41,7 +39,7 @@ impl MinerKind {
 }
 
 /// The record of one miner run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// Which miner ran.
     pub miner: MinerKind,
@@ -59,7 +57,7 @@ pub struct RunRecord {
 
 /// Safety limits applied to every run so a single experiment cannot take
 /// hours (mirrors the paper's manual cut-offs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunLimits {
     /// Cap on the number of emitted patterns.
     pub max_patterns: usize,
@@ -96,20 +94,20 @@ pub fn run_miner(
 ) -> RunRecord {
     let start = Instant::now();
     let (num_patterns, truncated) = match miner {
-        MinerKind::GsGrow => {
-            let mut config = MiningConfig::new(min_sup).with_max_patterns(limits.max_patterns);
+        MinerKind::GsGrow | MinerKind::CloGsGrow => {
+            let mode = if miner == MinerKind::GsGrow {
+                Mode::All
+            } else {
+                Mode::Closed
+            };
+            let mut engine = Miner::new(db)
+                .min_sup(min_sup)
+                .mode(mode)
+                .max_patterns(limits.max_patterns);
             if let Some(len) = limits.max_pattern_length {
-                config = config.with_max_pattern_length(len);
+                engine = engine.max_pattern_length(len);
             }
-            let outcome = rgs_core::mine_all(db, &config);
-            (outcome.len(), outcome.truncated)
-        }
-        MinerKind::CloGsGrow => {
-            let mut config = MiningConfig::new(min_sup).with_max_patterns(limits.max_patterns);
-            if let Some(len) = limits.max_pattern_length {
-                config = config.with_max_pattern_length(len);
-            }
-            let outcome = rgs_core::mine_closed(db, &config);
+            let outcome = engine.run();
             (outcome.len(), outcome.truncated)
         }
         MinerKind::PrefixSpan => {

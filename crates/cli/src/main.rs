@@ -1,22 +1,26 @@
 //! `rgs-mine` — command-line miner for (closed) repetitive gapped
-//! subsequences.
+//! subsequences, built on the unified `Miner` engine.
 //!
 //! ```text
-//! rgs-mine --input FILE [--format tokens|spmf|chars] --min-sup K
-//!          [--closed] [--all] [--max-len L] [--max-patterns N]
-//!          [--top T] [--density R] [--maximal]
-//! rgs-mine --demo [--min-sup K] [--closed]
+//! rgs-mine [mine] --input FILE [--format tokens|spmf|chars] --min-sup K
+//!          [--mode all|closed|maximal] [--closed] [--all] [--maximal-mode]
+//!          [--min-gap G] [--max-gap G] [--max-window W]
+//!          [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]
+//!          [--top T] [--density R] [--maximal] [--stream]
+//! rgs-mine topk  --input FILE -k K [--min-sup FLOOR] [constraint flags...]
+//! rgs-mine demo  [--min-sup K] [--mode ...]
 //! ```
 //!
-//! The miner loads a sequence database from a text file (one sequence per
-//! line), runs GSgrow or CloGSgrow, optionally post-processes the result
-//! (density + maximality filters, as in the paper's case study) and prints
-//! the top patterns with their repetitive supports.
+//! The `topk` subcommand ranks the best `k` closed patterns and composes
+//! with the gap/window constraint flags — gap-constrained top-k mining from
+//! the command line. `--stream` prints patterns incrementally through a
+//! `PatternSink` instead of materializing the result first.
 
+use std::ops::ControlFlow;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rgs_core::{mine_all, mine_closed, postprocess, MiningConfig, PostProcessConfig};
+use rgs_core::{postprocess, GapConstraints, MinedPattern, Miner, Mode, PostProcessConfig};
 use seqdb::{io as seqio, SequenceDatabase};
 
 /// Parsed command-line options.
@@ -25,12 +29,18 @@ struct Options {
     input: Option<PathBuf>,
     format: Format,
     min_sup: u64,
-    closed: bool,
+    mode: Mode,
+    top_k: Option<usize>,
+    min_len: Option<usize>,
+    min_gap: Option<u32>,
+    max_gap: Option<u32>,
+    max_window: Option<u32>,
     max_len: Option<usize>,
     max_patterns: Option<usize>,
     top: usize,
     density: Option<f64>,
-    maximal: bool,
+    maximal_filter: bool,
+    stream: bool,
     demo: bool,
 }
 
@@ -47,13 +57,69 @@ impl Default for Options {
             input: None,
             format: Format::Tokens,
             min_sup: 2,
-            closed: true,
+            mode: Mode::Closed,
+            top_k: None,
+            min_len: None,
+            min_gap: None,
+            max_gap: None,
+            max_window: None,
             max_len: None,
             max_patterns: None,
             top: 20,
             density: None,
-            maximal: false,
+            maximal_filter: false,
+            stream: false,
             demo: false,
+        }
+    }
+}
+
+impl Options {
+    fn constraints(&self) -> GapConstraints {
+        let mut constraints = GapConstraints::unbounded();
+        if let Some(g) = self.min_gap {
+            constraints = constraints.with_min_gap(g);
+        }
+        if let Some(g) = self.max_gap {
+            constraints = constraints.with_max_gap(g);
+        }
+        if let Some(w) = self.max_window {
+            constraints = constraints.with_max_window(w);
+        }
+        constraints
+    }
+
+    fn miner<'a>(&self, db: &'a SequenceDatabase) -> Miner<'a> {
+        let mut miner = Miner::new(db)
+            .min_sup(self.min_sup)
+            .mode(self.mode)
+            .constraints(self.constraints());
+        if let Some(k) = self.top_k {
+            miner = miner.top_k(k);
+        }
+        if let Some(len) = self.min_len {
+            miner = miner.min_len(len);
+        }
+        if let Some(len) = self.max_len {
+            miner = miner.max_pattern_length(len);
+        }
+        if let Some(cap) = self.max_patterns {
+            miner = miner.max_patterns(cap);
+        }
+        miner
+    }
+
+    fn mode_label(&self) -> String {
+        let base = match self.mode {
+            Mode::All => "frequent",
+            Mode::Closed => "closed",
+            Mode::Maximal => "maximal",
+            Mode::TopK => "top-k closed",
+        };
+        if self.top_k.is_some() && self.mode != Mode::TopK {
+            format!("top-{} {base}", self.top_k.unwrap_or(0))
+        } else {
+            base.to_owned()
         }
     }
 }
@@ -75,7 +141,7 @@ fn main() -> ExitCode {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
     } else {
         let Some(path) = &options.input else {
-            eprintln!("error: --input FILE or --demo is required");
+            eprintln!("error: --input FILE or the demo subcommand is required");
             print_usage();
             return ExitCode::FAILURE;
         };
@@ -94,33 +160,29 @@ fn main() -> ExitCode {
     };
 
     eprintln!("# dataset: {}", db.stats().summary());
-
-    let mut config = MiningConfig::new(options.min_sup);
-    if let Some(len) = options.max_len {
-        config = config.with_max_pattern_length(len);
-    }
-    if let Some(cap) = options.max_patterns {
-        config = config.with_max_patterns(cap);
+    let constraints = options.constraints();
+    if !constraints.is_unbounded() {
+        eprintln!("# constraints: {}", constraints.describe());
     }
 
-    let mut outcome = if options.closed {
-        mine_closed(&db, &config)
-    } else {
-        mine_all(&db, &config)
-    };
+    if options.stream {
+        return run_streaming(&db, &options);
+    }
+
+    let mut outcome = options.miner(&db).run();
     eprintln!(
         "# {} {} patterns mined in {:.3}s (visited {} nodes{})",
         outcome.len(),
-        if options.closed { "closed" } else { "frequent" },
+        options.mode_label(),
         outcome.stats.elapsed_seconds,
         outcome.stats.visited,
         if outcome.truncated { ", TRUNCATED" } else { "" },
     );
 
-    let patterns = if options.density.is_some() || options.maximal {
+    let patterns = if options.density.is_some() || options.maximal_filter {
         let pp = PostProcessConfig {
             min_density: options.density.unwrap_or(0.0),
-            maximal_only: options.maximal,
+            maximal_only: options.maximal_filter,
             rank_by_length: true,
         };
         postprocess(&outcome.patterns, &pp)
@@ -130,14 +192,55 @@ fn main() -> ExitCode {
     };
 
     for mined in patterns.iter().take(options.top) {
-        println!(
-            "{}\tsup={}\tlen={}",
-            mined.pattern.render_with(db.catalog(), " "),
-            mined.support,
-            mined.pattern.len()
-        );
+        print_pattern(&db, mined);
     }
     ExitCode::SUCCESS
+}
+
+/// `--stream`: patterns are printed the moment the engine finds them,
+/// bounded by `--top` through sink cancellation.
+fn run_streaming(db: &SequenceDatabase, options: &Options) -> ExitCode {
+    let limit = options.top;
+    if limit == 0 {
+        eprintln!("# streamed 0 {} patterns (--top 0)", options.mode_label());
+        return ExitCode::SUCCESS;
+    }
+    let mut printed = 0usize;
+    let report = options.miner(db).run_with_sink(&mut |mined: MinedPattern| {
+        if printed >= limit {
+            return ControlFlow::Break(());
+        }
+        print_pattern(db, &mined);
+        printed += 1;
+        if printed >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    eprintln!(
+        "# streamed {} {} patterns in {:.3}s (visited {} nodes{}{})",
+        report.emitted,
+        options.mode_label(),
+        report.stats.elapsed_seconds,
+        report.stats.visited,
+        if report.truncated { ", TRUNCATED" } else { "" },
+        if report.cancelled {
+            ", cancelled at --top limit"
+        } else {
+            ""
+        },
+    );
+    ExitCode::SUCCESS
+}
+
+fn print_pattern(db: &SequenceDatabase, mined: &MinedPattern) {
+    println!(
+        "{}\tsup={}\tlen={}",
+        mined.pattern.render_with(db.catalog(), " "),
+        mined.support,
+        mined.pattern.len()
+    );
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -145,6 +248,24 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut explicit_all = false;
     let mut explicit_closed = false;
     let mut i = 0;
+
+    // Optional leading subcommand.
+    match args.first().map(String::as_str) {
+        Some("mine") => i = 1,
+        Some("topk") => {
+            options.mode = Mode::Closed;
+            options.top_k = Some(10);
+            options.min_len = Some(2);
+            options.min_sup = 1;
+            i = 1;
+        }
+        Some("demo") => {
+            options.demo = true;
+            i = 1;
+        }
+        _ => {}
+    }
+
     while i < args.len() {
         let arg = args[i].clone();
         let next_value = |i: &mut usize| -> Result<String, String> {
@@ -152,6 +273,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             args.get(*i)
                 .cloned()
                 .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        let parse_num = |value: String, what: &str| -> Result<u64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("{what} must be an integer"))
         };
         match args[i].as_str() {
             "--help" | "-h" => {
@@ -168,36 +294,50 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 }
             }
             "--min-sup" | "-s" => {
-                options.min_sup = next_value(&mut i)?
-                    .parse()
-                    .map_err(|_| "min-sup must be an integer".to_owned())?
+                options.min_sup = parse_num(next_value(&mut i)?, "min-sup")?;
+            }
+            "--mode" => {
+                options.mode = match next_value(&mut i)?.as_str() {
+                    "all" => Mode::All,
+                    "closed" => Mode::Closed,
+                    "maximal" => Mode::Maximal,
+                    "topk" => Mode::TopK,
+                    other => return Err(format!("unknown mode '{other}'")),
+                }
             }
             "--closed" => {
-                options.closed = true;
+                options.mode = Mode::Closed;
                 explicit_closed = true;
             }
             "--all" => {
-                options.closed = false;
+                options.mode = Mode::All;
                 explicit_all = true;
             }
+            "--maximal-mode" => options.mode = Mode::Maximal,
+            "--top-k" | "-k" => {
+                options.top_k = Some(parse_num(next_value(&mut i)?, "top-k")? as usize);
+            }
+            "--min-len" => {
+                options.min_len = Some(parse_num(next_value(&mut i)?, "min-len")? as usize);
+            }
+            "--min-gap" => {
+                options.min_gap = Some(parse_num(next_value(&mut i)?, "min-gap")? as u32);
+            }
+            "--max-gap" => {
+                options.max_gap = Some(parse_num(next_value(&mut i)?, "max-gap")? as u32);
+            }
+            "--max-window" => {
+                options.max_window = Some(parse_num(next_value(&mut i)?, "max-window")? as u32);
+            }
             "--max-len" => {
-                options.max_len = Some(
-                    next_value(&mut i)?
-                        .parse()
-                        .map_err(|_| "max-len must be an integer".to_owned())?,
-                )
+                options.max_len = Some(parse_num(next_value(&mut i)?, "max-len")? as usize);
             }
             "--max-patterns" => {
-                options.max_patterns = Some(
-                    next_value(&mut i)?
-                        .parse()
-                        .map_err(|_| "max-patterns must be an integer".to_owned())?,
-                )
+                options.max_patterns =
+                    Some(parse_num(next_value(&mut i)?, "max-patterns")? as usize);
             }
             "--top" => {
-                options.top = next_value(&mut i)?
-                    .parse()
-                    .map_err(|_| "top must be an integer".to_owned())?
+                options.top = parse_num(next_value(&mut i)?, "top")? as usize;
             }
             "--density" => {
                 options.density = Some(
@@ -206,7 +346,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                         .map_err(|_| "density must be a number".to_owned())?,
                 )
             }
-            "--maximal" => options.maximal = true,
+            "--maximal" => options.maximal_filter = true,
+            "--stream" => options.stream = true,
             "--demo" => options.demo = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -223,8 +364,103 @@ fn print_usage() {
         "rgs-mine: mine (closed) repetitive gapped subsequences\n\
          \n\
          usage:\n\
-           rgs-mine --input FILE [--format tokens|spmf|chars] --min-sup K [--closed|--all]\n\
-                    [--max-len L] [--max-patterns N] [--top T] [--density R] [--maximal]\n\
-           rgs-mine --demo [--min-sup K]\n"
+           rgs-mine [mine] --input FILE [--format tokens|spmf|chars] --min-sup K\n\
+                    [--mode all|closed|maximal] [--closed|--all|--maximal-mode]\n\
+                    [--min-gap G] [--max-gap G] [--max-window W]\n\
+                    [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]\n\
+                    [--top T] [--density R] [--maximal] [--stream]\n\
+           rgs-mine topk --input FILE -k K [--min-sup FLOOR] [--max-gap G] ...\n\
+           rgs-mine demo [--min-sup K] [--mode ...]\n\
+         \n\
+         subcommands:\n\
+           mine   (default) mine the requested pattern family\n\
+           topk   rank the k best closed patterns (composes with gap/window\n\
+                  constraints: gap-constrained top-k mining)\n\
+           demo   run on the paper's running example (Table III)\n"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Options {
+        let args: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        parse_args(&args).expect("parse ok").expect("not --help")
+    }
+
+    #[test]
+    fn default_mode_is_closed_mining() {
+        let options = parse(&["--demo", "--min-sup", "3"]);
+        assert_eq!(options.mode, Mode::Closed);
+        assert_eq!(options.min_sup, 3);
+        assert!(options.demo);
+    }
+
+    #[test]
+    fn topk_subcommand_sets_ranking_defaults() {
+        let options = parse(&["topk", "--demo", "-k", "7", "--max-gap", "2"]);
+        assert_eq!(options.top_k, Some(7));
+        assert_eq!(options.min_len, Some(2));
+        assert_eq!(options.max_gap, Some(2));
+        assert_eq!(options.constraints(), GapConstraints::max_gap(2));
+    }
+
+    #[test]
+    fn constraint_flags_compose() {
+        let options = parse(&[
+            "--demo",
+            "--min-gap",
+            "1",
+            "--max-gap",
+            "4",
+            "--max-window",
+            "9",
+        ]);
+        let constraints = options.constraints();
+        assert_eq!(constraints.min_gap, 1);
+        assert_eq!(constraints.max_gap, Some(4));
+        assert_eq!(constraints.max_window, Some(9));
+    }
+
+    #[test]
+    fn mode_flag_parses_every_variant() {
+        for (name, mode) in [
+            ("all", Mode::All),
+            ("closed", Mode::Closed),
+            ("maximal", Mode::Maximal),
+            ("topk", Mode::TopK),
+        ] {
+            let options = parse(&["--demo", "--mode", name]);
+            assert_eq!(options.mode, mode);
+        }
+    }
+
+    #[test]
+    fn all_and_closed_remain_mutually_exclusive() {
+        let args: Vec<String> = ["--demo", "--all", "--closed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn demo_subcommand_equals_demo_flag() {
+        assert!(parse(&["demo"]).demo);
+        assert!(parse(&["--demo"]).demo);
+    }
+
+    #[test]
+    fn gap_constrained_topk_runs_end_to_end() {
+        // The acceptance-path combination: topk + --max-gap on the demo db.
+        let options = parse(&["topk", "--demo", "-k", "4", "--max-gap", "1"]);
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let outcome = options.miner(&db).run();
+        assert!(outcome.len() <= 4);
+        assert!(!outcome.is_empty());
+        for w in outcome.patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
 }

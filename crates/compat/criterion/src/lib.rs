@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the API subset this workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] configuration methods, [`Bencher::iter`],
+//! [`BenchmarkId`], and [`black_box`] — with a simple timing loop instead of
+//! criterion's statistical machinery. Each benchmark prints its mean and
+//! minimum wall-clock time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a benchmark
+/// body whose result is unused.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    iterations: usize,
+    warm_up: Duration,
+    total: Duration,
+    fastest: Duration,
+    measured: usize,
+}
+
+impl Bencher {
+    fn new(iterations: usize, warm_up: Duration) -> Self {
+        Self {
+            iterations,
+            warm_up,
+            total: Duration::ZERO,
+            fastest: Duration::MAX,
+            measured: 0,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass (bounded by the configured warm-up time).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up.min(Duration::from_millis(200)) {
+            black_box(routine());
+        }
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.fastest = self.fastest.min(elapsed);
+            self.measured += 1;
+        }
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId) {
+        if self.measured == 0 {
+            println!("{group}/{id}: no measurements (b.iter was never called)");
+            return;
+        }
+        let mean = self.total / self.measured as u32;
+        println!(
+            "{group}/{id}: mean {mean:?}, min {:?} over {} iterations",
+            self.fastest, self.measured
+        );
+    }
+}
+
+/// A named group of related benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // Criterion samples are batches; a handful of plain iterations keeps
+        // `cargo bench` runtimes reasonable for this stand-in.
+        self.sample_size = samples.clamp(1, 20);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in keeps measurement time
+    /// implicit in the sample count.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up = time;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up);
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_group!` expansions.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== benchmark group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(10, Duration::from_millis(200));
+        f(&mut bencher);
+        bencher.report("bench", &id);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::new(3, Duration::from_millis(1));
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert!(runs >= 3);
+        assert_eq!(b.measured, 3);
+        assert!(b.total >= b.fastest);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("demo");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -10,22 +10,39 @@
 //! * **closure checking** (`CCheck`, Theorem 4) — `P` is emitted only when
 //!   no extension of `P` has equal support.
 
-use std::time::Instant;
+use std::ops::ControlFlow;
 
 use seqdb::{EventId, SequenceDatabase};
 
 use crate::closure::{ClosureChecker, ClosureStatus};
 use crate::config::MiningConfig;
+use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::gsgrow::frequent_events;
 use crate::pattern::Pattern;
-use crate::result::{MinedPattern, MiningOutcome};
+use crate::result::{MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
 /// Mines the closed frequent repetitive gapped subsequences of `db` with
 /// respect to `config.min_sup` (Algorithm 4, CloGSgrow).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(db).from_config(config).mode(Mode::Closed).run()` — \
+            see `rgs_core::Miner`"
+)]
 pub fn mine_closed(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
-    let start = Instant::now();
+    Miner::new(db).from_config(config).mode(Mode::Closed).run()
+}
+
+/// Streaming CloGSgrow core: runs the DFS of Algorithm 4 and hands every
+/// *closed* frequent pattern to `emit`. The search stops when `emit`
+/// returns [`ControlFlow::Break`]. Returns the search statistics (elapsed
+/// time is the caller's responsibility).
+pub(crate) fn mine_closed_streaming(
+    db: &SequenceDatabase,
+    config: &MiningConfig,
+    emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
+) -> MiningStats {
     let sc = SupportComputer::new(db);
     let min_sup = config.effective_min_sup();
     let events = frequent_events(&sc, db, min_sup);
@@ -36,28 +53,30 @@ pub fn mine_closed(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcom
         min_sup,
         frequent_events: events.clone(),
         checker,
-        outcome: MiningOutcome::default(),
+        stats: MiningStats::default(),
+        stopped: false,
+        emit,
     };
     miner.run();
-    let mut outcome = miner.outcome;
-    outcome.stats.set_elapsed(start.elapsed());
-    outcome
+    miner.stats
 }
 
-struct CloGsGrow<'a, 'b> {
+struct CloGsGrow<'a, 'b, 'e> {
     sc: &'a SupportComputer<'b>,
     config: &'a MiningConfig,
     min_sup: u64,
     frequent_events: Vec<EventId>,
     checker: ClosureChecker<'a, 'b>,
-    outcome: MiningOutcome,
+    stats: MiningStats,
+    stopped: bool,
+    emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
-impl CloGsGrow<'_, '_> {
+impl CloGsGrow<'_, '_, '_> {
     fn run(&mut self) {
         let events = self.frequent_events.clone();
         for &event in &events {
-            if self.outcome.truncated {
+            if self.stopped {
                 break;
             }
             let support = self.sc.initial_support_set(event);
@@ -72,7 +91,7 @@ impl CloGsGrow<'_, '_> {
     /// Visits pattern `P` whose prefix support sets (including `P`'s own)
     /// are on `stack`.
     fn mine(&mut self, pattern: Pattern, stack: &mut Vec<SupportSet>) {
-        self.outcome.stats.visited += 1;
+        self.stats.visited += 1;
         let support = stack.last().expect("stack holds P's support set").support();
 
         // Compute the append children first: they are needed both for the
@@ -82,7 +101,7 @@ impl CloGsGrow<'_, '_> {
         let mut append_equal = false;
         if self.config.allows_growth(pattern.len()) || !self.frequent_events.is_empty() {
             for &event in &self.frequent_events {
-                self.outcome.stats.instance_growths += 1;
+                self.stats.instance_growths += 1;
                 let grown = self
                     .sc
                     .instance_growth(stack.last().expect("support set"), event);
@@ -97,25 +116,28 @@ impl CloGsGrow<'_, '_> {
 
         match self.checker.check(&pattern, stack, append_equal) {
             ClosureStatus::Prune if self.config.use_landmark_pruning => {
-                self.outcome.stats.landmark_border_prunes += 1;
+                self.stats.landmark_border_prunes += 1;
                 return;
             }
             // Ablation mode (Theorem 5 disabled): a prunable pattern is
             // still non-closed, so it is suppressed from the output but its
             // subtree is explored like any other non-closed pattern.
             ClosureStatus::Prune | ClosureStatus::NonClosed => {
-                self.outcome.stats.non_closed_filtered += 1;
+                self.stats.non_closed_filtered += 1;
             }
             ClosureStatus::Closed => {
-                self.emit(&pattern, stack.last().expect("support set"));
+                let set = stack.last().expect("support set");
+                if (self.emit)(&pattern, set).is_break() {
+                    self.stopped = true;
+                }
             }
         }
 
-        if self.outcome.truncated || !self.config.allows_growth(pattern.len()) {
+        if self.stopped || !self.config.allows_growth(pattern.len()) {
             return;
         }
         for (event, grown) in children {
-            if self.outcome.truncated {
+            if self.stopped {
                 return;
             }
             stack.push(grown);
@@ -123,23 +145,12 @@ impl CloGsGrow<'_, '_> {
             stack.pop();
         }
     }
-
-    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) {
-        let mut mined = MinedPattern::new(pattern.clone(), support.support());
-        if self.config.keep_support_sets {
-            mined.support_set = Some(support.clone());
-        }
-        self.outcome.patterns.push(mined);
-        if let Some(cap) = self.config.max_patterns {
-            if self.outcome.patterns.len() >= cap {
-                self.outcome.truncated = true;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep behaving like the originals
+
     use super::*;
     use crate::gsgrow::mine_all;
     use crate::reference::{closed_subset, pattern_set};
@@ -194,10 +205,19 @@ mod tests {
         let abd = Pattern::new(db.pattern_from_str("ABD").unwrap());
         let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
         let aad = Pattern::new(db.pattern_from_str("AAD").unwrap());
-        assert!(!closed.contains(&ab), "AB has the equal-support extension ACB");
+        assert!(
+            !closed.contains(&ab),
+            "AB has the equal-support extension ACB"
+        );
         assert!(closed.contains(&abd), "ABD is closed");
-        assert!(!closed.contains(&aa), "AA is pruned by landmark border checking");
-        assert!(!closed.contains(&aad), "AAD is not closed (ACAD has equal support)");
+        assert!(
+            !closed.contains(&aa),
+            "AA is pruned by landmark border checking"
+        );
+        assert!(
+            !closed.contains(&aad),
+            "AAD is not closed (ACAD has equal support)"
+        );
     }
 
     #[test]

@@ -101,9 +101,9 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
             .iter()
             .filter(|&&(event, total)| {
                 total >= support
-                    && per_sequence_counts.iter().all(|&(seq, count)| {
-                        self.sc.index().count_in_sequence(seq, event) >= count
-                    })
+                    && per_sequence_counts
+                        .iter()
+                        .all(|&(seq, count)| self.sc.index().count_in_sequence(seq, event) >= count)
             })
             .map(|&(event, _)| event)
             .collect();
@@ -162,7 +162,11 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
                 return None;
             }
         }
-        debug_assert_eq!(current.support(), target, "supersequence support exceeds target");
+        debug_assert_eq!(
+            current.support(),
+            target,
+            "supersequence support exceeds target"
+        );
         Some(current)
     }
 }
@@ -179,7 +183,9 @@ fn landmark_border_holds(extension: &SupportSet, pattern_support: &SupportSet) -
     extension
         .last_positions()
         .zip(pattern_support.last_positions())
-        .all(|((ext_seq, ext_last), (pat_seq, pat_last))| ext_seq == pat_seq && ext_last <= pat_last)
+        .all(|((ext_seq, ext_last), (pat_seq, pat_last))| {
+            ext_seq == pat_seq && ext_last <= pat_last
+        })
 }
 
 #[cfg(test)]
@@ -192,10 +198,7 @@ mod tests {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
     }
 
-    fn checker_fixture(
-        db: &SequenceDatabase,
-        min_sup: u64,
-    ) -> (SupportComputer<'_>, Vec<EventId>) {
+    fn checker_fixture(db: &SequenceDatabase, min_sup: u64) -> (SupportComputer<'_>, Vec<EventId>) {
         let sc = SupportComputer::new(db);
         let events = frequent_events(&sc, db, min_sup);
         (sc, events)

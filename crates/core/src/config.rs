@@ -1,14 +1,12 @@
 //! Mining configuration shared by GSgrow and CloGSgrow.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of a mining run.
 ///
 /// Only `min_sup` is required by the paper; the remaining knobs are
 /// practical safety limits (the paper itself manually aborts GSgrow runs
 /// that exceed several hours — the "cut-off" points of Figures 2–6) and
 /// reporting options.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MiningConfig {
     /// The support threshold `min_sup`: only patterns with repetitive
     /// support `>= min_sup` are reported.
@@ -76,7 +74,7 @@ impl MiningConfig {
 
     /// Returns `true` if a pattern of length `len` may still be grown.
     pub(crate) fn allows_growth(&self, len: usize) -> bool {
-        self.max_pattern_length.map_or(true, |max| len < max)
+        self.max_pattern_length.is_none_or(|max| len < max)
     }
 }
 

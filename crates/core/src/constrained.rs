@@ -41,17 +41,17 @@
 //! maximum. [`crate::reference::max_non_overlapping_constrained`] provides a
 //! brute-force exact maximum for small inputs, used by the property tests.
 
-use std::time::Instant;
+use std::ops::ControlFlow;
 
 use seqdb::{EventId, SequenceDatabase};
 
 use crate::config::MiningConfig;
 use crate::constraints::GapConstraints;
+use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::instance::{Instance, Landmark};
 use crate::pattern::Pattern;
-use crate::reference::closed_subset;
-use crate::result::{MinedPattern, MiningOutcome};
+use crate::result::{MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
 /// A [`SupportComputer`] paired with gap/window constraints.
@@ -211,12 +211,33 @@ pub fn constrained_support(
 ///
 /// With [`GapConstraints::unbounded`] the result is identical to
 /// [`crate::mine_all`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(db).from_config(config).mode(Mode::All).constraints(constraints).run()` — \
+            see `rgs_core::Miner`"
+)]
 pub fn mine_all_constrained(
     db: &SequenceDatabase,
     config: &MiningConfig,
     constraints: GapConstraints,
 ) -> MiningOutcome {
-    let start = Instant::now();
+    Miner::new(db)
+        .from_config(config)
+        .mode(Mode::All)
+        .constraints(constraints)
+        .run()
+}
+
+/// Streaming constrained-GSgrow core: hands every constrained-frequent
+/// pattern, with its constrained leftmost support set, to `emit`. The
+/// search stops when `emit` returns [`ControlFlow::Break`]. Returns the
+/// search statistics (elapsed time is the caller's responsibility).
+pub(crate) fn mine_all_constrained_streaming(
+    db: &SequenceDatabase,
+    config: &MiningConfig,
+    constraints: GapConstraints,
+    emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
+) -> MiningStats {
     let csc = ConstrainedSupportComputer::new(db, constraints);
     let min_sup = config.effective_min_sup();
     let frequent_events: Vec<EventId> = db
@@ -229,12 +250,12 @@ pub fn mine_all_constrained(
         config,
         min_sup,
         frequent_events,
-        outcome: MiningOutcome::default(),
+        stats: MiningStats::default(),
+        stopped: false,
+        emit,
     };
     miner.run();
-    let mut outcome = miner.outcome;
-    outcome.stats.set_elapsed(start.elapsed());
-    outcome
+    miner.stats
 }
 
 /// Mines the **closed** constrained-frequent patterns: the subset of
@@ -246,31 +267,38 @@ pub fn mine_all_constrained(
 /// pruning of Theorem 5 cannot be applied here; closedness is determined by
 /// filtering the complete frequent set, which is sound because prefix
 /// anti-monotonicity guarantees the frequent set is complete.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(db).from_config(config).mode(Mode::Closed).constraints(constraints).run()` — \
+            see `rgs_core::Miner`"
+)]
 pub fn mine_closed_constrained(
     db: &SequenceDatabase,
     config: &MiningConfig,
     constraints: GapConstraints,
 ) -> MiningOutcome {
-    let start = Instant::now();
-    let mut outcome = mine_all_constrained(db, config, constraints);
-    outcome.patterns = closed_subset(&outcome.patterns);
-    outcome.stats.set_elapsed(start.elapsed());
-    outcome
+    Miner::new(db)
+        .from_config(config)
+        .mode(Mode::Closed)
+        .constraints(constraints)
+        .run()
 }
 
-struct ConstrainedMiner<'a, 'b> {
+struct ConstrainedMiner<'a, 'b, 'e> {
     csc: &'a ConstrainedSupportComputer<'b>,
     config: &'a MiningConfig,
     min_sup: u64,
     frequent_events: Vec<EventId>,
-    outcome: MiningOutcome,
+    stats: MiningStats,
+    stopped: bool,
+    emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
-impl ConstrainedMiner<'_, '_> {
+impl ConstrainedMiner<'_, '_, '_> {
     fn run(&mut self) {
         let events = self.frequent_events.clone();
         for &event in &events {
-            if self.outcome.truncated {
+            if self.stopped {
                 break;
             }
             let support = self.csc.initial_support_set(event);
@@ -281,33 +309,22 @@ impl ConstrainedMiner<'_, '_> {
     }
 
     fn mine(&mut self, pattern: Pattern, support: SupportSet) {
-        self.outcome.stats.visited += 1;
-        self.emit(&pattern, &support);
-        if self.outcome.truncated || !self.config.allows_growth(pattern.len()) {
+        self.stats.visited += 1;
+        if (self.emit)(&pattern, &support).is_break() {
+            self.stopped = true;
+        }
+        if self.stopped || !self.config.allows_growth(pattern.len()) {
             return;
         }
         let events = self.frequent_events.clone();
         for &event in &events {
-            if self.outcome.truncated {
+            if self.stopped {
                 return;
             }
-            self.outcome.stats.instance_growths += 1;
+            self.stats.instance_growths += 1;
             let grown = self.csc.instance_growth(&support, event);
             if grown.support() >= self.min_sup {
                 self.mine(pattern.grow(event), grown);
-            }
-        }
-    }
-
-    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) {
-        let mut mined = MinedPattern::new(pattern.clone(), support.support());
-        if self.config.keep_support_sets {
-            mined.support_set = Some(support.clone());
-        }
-        self.outcome.patterns.push(mined);
-        if let Some(cap) = self.config.max_patterns {
-            if self.outcome.patterns.len() >= cap {
-                self.outcome.truncated = true;
             }
         }
     }
@@ -315,6 +332,8 @@ impl ConstrainedMiner<'_, '_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep behaving like the originals
+
     use super::*;
     use crate::gsgrow::mine_all;
     use crate::reference::pattern_set;
@@ -415,7 +434,10 @@ mod tests {
     fn min_gap_excludes_adjacent_matches() {
         let db = SequenceDatabase::from_str_rows(&["ABAB"]);
         let ab = db.pattern_from_str("AB").unwrap();
-        assert_eq!(constrained_support(&db, &ab, GapConstraints::unbounded()), 2);
+        assert_eq!(
+            constrained_support(&db, &ab, GapConstraints::unbounded()),
+            2
+        );
         // Requiring at least one event between A and B leaves only A@1,B@4.
         let spaced = GapConstraints::unbounded().with_min_gap(1);
         assert_eq!(constrained_support(&db, &ab, spaced), 1);

@@ -20,14 +20,12 @@
 //! defines the constraint vocabulary and the position-level feasibility
 //! checks they share.
 
-use serde::{Deserialize, Serialize};
-
 /// Gap and window constraints on the instances of a pattern.
 ///
 /// With the default constraints ([`GapConstraints::unbounded`]) every
 /// computation in [`crate::constrained`] coincides exactly with the
 /// unconstrained algorithms of the paper; this is asserted by tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GapConstraints {
     /// Minimum number of events between two successive pattern events.
     /// `0` (the default) allows adjacent events.
@@ -145,7 +143,7 @@ impl GapConstraints {
         }
         positions.windows(2).all(|w| {
             let gap = w[1] - w[0] - 1;
-            gap >= self.min_gap && self.max_gap.map_or(true, |g| gap <= g)
+            gap >= self.min_gap && self.max_gap.is_none_or(|g| gap <= g)
         })
     }
 
@@ -246,10 +244,19 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let c = GapConstraints::gap_range(1, 4).with_max_window(9);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: GapConstraints = serde_json::from_str(&json).unwrap();
-        assert_eq!(c, back);
+    fn builder_setters_override_presets() {
+        let c = GapConstraints::gap_range(1, 4)
+            .with_max_window(9)
+            .with_min_gap(2)
+            .with_max_gap(6);
+        assert_eq!(
+            c,
+            GapConstraints {
+                min_gap: 2,
+                max_gap: Some(6),
+                max_window: Some(9),
+            }
+        );
+        assert_eq!(c.describe(), "gap∈[2,6], window≤9");
     }
 }

@@ -1,0 +1,877 @@
+//! The unified mining engine: one entry point for every workload.
+//!
+//! The paper defines a single search skeleton — instance growth embedded in
+//! a depth-first pattern growth — that GSgrow, CloGSgrow, and every
+//! extension (top-k, maximal, gap-constrained) specialize. This module
+//! exposes that skeleton through one composable API:
+//!
+//! * [`Miner`] — a builder over a [`SequenceDatabase`]: pick a support
+//!   threshold, a [`Mode`], optional [`GapConstraints`], an optional top-k
+//!   ranking, caps and ablation switches, then [`Miner::run`].
+//! * [`MiningRequest`] — the plain-data description of a run, where every
+//!   option is orthogonal. Combinations the legacy free functions could not
+//!   express — gap-constrained top-k, constrained maximal — compose here
+//!   for free.
+//! * [`MiningSession`] — a prepared request bound to a database; run it to
+//!   a [`MiningOutcome`], or stream it through a
+//!   [`PatternSink`](crate::sink::PatternSink) with
+//!   [`MiningSession::run_with_sink`] for memory-bounded consumption and
+//!   cooperative cancellation.
+//!
+//! # Example
+//!
+//! ```
+//! use seqdb::SequenceDatabase;
+//! use rgs_core::{GapConstraints, Miner, Mode};
+//!
+//! let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+//!
+//! // Closed mining (CloGSgrow), the paper's headline algorithm:
+//! let closed = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
+//! assert!(!closed.is_empty());
+//!
+//! // A previously impossible combination: gap-constrained top-k.
+//! let constrained_topk = Miner::new(&db)
+//!     .min_sup(1)
+//!     .mode(Mode::Closed)
+//!     .constraints(GapConstraints::max_gap(2))
+//!     .top_k(5)
+//!     .run();
+//! assert!(constrained_topk.len() <= 5);
+//! ```
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use seqdb::SequenceDatabase;
+
+use crate::clogsgrow::mine_closed_streaming;
+use crate::config::MiningConfig;
+use crate::constrained::mine_all_constrained_streaming;
+use crate::constraints::GapConstraints;
+use crate::gsgrow::mine_all_streaming;
+use crate::maximal::maximal_subset;
+use crate::pattern::Pattern;
+use crate::reference::closed_subset;
+use crate::result::{MinedPattern, MiningOutcome, MiningStats};
+use crate::sink::{CollectSink, PatternSink};
+use crate::support::SupportSet;
+use crate::topk::{run_top_k, TopKParams};
+
+/// Default `k` when [`Mode::TopK`] is selected without an explicit
+/// [`Miner::top_k`] call.
+pub const DEFAULT_TOP_K: usize = 10;
+
+/// Which pattern family a mining run reports.
+///
+/// Modes compose orthogonally with every other [`MiningRequest`] option:
+/// constraints, top-k ranking, caps, support-set retention, and the
+/// landmark-pruning ablation all apply to every mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Every frequent pattern (GSgrow, Algorithm 3).
+    All,
+    /// Closed frequent patterns (CloGSgrow, Algorithm 4) — the paper's
+    /// headline algorithm and the default.
+    #[default]
+    Closed,
+    /// Maximal frequent patterns: the subsumption frontier of the closed
+    /// set (no frequent proper super-pattern).
+    Maximal,
+    /// The k best closed patterns ranked by support (TSP-style dynamic
+    /// threshold). Equivalent to [`Mode::Closed`] plus [`Miner::top_k`];
+    /// `k` defaults to [`DEFAULT_TOP_K`] unless set explicitly.
+    TopK,
+}
+
+/// The plain-data description of one mining run. Build it through
+/// [`Miner`], or construct it directly and bind it with
+/// [`Miner::from_request`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningRequest {
+    /// Support threshold: only patterns with (constrained) repetitive
+    /// support `>= min_sup` are considered. Under top-k ranking this acts
+    /// as the hard floor below which patterns never qualify.
+    pub min_sup: u64,
+    /// Which pattern family to report.
+    pub mode: Mode,
+    /// Gap/window constraints on instances ([`GapConstraints::unbounded`]
+    /// reproduces the paper's unconstrained semantics exactly).
+    pub constraints: GapConstraints,
+    /// Rank the result by support and keep only the best `k` patterns.
+    /// `None` means report everything (unless `mode` is [`Mode::TopK`]).
+    pub top_k: Option<usize>,
+    /// Only patterns of at least this length are reported (0 = no filter).
+    pub min_len: usize,
+    /// Optional cap on pattern length explored by the DFS.
+    pub max_pattern_length: Option<usize>,
+    /// Optional cap on the number of reported patterns; hitting it marks
+    /// the outcome as truncated. Applied uniformly across all modes.
+    pub max_patterns: Option<usize>,
+    /// Attach the leftmost support set to every reported pattern.
+    pub keep_support_sets: bool,
+    /// Ablation switch: disable the landmark border pruning of Theorem 5
+    /// (closed mining only; the mined set is identical either way).
+    pub use_landmark_pruning: bool,
+}
+
+impl Default for MiningRequest {
+    fn default() -> Self {
+        Self {
+            min_sup: 2,
+            mode: Mode::default(),
+            constraints: GapConstraints::unbounded(),
+            top_k: None,
+            min_len: 0,
+            max_pattern_length: None,
+            max_patterns: None,
+            keep_support_sets: false,
+            use_landmark_pruning: true,
+        }
+    }
+}
+
+impl MiningRequest {
+    /// Whether the result is ranked and truncated to the best `k`.
+    pub fn is_ranked(&self) -> bool {
+        self.top_k.is_some() || self.mode == Mode::TopK
+    }
+
+    /// The effective `k` of a ranked run.
+    pub fn effective_k(&self) -> usize {
+        self.top_k.unwrap_or(DEFAULT_TOP_K)
+    }
+
+    /// The mode with [`Mode::TopK`] resolved to its base family (closed).
+    pub fn base_mode(&self) -> Mode {
+        match self.mode {
+            Mode::TopK => Mode::Closed,
+            mode => mode,
+        }
+    }
+
+    /// The legacy [`MiningConfig`] equivalent of this request's DFS knobs.
+    fn to_config(&self) -> MiningConfig {
+        MiningConfig {
+            min_sup: self.min_sup,
+            max_pattern_length: self.max_pattern_length,
+            max_patterns: None, // capping is the emit gate's job
+            keep_support_sets: self.keep_support_sets,
+            use_landmark_pruning: self.use_landmark_pruning,
+        }
+    }
+}
+
+/// Builder for a mining run over one database: the canonical entry point of
+/// this crate. See the [module docs](self) for an example.
+#[derive(Debug, Clone)]
+pub struct Miner<'a> {
+    db: &'a SequenceDatabase,
+    request: MiningRequest,
+}
+
+impl<'a> Miner<'a> {
+    /// Starts a builder with default options: `min_sup = 2`, closed mining,
+    /// no constraints, no ranking, no caps.
+    pub fn new(db: &'a SequenceDatabase) -> Self {
+        Self {
+            db,
+            request: MiningRequest::default(),
+        }
+    }
+
+    /// Binds an existing request to a database.
+    pub fn from_request(db: &'a SequenceDatabase, request: MiningRequest) -> Self {
+        Self { db, request }
+    }
+
+    /// Imports the DFS knobs of a legacy [`MiningConfig`] (threshold, caps,
+    /// support-set retention, pruning ablation). Used by the deprecated
+    /// free-function shims; new code should set options directly.
+    pub fn from_config(mut self, config: &MiningConfig) -> Self {
+        self.request.min_sup = config.min_sup;
+        self.request.max_pattern_length = config.max_pattern_length;
+        self.request.max_patterns = config.max_patterns;
+        self.request.keep_support_sets = config.keep_support_sets;
+        self.request.use_landmark_pruning = config.use_landmark_pruning;
+        self
+    }
+
+    /// Sets the support threshold (floor, under top-k ranking).
+    pub fn min_sup(mut self, min_sup: u64) -> Self {
+        self.request.min_sup = min_sup;
+        self
+    }
+
+    /// Sets the pattern family to report.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.request.mode = mode;
+        self
+    }
+
+    /// Applies gap/window constraints to instances.
+    pub fn constraints(mut self, constraints: GapConstraints) -> Self {
+        self.request.constraints = constraints;
+        self
+    }
+
+    /// Ranks the result by support and keeps only the best `k` patterns.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.request.top_k = Some(k);
+        self
+    }
+
+    /// Only reports patterns of at least this length.
+    pub fn min_len(mut self, min_len: usize) -> Self {
+        self.request.min_len = min_len;
+        self
+    }
+
+    /// Caps the pattern length explored by the DFS.
+    pub fn max_pattern_length(mut self, max_len: usize) -> Self {
+        self.request.max_pattern_length = Some(max_len);
+        self
+    }
+
+    /// Caps the number of reported patterns (marks the outcome truncated
+    /// when hit).
+    pub fn max_patterns(mut self, cap: usize) -> Self {
+        self.request.max_patterns = Some(cap);
+        self
+    }
+
+    /// Attaches the leftmost support set to every reported pattern.
+    pub fn keep_support_sets(mut self) -> Self {
+        self.request.keep_support_sets = true;
+        self
+    }
+
+    /// Enables or disables the landmark border pruning of Theorem 5
+    /// (ablation switch for closed mining).
+    pub fn landmark_pruning(mut self, enabled: bool) -> Self {
+        self.request.use_landmark_pruning = enabled;
+        self
+    }
+
+    /// The request built so far.
+    pub fn request(&self) -> &MiningRequest {
+        &self.request
+    }
+
+    /// Finalizes the builder into a reusable session.
+    pub fn session(self) -> MiningSession<'a> {
+        MiningSession {
+            db: self.db,
+            request: self.request,
+        }
+    }
+
+    /// Runs the request and materializes the result.
+    pub fn run(self) -> MiningOutcome {
+        self.session().run()
+    }
+
+    /// Runs the request, streaming every pattern through `sink`.
+    pub fn run_with_sink(self, sink: &mut dyn PatternSink) -> MiningReport {
+        self.session().run_with_sink(sink)
+    }
+}
+
+/// What a streamed run reports back: statistics plus how the run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningReport {
+    /// Search statistics (DFS nodes, instance growths, pruning counters,
+    /// elapsed wall-clock time — recorded uniformly for every mode).
+    pub stats: MiningStats,
+    /// Number of patterns handed to the sink.
+    pub emitted: usize,
+    /// `true` when the run stopped because `max_patterns` was reached.
+    pub truncated: bool,
+    /// `true` when the sink cancelled the run via [`ControlFlow::Break`].
+    pub cancelled: bool,
+}
+
+/// A prepared mining request bound to a database. Obtained from
+/// [`Miner::session`]; can be run repeatedly.
+#[derive(Debug, Clone)]
+pub struct MiningSession<'a> {
+    db: &'a SequenceDatabase,
+    request: MiningRequest,
+}
+
+impl MiningSession<'_> {
+    /// The request this session executes.
+    pub fn request(&self) -> &MiningRequest {
+        &self.request
+    }
+
+    /// The database this session mines.
+    pub fn database(&self) -> &SequenceDatabase {
+        self.db
+    }
+
+    /// Runs the request and materializes the result into a
+    /// [`MiningOutcome`] (patterns in emission order, statistics, and the
+    /// uniform truncation flag).
+    pub fn run(&self) -> MiningOutcome {
+        let mut collect = CollectSink::new();
+        let report = self.run_with_sink(&mut collect);
+        MiningOutcome {
+            patterns: collect.into_patterns(),
+            stats: report.stats,
+            truncated: report.truncated,
+        }
+    }
+
+    /// Runs the request, pushing every reported pattern through `sink` as
+    /// it is found (incrementally for `All`/`Closed` without constraints
+    /// and for constrained `All`; after the necessary global filter for
+    /// closed-constrained, maximal, and ranked runs). The sink can cancel
+    /// at any emission point by returning [`ControlFlow::Break`].
+    pub fn run_with_sink(&self, sink: &mut dyn PatternSink) -> MiningReport {
+        let start = Instant::now();
+        let req = &self.request;
+        let config = req.to_config();
+        let mut gate = EmitGate {
+            sink,
+            min_len: req.min_len,
+            keep: req.keep_support_sets,
+            cap: req.max_patterns,
+            emitted: 0,
+            truncated: false,
+            cancelled: false,
+        };
+
+        let mut stats = if req.is_ranked() {
+            let (patterns, stats, truncated) = self.collect_ranked(&config);
+            gate.truncated |= truncated;
+            gate.drain(patterns);
+            stats
+        } else {
+            match (req.base_mode(), req.constraints.is_unbounded()) {
+                (Mode::All, true) => {
+                    mine_all_streaming(self.db, &config, &mut |p, s| gate.emit(p, s))
+                }
+                (Mode::Closed, true) => {
+                    mine_closed_streaming(self.db, &config, &mut |p, s| gate.emit(p, s))
+                }
+                (Mode::All, false) => mine_all_constrained_streaming(
+                    self.db,
+                    &config,
+                    req.constraints,
+                    &mut |p, s| gate.emit(p, s),
+                ),
+                (Mode::Maximal, true) => {
+                    let (patterns, stats, truncated) = self.collect_closed_basis(&config);
+                    gate.truncated |= truncated;
+                    gate.drain(maximal_subset(&patterns));
+                    stats
+                }
+                (Mode::Closed, false) => {
+                    let (patterns, stats, truncated) = self.collect_constrained_basis(&config);
+                    gate.truncated |= truncated;
+                    gate.drain(closed_subset(&patterns));
+                    stats
+                }
+                (Mode::Maximal, false) => {
+                    let (patterns, stats, truncated) = self.collect_constrained_basis(&config);
+                    gate.truncated |= truncated;
+                    gate.drain(maximal_subset(&patterns));
+                    stats
+                }
+                (Mode::TopK, _) => unreachable!("TopK resolves to a ranked run"),
+            }
+        };
+
+        stats.set_elapsed(start.elapsed());
+        MiningReport {
+            stats,
+            emitted: gate.emitted,
+            truncated: gate.truncated,
+            cancelled: gate.cancelled,
+        }
+    }
+
+    /// Ranked runs: the best `k` patterns of the base mode, sorted by
+    /// support, then length, then lexicographically.
+    fn collect_ranked(&self, config: &MiningConfig) -> (Vec<MinedPattern>, MiningStats, bool) {
+        let req = &self.request;
+        let k = req.effective_k();
+        if k == 0 {
+            return (Vec::new(), MiningStats::default(), false);
+        }
+        if req.constraints.is_unbounded() && req.base_mode() != Mode::Maximal {
+            // The optimized TSP-style search with a dynamically raised
+            // threshold (Apriori lets it prune subtrees below the current
+            // k-th best support).
+            let params = TopKParams {
+                k,
+                min_len: req.min_len,
+                closed_only: req.base_mode() == Mode::Closed,
+                min_sup_floor: req.min_sup.max(1),
+                max_pattern_length: req.max_pattern_length,
+                keep_support_sets: req.keep_support_sets,
+            };
+            let (patterns, stats) = run_top_k(self.db, &params);
+            return (patterns, stats, false);
+        }
+        // General path (constrained and/or maximal): materialize the base
+        // family, rank, truncate. A truncated basis means the ranking may
+        // have missed better patterns, so the flag must propagate.
+        let (basis, stats, truncated) = if req.constraints.is_unbounded() {
+            self.collect_closed_basis(config)
+        } else {
+            self.collect_constrained_basis(config)
+        };
+        let mut patterns = match req.base_mode() {
+            Mode::All => basis,
+            Mode::Closed => closed_subset(&basis),
+            Mode::Maximal => maximal_subset(&if req.constraints.is_unbounded() {
+                basis
+            } else {
+                closed_subset(&basis)
+            }),
+            Mode::TopK => unreachable!("base_mode never returns TopK"),
+        };
+        patterns.retain(|mp| mp.pattern.len() >= self.request.min_len);
+        patterns.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        });
+        patterns.truncate(k);
+        (patterns, stats, truncated)
+    }
+
+    /// Runs CloGSgrow, collecting the closed set as the basis for maximal
+    /// filtering. Honors the pattern cap mid-search for safety.
+    fn collect_closed_basis(
+        &self,
+        config: &MiningConfig,
+    ) -> (Vec<MinedPattern>, MiningStats, bool) {
+        let mut collector = Collector::new(config, self.request.max_patterns);
+        let stats = mine_closed_streaming(self.db, config, &mut |p, s| collector.emit(p, s));
+        (collector.patterns, stats, collector.truncated)
+    }
+
+    /// Runs constrained GSgrow, collecting the complete constrained-frequent
+    /// set as the basis for closed/maximal filtering under constraints
+    /// (Theorem 5 pruning is unsound there, so filtering the complete set is
+    /// the sound construction — see [`crate::constrained`]).
+    fn collect_constrained_basis(
+        &self,
+        config: &MiningConfig,
+    ) -> (Vec<MinedPattern>, MiningStats, bool) {
+        let mut collector = Collector::new(config, self.request.max_patterns);
+        let stats = mine_all_constrained_streaming(
+            self.db,
+            config,
+            self.request.constraints,
+            &mut |p, s| collector.emit(p, s),
+        );
+        (collector.patterns, stats, collector.truncated)
+    }
+}
+
+/// Internal collector used for basis runs (closed set for maximal mining,
+/// constrained-frequent set for constrained closed/maximal).
+struct Collector {
+    patterns: Vec<MinedPattern>,
+    keep: bool,
+    cap: Option<usize>,
+    truncated: bool,
+}
+
+impl Collector {
+    fn new(config: &MiningConfig, cap: Option<usize>) -> Self {
+        Self {
+            patterns: Vec::new(),
+            keep: config.keep_support_sets,
+            // Basis runs respect the uniform cap mid-search as a safety
+            // valve (a truncated basis makes the result a best-effort
+            // frontier, exactly like the legacy functions); the final
+            // emission applies the cap again.
+            cap,
+            truncated: false,
+        }
+    }
+
+    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) -> ControlFlow<()> {
+        let mut mined = MinedPattern::new(pattern.clone(), support.support());
+        if self.keep {
+            mined.support_set = Some(support.clone());
+        }
+        self.patterns.push(mined);
+        if let Some(cap) = self.cap {
+            if self.patterns.len() >= cap {
+                self.truncated = true;
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// The emission gate between the search and the user sink: applies the
+/// minimum-length filter, support-set retention, the uniform pattern cap,
+/// and records how the run ended.
+struct EmitGate<'s> {
+    sink: &'s mut dyn PatternSink,
+    min_len: usize,
+    keep: bool,
+    cap: Option<usize>,
+    emitted: usize,
+    truncated: bool,
+    cancelled: bool,
+}
+
+impl EmitGate<'_> {
+    /// Emission point for streaming searches.
+    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) -> ControlFlow<()> {
+        if pattern.len() < self.min_len {
+            return ControlFlow::Continue(());
+        }
+        let mut mined = MinedPattern::new(pattern.clone(), support.support());
+        if self.keep {
+            mined.support_set = Some(support.clone());
+        }
+        self.forward(mined)
+    }
+
+    /// Emission point for pre-collected result lists.
+    fn drain(&mut self, patterns: Vec<MinedPattern>) {
+        for mined in patterns {
+            if mined.pattern.len() < self.min_len {
+                continue;
+            }
+            if self.forward(mined).is_break() {
+                break;
+            }
+        }
+    }
+
+    fn forward(&mut self, mined: MinedPattern) -> ControlFlow<()> {
+        self.emitted += 1;
+        if self.sink.accept(mined).is_break() {
+            self.cancelled = true;
+            return ControlFlow::Break(());
+        }
+        if let Some(cap) = self.cap {
+            if self.emitted >= cap {
+                self.truncated = true;
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)] // engine outputs are checked against the shims
+
+    use super::*;
+    use crate::clogsgrow::mine_closed;
+    use crate::constrained::{constrained_support, mine_all_constrained, mine_closed_constrained};
+    use crate::gsgrow::mine_all;
+    use crate::maximal::mine_maximal;
+    use crate::reference::pattern_set;
+    use crate::sink::{BudgetSink, CountSink};
+    use crate::topk::{mine_top_k, TopKConfig};
+
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    fn example_1_1() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"])
+    }
+
+    #[test]
+    fn engine_reproduces_all_six_legacy_entry_points() {
+        for db in [running_example(), example_1_1()] {
+            let config = MiningConfig::new(2);
+            let constraints = GapConstraints::max_gap(2);
+
+            assert_eq!(
+                Miner::new(&db).min_sup(2).mode(Mode::All).run().patterns,
+                mine_all(&db, &config).patterns
+            );
+            assert_eq!(
+                Miner::new(&db).min_sup(2).mode(Mode::Closed).run().patterns,
+                mine_closed(&db, &config).patterns
+            );
+            assert_eq!(
+                Miner::new(&db)
+                    .min_sup(2)
+                    .mode(Mode::Maximal)
+                    .run()
+                    .patterns,
+                mine_maximal(&db, &config).patterns
+            );
+            assert_eq!(
+                Miner::new(&db)
+                    .min_sup(2)
+                    .mode(Mode::All)
+                    .constraints(constraints)
+                    .run()
+                    .patterns,
+                mine_all_constrained(&db, &config, constraints).patterns
+            );
+            assert_eq!(
+                Miner::new(&db)
+                    .min_sup(2)
+                    .mode(Mode::Closed)
+                    .constraints(constraints)
+                    .run()
+                    .patterns,
+                mine_closed_constrained(&db, &config, constraints).patterns
+            );
+            assert_eq!(
+                Miner::new(&db)
+                    .min_sup(1)
+                    .mode(Mode::Closed)
+                    .top_k(5)
+                    .min_len(2)
+                    .run()
+                    .patterns,
+                mine_top_k(&db, &TopKConfig::new(5).with_min_sup_floor(1)).patterns
+            );
+        }
+    }
+
+    #[test]
+    fn mode_top_k_defaults_to_ranked_closed_mining() {
+        let db = running_example();
+        let via_mode = Miner::new(&db).min_sup(1).mode(Mode::TopK).min_len(2).run();
+        let via_option = Miner::new(&db)
+            .min_sup(1)
+            .mode(Mode::Closed)
+            .top_k(DEFAULT_TOP_K)
+            .min_len(2)
+            .run();
+        assert_eq!(via_mode.patterns, via_option.patterns);
+        assert!(via_mode.len() <= DEFAULT_TOP_K);
+    }
+
+    #[test]
+    fn constrained_top_k_composes() {
+        // The combination the legacy API could not express.
+        let db = running_example();
+        let constraints = GapConstraints::max_gap(1);
+        let outcome = Miner::new(&db)
+            .min_sup(1)
+            .mode(Mode::Closed)
+            .constraints(constraints)
+            .top_k(4)
+            .min_len(2)
+            .run();
+        assert!(outcome.len() <= 4);
+        assert!(!outcome.is_empty());
+        // Every reported pattern carries its true *constrained* support and
+        // the list is sorted by descending support.
+        for mp in &outcome.patterns {
+            assert_eq!(
+                mp.support,
+                constrained_support(&db, mp.pattern.events(), constraints)
+            );
+            assert!(mp.pattern.len() >= 2);
+        }
+        for w in outcome.patterns.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+        // And it agrees with ranking the full constrained closed set.
+        let mut full = mine_closed_constrained(&db, &MiningConfig::new(1), constraints);
+        full.patterns.retain(|mp| mp.pattern.len() >= 2);
+        full.sort_for_report();
+        full.patterns.truncate(4);
+        assert_eq!(outcome.patterns, full.patterns);
+    }
+
+    #[test]
+    fn constrained_maximal_composes() {
+        let db = running_example();
+        let constraints = GapConstraints::max_gap(2);
+        let maximal = Miner::new(&db)
+            .min_sup(2)
+            .mode(Mode::Maximal)
+            .constraints(constraints)
+            .run();
+        let all = mine_all_constrained(&db, &MiningConfig::new(2), constraints);
+        assert!(!maximal.is_empty());
+        // Frontier property within the constrained-frequent set.
+        for mp in &maximal.patterns {
+            assert!(all.contains(&mp.pattern));
+            for other in &all.patterns {
+                assert!(!other.pattern.is_proper_superpattern_of(&mp.pattern));
+            }
+        }
+        for mp in &all.patterns {
+            assert!(
+                maximal
+                    .patterns
+                    .iter()
+                    .any(|m| mp.pattern == m.pattern || mp.pattern.is_subpattern_of(&m.pattern)),
+                "{:?} not covered",
+                mp.pattern
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_sink_sees_patterns_incrementally_and_can_cancel() {
+        let db = running_example();
+        let mut seen = Vec::new();
+        let report =
+            Miner::new(&db)
+                .min_sup(2)
+                .mode(Mode::All)
+                .run_with_sink(&mut |mp: MinedPattern| {
+                    seen.push(mp);
+                    if seen.len() == 3 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+        assert_eq!(seen.len(), 3);
+        assert_eq!(report.emitted, 3);
+        assert!(report.cancelled);
+        assert!(!report.truncated);
+        // The first three patterns match the materialized run's order.
+        let full = Miner::new(&db).min_sup(2).mode(Mode::All).run();
+        assert_eq!(&full.patterns[..3], seen.as_slice());
+    }
+
+    #[test]
+    fn budget_sink_bounds_emission() {
+        let db = running_example();
+        let mut budget = BudgetSink::new(CountSink::new(), 4);
+        let report = Miner::new(&db)
+            .min_sup(1)
+            .mode(Mode::All)
+            .run_with_sink(&mut budget);
+        assert!(report.cancelled);
+        assert_eq!(budget.into_inner().count, 4);
+    }
+
+    #[test]
+    fn ranked_runs_propagate_basis_truncation() {
+        let db = running_example();
+        // The constrained-frequent basis at min_sup 1 holds far more than 3
+        // patterns, so capping the basis makes the ranking best-effort — a
+        // better pattern later in DFS order may never have been seen. The
+        // truncated flag must say so even though k patterns fit under the cap.
+        let outcome = Miner::new(&db)
+            .min_sup(1)
+            .mode(Mode::Closed)
+            .constraints(GapConstraints::max_gap(3))
+            .top_k(2)
+            .max_patterns(3)
+            .run();
+        assert!(outcome.truncated, "basis truncation must propagate");
+        assert!(outcome.len() <= 2);
+    }
+
+    #[test]
+    fn uniform_truncation_across_modes() {
+        let db = running_example();
+        for mode in [Mode::All, Mode::Closed, Mode::Maximal] {
+            let outcome = Miner::new(&db).min_sup(1).mode(mode).max_patterns(2).run();
+            assert!(outcome.truncated, "{mode:?} did not truncate");
+            assert!(outcome.len() <= 2, "{mode:?} exceeded the cap");
+        }
+        // Constrained modes truncate too.
+        let constrained = Miner::new(&db)
+            .min_sup(1)
+            .mode(Mode::Closed)
+            .constraints(GapConstraints::max_gap(3))
+            .max_patterns(2)
+            .run();
+        assert!(constrained.truncated);
+        assert!(constrained.len() <= 2);
+    }
+
+    #[test]
+    fn elapsed_is_recorded_for_every_mode() {
+        let db = running_example();
+        let requests: Vec<Miner<'_>> = vec![
+            Miner::new(&db).min_sup(2).mode(Mode::All),
+            Miner::new(&db).min_sup(2).mode(Mode::Closed),
+            Miner::new(&db).min_sup(2).mode(Mode::Maximal),
+            Miner::new(&db).min_sup(2).mode(Mode::TopK),
+            Miner::new(&db).min_sup(2).mode(Mode::TopK).top_k(0),
+            Miner::new(&db)
+                .min_sup(2)
+                .mode(Mode::Closed)
+                .constraints(GapConstraints::max_gap(2)),
+            Miner::new(&db)
+                .min_sup(2)
+                .mode(Mode::Maximal)
+                .constraints(GapConstraints::max_gap(2))
+                .top_k(3),
+        ];
+        for miner in requests {
+            let request = miner.request().clone();
+            let outcome = miner.run();
+            assert!(
+                outcome.stats.elapsed_seconds > 0.0,
+                "elapsed not recorded for {request:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_len_filter_applies_to_unranked_modes() {
+        let db = running_example();
+        let outcome = Miner::new(&db).min_sup(2).mode(Mode::All).min_len(2).run();
+        assert!(!outcome.is_empty());
+        for mp in &outcome.patterns {
+            assert!(mp.pattern.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn session_is_reusable() {
+        let db = running_example();
+        let session = Miner::new(&db).min_sup(2).mode(Mode::Closed).session();
+        let a = session.run();
+        let b = session.run();
+        assert_eq!(a.patterns, b.patterns);
+        assert_eq!(session.request().min_sup, 2);
+        assert_eq!(session.database().num_sequences(), 2);
+    }
+
+    #[test]
+    fn keep_support_sets_composes_with_ranking() {
+        let db = running_example();
+        let outcome = Miner::new(&db)
+            .min_sup(1)
+            .mode(Mode::Closed)
+            .top_k(3)
+            .min_len(2)
+            .keep_support_sets()
+            .run();
+        assert!(!outcome.is_empty());
+        for mp in &outcome.patterns {
+            let set = mp.support_set.as_ref().expect("support set requested");
+            assert_eq!(set.support(), mp.support);
+        }
+    }
+
+    #[test]
+    fn unbounded_constraints_equal_no_constraints() {
+        let db = example_1_1();
+        let plain = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
+        let unbounded = Miner::new(&db)
+            .min_sup(2)
+            .mode(Mode::Closed)
+            .constraints(GapConstraints::unbounded())
+            .run();
+        assert_eq!(
+            pattern_set(&plain.patterns),
+            pattern_set(&unbounded.patterns)
+        );
+    }
+}

@@ -7,32 +7,50 @@
 //! set (Algorithm 2), and recurses while the support stays at or above
 //! `min_sup` (Apriori property, Theorem 1).
 
+use std::ops::ControlFlow;
 use std::time::Instant;
 
 use seqdb::{EventId, SequenceDatabase};
 
 use crate::config::MiningConfig;
+use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::pattern::Pattern;
-use crate::result::{MinedPattern, MiningOutcome, MiningStats};
+use crate::result::{MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
 /// Mines all frequent repetitive gapped subsequences of `db` with respect to
 /// `config.min_sup` (Algorithm 3, GSgrow).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(db).from_config(config).mode(Mode::All).run()` — \
+            see `rgs_core::Miner`"
+)]
 pub fn mine_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
-    let start = Instant::now();
+    Miner::new(db).from_config(config).mode(Mode::All).run()
+}
+
+/// Streaming GSgrow core: runs the DFS of Algorithm 3 and hands every
+/// frequent pattern, with its leftmost support set, to `emit`. The search
+/// stops when `emit` returns [`ControlFlow::Break`]. Returns the search
+/// statistics (elapsed time is the caller's responsibility).
+pub(crate) fn mine_all_streaming(
+    db: &SequenceDatabase,
+    config: &MiningConfig,
+    emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
+) -> MiningStats {
     let sc = SupportComputer::new(db);
     let mut miner = GsGrow {
         sc: &sc,
         config,
         min_sup: config.effective_min_sup(),
         frequent_events: frequent_events(&sc, db, config.effective_min_sup()),
-        outcome: MiningOutcome::default(),
+        stats: MiningStats::default(),
+        stopped: false,
+        emit,
     };
     miner.run();
-    let mut outcome = miner.outcome;
-    outcome.stats.set_elapsed(start.elapsed());
-    outcome
+    miner.stats
 }
 
 /// The single events whose repetitive support (total occurrence count)
@@ -48,19 +66,21 @@ pub(crate) fn frequent_events(
         .collect()
 }
 
-struct GsGrow<'a, 'b> {
+struct GsGrow<'a, 'b, 'e> {
     sc: &'a SupportComputer<'b>,
     config: &'a MiningConfig,
     min_sup: u64,
     frequent_events: Vec<EventId>,
-    outcome: MiningOutcome,
+    stats: MiningStats,
+    stopped: bool,
+    emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
-impl GsGrow<'_, '_> {
+impl GsGrow<'_, '_, '_> {
     fn run(&mut self) {
         let events = self.frequent_events.clone();
         for &event in &events {
-            if self.outcome.truncated {
+            if self.stopped {
                 break;
             }
             let support = self.sc.initial_support_set(event);
@@ -72,33 +92,22 @@ impl GsGrow<'_, '_> {
 
     /// `mineFre(SeqDB, P, I)`: emits `P` and recursively grows it.
     fn mine_fre(&mut self, pattern: Pattern, support: SupportSet) {
-        self.outcome.stats.visited += 1;
-        self.emit(&pattern, &support);
-        if self.outcome.truncated || !self.config.allows_growth(pattern.len()) {
+        self.stats.visited += 1;
+        if (self.emit)(&pattern, &support).is_break() {
+            self.stopped = true;
+        }
+        if self.stopped || !self.config.allows_growth(pattern.len()) {
             return;
         }
         let events = self.frequent_events.clone();
         for &event in &events {
-            if self.outcome.truncated {
+            if self.stopped {
                 return;
             }
-            self.outcome.stats.instance_growths += 1;
+            self.stats.instance_growths += 1;
             let grown = self.sc.instance_growth(&support, event);
             if grown.support() >= self.min_sup {
                 self.mine_fre(pattern.grow(event), grown);
-            }
-        }
-    }
-
-    fn emit(&mut self, pattern: &Pattern, support: &SupportSet) {
-        let mut mined = MinedPattern::new(pattern.clone(), support.support());
-        if self.config.keep_support_sets {
-            mined.support_set = Some(support.clone());
-        }
-        self.outcome.patterns.push(mined);
-        if let Some(cap) = self.config.max_patterns {
-            if self.outcome.patterns.len() >= cap {
-                self.outcome.truncated = true;
             }
         }
     }
@@ -114,6 +123,7 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
     let events = frequent_events(&sc, db, min_sup);
     let mut stats = MiningStats::default();
 
+    #[allow(clippy::too_many_arguments)] // internal DFS state, not an API
     fn recurse(
         sc: &SupportComputer<'_>,
         config: &MiningConfig,
@@ -138,7 +148,16 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
             stats.instance_growths += 1;
             let grown = sc.instance_growth(support, event);
             if grown.support() >= min_sup {
-                recurse(sc, config, events, min_sup, depth + 1, &grown, stats, budget);
+                recurse(
+                    sc,
+                    config,
+                    events,
+                    min_sup,
+                    depth + 1,
+                    &grown,
+                    stats,
+                    budget,
+                );
             }
             if matches!(budget, Some(0)) {
                 return;
@@ -171,6 +190,8 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep behaving like the originals
+
     use super::*;
     use crate::reference::{enumerate_frequent, pattern_set};
 

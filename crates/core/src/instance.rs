@@ -12,11 +12,9 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A full landmark: the 1-based positions of one occurrence of a pattern in
 /// one sequence (Definition 2.1).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Landmark {
     /// 0-based index of the sequence in the database.
     pub seq: usize,
@@ -85,7 +83,7 @@ impl fmt::Display for Landmark {
 ///
 /// `Instance` is `Copy` and 12 bytes, so support sets are cache-friendly
 /// vectors of plain data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instance {
     /// 0-based sequence index.
     pub seq: u32,
@@ -118,7 +116,8 @@ impl PartialOrd for Instance {
 
 impl Ord for Instance {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.right_shift_cmp(other).then(self.first.cmp(&other.first))
+        self.right_shift_cmp(other)
+            .then(self.first.cmp(&other.first))
     }
 }
 

@@ -15,22 +15,21 @@
 //!   checking* (Theorem 4) and *landmark border checking* (Theorem 5)
 //!   strategies (Algorithm 4),
 //! * the case-study **post-processing** pipeline of §IV-B (density filter,
-//!   maximality filter, ranking by length).
+//!   maximality filter, ranking by length),
+//! * the extensions the paper's conclusion sketches: gap/window-constrained
+//!   mining ([`constrained`]), top-k mining ([`topk`]), and maximal pattern
+//!   mining ([`maximal`]).
 //!
-//! Beyond the paper's two algorithms, the crate implements the extensions
-//! its conclusion sketches as future work:
+//! # Quick start — the `Miner` engine
 //!
-//! * [`constrained`] — gap/window-constrained mining (with the constraint
-//!   vocabulary in [`constraints`]), for long DNA/protein/text sequences,
-//! * [`topk`] — top-k (closed) mining with a dynamically raised threshold,
-//! * [`maximal`] — maximal frequent patterns, the subsumption frontier of
-//!   the closed set.
-//!
-//! # Quick start
+//! All of the above is driven through one composable entry point, the
+//! [`Miner`] builder. Mode (all/closed/maximal/top-k), gap and window
+//! constraints, top-k ranking, length/pattern caps, support-set retention,
+//! and pruning ablations are orthogonal options that combine freely:
 //!
 //! ```
 //! use seqdb::SequenceDatabase;
-//! use rgs_core::{MiningConfig, mine_all, mine_closed, repetitive_support};
+//! use rgs_core::{GapConstraints, Miner, Mode, repetitive_support};
 //!
 //! // Example 1.1 of the paper.
 //! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
@@ -42,19 +41,58 @@
 //! assert_eq!(repetitive_support(&db, &cd), 2);
 //!
 //! // Mine every frequent pattern with support >= 2, and the closed subset.
-//! let all = mine_all(&db, &MiningConfig::new(2));
-//! let closed = mine_closed(&db, &MiningConfig::new(2));
+//! let all = Miner::new(&db).min_sup(2).mode(Mode::All).run();
+//! let closed = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
 //! assert!(closed.patterns.len() <= all.patterns.len());
+//!
+//! // Orthogonal options compose — e.g. gap-constrained top-k mining:
+//! let best = Miner::new(&db)
+//!     .min_sup(1)
+//!     .mode(Mode::Closed)
+//!     .constraints(GapConstraints::max_gap(2))
+//!     .top_k(3)
+//!     .min_len(2)
+//!     .run();
+//! assert!(best.len() <= 3);
 //! ```
+//!
+//! # Streaming
+//!
+//! Results can be consumed incrementally through a [`PatternSink`] instead
+//! of materializing a `Vec` — the memory-bounded path for long DNA/log
+//! sequences, with cooperative cancellation via
+//! [`ControlFlow`](std::ops::ControlFlow):
+//!
+//! ```
+//! use std::ops::ControlFlow;
+//! use seqdb::SequenceDatabase;
+//! use rgs_core::{MinedPattern, Miner, Mode};
+//!
+//! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+//! let mut count = 0usize;
+//! let report = Miner::new(&db).min_sup(2).mode(Mode::All).run_with_sink(
+//!     &mut |_p: MinedPattern| {
+//!         count += 1;
+//!         if count < 5 { ControlFlow::Continue(()) } else { ControlFlow::Break(()) }
+//!     },
+//! );
+//! assert_eq!(report.emitted, count);
+//! ```
+//!
+//! The six free functions of the 0.1 API ([`mine_all`], [`mine_closed`],
+//! [`mine_top_k`], [`mine_maximal`], [`mine_all_constrained`],
+//! [`mine_closed_constrained`]) remain available as deprecated shims that
+//! delegate to the engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod closure;
 pub mod clogsgrow;
+pub mod closure;
 pub mod config;
 pub mod constrained;
 pub mod constraints;
+pub mod engine;
 pub mod growth;
 pub mod gsgrow;
 pub mod instance;
@@ -63,22 +101,29 @@ pub mod pattern;
 pub mod postprocess;
 pub mod reference;
 pub mod result;
+pub mod sink;
 pub mod support;
 pub mod topk;
 
+#[allow(deprecated)]
 pub use clogsgrow::mine_closed;
 pub use config::MiningConfig;
+#[allow(deprecated)]
 pub use constrained::{
-    constrained_support, mine_all_constrained, mine_closed_constrained,
-    ConstrainedSupportComputer,
+    constrained_support, mine_all_constrained, mine_closed_constrained, ConstrainedSupportComputer,
 };
 pub use constraints::GapConstraints;
+pub use engine::{Miner, MiningReport, MiningRequest, MiningSession, Mode, DEFAULT_TOP_K};
 pub use growth::{instance_growth, repetitive_support, support_set, SupportComputer};
+#[allow(deprecated)]
 pub use gsgrow::mine_all;
 pub use instance::{Instance, Landmark};
+#[allow(deprecated)]
 pub use maximal::{is_maximal, mine_maximal};
 pub use pattern::Pattern;
 pub use postprocess::{postprocess, PostProcessConfig};
 pub use result::{MinedPattern, MiningOutcome, MiningStats};
+pub use sink::{BudgetSink, CollectSink, CountSink, DeadlineSink, PatternSink};
 pub use support::SupportSet;
+#[allow(deprecated)]
 pub use topk::{mine_top_k, TopKConfig};

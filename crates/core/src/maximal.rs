@@ -17,12 +17,10 @@
 //! * [`is_maximal`] — a direct definition-level check for a single pattern,
 //!   used by tests and by callers who already have a candidate.
 
-use std::time::Instant;
-
 use seqdb::{EventId, SequenceDatabase};
 
-use crate::clogsgrow::mine_closed;
 use crate::config::MiningConfig;
+use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::gsgrow::frequent_events;
 use crate::pattern::Pattern;
@@ -37,16 +35,13 @@ use crate::result::{MinedPattern, MiningOutcome};
 /// `sup(Q') = sup(Q) ≥ min_sup` (Lemma 2), and `Q'` is also a proper
 /// super-pattern of `P`, so the subsumption is witnessed inside the closed
 /// set.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(db).from_config(config).mode(Mode::Maximal).run()` — \
+            see `rgs_core::Miner`"
+)]
 pub fn mine_maximal(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
-    let start = Instant::now();
-    let closed = mine_closed(db, config);
-    let mut outcome = MiningOutcome {
-        patterns: maximal_subset(&closed.patterns),
-        stats: closed.stats,
-        truncated: closed.truncated,
-    };
-    outcome.stats.set_elapsed(start.elapsed());
-    outcome
+    Miner::new(db).from_config(config).mode(Mode::Maximal).run()
 }
 
 /// Filters a set of mined patterns down to the maximal ones: patterns not
@@ -92,7 +87,10 @@ pub fn is_maximal(db: &SequenceDatabase, pattern: &Pattern, min_sup: u64) -> boo
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep behaving like the originals
+
     use super::*;
+    use crate::clogsgrow::mine_closed;
     use crate::gsgrow::mine_all;
 
     fn running_example() -> SequenceDatabase {
@@ -143,8 +141,11 @@ mod tests {
         let maximal = mine_maximal(&db, &MiningConfig::new(min_sup));
         for mp in &all.patterns {
             assert!(
-                maximal.patterns.iter().any(|max| mp.pattern == max.pattern
-                    || mp.pattern.is_subpattern_of(&max.pattern)),
+                maximal
+                    .patterns
+                    .iter()
+                    .any(|max| mp.pattern == max.pattern
+                        || mp.pattern.is_subpattern_of(&max.pattern)),
                 "{:?} not covered by any maximal pattern",
                 mp.pattern
             );

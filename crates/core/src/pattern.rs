@@ -7,15 +7,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use seqdb::{EventCatalog, EventId};
 
 /// A pattern: a non-empty ordered list of events (gapped subsequence).
 ///
 /// The empty pattern is representable (it is convenient as the DFS root) but
 /// is never reported by the miners.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pattern {
     events: Vec<EventId>,
 }

@@ -11,12 +11,10 @@
 //!    another reported pattern,
 //! 3. **Ranking** — order the survivors by length (longest first).
 
-use serde::{Deserialize, Serialize};
-
 use crate::result::MinedPattern;
 
 /// Configuration of the post-processing pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PostProcessConfig {
     /// Minimum ratio of unique events to pattern length (exclusive bound, as
     /// in the paper: "the number of unique events is > 40 % of its length").

@@ -263,14 +263,32 @@ mod tests {
     #[test]
     fn brute_force_support_matches_paper_examples() {
         let simple = simple_example();
-        assert_eq!(max_non_overlapping(&simple, &simple.pattern_from_str("AB").unwrap()), 4);
-        assert_eq!(max_non_overlapping(&simple, &simple.pattern_from_str("ABA").unwrap()), 2);
-        assert_eq!(max_non_overlapping(&simple, &simple.pattern_from_str("ABC").unwrap()), 4);
+        assert_eq!(
+            max_non_overlapping(&simple, &simple.pattern_from_str("AB").unwrap()),
+            4
+        );
+        assert_eq!(
+            max_non_overlapping(&simple, &simple.pattern_from_str("ABA").unwrap()),
+            2
+        );
+        assert_eq!(
+            max_non_overlapping(&simple, &simple.pattern_from_str("ABC").unwrap()),
+            4
+        );
 
         let running = running_example();
-        assert_eq!(max_non_overlapping(&running, &running.pattern_from_str("ACB").unwrap()), 3);
-        assert_eq!(max_non_overlapping(&running, &running.pattern_from_str("ACA").unwrap()), 3);
-        assert_eq!(max_non_overlapping(&running, &running.pattern_from_str("A").unwrap()), 5);
+        assert_eq!(
+            max_non_overlapping(&running, &running.pattern_from_str("ACB").unwrap()),
+            3
+        );
+        assert_eq!(
+            max_non_overlapping(&running, &running.pattern_from_str("ACA").unwrap()),
+            3
+        );
+        assert_eq!(
+            max_non_overlapping(&running, &running.pattern_from_str("A").unwrap()),
+            5
+        );
     }
 
     #[test]

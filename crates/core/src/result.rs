@@ -2,15 +2,13 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 use seqdb::EventCatalog;
 
 use crate::pattern::Pattern;
 use crate::support::SupportSet;
 
 /// A single mined pattern together with its repetitive support.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MinedPattern {
     /// The pattern.
     pub pattern: Pattern,
@@ -38,7 +36,7 @@ impl MinedPattern {
 }
 
 /// Counters describing the work performed by a mining run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MiningStats {
     /// Number of pattern nodes visited in the DFS (frequent prefixes).
     pub visited: u64,
@@ -61,7 +59,7 @@ impl MiningStats {
 }
 
 /// The outcome of a mining run: the patterns found plus run statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MiningOutcome {
     /// The mined patterns, in DFS emission order.
     pub patterns: Vec<MinedPattern>,

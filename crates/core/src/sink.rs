@@ -1,0 +1,241 @@
+//! Streaming pattern sinks: incremental consumption of mined patterns.
+//!
+//! The [`crate::Miner`] engine pushes every mined pattern through a
+//! [`PatternSink`] instead of materializing the result into a `Vec` first.
+//! Sinks return [`ControlFlow`]: `Continue(())` to keep mining,
+//! `Break(())` to cancel the search cooperatively — the engine stops at the
+//! next emission point and reports the run as cancelled.
+//!
+//! This is the memory-bounded consumption path for long DNA/log sequences:
+//! a sink can stream patterns to disk, keep only aggregates, or abort the
+//! run once enough patterns (or enough wall-clock time) have been spent.
+//!
+//! Provided adapters:
+//!
+//! * [`CollectSink`] — collects into a `Vec` (what [`crate::Miner::run`]
+//!   uses internally),
+//! * [`CountSink`] — counts patterns without storing them,
+//! * [`BudgetSink`] — forwards at most `n` patterns, then cancels,
+//! * [`DeadlineSink`] — cancels once a wall-clock deadline has passed.
+//!
+//! Closures work directly: any `FnMut(MinedPattern) -> ControlFlow<()>`
+//! implements [`PatternSink`].
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use crate::result::MinedPattern;
+
+/// A consumer of mined patterns, fed incrementally during the search.
+///
+/// Returning `ControlFlow::Break(())` from [`PatternSink::accept`] cancels
+/// the mining run cooperatively: the pattern passed to that call *has* been
+/// consumed, and no further pattern will be emitted.
+pub trait PatternSink {
+    /// Consumes one mined pattern; `Break` cancels the run.
+    fn accept(&mut self, pattern: MinedPattern) -> ControlFlow<()>;
+}
+
+impl<F> PatternSink for F
+where
+    F: FnMut(MinedPattern) -> ControlFlow<()>,
+{
+    fn accept(&mut self, pattern: MinedPattern) -> ControlFlow<()> {
+        self(pattern)
+    }
+}
+
+/// Collects every pattern into a vector.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    patterns: Vec<MinedPattern>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The patterns collected so far.
+    pub fn patterns(&self) -> &[MinedPattern] {
+        &self.patterns
+    }
+
+    /// Consumes the collector, returning the patterns.
+    pub fn into_patterns(self) -> Vec<MinedPattern> {
+        self.patterns
+    }
+}
+
+impl PatternSink for CollectSink {
+    fn accept(&mut self, pattern: MinedPattern) -> ControlFlow<()> {
+        self.patterns.push(pattern);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Counts patterns (and tracks the best support seen) without storing them.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Number of patterns consumed.
+    pub count: usize,
+    /// The largest support among the consumed patterns (0 when none).
+    pub max_support: u64,
+}
+
+impl CountSink {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PatternSink for CountSink {
+    fn accept(&mut self, pattern: MinedPattern) -> ControlFlow<()> {
+        self.count += 1;
+        self.max_support = self.max_support.max(pattern.support);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Forwards at most `budget` patterns to the inner sink, then cancels the
+/// run. The memory/output-bounding combinator for exploratory runs.
+#[derive(Debug)]
+pub struct BudgetSink<S> {
+    inner: S,
+    remaining: usize,
+}
+
+impl<S: PatternSink> BudgetSink<S> {
+    /// Wraps `inner`, allowing at most `budget` patterns through.
+    pub fn new(inner: S, budget: usize) -> Self {
+        Self {
+            inner,
+            remaining: budget,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// How much of the budget is left.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<S: PatternSink> PatternSink for BudgetSink<S> {
+    fn accept(&mut self, pattern: MinedPattern) -> ControlFlow<()> {
+        if self.remaining == 0 {
+            return ControlFlow::Break(());
+        }
+        self.remaining -= 1;
+        self.inner.accept(pattern)?;
+        if self.remaining == 0 {
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Cancels the run once a wall-clock deadline has passed. Patterns arriving
+/// before the deadline are forwarded to the inner sink.
+#[derive(Debug)]
+pub struct DeadlineSink<S> {
+    inner: S,
+    deadline: Instant,
+}
+
+impl<S: PatternSink> DeadlineSink<S> {
+    /// Wraps `inner` with an absolute deadline.
+    pub fn new(inner: S, deadline: Instant) -> Self {
+        Self { inner, deadline }
+    }
+
+    /// The wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: PatternSink> PatternSink for DeadlineSink<S> {
+    fn accept(&mut self, pattern: MinedPattern) -> ControlFlow<()> {
+        if Instant::now() >= self.deadline {
+            return ControlFlow::Break(());
+        }
+        self.inner.accept(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use seqdb::EventId;
+    use std::time::Duration;
+
+    fn mined(support: u64) -> MinedPattern {
+        MinedPattern::new(Pattern::single(EventId(0)), support)
+    }
+
+    #[test]
+    fn collect_sink_accumulates() {
+        let mut sink = CollectSink::new();
+        assert!(sink.accept(mined(3)).is_continue());
+        assert!(sink.accept(mined(5)).is_continue());
+        assert_eq!(sink.patterns().len(), 2);
+        assert_eq!(sink.into_patterns()[1].support, 5);
+    }
+
+    #[test]
+    fn count_sink_tracks_count_and_max() {
+        let mut sink = CountSink::new();
+        for s in [2, 9, 4] {
+            assert!(sink.accept(mined(s)).is_continue());
+        }
+        assert_eq!(sink.count, 3);
+        assert_eq!(sink.max_support, 9);
+    }
+
+    #[test]
+    fn budget_sink_breaks_after_budget() {
+        let mut sink = BudgetSink::new(CollectSink::new(), 2);
+        assert!(sink.accept(mined(1)).is_continue());
+        assert!(sink.accept(mined(2)).is_break());
+        assert!(sink.accept(mined(3)).is_break());
+        assert_eq!(sink.remaining(), 0);
+        assert_eq!(sink.into_inner().into_patterns().len(), 2);
+    }
+
+    #[test]
+    fn deadline_sink_breaks_after_the_deadline() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let mut expired = DeadlineSink::new(CollectSink::new(), past);
+        assert!(expired.accept(mined(1)).is_break());
+        assert!(expired.into_inner().into_patterns().is_empty());
+
+        let future = Instant::now() + Duration::from_secs(3600);
+        let mut open = DeadlineSink::new(CollectSink::new(), future);
+        assert!(open.accept(mined(1)).is_continue());
+        assert_eq!(open.into_inner().into_patterns().len(), 1);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = 0u64;
+        let mut sink = |p: MinedPattern| {
+            seen += p.support;
+            if seen > 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        assert!(PatternSink::accept(&mut sink, mined(3)).is_continue());
+        assert!(PatternSink::accept(&mut sink, mined(4)).is_break());
+        assert_eq!(seen, 7);
+    }
+}

@@ -11,8 +11,6 @@
 //! order. [`SupportSet::reconstruct_landmarks`] rebuilds full landmarks when
 //! they are needed for reporting.
 
-use serde::{Deserialize, Serialize};
-
 use seqdb::{EventId, InvertedIndex, SequenceDatabase};
 
 use crate::instance::{Instance, Landmark};
@@ -20,7 +18,7 @@ use crate::pattern::Pattern;
 
 /// The (leftmost) support set of a pattern: a maximum-size set of pairwise
 /// non-overlapping instances, in compressed storage.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SupportSet {
     instances: Vec<Instance>,
 }
@@ -65,7 +63,7 @@ impl SupportSet {
         debug_assert!(
             self.instances
                 .last()
-                .map_or(true, |prev| (prev.seq, prev.last) <= (instance.seq, instance.last)),
+                .is_none_or(|prev| (prev.seq, prev.last) <= (instance.seq, instance.last)),
             "instances must be appended in (seq, last) order"
         );
         self.instances.push(instance);
@@ -204,7 +202,11 @@ pub fn is_non_redundant(landmarks: &[Landmark]) -> bool {
 }
 
 /// Checks that every landmark is a valid occurrence of `pattern` in `db`.
-pub fn are_valid_instances(db: &SequenceDatabase, pattern: &[EventId], landmarks: &[Landmark]) -> bool {
+pub fn are_valid_instances(
+    db: &SequenceDatabase,
+    pattern: &[EventId],
+    landmarks: &[Landmark],
+) -> bool {
     landmarks.iter().all(|landmark| {
         if landmark.positions.len() != pattern.len() {
             return false;

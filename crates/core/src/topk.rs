@@ -11,17 +11,17 @@
 //! the miner prune any subtree whose root support is already below the
 //! current dynamic threshold, because no descendant can beat it.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
-use std::time::Instant;
+use std::collections::BinaryHeap;
 
 use seqdb::{EventId, SequenceDatabase};
 
 use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::gsgrow::frequent_events;
 use crate::pattern::Pattern;
-use crate::result::{MinedPattern, MiningOutcome};
+use crate::result::{MinedPattern, MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
 /// Configuration for [`mine_top_k`].
@@ -86,19 +86,62 @@ impl TopKConfig {
 /// The result is sorted by descending support, then by descending length,
 /// then lexicographically; ties at the k-th support value are broken by that
 /// order, so the result always has at most `k` patterns.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(db).min_sup(floor).mode(Mode::Closed).top_k(k).min_len(2).run()` — \
+            see `rgs_core::Miner`"
+)]
 pub fn mine_top_k(db: &SequenceDatabase, config: &TopKConfig) -> MiningOutcome {
-    let start = Instant::now();
-    let mut outcome = MiningOutcome::default();
-    if config.k == 0 {
-        return outcome;
+    let mut miner = Miner::new(db)
+        .min_sup(config.min_sup_floor)
+        .mode(if config.closed_only {
+            Mode::Closed
+        } else {
+            Mode::All
+        })
+        .top_k(config.k)
+        .min_len(config.min_len);
+    if let Some(len) = config.max_pattern_length {
+        miner = miner.max_pattern_length(len);
+    }
+    miner.run()
+}
+
+/// Internal parameters of the dynamic-threshold top-k search, built by the
+/// engine from a [`crate::MiningRequest`].
+pub(crate) struct TopKParams {
+    /// How many patterns to return.
+    pub k: usize,
+    /// Minimum qualifying pattern length.
+    pub min_len: usize,
+    /// Restrict the ranking to closed patterns (Theorem 4 check).
+    pub closed_only: bool,
+    /// Hard floor on qualifying supports.
+    pub min_sup_floor: u64,
+    /// Optional DFS pattern-length cap.
+    pub max_pattern_length: Option<usize>,
+    /// Attach the leftmost support set to every reported pattern.
+    pub keep_support_sets: bool,
+}
+
+/// The dynamic-threshold top-k search (TSP-style): returns the sorted,
+/// truncated top-k list plus search statistics. Elapsed time is the
+/// caller's responsibility.
+pub(crate) fn run_top_k(
+    db: &SequenceDatabase,
+    params: &TopKParams,
+) -> (Vec<MinedPattern>, MiningStats) {
+    let mut stats = MiningStats::default();
+    if params.k == 0 {
+        return (Vec::new(), stats);
     }
     let sc = SupportComputer::new(db);
-    let events = frequent_events(&sc, db, config.min_sup_floor.max(1));
+    let events = frequent_events(&sc, db, params.min_sup_floor.max(1));
     let checker = ClosureChecker::new(&sc, &events);
     let mut state = TopKState {
         sc: &sc,
         checker,
-        config,
+        params,
         events: events.clone(),
         // Min-heap over the supports currently occupying top-k slots.
         heap: BinaryHeap::new(),
@@ -113,8 +156,8 @@ pub fn mine_top_k(db: &SequenceDatabase, config: &TopKConfig) -> MiningOutcome {
             state.descend(Pattern::single(event), &mut stack);
         }
     }
-    outcome.stats.visited = state.visited;
-    outcome.stats.instance_growths = state.growths;
+    stats.visited = state.visited;
+    stats.instance_growths = state.growths;
     let mut collected = state.collected;
     collected.sort_by(|a, b| {
         b.support
@@ -122,16 +165,14 @@ pub fn mine_top_k(db: &SequenceDatabase, config: &TopKConfig) -> MiningOutcome {
             .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
             .then_with(|| a.pattern.cmp(&b.pattern))
     });
-    collected.truncate(config.k);
-    outcome.patterns = collected;
-    outcome.stats.set_elapsed(start.elapsed());
-    outcome
+    collected.truncate(params.k);
+    (collected, stats)
 }
 
 struct TopKState<'a, 'b> {
     sc: &'a SupportComputer<'b>,
     checker: ClosureChecker<'a, 'b>,
-    config: &'a TopKConfig,
+    params: &'a TopKParams,
     events: Vec<EventId>,
     heap: BinaryHeap<Reverse<u64>>,
     collected: Vec<MinedPattern>,
@@ -144,19 +185,19 @@ impl TopKState<'_, '_> {
     /// patterns have been found it is the configured floor, afterwards it is
     /// the smallest support among the current top-k.
     fn threshold(&self) -> u64 {
-        if self.heap.len() < self.config.k {
-            self.config.min_sup_floor.max(1)
+        if self.heap.len() < self.params.k {
+            self.params.min_sup_floor.max(1)
         } else {
             self.heap
                 .peek()
                 .map(|Reverse(s)| *s)
-                .unwrap_or(self.config.min_sup_floor)
-                .max(self.config.min_sup_floor)
+                .unwrap_or(self.params.min_sup_floor)
+                .max(self.params.min_sup_floor)
         }
     }
 
     fn allows_growth(&self, len: usize) -> bool {
-        self.config.max_pattern_length.map_or(true, |max| len < max)
+        self.params.max_pattern_length.is_none_or(|max| len < max)
     }
 
     /// Visits `pattern`, whose prefix support sets (including its own, on
@@ -186,18 +227,22 @@ impl TopKState<'_, '_> {
             }
         }
 
-        if pattern.len() >= self.config.min_len && sup >= self.threshold() {
-            let qualifies = if self.config.closed_only {
+        if pattern.len() >= self.params.min_len && sup >= self.threshold() {
+            let qualifies = if self.params.closed_only {
                 self.checker.check(&pattern, stack, append_equal) == ClosureStatus::Closed
             } else {
                 true
             };
             if qualifies {
                 self.heap.push(Reverse(sup));
-                if self.heap.len() > self.config.k {
+                if self.heap.len() > self.params.k {
                     self.heap.pop();
                 }
-                self.collected.push(MinedPattern::new(pattern.clone(), sup));
+                let mut mined = MinedPattern::new(pattern.clone(), sup);
+                if self.params.keep_support_sets {
+                    mined.support_set = Some(stack.last().expect("support set").clone());
+                }
+                self.collected.push(mined);
             }
         }
 
@@ -215,6 +260,8 @@ impl TopKState<'_, '_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep behaving like the originals
+
     use super::*;
     use crate::clogsgrow::mine_closed;
     use crate::config::MiningConfig;
@@ -275,7 +322,10 @@ mod tests {
     #[test]
     fn min_len_one_lets_single_events_compete() {
         let db = running_example();
-        let outcome = mine_top_k(&db, &TopKConfig::new(3).with_min_len(1).including_non_closed());
+        let outcome = mine_top_k(
+            &db,
+            &TopKConfig::new(3).with_min_len(1).including_non_closed(),
+        );
         // The best support is 5 (A, D, and the length-2 pattern AD all reach
         // it); the length-desc tie-break puts AD first, and the single
         // events are allowed to occupy the remaining slots.

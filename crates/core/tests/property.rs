@@ -1,66 +1,73 @@
-//! Property-based tests of the core mining invariants on random small
+//! Randomized property tests of the core mining invariants on random small
 //! databases.
 //!
 //! These tests compare the efficient algorithms (instance growth, GSgrow,
 //! CloGSgrow) against the brute-force reference implementations in
 //! `rgs_core::reference`, which work directly from the paper's definitions.
+//! Cases are generated with a deterministic seeded PRNG, so failures are
+//! reproducible from the printed case description.
 
-use proptest::prelude::*;
+#![allow(deprecated)] // the legacy entry points stay covered until removal
 
-use rgs_core::reference::{
-    closed_subset, enumerate_frequent, max_non_overlapping, pattern_set,
-};
-use rgs_core::{
-    mine_all, mine_closed, repetitive_support, MiningConfig, Pattern, SupportComputer,
-};
-use seqdb::SequenceDatabase;
-use seqdb::EventId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A strategy producing small random databases over a small alphabet: 1–4
-/// sequences of length 0–10 over up to 4 distinct events.
-fn small_database() -> impl Strategy<Value = SequenceDatabase> {
-    let sequence = prop::collection::vec(0u32..4, 0..=10);
-    prop::collection::vec(sequence, 1..=4).prop_map(|rows| {
-        let labels = ["A", "B", "C", "D"];
-        let string_rows: Vec<Vec<&str>> = rows
-            .iter()
-            .map(|row| row.iter().map(|&e| labels[e as usize]).collect())
-            .collect();
-        SequenceDatabase::from_token_rows(&string_rows)
-    })
+use rgs_core::reference::{closed_subset, enumerate_frequent, max_non_overlapping, pattern_set};
+use rgs_core::{mine_all, mine_closed, repetitive_support, MiningConfig, Pattern, SupportComputer};
+use seqdb::{EventId, SequenceDatabase};
+
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+const CASES: usize = 96;
+
+/// A small random database: 1–4 sequences of length 0–10 over 4 events.
+fn small_database(rng: &mut StdRng) -> SequenceDatabase {
+    let rows: Vec<Vec<&str>> = (0..rng.gen_range(1..=4usize))
+        .map(|_| {
+            (0..rng.gen_range(0..=10usize))
+                .map(|_| LABELS[rng.gen_range(0..LABELS.len())])
+                .collect()
+        })
+        .collect();
+    SequenceDatabase::from_token_rows(&rows)
 }
 
-/// A strategy producing a short random pattern over the same alphabet.
-fn small_pattern() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(0u32..4, 1..=4)
-}
-
-fn to_pattern(db: &SequenceDatabase, raw: &[u32]) -> Option<Vec<EventId>> {
-    let labels = ["A", "B", "C", "D"];
-    raw.iter()
-        .map(|&e| db.catalog().id(labels[e as usize]))
+/// A short random raw pattern over the same alphabet.
+fn small_pattern(rng: &mut StdRng) -> Vec<u32> {
+    (0..rng.gen_range(1..=4usize))
+        .map(|_| rng.gen_range(0..LABELS.len() as u32))
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn to_pattern(db: &SequenceDatabase, raw: &[u32]) -> Option<Vec<EventId>> {
+    raw.iter()
+        .map(|&e| db.catalog().id(LABELS[e as usize]))
+        .collect()
+}
 
-    /// Instance growth computes exactly the maximum number of
-    /// non-overlapping instances (Definition 2.5 / Lemma 4).
-    #[test]
-    fn support_matches_brute_force(db in small_database(), raw in small_pattern()) {
+/// Instance growth computes exactly the maximum number of non-overlapping
+/// instances (Definition 2.5 / Lemma 4).
+#[test]
+fn support_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let raw = small_pattern(&mut rng);
         if let Some(pattern) = to_pattern(&db, &raw) {
             let fast = repetitive_support(&db, &pattern);
             let brute = max_non_overlapping(&db, &pattern);
-            prop_assert_eq!(fast, brute);
+            assert_eq!(fast, brute, "case {case}: pattern {raw:?}");
         }
     }
+}
 
-    /// Apriori property (Lemma 1 / Theorem 1): the support of every prefix
-    /// is at least the support of the full pattern, and dropping any single
-    /// event never decreases the support.
-    #[test]
-    fn support_is_monotone_under_subpatterns(db in small_database(), raw in small_pattern()) {
+/// Apriori property (Lemma 1 / Theorem 1): dropping any single event never
+/// decreases the support.
+#[test]
+fn support_is_monotone_under_subpatterns() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let raw = small_pattern(&mut rng);
         if let Some(pattern) = to_pattern(&db, &raw) {
             let sc = SupportComputer::new(&db);
             let full = sc.support(&Pattern::new(pattern.clone()));
@@ -71,58 +78,84 @@ proptest! {
                     continue;
                 }
                 let sub_sup = sc.support(&Pattern::new(sub));
-                prop_assert!(sub_sup >= full, "sub {sub_sup} < full {full}");
+                assert!(sub_sup >= full, "case {case}: sub {sub_sup} < full {full}");
             }
         }
     }
+}
 
-    /// The landmarks reconstructed for the leftmost support set are valid,
-    /// pairwise non-overlapping occurrences of the pattern, and there are
-    /// exactly `sup(P)` of them.
-    #[test]
-    fn leftmost_support_set_is_valid_and_non_redundant(
-        db in small_database(),
-        raw in small_pattern(),
-    ) {
+/// The landmarks reconstructed for the leftmost support set are valid,
+/// pairwise non-overlapping occurrences of the pattern, and there are
+/// exactly `sup(P)` of them.
+#[test]
+fn leftmost_support_set_is_valid_and_non_redundant() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let raw = small_pattern(&mut rng);
         if let Some(pattern) = to_pattern(&db, &raw) {
             let sc = SupportComputer::new(&db);
             let p = Pattern::new(pattern.clone());
             let landmarks = sc.support_landmarks(&p);
-            prop_assert_eq!(landmarks.len() as u64, sc.support(&p));
-            prop_assert!(rgs_core::support::is_non_redundant(&landmarks));
-            prop_assert!(rgs_core::support::are_valid_instances(&db, &pattern, &landmarks));
+            assert_eq!(landmarks.len() as u64, sc.support(&p), "case {case}");
+            assert!(rgs_core::support::is_non_redundant(&landmarks));
+            assert!(rgs_core::support::are_valid_instances(
+                &db, &pattern, &landmarks
+            ));
         }
     }
+}
 
-    /// GSgrow finds exactly the frequent patterns found by brute-force
-    /// enumeration, with identical supports.
-    #[test]
-    fn gsgrow_is_complete_and_sound(db in small_database(), min_sup in 1u64..4) {
+/// GSgrow finds exactly the frequent patterns found by brute-force
+/// enumeration, with identical supports.
+#[test]
+fn gsgrow_is_complete_and_sound() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(1..4u64);
         let mined = mine_all(&db, &MiningConfig::new(min_sup));
         let brute = enumerate_frequent(&db, min_sup, 12);
-        prop_assert_eq!(pattern_set(&mined.patterns), pattern_set(&brute));
+        assert_eq!(
+            pattern_set(&mined.patterns),
+            pattern_set(&brute),
+            "case {case}: min_sup {min_sup}"
+        );
         for mp in &brute {
-            prop_assert_eq!(mined.support_of(&mp.pattern), Some(mp.support));
+            assert_eq!(mined.support_of(&mp.pattern), Some(mp.support));
         }
     }
+}
 
-    /// CloGSgrow's output equals the closed subset of GSgrow's output.
-    #[test]
-    fn clogsgrow_equals_closed_subset_of_all(db in small_database(), min_sup in 1u64..4) {
+/// CloGSgrow's output equals the closed subset of GSgrow's output.
+#[test]
+fn clogsgrow_equals_closed_subset_of_all() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(1..4u64);
         let all = mine_all(&db, &MiningConfig::new(min_sup));
         let expected = closed_subset(&all.patterns);
         let closed = mine_closed(&db, &MiningConfig::new(min_sup));
-        prop_assert_eq!(pattern_set(&closed.patterns), pattern_set(&expected));
+        assert_eq!(
+            pattern_set(&closed.patterns),
+            pattern_set(&expected),
+            "case {case}: min_sup {min_sup}"
+        );
         for mp in &expected {
-            prop_assert_eq!(closed.support_of(&mp.pattern), Some(mp.support));
+            assert_eq!(closed.support_of(&mp.pattern), Some(mp.support));
         }
     }
+}
 
-    /// Every frequent pattern is represented in the closed set: it has a
-    /// closed super-pattern (or itself) with exactly the same support
-    /// (the compactness guarantee of Lemma 2).
-    #[test]
-    fn closed_set_is_a_lossless_summary(db in small_database(), min_sup in 1u64..4) {
+/// Every frequent pattern is represented in the closed set: it has a closed
+/// super-pattern (or itself) with exactly the same support (Lemma 2).
+#[test]
+fn closed_set_is_a_lossless_summary() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(1..4u64);
         let all = mine_all(&db, &MiningConfig::new(min_sup));
         let closed = mine_closed(&db, &MiningConfig::new(min_sup));
         for mp in &all.patterns {
@@ -130,27 +163,40 @@ proptest! {
                 cp.support == mp.support
                     && (cp.pattern == mp.pattern || mp.pattern.is_subpattern_of(&cp.pattern))
             });
-            prop_assert!(covered, "pattern {:?} with support {} is not covered", mp.pattern, mp.support);
+            assert!(
+                covered,
+                "case {case}: pattern {:?} with support {} is not covered",
+                mp.pattern, mp.support
+            );
         }
     }
+}
 
-    /// The number of visited DFS nodes of CloGSgrow never exceeds GSgrow's
-    /// (landmark border pruning only removes work).
-    #[test]
-    fn pruning_never_increases_visited_nodes(db in small_database(), min_sup in 1u64..4) {
+/// The number of visited DFS nodes of CloGSgrow never exceeds GSgrow's
+/// (landmark border pruning only removes work).
+#[test]
+fn pruning_never_increases_visited_nodes() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(1..4u64);
         let all = mine_all(&db, &MiningConfig::new(min_sup));
         let closed = mine_closed(&db, &MiningConfig::new(min_sup));
-        prop_assert!(closed.stats.visited <= all.stats.visited);
-        prop_assert!(closed.len() <= all.len());
+        assert!(closed.stats.visited <= all.stats.visited, "case {case}");
+        assert!(closed.len() <= all.len(), "case {case}");
     }
+}
 
-    /// Single-event supports equal raw occurrence counts.
-    #[test]
-    fn single_event_support_equals_occurrence_count(db in small_database()) {
+/// Single-event supports equal raw occurrence counts.
+#[test]
+fn single_event_support_equals_occurrence_count() {
+    let mut rng = StdRng::seed_from_u64(0xACE);
+    for _ in 0..CASES {
+        let db = small_database(&mut rng);
         let sc = SupportComputer::new(&db);
         for event in db.catalog().ids() {
             let p = Pattern::single(event);
-            prop_assert_eq!(sc.support(&p), db.event_occurrences(event) as u64);
+            assert_eq!(sc.support(&p), db.event_occurrences(event) as u64);
         }
     }
 }

@@ -1,7 +1,11 @@
-//! Property-based tests of the extension modules (gap-constrained mining,
-//! top-k mining, maximal mining) on random small databases.
+//! Randomized property tests of the extension modules (gap-constrained
+//! mining, top-k mining, maximal mining) on random small databases, driven
+//! by a deterministic seeded PRNG.
 
-use proptest::prelude::*;
+#![allow(deprecated)] // the legacy entry points stay covered until removal
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use rgs_core::reference::{max_non_overlapping, max_non_overlapping_constrained, pattern_set};
 use rgs_core::{
@@ -10,117 +14,139 @@ use rgs_core::{
 };
 use seqdb::{EventId, SequenceDatabase};
 
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+const CASES: usize = 48;
+
 /// Small random databases over up to 4 events: 1–4 sequences of length 0–9.
-fn small_database() -> impl Strategy<Value = SequenceDatabase> {
-    let sequence = prop::collection::vec(0u32..4, 0..=9);
-    prop::collection::vec(sequence, 1..=4).prop_map(|rows| {
-        let labels = ["A", "B", "C", "D"];
-        let string_rows: Vec<Vec<&str>> = rows
-            .iter()
-            .map(|row| row.iter().map(|&e| labels[e as usize]).collect())
-            .collect();
-        SequenceDatabase::from_token_rows(&string_rows)
-    })
+fn small_database(rng: &mut StdRng) -> SequenceDatabase {
+    let rows: Vec<Vec<&str>> = (0..rng.gen_range(1..=4usize))
+        .map(|_| {
+            (0..rng.gen_range(0..=9usize))
+                .map(|_| LABELS[rng.gen_range(0..LABELS.len())])
+                .collect()
+        })
+        .collect();
+    SequenceDatabase::from_token_rows(&rows)
 }
 
-fn small_pattern() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(0u32..4, 1..=3)
-}
-
-fn small_constraints() -> impl Strategy<Value = GapConstraints> {
-    (0u32..2, prop::option::of(0u32..4), prop::option::of(1u32..8)).prop_map(
-        |(min_gap, max_gap, max_window)| GapConstraints {
-            min_gap,
-            max_gap,
-            max_window,
-        },
-    )
-}
-
-fn to_pattern(db: &SequenceDatabase, raw: &[u32]) -> Option<Vec<EventId>> {
-    let labels = ["A", "B", "C", "D"];
-    raw.iter()
-        .map(|&e| db.catalog().id(labels[e as usize]))
+fn small_pattern(rng: &mut StdRng) -> Vec<u32> {
+    (0..rng.gen_range(1..=3usize))
+        .map(|_| rng.gen_range(0..LABELS.len() as u32))
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn small_constraints(rng: &mut StdRng) -> GapConstraints {
+    GapConstraints {
+        min_gap: rng.gen_range(0..2u32),
+        max_gap: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0..4u32))
+        } else {
+            None
+        },
+        max_window: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1..8u32))
+        } else {
+            None
+        },
+    }
+}
 
-    /// The greedy constrained support never exceeds the exact constrained
-    /// maximum, never exceeds the unconstrained support, and coincides with
-    /// the unconstrained support when the constraints are trivial.
-    #[test]
-    fn constrained_support_is_bounded_and_consistent(
-        db in small_database(),
-        raw in small_pattern(),
-        constraints in small_constraints(),
-    ) {
+fn to_pattern(db: &SequenceDatabase, raw: &[u32]) -> Option<Vec<EventId>> {
+    raw.iter()
+        .map(|&e| db.catalog().id(LABELS[e as usize]))
+        .collect()
+}
+
+/// The greedy constrained support never exceeds the exact constrained
+/// maximum, never exceeds the unconstrained support, and coincides with the
+/// unconstrained support when the constraints are trivial.
+#[test]
+fn constrained_support_is_bounded_and_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x11FE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let raw = small_pattern(&mut rng);
+        let constraints = small_constraints(&mut rng);
         if let Some(pattern) = to_pattern(&db, &raw) {
             let greedy = constrained_support(&db, &pattern, constraints);
             let exact = max_non_overlapping_constrained(&db, &pattern, constraints);
             let unconstrained = repetitive_support(&db, &pattern);
-            prop_assert!(greedy <= exact, "greedy {greedy} > exact {exact}");
-            prop_assert!(greedy <= unconstrained);
-            prop_assert_eq!(
-                constrained_support(&db, &pattern, GapConstraints::unbounded()),
-                unconstrained
+            assert!(
+                greedy <= exact,
+                "case {case}: greedy {greedy} > exact {exact}"
             );
-            // With only a minimum-gap constraint of zero (no active bound),
-            // the exact maximum equals the brute-force unconstrained value.
-            prop_assert_eq!(
+            assert!(greedy <= unconstrained, "case {case}");
+            assert_eq!(
+                constrained_support(&db, &pattern, GapConstraints::unbounded()),
+                unconstrained,
+                "case {case}"
+            );
+            assert_eq!(
                 max_non_overlapping_constrained(&db, &pattern, GapConstraints::unbounded()),
-                max_non_overlapping(&db, &pattern)
+                max_non_overlapping(&db, &pattern),
+                "case {case}"
             );
         }
     }
+}
 
-    /// Constrained mining with unbounded constraints is GSgrow, and every
-    /// pattern it reports carries its true constrained support.
-    #[test]
-    fn constrained_mining_reduces_to_gsgrow_when_unbounded(
-        db in small_database(),
-        min_sup in 2u64..4,
-    ) {
+/// Constrained mining with unbounded constraints is GSgrow.
+#[test]
+fn constrained_mining_reduces_to_gsgrow_when_unbounded() {
+    let mut rng = StdRng::seed_from_u64(0x22FE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(2..4u64);
         let plain = mine_all(&db, &MiningConfig::new(min_sup));
         let constrained = mine_all_constrained(
             &db,
             &MiningConfig::new(min_sup),
             GapConstraints::unbounded(),
         );
-        prop_assert_eq!(pattern_set(&plain.patterns), pattern_set(&constrained.patterns));
+        assert_eq!(
+            pattern_set(&plain.patterns),
+            pattern_set(&constrained.patterns),
+            "case {case}"
+        );
     }
+}
 
-    /// Every pattern reported by constrained mining meets the threshold
-    /// under its constraints, and the closed subset is consistent.
-    #[test]
-    fn constrained_mining_reports_true_supports(
-        db in small_database(),
-        min_sup in 2u64..4,
-        constraints in small_constraints(),
-    ) {
+/// Every pattern reported by constrained mining meets the threshold under
+/// its constraints, and the closed subset is consistent.
+#[test]
+fn constrained_mining_reports_true_supports() {
+    let mut rng = StdRng::seed_from_u64(0x33FE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(2..4u64);
+        let constraints = small_constraints(&mut rng);
         let config = MiningConfig::new(min_sup);
         let all = mine_all_constrained(&db, &config, constraints);
         for mp in &all.patterns {
             let sup = constrained_support(&db, mp.pattern.events(), constraints);
-            prop_assert_eq!(mp.support, sup);
-            prop_assert!(sup >= min_sup);
+            assert_eq!(mp.support, sup, "case {case}");
+            assert!(sup >= min_sup, "case {case}");
         }
         let closed = mine_closed_constrained(&db, &config, constraints);
-        prop_assert!(closed.len() <= all.len());
+        assert!(closed.len() <= all.len(), "case {case}");
         for c in &closed.patterns {
             for other in &all.patterns {
                 if other.pattern.is_proper_superpattern_of(&c.pattern) {
-                    prop_assert_ne!(other.support, c.support);
+                    assert_ne!(other.support, c.support, "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Top-k mining (non-closed, length >= 1) returns exactly the k largest
-    /// supports of the full frequent set.
-    #[test]
-    fn top_k_matches_sorted_exhaustive_mining(db in small_database(), k in 1usize..8) {
+/// Top-k mining (non-closed, length >= 1) returns exactly the k largest
+/// supports of the full frequent set.
+#[test]
+fn top_k_matches_sorted_exhaustive_mining() {
+    let mut rng = StdRng::seed_from_u64(0x44FE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let k = rng.gen_range(1..8usize);
         let config = TopKConfig::new(k)
             .with_min_len(1)
             .including_non_closed()
@@ -130,37 +156,55 @@ proptest! {
         full.sort_for_report();
         let expected: Vec<u64> = full.patterns.iter().take(k).map(|mp| mp.support).collect();
         let got: Vec<u64> = topk.patterns.iter().map(|mp| mp.support).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: k {k}");
     }
+}
 
-    /// Top-k closed mining returns the k best supports of the closed set.
-    #[test]
-    fn top_k_closed_matches_sorted_closed_mining(db in small_database(), k in 1usize..6) {
+/// Top-k closed mining returns the k best supports of the closed set.
+#[test]
+fn top_k_closed_matches_sorted_closed_mining() {
+    let mut rng = StdRng::seed_from_u64(0x55FE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let k = rng.gen_range(1..6usize);
         let config = TopKConfig::new(k).with_min_len(2).with_min_sup_floor(1);
         let topk = mine_top_k(&db, &config);
         let mut closed = mine_closed(&db, &MiningConfig::new(1));
         closed.patterns.retain(|mp| mp.pattern.len() >= 2);
         closed.sort_for_report();
-        let expected: Vec<u64> = closed.patterns.iter().take(k).map(|mp| mp.support).collect();
+        let expected: Vec<u64> = closed
+            .patterns
+            .iter()
+            .take(k)
+            .map(|mp| mp.support)
+            .collect();
         let got: Vec<u64> = topk.patterns.iter().map(|mp| mp.support).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: k {k}");
     }
+}
 
-    /// Maximal mining: maximal ⊆ closed ⊆ all, no maximal pattern is
-    /// subsumed by a frequent pattern, and every frequent pattern is covered
-    /// by some maximal pattern.
-    #[test]
-    fn maximal_patterns_form_a_frontier(db in small_database(), min_sup in 2u64..4) {
+/// Maximal mining: maximal ⊆ closed ⊆ all, no maximal pattern is subsumed
+/// by a frequent pattern, and every frequent pattern is covered by some
+/// maximal pattern.
+#[test]
+fn maximal_patterns_form_a_frontier() {
+    let mut rng = StdRng::seed_from_u64(0x66FE);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(2..4u64);
         let config = MiningConfig::new(min_sup);
         let all = mine_all(&db, &config);
         let closed = mine_closed(&db, &config);
         let maximal = mine_maximal(&db, &config);
-        prop_assert!(maximal.len() <= closed.len());
-        prop_assert!(closed.len() <= all.len());
+        assert!(maximal.len() <= closed.len(), "case {case}");
+        assert!(closed.len() <= all.len(), "case {case}");
         for mp in &maximal.patterns {
-            prop_assert!(closed.contains(&mp.pattern));
+            assert!(closed.contains(&mp.pattern), "case {case}");
             for other in &all.patterns {
-                prop_assert!(!other.pattern.is_proper_superpattern_of(&mp.pattern));
+                assert!(
+                    !other.pattern.is_proper_superpattern_of(&mp.pattern),
+                    "case {case}"
+                );
             }
         }
         for mp in &all.patterns {
@@ -168,7 +212,11 @@ proptest! {
                 .patterns
                 .iter()
                 .any(|m| mp.pattern == m.pattern || mp.pattern.is_subpattern_of(&m.pattern));
-            prop_assert!(covered, "{:?} not covered by a maximal pattern", mp.pattern);
+            assert!(
+                covered,
+                "case {case}: {:?} not covered by a maximal pattern",
+                mp.pattern
+            );
         }
     }
 }

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::dataset::ClassId;
 use crate::matrix::FeatureMatrix;
 
@@ -52,7 +50,7 @@ fn validate_training_input(features: &FeatureMatrix, labels: &[ClassId]) {
 
 /// Nearest-centroid classifier: one mean feature vector per class, a row is
 /// assigned to the class of the closest centroid (Euclidean distance).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NearestCentroid {
     centroids: BTreeMap<ClassId, Vec<f64>>,
 }
@@ -84,10 +82,7 @@ impl Classifier for NearestCentroid {
         self.centroids = sums
             .into_iter()
             .map(|(class, (sum, count))| {
-                (
-                    class,
-                    sum.into_iter().map(|s| s / count as f64).collect(),
-                )
+                (class, sum.into_iter().map(|s| s / count as f64).collect())
             })
             .collect();
     }
@@ -109,7 +104,7 @@ impl Classifier for NearestCentroid {
 /// Multinomial naive Bayes with Laplace smoothing, suited to the
 /// non-negative repetition-count features produced by
 /// [`crate::matrix::extract_features`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MultinomialNaiveBayes {
     /// log prior per class.
     log_priors: BTreeMap<ClassId, f64>,
@@ -188,7 +183,7 @@ impl Classifier for MultinomialNaiveBayes {
 
 /// k-nearest-neighbour classifier (Euclidean distance, majority vote, ties
 /// broken towards the smaller class id for determinism).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnClassifier {
     k: usize,
     rows: Vec<Vec<f64>>,
@@ -244,7 +239,7 @@ impl Classifier for KnnClassifier {
 }
 
 /// The result of evaluating predictions against ground truth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// `confusion[actual][predicted]` counts.
     pub confusion: Vec<Vec<usize>>,
@@ -391,7 +386,10 @@ mod tests {
             1.0, 4.0, //
             0.0, 4.0, //
         ];
-        (FeatureMatrix::from_parts(patterns, values, 6), vec![0, 0, 0, 1, 1, 1])
+        (
+            FeatureMatrix::from_parts(patterns, values, 6),
+            vec![0, 0, 0, 1, 1, 1],
+        )
     }
 
     #[test]

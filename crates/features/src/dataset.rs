@@ -6,7 +6,6 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use seqdb::{Sequence, SequenceDatabase};
 
@@ -58,7 +57,7 @@ impl std::error::Error for LabelError {}
 ///
 /// Labels are interned: the public API exposes both the original label
 /// strings and dense [`ClassId`]s (the order of first appearance).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledDatabase {
     database: SequenceDatabase,
     class_names: Vec<String>,
@@ -155,10 +154,7 @@ impl LabeledDatabase {
             .iter()
             .filter_map(|&i| self.database.sequence(i).cloned())
             .collect();
-        let class_ids: Vec<ClassId> = indices
-            .iter()
-            .filter_map(|&i| self.class_of(i))
-            .collect();
+        let class_ids: Vec<ClassId> = indices.iter().filter_map(|&i| self.class_of(i)).collect();
         LabeledDatabase {
             database: SequenceDatabase::from_parts(self.database.catalog().clone(), sequences),
             class_names: self.class_names.clone(),
@@ -298,7 +294,13 @@ mod tests {
     fn mismatched_label_count_is_rejected() {
         let db = SequenceDatabase::from_str_rows(&["AB", "CD"]);
         let err = LabeledDatabase::new(db, vec!["only-one".into()]).unwrap_err();
-        assert!(matches!(err, LabelError::LengthMismatch { sequences: 2, labels: 1 }));
+        assert!(matches!(
+            err,
+            LabelError::LengthMismatch {
+                sequences: 2,
+                labels: 1
+            }
+        ));
         assert!(err.to_string().contains("does not match"));
     }
 
@@ -308,7 +310,10 @@ mod tests {
         let sub = data.subset(&[1, 4, 6]);
         assert_eq!(sub.num_sequences(), 3);
         assert_eq!(sub.class_ids(), &[0, 1, 2]);
-        assert_eq!(sub.database().catalog().len(), data.database().catalog().len());
+        assert_eq!(
+            sub.database().catalog().len(),
+            data.database().catalog().len()
+        );
         assert_eq!(sub.database().sequence(0).unwrap().len(), 6);
     }
 
@@ -364,8 +369,7 @@ mod tests {
     #[test]
     fn split_rejects_singleton_classes() {
         let db = SequenceDatabase::from_str_rows(&["AB", "CD", "EF"]);
-        let data =
-            LabeledDatabase::new(db, vec!["a".into(), "a".into(), "b".into()]).unwrap();
+        let data = LabeledDatabase::new(db, vec!["a".into(), "a".into(), "b".into()]).unwrap();
         assert!(matches!(
             data.stratified_split(0.5, 1),
             Err(LabelError::ClassTooSmall { .. })

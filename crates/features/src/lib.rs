@@ -52,9 +52,7 @@ pub mod matrix;
 pub mod pipeline;
 pub mod selection;
 
-pub use classify::{
-    Classifier, Evaluation, KnnClassifier, MultinomialNaiveBayes, NearestCentroid,
-};
+pub use classify::{Classifier, Evaluation, KnnClassifier, MultinomialNaiveBayes, NearestCentroid};
 pub use dataset::{ClassId, LabeledDatabase};
 pub use matrix::{extract_features, FeatureMatrix};
 pub use selection::{score_patterns, select_top_k, ScoredPattern, SelectionMethod};

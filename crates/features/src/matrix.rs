@@ -7,14 +7,12 @@
 //! global repetitive support (the per-sequence maxima are independent, so
 //! the global leftmost support set restricted to `Si` attains each of them).
 
-use serde::{Deserialize, Serialize};
-
 use rgs_core::{Pattern, SupportComputer};
 use seqdb::SequenceDatabase;
 
 /// A dense feature matrix: one row per sequence of the database, one column
 /// per pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureMatrix {
     patterns: Vec<Pattern>,
     /// Row-major values, `rows * columns` entries.
@@ -76,10 +74,7 @@ impl FeatureMatrix {
 
     /// Restricts the matrix to the given column indices (in that order).
     pub fn select_columns(&self, columns: &[usize]) -> FeatureMatrix {
-        let patterns: Vec<Pattern> = columns
-            .iter()
-            .map(|&c| self.patterns[c].clone())
-            .collect();
+        let patterns: Vec<Pattern> = columns.iter().map(|&c| self.patterns[c].clone()).collect();
         let mut values = Vec::with_capacity(self.rows * columns.len());
         for r in 0..self.rows {
             for &c in columns {

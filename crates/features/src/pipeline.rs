@@ -9,17 +9,15 @@
 //! 3. keep the most discriminative patterns,
 //! 4. train a classifier on the selected features.
 
-use serde::{Deserialize, Serialize};
-
-use rgs_core::{mine_closed, MiningConfig, Pattern};
+use rgs_core::{Miner, Mode, Pattern};
 
 use crate::classify::{Classifier, Evaluation, MultinomialNaiveBayes, NearestCentroid};
-use crate::dataset::{ClassId, LabeledDatabase, LabelError};
+use crate::dataset::{ClassId, LabelError, LabeledDatabase};
 use crate::matrix::{extract_features, FeatureMatrix};
 use crate::selection::{select_top_k, ScoredPattern, SelectionMethod};
 
 /// The classifier trained at the end of the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClassifierKind {
     /// Nearest centroid on raw repetition counts.
     NearestCentroid,
@@ -28,7 +26,7 @@ pub enum ClassifierKind {
 }
 
 /// Configuration of the classification pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Support threshold for the closed-pattern mining step.
     pub min_sup: u64,
@@ -158,12 +156,14 @@ pub fn run_pipeline(
     train: &LabeledDatabase,
     config: &PipelineConfig,
 ) -> Result<PipelineReport, LabelError> {
-    let mut mining_config =
-        MiningConfig::new(config.min_sup).with_max_patterns(config.max_patterns);
+    let mut miner = Miner::new(train.database())
+        .min_sup(config.min_sup)
+        .mode(Mode::Closed)
+        .max_patterns(config.max_patterns);
     if let Some(max_len) = config.max_pattern_length {
-        mining_config = mining_config.with_max_pattern_length(max_len);
+        miner = miner.max_pattern_length(max_len);
     }
-    let mined = mine_closed(train.database(), &mining_config);
+    let mined = miner.run();
     let candidates: Vec<Pattern> = mined
         .patterns
         .iter()
@@ -221,8 +221,14 @@ mod tests {
     /// cycles, "loyal" customers repeat order-deliver cycles.
     fn labeled_example() -> LabeledDatabase {
         let db = SequenceDatabase::from_str_rows(&[
-            "OCOCOCOC", "OCOCOC", "XOCOCOCY", "OCOCOCOCOC",
-            "ODODODOD", "ODODOD", "XODODODY", "ODODODODOD",
+            "OCOCOCOC",
+            "OCOCOC",
+            "XOCOCOCY",
+            "OCOCOCOCOC",
+            "ODODODOD",
+            "ODODOD",
+            "XODODODY",
+            "ODODODODOD",
         ]);
         LabeledDatabase::new(
             db,

@@ -18,15 +18,13 @@
 //!   that `AB` repeating five times per sequence in one group and once in
 //!   the other is discriminative even though it is present in both.
 
-use serde::{Deserialize, Serialize};
-
 use rgs_core::Pattern;
 
 use crate::dataset::ClassId;
 use crate::matrix::FeatureMatrix;
 
 /// The scoring function used to rank patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectionMethod {
     /// Information gain of the presence split.
     InformationGain,
@@ -37,7 +35,7 @@ pub enum SelectionMethod {
 }
 
 /// A pattern together with its discriminativeness score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredPattern {
     /// The column index in the feature matrix the score was computed from.
     pub column: usize,
@@ -66,9 +64,7 @@ pub fn score_patterns(
         .map(|column| {
             let values = matrix.column(column);
             let score = match method {
-                SelectionMethod::InformationGain => {
-                    information_gain(&values, labels, num_classes)
-                }
+                SelectionMethod::InformationGain => information_gain(&values, labels, num_classes),
                 SelectionMethod::ChiSquared => chi_squared(&values, labels, num_classes),
                 SelectionMethod::MeanDifference => mean_difference(&values, labels, num_classes),
             };
@@ -116,7 +112,11 @@ fn entropy(counts: &[usize]) -> f64 {
         .sum()
 }
 
-fn class_histogram(labels: &[ClassId], num_classes: usize, keep: impl Fn(usize) -> bool) -> Vec<usize> {
+fn class_histogram(
+    labels: &[ClassId],
+    num_classes: usize,
+    keep: impl Fn(usize) -> bool,
+) -> Vec<usize> {
     let mut counts = vec![0usize; num_classes];
     for (i, &class) in labels.iter().enumerate() {
         if keep(i) {
@@ -137,8 +137,8 @@ fn information_gain(values: &[f64], labels: &[ClassId], num_classes: usize) -> f
     let n = values.len() as f64;
     let n_present: usize = present.iter().sum();
     let n_absent: usize = absent.iter().sum();
-    let conditional = (n_present as f64 / n) * entropy(&present)
-        + (n_absent as f64 / n) * entropy(&absent);
+    let conditional =
+        (n_present as f64 / n) * entropy(&present) + (n_absent as f64 / n) * entropy(&absent);
     (entropy(&all) - conditional).max(0.0)
 }
 
@@ -197,12 +197,7 @@ mod tests {
     /// repeats AB five times per sequence and class 1 only once; CD appears
     /// exactly once everywhere.
     fn intro_example() -> (SequenceDatabase, Vec<ClassId>, FeatureMatrix) {
-        let db = SequenceDatabase::from_str_rows(&[
-            "CABABABABABD",
-            "CABABABABABD",
-            "ABCD",
-            "ABCD",
-        ]);
+        let db = SequenceDatabase::from_str_rows(&["CABABABABABD", "CABABABABABD", "ABCD", "ABCD"]);
         let labels = vec![0, 0, 1, 1];
         let patterns: Vec<Pattern> = ["AB", "CD"]
             .iter()
@@ -229,7 +224,10 @@ mod tests {
         // information gain and chi-squared are 0 for both — exactly the
         // limitation of sequence-count support the paper points out.
         let (_, labels, matrix) = intro_example();
-        for method in [SelectionMethod::InformationGain, SelectionMethod::ChiSquared] {
+        for method in [
+            SelectionMethod::InformationGain,
+            SelectionMethod::ChiSquared,
+        ] {
             let scored = score_patterns(&matrix, &labels, method);
             assert!(scored.iter().all(|s| s.score.abs() < 1e-12), "{method:?}");
         }

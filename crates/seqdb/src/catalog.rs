@@ -9,14 +9,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A dense identifier for an event (an element of the alphabet `E`).
 ///
 /// Identifiers are assigned in first-seen order starting from `0`, so a
 /// catalog with `n` distinct events uses exactly the ids `0..n`. This makes
 /// it possible to use plain vectors indexed by event id in hot paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u32);
 
 impl EventId {
@@ -44,7 +42,7 @@ impl From<u32> for EventId {
 /// Interning is append-only: once a label has been assigned an id, the id
 /// never changes. Lookup by label is `O(1)` (hash map); lookup by id is
 /// `O(1)` (vector index).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventCatalog {
     labels: Vec<String>,
     by_label: HashMap<String, EventId>,

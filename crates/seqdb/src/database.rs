@@ -1,8 +1,6 @@
 //! The sequence database `SeqDB = {S1, ..., SN}` together with its event
 //! catalog, plus an incremental [`DatabaseBuilder`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::{EventCatalog, EventId};
 use crate::index::InvertedIndex;
 use crate::sequence::Sequence;
@@ -12,7 +10,7 @@ use crate::stats::DatabaseStats;
 ///
 /// Sequences are identified by their 0-based index (`seq` in instance
 /// triples); positions inside a sequence are 1-based, matching the paper.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SequenceDatabase {
     catalog: EventCatalog,
     sequences: Vec<Sequence>,

@@ -5,8 +5,6 @@
 //! The `next(S, e, lowest)` subroutine of Algorithm 2 is then a single
 //! binary search (`O(log L)`), exactly as prescribed by the paper.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::EventId;
 use crate::database::SequenceDatabase;
 
@@ -15,7 +13,7 @@ use crate::database::SequenceDatabase;
 /// The index is laid out as `positions[seq][event] = Vec<u32>` where the
 /// inner vectors are strictly increasing 1-based positions. The per-sequence
 /// outer vector is indexed densely by event id, so lookups never hash.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvertedIndex {
     /// `positions[seq][event.index()]` = sorted positions of `event` in `seq`.
     positions: Vec<Vec<Vec<u32>>>,

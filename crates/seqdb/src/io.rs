@@ -41,7 +41,10 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, token } => {
-                write!(f, "line {line}: cannot parse token '{token}' as an event id")
+                write!(
+                    f,
+                    "line {line}: cannot parse token '{token}' as an event id"
+                )
             }
         }
     }
@@ -237,10 +240,7 @@ mod tests {
 
     #[test]
     fn token_round_trip_preserves_labels() {
-        let rows = vec![
-            vec!["lock", "unlock", "commit"],
-            vec!["lock", "unlock"],
-        ];
+        let rows = vec![vec!["lock", "unlock", "commit"], vec!["lock", "unlock"]];
         let db = SequenceDatabase::from_token_rows(&rows);
         let mut buf = Vec::new();
         write_tokens(&db, &mut buf).unwrap();

@@ -4,13 +4,11 @@
 //! notation of the paper (`S[i]` is the i-th event, landmarks are sequences
 //! of 1-based positions). Internally events are stored densely in a `Vec`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::EventId;
 
 /// An ordered list of events; the unit stored in a
 /// [`SequenceDatabase`](crate::SequenceDatabase).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Sequence {
     events: Vec<EventId>,
 }
@@ -58,7 +56,11 @@ impl Sequence {
 
     /// Iterates over `(position, event)` pairs with 1-based positions.
     pub fn iter_positions(&self) -> impl Iterator<Item = (usize, EventId)> + '_ {
-        self.events.iter().copied().enumerate().map(|(i, e)| (i + 1, e))
+        self.events
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, e)| (i + 1, e))
     }
 
     /// Returns `true` if `pattern` occurs in this sequence as a (gapped)

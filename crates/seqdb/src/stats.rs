@@ -7,13 +7,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::EventId;
 use crate::database::SequenceDatabase;
 
 /// Summary statistics of a [`SequenceDatabase`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatabaseStats {
     /// Number of sequences `N`.
     pub num_sequences: usize,
@@ -83,7 +81,11 @@ impl DatabaseStats {
     pub fn summary(&self) -> String {
         format!(
             "{} sequences, {} events, total length {}, avg length {:.2}, max length {}",
-            self.num_sequences, self.num_events, self.total_length, self.avg_length, self.max_length
+            self.num_sequences,
+            self.num_events,
+            self.total_length,
+            self.avg_length,
+            self.max_length
         )
     }
 }

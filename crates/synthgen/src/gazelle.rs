@@ -11,14 +11,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use seqdb::{DatabaseBuilder, SequenceDatabase};
 
 use crate::util::{sample_heavy_tail_length, ZipfSampler};
 
 /// Configuration of the Gazelle-like clickstream generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GazelleConfig {
     /// Number of sessions (sequences). The real dataset has 29 369.
     pub num_sequences: usize,
@@ -95,8 +94,9 @@ impl GazelleConfig {
                 // Tail session: a small navigation loop visited over and
                 // over with occasional detours — the source of repetition.
                 let loop_len = self.loop_length.clamp(2, 12);
-                let nav_loop: Vec<usize> =
-                    (0..loop_len).map(|_| page_sampler.sample(&mut rng)).collect();
+                let nav_loop: Vec<usize> = (0..loop_len)
+                    .map(|_| page_sampler.sample(&mut rng))
+                    .collect();
                 while events.len() < length {
                     for &page in &nav_loop {
                         events.push(page);

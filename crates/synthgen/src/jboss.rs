@@ -19,12 +19,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use seqdb::{DatabaseBuilder, SequenceDatabase};
 
 /// Configuration of the JBoss-like transaction trace generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JbossConfig {
     /// Number of traces. The case study uses 28.
     pub num_sequences: usize,
@@ -253,7 +252,11 @@ mod tests {
     fn catalog_has_the_case_study_cardinality() {
         let db = JbossConfig::default().generate();
         assert_eq!(db.num_sequences(), 28);
-        assert_eq!(db.num_events(), 64, "the case study reports 64 unique events");
+        assert_eq!(
+            db.num_events(),
+            64,
+            "the case study reports 64 unique events"
+        );
         let stats = db.stats();
         assert!(stats.max_length <= 125);
         assert!(

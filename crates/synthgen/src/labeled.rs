@@ -20,7 +20,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use seqdb::{DatabaseBuilder, SequenceDatabase};
 
@@ -30,7 +29,7 @@ pub const NORMAL_LABEL: &str = "normal";
 pub const BUGGY_LABEL: &str = "buggy";
 
 /// Configuration of the labeled trace generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledTraceConfig {
     /// Number of traces per class.
     pub traces_per_class: usize,
@@ -102,6 +101,7 @@ impl LabeledTraceConfig {
         for _ in 0..cycles {
             trace.push("acquire");
             let uses = 1 + rng.gen_range(0..3);
+            #[allow(clippy::same_item_push)] // each push may be followed by a log entry
             for _ in 0..uses {
                 trace.push("use");
                 if rng.gen_bool(0.3) {

@@ -22,14 +22,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use seqdb::{DatabaseBuilder, SequenceDatabase};
 
 use crate::util::{sample_length, ZipfSampler};
 
 /// Configuration of the QUEST-style generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuestConfig {
     /// Number of sequences (`D`, absolute — not thousands).
     pub num_sequences: usize,

@@ -15,12 +15,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use seqdb::{DatabaseBuilder, SequenceDatabase};
 
 /// Configuration of the TCAS-like trace generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TcasConfig {
     /// Number of traces. The real dataset has 1 578.
     pub num_sequences: usize,
@@ -169,10 +168,7 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         assert_eq!(small().generate(), small().generate());
-        assert_ne!(
-            small().generate(),
-            small().with_seed(4242).generate()
-        );
+        assert_ne!(small().generate(), small().with_seed(4242).generate());
     }
 
     #[test]

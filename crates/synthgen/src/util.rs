@@ -30,7 +30,9 @@ impl ZipfSampler {
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x: f64 = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < x)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Number of items.

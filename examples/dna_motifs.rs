@@ -71,12 +71,16 @@ fn main() {
 
     // Mine the closed patterns under the same constraints and show the
     // longest ones — the planted motif (and its sub-motifs) should dominate.
-    let config = MiningConfig::new((constrained / 2).max(3)).with_max_patterns(50_000);
-    let mut closed = mine_closed_constrained(&db, &config, constraints);
+    let min_sup = (constrained / 2).max(3);
+    let mut closed = Miner::new(&db)
+        .min_sup(min_sup)
+        .mode(Mode::Closed)
+        .constraints(constraints)
+        .max_patterns(50_000)
+        .run();
     closed.sort_for_report();
     println!(
-        "\nclosed gap-constrained patterns (min_sup = {}): {} patterns",
-        config.min_sup,
+        "\nclosed gap-constrained patterns (min_sup = {min_sup}): {} patterns",
         closed.len()
     );
     let catalog = db.catalog();
@@ -96,13 +100,14 @@ fn main() {
     // base combination has high unconstrained repetitive support. The run
     // below stops at a safety cap of 5 000 patterns (length-capped at 8),
     // the same "cut-off" device the paper uses for GSgrow in Figures 2–6.
-    let capped = MiningConfig::new(config.min_sup)
-        .with_max_patterns(5_000)
-        .with_max_pattern_length(8);
-    let unconstrained_all = mine_all(&db, &capped);
+    let unconstrained_all = Miner::new(&db)
+        .min_sup(min_sup)
+        .mode(Mode::All)
+        .max_patterns(5_000)
+        .max_pattern_length(8)
+        .run();
     println!(
-        "\npattern count at min_sup = {}: {} gap-constrained closed vs {}{} unconstrained",
-        config.min_sup,
+        "\npattern count at min_sup = {min_sup}: {} gap-constrained closed vs {}{} unconstrained",
         closed.len(),
         unconstrained_all.len(),
         if unconstrained_all.truncated {

@@ -16,13 +16,10 @@ use repetitive_gapped_mining::prelude::*;
 fn main() {
     // Event legend (Example 1.1): A = request placed, B = request
     // in-process, C = request cancelled, D = product delivered.
-    let mut rows: Vec<&str> = Vec::new();
-    for _ in 0..50 {
-        rows.push("CABABABABABD"); // customers whose requests loop through A→B five times
-    }
-    for _ in 0..50 {
-        rows.push("ABCD"); // customers with a single straightforward purchase
-    }
+    // 50 customers whose requests loop through A→B five times, then 50
+    // customers with a single straightforward purchase.
+    let mut rows: Vec<&str> = vec!["CABABABABABD"; 50];
+    rows.extend(std::iter::repeat_n("ABCD", 50));
     let db = SequenceDatabase::from_str_rows(&rows);
     println!("dataset: {}", db.stats().summary());
 
@@ -45,7 +42,7 @@ fn main() {
 
     // Mine the closed repetitive patterns that at least half of the
     // purchase events support.
-    let closed = mine_closed(&db, &MiningConfig::new(100));
+    let closed = Miner::new(&db).min_sup(100).mode(Mode::Closed).run();
     let mut report = closed.clone();
     report.sort_for_report();
     println!("\nclosed repetitive patterns with support >= 100:");
@@ -59,6 +56,6 @@ fn main() {
     println!(
         "\n{} closed patterns vs {} frequent patterns at the same threshold",
         closed.len(),
-        mine_all(&db, &MiningConfig::new(100)).len()
+        Miner::new(&db).min_sup(100).mode(Mode::All).run().len()
     );
 }

@@ -23,10 +23,10 @@ fn main() {
         println!("  instance {landmark}");
     }
 
-    // 3. Mine all frequent patterns and the closed subset at min_sup = 3.
-    let config = MiningConfig::new(3);
-    let all = mine_all(&db, &config);
-    let closed = mine_closed(&db, &config);
+    // 3. Mine all frequent patterns and the closed subset at min_sup = 3,
+    //    through the unified Miner engine.
+    let all = Miner::new(&db).min_sup(3).mode(Mode::All).run();
+    let closed = Miner::new(&db).min_sup(3).mode(Mode::Closed).run();
     println!(
         "min_sup = 3: {} frequent patterns, {} closed patterns",
         all.len(),
@@ -37,7 +37,11 @@ fn main() {
     let mut report = closed.clone();
     report.sort_for_report();
     for mined in &report.patterns {
-        println!("  closed: {:<6} sup = {}", mined.pattern.render(db.catalog()), mined.support);
+        println!(
+            "  closed: {:<6} sup = {}",
+            mined.pattern.render(db.catalog()),
+            mined.support
+        );
     }
 
     // 5. The non-closed pattern AB is covered by ACB (same support), so it

@@ -15,7 +15,10 @@ fn main() {
     let cd = db.pattern_from_str("CD").expect("CD");
 
     println!("S1 = AABCDABB, S2 = ABCD\n");
-    println!("{:<55} {:>7} {:>7}", "support semantics", "sup(AB)", "sup(CD)");
+    println!(
+        "{:<55} {:>7} {:>7}",
+        "support semantics", "sup(AB)", "sup(CD)"
+    );
     println!("{}", "-".repeat(71));
 
     let row = |name: &str, ab_value: u64, cd_value: u64| {

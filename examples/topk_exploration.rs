@@ -19,17 +19,29 @@ fn main() {
     println!("dataset: {}", db.stats().summary());
 
     // 1. Top-k closed patterns of length >= 2, no threshold guessing.
-    let topk = mine_top_k(&db, &TopKConfig::new(15).with_min_sup_floor(3));
+    let topk = Miner::new(&db)
+        .min_sup(3)
+        .mode(Mode::Closed)
+        .top_k(15)
+        .min_len(2)
+        .run();
     println!("\ntop-{} closed patterns (length >= 2):", topk.len());
     let catalog = db.catalog();
     for mp in &topk.patterns {
-        println!("  sup {:>4}  {}", mp.support, mp.pattern.render_with(catalog, " "));
+        println!(
+            "  sup {:>4}  {}",
+            mp.support,
+            mp.pattern.render_with(catalog, " ")
+        );
     }
 
     // 2. The support of the 15th pattern is a data-driven threshold: use it
     //    for a conventional closed-pattern run and compare sizes.
     let data_driven_threshold = topk.patterns.last().map(|mp| mp.support).unwrap_or(2);
-    let closed = mine_closed(&db, &MiningConfig::new(data_driven_threshold));
+    let closed = Miner::new(&db)
+        .min_sup(data_driven_threshold)
+        .mode(Mode::Closed)
+        .run();
     println!(
         "\nclosed patterns at the data-driven threshold {}: {}",
         data_driven_threshold,
@@ -38,14 +50,17 @@ fn main() {
 
     // 3. Maximal patterns at the same threshold: the frontier of longest
     //    frequent behaviour.
-    let maximal = mine_maximal(&db, &MiningConfig::new(data_driven_threshold));
+    let maximal = Miner::new(&db)
+        .min_sup(data_driven_threshold)
+        .mode(Mode::Maximal)
+        .run();
     println!(
         "maximal patterns at the same threshold: {} (longest length {})",
         maximal.len(),
         maximal.max_pattern_length()
     );
     let mut by_length = maximal.patterns.clone();
-    by_length.sort_by(|a, b| b.pattern.len().cmp(&a.pattern.len()));
+    by_length.sort_by_key(|mp| std::cmp::Reverse(mp.pattern.len()));
     for mp in by_length.iter().take(5) {
         println!(
             "  len {:>2} sup {:>3}  {}",

@@ -16,7 +16,7 @@ fn main() {
     println!("traces: {}", db.stats().summary());
 
     let min_sup = 18;
-    let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+    let closed = Miner::new(&db).min_sup(min_sup).mode(Mode::Closed).run();
     println!(
         "CloGSgrow: {} closed patterns at min_sup = {min_sup} in {:.2}s ({} DFS nodes, {} LB prunes)",
         closed.len(),
@@ -28,7 +28,10 @@ fn main() {
     // Case-study post-processing: density > 40 %, maximal patterns only,
     // ranked by length.
     let survivors = postprocess(&closed.patterns, &PostProcessConfig::default());
-    println!("{} patterns remain after density + maximality filtering\n", survivors.len());
+    println!(
+        "{} patterns remain after density + maximality filtering\n",
+        survivors.len()
+    );
 
     if let Some(longest) = survivors.first() {
         println!(
@@ -37,7 +40,11 @@ fn main() {
             longest.support
         );
         for (idx, event) in longest.pattern.events().iter().enumerate() {
-            println!("  {:>3}. {}", idx + 1, db.catalog().label_or_default(*event));
+            println!(
+                "  {:>3}. {}",
+                idx + 1,
+                db.catalog().label_or_default(*event)
+            );
         }
     }
 

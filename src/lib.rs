@@ -8,8 +8,10 @@
 //! downstream user only needs one dependency:
 //!
 //! * [`seqdb`] — sequence database model, inverted event index, dataset I/O,
-//! * [`core`] (crate `rgs-core`) — repetitive support, instance growth,
-//!   GSgrow, CloGSgrow, case-study post-processing,
+//! * [`core`] (crate `rgs-core`) — repetitive support, instance growth, the
+//!   unified [`Miner`](core::Miner) engine (GSgrow, CloGSgrow, top-k,
+//!   maximal, gap-constrained mining as composable options), streaming
+//!   [`PatternSink`](core::PatternSink)s, case-study post-processing,
 //! * [`synthgen`] — synthetic workload generators reproducing the paper's
 //!   evaluation datasets,
 //! * [`baselines`] — sequential-pattern miners (PrefixSpan, BIDE-style,
@@ -19,12 +21,11 @@
 //!   feature extraction, discriminative pattern selection, and sequence
 //!   classification (the paper's future-work direction).
 //!
-//! Beyond the paper's two algorithms, `rgs-core` also ships the extensions
-//! sketched in the paper's conclusion: gap/window-constrained mining
-//! ([`core::constrained`]), top-k mining ([`core::topk`]), and maximal
-//! pattern mining ([`core::maximal`]).
-//!
 //! # Example
+//!
+//! The [`Miner`](core::Miner) builder is the canonical entry point: mode
+//! (all/closed/maximal/top-k), gap/window constraints, ranking, and caps
+//! are orthogonal options that compose freely.
 //!
 //! ```
 //! use repetitive_gapped_mining::prelude::*;
@@ -33,7 +34,7 @@
 //! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
 //!
 //! // Closed repetitive gapped subsequences with support >= 2.
-//! let closed = mine_closed(&db, &MiningConfig::new(2));
+//! let closed = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
 //! assert!(!closed.is_empty());
 //!
 //! // Repetitive support distinguishes AB (repeats within S1) from CD.
@@ -41,6 +42,16 @@
 //! let cd = db.pattern_from_str("CD").unwrap();
 //! assert_eq!(repetitive_support(&db, &ab), 4);
 //! assert_eq!(repetitive_support(&db, &cd), 2);
+//!
+//! // Combinations the legacy API could not express compose for free:
+//! let constrained_topk = Miner::new(&db)
+//!     .min_sup(1)
+//!     .mode(Mode::Closed)
+//!     .constraints(GapConstraints::max_gap(2))
+//!     .top_k(5)
+//!     .min_len(2)
+//!     .run();
+//! assert!(constrained_topk.len() <= 5);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,12 +64,22 @@ pub use seqdb;
 pub use synthgen;
 
 /// Convenience re-exports of the most commonly used items.
+///
+/// The deprecated 0.1 free functions (`mine_all`, `mine_closed`, …) are
+/// still re-exported so existing code keeps compiling; migrate to
+/// [`Miner`](rgs_core::Miner) — see the crate README for the mapping.
 pub mod prelude {
     pub use rgs_core::{
-        constrained_support, instance_growth, mine_all, mine_all_constrained, mine_closed,
-        mine_closed_constrained, mine_maximal, mine_top_k, postprocess, repetitive_support,
-        support_set, GapConstraints, Instance, Landmark, MinedPattern, MiningConfig,
-        MiningOutcome, Pattern, PostProcessConfig, SupportComputer, SupportSet, TopKConfig,
+        constrained_support, instance_growth, postprocess, repetitive_support, support_set,
+        BudgetSink, CollectSink, CountSink, DeadlineSink, GapConstraints, Instance, Landmark,
+        MinedPattern, Miner, MiningConfig, MiningOutcome, MiningReport, MiningRequest,
+        MiningSession, Mode, Pattern, PatternSink, PostProcessConfig, SupportComputer, SupportSet,
+        TopKConfig,
+    };
+    #[allow(deprecated)]
+    pub use rgs_core::{
+        mine_all, mine_all_constrained, mine_closed, mine_closed_constrained, mine_maximal,
+        mine_top_k,
     };
     pub use rgs_features::{
         extract_features, ClassId, Classifier, FeatureMatrix, LabeledDatabase, SelectionMethod,

@@ -1,0 +1,265 @@
+//! Cross-API equivalence suite: every deprecated free function and its
+//! `Miner` builder equivalent must return identical pattern lists (same
+//! patterns, same supports, same order) on
+//!
+//! * the paper's Example 1.1 and the Table III running example,
+//! * the Gazelle- and TCAS-style synthetic generators,
+//! * randomized small databases (deterministic seeded PRNG).
+//!
+//! Plus: streaming-sink behaviour (early cancellation, budgets) and the
+//! previously impossible gap-constrained top-k combination end to end.
+
+#![allow(deprecated)] // this suite exists to pin the legacy shims
+
+use std::ops::ControlFlow;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use repetitive_gapped_mining::prelude::*;
+use repetitive_gapped_mining::synthgen::{GazelleConfig, TcasConfig};
+
+fn example_1_1() -> SequenceDatabase {
+    SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"])
+}
+
+fn running_example() -> SequenceDatabase {
+    SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+}
+
+fn gazelle() -> SequenceDatabase {
+    GazelleConfig::default().scaled_down(150).generate()
+}
+
+fn tcas() -> SequenceDatabase {
+    TcasConfig::default().scaled_down(48).generate()
+}
+
+/// Asserts all six legacy entry points against their engine equivalents on
+/// one database at one threshold.
+fn assert_all_six_equivalent(db: &SequenceDatabase, min_sup: u64, label: &str) {
+    let config = MiningConfig::new(min_sup).with_max_patterns(100_000);
+    let constraints = GapConstraints::max_gap(2);
+
+    let cases: Vec<(&str, MiningOutcome, MiningOutcome)> = vec![
+        (
+            "mine_all",
+            mine_all(db, &config),
+            Miner::new(db)
+                .min_sup(min_sup)
+                .mode(Mode::All)
+                .max_patterns(100_000)
+                .run(),
+        ),
+        (
+            "mine_closed",
+            mine_closed(db, &config),
+            Miner::new(db)
+                .min_sup(min_sup)
+                .mode(Mode::Closed)
+                .max_patterns(100_000)
+                .run(),
+        ),
+        (
+            "mine_maximal",
+            mine_maximal(db, &config),
+            Miner::new(db)
+                .min_sup(min_sup)
+                .mode(Mode::Maximal)
+                .max_patterns(100_000)
+                .run(),
+        ),
+        (
+            "mine_all_constrained",
+            mine_all_constrained(db, &config, constraints),
+            Miner::new(db)
+                .min_sup(min_sup)
+                .mode(Mode::All)
+                .constraints(constraints)
+                .max_patterns(100_000)
+                .run(),
+        ),
+        (
+            "mine_closed_constrained",
+            mine_closed_constrained(db, &config, constraints),
+            Miner::new(db)
+                .min_sup(min_sup)
+                .mode(Mode::Closed)
+                .constraints(constraints)
+                .max_patterns(100_000)
+                .run(),
+        ),
+        (
+            "mine_top_k",
+            mine_top_k(db, &TopKConfig::new(10).with_min_sup_floor(min_sup)),
+            Miner::new(db)
+                .min_sup(min_sup)
+                .mode(Mode::Closed)
+                .top_k(10)
+                .min_len(2)
+                .run(),
+        ),
+    ];
+    for (name, legacy, engine) in cases {
+        assert_eq!(
+            legacy.patterns, engine.patterns,
+            "{name} diverges from its Miner equivalent on {label} (min_sup {min_sup})"
+        );
+        assert_eq!(
+            legacy.truncated, engine.truncated,
+            "{name} truncation flag diverges on {label}"
+        );
+    }
+}
+
+#[test]
+fn legacy_and_engine_agree_on_the_paper_examples() {
+    for min_sup in [1, 2, 3] {
+        assert_all_six_equivalent(&example_1_1(), min_sup, "Example 1.1");
+        assert_all_six_equivalent(&running_example(), min_sup, "Table III");
+    }
+}
+
+#[test]
+fn legacy_and_engine_agree_on_gazelle_like_data() {
+    let db = gazelle();
+    let min_sup = (db.num_sequences() as u64 / 8).max(4);
+    assert_all_six_equivalent(&db, min_sup, "Gazelle synthetic");
+}
+
+#[test]
+fn legacy_and_engine_agree_on_tcas_like_data() {
+    let db = tcas();
+    let min_sup = (db.num_sequences() as u64) * 2;
+    assert_all_six_equivalent(&db, min_sup, "TCAS synthetic");
+}
+
+#[test]
+fn legacy_and_engine_agree_on_random_databases() {
+    let labels = ["A", "B", "C", "D"];
+    let mut rng = StdRng::seed_from_u64(0xE0_1111);
+    for case in 0..40 {
+        let rows: Vec<Vec<&str>> = (0..rng.gen_range(1..=4usize))
+            .map(|_| {
+                (0..rng.gen_range(0..=9usize))
+                    .map(|_| labels[rng.gen_range(0..labels.len())])
+                    .collect()
+            })
+            .collect();
+        let db = SequenceDatabase::from_token_rows(&rows);
+        let min_sup = rng.gen_range(1..4u64);
+        assert_all_six_equivalent(&db, min_sup, &format!("random case {case}"));
+    }
+}
+
+#[test]
+fn pattern_sink_cancels_early_and_preserves_prefix_order() {
+    let db = running_example();
+    let full = Miner::new(&db).min_sup(2).mode(Mode::All).run();
+    assert!(full.len() > 4, "needs enough patterns to cancel mid-run");
+
+    let mut streamed: Vec<MinedPattern> = Vec::new();
+    let report =
+        Miner::new(&db)
+            .min_sup(2)
+            .mode(Mode::All)
+            .run_with_sink(&mut |mp: MinedPattern| {
+                streamed.push(mp);
+                if streamed.len() == 4 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+    assert_eq!(
+        streamed.len(),
+        4,
+        "emission stops at the cancellation point"
+    );
+    assert!(report.cancelled);
+    assert!(!report.truncated);
+    assert_eq!(report.emitted, 4);
+    // The streamed prefix is exactly the materialized run's prefix: the
+    // engine emits incrementally in DFS order.
+    assert_eq!(&full.patterns[..4], streamed.as_slice());
+}
+
+#[test]
+fn budget_and_deadline_sinks_bound_runs() {
+    let db = tcas();
+    let mut budget = BudgetSink::new(CollectSink::new(), 25);
+    let report = Miner::new(&db)
+        .min_sup(2)
+        .mode(Mode::All)
+        .run_with_sink(&mut budget);
+    assert!(report.cancelled);
+    assert_eq!(budget.into_inner().into_patterns().len(), 25);
+
+    // An already-expired deadline lets nothing through.
+    let past = std::time::Instant::now();
+    let mut expired = DeadlineSink::new(CountSink::new(), past);
+    let report = Miner::new(&db)
+        .min_sup(2)
+        .mode(Mode::All)
+        .run_with_sink(&mut expired);
+    assert!(report.cancelled);
+    assert_eq!(expired.into_inner().count, 0);
+}
+
+#[test]
+fn gap_constrained_top_k_works_end_to_end() {
+    // The combination the six legacy functions could not express: rank the
+    // best k *closed* patterns under gap constraints, on generated data.
+    let db = tcas();
+    let constraints = GapConstraints::max_gap(2).with_max_window(12);
+    let k = 8;
+    let floor = (db.num_sequences() as u64) * 2;
+    let topk = Miner::new(&db)
+        .min_sup(floor)
+        .mode(Mode::Closed)
+        .constraints(constraints)
+        .top_k(k)
+        .min_len(2)
+        .run();
+    assert!(!topk.is_empty());
+    assert!(topk.len() <= k);
+    // Sorted by support, supports are true constrained supports, and the
+    // result equals ranking the full constrained closed set.
+    for w in topk.patterns.windows(2) {
+        assert!(w[0].support >= w[1].support);
+    }
+    for mp in &topk.patterns {
+        assert_eq!(
+            mp.support,
+            constrained_support(&db, mp.pattern.events(), constraints)
+        );
+        assert!(mp.support >= floor);
+        assert!(mp.pattern.len() >= 2);
+    }
+    let mut full = Miner::new(&db)
+        .min_sup(floor)
+        .mode(Mode::Closed)
+        .constraints(constraints)
+        .run();
+    full.patterns.retain(|mp| mp.pattern.len() >= 2);
+    full.sort_for_report();
+    full.patterns.truncate(k);
+    assert_eq!(topk.patterns, full.patterns);
+}
+
+#[test]
+fn stats_and_truncation_are_uniform_across_modes() {
+    let db = running_example();
+    for mode in [Mode::All, Mode::Closed, Mode::Maximal, Mode::TopK] {
+        let outcome = Miner::new(&db).min_sup(1).mode(mode).run();
+        assert!(
+            outcome.stats.elapsed_seconds > 0.0,
+            "{mode:?} did not record elapsed time"
+        );
+    }
+    for mode in [Mode::All, Mode::Closed, Mode::Maximal] {
+        let capped = Miner::new(&db).min_sup(1).mode(mode).max_patterns(2).run();
+        assert!(capped.truncated, "{mode:?} ignored max_patterns");
+        assert!(capped.len() <= 2);
+    }
+}

@@ -39,8 +39,8 @@ fn pipeline_separates_buggy_from_normal_traces_on_held_out_data() {
     );
     // Both classes must be predicted at least once (no degenerate model).
     let predictions = report.pipeline.predict(test.database());
-    assert!(predictions.iter().any(|&c| c == 0));
-    assert!(predictions.iter().any(|&c| c == 1));
+    assert!(predictions.contains(&0));
+    assert!(predictions.contains(&1));
 }
 
 #[test]
@@ -57,7 +57,9 @@ fn selected_features_capture_the_buggy_behaviour() {
     // The error/retry burst is the hallmark of buggy traces; at least one of
     // the selected discriminative patterns must mention it.
     assert!(
-        rendered.iter().any(|p| p.contains("error") || p.contains("retry")),
+        rendered
+            .iter()
+            .any(|p| p.contains("error") || p.contains("retry")),
         "selected features {rendered:?} miss the buggy behaviour"
     );
 }
@@ -67,10 +69,11 @@ fn both_classifiers_beat_a_majority_baseline_in_cross_validation() {
     let data = corpus();
     // Mine + select once on the full corpus, then cross-validate the
     // classifiers over the resulting feature matrix.
-    let mined = mine_closed(
-        data.database(),
-        &MiningConfig::new(40).with_max_pattern_length(4),
-    );
+    let mined = Miner::new(data.database())
+        .min_sup(40)
+        .mode(Mode::Closed)
+        .max_pattern_length(4)
+        .run();
     let candidates: Vec<Pattern> = mined
         .patterns
         .iter()
@@ -79,7 +82,12 @@ fn both_classifiers_beat_a_majority_baseline_in_cross_validation() {
         .collect();
     assert!(!candidates.is_empty());
     let matrix = extract_features(data.database(), &candidates);
-    let selected = select_top_k(&matrix, data.class_ids(), SelectionMethod::MeanDifference, 6);
+    let selected = select_top_k(
+        &matrix,
+        data.class_ids(),
+        SelectionMethod::MeanDifference,
+        6,
+    );
     let columns: Vec<usize> = selected.iter().map(|s| s.column).collect();
     let reduced = matrix.select_columns(&columns);
     let folds = data.stratified_folds(4, 9).unwrap();

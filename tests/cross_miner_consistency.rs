@@ -1,8 +1,9 @@
 //! Cross-crate consistency tests: the repetitive miners, the sequential
 //! baselines and the semantics calculators must agree wherever their
-//! definitions coincide.
+//! definitions coincide. Random cases come from a deterministic seeded PRNG.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use repetitive_gapped_mining::baselines::prefixspan::{
     mine_sequential, sequence_support, SequentialConfig,
@@ -13,75 +14,94 @@ use repetitive_gapped_mining::baselines::{
 };
 use repetitive_gapped_mining::prelude::*;
 
-fn small_database() -> impl Strategy<Value = SequenceDatabase> {
-    let sequence = prop::collection::vec(0u32..4, 0..=8);
-    prop::collection::vec(sequence, 1..=4).prop_map(|rows| {
-        let labels = ["A", "B", "C", "D"];
-        let string_rows: Vec<Vec<&str>> = rows
-            .iter()
-            .map(|row| row.iter().map(|&e| labels[e as usize]).collect())
-            .collect();
-        SequenceDatabase::from_token_rows(&string_rows)
-    })
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+const CASES: usize = 48;
+
+fn small_database(rng: &mut StdRng) -> SequenceDatabase {
+    let rows: Vec<Vec<&str>> = (0..rng.gen_range(1..=4usize))
+        .map(|_| {
+            (0..rng.gen_range(0..=8usize))
+                .map(|_| LABELS[rng.gen_range(0..LABELS.len())])
+                .collect()
+        })
+        .collect();
+    SequenceDatabase::from_token_rows(&rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Repetitive support is always at least the sequence-count support
-    /// (every sequence containing the pattern contributes at least one
-    /// non-overlapping instance), and single-event repetitive support equals
-    /// the raw occurrence count.
-    #[test]
-    fn repetitive_support_dominates_sequence_support(db in small_database()) {
+/// Repetitive support is always at least the sequence-count support, and
+/// single-event repetitive support equals the raw occurrence count.
+#[test]
+fn repetitive_support_dominates_sequence_support() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for _ in 0..CASES {
+        let db = small_database(&mut rng);
         let events: Vec<_> = db.catalog().ids().collect();
         for &a in &events {
             for &b in &events {
                 let pattern = vec![a, b];
                 let repetitive = repetitive_support(&db, &pattern);
                 let sequential = sequence_support(&db, &pattern);
-                prop_assert!(repetitive >= sequential,
-                    "repetitive {repetitive} < sequential {sequential} for {pattern:?}");
+                assert!(
+                    repetitive >= sequential,
+                    "repetitive {repetitive} < sequential {sequential} for {pattern:?}"
+                );
             }
         }
         for &a in &events {
-            prop_assert_eq!(repetitive_support(&db, &[a]), db.event_occurrences(a) as u64);
+            assert_eq!(
+                repetitive_support(&db, &[a]),
+                db.event_occurrences(a) as u64
+            );
         }
     }
+}
 
-    /// The two closed sequential miners (BIDE-style DFS check and CloSpan-
-    /// lite post-filtering) produce identical results.
-    #[test]
-    fn closed_sequential_miners_agree(db in small_database(), min_sup in 1u64..3) {
+/// The two closed sequential miners (BIDE-style DFS check and CloSpan-lite
+/// post-filtering) produce identical results.
+#[test]
+fn closed_sequential_miners_agree() {
+    let mut rng = StdRng::seed_from_u64(0xD0D0);
+    for case in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(1..3u64);
         let config = SequentialConfig::new(min_sup);
         let mut bide = mine_closed_sequential(&db, &config);
         let mut filtered = mine_closed_sequential_by_filter(&db, &config);
         bide.sort_by(|a, b| a.events.cmp(&b.events));
         filtered.sort_by(|a, b| a.events.cmp(&b.events));
-        prop_assert_eq!(bide, filtered);
+        assert_eq!(bide, filtered, "case {case}: min_sup {min_sup}");
     }
+}
 
-    /// PrefixSpan's reported supports always match direct recounting, and
-    /// every pattern reported by the repetitive miner with min_sup = N (the
-    /// number of sequences) is also a sequential pattern appearing in every
-    /// sequence at least once... not in general; instead check that any
-    /// pattern mined sequentially with support s is also repetitively
-    /// frequent with threshold s.
-    #[test]
-    fn sequentially_frequent_patterns_are_repetitively_frequent(db in small_database(), min_sup in 1u64..3) {
+/// Any pattern mined sequentially with support s is also repetitively
+/// frequent with threshold s.
+#[test]
+fn sequentially_frequent_patterns_are_repetitively_frequent() {
+    let mut rng = StdRng::seed_from_u64(0xE0E0);
+    for _ in 0..CASES {
+        let db = small_database(&mut rng);
+        let min_sup = rng.gen_range(1..3u64);
         let sequential = mine_sequential(&db, &SequentialConfig::new(min_sup));
         for p in &sequential {
             let repetitive = repetitive_support(&db, &p.events);
-            prop_assert!(repetitive >= p.support,
-                "pattern {:?}: repetitive {} < sequential {}", p.events, repetitive, p.support);
+            assert!(
+                repetitive >= p.support,
+                "pattern {:?}: repetitive {} < sequential {}",
+                p.events,
+                repetitive,
+                p.support
+            );
         }
     }
+}
 
-    /// The iterative-pattern and minimal-window supports never exceed the
-    /// repetitive support for 2-event patterns: both capture a subset of
-    /// non-overlapping occurrences.
-    #[test]
-    fn two_event_semantics_inequalities(db in small_database()) {
+/// The iterative-pattern and minimal-window supports never exceed the
+/// repetitive support for 2-event patterns.
+#[test]
+fn two_event_semantics_inequalities() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0);
+    for _ in 0..CASES {
+        let db = small_database(&mut rng);
         let events: Vec<_> = db.catalog().ids().collect();
         for &a in &events {
             for &b in &events {
@@ -92,10 +112,14 @@ proptest! {
                 let repetitive = repetitive_support(&db, &pattern);
                 let iterative = semantics::iterative_pattern_support(&db, &pattern);
                 let minimal = semantics::minimal_window_support(&db, &pattern);
-                prop_assert!(iterative <= repetitive,
-                    "iterative {iterative} > repetitive {repetitive} for {pattern:?}");
-                prop_assert!(minimal <= repetitive,
-                    "minimal-window {minimal} > repetitive {repetitive} for {pattern:?}");
+                assert!(
+                    iterative <= repetitive,
+                    "iterative {iterative} > repetitive {repetitive} for {pattern:?}"
+                );
+                assert!(
+                    minimal <= repetitive,
+                    "minimal-window {minimal} > repetitive {repetitive} for {pattern:?}"
+                );
             }
         }
     }
@@ -107,10 +131,15 @@ fn generators_feed_all_miners_without_panicking() {
     let gazelle = GazelleConfig::default().scaled_down(200).generate();
     let tcas = TcasConfig::default().scaled_down(64).generate();
     for db in [&gazelle, &tcas] {
-        let closed = mine_closed(db, &MiningConfig::new(20).with_max_patterns(20_000));
+        let closed = Miner::new(db)
+            .min_sup(20)
+            .mode(Mode::Closed)
+            .max_patterns(20_000)
+            .run();
         let sequential = mine_sequential(
             db,
-            &SequentialConfig::new((db.num_sequences() as u64 / 4).max(2)).with_max_patterns(20_000),
+            &SequentialConfig::new((db.num_sequences() as u64 / 4).max(2))
+                .with_max_patterns(20_000),
         );
         // Sanity: mining completed and produced bounded output.
         assert!(closed.len() <= 20_000);

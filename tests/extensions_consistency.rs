@@ -6,7 +6,9 @@ use repetitive_gapped_mining::synthgen::{QuestConfig, TcasConfig};
 
 /// A small but non-trivial synthetic dataset shared by the tests.
 fn quest_db() -> SequenceDatabase {
-    QuestConfig::paper(5, 20, 10, 20).scaled_down(100).generate()
+    QuestConfig::paper(5, 20, 10, 20)
+        .scaled_down(100)
+        .generate()
 }
 
 #[test]
@@ -14,10 +16,17 @@ fn constrained_mining_nests_by_constraint_tightness() {
     // Tighter constraints can only shrink supports, so the frequent set at a
     // fixed threshold shrinks as the window gets tighter.
     let db = quest_db();
-    let config = MiningConfig::new(8).with_max_patterns(100_000);
-    let loose = mine_all_constrained(&db, &config, GapConstraints::max_window(50));
-    let medium = mine_all_constrained(&db, &config, GapConstraints::max_window(10));
-    let tight = mine_all_constrained(&db, &config, GapConstraints::max_window(3));
+    let constrained = |window: u32| {
+        Miner::new(&db)
+            .min_sup(8)
+            .mode(Mode::All)
+            .constraints(GapConstraints::max_window(window))
+            .max_patterns(100_000)
+            .run()
+    };
+    let loose = constrained(50);
+    let medium = constrained(10);
+    let tight = constrained(3);
     assert!(loose.len() >= medium.len());
     assert!(medium.len() >= tight.len());
     // Every pattern frequent under the tight window is frequent under the
@@ -34,7 +43,7 @@ fn constrained_mining_nests_by_constraint_tightness() {
 #[test]
 fn constrained_supports_increase_with_the_window() {
     let db = quest_db();
-    let closed = mine_closed(&db, &MiningConfig::new(10));
+    let closed = Miner::new(&db).min_sup(10).mode(Mode::Closed).run();
     for mp in closed.patterns.iter().take(50) {
         let events = mp.pattern.events();
         let tight = constrained_support(&db, events, GapConstraints::max_window(4));
@@ -49,12 +58,17 @@ fn constrained_supports_increase_with_the_window() {
 fn top_k_is_consistent_with_closed_mining_on_quest_data() {
     let db = quest_db();
     let k = 20;
-    let topk = mine_top_k(&db, &TopKConfig::new(k).with_min_sup_floor(4));
+    let topk = Miner::new(&db)
+        .min_sup(4)
+        .mode(Mode::Closed)
+        .top_k(k)
+        .min_len(2)
+        .run();
     assert!(topk.len() <= k);
     assert!(!topk.is_empty());
     // The supports reported by top-k match a full closed run restricted to
     // length >= 2.
-    let mut closed = mine_closed(&db, &MiningConfig::new(4));
+    let mut closed = Miner::new(&db).min_sup(4).mode(Mode::Closed).run();
     closed.patterns.retain(|mp| mp.pattern.len() >= 2);
     closed.sort_for_report();
     let expected: Vec<u64> = closed
@@ -71,9 +85,16 @@ fn top_k_is_consistent_with_closed_mining_on_quest_data() {
 fn maximal_mining_summarizes_the_tcas_like_workload() {
     let db = TcasConfig::default().scaled_down(64).generate();
     let min_sup = (db.num_sequences() as u64) * 2;
-    let config = MiningConfig::new(min_sup).with_max_patterns(200_000);
-    let closed = mine_closed(&db, &config);
-    let maximal = mine_maximal(&db, &config);
+    let closed = Miner::new(&db)
+        .min_sup(min_sup)
+        .mode(Mode::Closed)
+        .max_patterns(200_000)
+        .run();
+    let maximal = Miner::new(&db)
+        .min_sup(min_sup)
+        .mode(Mode::Maximal)
+        .max_patterns(200_000)
+        .run();
     assert!(!maximal.is_empty());
     assert!(maximal.len() <= closed.len());
     // Loop-structured traces must produce at least one non-trivial maximal
@@ -99,8 +120,12 @@ fn gap_constrained_closed_mining_respects_the_constraints_on_real_shapes() {
     let db = TcasConfig::default().scaled_down(64).generate();
     let constraints = GapConstraints::max_gap(2).with_max_window(12);
     let min_sup = (db.num_sequences() as u64) * 2;
-    let config = MiningConfig::new(min_sup).with_max_patterns(100_000);
-    let closed = mine_closed_constrained(&db, &config, constraints);
+    let closed = Miner::new(&db)
+        .min_sup(min_sup)
+        .mode(Mode::Closed)
+        .constraints(constraints)
+        .max_patterns(100_000)
+        .run();
     assert!(!closed.is_empty());
     // Spot-check the reported supports and that instances admitted by the
     // constraints exist (support > 0 implies admissible landmarks exist).
@@ -118,10 +143,18 @@ fn top_k_with_floor_equals_plain_top_k_prefix() {
     // Raising the floor must not change the top of the ranking as long as
     // the floor stays below the k-th best support.
     let db = quest_db();
-    let unfloored = mine_top_k(&db, &TopKConfig::new(10).with_min_sup_floor(2));
+    let top10 = |floor: u64| {
+        Miner::new(&db)
+            .min_sup(floor)
+            .mode(Mode::Closed)
+            .top_k(10)
+            .min_len(2)
+            .run()
+    };
+    let unfloored = top10(2);
     let kth = unfloored.patterns.last().map(|mp| mp.support).unwrap_or(2);
     if kth > 3 {
-        let floored = mine_top_k(&db, &TopKConfig::new(10).with_min_sup_floor(3));
+        let floored = top10(3);
         let a: Vec<u64> = unfloored.patterns.iter().map(|mp| mp.support).collect();
         let b: Vec<u64> = floored.patterns.iter().map(|mp| mp.support).collect();
         assert_eq!(a, b);

@@ -28,7 +28,7 @@ fn example_2_2_and_2_3_supports_and_closedness() {
     assert_eq!(repetitive_support(&db, &abc), 4);
 
     // Because sup(AB) = sup(ABC), AB is not closed.
-    let closed = mine_closed(&db, &MiningConfig::new(2));
+    let closed = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
     assert!(!closed.contains(&Pattern::new(ab)));
     assert!(closed.contains(&Pattern::new(abc)));
 }
@@ -59,7 +59,7 @@ fn table_iv_support_set_instances() {
 fn example_3_4_apriori_pruning() {
     // With min_sup = 3, AA is frequent (3) but AAA is not (1).
     let db = running_example();
-    let all = mine_all(&db, &MiningConfig::new(3));
+    let all = Miner::new(&db).min_sup(3).mode(Mode::All).run();
     assert_eq!(
         all.support_of(&Pattern::new(db.pattern_from_str("AA").unwrap())),
         Some(3)
@@ -70,7 +70,7 @@ fn example_3_4_apriori_pruning() {
 #[test]
 fn examples_3_5_and_3_6_closed_mining() {
     let db = running_example();
-    let closed = mine_closed(&db, &MiningConfig::new(3));
+    let closed = Miner::new(&db).min_sup(3).mode(Mode::Closed).run();
     // AB is frequent but not closed (ACB has the same support); ABD is
     // closed; AA is pruned by landmark border checking; AAD is not closed
     // (ACAD has equal support).
@@ -93,8 +93,8 @@ fn examples_3_5_and_3_6_closed_mining() {
 fn closed_result_is_a_compact_lossless_summary_of_all_result() {
     let db = running_example();
     for min_sup in [2, 3] {
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        let all = Miner::new(&db).min_sup(min_sup).mode(Mode::All).run();
+        let closed = Miner::new(&db).min_sup(min_sup).mode(Mode::Closed).run();
         assert!(closed.len() <= all.len());
         for mined in &all.patterns {
             assert!(
@@ -134,7 +134,11 @@ fn umbrella_prelude_covers_the_whole_pipeline() {
         ..QuestConfig::default()
     }
     .generate();
-    let closed = mine_closed(&db, &MiningConfig::new(10).with_max_patterns(50_000));
+    let closed = Miner::new(&db)
+        .min_sup(10)
+        .mode(Mode::Closed)
+        .max_patterns(50_000)
+        .run();
     let processed = postprocess(&closed.patterns, &PostProcessConfig::default());
     assert!(processed.len() <= closed.len());
     for mined in &processed {
