@@ -2,7 +2,7 @@
 //! (Ayres, Flannick, Gehrke & Yiu, KDD 2002).
 //!
 //! SPAM is cited by the paper as one of the classical sequential pattern
-//! miners it builds on top of (reference [18]). It mines the same patterns
+//! miners it builds on top of (reference \[18\]). It mines the same patterns
 //! as PrefixSpan — support is the number of sequences containing the pattern
 //! as a gapped subsequence — but represents intermediate state as *vertical
 //! bitmaps*: for each pattern and each sequence, a bitmap over sequence

@@ -1,0 +1,90 @@
+//! Prepared-engine benchmark binary.
+//!
+//! Measures the parallel-mining speedup and the prepared-reuse speedup on
+//! the features pipeline and writes the result to
+//! `BENCH_prepared_engine.json` (repository root by convention).
+//!
+//! ```text
+//! prepared_bench [--scale dev|paper] [--threads N] [--repeats N] [--out FILE]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rgs_bench::datasets::Scale;
+use rgs_bench::prepared_bench;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Dev;
+    let mut threads = 4usize;
+    let mut repeats = 3usize;
+    let mut out = PathBuf::from("BENCH_prepared_engine.json");
+
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--scale" => match need_value(&mut i).as_deref().and_then(Scale::parse) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("--scale needs dev|paper");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match need_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("--threads needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--repeats" => match need_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => repeats = n,
+                None => {
+                    eprintln!("--repeats needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match need_value(&mut i) {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "prepared_bench [--scale dev|paper] [--threads N] [--repeats N] [--out FILE]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let report = prepared_bench::run(scale, threads, repeats);
+    let json = report.to_json();
+    println!("{json}");
+    println!(
+        "# parallel speedup: {:.2}x ({} threads, identical output: {}); \
+         prepared-reuse speedup on the pipeline sweep: {:.2}x",
+        report.parallel_speedup,
+        report.threads,
+        report.parallel_output_identical,
+        report.prepared_reuse_speedup,
+    );
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {}: {err}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# written to {}", out.display());
+    ExitCode::SUCCESS
+}

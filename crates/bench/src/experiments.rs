@@ -1,14 +1,14 @@
 //! One function per experiment of the paper's evaluation (§IV), each
 //! returning an [`ExperimentReport`].
 
-use rgs_core::{postprocess, Miner, Mode, PostProcessConfig};
+use rgs_core::{postprocess, Miner, Mode, PostProcessConfig, PreparedDb};
 use seqdb::SequenceDatabase;
 use synthgen::JbossConfig;
 
 use crate::datasets;
 use crate::datasets::Scale;
 use crate::report::ExperimentReport;
-use crate::runner::{run_miner, MinerKind, RunLimits, RunRecord};
+use crate::runner::{run_miner, run_miner_on, MinerKind, RunLimits, RunRecord};
 
 fn limits_for(scale: Scale) -> RunLimits {
     match scale {
@@ -97,15 +97,23 @@ fn minsup_sweep(
         &format!("{dataset_name}: {}", stats.summary()),
         expectation,
     );
+    // One prepared snapshot serves the whole threshold sweep: the index and
+    // occurrence counts are query-independent.
+    let prepared = PreparedDb::new(db);
     for &min_sup in thresholds {
         let mut runs: Vec<RunRecord> = Vec::new();
         // The paper only runs GSgrow above the "cut-off" threshold; below it
         // the number of frequent patterns is too large.
         let run_all = all_cutoff.is_none_or(|cutoff| min_sup >= cutoff);
         if run_all {
-            runs.push(run_miner(db, MinerKind::GsGrow, min_sup, limits));
+            runs.push(run_miner_on(&prepared, MinerKind::GsGrow, min_sup, limits));
         }
-        runs.push(run_miner(db, MinerKind::CloGsGrow, min_sup, limits));
+        runs.push(run_miner_on(
+            &prepared,
+            MinerKind::CloGsGrow,
+            min_sup,
+            limits,
+        ));
         report.push_row(format!("min_sup={min_sup}"), runs);
     }
     summarize_sweep(&mut report);
@@ -214,14 +222,20 @@ fn dataset_sweep(
         ExperimentReport::new(id, title, "QUEST synthetic data (see rows)", expectation);
     for (idx, (name, db)) in datasets.iter().enumerate() {
         let stats = db.stats();
+        let prepared = PreparedDb::new(db);
         let mut runs = Vec::new();
         // The paper stops running GSgrow on the larger settings (it does not
         // terminate in reasonable time); `all_limit` is the index of the
         // last setting on which the all-miner is run.
         if all_limit.is_none_or(|limit| idx <= limit) {
-            runs.push(run_miner(db, MinerKind::GsGrow, min_sup, limits));
+            runs.push(run_miner_on(&prepared, MinerKind::GsGrow, min_sup, limits));
         }
-        runs.push(run_miner(db, MinerKind::CloGsGrow, min_sup, limits));
+        runs.push(run_miner_on(
+            &prepared,
+            MinerKind::CloGsGrow,
+            min_sup,
+            limits,
+        ));
         report.push_row(
             format!(
                 "{name} ({} seqs, avg len {:.0})",
@@ -290,9 +304,10 @@ pub fn baselines_comparison(scale: Scale) -> ExperimentReport {
     // Sequence-count supports are bounded by the number of sequences, so the
     // sequential miners get a threshold scaled to sequence count.
     let seq_min_sup = ((stats.num_sequences as f64 * 0.05).ceil() as u64).max(2);
+    let prepared = PreparedDb::new(&db);
     let runs = vec![
-        run_miner(&db, MinerKind::CloGsGrow, min_sup, limits),
-        run_miner(&db, MinerKind::GsGrow, min_sup, limits),
+        run_miner_on(&prepared, MinerKind::CloGsGrow, min_sup, limits),
+        run_miner_on(&prepared, MinerKind::GsGrow, min_sup, limits),
     ];
     report.push_row(format!("repetitive miners, min_sup={min_sup}"), runs);
     let mut seq_runs = Vec::new();

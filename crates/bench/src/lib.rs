@@ -27,8 +27,9 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod prepared_bench;
 pub mod report;
 pub mod runner;
 
 pub use report::{ExperimentReport, ReportRow};
-pub use runner::{run_miner, MinerKind, RunRecord};
+pub use runner::{run_miner, run_miner_on, MinerKind, RunRecord};

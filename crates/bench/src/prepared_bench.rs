@@ -1,0 +1,204 @@
+//! Benchmark for the prepared-query engine: measures the parallel-mining
+//! speedup and the prepared-reuse speedup on the features pipeline, and
+//! renders the result as the `BENCH_prepared_engine.json` entry checked in
+//! at the repository root.
+
+use std::time::Instant;
+
+use rgs_core::json::escape;
+use rgs_core::{Mode, PreparedDb};
+use rgs_features::pipeline::{run_pipeline, sweep_min_sup, PipelineConfig};
+use rgs_features::LabeledDatabase;
+use synthgen::labeled::LabeledTraceConfig;
+
+use crate::datasets;
+use crate::datasets::Scale;
+
+/// The measured numbers of one prepared-engine benchmark run.
+#[derive(Debug, Clone)]
+pub struct PreparedEngineReport {
+    /// Mining dataset description.
+    pub dataset: String,
+    /// Support threshold of the mining measurement.
+    pub min_sup: u64,
+    /// Worker threads of the parallel measurement.
+    pub threads: usize,
+    /// CPUs actually available to this process — the hard ceiling on any
+    /// parallel speedup (a 1-CPU container cannot speed up, only stay
+    /// bit-identical).
+    pub available_parallelism: usize,
+    /// Best-of-N sequential closed-mining wall time (prepared snapshot).
+    pub sequential_seconds: f64,
+    /// Best-of-N parallel closed-mining wall time (same snapshot).
+    pub parallel_seconds: f64,
+    /// `sequential_seconds / parallel_seconds`.
+    pub parallel_speedup: f64,
+    /// Whether the parallel pattern list was bit-identical to sequential.
+    pub parallel_output_identical: bool,
+    /// Pipeline dataset description.
+    pub pipeline_dataset: String,
+    /// The support thresholds of the pipeline sweep.
+    pub sweep_min_sups: Vec<u64>,
+    /// Wall time of the sweep re-preparing per call ([`run_pipeline`]).
+    pub pipeline_fresh_seconds: f64,
+    /// Wall time of the sweep hoisting one snapshot ([`sweep_min_sup`]).
+    pub pipeline_prepared_seconds: f64,
+    /// `pipeline_fresh_seconds / pipeline_prepared_seconds`.
+    pub prepared_reuse_speedup: f64,
+}
+
+impl PreparedEngineReport {
+    /// Renders the report as a JSON object (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let sweep: Vec<String> = self.sweep_min_sups.iter().map(u64::to_string).collect();
+        format!(
+            "{{\n  \"benchmark\": \"prepared_engine\",\n  \"dataset\": {},\n  \"min_sup\": {},\n  \
+             \"threads\": {},\n  \"available_parallelism\": {},\n  \
+             \"sequential_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \
+             \"parallel_speedup\": {:.3},\n  \"parallel_output_identical\": {},\n  \
+             \"pipeline_dataset\": {},\n  \"sweep_min_sups\": [{}],\n  \
+             \"pipeline_fresh_seconds\": {:.6},\n  \"pipeline_prepared_seconds\": {:.6},\n  \
+             \"prepared_reuse_speedup\": {:.3}\n}}\n",
+            escape(&self.dataset),
+            self.min_sup,
+            self.threads,
+            self.available_parallelism,
+            self.sequential_seconds,
+            self.parallel_seconds,
+            self.parallel_speedup,
+            self.parallel_output_identical,
+            escape(&self.pipeline_dataset),
+            sweep.join(", "),
+            self.pipeline_fresh_seconds,
+            self.pipeline_prepared_seconds,
+            self.prepared_reuse_speedup,
+        )
+    }
+}
+
+/// Best-of-`repeats` wall time of `f`.
+fn best_of<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut result = f();
+    best = best.min(start.elapsed().as_secs_f64());
+    for _ in 1..repeats.max(1) {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+/// Runs the benchmark: parallel closed mining vs sequential on a prepared
+/// snapshot, and the features-pipeline threshold sweep with and without
+/// prepared reuse.
+pub fn run(scale: Scale, threads: usize, repeats: usize) -> PreparedEngineReport {
+    // -- Parallel speedup: closed mining on the Figure 2 QUEST dataset at
+    // the lowest threshold of its sweep (the heaviest setting that still
+    // terminates comfortably at dev scale).
+    let (name, db) = datasets::fig2_dataset(scale);
+    let thresholds = datasets::fig2_thresholds(scale);
+    let min_sup = thresholds[thresholds.len() - 1];
+    let prepared = PreparedDb::new(&db);
+    let (sequential_seconds, sequential) = best_of(repeats, || {
+        prepared.miner().min_sup(min_sup).mode(Mode::Closed).run()
+    });
+    let (parallel_seconds, parallel) = best_of(repeats, || {
+        prepared
+            .miner()
+            .min_sup(min_sup)
+            .mode(Mode::Closed)
+            .threads(threads)
+            .run()
+    });
+    let parallel_output_identical = sequential.patterns == parallel.patterns;
+
+    // -- Prepared-reuse speedup: the model-selection threshold sweep of the
+    // features pipeline, re-preparing per call vs hoisting one snapshot.
+    // The sweep walks down from a very high threshold (the usual "find the
+    // highest threshold that still yields features" search), so individual
+    // queries are cheap and the per-call preparation is the waste.
+    let (pipeline_db, labels) = LabeledTraceConfig::default()
+        .with_traces_per_class(if scale == Scale::Paper { 1_200 } else { 400 })
+        .generate();
+    let data = LabeledDatabase::new(pipeline_db, labels).expect("aligned labels");
+    let base = PipelineConfig::new(40, 6).with_max_pattern_length(3);
+    let top_occurrences = {
+        let prepared = PreparedDb::new(data.database());
+        data.database()
+            .catalog()
+            .ids()
+            .map(|e| prepared.occurrence_count(e))
+            .max()
+            .unwrap_or(1)
+    };
+    let sweep_min_sups: Vec<u64> = (1..=8).map(|i| top_occurrences * (8 + i) / 16).collect();
+    let (pipeline_fresh_seconds, _) = best_of(repeats, || {
+        for &min_sup in &sweep_min_sups {
+            let config = PipelineConfig {
+                min_sup,
+                ..base.clone()
+            };
+            run_pipeline(&data, &config).expect("pipeline runs");
+        }
+    });
+    let (pipeline_prepared_seconds, _) = best_of(repeats, || {
+        sweep_min_sup(&data, &sweep_min_sups, &base).expect("sweep runs");
+    });
+
+    PreparedEngineReport {
+        dataset: format!("{name}: {}", db.stats().summary()),
+        min_sup,
+        threads,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        sequential_seconds,
+        parallel_seconds,
+        parallel_speedup: sequential_seconds / parallel_seconds.max(1e-12),
+        parallel_output_identical,
+        pipeline_dataset: data.summary(),
+        sweep_min_sups,
+        pipeline_fresh_seconds,
+        pipeline_prepared_seconds,
+        prepared_reuse_speedup: pipeline_fresh_seconds / pipeline_prepared_seconds.max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_to_balanced_json() {
+        let report = PreparedEngineReport {
+            dataset: "toy \"quoted\"".into(),
+            min_sup: 5,
+            threads: 4,
+            available_parallelism: 1,
+            sequential_seconds: 1.0,
+            parallel_seconds: 0.4,
+            parallel_speedup: 2.5,
+            parallel_output_identical: true,
+            pipeline_dataset: "labeled toy".into(),
+            sweep_min_sups: vec![2, 3],
+            pipeline_fresh_seconds: 0.2,
+            pipeline_prepared_seconds: 0.1,
+            prepared_reuse_speedup: 2.0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"parallel_speedup\": 2.500"));
+        assert!(json.contains("\"sweep_min_sups\": [2, 3]"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn best_of_returns_the_last_result_and_a_positive_time() {
+        let (seconds, value) = best_of(3, || 42);
+        assert_eq!(value, 42);
+        assert!(seconds >= 0.0);
+    }
+}

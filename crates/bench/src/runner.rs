@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use baselines::prefixspan::SequentialConfig;
-use rgs_core::{Miner, Mode};
+use rgs_core::{Miner, Mode, PreparedDb};
 use seqdb::SequenceDatabase;
 
 /// The miners the experiments compare.
@@ -63,6 +63,10 @@ pub struct RunLimits {
     pub max_patterns: usize,
     /// Cap on pattern length (`None` = unbounded, the paper's setting).
     pub max_pattern_length: Option<usize>,
+    /// Worker threads for the repetitive miners (1 = sequential; output is
+    /// bit-identical either way). The sequential-pattern baselines are
+    /// single-threaded regardless.
+    pub threads: usize,
 }
 
 impl Default for RunLimits {
@@ -70,6 +74,7 @@ impl Default for RunLimits {
         Self {
             max_patterns: 2_000_000,
             max_pattern_length: None,
+            threads: 1,
         }
     }
 }
@@ -79,13 +84,22 @@ impl RunLimits {
     pub fn dev() -> Self {
         Self {
             max_patterns: 200_000,
-            max_pattern_length: None,
+            ..Self::default()
         }
+    }
+
+    /// The same limits with `threads` worker threads for the repetitive
+    /// miners.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// Runs `miner` on `db` at threshold `min_sup` under `limits` and records
-/// runtime and output size.
+/// runtime and output size. Prepares the database as part of the timed run;
+/// experiments sweeping several thresholds over one dataset should prepare
+/// once and use [`run_miner_on`].
 pub fn run_miner(
     db: &SequenceDatabase,
     miner: MinerKind,
@@ -95,19 +109,7 @@ pub fn run_miner(
     let start = Instant::now();
     let (num_patterns, truncated) = match miner {
         MinerKind::GsGrow | MinerKind::CloGsGrow => {
-            let mode = if miner == MinerKind::GsGrow {
-                Mode::All
-            } else {
-                Mode::Closed
-            };
-            let mut engine = Miner::new(db)
-                .min_sup(min_sup)
-                .mode(mode)
-                .max_patterns(limits.max_patterns);
-            if let Some(len) = limits.max_pattern_length {
-                engine = engine.max_pattern_length(len);
-            }
-            let outcome = engine.run();
+            let outcome = repetitive_miner(Miner::new(db), miner, min_sup, limits).run();
             (outcome.len(), outcome.truncated)
         }
         MinerKind::PrefixSpan => {
@@ -136,6 +138,57 @@ pub fn run_miner(
         num_patterns,
         truncated,
     }
+}
+
+/// [`run_miner`] against a caller-prepared snapshot: the per-query path for
+/// threshold sweeps and repeated measurements over one dataset. The
+/// repetitive miners (GSgrow/CloGSgrow) borrow the snapshot and skip all
+/// per-run preparation; the sequential-pattern baselines run on the
+/// snapshotted database.
+pub fn run_miner_on(
+    prepared: &PreparedDb,
+    miner: MinerKind,
+    min_sup: u64,
+    limits: RunLimits,
+) -> RunRecord {
+    match miner {
+        MinerKind::GsGrow | MinerKind::CloGsGrow => {
+            let start = Instant::now();
+            let outcome = repetitive_miner(prepared.miner(), miner, min_sup, limits).run();
+            RunRecord {
+                miner,
+                min_sup,
+                runtime_seconds: start.elapsed().as_secs_f64(),
+                num_patterns: outcome.len(),
+                truncated: outcome.truncated,
+            }
+        }
+        _ => run_miner(prepared.database(), miner, min_sup, limits),
+    }
+}
+
+/// Applies the shared miner options (mode, threshold, caps, threads) for
+/// the two repetitive miners.
+fn repetitive_miner<'a>(
+    engine: Miner<'a>,
+    miner: MinerKind,
+    min_sup: u64,
+    limits: RunLimits,
+) -> Miner<'a> {
+    let mode = if miner == MinerKind::GsGrow {
+        Mode::All
+    } else {
+        Mode::Closed
+    };
+    let mut engine = engine
+        .min_sup(min_sup)
+        .mode(mode)
+        .max_patterns(limits.max_patterns)
+        .threads(limits.threads);
+    if let Some(len) = limits.max_pattern_length {
+        engine = engine.max_pattern_length(len);
+    }
+    engine
 }
 
 fn sequential_config(min_sup: u64, limits: RunLimits) -> SequentialConfig {
@@ -188,11 +241,40 @@ mod tests {
         let db = toy_db();
         let limits = RunLimits {
             max_patterns: 3,
-            max_pattern_length: None,
+            ..RunLimits::default()
         };
         let record = run_miner(&db, MinerKind::GsGrow, 1, limits);
         assert!(record.truncated);
         assert_eq!(record.num_patterns, 3);
+    }
+
+    #[test]
+    fn prepared_runs_match_fresh_runs_for_every_miner() {
+        let db = toy_db();
+        let prepared = PreparedDb::new(&db);
+        for miner in [
+            MinerKind::GsGrow,
+            MinerKind::CloGsGrow,
+            MinerKind::PrefixSpan,
+            MinerKind::Bide,
+            MinerKind::CloSpanLite,
+        ] {
+            let fresh = run_miner(&db, miner, 2, RunLimits::default());
+            let reused = run_miner_on(&prepared, miner, 2, RunLimits::default());
+            assert_eq!(fresh.num_patterns, reused.num_patterns, "{miner:?}");
+            assert_eq!(fresh.truncated, reused.truncated, "{miner:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_runs_report_identical_counts() {
+        let db = toy_db();
+        let prepared = PreparedDb::new(&db);
+        for miner in [MinerKind::GsGrow, MinerKind::CloGsGrow] {
+            let sequential = run_miner_on(&prepared, miner, 2, RunLimits::default());
+            let parallel = run_miner_on(&prepared, miner, 2, RunLimits::default().with_threads(4));
+            assert_eq!(sequential.num_patterns, parallel.num_patterns, "{miner:?}");
+        }
     }
 
     #[test]

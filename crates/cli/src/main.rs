@@ -2,25 +2,31 @@
 //! subsequences, built on the unified `Miner` engine.
 //!
 //! ```text
-//! rgs-mine [mine] --input FILE [--format tokens|spmf|chars] --min-sup K
+//! rgs-mine [mine] --input FILE [--format tokens|spmf|chars|json] --min-sup K
 //!          [--mode all|closed|maximal] [--closed] [--all] [--maximal-mode]
 //!          [--min-gap G] [--max-gap G] [--max-window W]
 //!          [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]
-//!          [--top T] [--density R] [--maximal] [--stream]
-//! rgs-mine topk  --input FILE -k K [--min-sup FLOOR] [constraint flags...]
+//!          [--threads N] [--top T] [--density R] [--maximal] [--stream]
+//! rgs-mine topk  --input FILE -k K [--min-sup FLOOR] [--threads N] [...]
 //! rgs-mine demo  [--min-sup K] [--mode ...]
 //! ```
 //!
 //! The `topk` subcommand ranks the best `k` closed patterns and composes
 //! with the gap/window constraint flags — gap-constrained top-k mining from
 //! the command line. `--stream` prints patterns incrementally through a
-//! `PatternSink` instead of materializing the result first.
+//! `PatternSink` instead of materializing the result first. `--threads N`
+//! mines on N worker threads (bit-identical output), and `--format json`
+//! switches the output to a JSON document containing the `MiningReport`
+//! and the reported patterns.
 
 use std::ops::ControlFlow;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rgs_core::{postprocess, GapConstraints, MinedPattern, Miner, Mode, PostProcessConfig};
+use rgs_core::{
+    json, postprocess, sort_patterns_for_report, CollectSink, GapConstraints, MinedPattern, Miner,
+    Mode, PostProcessConfig,
+};
 use seqdb::{io as seqio, SequenceDatabase};
 
 /// Parsed command-line options.
@@ -37,10 +43,12 @@ struct Options {
     max_window: Option<u32>,
     max_len: Option<usize>,
     max_patterns: Option<usize>,
+    threads: usize,
     top: usize,
     density: Option<f64>,
     maximal_filter: bool,
     stream: bool,
+    json_output: bool,
     demo: bool,
 }
 
@@ -65,10 +73,12 @@ impl Default for Options {
             max_window: None,
             max_len: None,
             max_patterns: None,
+            threads: 1,
             top: 20,
             density: None,
             maximal_filter: false,
             stream: false,
+            json_output: false,
             demo: false,
         }
     }
@@ -106,7 +116,7 @@ impl Options {
         if let Some(cap) = self.max_patterns {
             miner = miner.max_patterns(cap);
         }
-        miner
+        miner.threads(self.threads)
     }
 
     fn mode_label(&self) -> String {
@@ -165,6 +175,9 @@ fn main() -> ExitCode {
         eprintln!("# constraints: {}", constraints.describe());
     }
 
+    if options.json_output {
+        return run_json(&db, &options);
+    }
     if options.stream {
         return run_streaming(&db, &options);
     }
@@ -194,6 +207,47 @@ fn main() -> ExitCode {
     for mined in patterns.iter().take(options.top) {
         print_pattern(&db, mined);
     }
+    ExitCode::SUCCESS
+}
+
+/// `--format json`: one JSON document with the `MiningReport` (search
+/// statistics, truncation/cancellation flags) and the reported patterns,
+/// serialized with the workspace's hand-rolled JSON writer. The `--top`,
+/// `--density` and `--maximal` report filters apply as in text mode.
+fn run_json(db: &SequenceDatabase, options: &Options) -> ExitCode {
+    let mut collect = CollectSink::new();
+    let report = options.miner(db).run_with_sink(&mut collect);
+    let mut patterns = collect.into_patterns();
+    if options.density.is_some() || options.maximal_filter {
+        let pp = PostProcessConfig {
+            min_density: options.density.unwrap_or(0.0),
+            maximal_only: options.maximal_filter,
+            rank_by_length: true,
+        };
+        patterns = postprocess(&patterns, &pp);
+    } else {
+        sort_patterns_for_report(&mut patterns);
+    }
+    patterns.truncate(options.top);
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"mode\": {},\n",
+        json::escape(&options.mode_label())
+    ));
+    out.push_str(&format!("  \"report\": {},\n", report.to_json()));
+    out.push_str("  \"patterns\": [\n");
+    for (i, mined) in patterns.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pattern\": {}, \"support\": {}, \"len\": {}}}{}\n",
+            json::escape(&mined.pattern.render_with(db.catalog(), " ")),
+            mined.support,
+            mined.pattern.len(),
+            if i + 1 < patterns.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
     ExitCode::SUCCESS
 }
 
@@ -285,14 +339,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 return Ok(None);
             }
             "--input" | "-i" => options.input = Some(PathBuf::from(next_value(&mut i)?)),
-            "--format" | "-f" => {
-                options.format = match next_value(&mut i)?.as_str() {
-                    "tokens" => Format::Tokens,
-                    "spmf" => Format::Spmf,
-                    "chars" => Format::Chars,
-                    other => return Err(format!("unknown format '{other}'")),
-                }
-            }
+            "--format" | "-f" => match next_value(&mut i)?.as_str() {
+                "tokens" => options.format = Format::Tokens,
+                "spmf" => options.format = Format::Spmf,
+                "chars" => options.format = Format::Chars,
+                // Output selector: serialize the MiningReport and the
+                // patterns as one JSON document.
+                "json" => options.json_output = true,
+                other => return Err(format!("unknown format '{other}'")),
+            },
             "--min-sup" | "-s" => {
                 options.min_sup = parse_num(next_value(&mut i)?, "min-sup")?;
             }
@@ -336,6 +391,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 options.max_patterns =
                     Some(parse_num(next_value(&mut i)?, "max-patterns")? as usize);
             }
+            "--threads" | "-j" => {
+                options.threads = parse_num(next_value(&mut i)?, "threads")?.max(1) as usize;
+            }
             "--top" => {
                 options.top = parse_num(next_value(&mut i)?, "top")? as usize;
             }
@@ -356,6 +414,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if explicit_all && explicit_closed {
         return Err("--all and --closed are mutually exclusive".to_owned());
     }
+    if options.stream && options.json_output {
+        return Err(
+            "--stream and --format json are mutually exclusive (JSON output \
+                    materializes the full report)"
+                .to_owned(),
+        );
+    }
     Ok(Some(options))
 }
 
@@ -364,19 +429,25 @@ fn print_usage() {
         "rgs-mine: mine (closed) repetitive gapped subsequences\n\
          \n\
          usage:\n\
-           rgs-mine [mine] --input FILE [--format tokens|spmf|chars] --min-sup K\n\
+           rgs-mine [mine] --input FILE [--format tokens|spmf|chars|json] --min-sup K\n\
                     [--mode all|closed|maximal] [--closed|--all|--maximal-mode]\n\
                     [--min-gap G] [--max-gap G] [--max-window W]\n\
                     [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]\n\
-                    [--top T] [--density R] [--maximal] [--stream]\n\
-           rgs-mine topk --input FILE -k K [--min-sup FLOOR] [--max-gap G] ...\n\
+                    [--threads N] [--top T] [--density R] [--maximal] [--stream]\n\
+           rgs-mine topk --input FILE -k K [--min-sup FLOOR] [--threads N] ...\n\
            rgs-mine demo [--min-sup K] [--mode ...]\n\
          \n\
          subcommands:\n\
            mine   (default) mine the requested pattern family\n\
            topk   rank the k best closed patterns (composes with gap/window\n\
                   constraints: gap-constrained top-k mining)\n\
-           demo   run on the paper's running example (Table III)\n"
+           demo   run on the paper's running example (Table III)\n\
+         \n\
+         notable flags:\n\
+           --threads N     mine on N worker threads (default 1; the reported\n\
+                           patterns are bit-identical to a sequential run)\n\
+           --format json   emit one JSON document with the MiningReport and\n\
+                           the reported patterns instead of text output\n"
     );
 }
 
@@ -449,6 +520,44 @@ mod tests {
     fn demo_subcommand_equals_demo_flag() {
         assert!(parse(&["demo"]).demo);
         assert!(parse(&["--demo"]).demo);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_produces_identical_output() {
+        let options = parse(&["--demo", "--min-sup", "2", "--threads", "4"]);
+        assert_eq!(options.threads, 4);
+        let sequential = parse(&["--demo", "--min-sup", "2"]);
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        assert_eq!(
+            options.miner(&db).run().patterns,
+            sequential.miner(&db).run().patterns
+        );
+    }
+
+    #[test]
+    fn topk_accepts_threads_too() {
+        let options = parse(&["topk", "--demo", "-k", "5", "--threads", "2"]);
+        assert_eq!(options.threads, 2);
+        assert_eq!(options.top_k, Some(5));
+    }
+
+    #[test]
+    fn format_json_selects_json_output_without_clobbering_input_format() {
+        let options = parse(&["--demo", "--format", "json"]);
+        assert!(options.json_output);
+        assert_eq!(options.format, Format::Tokens);
+        let options = parse(&["--input", "x", "--format", "spmf", "--format", "json"]);
+        assert!(options.json_output);
+        assert_eq!(options.format, Format::Spmf);
+    }
+
+    #[test]
+    fn stream_and_json_output_are_mutually_exclusive() {
+        let args: Vec<String> = ["--demo", "--stream", "--format", "json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::closure::{ClosureChecker, ClosureStatus};
 use crate::config::MiningConfig;
 use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
-use crate::gsgrow::frequent_events;
 use crate::pattern::Pattern;
+use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
@@ -39,78 +39,98 @@ pub fn mine_closed(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcom
 /// returns [`ControlFlow::Break`]. Returns the search statistics (elapsed
 /// time is the caller's responsibility).
 pub(crate) fn mine_closed_streaming(
-    db: &SequenceDatabase,
+    prepared: PreparedRef<'_>,
     config: &MiningConfig,
     emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 ) -> MiningStats {
-    let sc = SupportComputer::new(db);
+    let sc = prepared.support_computer();
     let min_sup = config.effective_min_sup();
-    let events = frequent_events(&sc, db, min_sup);
+    let events = prepared.parts.frequent_events(min_sup);
     let checker = ClosureChecker::new(&sc, &events);
+    let mut stats = MiningStats::default();
+    for &seed in &events {
+        let (seed_stats, flow) =
+            mine_closed_seed(&sc, &checker, config, min_sup, &events, seed, emit);
+        stats.merge(&seed_stats);
+        if flow.is_break() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Mines the closed patterns of the DFS subtree rooted at `seed` (one
+/// iteration of Algorithm 4's outer loop). Like GSgrow's, the per-seed
+/// subtrees are fully independent — the closure and landmark-border checks
+/// only consult the (shared, immutable) database — so per-seed results can
+/// be concatenated in seed order to reproduce the sequential stream.
+pub(crate) fn mine_closed_seed(
+    sc: &SupportComputer<'_>,
+    checker: &ClosureChecker<'_, '_>,
+    config: &MiningConfig,
+    min_sup: u64,
+    events: &[EventId],
+    seed: EventId,
+    emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
+) -> (MiningStats, ControlFlow<()>) {
     let mut miner = CloGsGrow {
-        sc: &sc,
+        sc,
         config,
         min_sup,
-        frequent_events: events.clone(),
+        frequent_events: events,
         checker,
         stats: MiningStats::default(),
         stopped: false,
         emit,
     };
-    miner.run();
-    miner.stats
+    let support = miner.sc.initial_support_set(seed);
+    if support.support() >= min_sup {
+        let mut stack = vec![support];
+        miner.mine(Pattern::single(seed), &mut stack);
+        debug_assert_eq!(stack.len(), 1);
+    }
+    let flow = if miner.stopped {
+        ControlFlow::Break(())
+    } else {
+        ControlFlow::Continue(())
+    };
+    (miner.stats, flow)
 }
 
 struct CloGsGrow<'a, 'b, 'e> {
     sc: &'a SupportComputer<'b>,
     config: &'a MiningConfig,
     min_sup: u64,
-    frequent_events: Vec<EventId>,
-    checker: ClosureChecker<'a, 'b>,
+    frequent_events: &'a [EventId],
+    checker: &'a ClosureChecker<'a, 'b>,
     stats: MiningStats,
     stopped: bool,
     emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
 impl CloGsGrow<'_, '_, '_> {
-    fn run(&mut self) {
-        let events = self.frequent_events.clone();
-        for &event in &events {
-            if self.stopped {
-                break;
-            }
-            let support = self.sc.initial_support_set(event);
-            if support.support() >= self.min_sup {
-                let mut stack = vec![support];
-                self.mine(Pattern::single(event), &mut stack);
-                debug_assert_eq!(stack.len(), 1);
-            }
-        }
-    }
-
     /// Visits pattern `P` whose prefix support sets (including `P`'s own)
     /// are on `stack`.
     fn mine(&mut self, pattern: Pattern, stack: &mut Vec<SupportSet>) {
         self.stats.visited += 1;
         let support = stack.last().expect("stack holds P's support set").support();
 
-        // Compute the append children first: they are needed both for the
-        // closed/non-closed verdict (Theorem 4 covers append extensions) and
-        // for the recursion.
+        // Compute the append children unconditionally: even at the
+        // max_pattern_length cap (where they will not be recursed into) the
+        // closed/non-closed verdict needs `append_equal` — Theorem 4 covers
+        // append extensions.
         let mut children: Vec<(EventId, SupportSet)> = Vec::new();
         let mut append_equal = false;
-        if self.config.allows_growth(pattern.len()) || !self.frequent_events.is_empty() {
-            for &event in &self.frequent_events {
-                self.stats.instance_growths += 1;
-                let grown = self
-                    .sc
-                    .instance_growth(stack.last().expect("support set"), event);
-                if grown.support() == support {
-                    append_equal = true;
-                }
-                if grown.support() >= self.min_sup {
-                    children.push((event, grown));
-                }
+        for &event in self.frequent_events {
+            self.stats.instance_growths += 1;
+            let grown = self
+                .sc
+                .instance_growth(stack.last().expect("support set"), event);
+            if grown.support() == support {
+                append_equal = true;
+            }
+            if grown.support() >= self.min_sup {
+                children.push((event, grown));
             }
         }
 

@@ -18,6 +18,8 @@
 //! already on the stack, so only the events from `e'` onwards need to be
 //! re-grown (with early abort as soon as the support falls below `sup(P)`).
 
+use std::borrow::Cow;
+
 use seqdb::EventId;
 
 use crate::growth::SupportComputer;
@@ -46,7 +48,7 @@ pub struct ClosureChecker<'a, 'b> {
     sc: &'a SupportComputer<'b>,
     /// Candidate events for extensions, paired with their total occurrence
     /// count (an upper bound on any extension's support).
-    candidates: Vec<(EventId, u64)>,
+    candidates: Cow<'a, [(EventId, u64)]>,
 }
 
 impl<'a, 'b> ClosureChecker<'a, 'b> {
@@ -56,11 +58,28 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
     /// because an equal-support extension of a frequent pattern is itself
     /// frequent, hence so is the inserted event (Theorem 1).
     pub fn new(sc: &'a SupportComputer<'b>, frequent_events: &[EventId]) -> Self {
-        let candidates = frequent_events
+        let candidates: Vec<(EventId, u64)> = frequent_events
             .iter()
             .map(|&e| (e, sc.index().total_count(e) as u64))
             .collect();
-        Self { sc, candidates }
+        Self {
+            sc,
+            candidates: Cow::Owned(candidates),
+        }
+    }
+
+    /// Creates a checker borrowing a precomputed `(event, total
+    /// occurrences)` candidate table — used when the table outlives the
+    /// checker (the pull-based pattern stream rebuilds the checker per
+    /// step, O(1) with a borrowed table).
+    pub(crate) fn from_candidates(
+        sc: &'a SupportComputer<'b>,
+        candidates: &'a [(EventId, u64)],
+    ) -> Self {
+        Self {
+            sc,
+            candidates: Cow::Borrowed(candidates),
+        }
     }
 
     /// Runs the combined check for `pattern`.

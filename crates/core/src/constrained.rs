@@ -51,6 +51,7 @@ use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::instance::{Instance, Landmark};
 use crate::pattern::Pattern;
+use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
@@ -71,6 +72,12 @@ impl<'a> ConstrainedSupportComputer<'a> {
             sc: SupportComputer::new(db),
             constraints,
         }
+    }
+
+    /// Attaches `constraints` to an existing support computer (no index is
+    /// built — used to share a [`crate::PreparedDb`]'s index).
+    pub fn with_support_computer(sc: SupportComputer<'a>, constraints: GapConstraints) -> Self {
+        Self { sc, constraints }
     }
 
     /// The constraints this computer applies.
@@ -233,29 +240,58 @@ pub fn mine_all_constrained(
 /// search stops when `emit` returns [`ControlFlow::Break`]. Returns the
 /// search statistics (elapsed time is the caller's responsibility).
 pub(crate) fn mine_all_constrained_streaming(
-    db: &SequenceDatabase,
+    prepared: PreparedRef<'_>,
     config: &MiningConfig,
     constraints: GapConstraints,
     emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 ) -> MiningStats {
-    let csc = ConstrainedSupportComputer::new(db, constraints);
+    let csc =
+        ConstrainedSupportComputer::with_support_computer(prepared.support_computer(), constraints);
     let min_sup = config.effective_min_sup();
-    let frequent_events: Vec<EventId> = db
-        .catalog()
-        .ids()
-        .filter(|&e| csc.inner().index().total_count(e) as u64 >= min_sup)
-        .collect();
+    let events = prepared.parts.frequent_events(min_sup);
+    let mut stats = MiningStats::default();
+    for &seed in &events {
+        let (seed_stats, flow) =
+            mine_all_constrained_seed(&csc, config, min_sup, &events, seed, emit);
+        stats.merge(&seed_stats);
+        if flow.is_break() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Mines the constrained DFS subtree rooted at `seed` (one iteration of the
+/// constrained miner's outer loop). Subtrees of distinct seeds are
+/// independent, so per-seed emissions concatenated in seed order reproduce
+/// the sequential stream exactly.
+pub(crate) fn mine_all_constrained_seed(
+    csc: &ConstrainedSupportComputer<'_>,
+    config: &MiningConfig,
+    min_sup: u64,
+    events: &[EventId],
+    seed: EventId,
+    emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
+) -> (MiningStats, ControlFlow<()>) {
     let mut miner = ConstrainedMiner {
-        csc: &csc,
+        csc,
         config,
         min_sup,
-        frequent_events,
+        frequent_events: events,
         stats: MiningStats::default(),
         stopped: false,
         emit,
     };
-    miner.run();
-    miner.stats
+    let support = miner.csc.initial_support_set(seed);
+    if support.support() >= min_sup {
+        miner.mine(Pattern::single(seed), support);
+    }
+    let flow = if miner.stopped {
+        ControlFlow::Break(())
+    } else {
+        ControlFlow::Continue(())
+    };
+    (miner.stats, flow)
 }
 
 /// Mines the **closed** constrained-frequent patterns: the subset of
@@ -288,26 +324,13 @@ struct ConstrainedMiner<'a, 'b, 'e> {
     csc: &'a ConstrainedSupportComputer<'b>,
     config: &'a MiningConfig,
     min_sup: u64,
-    frequent_events: Vec<EventId>,
+    frequent_events: &'a [EventId],
     stats: MiningStats,
     stopped: bool,
     emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
 impl ConstrainedMiner<'_, '_, '_> {
-    fn run(&mut self) {
-        let events = self.frequent_events.clone();
-        for &event in &events {
-            if self.stopped {
-                break;
-            }
-            let support = self.csc.initial_support_set(event);
-            if support.support() >= self.min_sup {
-                self.mine(Pattern::single(event), support);
-            }
-        }
-    }
-
     fn mine(&mut self, pattern: Pattern, support: SupportSet) {
         self.stats.visited += 1;
         if (self.emit)(&pattern, &support).is_break() {
@@ -316,8 +339,8 @@ impl ConstrainedMiner<'_, '_, '_> {
         if self.stopped || !self.config.allows_growth(pattern.len()) {
             return;
         }
-        let events = self.frequent_events.clone();
-        for &event in &events {
+        let events = self.frequent_events;
+        for &event in events {
             if self.stopped {
                 return;
             }

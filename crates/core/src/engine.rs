@@ -14,7 +14,7 @@
 //!   for free.
 //! * [`MiningSession`] — a prepared request bound to a database; run it to
 //!   a [`MiningOutcome`], or stream it through a
-//!   [`PatternSink`](crate::sink::PatternSink) with
+//!   [`PatternSink`] with
 //!   [`MiningSession::run_with_sink`] for memory-bounded consumption and
 //!   cooperative cancellation.
 //!
@@ -41,22 +41,29 @@
 //! ```
 
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use std::time::Instant;
 
 use seqdb::SequenceDatabase;
 
-use crate::clogsgrow::mine_closed_streaming;
+use crate::clogsgrow::{mine_closed_seed, mine_closed_streaming};
+use crate::closure::ClosureChecker;
 use crate::config::MiningConfig;
-use crate::constrained::mine_all_constrained_streaming;
+use crate::constrained::{
+    mine_all_constrained_seed, mine_all_constrained_streaming, ConstrainedSupportComputer,
+};
 use crate::constraints::GapConstraints;
-use crate::gsgrow::mine_all_streaming;
+use crate::gsgrow::{mine_all_seed, mine_all_streaming};
 use crate::maximal::maximal_subset;
+use crate::parallel::fan_out_seeds;
 use crate::pattern::Pattern;
+use crate::prepared::{PreparedDb, PreparedParts, PreparedRef};
 use crate::reference::closed_subset;
 use crate::result::{MinedPattern, MiningOutcome, MiningStats};
 use crate::sink::{CollectSink, PatternSink};
+use crate::stream::PatternStream;
 use crate::support::SupportSet;
-use crate::topk::{run_top_k, TopKParams};
+use crate::topk::{run_top_k, run_top_k_parallel, TopKParams};
 
 /// Default `k` when [`Mode::TopK`] is selected without an explicit
 /// [`Miner::top_k`] call.
@@ -82,6 +89,45 @@ pub enum Mode {
     /// threshold). Equivalent to [`Mode::Closed`] plus [`Miner::top_k`];
     /// `k` defaults to [`DEFAULT_TOP_K`] unless set explicitly.
     TopK,
+}
+
+/// How a mining run executes: on the calling thread, or fanned out across
+/// scoped worker threads.
+///
+/// Parallel execution shards the frequent single-event seeds — the roots of
+/// the first-level DFS subtrees, which are fully independent — across
+/// `std::thread::scope` workers. Each worker mines its subtrees into a
+/// local buffer and the buffers are merged **in seed order**, so the
+/// reported pattern list is bit-identical to the sequential one in every
+/// mode. Top-k runs additionally share the dynamic support floor across
+/// workers through an atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionPolicy {
+    /// Everything runs on the calling thread (the default). This is also
+    /// the only mode in which a [`PatternSink`] observes patterns
+    /// incrementally during the search.
+    #[default]
+    Sequential,
+    /// Seed subtrees are mined on up to `threads` scoped worker threads
+    /// (`0` means one worker per available CPU). Results are buffered and
+    /// merged deterministically; sinks observe them only after the merge.
+    Parallel {
+        /// Worker-thread count; `0` = `std::thread::available_parallelism`.
+        threads: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// The number of worker threads this policy resolves to (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        match *self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::Parallel { threads: 0 } => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ExecutionPolicy::Parallel { threads } => threads.max(1),
+        }
+    }
 }
 
 /// The plain-data description of one mining run. Build it through
@@ -113,6 +159,10 @@ pub struct MiningRequest {
     /// Ablation switch: disable the landmark border pruning of Theorem 5
     /// (closed mining only; the mined set is identical either way).
     pub use_landmark_pruning: bool,
+    /// Sequential or parallel execution. The reported patterns are
+    /// bit-identical either way; only wall-clock time (and incremental sink
+    /// delivery) differ.
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for MiningRequest {
@@ -127,6 +177,7 @@ impl Default for MiningRequest {
             max_patterns: None,
             keep_support_sets: false,
             use_landmark_pruning: true,
+            execution: ExecutionPolicy::Sequential,
         }
     }
 }
@@ -150,8 +201,10 @@ impl MiningRequest {
         }
     }
 
-    /// The legacy [`MiningConfig`] equivalent of this request's DFS knobs.
-    fn to_config(&self) -> MiningConfig {
+    /// The legacy [`MiningConfig`] equivalent of this request's DFS knobs
+    /// (`max_patterns` stays `None`: capping is the emission gate's job,
+    /// both in the engine and in the pattern stream).
+    pub(crate) fn to_config(&self) -> MiningConfig {
         MiningConfig {
             min_sup: self.min_sup,
             max_pattern_length: self.max_pattern_length,
@@ -162,27 +215,90 @@ impl MiningRequest {
     }
 }
 
+/// Where a mining run gets its (prepared) database from.
+///
+/// `Raw` is the lazy path of [`Miner::new`]: the query-independent parts
+/// (index, occurrence counts, event order) are prepared on every run.
+/// `Prepared`/`Shared` borrow a [`PreparedDb`] snapshot, so runs skip the
+/// preparation entirely.
+#[derive(Debug, Clone)]
+pub(crate) enum DbHandle<'a> {
+    Raw(&'a SequenceDatabase),
+    Prepared(&'a PreparedDb),
+    Shared(Arc<PreparedDb>),
+}
+
+impl DbHandle<'_> {
+    fn database(&self) -> &SequenceDatabase {
+        match self {
+            DbHandle::Raw(db) => db,
+            DbHandle::Prepared(prepared) => prepared.database(),
+            DbHandle::Shared(prepared) => prepared.database(),
+        }
+    }
+}
+
 /// Builder for a mining run over one database: the canonical entry point of
 /// this crate. See the [module docs](self) for an example.
 #[derive(Debug, Clone)]
 pub struct Miner<'a> {
-    db: &'a SequenceDatabase,
+    db: DbHandle<'a>,
     request: MiningRequest,
 }
 
 impl<'a> Miner<'a> {
     /// Starts a builder with default options: `min_sup = 2`, closed mining,
-    /// no constraints, no ranking, no caps.
+    /// no constraints, no ranking, no caps, sequential execution.
+    ///
+    /// This path prepares the database lazily on every run. When the same
+    /// database serves several queries, prepare once — [`Miner::prepare`]
+    /// or [`PreparedDb::new`] — and build miners with
+    /// [`Miner::from_prepared`] / [`PreparedDb::miner`] instead.
     pub fn new(db: &'a SequenceDatabase) -> Self {
         Self {
-            db,
+            db: DbHandle::Raw(db),
             request: MiningRequest::default(),
         }
     }
 
-    /// Binds an existing request to a database.
+    /// Starts a builder executing against a prepared snapshot: runs borrow
+    /// `prepared` and skip all per-run preparation.
+    pub fn from_prepared(prepared: &'a PreparedDb) -> Self {
+        Self {
+            db: DbHandle::Prepared(prepared),
+            request: MiningRequest::default(),
+        }
+    }
+
+    /// Starts a builder co-owning a shared prepared snapshot — the handle
+    /// for concurrent multi-query traffic (the returned miner is `'static`
+    /// and can move into worker threads).
+    pub fn from_shared(prepared: Arc<PreparedDb>) -> Miner<'static> {
+        Miner {
+            db: DbHandle::Shared(prepared),
+            request: MiningRequest::default(),
+        }
+    }
+
+    /// Binds an existing request to a database (lazy preparation, like
+    /// [`Miner::new`]).
     pub fn from_request(db: &'a SequenceDatabase, request: MiningRequest) -> Self {
-        Self { db, request }
+        Self {
+            db: DbHandle::Raw(db),
+            request,
+        }
+    }
+
+    /// Prepares the underlying database into an owned [`PreparedDb`]
+    /// snapshot (the two-phase flow: prepare once, then run many queries
+    /// against it via [`PreparedDb::miner`]). The current builder options
+    /// are not carried over; they describe queries, not the snapshot.
+    pub fn prepare(&self) -> PreparedDb {
+        match &self.db {
+            DbHandle::Raw(db) => PreparedDb::new(db),
+            DbHandle::Prepared(prepared) => (*prepared).clone(),
+            DbHandle::Shared(prepared) => prepared.as_ref().clone(),
+        }
     }
 
     /// Imports the DFS knobs of a legacy [`MiningConfig`] (threshold, caps,
@@ -253,6 +369,25 @@ impl<'a> Miner<'a> {
         self
     }
 
+    /// Sets the execution policy (see [`ExecutionPolicy`]).
+    pub fn execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.request.execution = execution;
+        self
+    }
+
+    /// Shorthand: mine on `threads` worker threads (`<= 1` selects
+    /// sequential execution, `0` is **not** auto here — use
+    /// [`Miner::execution`] with [`ExecutionPolicy::Parallel`] for that).
+    /// Output is bit-identical to sequential execution.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.request.execution = if threads <= 1 {
+            ExecutionPolicy::Sequential
+        } else {
+            ExecutionPolicy::Parallel { threads }
+        };
+        self
+    }
+
     /// The request built so far.
     pub fn request(&self) -> &MiningRequest {
         &self.request
@@ -291,11 +426,32 @@ pub struct MiningReport {
     pub cancelled: bool,
 }
 
+impl MiningReport {
+    /// Serializes the report as a JSON object (hand-rolled — the workspace
+    /// carries no serialization dependency; see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"emitted\": {}, \"truncated\": {}, \"cancelled\": {}, \"stats\": \
+             {{\"visited\": {}, \"instance_growths\": {}, \"non_closed_filtered\": {}, \
+             \"landmark_border_prunes\": {}, \"elapsed_seconds\": {:.6}}}}}",
+            self.emitted,
+            self.truncated,
+            self.cancelled,
+            self.stats.visited,
+            self.stats.instance_growths,
+            self.stats.non_closed_filtered,
+            self.stats.landmark_border_prunes,
+            self.stats.elapsed_seconds,
+        )
+    }
+}
+
 /// A prepared mining request bound to a database. Obtained from
-/// [`Miner::session`]; can be run repeatedly.
+/// [`Miner::session`]; can be run repeatedly, streamed through a sink, or
+/// pulled from as an iterator via [`MiningSession::stream`].
 #[derive(Debug, Clone)]
 pub struct MiningSession<'a> {
-    db: &'a SequenceDatabase,
+    pub(crate) db: DbHandle<'a>,
     request: MiningRequest,
 }
 
@@ -307,7 +463,21 @@ impl MiningSession<'_> {
 
     /// The database this session mines.
     pub fn database(&self) -> &SequenceDatabase {
-        self.db
+        self.db.database()
+    }
+
+    /// Returns a pull-based iterator over the patterns this session would
+    /// report, in the same order as [`MiningSession::run`].
+    ///
+    /// For the incrementally streamable configurations (`All`/`Closed`
+    /// without constraints, constrained `All`, sequential execution) the
+    /// search advances lazily, one pattern per [`Iterator::next`] call —
+    /// dropping the stream abandons the rest of the search, so `take`,
+    /// `find`, and friends early-exit for free. Other configurations
+    /// (ranked, maximal, closed-constrained, parallel execution) need a
+    /// global pass and are materialized up front, then iterated.
+    pub fn stream(&self) -> PatternStream<'_> {
+        PatternStream::new(self)
     }
 
     /// Runs the request and materializes the result into a
@@ -325,11 +495,28 @@ impl MiningSession<'_> {
 
     /// Runs the request, pushing every reported pattern through `sink` as
     /// it is found (incrementally for `All`/`Closed` without constraints
-    /// and for constrained `All`; after the necessary global filter for
-    /// closed-constrained, maximal, and ranked runs). The sink can cancel
-    /// at any emission point by returning [`ControlFlow::Break`].
+    /// and for constrained `All` under sequential execution; after the
+    /// necessary global filter — or the deterministic parallel merge — for
+    /// everything else). The sink can cancel at any emission point by
+    /// returning [`ControlFlow::Break`].
     pub fn run_with_sink(&self, sink: &mut dyn PatternSink) -> MiningReport {
         let start = Instant::now();
+        let parts_storage;
+        let prepared: PreparedRef<'_> = match &self.db {
+            DbHandle::Raw(db) => {
+                parts_storage = PreparedParts::build(db);
+                PreparedRef {
+                    db,
+                    parts: &parts_storage,
+                }
+            }
+            DbHandle::Prepared(prepared) => prepared.as_prepared_ref(),
+            DbHandle::Shared(prepared) => {
+                let prepared: &PreparedDb = prepared;
+                prepared.as_prepared_ref()
+            }
+        };
+
         let req = &self.request;
         let config = req.to_config();
         let mut gate = EmitGate {
@@ -342,39 +529,60 @@ impl MiningSession<'_> {
             cancelled: false,
         };
 
+        let threads = req.execution.effective_threads();
         let mut stats = if req.is_ranked() {
-            let (patterns, stats, truncated) = self.collect_ranked(&config);
+            let (patterns, stats, truncated) = self.collect_ranked(prepared, &config, threads);
             gate.truncated |= truncated;
             gate.drain(patterns);
             stats
         } else {
             match (req.base_mode(), req.constraints.is_unbounded()) {
+                // The three incrementally streamable modes: parallel runs
+                // buffer per seed and drain the deterministic merge; the
+                // global-filter modes below are thread-aware through their
+                // basis collectors.
+                (Mode::All, true) | (Mode::Closed, true) | (Mode::All, false) if threads > 1 => {
+                    let (patterns, stats) = self.mine_merged_parallel(
+                        prepared,
+                        &config,
+                        threads,
+                        req.base_mode(),
+                        req.min_len,
+                        req.keep_support_sets,
+                        req.max_patterns,
+                    );
+                    gate.drain(patterns);
+                    stats
+                }
                 (Mode::All, true) => {
-                    mine_all_streaming(self.db, &config, &mut |p, s| gate.emit(p, s))
+                    mine_all_streaming(prepared, &config, &mut |p, s| gate.emit(p, s))
                 }
                 (Mode::Closed, true) => {
-                    mine_closed_streaming(self.db, &config, &mut |p, s| gate.emit(p, s))
+                    mine_closed_streaming(prepared, &config, &mut |p, s| gate.emit(p, s))
                 }
                 (Mode::All, false) => mine_all_constrained_streaming(
-                    self.db,
+                    prepared,
                     &config,
                     req.constraints,
                     &mut |p, s| gate.emit(p, s),
                 ),
                 (Mode::Maximal, true) => {
-                    let (patterns, stats, truncated) = self.collect_closed_basis(&config);
+                    let (patterns, stats, truncated) =
+                        self.collect_closed_basis(prepared, &config, threads);
                     gate.truncated |= truncated;
                     gate.drain(maximal_subset(&patterns));
                     stats
                 }
                 (Mode::Closed, false) => {
-                    let (patterns, stats, truncated) = self.collect_constrained_basis(&config);
+                    let (patterns, stats, truncated) =
+                        self.collect_constrained_basis(prepared, &config, threads);
                     gate.truncated |= truncated;
                     gate.drain(closed_subset(&patterns));
                     stats
                 }
                 (Mode::Maximal, false) => {
-                    let (patterns, stats, truncated) = self.collect_constrained_basis(&config);
+                    let (patterns, stats, truncated) =
+                        self.collect_constrained_basis(prepared, &config, threads);
                     gate.truncated |= truncated;
                     gate.drain(maximal_subset(&patterns));
                     stats
@@ -392,9 +600,102 @@ impl MiningSession<'_> {
         }
     }
 
+    /// Fans the frequent seeds of one streaming mode (`All`/`Closed`
+    /// unbounded, constrained `All`) out across workers and returns the
+    /// merged pattern list in sequential emission order.
+    ///
+    /// `min_len`, `keep`, and the per-seed `cap` mirror the emission gate:
+    /// within a single seed's buffer only the first `cap` patterns can ever
+    /// be emitted globally (earlier seeds can only push them further back),
+    /// so capping each buffer bounds memory without changing the output.
+    #[allow(clippy::too_many_arguments)] // internal dispatch, not an API
+    fn mine_merged_parallel(
+        &self,
+        prepared: PreparedRef<'_>,
+        config: &MiningConfig,
+        threads: usize,
+        mode: Mode,
+        min_len: usize,
+        keep: bool,
+        cap: Option<usize>,
+    ) -> (Vec<MinedPattern>, MiningStats) {
+        let req = &self.request;
+        let min_sup = config.effective_min_sup();
+        let events = prepared.parts.frequent_events(min_sup);
+        let sc = prepared.support_computer();
+        let unbounded = req.constraints.is_unbounded();
+        let checker = if mode == Mode::Closed {
+            Some(ClosureChecker::new(&sc, &events))
+        } else {
+            None
+        };
+        let csc = if unbounded {
+            None
+        } else {
+            Some(ConstrainedSupportComputer::with_support_computer(
+                prepared.support_computer(),
+                req.constraints,
+            ))
+        };
+
+        let buffers = fan_out_seeds(threads, events.len(), |i| {
+            let seed = events[i];
+            let mut patterns: Vec<MinedPattern> = Vec::new();
+            let mut emit = |p: &Pattern, s: &SupportSet| -> ControlFlow<()> {
+                if p.len() < min_len {
+                    return ControlFlow::Continue(());
+                }
+                let mut mined = MinedPattern::new(p.clone(), s.support());
+                if keep {
+                    mined.support_set = Some(s.clone());
+                }
+                patterns.push(mined);
+                if cap.is_some_and(|c| patterns.len() >= c) {
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            };
+            let (stats, _) = match (mode, unbounded) {
+                (Mode::All, true) => mine_all_seed(&sc, config, min_sup, &events, seed, &mut emit),
+                (Mode::Closed, true) => mine_closed_seed(
+                    &sc,
+                    checker.as_ref().expect("closed checker"),
+                    config,
+                    min_sup,
+                    &events,
+                    seed,
+                    &mut emit,
+                ),
+                (Mode::All, false) => mine_all_constrained_seed(
+                    csc.as_ref().expect("constrained computer"),
+                    config,
+                    min_sup,
+                    &events,
+                    seed,
+                    &mut emit,
+                ),
+                _ => unreachable!("only streaming modes are merged in parallel"),
+            };
+            (patterns, stats)
+        });
+
+        let mut stats = MiningStats::default();
+        let mut merged = Vec::new();
+        for (patterns, seed_stats) in buffers {
+            stats.merge(&seed_stats);
+            merged.extend(patterns);
+        }
+        (merged, stats)
+    }
+
     /// Ranked runs: the best `k` patterns of the base mode, sorted by
     /// support, then length, then lexicographically.
-    fn collect_ranked(&self, config: &MiningConfig) -> (Vec<MinedPattern>, MiningStats, bool) {
+    fn collect_ranked(
+        &self,
+        prepared: PreparedRef<'_>,
+        config: &MiningConfig,
+        threads: usize,
+    ) -> (Vec<MinedPattern>, MiningStats, bool) {
         let req = &self.request;
         let k = req.effective_k();
         if k == 0 {
@@ -412,16 +713,20 @@ impl MiningSession<'_> {
                 max_pattern_length: req.max_pattern_length,
                 keep_support_sets: req.keep_support_sets,
             };
-            let (patterns, stats) = run_top_k(self.db, &params);
+            let (patterns, stats) = if threads > 1 {
+                run_top_k_parallel(prepared, &params, threads)
+            } else {
+                run_top_k(prepared, &params)
+            };
             return (patterns, stats, false);
         }
         // General path (constrained and/or maximal): materialize the base
         // family, rank, truncate. A truncated basis means the ranking may
         // have missed better patterns, so the flag must propagate.
         let (basis, stats, truncated) = if req.constraints.is_unbounded() {
-            self.collect_closed_basis(config)
+            self.collect_closed_basis(prepared, config, threads)
         } else {
-            self.collect_constrained_basis(config)
+            self.collect_constrained_basis(prepared, config, threads)
         };
         let mut patterns = match req.base_mode() {
             Mode::All => basis,
@@ -434,24 +739,35 @@ impl MiningSession<'_> {
             Mode::TopK => unreachable!("base_mode never returns TopK"),
         };
         patterns.retain(|mp| mp.pattern.len() >= self.request.min_len);
-        patterns.sort_by(|a, b| {
-            b.support
-                .cmp(&a.support)
-                .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
-                .then_with(|| a.pattern.cmp(&b.pattern))
-        });
+        crate::result::sort_patterns_for_report(&mut patterns);
         patterns.truncate(k);
         (patterns, stats, truncated)
     }
 
     /// Runs CloGSgrow, collecting the closed set as the basis for maximal
-    /// filtering. Honors the pattern cap mid-search for safety.
+    /// filtering. Honors the pattern cap mid-search for safety (sequential)
+    /// or by truncating the deterministic merge to the same prefix
+    /// (parallel).
     fn collect_closed_basis(
         &self,
+        prepared: PreparedRef<'_>,
         config: &MiningConfig,
+        threads: usize,
     ) -> (Vec<MinedPattern>, MiningStats, bool) {
+        if threads > 1 {
+            let (patterns, stats) = self.mine_merged_parallel(
+                prepared,
+                config,
+                threads,
+                Mode::Closed,
+                0,
+                config.keep_support_sets,
+                self.request.max_patterns,
+            );
+            return cap_basis(patterns, stats, self.request.max_patterns);
+        }
         let mut collector = Collector::new(config, self.request.max_patterns);
-        let stats = mine_closed_streaming(self.db, config, &mut |p, s| collector.emit(p, s));
+        let stats = mine_closed_streaming(prepared, config, &mut |p, s| collector.emit(p, s));
         (collector.patterns, stats, collector.truncated)
     }
 
@@ -461,17 +777,47 @@ impl MiningSession<'_> {
     /// the sound construction — see [`crate::constrained`]).
     fn collect_constrained_basis(
         &self,
+        prepared: PreparedRef<'_>,
         config: &MiningConfig,
+        threads: usize,
     ) -> (Vec<MinedPattern>, MiningStats, bool) {
+        if threads > 1 {
+            let (patterns, stats) = self.mine_merged_parallel(
+                prepared,
+                config,
+                threads,
+                Mode::All,
+                0,
+                config.keep_support_sets,
+                self.request.max_patterns,
+            );
+            return cap_basis(patterns, stats, self.request.max_patterns);
+        }
         let mut collector = Collector::new(config, self.request.max_patterns);
         let stats = mine_all_constrained_streaming(
-            self.db,
+            prepared,
             config,
             self.request.constraints,
             &mut |p, s| collector.emit(p, s),
         );
         (collector.patterns, stats, collector.truncated)
     }
+}
+
+/// Applies the uniform pattern cap to a merged parallel basis: the
+/// sequential collector stops exactly at `cap` patterns in DFS order, so
+/// truncating the seed-ordered merge to the same prefix (and flagging it)
+/// reproduces its result bit for bit.
+fn cap_basis(
+    mut patterns: Vec<MinedPattern>,
+    stats: MiningStats,
+    cap: Option<usize>,
+) -> (Vec<MinedPattern>, MiningStats, bool) {
+    let truncated = cap.is_some_and(|c| patterns.len() >= c);
+    if let Some(c) = cap {
+        patterns.truncate(c);
+    }
+    (patterns, stats, truncated)
 }
 
 /// Internal collector used for basis runs (closed set for maximal mining,
@@ -858,6 +1204,197 @@ mod tests {
             let set = mp.support_set.as_ref().expect("support set requested");
             assert_eq!(set.support(), mp.support);
         }
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_across_modes() {
+        let db = running_example();
+        for mode in [Mode::All, Mode::Closed, Mode::Maximal, Mode::TopK] {
+            for constraints in [GapConstraints::unbounded(), GapConstraints::max_gap(2)] {
+                let sequential = Miner::new(&db)
+                    .min_sup(2)
+                    .mode(mode)
+                    .constraints(constraints)
+                    .keep_support_sets()
+                    .run();
+                for threads in [2, 3, 8] {
+                    let parallel = Miner::new(&db)
+                        .min_sup(2)
+                        .mode(mode)
+                        .constraints(constraints)
+                        .keep_support_sets()
+                        .threads(threads)
+                        .run();
+                    assert_eq!(
+                        sequential.patterns,
+                        parallel.patterns,
+                        "{mode:?} with {} diverges at {threads} threads",
+                        constraints.describe()
+                    );
+                    assert_eq!(sequential.truncated, parallel.truncated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_respects_caps_and_truncation() {
+        let db = running_example();
+        for mode in [Mode::All, Mode::Closed, Mode::Maximal] {
+            let sequential = Miner::new(&db).min_sup(1).mode(mode).max_patterns(4).run();
+            let parallel = Miner::new(&db)
+                .min_sup(1)
+                .mode(mode)
+                .max_patterns(4)
+                .threads(4)
+                .run();
+            assert_eq!(sequential.patterns, parallel.patterns, "{mode:?}");
+            assert!(parallel.truncated, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn prepared_db_reuse_matches_fresh_runs() {
+        let db = running_example();
+        let prepared = Miner::new(&db).prepare();
+        for min_sup in [1, 2, 3] {
+            for mode in [Mode::All, Mode::Closed, Mode::Maximal, Mode::TopK] {
+                let fresh = Miner::new(&db).min_sup(min_sup).mode(mode).run();
+                let reused = prepared.miner().min_sup(min_sup).mode(mode).run();
+                assert_eq!(
+                    fresh.patterns, reused.patterns,
+                    "{mode:?} at min_sup {min_sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prepared_db_serves_concurrent_queries() {
+        let db = running_example();
+        let prepared = std::sync::Arc::new(PreparedDb::new(&db));
+        let expected = prepared.miner().min_sup(2).mode(Mode::Closed).run();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&prepared);
+                std::thread::spawn(move || {
+                    Miner::from_shared(shared)
+                        .min_sup(2)
+                        .mode(Mode::Closed)
+                        .run()
+                        .patterns
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), expected.patterns);
+        }
+    }
+
+    #[test]
+    fn stream_yields_the_materialized_sequence_for_every_mode() {
+        let db = running_example();
+        for mode in [Mode::All, Mode::Closed, Mode::Maximal, Mode::TopK] {
+            for constraints in [GapConstraints::unbounded(), GapConstraints::max_gap(2)] {
+                let session = Miner::new(&db)
+                    .min_sup(2)
+                    .mode(mode)
+                    .constraints(constraints)
+                    .session();
+                let pulled: Vec<MinedPattern> = session.stream().collect();
+                assert_eq!(
+                    pulled,
+                    session.run().patterns,
+                    "{mode:?} with {}",
+                    constraints.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_early_exit_and_gates() {
+        let db = running_example();
+        let session = Miner::new(&db).min_sup(2).mode(Mode::All).session();
+        let full = session.run();
+        // `take` early-exits without running the full search.
+        let prefix: Vec<MinedPattern> = session.stream().take(3).collect();
+        assert_eq!(prefix.as_slice(), &full.patterns[..3]);
+
+        // min_len and max_patterns behave exactly like the push path.
+        let gated_session = Miner::new(&db)
+            .min_sup(2)
+            .mode(Mode::All)
+            .min_len(2)
+            .max_patterns(3)
+            .session();
+        let mut stream = gated_session.stream();
+        let gated: Vec<MinedPattern> = stream.by_ref().collect();
+        assert_eq!(gated, gated_session.run().patterns);
+        assert!(stream.truncated());
+        assert_eq!(stream.emitted(), 3);
+
+        // Support sets ride along when requested.
+        let kept_session = Miner::new(&db)
+            .min_sup(2)
+            .mode(Mode::Closed)
+            .keep_support_sets()
+            .session();
+        for mined in kept_session.stream() {
+            let set = mined.support_set.as_ref().expect("support set requested");
+            assert_eq!(set.support(), mined.support);
+        }
+    }
+
+    #[test]
+    fn stream_over_prepared_and_shared_sources() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let expected = prepared.miner().min_sup(2).mode(Mode::Closed).run();
+        let borrowed_session = prepared.miner().min_sup(2).mode(Mode::Closed).session();
+        assert_eq!(
+            borrowed_session.stream().collect::<Vec<_>>(),
+            expected.patterns
+        );
+        let shared_session = Miner::from_shared(std::sync::Arc::new(prepared))
+            .min_sup(2)
+            .mode(Mode::Closed)
+            .session();
+        assert_eq!(
+            shared_session.stream().collect::<Vec<_>>(),
+            expected.patterns
+        );
+    }
+
+    #[test]
+    fn execution_policy_resolves_thread_counts() {
+        assert_eq!(ExecutionPolicy::Sequential.effective_threads(), 1);
+        assert_eq!(
+            ExecutionPolicy::Parallel { threads: 5 }.effective_threads(),
+            5
+        );
+        assert!(ExecutionPolicy::Parallel { threads: 0 }.effective_threads() >= 1);
+        let req = Miner::new(&running_example()).threads(1).request().clone();
+        assert_eq!(req.execution, ExecutionPolicy::Sequential);
+    }
+
+    #[test]
+    fn mining_report_serializes_to_json() {
+        let db = running_example();
+        let mut sink = CountSink::new();
+        let report = Miner::new(&db)
+            .min_sup(2)
+            .mode(Mode::Closed)
+            .run_with_sink(&mut sink);
+        let json = report.to_json();
+        assert!(json.contains("\"emitted\""));
+        assert!(json.contains("\"visited\""));
+        assert!(json.contains("\"elapsed_seconds\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
     }
 
     #[test]

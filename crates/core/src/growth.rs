@@ -17,25 +17,48 @@ use crate::support::{reconstruct_landmarks_impl, SupportSet};
 ///
 /// Building the inverted index costs one pass over the data; a
 /// `SupportComputer` lets callers amortize that cost across many support
-/// queries (the miners build one internally).
+/// queries (the miners build one internally). The index can be owned
+/// ([`SupportComputer::new`], [`SupportComputer::with_index`]) or borrowed
+/// from a longer-lived snapshot such as a
+/// [`PreparedDb`](crate::PreparedDb) ([`SupportComputer::borrowed`], O(1)).
 #[derive(Debug)]
 pub struct SupportComputer<'a> {
     db: &'a SequenceDatabase,
-    index: InvertedIndex,
+    index: IndexHandle<'a>,
+}
+
+/// Owned-or-borrowed storage for the inverted index.
+#[derive(Debug)]
+enum IndexHandle<'a> {
+    Owned(InvertedIndex),
+    Borrowed(&'a InvertedIndex),
 }
 
 impl<'a> SupportComputer<'a> {
     /// Builds the inverted index for `db` and wraps both.
     pub fn new(db: &'a SequenceDatabase) -> Self {
         Self {
-            index: db.inverted_index(),
+            index: IndexHandle::Owned(db.inverted_index()),
             db,
         }
     }
 
     /// Wraps a database together with a pre-built index.
     pub fn with_index(db: &'a SequenceDatabase, index: InvertedIndex) -> Self {
-        Self { db, index }
+        Self {
+            db,
+            index: IndexHandle::Owned(index),
+        }
+    }
+
+    /// Wraps a database together with a borrowed pre-built index — O(1), no
+    /// index construction. This is how queries share the index owned by a
+    /// [`PreparedDb`](crate::PreparedDb).
+    pub fn borrowed(db: &'a SequenceDatabase, index: &'a InvertedIndex) -> Self {
+        Self {
+            db,
+            index: IndexHandle::Borrowed(index),
+        }
     }
 
     /// The underlying database.
@@ -45,7 +68,10 @@ impl<'a> SupportComputer<'a> {
 
     /// The underlying inverted index.
     pub fn index(&self) -> &InvertedIndex {
-        &self.index
+        match &self.index {
+            IndexHandle::Owned(index) => index,
+            IndexHandle::Borrowed(index) => index,
+        }
     }
 
     /// The leftmost support set of the single-event pattern `event`: every
@@ -53,7 +79,7 @@ impl<'a> SupportComputer<'a> {
     /// line 3 of Algorithm 3).
     pub fn initial_support_set(&self, event: EventId) -> SupportSet {
         let mut set = SupportSet::new();
-        for (seq, positions) in self.index.sequences_with_event(event) {
+        for (seq, positions) in self.index().sequences_with_event(event) {
             for &pos in positions {
                 set.push(Instance::new(seq as u32, pos, pos));
             }
@@ -90,7 +116,7 @@ impl<'a> SupportComputer<'a> {
             let mut last_position = 0u32;
             for instance in instances {
                 let lowest = last_position.max(instance.last);
-                match self.index.next(seq, event, lowest) {
+                match self.index().next(seq, event, lowest) {
                     Some(pos) => {
                         last_position = pos;
                         grown.push(Instance::new(instance.seq, instance.first, pos));
@@ -138,7 +164,7 @@ impl<'a> SupportComputer<'a> {
     /// The leftmost support set with full landmarks (positions of every
     /// pattern event), for reporting and verification.
     pub fn support_landmarks(&self, pattern: &Pattern) -> Vec<Landmark> {
-        reconstruct_landmarks_impl(self.db, &self.index, pattern)
+        reconstruct_landmarks_impl(self.db, self.index(), pattern)
     }
 }
 

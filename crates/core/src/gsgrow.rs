@@ -16,6 +16,7 @@ use crate::config::MiningConfig;
 use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
 use crate::pattern::Pattern;
+use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
@@ -35,22 +36,57 @@ pub fn mine_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
 /// stops when `emit` returns [`ControlFlow::Break`]. Returns the search
 /// statistics (elapsed time is the caller's responsibility).
 pub(crate) fn mine_all_streaming(
-    db: &SequenceDatabase,
+    prepared: PreparedRef<'_>,
     config: &MiningConfig,
     emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 ) -> MiningStats {
-    let sc = SupportComputer::new(db);
+    let sc = prepared.support_computer();
+    let min_sup = config.effective_min_sup();
+    let events = prepared.parts.frequent_events(min_sup);
+    let mut stats = MiningStats::default();
+    for &seed in &events {
+        let (seed_stats, flow) = mine_all_seed(&sc, config, min_sup, &events, seed, emit);
+        stats.merge(&seed_stats);
+        if flow.is_break() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Mines the complete DFS subtree rooted at the single-event pattern
+/// `seed` (one iteration of Algorithm 3's outer loop). Subtrees of distinct
+/// seeds are independent, which is what makes first-level parallelism
+/// deterministic: running the seeds in any order and concatenating the
+/// per-seed emissions in seed order reproduces the sequential stream
+/// exactly.
+pub(crate) fn mine_all_seed(
+    sc: &SupportComputer<'_>,
+    config: &MiningConfig,
+    min_sup: u64,
+    events: &[EventId],
+    seed: EventId,
+    emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
+) -> (MiningStats, ControlFlow<()>) {
     let mut miner = GsGrow {
-        sc: &sc,
+        sc,
         config,
-        min_sup: config.effective_min_sup(),
-        frequent_events: frequent_events(&sc, db, config.effective_min_sup()),
+        min_sup,
+        frequent_events: events,
         stats: MiningStats::default(),
         stopped: false,
         emit,
     };
-    miner.run();
-    miner.stats
+    let support = miner.sc.initial_support_set(seed);
+    if support.support() >= min_sup {
+        miner.mine_fre(Pattern::single(seed), support);
+    }
+    let flow = if miner.stopped {
+        ControlFlow::Break(())
+    } else {
+        ControlFlow::Continue(())
+    };
+    (miner.stats, flow)
 }
 
 /// The single events whose repetitive support (total occurrence count)
@@ -70,26 +106,13 @@ struct GsGrow<'a, 'b, 'e> {
     sc: &'a SupportComputer<'b>,
     config: &'a MiningConfig,
     min_sup: u64,
-    frequent_events: Vec<EventId>,
+    frequent_events: &'a [EventId],
     stats: MiningStats,
     stopped: bool,
     emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
 impl GsGrow<'_, '_, '_> {
-    fn run(&mut self) {
-        let events = self.frequent_events.clone();
-        for &event in &events {
-            if self.stopped {
-                break;
-            }
-            let support = self.sc.initial_support_set(event);
-            if support.support() >= self.min_sup {
-                self.mine_fre(Pattern::single(event), support);
-            }
-        }
-    }
-
     /// `mineFre(SeqDB, P, I)`: emits `P` and recursively grows it.
     fn mine_fre(&mut self, pattern: Pattern, support: SupportSet) {
         self.stats.visited += 1;
@@ -99,8 +122,8 @@ impl GsGrow<'_, '_, '_> {
         if self.stopped || !self.config.allows_growth(pattern.len()) {
             return;
         }
-        let events = self.frequent_events.clone();
-        for &event in &events {
+        let events = self.frequent_events;
+        for &event in events {
             if self.stopped {
                 return;
             }

@@ -1,0 +1,40 @@
+//! Minimal hand-rolled JSON writing helpers.
+//!
+//! The workspace is fully offline (no serde); every crate that emits JSON
+//! — the bench reports, the CLI's `--format json` mode — shares these
+//! helpers so string escaping exists exactly once.
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_characters() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -20,16 +20,20 @@
 //!   mining ([`constrained`]), top-k mining ([`topk`]), and maximal pattern
 //!   mining ([`maximal`]).
 //!
-//! # Quick start — the `Miner` engine
+//! # Quick start — prepare once, query many
 //!
-//! All of the above is driven through one composable entry point, the
-//! [`Miner`] builder. Mode (all/closed/maximal/top-k), gap and window
-//! constraints, top-k ranking, length/pattern caps, support-set retention,
-//! and pruning ablations are orthogonal options that combine freely:
+//! The engine separates the query-independent setup (interning, the §III-D
+//! inverted event index, the frequent-event counts) from per-query
+//! execution. [`PreparedDb::new`] performs the setup exactly once into an
+//! immutable, `Arc`-shareable snapshot; the [`Miner`] builder then
+//! describes and runs queries against it. Mode (all/closed/maximal/top-k),
+//! gap and window constraints, top-k ranking, length/pattern caps,
+//! support-set retention, pruning ablations, and sequential/parallel
+//! execution are orthogonal options that combine freely:
 //!
 //! ```
 //! use seqdb::SequenceDatabase;
-//! use rgs_core::{GapConstraints, Miner, Mode, repetitive_support};
+//! use rgs_core::{GapConstraints, Miner, Mode, PreparedDb, repetitive_support};
 //!
 //! // Example 1.1 of the paper.
 //! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
@@ -40,13 +44,25 @@
 //! assert_eq!(repetitive_support(&db, &ab), 4);
 //! assert_eq!(repetitive_support(&db, &cd), 2);
 //!
-//! // Mine every frequent pattern with support >= 2, and the closed subset.
-//! let all = Miner::new(&db).min_sup(2).mode(Mode::All).run();
-//! let closed = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
+//! // Phase 1: prepare once. Phase 2: every query borrows the snapshot.
+//! let prepared = PreparedDb::new(&db);
+//! let all = prepared.miner().min_sup(2).mode(Mode::All).run();
+//! let closed = prepared.miner().min_sup(2).mode(Mode::Closed).run();
 //! assert!(closed.patterns.len() <= all.patterns.len());
 //!
+//! // Parallel execution fans the DFS seeds across scoped threads and
+//! // merges deterministically — the output is bit-identical:
+//! let parallel = prepared
+//!     .miner()
+//!     .min_sup(2)
+//!     .mode(Mode::Closed)
+//!     .threads(4)
+//!     .run();
+//! assert_eq!(closed.patterns, parallel.patterns);
+//!
 //! // Orthogonal options compose — e.g. gap-constrained top-k mining:
-//! let best = Miner::new(&db)
+//! let best = prepared
+//!     .miner()
 //!     .min_sup(1)
 //!     .mode(Mode::Closed)
 //!     .constraints(GapConstraints::max_gap(2))
@@ -56,12 +72,17 @@
 //! assert!(best.len() <= 3);
 //! ```
 //!
-//! # Streaming
+//! One-shot callers can skip phase 1: [`Miner::new`] borrows a bare
+//! [`SequenceDatabase`](seqdb::SequenceDatabase) and prepares lazily on
+//! each run.
 //!
-//! Results can be consumed incrementally through a [`PatternSink`] instead
-//! of materializing a `Vec` — the memory-bounded path for long DNA/log
-//! sequences, with cooperative cancellation via
-//! [`ControlFlow`](std::ops::ControlFlow):
+//! # Streaming — push and pull
+//!
+//! Results can be consumed incrementally through a push-based
+//! [`PatternSink`] (cooperative cancellation via
+//! [`ControlFlow`](std::ops::ControlFlow)) or pulled lazily from a
+//! [`PatternStream`] iterator — both are memory-bounded paths for long
+//! DNA/log sequences:
 //!
 //! ```
 //! use std::ops::ControlFlow;
@@ -69,6 +90,8 @@
 //! use rgs_core::{MinedPattern, Miner, Mode};
 //!
 //! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+//!
+//! // Push: a sink sees patterns as they are found and can cancel.
 //! let mut count = 0usize;
 //! let report = Miner::new(&db).min_sup(2).mode(Mode::All).run_with_sink(
 //!     &mut |_p: MinedPattern| {
@@ -77,6 +100,12 @@
 //!     },
 //! );
 //! assert_eq!(report.emitted, count);
+//!
+//! // Pull: `session.stream()` composes with iterator adapters, and
+//! // dropping the stream abandons the rest of the search.
+//! let session = Miner::new(&db).min_sup(2).mode(Mode::All).session();
+//! let longest = session.stream().take(5).max_by_key(|mp| mp.pattern.len());
+//! assert!(longest.is_some());
 //! ```
 //!
 //! The six free functions of the 0.1 API ([`mine_all`], [`mine_closed`],
@@ -96,12 +125,16 @@ pub mod engine;
 pub mod growth;
 pub mod gsgrow;
 pub mod instance;
+pub mod json;
 pub mod maximal;
+mod parallel;
 pub mod pattern;
 pub mod postprocess;
+pub mod prepared;
 pub mod reference;
 pub mod result;
 pub mod sink;
+pub mod stream;
 pub mod support;
 pub mod topk;
 
@@ -113,7 +146,9 @@ pub use constrained::{
     constrained_support, mine_all_constrained, mine_closed_constrained, ConstrainedSupportComputer,
 };
 pub use constraints::GapConstraints;
-pub use engine::{Miner, MiningReport, MiningRequest, MiningSession, Mode, DEFAULT_TOP_K};
+pub use engine::{
+    ExecutionPolicy, Miner, MiningReport, MiningRequest, MiningSession, Mode, DEFAULT_TOP_K,
+};
 pub use growth::{instance_growth, repetitive_support, support_set, SupportComputer};
 #[allow(deprecated)]
 pub use gsgrow::mine_all;
@@ -122,8 +157,10 @@ pub use instance::{Instance, Landmark};
 pub use maximal::{is_maximal, mine_maximal};
 pub use pattern::Pattern;
 pub use postprocess::{postprocess, PostProcessConfig};
-pub use result::{MinedPattern, MiningOutcome, MiningStats};
+pub use prepared::PreparedDb;
+pub use result::{sort_patterns_for_report, MinedPattern, MiningOutcome, MiningStats};
 pub use sink::{BudgetSink, CollectSink, CountSink, DeadlineSink, PatternSink};
+pub use stream::PatternStream;
 pub use support::SupportSet;
 #[allow(deprecated)]
 pub use topk::{mine_top_k, TopKConfig};

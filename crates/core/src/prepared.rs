@@ -1,0 +1,239 @@
+//! The prepared-database snapshot: "prepare once, query many".
+//!
+//! Every mining run needs the same setup work regardless of the query:
+//! interning, the inverted event index of §III-D, and the per-event
+//! occurrence counts behind the frequent-event scan of Algorithms 3 and 4.
+//! [`PreparedDb`] performs that work exactly once and owns the result — the
+//! event catalog, the sequences, the [`InvertedIndex`], the occurrence
+//! counts, and the frequency-pruned event order — as an immutable snapshot
+//! that any number of queries (and threads: the snapshot is `Send + Sync`
+//! and `Arc`-shareable) can borrow.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use seqdb::SequenceDatabase;
+//! use rgs_core::{Miner, Mode, PreparedDb};
+//!
+//! let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+//! let prepared = Arc::new(PreparedDb::new(&db));
+//!
+//! // Many queries, one preparation:
+//! let closed = prepared.miner().min_sup(2).mode(Mode::Closed).run();
+//! let all = prepared.miner().min_sup(3).mode(Mode::All).run();
+//! assert!(all.len() <= closed.len() + 100);
+//!
+//! // Concurrent queries share the snapshot through `Arc`:
+//! let worker = Arc::clone(&prepared);
+//! let handle = std::thread::spawn(move || {
+//!     Miner::from_shared(worker).min_sup(2).run().len()
+//! });
+//! assert_eq!(handle.join().unwrap(), closed.len());
+//! ```
+
+use seqdb::{EventCatalog, EventId, InvertedIndex, SequenceDatabase};
+
+use crate::engine::Miner;
+use crate::growth::SupportComputer;
+
+/// The query-independent artifacts derived from a database: the inverted
+/// index, the per-event occurrence counts, and the frequency-pruned event
+/// order. Shared by [`PreparedDb`] (which owns its database) and the lazy
+/// path of [`Miner::new`] (which borrows the caller's database and prepares
+/// these parts per run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PreparedParts {
+    /// The inverted event index of §III-D.
+    pub index: InvertedIndex,
+    /// `occurrence_counts[event.index()]` = total occurrences of `event`,
+    /// i.e. the repetitive support of the single-event pattern.
+    pub occurrence_counts: Vec<u64>,
+    /// The events that occur at least once, in catalog order — the
+    /// candidate order every DFS iterates, so pattern emission order is
+    /// identical no matter how the database was prepared.
+    pub event_order: Vec<EventId>,
+}
+
+impl PreparedParts {
+    /// Builds the parts in one pass over `db`.
+    pub fn build(db: &SequenceDatabase) -> Self {
+        let index = db.inverted_index();
+        let occurrence_counts = index.total_counts();
+        let event_order = db
+            .catalog()
+            .ids()
+            .filter(|e| occurrence_counts[e.index()] > 0)
+            .collect();
+        Self {
+            index,
+            occurrence_counts,
+            event_order,
+        }
+    }
+
+    /// The events whose total occurrence count reaches `min_sup`, in
+    /// catalog order — the frequent single events of Algorithm 3, line 1,
+    /// answered from the precomputed counts without touching the index.
+    pub fn frequent_events(&self, min_sup: u64) -> Vec<EventId> {
+        self.event_order
+            .iter()
+            .copied()
+            .filter(|e| self.occurrence_counts[e.index()] >= min_sup)
+            .collect()
+    }
+}
+
+/// A borrowed view of a database plus its prepared parts: what the mining
+/// cores actually run against. `Copy`, so it threads freely through the
+/// DFS and across `std::thread::scope` workers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PreparedRef<'a> {
+    pub db: &'a SequenceDatabase,
+    pub parts: &'a PreparedParts,
+}
+
+impl<'a> PreparedRef<'a> {
+    /// A borrowed-index support computer over this view (O(1): no index is
+    /// built).
+    pub fn support_computer(self) -> SupportComputer<'a> {
+        SupportComputer::borrowed(self.db, &self.parts.index)
+    }
+}
+
+/// An immutable, `Arc`-shareable snapshot of a database prepared for
+/// mining: the catalog and sequences, the inverted event index, the
+/// per-event occurrence counts, and the frequency-pruned event order.
+///
+/// Build it once with [`PreparedDb::new`] (or [`Miner::prepare`]), then run
+/// any number of queries against it through [`PreparedDb::miner`],
+/// [`Miner::from_prepared`], or [`Miner::from_shared`]. Queries only borrow
+/// the snapshot, so one `PreparedDb` behind an `Arc` can serve concurrent
+/// requests from many threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedDb {
+    db: SequenceDatabase,
+    parts: PreparedParts,
+}
+
+impl PreparedDb {
+    /// Prepares a snapshot of `db`: clones the catalog and sequences, builds
+    /// the inverted index, and precomputes the occurrence counts and the
+    /// frequency-pruned event order.
+    pub fn new(db: &SequenceDatabase) -> Self {
+        Self::from_database(db.clone())
+    }
+
+    /// Prepares a snapshot taking ownership of `db` (no clone).
+    pub fn from_database(db: SequenceDatabase) -> Self {
+        let parts = PreparedParts::build(&db);
+        Self { db, parts }
+    }
+
+    /// The snapshotted database.
+    pub fn database(&self) -> &SequenceDatabase {
+        &self.db
+    }
+
+    /// The snapshotted event catalog.
+    pub fn catalog(&self) -> &EventCatalog {
+        self.db.catalog()
+    }
+
+    /// The inverted event index built at preparation time.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.parts.index
+    }
+
+    /// Total occurrences of `event` (the repetitive support of the
+    /// single-event pattern), answered from the precomputed counts.
+    pub fn occurrence_count(&self, event: EventId) -> u64 {
+        self.parts
+            .occurrence_counts
+            .get(event.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The events whose occurrence count reaches `min_sup`, in catalog
+    /// order — the per-query frequent-event scan, reduced to a filter over
+    /// the precomputed counts.
+    pub fn frequent_events(&self, min_sup: u64) -> Vec<EventId> {
+        self.parts.frequent_events(min_sup.max(1))
+    }
+
+    /// A support computer borrowing this snapshot's index (O(1); compare
+    /// [`SupportComputer::new`], which builds a fresh index).
+    pub fn support_computer(&self) -> SupportComputer<'_> {
+        self.as_prepared_ref().support_computer()
+    }
+
+    /// Starts a [`Miner`] builder executing against this snapshot.
+    pub fn miner(&self) -> Miner<'_> {
+        Miner::from_prepared(self)
+    }
+
+    pub(crate) fn as_prepared_ref(&self) -> PreparedRef<'_> {
+        PreparedRef {
+            db: &self.db,
+            parts: &self.parts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsgrow::frequent_events;
+    use seqdb::DatabaseBuilder;
+
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    #[test]
+    fn occurrence_counts_match_the_index() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        for event in db.catalog().ids() {
+            assert_eq!(
+                prepared.occurrence_count(event),
+                prepared.index().total_count(event) as u64
+            );
+        }
+        assert_eq!(prepared.occurrence_count(EventId(99)), 0);
+    }
+
+    #[test]
+    fn frequent_events_match_the_legacy_scan() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let sc = SupportComputer::new(&db);
+        for min_sup in [1, 2, 3, 5, 6] {
+            assert_eq!(
+                prepared.frequent_events(min_sup),
+                frequent_events(&sc, &db, min_sup),
+                "min_sup = {min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_order_prunes_catalog_entries_that_never_occur() {
+        let mut builder = DatabaseBuilder::new();
+        builder.intern("GHOST");
+        builder.push_tokens(["A", "B", "A"]);
+        let db = builder.finish();
+        let prepared = PreparedDb::new(&db);
+        let ghost = db.catalog().id("GHOST").unwrap();
+        assert!(!prepared.frequent_events(1).contains(&ghost));
+        assert_eq!(prepared.frequent_events(1).len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_the_source_database() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        drop(db);
+        assert_eq!(prepared.database().num_sequences(), 2);
+        assert!(!prepared.frequent_events(2).is_empty());
+    }
+}

@@ -56,6 +56,17 @@ impl MiningStats {
     pub fn set_elapsed(&mut self, elapsed: Duration) {
         self.elapsed_seconds = elapsed.as_secs_f64();
     }
+
+    /// Accumulates another run's work counters into this one (elapsed time
+    /// is excluded: wall-clock time is the enclosing run's responsibility).
+    /// Used to combine per-seed statistics, sequentially or across parallel
+    /// workers.
+    pub fn merge(&mut self, other: &MiningStats) {
+        self.visited += other.visited;
+        self.instance_growths += other.instance_growths;
+        self.non_closed_filtered += other.non_closed_filtered;
+        self.landmark_border_prunes += other.landmark_border_prunes;
+    }
 }
 
 /// The outcome of a mining run: the patterns found plus run statistics.
@@ -105,12 +116,7 @@ impl MiningOutcome {
     /// Sorts the patterns by descending support, then by descending length,
     /// then lexicographically — a stable, human-friendly report order.
     pub fn sort_for_report(&mut self) {
-        self.patterns.sort_by(|a, b| {
-            b.support
-                .cmp(&a.support)
-                .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
-                .then_with(|| a.pattern.cmp(&b.pattern))
-        });
+        sort_patterns_for_report(&mut self.patterns);
     }
 
     /// Renders the top `limit` patterns with `catalog`, one per line.
@@ -122,6 +128,19 @@ impl MiningOutcome {
             .collect::<Vec<_>>()
             .join("\n")
     }
+}
+
+/// The canonical report order shared by every surface (materialized
+/// outcomes, ranked/top-k results, CLI output): descending support, then
+/// descending length, then lexicographic on the pattern events. There is
+/// exactly one definition so the orders cannot drift apart.
+pub fn sort_patterns_for_report(patterns: &mut [MinedPattern]) {
+    patterns.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
+            .then_with(|| a.pattern.cmp(&b.pattern))
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,472 @@
+//! Pull-based pattern streams: consume a mining run as an [`Iterator`].
+//!
+//! [`PatternStream`] is the pull counterpart of the push-based
+//! [`PatternSink`](crate::sink::PatternSink): instead of handing the engine
+//! a callback, callers pull one [`MinedPattern`] at a time and compose with
+//! ordinary iterator adapters. Dropping the stream abandons the rest of the
+//! search, so `take(n)`, `find`, or an early `break` cancel mining without
+//! writing a sink.
+//!
+//! For the configurations the engine can emit incrementally — `All` and
+//! `Closed` without gap constraints, and constrained `All`, under
+//! sequential execution — the stream drives an explicit-stack version of
+//! the same DFS and does only as much search as has been pulled. The
+//! remaining configurations (ranked, maximal, closed-constrained, parallel
+//! execution) require a global pass; those are materialized on stream
+//! creation and then iterated. In every case the yielded sequence is
+//! identical to [`MiningOutcome::patterns`](crate::MiningOutcome).
+//!
+//! ```
+//! use seqdb::SequenceDatabase;
+//! use rgs_core::{Miner, Mode};
+//!
+//! let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+//! let session = Miner::new(&db).min_sup(2).mode(Mode::All).session();
+//!
+//! // Lazy pull: only as much DFS runs as the adapter consumes.
+//! let first_three: Vec<String> = session
+//!     .stream()
+//!     .take(3)
+//!     .map(|mp| mp.pattern.render(db.catalog()))
+//!     .collect();
+//! assert_eq!(first_three.len(), 3);
+//! assert_eq!(first_three, {
+//!     let full = session.run();
+//!     full.patterns[..3]
+//!         .iter()
+//!         .map(|mp| mp.pattern.render(db.catalog()))
+//!         .collect::<Vec<_>>()
+//! });
+//! ```
+
+use std::iter::FusedIterator;
+use std::sync::Arc;
+
+use seqdb::{EventId, SequenceDatabase};
+
+use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::config::MiningConfig;
+use crate::constrained::ConstrainedSupportComputer;
+use crate::constraints::GapConstraints;
+use crate::engine::{DbHandle, MiningSession, Mode};
+use crate::pattern::Pattern;
+use crate::prepared::{PreparedDb, PreparedParts, PreparedRef};
+use crate::result::MinedPattern;
+use crate::support::SupportSet;
+
+/// A pull-based iterator over the patterns of one mining run, in engine
+/// emission order. Created by [`MiningSession::stream`].
+pub struct PatternStream<'a> {
+    state: StreamState<'a>,
+    min_len: usize,
+    keep: bool,
+    cap: Option<usize>,
+    emitted: usize,
+    truncated: bool,
+    done: bool,
+}
+
+/// Where a lazy stream's prepared database lives. The DFS machines below
+/// hold no references into it — they receive a fresh [`PreparedRef`] on
+/// every step — so the stream can own the preparation without
+/// self-reference. Buffered streams never construct one (their run has
+/// already resolved the database), so raw sources are prepared at most
+/// once per stream.
+enum StreamSource<'a> {
+    /// Lazily prepared from a borrowed raw database ([`crate::Miner::new`]).
+    Raw {
+        db: &'a SequenceDatabase,
+        parts: PreparedParts,
+    },
+    /// Borrowing a caller-owned [`PreparedDb`].
+    Prepared(&'a PreparedDb),
+    /// Co-owning a shared snapshot.
+    Shared(Arc<PreparedDb>),
+}
+
+impl<'a> StreamSource<'a> {
+    fn new(session: &MiningSession<'a>) -> Self {
+        match &session.db {
+            DbHandle::Raw(db) => StreamSource::Raw {
+                db,
+                parts: PreparedParts::build(db),
+            },
+            DbHandle::Prepared(prepared) => StreamSource::Prepared(prepared),
+            DbHandle::Shared(prepared) => StreamSource::Shared(Arc::clone(prepared)),
+        }
+    }
+
+    fn prepared_ref(&self) -> PreparedRef<'_> {
+        match self {
+            StreamSource::Raw { db, parts } => PreparedRef { db, parts },
+            StreamSource::Prepared(prepared) => prepared.as_prepared_ref(),
+            StreamSource::Shared(prepared) => prepared.as_prepared_ref(),
+        }
+    }
+}
+
+enum StreamState<'a> {
+    /// Explicit-stack GSgrow DFS (plain or gap-constrained).
+    LazyAll(StreamSource<'a>, LazyAll),
+    /// Explicit-stack CloGSgrow DFS.
+    LazyClosed(StreamSource<'a>, LazyClosed),
+    /// Materialized result for configurations that need a global pass.
+    Buffered(std::vec::IntoIter<MinedPattern>),
+}
+
+impl<'a> PatternStream<'a> {
+    pub(crate) fn new(session: &'a MiningSession<'a>) -> Self {
+        let request = session.request();
+        let sequential = request.execution.effective_threads() <= 1;
+        let lazy_mode = if request.is_ranked() || !sequential {
+            None
+        } else {
+            match (request.base_mode(), request.constraints.is_unbounded()) {
+                (Mode::All, _) => Some(Mode::All),
+                (Mode::Closed, true) => Some(Mode::Closed),
+                _ => None,
+            }
+        };
+
+        let (state, truncated) = match lazy_mode {
+            Some(mode) => {
+                let source = StreamSource::new(session);
+                let prepared = source.prepared_ref();
+                let config = request.to_config();
+                let min_sup = config.effective_min_sup();
+                let events = prepared.parts.frequent_events(min_sup);
+                let state = if mode == Mode::Closed {
+                    let candidates = events
+                        .iter()
+                        .map(|&e| (e, prepared.parts.occurrence_counts[e.index()]))
+                        .collect();
+                    let machine = LazyClosed {
+                        config,
+                        min_sup,
+                        events,
+                        candidates,
+                        next_seed: 0,
+                        stack: Vec::new(),
+                        sup_stack: Vec::new(),
+                    };
+                    StreamState::LazyClosed(source, machine)
+                } else {
+                    let machine = LazyAll {
+                        constraints: request.constraints,
+                        config,
+                        min_sup,
+                        events,
+                        next_seed: 0,
+                        stack: Vec::new(),
+                    };
+                    StreamState::LazyAll(source, machine)
+                };
+                (state, false)
+            }
+            None => {
+                let outcome = session.run();
+                (
+                    StreamState::Buffered(outcome.patterns.into_iter()),
+                    outcome.truncated,
+                )
+            }
+        };
+
+        // The buffered path has already applied the gate inside `run()`;
+        // only lazy streams filter here.
+        let gated = matches!(
+            state,
+            StreamState::LazyAll(..) | StreamState::LazyClosed(..)
+        );
+        PatternStream {
+            state,
+            min_len: if gated { request.min_len } else { 0 },
+            keep: request.keep_support_sets,
+            cap: if gated { request.max_patterns } else { None },
+            emitted: 0,
+            truncated,
+            done: false,
+        }
+    }
+
+    /// How many patterns the stream has yielded so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// `true` when the stream stopped because `max_patterns` was reached
+    /// (for materialized configurations: whether the underlying run was
+    /// truncated).
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+impl Iterator for PatternStream<'_> {
+    type Item = MinedPattern;
+
+    fn next(&mut self) -> Option<MinedPattern> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let candidate = match &mut self.state {
+                StreamState::LazyAll(source, lazy) => lazy.advance(source.prepared_ref()),
+                StreamState::LazyClosed(source, lazy) => lazy.advance(source.prepared_ref()),
+                StreamState::Buffered(iter) => {
+                    let mined = iter.next();
+                    if mined.is_none() {
+                        self.done = true;
+                    } else {
+                        self.emitted += 1;
+                    }
+                    return mined;
+                }
+            };
+            let Some((pattern, support)) = candidate else {
+                self.done = true;
+                return None;
+            };
+            if pattern.len() < self.min_len {
+                continue;
+            }
+            let mut mined = MinedPattern::new(pattern, support.support());
+            if self.keep {
+                mined.support_set = Some(support);
+            }
+            self.emitted += 1;
+            if self.cap.is_some_and(|c| self.emitted >= c) {
+                self.truncated = true;
+                self.done = true;
+            }
+            return Some(mined);
+        }
+    }
+}
+
+impl FusedIterator for PatternStream<'_> {}
+
+impl std::fmt::Debug for PatternStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatternStream")
+            .field("emitted", &self.emitted)
+            .field("truncated", &self.truncated)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One node of the explicit-stack GSgrow DFS: the pattern, its leftmost
+/// support set, and the next candidate extension event to try.
+struct AllFrame {
+    pattern: Pattern,
+    support: SupportSet,
+    next_child: usize,
+}
+
+/// Explicit-stack form of the GSgrow recursion (Algorithm 3), one emitted
+/// pattern per [`LazyAll::advance`] call. Holds no references into the
+/// prepared database, so the stream can own both.
+struct LazyAll {
+    constraints: GapConstraints,
+    config: MiningConfig,
+    min_sup: u64,
+    events: Vec<EventId>,
+    next_seed: usize,
+    stack: Vec<AllFrame>,
+}
+
+impl LazyAll {
+    fn advance(&mut self, prepared: PreparedRef<'_>) -> Option<(Pattern, SupportSet)> {
+        // With unbounded constraints the constrained growth degenerates to
+        // exactly Algorithm 2, so one grower serves both dispatch arms.
+        let csc = ConstrainedSupportComputer::with_support_computer(
+            prepared.support_computer(),
+            self.constraints,
+        );
+        loop {
+            if self.stack.is_empty() {
+                // Next seed subtree.
+                let seed = loop {
+                    if self.next_seed >= self.events.len() {
+                        return None;
+                    }
+                    let event = self.events[self.next_seed];
+                    self.next_seed += 1;
+                    let support = csc.initial_support_set(event);
+                    if support.support() >= self.min_sup {
+                        break (event, support);
+                    }
+                };
+                let (event, support) = seed;
+                let pattern = Pattern::single(event);
+                self.stack.push(AllFrame {
+                    pattern: pattern.clone(),
+                    support: support.clone(),
+                    next_child: 0,
+                });
+                return Some((pattern, support));
+            }
+
+            let top = self.stack.last_mut().expect("non-empty stack");
+            if !self.config.allows_growth(top.pattern.len()) {
+                self.stack.pop();
+                continue;
+            }
+            let mut next = None;
+            while top.next_child < self.events.len() {
+                let event = self.events[top.next_child];
+                top.next_child += 1;
+                let grown = csc.instance_growth(&top.support, event);
+                if grown.support() >= self.min_sup {
+                    next = Some((top.pattern.grow(event), grown));
+                    break;
+                }
+            }
+            match next {
+                Some((pattern, support)) => {
+                    self.stack.push(AllFrame {
+                        pattern: pattern.clone(),
+                        support: support.clone(),
+                        next_child: 0,
+                    });
+                    return Some((pattern, support));
+                }
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// One node of the explicit-stack CloGSgrow DFS: the pattern, its frequent
+/// append children (computed at visit time for the closure verdict), and
+/// the next child to descend into. The node's own support set lives on the
+/// parallel `sup_stack` (the checker needs the whole prefix stack).
+struct ClosedFrame {
+    pattern: Pattern,
+    children: Vec<(EventId, SupportSet)>,
+    next_child: usize,
+}
+
+/// What visiting one closed-DFS node produced.
+enum Visit {
+    /// Subtree pruned by landmark border checking: nothing was pushed.
+    Pruned,
+    /// Node entered (frame pushed); `Some` when the pattern is closed and
+    /// must be emitted.
+    Entered(Option<(Pattern, SupportSet)>),
+}
+
+/// Explicit-stack form of the CloGSgrow recursion (Algorithm 4).
+struct LazyClosed {
+    config: MiningConfig,
+    min_sup: u64,
+    events: Vec<EventId>,
+    /// `(event, total occurrences)` for the closure checker, precomputed so
+    /// each step builds the checker in O(1).
+    candidates: Vec<(EventId, u64)>,
+    next_seed: usize,
+    stack: Vec<ClosedFrame>,
+    sup_stack: Vec<SupportSet>,
+}
+
+impl LazyClosed {
+    fn advance(&mut self, prepared: PreparedRef<'_>) -> Option<(Pattern, SupportSet)> {
+        let sc = prepared.support_computer();
+        loop {
+            if self.stack.is_empty() {
+                let (event, support) = loop {
+                    if self.next_seed >= self.events.len() {
+                        return None;
+                    }
+                    let event = self.events[self.next_seed];
+                    self.next_seed += 1;
+                    let support = sc.initial_support_set(event);
+                    if support.support() >= self.min_sup {
+                        break (event, support);
+                    }
+                };
+                match self.visit(&sc, Pattern::single(event), support) {
+                    Visit::Pruned => continue,
+                    Visit::Entered(Some(emit)) => return Some(emit),
+                    Visit::Entered(None) => continue,
+                }
+            }
+
+            let top = self.stack.last_mut().expect("non-empty stack");
+            if !self.config.allows_growth(top.pattern.len()) || top.next_child >= top.children.len()
+            {
+                self.stack.pop();
+                self.sup_stack.pop();
+                continue;
+            }
+            let (event, grown) = {
+                let child = &mut top.children[top.next_child];
+                top.next_child += 1;
+                (child.0, std::mem::take(&mut child.1))
+            };
+            let pattern = top.pattern.grow(event);
+            match self.visit(&sc, pattern, grown) {
+                Visit::Pruned => continue,
+                Visit::Entered(Some(emit)) => return Some(emit),
+                Visit::Entered(None) => continue,
+            }
+        }
+    }
+
+    /// Visits one node: computes its append children, runs the combined
+    /// closure / landmark-border check, and pushes the node's frame unless
+    /// the subtree is pruned. Mirrors `CloGsGrow::mine` line for line.
+    fn visit(
+        &mut self,
+        sc: &crate::growth::SupportComputer<'_>,
+        pattern: Pattern,
+        support: SupportSet,
+    ) -> Visit {
+        let checker = ClosureChecker::from_candidates(sc, &self.candidates);
+        let sup = support.support();
+        self.sup_stack.push(support);
+
+        // Children are computed unconditionally: even at the length cap the
+        // closure verdict needs `append_equal` (Theorem 4 covers append
+        // extensions) — mirrors `CloGsGrow::mine`.
+        let mut children: Vec<(EventId, SupportSet)> = Vec::new();
+        let mut append_equal = false;
+        for &event in &self.events {
+            let grown = sc.instance_growth(self.sup_stack.last().expect("support set"), event);
+            if grown.support() == sup {
+                append_equal = true;
+            }
+            if grown.support() >= self.min_sup {
+                children.push((event, grown));
+            }
+        }
+
+        match checker.check(&pattern, &self.sup_stack, append_equal) {
+            ClosureStatus::Prune if self.config.use_landmark_pruning => {
+                self.sup_stack.pop();
+                Visit::Pruned
+            }
+            ClosureStatus::Prune | ClosureStatus::NonClosed => {
+                self.stack.push(ClosedFrame {
+                    pattern,
+                    children,
+                    next_child: 0,
+                });
+                Visit::Entered(None)
+            }
+            ClosureStatus::Closed => {
+                let emit_support = self.sup_stack.last().expect("support set").clone();
+                let emit = (pattern.clone(), emit_support);
+                self.stack.push(ClosedFrame {
+                    pattern,
+                    children,
+                    next_child: 0,
+                });
+                Visit::Entered(Some(emit))
+            }
+        }
+    }
+}

@@ -13,14 +13,16 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use seqdb::{EventId, SequenceDatabase};
 
 use crate::closure::{ClosureChecker, ClosureStatus};
 use crate::engine::{Miner, Mode};
 use crate::growth::SupportComputer;
-use crate::gsgrow::frequent_events;
+use crate::parallel::fan_out_seeds;
 use crate::pattern::Pattern;
+use crate::prepared::PreparedRef;
 use crate::result::{MinedPattern, MiningOutcome, MiningStats};
 use crate::support::SupportSet;
 
@@ -128,26 +130,27 @@ pub(crate) struct TopKParams {
 /// truncated top-k list plus search statistics. Elapsed time is the
 /// caller's responsibility.
 pub(crate) fn run_top_k(
-    db: &SequenceDatabase,
+    prepared: PreparedRef<'_>,
     params: &TopKParams,
 ) -> (Vec<MinedPattern>, MiningStats) {
     let mut stats = MiningStats::default();
     if params.k == 0 {
         return (Vec::new(), stats);
     }
-    let sc = SupportComputer::new(db);
-    let events = frequent_events(&sc, db, params.min_sup_floor.max(1));
+    let sc = prepared.support_computer();
+    let events = prepared.parts.frequent_events(params.min_sup_floor.max(1));
     let checker = ClosureChecker::new(&sc, &events);
     let mut state = TopKState {
         sc: &sc,
-        checker,
+        checker: &checker,
         params,
-        events: events.clone(),
+        events: &events,
         // Min-heap over the supports currently occupying top-k slots.
         heap: BinaryHeap::new(),
         collected: Vec::new(),
         visited: 0,
         growths: 0,
+        shared_floor: None,
     };
     for &event in &events {
         let support = sc.initial_support_set(event);
@@ -158,34 +161,92 @@ pub(crate) fn run_top_k(
     }
     stats.visited = state.visited;
     stats.instance_growths = state.growths;
-    let mut collected = state.collected;
-    collected.sort_by(|a, b| {
-        b.support
-            .cmp(&a.support)
-            .then_with(|| b.pattern.len().cmp(&a.pattern.len()))
-            .then_with(|| a.pattern.cmp(&b.pattern))
+    let collected = state.collected;
+    (finish_top_k(collected, params.k), stats)
+}
+
+/// Parallel dynamic-threshold top-k: seed subtrees are fanned out across
+/// workers that share the current support floor through an atomic.
+///
+/// Each worker keeps a *local* top-k heap; whenever its heap holds `k`
+/// entries, its k-th best support is a lower bound on the global k-th best
+/// (a subset's k-th largest never exceeds the superset's), so publishing it
+/// via `fetch_max` only ever prunes subtrees that cannot reach the final
+/// top-k. Every pattern with support at or above the true k-th best is
+/// therefore collected by some worker, and the final sort under the total
+/// report order (support desc, length desc, lexicographic) makes the merged
+/// result bit-identical to the sequential one.
+pub(crate) fn run_top_k_parallel(
+    prepared: PreparedRef<'_>,
+    params: &TopKParams,
+    threads: usize,
+) -> (Vec<MinedPattern>, MiningStats) {
+    let mut stats = MiningStats::default();
+    if params.k == 0 {
+        return (Vec::new(), stats);
+    }
+    let sc = prepared.support_computer();
+    let events = prepared.parts.frequent_events(params.min_sup_floor.max(1));
+    let checker = ClosureChecker::new(&sc, &events);
+    let floor = AtomicU64::new(params.min_sup_floor.max(1));
+    let results = fan_out_seeds(threads, events.len(), |i| {
+        let mut state = TopKState {
+            sc: &sc,
+            checker: &checker,
+            params,
+            events: &events,
+            heap: BinaryHeap::new(),
+            collected: Vec::new(),
+            visited: 0,
+            growths: 0,
+            shared_floor: Some(&floor),
+        };
+        let support = sc.initial_support_set(events[i]);
+        if support.support() >= state.threshold() {
+            let mut stack = vec![support];
+            state.descend(Pattern::single(events[i]), &mut stack);
+        }
+        (state.collected, state.visited, state.growths)
     });
-    collected.truncate(params.k);
-    (collected, stats)
+    let mut collected = Vec::new();
+    for (patterns, visited, growths) in results {
+        collected.extend(patterns);
+        stats.visited += visited;
+        stats.instance_growths += growths;
+    }
+    (finish_top_k(collected, params.k), stats)
+}
+
+/// Sorts the collected candidates under the canonical report order and
+/// keeps the best `k` — the deterministic merge shared by the sequential
+/// and parallel searches.
+fn finish_top_k(mut collected: Vec<MinedPattern>, k: usize) -> Vec<MinedPattern> {
+    crate::result::sort_patterns_for_report(&mut collected);
+    collected.truncate(k);
+    collected
 }
 
 struct TopKState<'a, 'b> {
     sc: &'a SupportComputer<'b>,
-    checker: ClosureChecker<'a, 'b>,
+    checker: &'a ClosureChecker<'a, 'b>,
     params: &'a TopKParams,
-    events: Vec<EventId>,
+    events: &'a [EventId],
     heap: BinaryHeap<Reverse<u64>>,
     collected: Vec<MinedPattern>,
     visited: u64,
     growths: u64,
+    /// In parallel runs, the support floor shared across workers; `None`
+    /// for the sequential search.
+    shared_floor: Option<&'a AtomicU64>,
 }
 
 impl TopKState<'_, '_> {
     /// The dynamic support threshold: while fewer than `k` qualifying
     /// patterns have been found it is the configured floor, afterwards it is
-    /// the smallest support among the current top-k.
+    /// the smallest support among the current top-k. In parallel runs the
+    /// shared floor published by other workers raises it further.
     fn threshold(&self) -> u64 {
-        if self.heap.len() < self.params.k {
+        let local = if self.heap.len() < self.params.k {
             self.params.min_sup_floor.max(1)
         } else {
             self.heap
@@ -193,6 +254,10 @@ impl TopKState<'_, '_> {
                 .map(|Reverse(s)| *s)
                 .unwrap_or(self.params.min_sup_floor)
                 .max(self.params.min_sup_floor)
+        };
+        match self.shared_floor {
+            Some(floor) => local.max(floor.load(Ordering::Relaxed)),
+            None => local,
         }
     }
 
@@ -209,11 +274,11 @@ impl TopKState<'_, '_> {
         // Compute the append children up front: they are needed both for the
         // closure verdict (append extensions with equal support) and for the
         // recursion.
-        let events = self.events.clone();
+        let events = self.events;
         let mut children: Vec<(EventId, SupportSet)> = Vec::new();
         let mut append_equal = false;
         if self.allows_growth(pattern.len()) {
-            for &event in &events {
+            for &event in events {
                 self.growths += 1;
                 let grown = self
                     .sc
@@ -237,6 +302,14 @@ impl TopKState<'_, '_> {
                 self.heap.push(Reverse(sup));
                 if self.heap.len() > self.params.k {
                     self.heap.pop();
+                }
+                // With k local entries, the local k-th best is a sound lower
+                // bound on the global k-th best: publish it to the other
+                // workers.
+                if let (Some(floor), Some(&Reverse(kth))) = (self.shared_floor, self.heap.peek()) {
+                    if self.heap.len() >= self.params.k {
+                        floor.fetch_max(kth, Ordering::Relaxed);
+                    }
                 }
                 let mut mined = MinedPattern::new(pattern.clone(), sup);
                 if self.params.keep_support_sets {

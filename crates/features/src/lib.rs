@@ -54,5 +54,9 @@ pub mod selection;
 
 pub use classify::{Classifier, Evaluation, KnnClassifier, MultinomialNaiveBayes, NearestCentroid};
 pub use dataset::{ClassId, LabeledDatabase};
-pub use matrix::{extract_features, FeatureMatrix};
+pub use matrix::{extract_features, extract_features_with, FeatureMatrix};
+pub use pipeline::{
+    cross_validate_pipeline, run_pipeline, run_pipeline_prepared, sweep_min_sup,
+    CrossValidationReport, PipelineConfig, PipelineReport,
+};
 pub use selection::{score_patterns, select_top_k, ScoredPattern, SelectionMethod};

@@ -8,12 +8,19 @@
 //! 2. turn per-sequence repetitive supports into a feature matrix,
 //! 3. keep the most discriminative patterns,
 //! 4. train a classifier on the selected features.
+//!
+//! Mining and feature extraction both run against one [`PreparedDb`]
+//! snapshot of the training database, prepared exactly once per training
+//! split. [`sweep_min_sup`] and [`cross_validate_pipeline`] hoist that
+//! snapshot across threshold sweeps and cross-validation folds — the
+//! prepared-reuse win is measured by the bench harness
+//! (`BENCH_prepared_engine.json`).
 
-use rgs_core::{Miner, Mode, Pattern};
+use rgs_core::{Mode, Pattern, PreparedDb};
 
 use crate::classify::{Classifier, Evaluation, MultinomialNaiveBayes, NearestCentroid};
 use crate::dataset::{ClassId, LabelError, LabeledDatabase};
-use crate::matrix::{extract_features, FeatureMatrix};
+use crate::matrix::{extract_features, extract_features_with, FeatureMatrix};
 use crate::selection::{select_top_k, ScoredPattern, SelectionMethod};
 
 /// The classifier trained at the end of the pipeline.
@@ -152,11 +159,36 @@ pub struct PipelineReport {
 
 /// Runs the full pipeline on `train` and reports the fitted model together
 /// with its training-set evaluation.
+///
+/// Prepares the training database once (index + occurrence counts) and
+/// reuses the snapshot for both the mining and the feature-extraction
+/// steps. When running several configurations on the same split, prepare
+/// the snapshot yourself and call [`run_pipeline_prepared`] — or use
+/// [`sweep_min_sup`] / [`cross_validate_pipeline`], which do the hoisting.
 pub fn run_pipeline(
     train: &LabeledDatabase,
     config: &PipelineConfig,
 ) -> Result<PipelineReport, LabelError> {
-    let mut miner = Miner::new(train.database())
+    let prepared = PreparedDb::new(train.database());
+    run_pipeline_prepared(&prepared, train, config)
+}
+
+/// [`run_pipeline`] against a caller-prepared snapshot of the training
+/// database. `prepared` must be a snapshot of `train.database()` (same
+/// sequences, same catalog); the fast path for repeated mining over one
+/// training split.
+pub fn run_pipeline_prepared(
+    prepared: &PreparedDb,
+    train: &LabeledDatabase,
+    config: &PipelineConfig,
+) -> Result<PipelineReport, LabelError> {
+    debug_assert_eq!(
+        prepared.database().num_sequences(),
+        train.num_sequences(),
+        "prepared snapshot does not match the training split"
+    );
+    let mut miner = prepared
+        .miner()
         .min_sup(config.min_sup)
         .mode(Mode::Closed)
         .max_patterns(config.max_patterns);
@@ -170,7 +202,11 @@ pub fn run_pipeline(
         .filter(|mp| mp.pattern.len() >= config.min_pattern_len)
         .map(|mp| mp.pattern.clone())
         .collect();
-    let matrix = extract_features(train.database(), &candidates);
+    let matrix = extract_features_with(
+        &prepared.support_computer(),
+        prepared.database(),
+        &candidates,
+    );
     let selected = select_top_k(
         &matrix,
         train.class_ids(),
@@ -209,6 +245,85 @@ pub fn run_pipeline(
             nearest_centroid,
             naive_bayes,
         },
+    })
+}
+
+/// Runs the pipeline at several support thresholds over **one** prepared
+/// snapshot of the training split (the threshold sweep is the classic
+/// model-selection loop; re-preparing per threshold is pure waste).
+/// Returns `(min_sup, report)` pairs in input order.
+pub fn sweep_min_sup(
+    train: &LabeledDatabase,
+    min_sups: &[u64],
+    base: &PipelineConfig,
+) -> Result<Vec<(u64, PipelineReport)>, LabelError> {
+    let prepared = PreparedDb::new(train.database());
+    let mut reports = Vec::with_capacity(min_sups.len());
+    for &min_sup in min_sups {
+        let config = PipelineConfig {
+            min_sup,
+            ..base.clone()
+        };
+        reports.push((min_sup, run_pipeline_prepared(&prepared, train, &config)?));
+    }
+    Ok(reports)
+}
+
+/// The outcome of [`cross_validate_pipeline`]: per-fold held-out
+/// evaluations of freshly fitted pipelines.
+#[derive(Debug, Clone)]
+pub struct CrossValidationReport {
+    /// Held-out accuracy of each fold, in fold order.
+    pub fold_accuracies: Vec<f64>,
+    /// Held-out evaluation (confusion matrix etc.) of each fold.
+    pub fold_evaluations: Vec<Evaluation>,
+}
+
+impl CrossValidationReport {
+    /// The mean held-out accuracy across folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+}
+
+/// Stratified k-fold cross validation of the full pipeline: each fold is
+/// held out once while the remaining folds form the training split, on
+/// which **one** [`PreparedDb`] is prepared and shared by every mining and
+/// feature-extraction call of that fold (previously the database was
+/// re-prepared on each call).
+pub fn cross_validate_pipeline(
+    data: &LabeledDatabase,
+    folds: usize,
+    seed: u64,
+    config: &PipelineConfig,
+) -> Result<CrossValidationReport, LabelError> {
+    let fold_indices = data.stratified_folds(folds, seed)?;
+    let mut fold_accuracies = Vec::with_capacity(folds);
+    let mut fold_evaluations = Vec::with_capacity(folds);
+    for (held_out_fold, held_out) in fold_indices.iter().enumerate() {
+        let mut train_indices: Vec<usize> = fold_indices
+            .iter()
+            .enumerate()
+            .filter(|&(fold, _)| fold != held_out_fold)
+            .flat_map(|(_, indices)| indices.iter().copied())
+            .collect();
+        train_indices.sort_unstable();
+        let train = data.subset(&train_indices);
+        let test = data.subset(held_out);
+        // One snapshot per training split, reused by mining and
+        // featurization inside `run_pipeline_prepared`.
+        let prepared = PreparedDb::new(train.database());
+        let report = run_pipeline_prepared(&prepared, &train, config)?;
+        let evaluation = report.pipeline.evaluate(&test);
+        fold_accuracies.push(evaluation.accuracy());
+        fold_evaluations.push(evaluation);
+    }
+    Ok(CrossValidationReport {
+        fold_accuracies,
+        fold_evaluations,
     })
 }
 
@@ -303,6 +418,53 @@ mod tests {
         let report = run_pipeline(&data, &config).unwrap();
         assert!(report.training_accuracy >= 0.5);
         assert!(report.pipeline.selected.len() <= 3);
+    }
+
+    #[test]
+    fn prepared_pipeline_matches_the_unprepared_one() {
+        let data = labeled_example();
+        let config = PipelineConfig::new(2, 4);
+        let fresh = run_pipeline(&data, &config).unwrap();
+        let prepared = PreparedDb::new(data.database());
+        let reused = run_pipeline_prepared(&prepared, &data, &config).unwrap();
+        assert_eq!(fresh.mined_patterns, reused.mined_patterns);
+        assert_eq!(fresh.training_accuracy, reused.training_accuracy);
+        assert_eq!(
+            fresh.pipeline.feature_patterns(),
+            reused.pipeline.feature_patterns()
+        );
+    }
+
+    #[test]
+    fn min_sup_sweep_reuses_one_snapshot_and_matches_individual_runs() {
+        let data = labeled_example();
+        let base = PipelineConfig::new(2, 4);
+        let swept = sweep_min_sup(&data, &[2, 3, 4], &base).unwrap();
+        assert_eq!(swept.len(), 3);
+        for (min_sup, report) in &swept {
+            let config = PipelineConfig {
+                min_sup: *min_sup,
+                ..base.clone()
+            };
+            let fresh = run_pipeline(&data, &config).unwrap();
+            assert_eq!(report.mined_patterns, fresh.mined_patterns);
+            assert_eq!(
+                report.pipeline.feature_patterns(),
+                fresh.pipeline.feature_patterns()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_validation_hoists_one_prepared_db_per_split() {
+        let data = labeled_example();
+        let report = cross_validate_pipeline(&data, 2, 7, &PipelineConfig::new(2, 4)).unwrap();
+        assert_eq!(report.fold_accuracies.len(), 2);
+        assert_eq!(report.fold_evaluations.len(), 2);
+        assert!(report.mean_accuracy() >= 0.5, "{report:?}");
+        for accuracy in &report.fold_accuracies {
+            assert!((0.0..=1.0).contains(accuracy));
+        }
     }
 
     #[test]

@@ -82,6 +82,20 @@ impl InvertedIndex {
             .sum()
     }
 
+    /// Total occurrence counts of every event in one pass: entry `i` is
+    /// [`Self::total_count`] of `EventId(i)`. This is the bulk form used to
+    /// prepare a database once and answer frequent-event scans per query
+    /// without touching the index again.
+    pub fn total_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_events];
+        for per_event in &self.positions {
+            for (event, positions) in per_event.iter().enumerate() {
+                counts[event] += positions.len() as u64;
+            }
+        }
+        counts
+    }
+
     /// Number of sequences in which `event` occurs at least once (classical
     /// sequence support of a single event).
     pub fn sequence_count(&self, event: EventId) -> usize {
@@ -152,6 +166,17 @@ mod tests {
         assert_eq!(index.sequence_count(a), 2);
         // D: positions {7,8} in S1 and {3,8,9} in S2.
         assert_eq!(index.total_count(d), 5);
+    }
+
+    #[test]
+    fn total_counts_agree_with_per_event_totals() {
+        let db = running_example();
+        let index = db.inverted_index();
+        let counts = index.total_counts();
+        assert_eq!(counts.len(), db.num_events());
+        for event in db.catalog().ids() {
+            assert_eq!(counts[event.index()], index.total_count(event) as u64);
+        }
     }
 
     #[test]

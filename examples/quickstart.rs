@@ -16,22 +16,38 @@ fn main() {
     let acb = db.pattern_from_str("ACB").expect("events exist");
     println!("sup(ACB) = {}", repetitive_support(&db, &acb));
 
-    // 2. The leftmost support set, with full landmarks (Table IV).
-    let sc = SupportComputer::new(&db);
+    // 2. Prepare the database once: the interning, the inverted index, and
+    //    the frequent-event counts are shared by every query below.
+    let prepared = PreparedDb::new(&db);
+
+    // The leftmost support set, with full landmarks (Table IV), through the
+    // snapshot's support computer (no index rebuild).
+    let sc = prepared.support_computer();
     let pattern = Pattern::new(acb.clone());
     for landmark in sc.support_landmarks(&pattern) {
         println!("  instance {landmark}");
     }
 
-    // 3. Mine all frequent patterns and the closed subset at min_sup = 3,
-    //    through the unified Miner engine.
-    let all = Miner::new(&db).min_sup(3).mode(Mode::All).run();
-    let closed = Miner::new(&db).min_sup(3).mode(Mode::Closed).run();
+    // 3. Mine all frequent patterns and the closed subset at min_sup = 3 —
+    //    two queries borrowing one prepared snapshot.
+    let all = prepared.miner().min_sup(3).mode(Mode::All).run();
+    let closed = prepared.miner().min_sup(3).mode(Mode::Closed).run();
     println!(
         "min_sup = 3: {} frequent patterns, {} closed patterns",
         all.len(),
         closed.len()
     );
+
+    // Pull-based consumption: iterate the engine lazily instead of
+    // materializing (drop the stream to cancel the rest of the search).
+    let session = prepared.miner().min_sup(3).mode(Mode::Closed).session();
+    if let Some(first) = session.stream().next() {
+        println!(
+            "first closed pattern in DFS order: {} (sup = {})",
+            first.pattern.render(db.catalog()),
+            first.support
+        );
+    }
 
     // 4. Show the closed patterns with their supports.
     let mut report = closed.clone();

@@ -21,11 +21,14 @@
 //!   feature extraction, discriminative pattern selection, and sequence
 //!   classification (the paper's future-work direction).
 //!
-//! # Example
+//! # Example — the prepared two-phase flow
 //!
-//! The [`Miner`](core::Miner) builder is the canonical entry point: mode
-//! (all/closed/maximal/top-k), gap/window constraints, ranking, and caps
-//! are orthogonal options that compose freely.
+//! Prepare the database once ([`PreparedDb`](core::PreparedDb) owns the
+//! catalog, the inverted index, and the frequent-event counts), then run
+//! any number of queries against the snapshot through the
+//! [`Miner`](core::Miner) builder: mode (all/closed/maximal/top-k),
+//! gap/window constraints, ranking, caps, and sequential/parallel
+//! execution are orthogonal options that compose freely.
 //!
 //! ```
 //! use repetitive_gapped_mining::prelude::*;
@@ -33,9 +36,26 @@
 //! // Example 1.1 of the paper: two customers' purchase histories.
 //! let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
 //!
-//! // Closed repetitive gapped subsequences with support >= 2.
-//! let closed = Miner::new(&db).min_sup(2).mode(Mode::Closed).run();
+//! // Phase 1: prepare once.
+//! let prepared = PreparedDb::new(&db);
+//!
+//! // Phase 2: query many times, borrowing the snapshot.
+//! let closed = prepared.miner().min_sup(2).mode(Mode::Closed).run();
 //! assert!(!closed.is_empty());
+//!
+//! // Parallel execution is bit-identical to sequential:
+//! let parallel = prepared
+//!     .miner()
+//!     .min_sup(2)
+//!     .mode(Mode::Closed)
+//!     .threads(4)
+//!     .run();
+//! assert_eq!(closed.patterns, parallel.patterns);
+//!
+//! // Pull-based consumption composes with iterator adapters:
+//! let session = prepared.miner().min_sup(2).mode(Mode::All).session();
+//! let first = session.stream().next().expect("at least one pattern");
+//! assert!(first.support >= 2);
 //!
 //! // Repetitive support distinguishes AB (repeats within S1) from CD.
 //! let ab = db.pattern_from_str("AB").unwrap();
@@ -44,7 +64,8 @@
 //! assert_eq!(repetitive_support(&db, &cd), 2);
 //!
 //! // Combinations the legacy API could not express compose for free:
-//! let constrained_topk = Miner::new(&db)
+//! let constrained_topk = prepared
+//!     .miner()
 //!     .min_sup(1)
 //!     .mode(Mode::Closed)
 //!     .constraints(GapConstraints::max_gap(2))
@@ -71,10 +92,10 @@ pub use synthgen;
 pub mod prelude {
     pub use rgs_core::{
         constrained_support, instance_growth, postprocess, repetitive_support, support_set,
-        BudgetSink, CollectSink, CountSink, DeadlineSink, GapConstraints, Instance, Landmark,
-        MinedPattern, Miner, MiningConfig, MiningOutcome, MiningReport, MiningRequest,
-        MiningSession, Mode, Pattern, PatternSink, PostProcessConfig, SupportComputer, SupportSet,
-        TopKConfig,
+        BudgetSink, CollectSink, CountSink, DeadlineSink, ExecutionPolicy, GapConstraints,
+        Instance, Landmark, MinedPattern, Miner, MiningConfig, MiningOutcome, MiningReport,
+        MiningRequest, MiningSession, Mode, Pattern, PatternSink, PatternStream, PostProcessConfig,
+        PreparedDb, SupportComputer, SupportSet, TopKConfig,
     };
     #[allow(deprecated)]
     pub use rgs_core::{
