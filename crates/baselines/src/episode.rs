@@ -21,7 +21,7 @@
 //! support (window-based supports over-count overlapping occurrences, the
 //! paper's motivating criticism).
 
-use seqdb::{EventId, Sequence, SequenceDatabase};
+use seqdb::{EventId, SeqView, SequenceDatabase};
 
 use crate::semantics::{episode_window_count, minimal_window_count};
 
@@ -71,7 +71,7 @@ impl EpisodeConfig {
 }
 
 /// Mines every frequent serial episode of a single `sequence`.
-pub fn mine_episodes(sequence: &Sequence, config: &EpisodeConfig) -> Vec<Episode> {
+pub fn mine_episodes(sequence: SeqView<'_>, config: &EpisodeConfig) -> Vec<Episode> {
     if config.window_width == 0 || sequence.is_empty() {
         return Vec::new();
     }

@@ -170,7 +170,6 @@ impl PrefixSpan<'_> {
 /// (used by tests and by the closed-pattern checkers).
 pub fn sequence_support(db: &SequenceDatabase, pattern: &[EventId]) -> u64 {
     db.sequences()
-        .iter()
         .filter(|s| s.contains_subsequence(pattern))
         .count() as u64
 }

@@ -18,13 +18,12 @@
 //! The counters are deliberately straightforward (polynomial scans); they
 //! exist for semantic comparison and tests, not for large-scale mining.
 
-use seqdb::{EventId, Sequence, SequenceDatabase};
+use seqdb::{EventId, SeqView, SequenceDatabase};
 
 /// Sequential pattern mining support: the number of sequences of `db` that
 /// contain `pattern` as a (gapped) subsequence.
 pub fn sequence_count_support(db: &SequenceDatabase, pattern: &[EventId]) -> u64 {
     db.sequences()
-        .iter()
         .filter(|s| s.contains_subsequence(pattern))
         .count() as u64
 }
@@ -33,7 +32,7 @@ pub fn sequence_count_support(db: &SequenceDatabase, pattern: &[EventId]) -> u64
 /// the number of width-`width` windows (substrings of `width` consecutive
 /// positions, fully inside the sequence) that contain `pattern` as a
 /// subsequence.
-pub fn episode_window_count(sequence: &Sequence, pattern: &[EventId], width: usize) -> u64 {
+pub fn episode_window_count(sequence: SeqView<'_>, pattern: &[EventId], width: usize) -> u64 {
     if pattern.is_empty() || width == 0 || sequence.len() < width {
         return 0;
     }
@@ -50,7 +49,6 @@ pub fn episode_window_count(sequence: &Sequence, pattern: &[EventId], width: usi
 /// counts.
 pub fn episode_window_support(db: &SequenceDatabase, pattern: &[EventId], width: usize) -> u64 {
     db.sequences()
-        .iter()
         .map(|s| episode_window_count(s, pattern, width))
         .sum()
 }
@@ -58,7 +56,7 @@ pub fn episode_window_support(db: &SequenceDatabase, pattern: &[EventId], width:
 /// Episode mining, definition (ii): the number of **minimal windows** of
 /// `sequence` containing `pattern` — windows `[s, e]` that contain the
 /// pattern as a subsequence while no proper sub-window does.
-pub fn minimal_window_count(sequence: &Sequence, pattern: &[EventId]) -> u64 {
+pub fn minimal_window_count(sequence: SeqView<'_>, pattern: &[EventId]) -> u64 {
     if pattern.is_empty() {
         return 0;
     }
@@ -90,7 +88,6 @@ pub fn minimal_window_count(sequence: &Sequence, pattern: &[EventId]) -> u64 {
 /// Minimal-window support over a whole database.
 pub fn minimal_window_support(db: &SequenceDatabase, pattern: &[EventId]) -> u64 {
     db.sequences()
-        .iter()
         .map(|s| minimal_window_count(s, pattern))
         .sum()
 }
@@ -101,7 +98,7 @@ pub fn minimal_window_support(db: &SequenceDatabase, pattern: &[EventId]) -> u64
 /// `max_gap` events strictly between them. Overlapping occurrences all
 /// count.
 pub fn gap_constrained_count(
-    sequence: &Sequence,
+    sequence: SeqView<'_>,
     pattern: &[EventId],
     min_gap: usize,
     max_gap: usize,
@@ -149,7 +146,6 @@ pub fn gap_constrained_support(
     max_gap: usize,
 ) -> u64 {
     db.sequences()
-        .iter()
         .map(|s| gap_constrained_count(s, pattern, min_gap, max_gap))
         .sum()
 }
@@ -228,7 +224,7 @@ pub fn iterative_pattern_support(db: &SequenceDatabase, pattern: &[EventId]) -> 
 
 /// Returns `true` when `pattern` is a subsequence of the window
 /// `[start, end]` (1-based, inclusive) of `sequence`.
-fn window_contains(sequence: &Sequence, start: usize, end: usize, pattern: &[EventId]) -> bool {
+fn window_contains(sequence: SeqView<'_>, start: usize, end: usize, pattern: &[EventId]) -> bool {
     let mut j = 0;
     for pos in start..=end {
         if j < pattern.len() && sequence.at(pos) == Some(pattern[j]) {
@@ -241,7 +237,7 @@ fn window_contains(sequence: &Sequence, start: usize, end: usize, pattern: &[Eve
 /// Returns `true` when `pattern` embeds in `[start, end]` with its first
 /// event exactly at `start` and its last event exactly at `end`.
 fn window_embeds_with_fixed_ends(
-    sequence: &Sequence,
+    sequence: SeqView<'_>,
     start: usize,
     end: usize,
     pattern: &[EventId],
@@ -267,7 +263,7 @@ fn window_embeds_with_fixed_ends(
 
 /// The latest start `s` such that `pattern` embeds into `[s, end]` with its
 /// last event at `end`, or `None` if no embedding ends at `end`.
-fn latest_start_for_end(sequence: &Sequence, pattern: &[EventId], end: usize) -> Option<usize> {
+fn latest_start_for_end(sequence: SeqView<'_>, pattern: &[EventId], end: usize) -> Option<usize> {
     // Match the pattern backwards from `end`, greedily choosing the latest
     // possible position for each event.
     let mut pos = end;

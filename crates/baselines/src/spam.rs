@@ -121,12 +121,11 @@ impl VerticalDatabase {
         let mut bitmaps: Vec<Vec<PositionBitmap>> = (0..num_events)
             .map(|_| {
                 db.sequences()
-                    .iter()
                     .map(|s| PositionBitmap::new(s.len()))
                     .collect()
             })
             .collect();
-        for (seq_idx, sequence) in db.sequences().iter().enumerate() {
+        for (seq_idx, sequence) in db.sequences().enumerate() {
             for (pos, event) in sequence.iter_positions() {
                 bitmaps[event.index()][seq_idx].set(pos);
             }

@@ -20,6 +20,7 @@ fn main() -> ExitCode {
     let mut threads = 4usize;
     let mut repeats = 3usize;
     let mut out = PathBuf::from("BENCH_prepared_engine.json");
+    let mut columnar_out = PathBuf::from("BENCH_columnar_store.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -56,9 +57,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--columnar-out" => match need_value(&mut i) {
+                Some(path) => columnar_out = PathBuf::from(path),
+                None => {
+                    eprintln!("--columnar-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "prepared_bench [--scale dev|paper] [--threads N] [--repeats N] [--out FILE]"
+                    "prepared_bench [--scale dev|paper] [--threads N] [--repeats N] \
+                     [--out FILE] [--columnar-out FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -86,5 +95,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("# written to {}", out.display());
+
+    // Storage-layer measurements of the columnar refactor (index build
+    // time, byte footprints, instance-growth throughput on Fig. 2/5/6).
+    let columnar = prepared_bench::run_columnar(scale, repeats);
+    let columnar_json = columnar.to_json();
+    println!("{columnar_json}");
+    for w in &columnar.workloads {
+        println!(
+            "# {}: {:.0} growths/s, index build {:.4}s, {:.1} B/event",
+            w.dataset, w.growths_per_second, w.index_build_seconds, w.bytes_per_event
+        );
+    }
+    if let Err(err) = std::fs::write(&columnar_out, &columnar_json) {
+        eprintln!("error: cannot write {}: {err}", columnar_out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# written to {}", columnar_out.display());
     ExitCode::SUCCESS
 }

@@ -88,18 +88,34 @@ pub fn fig4_thresholds(scale: Scale) -> Vec<u64> {
 /// The datasets of Figure 5: `D` (number of sequences, in thousands at paper
 /// scale) varies, `C = S = 50`, `N = 10`(K), `min_sup = 20`.
 pub fn fig5_datasets(scale: Scale) -> Vec<(String, SequenceDatabase)> {
-    let d_values = [5usize, 10, 15, 20, 25];
-    d_values
+    FIG5_D_VALUES
         .iter()
         .map(|&d| {
-            let config = QuestConfig::paper(d, 50, 10, 50);
-            let config = match scale {
-                Scale::Paper => config,
-                Scale::Dev => config.scaled_down(50),
-            };
+            let config = fig5_config(scale, d);
             (config.name(), config.generate())
         })
         .collect()
+}
+
+/// The `D` sweep of Figure 5.
+const FIG5_D_VALUES: [usize; 5] = [5, 10, 15, 20, 25];
+
+/// One Figure 5 configuration (shared by the sweep and [`fig5_largest`], so
+/// the two can never drift apart).
+fn fig5_config(scale: Scale, d: usize) -> QuestConfig {
+    let config = QuestConfig::paper(d, 50, 10, 50);
+    match scale {
+        Scale::Paper => config,
+        Scale::Dev => config.scaled_down(50),
+    }
+}
+
+/// The heaviest Figure 5 configuration only (`D = 25`), generated without
+/// building the four smaller databases of the sweep — for benchmarks that
+/// measure a single workload.
+pub fn fig5_largest(scale: Scale) -> (String, SequenceDatabase) {
+    let config = fig5_config(scale, FIG5_D_VALUES[FIG5_D_VALUES.len() - 1]);
+    (config.name(), config.generate())
 }
 
 /// The fixed support threshold of Figures 5 and 6.
@@ -113,18 +129,32 @@ pub fn fig5_fig6_threshold(scale: Scale) -> u64 {
 /// The datasets of Figure 6: the average sequence length (`C = S`) varies
 /// over {20, 40, 60, 80, 100}, `D = 10`(K), `N = 10`(K), `min_sup = 20`.
 pub fn fig6_datasets(scale: Scale) -> Vec<(String, SequenceDatabase)> {
-    let lengths = [20usize, 40, 60, 80, 100];
-    lengths
+    FIG6_LENGTHS
         .iter()
         .map(|&len| {
-            let config = QuestConfig::paper(10, len, 10, len);
-            let config = match scale {
-                Scale::Paper => config,
-                Scale::Dev => config.scaled_down(100),
-            };
+            let config = fig6_config(scale, len);
             (config.name(), config.generate())
         })
         .collect()
+}
+
+/// The `C = S` sweep of Figure 6.
+const FIG6_LENGTHS: [usize; 5] = [20, 40, 60, 80, 100];
+
+/// One Figure 6 configuration (shared by the sweep and [`fig6_largest`]).
+fn fig6_config(scale: Scale, len: usize) -> QuestConfig {
+    let config = QuestConfig::paper(10, len, 10, len);
+    match scale {
+        Scale::Paper => config,
+        Scale::Dev => config.scaled_down(100),
+    }
+}
+
+/// The heaviest Figure 6 configuration only (`C = S = 100`), generated
+/// without building the four shorter-sequence databases of the sweep.
+pub fn fig6_largest(scale: Scale) -> (String, SequenceDatabase) {
+    let config = fig6_config(scale, FIG6_LENGTHS[FIG6_LENGTHS.len() - 1]);
+    (config.name(), config.generate())
 }
 
 /// The JBoss-like case-study dataset (§IV-B); it is small in the paper (28
@@ -199,7 +229,7 @@ mod tests {
     fn table1_dataset_is_example_1_1() {
         let db = table1_dataset();
         assert_eq!(db.num_sequences(), 2);
-        assert_eq!(db.sequences()[0].len(), 8);
-        assert_eq!(db.sequences()[1].len(), 4);
+        assert_eq!(db.sequence(0).unwrap().len(), 8);
+        assert_eq!(db.sequence(1).unwrap().len(), 4);
     }
 }

@@ -2,11 +2,18 @@
 //! speedup and the prepared-reuse speedup on the features pipeline, and
 //! renders the result as the `BENCH_prepared_engine.json` entry checked in
 //! at the repository root.
+//!
+//! Since the columnar-storage refactor the module also measures the storage
+//! layer itself ([`run_columnar`]): CSR index build time, store/index byte
+//! footprints, bytes per compressed instance, and instance-growth
+//! throughput on the Fig. 2/5/6 workloads — written to
+//! `BENCH_columnar_store.json` so regressions against the PR 2 baseline
+//! (`BENCH_prepared_engine.json`) stay visible.
 
 use std::time::Instant;
 
 use rgs_core::json::escape;
-use rgs_core::{Mode, PreparedDb};
+use rgs_core::{CountSink, Instance, Mode, PreparedDb};
 use rgs_features::pipeline::{run_pipeline, sweep_min_sup, PipelineConfig};
 use rgs_features::LabeledDatabase;
 use synthgen::labeled::LabeledTraceConfig;
@@ -166,6 +173,187 @@ pub fn run(scale: Scale, threads: usize, repeats: usize) -> PreparedEngineReport
     }
 }
 
+/// Storage-layer measurements of one Fig. 2/5/6 workload.
+#[derive(Debug, Clone)]
+pub struct ColumnarWorkload {
+    /// Dataset description (name + stats summary).
+    pub dataset: String,
+    /// Support threshold of the growth-throughput measurement.
+    pub min_sup: u64,
+    /// Pattern budget of the growth-throughput run: GSgrow's complete
+    /// output explodes combinatorially at these thresholds, so the run
+    /// streams into a counting sink and stops after this many patterns —
+    /// memory- and time-bounded, while the growths/second rate stays
+    /// representative.
+    pub pattern_cap: usize,
+    /// Best-of-N wall time of one CSR inverted-index build.
+    pub index_build_seconds: f64,
+    /// Live bytes of the flat event store (arena + CSR offsets).
+    pub store_bytes: usize,
+    /// Live bytes of the CSR inverted index (positions arena + offsets).
+    pub index_bytes: usize,
+    /// `(store_bytes + index_bytes) / total_length`.
+    pub bytes_per_event: f64,
+    /// Size of one compressed `(seq, first, last)` instance triple.
+    pub bytes_per_instance: usize,
+    /// Instance growths performed by one full GSgrow run at `min_sup`.
+    pub instance_growths: u64,
+    /// Best-of-N wall time of that run (on a prepared snapshot, so the
+    /// index build is *not* included).
+    pub growth_seconds: f64,
+    /// `instance_growths / growth_seconds`.
+    pub growths_per_second: f64,
+}
+
+impl ColumnarWorkload {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": {}, \"min_sup\": {}, \"pattern_cap\": {}, \
+             \"index_build_seconds\": {:.6}, \
+             \"store_bytes\": {}, \"index_bytes\": {}, \"bytes_per_event\": {:.3}, \
+             \"bytes_per_instance\": {}, \"instance_growths\": {}, \
+             \"growth_seconds\": {:.6}, \"growths_per_second\": {:.0}}}",
+            escape(&self.dataset),
+            self.min_sup,
+            self.pattern_cap,
+            self.index_build_seconds,
+            self.store_bytes,
+            self.index_bytes,
+            self.bytes_per_event,
+            self.bytes_per_instance,
+            self.instance_growths,
+            self.growth_seconds,
+            self.growths_per_second,
+        )
+    }
+}
+
+/// The columnar-store benchmark report (`BENCH_columnar_store.json`).
+#[derive(Debug, Clone)]
+pub struct ColumnarStoreReport {
+    /// Benchmark scale (dev/paper).
+    pub scale: String,
+    /// The PR 2 baseline file this report is compared against: its
+    /// `sequential_seconds` is closed mining on the same Fig. 2 workload.
+    pub baseline: String,
+    /// Best-of-N closed-mining wall time on the Fig. 2 workload (directly
+    /// comparable with the baseline's `sequential_seconds`).
+    pub fig2_closed_seconds: f64,
+    /// Per-workload storage measurements (Fig. 2, 5, 6).
+    pub workloads: Vec<ColumnarWorkload>,
+}
+
+impl ColumnarStoreReport {
+    /// Renders the report as a JSON object (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let workloads: Vec<String> = self
+            .workloads
+            .iter()
+            .map(|w| format!("    {}", w.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"columnar_store\",\n  \"scale\": {},\n  \
+             \"baseline\": {},\n  \"fig2_closed_seconds\": {:.6},\n  \
+             \"workloads\": [\n{}\n  ]\n}}\n",
+            escape(&self.scale),
+            escape(&self.baseline),
+            self.fig2_closed_seconds,
+            workloads.join(",\n"),
+        )
+    }
+}
+
+/// Pattern budget of the growth-throughput measurement (see
+/// [`ColumnarWorkload::pattern_cap`]).
+const GROWTH_PATTERN_CAP: usize = 50_000;
+
+/// Measures one workload: index build time, byte footprints, and the
+/// instance-growth throughput of a (pattern-capped) GSgrow run streamed
+/// into a counting sink on a prepared snapshot — nothing is materialized.
+fn columnar_workload(
+    name: &str,
+    db: &seqdb::SequenceDatabase,
+    min_sup: u64,
+    repeats: usize,
+) -> ColumnarWorkload {
+    let (index_build_seconds, index) = best_of(repeats, || db.inverted_index());
+    let store_bytes = db.store().heap_bytes();
+    let index_bytes = index.heap_bytes();
+    let prepared = PreparedDb::new(db);
+    let (growth_seconds, report) = best_of(repeats, || {
+        let mut sink = CountSink::new();
+        prepared
+            .miner()
+            .min_sup(min_sup)
+            .mode(Mode::All)
+            .max_patterns(GROWTH_PATTERN_CAP)
+            .run_with_sink(&mut sink)
+    });
+    let instance_growths = report.stats.instance_growths;
+    ColumnarWorkload {
+        dataset: format!("{name}: {}", db.stats().summary()),
+        min_sup,
+        pattern_cap: GROWTH_PATTERN_CAP,
+        index_build_seconds,
+        store_bytes,
+        index_bytes,
+        bytes_per_event: (store_bytes + index_bytes) as f64 / db.total_length().max(1) as f64,
+        bytes_per_instance: std::mem::size_of::<Instance>(),
+        instance_growths,
+        growth_seconds,
+        growths_per_second: instance_growths as f64 / growth_seconds.max(1e-12),
+    }
+}
+
+/// Runs the columnar-store benchmark on the Fig. 2/5/6 workloads.
+pub fn run_columnar(scale: Scale, repeats: usize) -> ColumnarStoreReport {
+    let mut workloads = Vec::new();
+
+    let (fig2_name, fig2_db) = datasets::fig2_dataset(scale);
+    let fig2_thresholds = datasets::fig2_thresholds(scale);
+    let fig2_min_sup = fig2_thresholds[fig2_thresholds.len() - 1];
+    workloads.push(columnar_workload(
+        &fig2_name,
+        &fig2_db,
+        fig2_min_sup,
+        repeats,
+    ));
+
+    let fig56_min_sup = datasets::fig5_fig6_threshold(scale);
+    let (fig5_name, fig5_db) = datasets::fig5_largest(scale);
+    workloads.push(columnar_workload(
+        &fig5_name,
+        &fig5_db,
+        fig56_min_sup,
+        repeats,
+    ));
+    let (fig6_name, fig6_db) = datasets::fig6_largest(scale);
+    workloads.push(columnar_workload(
+        &fig6_name,
+        &fig6_db,
+        fig56_min_sup,
+        repeats,
+    ));
+
+    // Closed mining on Fig. 2 — the number directly comparable with the
+    // PR 2 baseline's `sequential_seconds` in BENCH_prepared_engine.json.
+    let prepared = PreparedDb::new(&fig2_db);
+    let (fig2_closed_seconds, _) = best_of(repeats, || {
+        prepared
+            .miner()
+            .min_sup(fig2_min_sup)
+            .mode(Mode::Closed)
+            .run()
+    });
+
+    ColumnarStoreReport {
+        scale: format!("{scale:?}").to_lowercase(),
+        baseline: "BENCH_prepared_engine.json (PR 2)".to_owned(),
+        fig2_closed_seconds,
+        workloads,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +388,48 @@ mod tests {
         let (seconds, value) = best_of(3, || 42);
         assert_eq!(value, 42);
         assert!(seconds >= 0.0);
+    }
+
+    #[test]
+    fn columnar_report_serializes_to_balanced_json() {
+        let report = ColumnarStoreReport {
+            scale: "dev".into(),
+            baseline: "BENCH_prepared_engine.json (PR 2)".into(),
+            fig2_closed_seconds: 0.25,
+            workloads: vec![ColumnarWorkload {
+                dataset: "toy".into(),
+                min_sup: 4,
+                pattern_cap: 50_000,
+                index_build_seconds: 0.001,
+                store_bytes: 1024,
+                index_bytes: 2048,
+                bytes_per_event: 12.0,
+                bytes_per_instance: 12,
+                instance_growths: 5000,
+                growth_seconds: 0.5,
+                growths_per_second: 10_000.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"columnar_store\""));
+        assert!(json.contains("\"bytes_per_instance\": 12"));
+        assert!(json.contains("\"growths_per_second\": 10000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn columnar_workload_measures_a_small_database() {
+        let db = seqdb::SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let w = columnar_workload("running example", &db, 2, 1);
+        assert!(w.index_build_seconds >= 0.0);
+        assert!(w.store_bytes > 0);
+        assert!(w.index_bytes > 0);
+        assert_eq!(
+            w.bytes_per_instance,
+            std::mem::size_of::<rgs_core::Instance>()
+        );
+        assert!(w.instance_growths > 0);
+        assert!(w.growths_per_second > 0.0);
     }
 }

@@ -8,11 +8,15 @@
 //!          [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]
 //!          [--threads N] [--top T] [--density R] [--maximal] [--stream]
 //! rgs-mine topk  --input FILE -k K [--min-sup FLOOR] [--threads N] [...]
+//! rgs-mine stats --input FILE [--format tokens|spmf|chars]
 //! rgs-mine demo  [--min-sup K] [--mode ...]
 //! ```
 //!
-//! The `topk` subcommand ranks the best `k` closed patterns and composes
-//! with the gap/window constraint flags — gap-constrained top-k mining from
+//! The `stats` subcommand prints the dataset summary (rows, events,
+//! alphabet size, lengths) together with the memory footprint of the
+//! columnar store and the CSR inverted index, so store-size regressions are
+//! visible without a profiler. The `topk` subcommand ranks the best `k`
+//! closed patterns and composes with the gap/window constraint flags — gap-constrained top-k mining from
 //! the command line. `--stream` prints patterns incrementally through a
 //! `PatternSink` instead of materializing the result first. `--threads N`
 //! mines on N worker threads (bit-identical output), and `--format json`
@@ -50,6 +54,7 @@ struct Options {
     stream: bool,
     json_output: bool,
     demo: bool,
+    stats_only: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +85,7 @@ impl Default for Options {
             stream: false,
             json_output: false,
             demo: false,
+            stats_only: false,
         }
     }
 }
@@ -169,6 +175,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if options.stats_only {
+        return run_stats(&db);
+    }
+
     eprintln!("# dataset: {}", db.stats().summary());
     let constraints = options.constraints();
     if !constraints.is_unbounded() {
@@ -206,6 +216,34 @@ fn main() -> ExitCode {
 
     for mined in patterns.iter().take(options.top) {
         print_pattern(&db, mined);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `stats` subcommand: dataset summary plus the memory footprint of the
+/// columnar layers (flat event store, CSR inverted index), so store-size
+/// regressions show up in plain numbers instead of a profiler.
+fn run_stats(db: &SequenceDatabase) -> ExitCode {
+    let stats = db.stats();
+    let index = db.inverted_index();
+    let index_bytes = index.heap_bytes();
+    println!("sequences:             {}", stats.num_sequences);
+    println!("events (alphabet):     {}", stats.num_events);
+    println!("total length:          {}", stats.total_length);
+    println!(
+        "sequence length:       min {} / avg {:.2} / median {:.1} / max {}",
+        stats.min_length, stats.avg_length, stats.median_length, stats.max_length
+    );
+    println!("max event occurrences: {}", stats.max_event_occurrences);
+    println!("avg event occurrences: {:.2}", stats.avg_event_occurrences);
+    println!("store bytes (CSR):     {}", stats.store_bytes);
+    println!("index bytes (CSR):     {index_bytes}");
+    if stats.total_length > 0 {
+        println!(
+            "bytes per event:       {:.2} store + {:.2} index",
+            stats.store_bytes as f64 / stats.total_length as f64,
+            index_bytes as f64 / stats.total_length as f64
+        );
     }
     ExitCode::SUCCESS
 }
@@ -313,6 +351,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             options.min_sup = 1;
             i = 1;
         }
+        Some("stats") => {
+            options.stats_only = true;
+            i = 1;
+        }
         Some("demo") => {
             options.demo = true;
             i = 1;
@@ -406,6 +448,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--maximal" => options.maximal_filter = true,
             "--stream" => options.stream = true,
+            "--stats" => options.stats_only = true,
             "--demo" => options.demo = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -435,12 +478,15 @@ fn print_usage() {
                     [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]\n\
                     [--threads N] [--top T] [--density R] [--maximal] [--stream]\n\
            rgs-mine topk --input FILE -k K [--min-sup FLOOR] [--threads N] ...\n\
+           rgs-mine stats --input FILE [--format tokens|spmf|chars]\n\
            rgs-mine demo [--min-sup K] [--mode ...]\n\
          \n\
          subcommands:\n\
            mine   (default) mine the requested pattern family\n\
            topk   rank the k best closed patterns (composes with gap/window\n\
                   constraints: gap-constrained top-k mining)\n\
+           stats  print dataset statistics and the memory footprint of the\n\
+                  columnar store and CSR inverted index\n\
            demo   run on the paper's running example (Table III)\n\
          \n\
          notable flags:\n\
@@ -520,6 +566,13 @@ mod tests {
     fn demo_subcommand_equals_demo_flag() {
         assert!(parse(&["demo"]).demo);
         assert!(parse(&["--demo"]).demo);
+    }
+
+    #[test]
+    fn stats_subcommand_and_flag_parse() {
+        assert!(parse(&["stats", "--demo"]).stats_only);
+        assert!(parse(&["--demo", "--stats"]).stats_only);
+        assert!(!parse(&["--demo"]).stats_only);
     }
 
     #[test]

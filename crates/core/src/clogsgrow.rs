@@ -14,10 +14,10 @@ use std::ops::ControlFlow;
 
 use seqdb::{EventId, SequenceDatabase};
 
-use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::closure::{CheckScratch, ClosureChecker, ClosureStatus};
 use crate::config::MiningConfig;
 use crate::engine::{Miner, Mode};
-use crate::growth::SupportComputer;
+use crate::growth::{SetPool, SupportComputer};
 use crate::pattern::Pattern;
 use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
@@ -81,6 +81,8 @@ pub(crate) fn mine_closed_seed(
         checker,
         stats: MiningStats::default(),
         stopped: false,
+        pool: SetPool::new(),
+        scratch: CheckScratch::new(),
         emit,
     };
     let support = miner.sc.initial_support_set(seed);
@@ -105,6 +107,10 @@ struct CloGsGrow<'a, 'b, 'e> {
     checker: &'a ClosureChecker<'a, 'b>,
     stats: MiningStats,
     stopped: bool,
+    /// Recycles support sets across growth attempts and finished subtrees.
+    pool: SetPool,
+    /// Ping/pong buffers for the closure check's extension growth.
+    scratch: CheckScratch,
     emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
@@ -123,20 +129,30 @@ impl CloGsGrow<'_, '_, '_> {
         let mut append_equal = false;
         for &event in self.frequent_events {
             self.stats.instance_growths += 1;
-            let grown = self
-                .sc
-                .instance_growth(stack.last().expect("support set"), event);
+            let mut grown = self.pool.take();
+            self.sc.instance_growth_into(
+                stack.last().expect("support set"),
+                event,
+                usize::MAX,
+                &mut grown,
+            );
             if grown.support() == support {
                 append_equal = true;
             }
             if grown.support() >= self.min_sup {
                 children.push((event, grown));
+            } else {
+                self.pool.give(grown);
             }
         }
 
-        match self.checker.check(&pattern, stack, append_equal) {
+        match self
+            .checker
+            .check(&pattern, stack, append_equal, &mut self.scratch)
+        {
             ClosureStatus::Prune if self.config.use_landmark_pruning => {
                 self.stats.landmark_border_prunes += 1;
+                self.reclaim(children);
                 return;
             }
             // Ablation mode (Theorem 5 disabled): a prunable pattern is
@@ -154,15 +170,27 @@ impl CloGsGrow<'_, '_, '_> {
         }
 
         if self.stopped || !self.config.allows_growth(pattern.len()) {
+            self.reclaim(children);
             return;
         }
-        for (event, grown) in children {
+        let mut children = children.into_iter();
+        for (event, grown) in children.by_ref() {
             if self.stopped {
-                return;
+                self.pool.give(grown);
+                break;
             }
             stack.push(grown);
             self.mine(pattern.grow(event), stack);
-            stack.pop();
+            let done = stack.pop().expect("pushed above");
+            self.pool.give(done);
+        }
+        self.reclaim(children.collect());
+    }
+
+    /// Returns unused child support sets to the pool.
+    fn reclaim(&mut self, children: Vec<(EventId, SupportSet)>) {
+        for (_, set) in children {
+            self.pool.give(set);
         }
     }
 }

@@ -26,6 +26,26 @@ use crate::growth::SupportComputer;
 use crate::pattern::Pattern;
 use crate::support::SupportSet;
 
+/// Reusable scratch buffers for the closure check's extension growth.
+///
+/// `ClosureChecker::extension_support` chains one instance growth per
+/// suffix event; with a ping/pong pair of support sets the whole chain runs
+/// in the two buffers below, so a warm scratch makes every closure check
+/// allocation-free. Each DFS (and each parallel worker) owns one scratch;
+/// the checker itself stays shared and immutable.
+#[derive(Debug, Default)]
+pub struct CheckScratch {
+    a: SupportSet,
+    b: SupportSet,
+}
+
+impl CheckScratch {
+    /// Creates an empty scratch (buffers warm up on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The verdict of the combined closure / landmark-border check for one
 /// pattern node of the DFS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +118,7 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
         pattern: &Pattern,
         prefix_stack: &[SupportSet],
         append_has_equal_support: bool,
+        scratch: &mut CheckScratch,
     ) -> ClosureStatus {
         let support_set = prefix_stack.last().expect("non-empty prefix stack");
         let support = support_set.support();
@@ -133,10 +154,10 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
         for slot in 0..pattern.len() {
             for &event in &viable {
                 if let Some(extension) =
-                    self.extension_support(pattern, prefix_stack, slot, event, support)
+                    self.extension_support(pattern, prefix_stack, slot, event, support, scratch)
                 {
                     non_closed = true;
-                    if landmark_border_holds(&extension, support_set) {
+                    if landmark_border_holds(extension, support_set) {
                         return ClosureStatus::Prune;
                     }
                 }
@@ -150,33 +171,38 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
     }
 
     /// Computes the leftmost support set of the extension of `pattern` with
-    /// `event` inserted at `slot`, returning it only when its support equals
-    /// `target`. Growth aborts early as soon as the support drops below
-    /// `target` (the support of a super-pattern can never exceed it, Lemma 1).
-    fn extension_support(
+    /// `event` inserted at `slot`, returning it (borrowed from the scratch)
+    /// only when its support equals `target`. Growth aborts early as soon as
+    /// the support drops below `target` (the support of a super-pattern can
+    /// never exceed it, Lemma 1). The whole chain ping-pongs between the two
+    /// scratch buffers, so a warm scratch allocates nothing.
+    fn extension_support<'s>(
         &self,
         pattern: &Pattern,
         prefix_stack: &[SupportSet],
         slot: usize,
         event: EventId,
         target: u64,
-    ) -> Option<SupportSet> {
+        scratch: &'s mut CheckScratch,
+    ) -> Option<&'s SupportSet> {
         let target_usize = target as usize;
+        let CheckScratch { a, b } = scratch;
+        let (mut current, mut spare): (&mut SupportSet, &mut SupportSet) = (a, b);
         // Leftmost support set of e1..e_slot ◦ e'.
-        let mut current = if slot == 0 {
-            self.sc.initial_support_set(event)
+        if slot == 0 {
+            self.sc.initial_support_set_into(event, current);
         } else {
             self.sc
-                .instance_growth_bounded(&prefix_stack[slot - 1], event, target_usize)
-        };
+                .instance_growth_into(&prefix_stack[slot - 1], event, target_usize, current);
+        }
         if current.support() < target {
             return None;
         }
         // Grow the remaining suffix e_{slot+1}..e_m.
         for &suffix_event in &pattern.events()[slot..] {
-            current = self
-                .sc
-                .instance_growth_bounded(&current, suffix_event, target_usize);
+            self.sc
+                .instance_growth_into(current, suffix_event, target_usize, spare);
+            std::mem::swap(&mut current, &mut spare);
             if current.support() < target {
                 return None;
             }
@@ -238,7 +264,10 @@ mod tests {
         let checker = ClosureChecker::new(&sc, &events);
         let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
         let stack = prefix_stack(&sc, &aa);
-        assert_eq!(checker.check(&aa, &stack, false), ClosureStatus::Prune);
+        assert_eq!(
+            checker.check(&aa, &stack, false, &mut CheckScratch::new()),
+            ClosureStatus::Prune
+        );
     }
 
     #[test]
@@ -250,7 +279,10 @@ mod tests {
         let checker = ClosureChecker::new(&sc, &events);
         let ab = Pattern::new(db.pattern_from_str("AB").unwrap());
         let stack = prefix_stack(&sc, &ab);
-        assert_eq!(checker.check(&ab, &stack, false), ClosureStatus::NonClosed);
+        assert_eq!(
+            checker.check(&ab, &stack, false, &mut CheckScratch::new()),
+            ClosureStatus::NonClosed
+        );
     }
 
     #[test]
@@ -262,7 +294,10 @@ mod tests {
         let checker = ClosureChecker::new(&sc, &events);
         let ab = Pattern::new(db.pattern_from_str("AB").unwrap());
         let stack = prefix_stack(&sc, &ab);
-        assert_eq!(checker.check(&ab, &stack, true), ClosureStatus::NonClosed);
+        assert_eq!(
+            checker.check(&ab, &stack, true, &mut CheckScratch::new()),
+            ClosureStatus::NonClosed
+        );
     }
 
     #[test]
@@ -274,7 +309,10 @@ mod tests {
         // extension).
         let abd = Pattern::new(db.pattern_from_str("ABD").unwrap());
         let stack = prefix_stack(&sc, &abd);
-        assert_eq!(checker.check(&abd, &stack, false), ClosureStatus::Closed);
+        assert_eq!(
+            checker.check(&abd, &stack, false, &mut CheckScratch::new()),
+            ClosureStatus::Closed
+        );
     }
 
     #[test]
@@ -285,16 +323,19 @@ mod tests {
         let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
         let stack = prefix_stack(&sc, &aa);
         let c = db.catalog().id("C").unwrap();
+        let mut scratch = CheckScratch::new();
         // Inserting C at slot 1 yields ACA with support 3 = sup(AA).
+        let direct = sc.support_set(&Pattern::new(db.pattern_from_str("ACA").unwrap()));
         let ext = checker
-            .extension_support(&aa, &stack, 1, c, 3)
+            .extension_support(&aa, &stack, 1, c, 3, &mut scratch)
             .expect("ACA has equal support");
         assert_eq!(ext.support(), 3);
-        let direct = sc.support_set(&Pattern::new(db.pattern_from_str("ACA").unwrap()));
-        assert_eq!(ext, direct);
+        assert_eq!(ext, &direct);
         // Inserting D at slot 1 yields ADA with support < 3: rejected.
         let d = db.catalog().id("D").unwrap();
-        assert!(checker.extension_support(&aa, &stack, 1, d, 3).is_none());
+        assert!(checker
+            .extension_support(&aa, &stack, 1, d, 3, &mut scratch)
+            .is_none());
     }
 
     #[test]

@@ -48,8 +48,9 @@ use seqdb::{EventId, SequenceDatabase};
 use crate::config::MiningConfig;
 use crate::constraints::GapConstraints;
 use crate::engine::{Miner, Mode};
-use crate::growth::SupportComputer;
+use crate::growth::{SetPool, SupportComputer};
 use crate::instance::{Instance, Landmark};
+use crate::instbuf::InstanceBuffer;
 use crate::pattern::Pattern;
 use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
@@ -101,6 +102,15 @@ impl<'a> ConstrainedSupportComputer<'a> {
     /// admitting only extensions that satisfy the gap and window bounds.
     pub fn instance_growth(&self, support: &SupportSet, event: EventId) -> SupportSet {
         let mut grown = SupportSet::new();
+        self.instance_growth_into(support, event, &mut grown);
+        grown
+    }
+
+    /// [`Self::instance_growth`] writing into a caller-provided set whose
+    /// allocation is reused (cleared first) — the hot-loop form, recycled
+    /// through the miners' set pools.
+    pub fn instance_growth_into(&self, support: &SupportSet, event: EventId, out: &mut SupportSet) {
+        out.clear();
         for (seq, instances) in support.per_sequence() {
             let mut last_position = 0u32;
             for instance in instances {
@@ -111,7 +121,7 @@ impl<'a> ConstrainedSupportComputer<'a> {
                 match self.sc.index().next(seq, event, lowest) {
                     Some(pos) if pos <= highest => {
                         last_position = pos;
-                        grown.push(Instance::new(instance.seq, instance.first, pos));
+                        out.push(Instance::new(instance.seq, instance.first, pos));
                     }
                     // The next occurrence exists but violates a constraint:
                     // this instance cannot be extended, but instances ending
@@ -123,22 +133,24 @@ impl<'a> ConstrainedSupportComputer<'a> {
                 }
             }
         }
-        grown
     }
 
     /// Constrained `supComp`: the constrained leftmost support set of an
-    /// arbitrary pattern.
+    /// arbitrary pattern (double-buffered growth chain: two sets total,
+    /// regardless of the pattern length).
     pub fn support_set(&self, pattern: &Pattern) -> SupportSet {
         let events = pattern.events();
         let Some((&first, rest)) = events.split_first() else {
             return SupportSet::new();
         };
         let mut support = self.initial_support_set(first);
+        let mut spare = SupportSet::new();
         for &event in rest {
             if support.is_empty() {
                 return support;
             }
-            support = self.instance_growth(&support, event);
+            self.instance_growth_into(&support, event, &mut spare);
+            std::mem::swap(&mut support, &mut spare);
         }
         support
     }
@@ -149,57 +161,15 @@ impl<'a> ConstrainedSupportComputer<'a> {
     }
 
     /// The full landmarks of the constrained leftmost support set, obtained
-    /// by replaying the constrained greedy with complete position lists.
+    /// by replaying the constrained greedy with complete position lists
+    /// through the shared SoA [`InstanceBuffer`] — the same loop the
+    /// unconstrained
+    /// [`reconstruct_landmarks`](crate::SupportSet::reconstruct_landmarks)
+    /// uses (unbounded constraints degenerate to Algorithm 2 exactly).
     pub fn support_landmarks(&self, pattern: &Pattern) -> Vec<Landmark> {
-        let events = pattern.events();
-        if events.is_empty() {
-            return Vec::new();
-        }
-        let db = self.sc.database();
-        let index = self.sc.index();
-        let mut landmarks = Vec::new();
-        for seq in 0..db.num_sequences() {
-            let first_positions = match index.event_positions(seq, events[0]) {
-                Some(p) if !p.is_empty() => p,
-                _ => continue,
-            };
-            let mut current: Vec<Vec<u32>> = first_positions.iter().map(|&p| vec![p]).collect();
-            for &event in &events[1..] {
-                let mut grown: Vec<Vec<u32>> = Vec::with_capacity(current.len());
-                let mut last_position = 0u32;
-                let mut exhausted = false;
-                for landmark in &current {
-                    let first = landmark[0];
-                    let prev = *landmark.last().expect("non-empty landmark");
-                    let lowest = last_position.max(self.constraints.lowest_exclusive(prev));
-                    let highest = self.constraints.highest_inclusive(first, prev);
-                    match index.next(seq, event, lowest) {
-                        Some(pos) if pos <= highest => {
-                            last_position = pos;
-                            let mut extended = landmark.clone();
-                            extended.push(pos);
-                            grown.push(extended);
-                        }
-                        Some(_) => continue,
-                        None => {
-                            exhausted = true;
-                            break;
-                        }
-                    }
-                }
-                let _ = exhausted;
-                current = grown;
-                if current.is_empty() {
-                    break;
-                }
-            }
-            landmarks.extend(
-                current
-                    .into_iter()
-                    .map(|positions| Landmark::new(seq, positions)),
-            );
-        }
-        landmarks
+        let mut buffer = InstanceBuffer::new();
+        buffer.reconstruct(self.sc.index(), pattern, &self.constraints);
+        buffer.to_landmarks()
     }
 }
 
@@ -280,6 +250,7 @@ pub(crate) fn mine_all_constrained_seed(
         frequent_events: events,
         stats: MiningStats::default(),
         stopped: false,
+        pool: SetPool::new(),
         emit,
     };
     let support = miner.csc.initial_support_set(seed);
@@ -327,6 +298,9 @@ struct ConstrainedMiner<'a, 'b, 'e> {
     frequent_events: &'a [EventId],
     stats: MiningStats,
     stopped: bool,
+    /// Recycles support sets across growth attempts (see
+    /// [`crate::growth::SetPool`]).
+    pool: SetPool,
     emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
@@ -337,19 +311,24 @@ impl ConstrainedMiner<'_, '_, '_> {
             self.stopped = true;
         }
         if self.stopped || !self.config.allows_growth(pattern.len()) {
+            self.pool.give(support);
             return;
         }
         let events = self.frequent_events;
         for &event in events {
             if self.stopped {
-                return;
+                break;
             }
             self.stats.instance_growths += 1;
-            let grown = self.csc.instance_growth(&support, event);
+            let mut grown = self.pool.take();
+            self.csc.instance_growth_into(&support, event, &mut grown);
             if grown.support() >= self.min_sup {
                 self.mine(pattern.grow(event), grown);
+            } else {
+                self.pool.give(grown);
             }
         }
+        self.pool.give(support);
     }
 }
 

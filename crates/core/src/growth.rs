@@ -79,12 +79,19 @@ impl<'a> SupportComputer<'a> {
     /// line 3 of Algorithm 3).
     pub fn initial_support_set(&self, event: EventId) -> SupportSet {
         let mut set = SupportSet::new();
+        self.initial_support_set_into(event, &mut set);
+        set
+    }
+
+    /// [`Self::initial_support_set`] writing into a caller-provided set
+    /// whose allocation is reused (cleared first).
+    pub fn initial_support_set_into(&self, event: EventId, out: &mut SupportSet) {
+        out.clear();
         for (seq, positions) in self.index().sequences_with_event(event) {
             for &pos in positions {
-                set.push(Instance::new(seq as u32, pos, pos));
+                out.push(Instance::new(seq as u32, pos, pos));
             }
         }
-        set
     }
 
     /// `INSgrow(SeqDB, P, I, e)` (Algorithm 2): extends the leftmost support
@@ -110,6 +117,23 @@ impl<'a> SupportComputer<'a> {
         target: usize,
     ) -> SupportSet {
         let mut grown = SupportSet::new();
+        self.instance_growth_into(support, event, target, &mut grown);
+        grown
+    }
+
+    /// [`Self::instance_growth_bounded`] writing into a caller-provided set:
+    /// `out` is cleared (its allocation is kept) and refilled, so a warm
+    /// buffer makes the growth step allocation-free. This is the form every
+    /// mining core calls in its hot loop, recycling sets through the
+    /// crate-internal `SetPool`.
+    pub fn instance_growth_into(
+        &self,
+        support: &SupportSet,
+        event: EventId,
+        target: usize,
+        out: &mut SupportSet,
+    ) {
+        out.clear();
         let total = support.instances().len();
         let mut processed = 0usize;
         for (seq, instances) in support.per_sequence() {
@@ -119,7 +143,7 @@ impl<'a> SupportComputer<'a> {
                 match self.index().next(seq, event, lowest) {
                     Some(pos) => {
                         last_position = pos;
-                        grown.push(Instance::new(instance.seq, instance.first, pos));
+                        out.push(Instance::new(instance.seq, instance.first, pos));
                     }
                     // No further occurrence of `event` in this sequence: the
                     // remaining instances of this sequence end even further
@@ -131,11 +155,10 @@ impl<'a> SupportComputer<'a> {
             // Early exit: even if every remaining input instance could be
             // extended, the target cannot be reached.
             let remaining = total - processed;
-            if target != usize::MAX && grown.instances().len() + remaining < target {
-                return grown;
+            if target != usize::MAX && out.instances().len() + remaining < target {
+                return;
             }
         }
-        grown
     }
 
     /// `supComp(SeqDB, P)` (Algorithm 1): the leftmost support set of an
@@ -146,12 +169,16 @@ impl<'a> SupportComputer<'a> {
         let Some((&first, rest)) = events.split_first() else {
             return SupportSet::new();
         };
+        // Double-buffered growth chain: two sets total, regardless of the
+        // pattern length.
         let mut support = self.initial_support_set(first);
+        let mut spare = SupportSet::new();
         for &event in rest {
             if support.is_empty() {
                 return support;
             }
-            support = self.instance_growth(&support, event);
+            self.instance_growth_into(&support, event, usize::MAX, &mut spare);
+            std::mem::swap(&mut support, &mut spare);
         }
         support
     }
@@ -164,7 +191,37 @@ impl<'a> SupportComputer<'a> {
     /// The leftmost support set with full landmarks (positions of every
     /// pattern event), for reporting and verification.
     pub fn support_landmarks(&self, pattern: &Pattern) -> Vec<Landmark> {
-        reconstruct_landmarks_impl(self.db, self.index(), pattern)
+        reconstruct_landmarks_impl(self.index(), pattern)
+    }
+}
+
+/// A free-list of [`SupportSet`]s recycled across instance-growth steps.
+///
+/// The DFS miners allocate one support set per *attempted* growth; most
+/// attempts fail the threshold and the set is discarded immediately. The
+/// pool keeps those discarded sets (allocation and all) and hands them back
+/// on the next attempt, so steady-state mining performs zero per-step heap
+/// allocations — the property pinned by the counting-allocator test.
+#[derive(Debug, Default)]
+pub(crate) struct SetPool {
+    free: Vec<SupportSet>,
+}
+
+impl SetPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared set from the pool, or a fresh one when empty.
+    pub fn take(&mut self) -> SupportSet {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a set to the pool for reuse (cleared, capacity kept).
+    pub fn give(&mut self, mut set: SupportSet) {
+        set.clear();
+        self.free.push(set);
     }
 }
 

@@ -14,7 +14,7 @@ use seqdb::{EventId, SequenceDatabase};
 
 use crate::config::MiningConfig;
 use crate::engine::{Miner, Mode};
-use crate::growth::SupportComputer;
+use crate::growth::{SetPool, SupportComputer};
 use crate::pattern::Pattern;
 use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
@@ -75,6 +75,7 @@ pub(crate) fn mine_all_seed(
         frequent_events: events,
         stats: MiningStats::default(),
         stopped: false,
+        pool: SetPool::new(),
         emit,
     };
     let support = miner.sc.initial_support_set(seed);
@@ -109,30 +110,41 @@ struct GsGrow<'a, 'b, 'e> {
     frequent_events: &'a [EventId],
     stats: MiningStats,
     stopped: bool,
+    /// Recycles support sets across growth attempts: failed growths hand
+    /// their buffer straight back, finished subtrees return theirs on the
+    /// way up, so steady-state growth never touches the heap.
+    pool: SetPool,
     emit: &'e mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 }
 
 impl GsGrow<'_, '_, '_> {
-    /// `mineFre(SeqDB, P, I)`: emits `P` and recursively grows it.
+    /// `mineFre(SeqDB, P, I)`: emits `P` and recursively grows it. The
+    /// support set is returned to the pool when the subtree is done.
     fn mine_fre(&mut self, pattern: Pattern, support: SupportSet) {
         self.stats.visited += 1;
         if (self.emit)(&pattern, &support).is_break() {
             self.stopped = true;
         }
         if self.stopped || !self.config.allows_growth(pattern.len()) {
+            self.pool.give(support);
             return;
         }
         let events = self.frequent_events;
         for &event in events {
             if self.stopped {
-                return;
+                break;
             }
             self.stats.instance_growths += 1;
-            let grown = self.sc.instance_growth(&support, event);
+            let mut grown = self.pool.take();
+            self.sc
+                .instance_growth_into(&support, event, usize::MAX, &mut grown);
             if grown.support() >= self.min_sup {
                 self.mine_fre(pattern.grow(event), grown);
+            } else {
+                self.pool.give(grown);
             }
         }
+        self.pool.give(support);
     }
 }
 
@@ -153,23 +165,27 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
         events: &[EventId],
         min_sup: u64,
         depth: usize,
-        support: &SupportSet,
+        support: SupportSet,
         stats: &mut MiningStats,
         budget: &mut Option<usize>,
+        pool: &mut SetPool,
     ) {
         stats.visited += 1;
         if let Some(b) = budget {
             if *b == 0 {
+                pool.give(support);
                 return;
             }
             *b -= 1;
         }
         if !config.allows_growth(depth) {
+            pool.give(support);
             return;
         }
         for &event in events {
             stats.instance_growths += 1;
-            let grown = sc.instance_growth(support, event);
+            let mut grown = pool.take();
+            sc.instance_growth_into(&support, event, usize::MAX, &mut grown);
             if grown.support() >= min_sup {
                 recurse(
                     sc,
@@ -177,18 +193,23 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
                     events,
                     min_sup,
                     depth + 1,
-                    &grown,
+                    grown,
                     stats,
                     budget,
+                    pool,
                 );
+            } else {
+                pool.give(grown);
             }
             if matches!(budget, Some(0)) {
-                return;
+                break;
             }
         }
+        pool.give(support);
     }
 
     let mut budget = config.max_patterns;
+    let mut pool = SetPool::new();
     for &event in &events {
         let support = sc.initial_support_set(event);
         if support.support() >= min_sup {
@@ -198,9 +219,10 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
                 &events,
                 min_sup,
                 1,
-                &support,
+                support,
                 &mut stats,
                 &mut budget,
+                &mut pool,
             );
         }
         if matches!(budget, Some(0)) {

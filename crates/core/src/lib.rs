@@ -125,6 +125,7 @@ pub mod engine;
 pub mod growth;
 pub mod gsgrow;
 pub mod instance;
+pub mod instbuf;
 pub mod json;
 pub mod maximal;
 mod parallel;
@@ -153,6 +154,7 @@ pub use growth::{instance_growth, repetitive_support, support_set, SupportComput
 #[allow(deprecated)]
 pub use gsgrow::mine_all;
 pub use instance::{Instance, Landmark};
+pub use instbuf::InstanceBuffer;
 #[allow(deprecated)]
 pub use maximal::{is_maximal, mine_maximal};
 pub use pattern::Pattern;

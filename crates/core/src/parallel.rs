@@ -4,7 +4,10 @@
 //! Every miner in this crate shares the same outer loop: for each frequent
 //! single event (the *seed*), mine the DFS subtree rooted at it. The
 //! subtrees are fully independent — they only read the immutable prepared
-//! database — so they can run on any number of threads. Determinism comes
+//! database (flat [`seqdb::SeqStore`] and CSR-index arenas, borrowed as
+//! slices through `PreparedRef`, with no per-thread copies; each worker's
+//! only mutable state is its own set pool and scratch) — so they can run
+//! on any number of threads. Determinism comes
 //! from the merge, not the schedule: each worker buffers its per-seed
 //! results, and the buffers are reassembled **in seed order**, which is
 //! exactly the sequential emission order. The output is therefore

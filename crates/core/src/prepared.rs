@@ -85,6 +85,12 @@ impl PreparedParts {
 /// A borrowed view of a database plus its prepared parts: what the mining
 /// cores actually run against. `Copy`, so it threads freely through the
 /// DFS and across `std::thread::scope` workers.
+///
+/// Everything behind this view is flat, contiguous storage — the columnar
+/// [`seqdb::SeqStore`] event arena and the CSR inverted index — owned by
+/// the [`PreparedDb`] (or the per-run preparation); workers only ever see
+/// `&[u32]`/`&[EventId]` slices into those arenas, so parallel fan-out
+/// shares them with zero per-thread copies.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PreparedRef<'a> {
     pub db: &'a SequenceDatabase,
@@ -164,6 +170,14 @@ impl PreparedDb {
     /// [`SupportComputer::new`], which builds a fresh index).
     pub fn support_computer(&self) -> SupportComputer<'_> {
         self.as_prepared_ref().support_computer()
+    }
+
+    /// Heap bytes held by the snapshot's arenas: the columnar event store
+    /// plus the CSR inverted index. These are the two flat buffers every
+    /// query (and every parallel seed worker, through `PreparedRef`
+    /// slices) shares without copying.
+    pub fn heap_bytes(&self) -> usize {
+        self.db.store().heap_bytes() + self.parts.index.heap_bytes()
     }
 
     /// Starts a [`Miner`] builder executing against this snapshot.

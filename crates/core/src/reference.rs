@@ -33,7 +33,7 @@ pub fn all_landmarks(db: &SequenceDatabase, pattern: &[EventId]) -> Vec<Landmark
     if pattern.is_empty() {
         return result;
     }
-    for (seq_idx, sequence) in db.sequences().iter().enumerate() {
+    for (seq_idx, sequence) in db.sequences().enumerate() {
         let mut stack: Vec<(usize, Vec<u32>)> = vec![(0, Vec::new())];
         while let Some((depth, positions)) = stack.pop() {
             if depth == pattern.len() {
@@ -66,7 +66,7 @@ pub fn max_non_overlapping(db: &SequenceDatabase, pattern: &[EventId]) -> u64 {
     for seq_idx in 0..db.num_sequences() {
         let single = SequenceDatabase::from_parts(
             db.catalog().clone(),
-            vec![db.sequence(seq_idx).expect("sequence exists").clone()],
+            vec![db.sequence(seq_idx).expect("sequence exists").to_sequence()],
         );
         let landmarks = all_landmarks(&single, pattern);
         total += max_independent(&landmarks);
@@ -199,7 +199,7 @@ pub fn max_non_overlapping_constrained(
     for seq_idx in 0..db.num_sequences() {
         let single = SequenceDatabase::from_parts(
             db.catalog().clone(),
-            vec![db.sequence(seq_idx).expect("sequence exists").clone()],
+            vec![db.sequence(seq_idx).expect("sequence exists").to_sequence()],
         );
         let landmarks = all_landmarks_constrained(&single, pattern, constraints);
         total += max_independent(&landmarks);

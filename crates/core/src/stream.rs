@@ -44,11 +44,12 @@ use std::sync::Arc;
 
 use seqdb::{EventId, SequenceDatabase};
 
-use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::closure::{CheckScratch, ClosureChecker, ClosureStatus};
 use crate::config::MiningConfig;
 use crate::constrained::ConstrainedSupportComputer;
 use crate::constraints::GapConstraints;
 use crate::engine::{DbHandle, MiningSession, Mode};
+use crate::growth::SetPool;
 use crate::pattern::Pattern;
 use crate::prepared::{PreparedDb, PreparedParts, PreparedRef};
 use crate::result::MinedPattern;
@@ -148,6 +149,8 @@ impl<'a> PatternStream<'a> {
                         next_seed: 0,
                         stack: Vec::new(),
                         sup_stack: Vec::new(),
+                        pool: SetPool::new(),
+                        scratch: CheckScratch::new(),
                     };
                     StreamState::LazyClosed(source, machine)
                 } else {
@@ -158,6 +161,7 @@ impl<'a> PatternStream<'a> {
                         events,
                         next_seed: 0,
                         stack: Vec::new(),
+                        pool: SetPool::new(),
                     };
                     StreamState::LazyAll(source, machine)
                 };
@@ -274,6 +278,8 @@ struct LazyAll {
     events: Vec<EventId>,
     next_seed: usize,
     stack: Vec<AllFrame>,
+    /// Recycles support sets across growth attempts and popped frames.
+    pool: SetPool,
 }
 
 impl LazyAll {
@@ -310,18 +316,21 @@ impl LazyAll {
 
             let top = self.stack.last_mut().expect("non-empty stack");
             if !self.config.allows_growth(top.pattern.len()) {
-                self.stack.pop();
+                let frame = self.stack.pop().expect("non-empty stack");
+                self.pool.give(frame.support);
                 continue;
             }
             let mut next = None;
             while top.next_child < self.events.len() {
                 let event = self.events[top.next_child];
                 top.next_child += 1;
-                let grown = csc.instance_growth(&top.support, event);
+                let mut grown = self.pool.take();
+                csc.instance_growth_into(&top.support, event, &mut grown);
                 if grown.support() >= self.min_sup {
                     next = Some((top.pattern.grow(event), grown));
                     break;
                 }
+                self.pool.give(grown);
             }
             match next {
                 Some((pattern, support)) => {
@@ -333,7 +342,8 @@ impl LazyAll {
                     return Some((pattern, support));
                 }
                 None => {
-                    self.stack.pop();
+                    let frame = self.stack.pop().expect("non-empty stack");
+                    self.pool.give(frame.support);
                 }
             }
         }
@@ -370,6 +380,10 @@ struct LazyClosed {
     next_seed: usize,
     stack: Vec<ClosedFrame>,
     sup_stack: Vec<SupportSet>,
+    /// Recycles support sets across growth attempts and popped frames.
+    pool: SetPool,
+    /// Ping/pong buffers for the closure check's extension growth.
+    scratch: CheckScratch,
 }
 
 impl LazyClosed {
@@ -398,8 +412,13 @@ impl LazyClosed {
             let top = self.stack.last_mut().expect("non-empty stack");
             if !self.config.allows_growth(top.pattern.len()) || top.next_child >= top.children.len()
             {
-                self.stack.pop();
-                self.sup_stack.pop();
+                let frame = self.stack.pop().expect("non-empty stack");
+                for (_, set) in frame.children.into_iter().skip(frame.next_child) {
+                    self.pool.give(set);
+                }
+                if let Some(set) = self.sup_stack.pop() {
+                    self.pool.give(set);
+                }
                 continue;
             }
             let (event, grown) = {
@@ -435,18 +454,31 @@ impl LazyClosed {
         let mut children: Vec<(EventId, SupportSet)> = Vec::new();
         let mut append_equal = false;
         for &event in &self.events {
-            let grown = sc.instance_growth(self.sup_stack.last().expect("support set"), event);
+            let mut grown = self.pool.take();
+            sc.instance_growth_into(
+                self.sup_stack.last().expect("support set"),
+                event,
+                usize::MAX,
+                &mut grown,
+            );
             if grown.support() == sup {
                 append_equal = true;
             }
             if grown.support() >= self.min_sup {
                 children.push((event, grown));
+            } else {
+                self.pool.give(grown);
             }
         }
 
-        match checker.check(&pattern, &self.sup_stack, append_equal) {
+        match checker.check(&pattern, &self.sup_stack, append_equal, &mut self.scratch) {
             ClosureStatus::Prune if self.config.use_landmark_pruning => {
-                self.sup_stack.pop();
+                if let Some(set) = self.sup_stack.pop() {
+                    self.pool.give(set);
+                }
+                for (_, set) in children {
+                    self.pool.give(set);
+                }
                 Visit::Pruned
             }
             ClosureStatus::Prune | ClosureStatus::NonClosed => {

@@ -13,7 +13,9 @@
 
 use seqdb::{EventId, InvertedIndex, SequenceDatabase};
 
+use crate::constraints::GapConstraints;
 use crate::instance::{Instance, Landmark};
+use crate::instbuf::InstanceBuffer;
 use crate::pattern::Pattern;
 
 /// The (leftmost) support set of a pattern: a maximum-size set of pairwise
@@ -56,6 +58,12 @@ impl SupportSet {
     /// Returns `true` when the set holds no instances.
     pub fn is_empty(&self) -> bool {
         self.instances.is_empty()
+    }
+
+    /// Drops all instances but keeps the allocation, so the set can be
+    /// refilled by the next growth step without touching the heap.
+    pub(crate) fn clear(&mut self) {
+        self.instances.clear();
     }
 
     /// Appends an instance; the caller must respect the `(seq, last)` order.
@@ -101,13 +109,8 @@ impl SupportSet {
     /// positions are recomputed by replaying the greedy instance growth of
     /// Algorithm 2 on the inverted index. The result corresponds instance by
     /// instance to [`Self::instances`].
-    pub fn reconstruct_landmarks(
-        &self,
-        db: &SequenceDatabase,
-        index: &InvertedIndex,
-        pattern: &Pattern,
-    ) -> Vec<Landmark> {
-        reconstruct_landmarks_impl(db, index, pattern)
+    pub fn reconstruct_landmarks(&self, index: &InvertedIndex, pattern: &Pattern) -> Vec<Landmark> {
+        reconstruct_landmarks_impl(index, pattern)
             .into_iter()
             .take(self.instances.len())
             .collect()
@@ -137,54 +140,18 @@ impl<'a> Iterator for PerSequence<'a> {
     }
 }
 
-/// Replays the instance-growth greedy keeping full landmarks. Shared by
-/// [`SupportSet::reconstruct_landmarks`] and the verbose API in
-/// [`crate::growth`].
+/// Replays the instance-growth greedy keeping full landmarks, through the
+/// SoA [`InstanceBuffer`]. Shared by [`SupportSet::reconstruct_landmarks`],
+/// the verbose API in [`crate::growth`], and (with real constraints) the
+/// constrained miner in [`crate::constrained`] — one loop instead of the
+/// seed's copy-paste twins.
 pub(crate) fn reconstruct_landmarks_impl(
-    db: &SequenceDatabase,
     index: &InvertedIndex,
     pattern: &Pattern,
 ) -> Vec<Landmark> {
-    let events = pattern.events();
-    if events.is_empty() {
-        return Vec::new();
-    }
-    let mut landmarks: Vec<Landmark> = Vec::new();
-    for seq in 0..db.num_sequences() {
-        // Initial instances: every occurrence of the first event.
-        let first_positions = match index.event_positions(seq, events[0]) {
-            Some(p) if !p.is_empty() => p,
-            _ => continue,
-        };
-        let mut current: Vec<Vec<u32>> = first_positions.iter().map(|&p| vec![p]).collect();
-        for &event in &events[1..] {
-            let mut grown: Vec<Vec<u32>> = Vec::with_capacity(current.len());
-            let mut last_position = 0u32;
-            for landmark in &current {
-                let prev = *landmark.last().expect("non-empty landmark");
-                let lowest = last_position.max(prev);
-                match index.next(seq, event, lowest) {
-                    Some(pos) => {
-                        last_position = pos;
-                        let mut extended = landmark.clone();
-                        extended.push(pos);
-                        grown.push(extended);
-                    }
-                    None => break,
-                }
-            }
-            current = grown;
-            if current.is_empty() {
-                break;
-            }
-        }
-        landmarks.extend(
-            current
-                .into_iter()
-                .map(|positions| Landmark::new(seq, positions)),
-        );
-    }
-    landmarks
+    let mut buffer = InstanceBuffer::new();
+    buffer.reconstruct(index, pattern, &GapConstraints::unbounded());
+    buffer.to_landmarks()
 }
 
 /// Checks that a set of full landmarks of the same pattern is non-redundant
@@ -254,7 +221,7 @@ mod tests {
         let db = running_example();
         let index = db.inverted_index();
         let pattern = Pattern::new(db.pattern_from_str("ACB").unwrap());
-        let landmarks = reconstruct_landmarks_impl(&db, &index, &pattern);
+        let landmarks = reconstruct_landmarks_impl(&index, &pattern);
         assert_eq!(
             landmarks,
             vec![
@@ -273,7 +240,7 @@ mod tests {
         let db = running_example();
         let index = db.inverted_index();
         let pattern = Pattern::new(db.pattern_from_str("ACA").unwrap());
-        let landmarks = reconstruct_landmarks_impl(&db, &index, &pattern);
+        let landmarks = reconstruct_landmarks_impl(&index, &pattern);
         assert_eq!(
             landmarks,
             vec![
@@ -311,7 +278,7 @@ mod tests {
     fn empty_pattern_has_no_landmarks() {
         let db = running_example();
         let index = db.inverted_index();
-        assert!(reconstruct_landmarks_impl(&db, &index, &Pattern::empty()).is_empty());
+        assert!(reconstruct_landmarks_impl(&index, &Pattern::empty()).is_empty());
     }
 
     #[test]

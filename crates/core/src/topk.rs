@@ -17,9 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use seqdb::{EventId, SequenceDatabase};
 
-use crate::closure::{ClosureChecker, ClosureStatus};
+use crate::closure::{CheckScratch, ClosureChecker, ClosureStatus};
 use crate::engine::{Miner, Mode};
-use crate::growth::SupportComputer;
+use crate::growth::{SetPool, SupportComputer};
 use crate::parallel::fan_out_seeds;
 use crate::pattern::Pattern;
 use crate::prepared::PreparedRef;
@@ -150,6 +150,8 @@ pub(crate) fn run_top_k(
         collected: Vec::new(),
         visited: 0,
         growths: 0,
+        pool: SetPool::new(),
+        scratch: CheckScratch::new(),
         shared_floor: None,
     };
     for &event in &events {
@@ -199,6 +201,8 @@ pub(crate) fn run_top_k_parallel(
             collected: Vec::new(),
             visited: 0,
             growths: 0,
+            pool: SetPool::new(),
+            scratch: CheckScratch::new(),
             shared_floor: Some(&floor),
         };
         let support = sc.initial_support_set(events[i]);
@@ -235,6 +239,11 @@ struct TopKState<'a, 'b> {
     collected: Vec<MinedPattern>,
     visited: u64,
     growths: u64,
+    /// Recycles support sets across growth attempts (see
+    /// [`crate::growth::SetPool`]).
+    pool: SetPool,
+    /// Ping/pong buffers for the closure check's extension growth.
+    scratch: CheckScratch,
     /// In parallel runs, the support floor shared across workers; `None`
     /// for the sequential search.
     shared_floor: Option<&'a AtomicU64>,
@@ -280,21 +289,29 @@ impl TopKState<'_, '_> {
         if self.allows_growth(pattern.len()) {
             for &event in events {
                 self.growths += 1;
-                let grown = self
-                    .sc
-                    .instance_growth(stack.last().expect("support set"), event);
+                let mut grown = self.pool.take();
+                self.sc.instance_growth_into(
+                    stack.last().expect("support set"),
+                    event,
+                    usize::MAX,
+                    &mut grown,
+                );
                 if grown.support() == sup {
                     append_equal = true;
                 }
                 if grown.support() >= 1 {
                     children.push((event, grown));
+                } else {
+                    self.pool.give(grown);
                 }
             }
         }
 
         if pattern.len() >= self.params.min_len && sup >= self.threshold() {
             let qualifies = if self.params.closed_only {
-                self.checker.check(&pattern, stack, append_equal) == ClosureStatus::Closed
+                self.checker
+                    .check(&pattern, stack, append_equal, &mut self.scratch)
+                    == ClosureStatus::Closed
             } else {
                 true
             };
@@ -325,7 +342,10 @@ impl TopKState<'_, '_> {
             if grown.support() >= self.threshold() {
                 stack.push(grown);
                 self.descend(pattern.grow(event), stack);
-                stack.pop();
+                let done = stack.pop().expect("pushed above");
+                self.pool.give(done);
+            } else {
+                self.pool.give(grown);
             }
         }
     }

@@ -1,0 +1,120 @@
+//! Pins the columnar-refactor allocation guarantee: steady-state pattern
+//! growth performs **zero per-step heap allocations**.
+//!
+//! A counting global allocator wraps the system allocator; each measured
+//! region warms its buffers once, snapshots the counter, re-runs the hot
+//! loop many times, and asserts the counter did not move. Everything runs
+//! inside ONE test function so unrelated test threads cannot pollute the
+//! global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rgs_core::{GapConstraints, InstanceBuffer, Pattern, SupportComputer, SupportSet};
+use seqdb::SequenceDatabase;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `hot` once to warm every buffer, then `repeats` more times under
+/// the counter and asserts not a single allocation happened.
+fn assert_zero_alloc(label: &str, repeats: usize, mut hot: impl FnMut()) {
+    hot();
+    let before = allocations();
+    for _ in 0..repeats {
+        hot();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} allocations in {repeats} warm iterations",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_growth_allocates_nothing() {
+    // A database with enough repetition that growth chains stay non-trivial
+    // (the paper's running example, tripled).
+    let db = SequenceDatabase::from_str_rows(&[
+        "ABCACBDDBABCACBDDB",
+        "ACDBACADDACDBACADD",
+        "ABCABCAABBCCABCABC",
+    ]);
+    let index = db.inverted_index();
+    let sc = SupportComputer::borrowed(&db, &index);
+    let pattern = Pattern::new(db.pattern_from_str("ACBD").unwrap());
+    let events: Vec<_> = db.catalog().ids().collect();
+    let first = pattern.events()[0];
+
+    // 1. Landmark reconstruction through the double-buffered SoA
+    //    InstanceBuffer: re-running the same reconstruction reuses both
+    //    generations' arenas.
+    let mut buffer = InstanceBuffer::new();
+    let unbounded = GapConstraints::unbounded();
+    assert_zero_alloc("InstanceBuffer::reconstruct", 100, || {
+        buffer.reconstruct(&index, &pattern, &unbounded);
+        assert!(!buffer.is_empty());
+    });
+
+    // 2. Constrained reconstruction shares the same loop and the same
+    //    buffers.
+    let constrained = GapConstraints::max_gap(4);
+    assert_zero_alloc("InstanceBuffer::reconstruct (constrained)", 100, || {
+        buffer.reconstruct(&index, &pattern, &constrained);
+    });
+
+    // 3. The compressed-instance growth chain (`supComp`) ping-ponging
+    //    between two warm support sets — the exact shape of the DFS hot
+    //    loop, where the miners recycle sets through a pool.
+    let mut support = SupportSet::new();
+    let mut spare = SupportSet::new();
+    assert_zero_alloc("instance_growth_into chain", 100, || {
+        sc.initial_support_set_into(first, &mut support);
+        for &event in &pattern.events()[1..] {
+            sc.instance_growth_into(&support, event, usize::MAX, &mut spare);
+            std::mem::swap(&mut support, &mut spare);
+        }
+        assert!(!support.is_empty());
+    });
+
+    // 4. A fan of growth attempts from one frequent pattern across the whole
+    //    alphabet — the per-node loop of GSgrow — into one recycled set.
+    let base = sc.support_set(&Pattern::new(db.pattern_from_str("AC").unwrap()));
+    let mut grown = SupportSet::new();
+    assert_zero_alloc("per-node growth fan", 100, || {
+        for &event in &events {
+            sc.instance_growth_into(&base, event, usize::MAX, &mut grown);
+        }
+    });
+}

@@ -152,7 +152,7 @@ impl LabeledDatabase {
     pub fn subset(&self, indices: &[usize]) -> LabeledDatabase {
         let sequences: Vec<Sequence> = indices
             .iter()
-            .filter_map(|&i| self.database.sequence(i).cloned())
+            .filter_map(|&i| self.database.sequence(i).map(|v| v.to_sequence()))
             .collect();
         let class_ids: Vec<ClassId> = indices.iter().filter_map(|&i| self.class_of(i)).collect();
         LabeledDatabase {
@@ -167,7 +167,7 @@ impl LabeledDatabase {
         let indices = self.sequences_of_class(class);
         let sequences: Vec<Sequence> = indices
             .iter()
-            .filter_map(|&i| self.database.sequence(i).cloned())
+            .filter_map(|&i| self.database.sequence(i).map(|v| v.to_sequence()))
             .collect();
         SequenceDatabase::from_parts(self.database.catalog().clone(), sequences)
     }

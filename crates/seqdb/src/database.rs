@@ -1,10 +1,17 @@
 //! The sequence database `SeqDB = {S1, ..., SN}` together with its event
 //! catalog, plus an incremental [`DatabaseBuilder`].
+//!
+//! Since the columnar-storage refactor the database is a thin facade over a
+//! flat [`SeqStore`]: one contiguous event arena plus a CSR offsets table.
+//! Sequences are read through borrowed [`SeqView`] slices; the owned
+//! [`Sequence`] type is only a construction unit that builders flatten into
+//! the store.
 
 use crate::catalog::{EventCatalog, EventId};
 use crate::index::InvertedIndex;
 use crate::sequence::Sequence;
 use crate::stats::DatabaseStats;
+use crate::store::{SeqIter, SeqStore, SeqView};
 
 /// A database of sequences over a shared event alphabet.
 ///
@@ -13,7 +20,7 @@ use crate::stats::DatabaseStats;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SequenceDatabase {
     catalog: EventCatalog,
-    sequences: Vec<Sequence>,
+    store: SeqStore,
 }
 
 impl SequenceDatabase {
@@ -22,9 +29,18 @@ impl SequenceDatabase {
         Self::default()
     }
 
-    /// Creates a database from pre-built parts.
+    /// Creates a database from a catalog and owned sequences, flattening the
+    /// rows into the columnar store.
     pub fn from_parts(catalog: EventCatalog, sequences: Vec<Sequence>) -> Self {
-        Self { catalog, sequences }
+        Self {
+            catalog,
+            store: sequences.into_iter().collect(),
+        }
+    }
+
+    /// Creates a database directly from a catalog and a pre-built store.
+    pub fn from_store(catalog: EventCatalog, store: SeqStore) -> Self {
+        Self { catalog, store }
     }
 
     /// Builds a database where each row is a string and each **character**
@@ -54,19 +70,25 @@ impl SequenceDatabase {
         &self.catalog
     }
 
-    /// The sequences of this database.
-    pub fn sequences(&self) -> &[Sequence] {
-        &self.sequences
+    /// The columnar event store backing this database.
+    pub fn store(&self) -> &SeqStore {
+        &self.store
     }
 
-    /// The sequence with 0-based index `idx`.
-    pub fn sequence(&self, idx: usize) -> Option<&Sequence> {
-        self.sequences.get(idx)
+    /// Iterates over the sequences of this database as [`SeqView`] slices
+    /// into the flat store.
+    pub fn sequences(&self) -> SeqIter<'_> {
+        self.store.iter()
+    }
+
+    /// The sequence with 0-based index `idx`, as a slice view.
+    pub fn sequence(&self, idx: usize) -> Option<SeqView<'_>> {
+        self.store.view(idx)
     }
 
     /// Number of sequences `N = |SeqDB|`.
     pub fn num_sequences(&self) -> usize {
-        self.sequences.len()
+        self.store.num_sequences()
     }
 
     /// Number of distinct events `E = |𝓔|` actually interned.
@@ -76,17 +98,17 @@ impl SequenceDatabase {
 
     /// Total number of events over all sequences.
     pub fn total_length(&self) -> usize {
-        self.sequences.iter().map(Sequence::len).sum()
+        self.store.total_length()
     }
 
     /// Length of the longest sequence (`L` in the complexity analysis).
     pub fn max_sequence_length(&self) -> usize {
-        self.sequences.iter().map(Sequence::len).max().unwrap_or(0)
+        self.store.max_sequence_length()
     }
 
     /// Returns `true` when the database holds no sequences.
     pub fn is_empty(&self) -> bool {
-        self.sequences.is_empty()
+        self.store.is_empty()
     }
 
     /// Builds the inverted event index of §III-D for this database.
@@ -103,15 +125,14 @@ impl SequenceDatabase {
     ///
     /// For a single-event pattern this equals its repetitive support.
     pub fn event_occurrences(&self, event: EventId) -> usize {
-        self.sequences.iter().map(|s| s.count_event(event)).sum()
+        self.store.arena().iter().filter(|&&e| e == event).count()
     }
 
     /// Number of sequences that contain `event` at least once.
     ///
     /// This is the classical *sequence support* of a single event.
     pub fn event_sequence_support(&self, event: EventId) -> usize {
-        self.sequences
-            .iter()
+        self.sequences()
             .filter(|s| s.count_event(event) > 0)
             .count()
     }
@@ -139,12 +160,14 @@ impl SequenceDatabase {
 
 /// Incremental builder for a [`SequenceDatabase`].
 ///
-/// The builder interns labels as they are pushed, so sequences from
-/// heterogeneous sources can be combined as long as their labels agree.
+/// The builder interns labels as they are pushed and appends events straight
+/// into the flat [`SeqStore`] arena, so sequences from heterogeneous sources
+/// can be combined as long as their labels agree, and `finish()` is a move —
+/// no per-sequence allocation ever happens.
 #[derive(Debug, Clone, Default)]
 pub struct DatabaseBuilder {
     catalog: EventCatalog,
-    sequences: Vec<Sequence>,
+    store: SeqStore,
 }
 
 impl DatabaseBuilder {
@@ -158,7 +181,7 @@ impl DatabaseBuilder {
     pub fn with_catalog(catalog: EventCatalog) -> Self {
         Self {
             catalog,
-            sequences: Vec::new(),
+            store: SeqStore::new(),
         }
     }
 
@@ -177,32 +200,34 @@ impl DatabaseBuilder {
     where
         I: IntoIterator<Item = &'a str>,
     {
-        let events: Vec<EventId> = tokens.into_iter().map(|t| self.catalog.intern(t)).collect();
-        self.push_sequence(Sequence::from_events(events))
+        let catalog = &mut self.catalog;
+        self.store
+            .push_events(tokens.into_iter().map(|t| catalog.intern(t)))
     }
 
-    /// Adds an already-interned sequence. The caller is responsible for the
-    /// ids being valid for this builder's catalog.
+    /// Adds an already-interned sequence, flattening it into the store. The
+    /// caller is responsible for the ids being valid for this builder's
+    /// catalog.
     pub fn push_sequence(&mut self, sequence: Sequence) -> usize {
-        self.sequences.push(sequence);
-        self.sequences.len() - 1
+        self.store.push_events(sequence.events().iter().copied())
     }
 
     /// Number of sequences added so far.
     pub fn len(&self) -> usize {
-        self.sequences.len()
+        self.store.num_sequences()
     }
 
     /// Returns `true` if no sequence has been added.
     pub fn is_empty(&self) -> bool {
-        self.sequences.is_empty()
+        self.store.is_empty()
     }
 
-    /// Finalizes the builder into a [`SequenceDatabase`].
+    /// Finalizes the builder into a [`SequenceDatabase`] (a move of the
+    /// catalog and the flat store; nothing is copied).
     pub fn finish(self) -> SequenceDatabase {
         SequenceDatabase {
             catalog: self.catalog,
-            sequences: self.sequences,
+            store: self.store,
         }
     }
 }
@@ -270,5 +295,31 @@ mod tests {
         assert!(db.is_empty());
         assert_eq!(db.total_length(), 0);
         assert_eq!(db.max_sequence_length(), 0);
+    }
+
+    #[test]
+    fn from_parts_flattens_rows_into_one_store() {
+        let catalog = EventCatalog::from_labels(["A", "B"]);
+        let db = SequenceDatabase::from_parts(
+            catalog,
+            vec![
+                Sequence::from_events(vec![EventId(0), EventId(1)]),
+                Sequence::from_events(vec![EventId(1)]),
+            ],
+        );
+        assert_eq!(db.store().offsets(), &[0, 2, 3]);
+        assert_eq!(db.store().arena(), &[EventId(0), EventId(1), EventId(1)]);
+        assert_eq!(db.sequence(1).unwrap().events(), &[EventId(1)]);
+    }
+
+    #[test]
+    fn builder_appends_straight_into_the_flat_store() {
+        let mut builder = DatabaseBuilder::new();
+        builder.push_tokens(["x", "y"]);
+        builder.push_sequence(Sequence::from_events(vec![EventId(0)]));
+        assert_eq!(builder.len(), 2);
+        let db = builder.finish();
+        assert_eq!(db.store().offsets(), &[0, 2, 3]);
+        assert_eq!(db.total_length(), 3);
     }
 }

@@ -1,47 +1,94 @@
-//! The *inverted event index* of §III-D.
+//! The *inverted event index* of §III-D, in columnar CSR layout.
 //!
 //! For each sequence `Si` and event `e`, the index stores the ordered list
 //! `L_{e,Si} = { j | Si[j] = e }` of 1-based positions at which `e` occurs.
 //! The `next(S, e, lowest)` subroutine of Algorithm 2 is then a single
 //! binary search (`O(log L)`), exactly as prescribed by the paper.
+//!
+//! # Layout
+//!
+//! All position lists live in **one** flat `positions` arena; a CSR offsets
+//! table with one slot per `(sequence, event)` pair marks where each list
+//! begins and ends. A posting list is therefore a plain `&[u32]` slice into
+//! the arena — zero pointer chasing, one cache line per short list, and the
+//! whole index is two `Vec`s (compare the seed's `Vec<Vec<Vec<u32>>>`,
+//! which paid one heap allocation and one pointer hop per non-empty list).
 
 use crate::catalog::EventId;
 use crate::database::SequenceDatabase;
 
-/// Per-database inverted event index.
+/// Per-database inverted event index in CSR layout.
 ///
-/// The index is laid out as `positions[seq][event] = Vec<u32>` where the
-/// inner vectors are strictly increasing 1-based positions. The per-sequence
-/// outer vector is indexed densely by event id, so lookups never hash.
+/// Slot `seq * num_events + event.index()` of the offsets table delimits the
+/// sorted, 1-based position list of `event` in `seq` inside the flat
+/// positions arena. Lookups never hash and never chase pointers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvertedIndex {
-    /// `positions[seq][event.index()]` = sorted positions of `event` in `seq`.
-    positions: Vec<Vec<Vec<u32>>>,
+    /// CSR offsets: slot `s * num_events + e` holds the arena range
+    /// `offsets[slot]..offsets[slot + 1]`. Length `slots + 1` (with a
+    /// leading implicit 0 stored explicitly).
+    offsets: Vec<u32>,
+    /// All position lists, concatenated in slot order. Length equals the
+    /// database's total length.
+    positions: Vec<u32>,
     num_events: usize,
+    num_sequences: usize,
 }
 
 impl InvertedIndex {
-    /// Builds the index for `db` in a single pass over the data
-    /// (`O(total_length)` time and space).
+    /// Builds the index for `db` in two passes over the flat event arena
+    /// (`O(total_length)` time and space; a counting pass sizes the CSR
+    /// ranges, a fill pass scatters the positions).
     pub fn build(db: &SequenceDatabase) -> Self {
         let num_events = db.num_events();
-        let mut positions = Vec::with_capacity(db.num_sequences());
-        for sequence in db.sequences() {
-            let mut per_event: Vec<Vec<u32>> = vec![Vec::new(); num_events];
-            for (pos, event) in sequence.iter_positions() {
-                per_event[event.index()].push(pos as u32);
+        let num_sequences = db.num_sequences();
+        let slots = num_sequences * num_events;
+        // The CSR offsets are u32: a wrapped count would silently misalign
+        // every posting list, so fail loudly instead (the store enforces
+        // the same ceiling on its own offsets).
+        assert!(
+            db.total_length() <= u32::MAX as usize,
+            "InvertedIndex offsets are u32: more than u32::MAX total events"
+        );
+
+        // Pass 1: count occurrences per (sequence, event) slot, shifted by
+        // one so the in-place prefix sum turns counts into offsets.
+        let mut offsets = vec![0u32; slots + 1];
+        for (seq, view) in db.sequences().enumerate() {
+            let base = seq * num_events;
+            for &event in view.events() {
+                offsets[base + event.index() + 1] += 1;
             }
-            positions.push(per_event);
         }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        // Pass 2: scatter 1-based positions into the arena. Within one
+        // sequence events are visited in position order, so every slot's
+        // list comes out sorted ascending.
+        let mut positions = vec![0u32; db.total_length()];
+        let mut cursor: Vec<u32> = offsets[..slots].to_vec();
+        for (seq, view) in db.sequences().enumerate() {
+            let base = seq * num_events;
+            for (pos, event) in view.iter_positions() {
+                let c = &mut cursor[base + event.index()];
+                positions[*c as usize] = pos as u32;
+                *c += 1;
+            }
+        }
+
         Self {
+            offsets,
             positions,
             num_events,
+            num_sequences,
         }
     }
 
     /// Number of sequences covered by the index.
     pub fn num_sequences(&self) -> usize {
-        self.positions.len()
+        self.num_sequences
     }
 
     /// Number of distinct events covered by the index.
@@ -60,13 +107,18 @@ impl InvertedIndex {
         list.get(idx).copied()
     }
 
-    /// All positions of `event` in sequence `seq` (sorted ascending), or
-    /// `None` when the sequence id or event id is out of range.
+    /// All positions of `event` in sequence `seq` (sorted ascending) as a
+    /// slice into the flat arena, or `None` when the sequence id or event id
+    /// is out of range.
+    #[inline]
     pub fn event_positions(&self, seq: usize, event: EventId) -> Option<&[u32]> {
-        self.positions
-            .get(seq)?
-            .get(event.index())
-            .map(Vec::as_slice)
+        if seq >= self.num_sequences || event.index() >= self.num_events {
+            return None;
+        }
+        let slot = seq * self.num_events + event.index();
+        let start = self.offsets[slot] as usize;
+        let end = self.offsets[slot + 1] as usize;
+        Some(&self.positions[start..end])
     }
 
     /// Number of occurrences of `event` in sequence `seq`.
@@ -77,7 +129,7 @@ impl InvertedIndex {
     /// Total number of occurrences of `event` in the whole database, i.e.
     /// the repetitive support of the single-event pattern `event`.
     pub fn total_count(&self, event: EventId) -> usize {
-        (0..self.positions.len())
+        (0..self.num_sequences)
             .map(|s| self.count_in_sequence(s, event))
             .sum()
     }
@@ -88,9 +140,11 @@ impl InvertedIndex {
     /// without touching the index again.
     pub fn total_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.num_events];
-        for per_event in &self.positions {
-            for (event, positions) in per_event.iter().enumerate() {
-                counts[event] += positions.len() as u64;
+        for seq in 0..self.num_sequences {
+            let base = seq * self.num_events;
+            for (event, count) in counts.iter_mut().enumerate() {
+                let slot = base + event;
+                *count += u64::from(self.offsets[slot + 1] - self.offsets[slot]);
             }
         }
         counts
@@ -99,26 +153,30 @@ impl InvertedIndex {
     /// Number of sequences in which `event` occurs at least once (classical
     /// sequence support of a single event).
     pub fn sequence_count(&self, event: EventId) -> usize {
-        (0..self.positions.len())
+        (0..self.num_sequences)
             .filter(|&s| self.count_in_sequence(s, event) > 0)
             .count()
     }
 
     /// Iterates over the sequences in which `event` occurs, yielding the
-    /// sequence index and the sorted position list.
+    /// sequence index and the sorted position list (a slice into the arena).
     pub fn sequences_with_event(
         &self,
         event: EventId,
     ) -> impl Iterator<Item = (usize, &[u32])> + '_ {
-        self.positions
-            .iter()
-            .enumerate()
-            .filter_map(move |(seq, per_event)| {
-                per_event
-                    .get(event.index())
-                    .filter(|v| !v.is_empty())
-                    .map(|v| (seq, v.as_slice()))
-            })
+        (0..self.num_sequences).filter_map(move |seq| {
+            self.event_positions(seq, event)
+                .filter(|p| !p.is_empty())
+                .map(|p| (seq, p))
+        })
+    }
+
+    /// Heap bytes of live data held by the index (positions arena + CSR
+    /// offsets table) — the number the `stats` CLI and the columnar-store
+    /// benchmark report. Counts lengths, not capacities, so it is
+    /// deterministic for a given database.
+    pub fn heap_bytes(&self) -> usize {
+        (self.positions.len() + self.offsets.len()) * std::mem::size_of::<u32>()
     }
 }
 
@@ -210,5 +268,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn csr_arena_covers_the_whole_database_exactly_once() {
+        let db = running_example();
+        let index = db.inverted_index();
+        // Every position of every sequence appears in exactly one list.
+        let total: usize = db
+            .catalog()
+            .ids()
+            .map(|event| index.total_count(event))
+            .sum();
+        assert_eq!(total, db.total_length());
+        assert!(index.heap_bytes() >= db.total_length() * 4);
+    }
+
+    #[test]
+    fn empty_and_ghost_event_databases_index_cleanly() {
+        let empty = SequenceDatabase::new();
+        let index = empty.inverted_index();
+        assert_eq!(index.num_sequences(), 0);
+        assert_eq!(index.total_counts(), Vec::<u64>::new());
+
+        // A catalog entry that never occurs gets an empty list everywhere.
+        let mut builder = crate::database::DatabaseBuilder::new();
+        builder.intern("GHOST");
+        builder.push_tokens(["A", "B"]);
+        let db = builder.finish();
+        let index = db.inverted_index();
+        let ghost = db.catalog().id("GHOST").unwrap();
+        assert_eq!(index.total_count(ghost), 0);
+        assert_eq!(index.event_positions(0, ghost), Some(&[][..]));
+        assert_eq!(index.sequences_with_event(ghost).count(), 0);
     }
 }

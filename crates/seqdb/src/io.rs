@@ -211,7 +211,7 @@ mod tests {
         assert_eq!(read_back.total_length(), db.total_length());
         // The shape of each sequence is identical (ids map 1:1 because both
         // databases intern in first-seen order).
-        for (a, b) in db.sequences().iter().zip(read_back.sequences()) {
+        for (a, b) in db.sequences().zip(read_back.sequences()) {
             assert_eq!(a.len(), b.len());
         }
     }
@@ -222,7 +222,7 @@ mod tests {
         let db = read_spmf(Cursor::new(text)).unwrap();
         assert_eq!(db.num_sequences(), 2);
         assert_eq!(db.num_events(), 3);
-        assert_eq!(db.sequences()[1].len(), 2);
+        assert_eq!(db.sequence(1).unwrap().len(), 2);
     }
 
     #[test]
@@ -266,12 +266,12 @@ mod tests {
     fn empty_sequence_round_trips_through_spmf() {
         let db = read_spmf(Cursor::new("-2\n1 -1 -2\n")).unwrap();
         assert_eq!(db.num_sequences(), 2);
-        assert_eq!(db.sequences()[0].len(), 0);
+        assert_eq!(db.sequence(0).unwrap().len(), 0);
         let mut buf = Vec::new();
         write_spmf(&db, &mut buf).unwrap();
         let again = read_spmf(Cursor::new(buf)).unwrap();
         assert_eq!(again.num_sequences(), 2);
-        assert_eq!(again.sequences()[0].len(), 0);
+        assert_eq!(again.sequence(0).unwrap().len(), 0);
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //!
 //! * [`EventCatalog`] — interning of event labels to dense [`EventId`]s so
 //!   that the mining algorithms work on small integers,
-//! * [`Sequence`] and [`SequenceDatabase`] — the database model with
-//!   builders and statistics,
-//! * [`InvertedIndex`] — the *inverted event index* of §III-D of the paper,
-//!   answering `next(S, e, lowest)` queries in `O(log L)` time,
+//! * [`SeqStore`] and [`SeqView`] — flat columnar event storage: one
+//!   contiguous arena plus a CSR offsets table, with sequences read as
+//!   borrowed slices,
+//! * [`Sequence`] and [`SequenceDatabase`] — the database model (a thin
+//!   facade over the store) with builders and statistics,
+//! * [`InvertedIndex`] — the *inverted event index* of §III-D of the paper
+//!   in the same CSR layout (flat positions arena + per-`(sequence, event)`
+//!   ranges), answering `next(S, e, lowest)` queries in `O(log L)` time,
 //! * [`io`] — readers and writers for common on-disk formats (SPMF integer
 //!   format, whitespace-token format, single-character string format, CSV),
 //! * [`stats`] — dataset summary statistics used by the experiment harness.
@@ -43,9 +47,11 @@ pub mod index;
 pub mod io;
 pub mod sequence;
 pub mod stats;
+pub mod store;
 
 pub use catalog::{EventCatalog, EventId};
 pub use database::{DatabaseBuilder, SequenceDatabase};
 pub use index::InvertedIndex;
 pub use sequence::Sequence;
 pub use stats::DatabaseStats;
+pub use store::{SeqStore, SeqView};

@@ -1,13 +1,21 @@
-//! A single sequence `S = e1 e2 ... e_len` of events.
+//! A single owned sequence `S = e1 e2 ... e_len` of events.
 //!
 //! Positions are **1-based** throughout the crate family, matching the
 //! notation of the paper (`S[i]` is the i-th event, landmarks are sequences
-//! of 1-based positions). Internally events are stored densely in a `Vec`.
+//! of 1-based positions).
+//!
+//! Since the columnar-storage refactor `Sequence` is purely a
+//! **construction** unit: builders flatten it into the flat
+//! [`SeqStore`](crate::SeqStore) arena, and all read access inside a
+//! database goes through borrowed [`SeqView`] slices. Every
+//! read method on `Sequence` delegates to its view, so the two types cannot
+//! drift apart.
 
 use crate::catalog::EventId;
+use crate::store::SeqView;
 
-/// An ordered list of events; the unit stored in a
-/// [`SequenceDatabase`](crate::SequenceDatabase).
+/// An ordered, owned list of events; the construction unit flattened into a
+/// [`SequenceDatabase`](crate::SequenceDatabase)'s columnar store.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Sequence {
     events: Vec<EventId>,
@@ -29,6 +37,12 @@ impl Sequence {
         self.events.push(event);
     }
 
+    /// A borrowed [`SeqView`] of this sequence (the type all read access in
+    /// the crate family is expressed in).
+    pub fn as_view(&self) -> SeqView<'_> {
+        SeqView::from_events(&self.events)
+    }
+
     /// Number of events in the sequence (`length` in the paper).
     pub fn len(&self) -> usize {
         self.events.len()
@@ -43,10 +57,7 @@ impl Sequence {
     ///
     /// Returns `None` when `pos == 0` or `pos > len`.
     pub fn at(&self, pos: usize) -> Option<EventId> {
-        if pos == 0 {
-            return None;
-        }
-        self.events.get(pos - 1).copied()
+        self.as_view().at(pos)
     }
 
     /// The underlying events as a slice (0-based indexing).
@@ -56,33 +67,14 @@ impl Sequence {
 
     /// Iterates over `(position, event)` pairs with 1-based positions.
     pub fn iter_positions(&self) -> impl Iterator<Item = (usize, EventId)> + '_ {
-        self.events
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, e)| (i + 1, e))
+        self.as_view().iter_positions()
     }
 
     /// Returns `true` if `pattern` occurs in this sequence as a (gapped)
-    /// subsequence, i.e. if there exists at least one landmark of `pattern`.
-    ///
-    /// This is the classical subsequence test used by sequential pattern
-    /// mining (Definition 2.1); it runs a greedy left-to-right scan in
-    /// `O(len)` time.
+    /// subsequence, i.e. if there exists at least one landmark of `pattern`
+    /// (Definition 2.1); greedy left-to-right scan in `O(len)` time.
     pub fn contains_subsequence(&self, pattern: &[EventId]) -> bool {
-        if pattern.is_empty() {
-            return true;
-        }
-        let mut j = 0;
-        for &e in &self.events {
-            if e == pattern[j] {
-                j += 1;
-                if j == pattern.len() {
-                    return true;
-                }
-            }
-        }
-        false
+        self.as_view().contains_subsequence(pattern)
     }
 
     /// Finds the *leftmost landmark* of `pattern` in this sequence starting
@@ -92,29 +84,12 @@ impl Sequence {
     /// baseline miners and by tests; the repetitive-support machinery in
     /// `rgs-core` uses the inverted index instead.
     pub fn leftmost_landmark_after(&self, pattern: &[EventId], after: usize) -> Option<Vec<usize>> {
-        if pattern.is_empty() {
-            return Some(Vec::new());
-        }
-        let mut landmark = Vec::with_capacity(pattern.len());
-        let mut j = 0;
-        for (pos, e) in self.iter_positions() {
-            if pos <= after {
-                continue;
-            }
-            if e == pattern[j] {
-                landmark.push(pos);
-                j += 1;
-                if j == pattern.len() {
-                    return Some(landmark);
-                }
-            }
-        }
-        None
+        self.as_view().leftmost_landmark_after(pattern, after)
     }
 
     /// Counts occurrences of a single event in the sequence.
     pub fn count_event(&self, event: EventId) -> usize {
-        self.events.iter().filter(|&&e| e == event).count()
+        self.as_view().count_event(event)
     }
 }
 
@@ -188,5 +163,13 @@ mod tests {
         let s = seq(&[7, 8]);
         let v: Vec<_> = s.iter_positions().collect();
         assert_eq!(v, vec![(1, EventId(7)), (2, EventId(8))]);
+    }
+
+    #[test]
+    fn as_view_round_trips() {
+        let s = seq(&[1, 2, 3]);
+        let v = s.as_view();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.to_sequence(), s);
     }
 }

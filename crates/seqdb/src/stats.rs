@@ -32,12 +32,15 @@ pub struct DatabaseStats {
     pub max_event_occurrences: usize,
     /// Mean number of occurrences per distinct event.
     pub avg_event_occurrences: f64,
+    /// Heap bytes held by the columnar event store (arena + CSR offsets) —
+    /// makes store-size regressions visible without a profiler.
+    pub store_bytes: usize,
 }
 
 impl DatabaseStats {
     /// Computes the statistics for `db`.
     pub fn compute(db: &SequenceDatabase) -> Self {
-        let mut lengths: Vec<usize> = db.sequences().iter().map(|s| s.len()).collect();
+        let mut lengths: Vec<usize> = db.sequences().map(|s| s.len()).collect();
         lengths.sort_unstable();
         let num_sequences = lengths.len();
         let total_length: usize = lengths.iter().sum();
@@ -74,6 +77,7 @@ impl DatabaseStats {
             median_length,
             max_event_occurrences,
             avg_event_occurrences,
+            store_bytes: db.store().heap_bytes(),
         }
     }
 

@@ -1,0 +1,372 @@
+//! Columnar event storage: the flat CSR [`SeqStore`] and its borrowed
+//! per-sequence [`SeqView`].
+//!
+//! All events of all sequences live in **one** contiguous `Vec<EventId>`;
+//! a CSR (compressed sparse row) offsets table marks where each sequence
+//! begins and ends. A sequence is therefore just a `&[EventId]` slice into
+//! the arena — no per-sequence heap allocation, no pointer chasing, and the
+//! whole store is trivially mmap- and slice-shardable.
+//!
+//! [`SequenceDatabase`](crate::SequenceDatabase) is a thin facade over a
+//! `SeqStore` plus an [`EventCatalog`](crate::EventCatalog); the owned
+//! [`Sequence`] type remains as the *construction* unit
+//! (builders flatten it into the store), while all *access* goes through
+//! [`SeqView`] slices.
+
+use crate::catalog::EventId;
+use crate::sequence::Sequence;
+
+/// Flat columnar storage for the events of a whole database.
+///
+/// Layout: `events` holds every event of every sequence back to back;
+/// `offsets` has one entry per sequence plus a trailing sentinel, so
+/// sequence `i` occupies `events[offsets[i]..offsets[i + 1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqStore {
+    /// All events of all sequences, concatenated.
+    events: Vec<EventId>,
+    /// CSR offsets: `offsets[i]..offsets[i + 1]` is sequence `i`.
+    /// Invariant: `offsets[0] == 0`, monotone non-decreasing, and the last
+    /// entry equals `events.len()`.
+    offsets: Vec<u32>,
+}
+
+impl Default for SeqStore {
+    fn default() -> Self {
+        Self {
+            events: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+}
+
+impl SeqStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with room for `sequences` rows of `events`
+    /// events in total (one allocation each for the arena and the offsets).
+    pub fn with_capacity(sequences: usize, events: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sequences + 1);
+        offsets.push(0);
+        Self {
+            events: Vec::with_capacity(events),
+            offsets,
+        }
+    }
+
+    /// Appends one sequence given as an iterator of events; returns its
+    /// 0-based index.
+    pub fn push_events<I>(&mut self, events: I) -> usize
+    where
+        I: IntoIterator<Item = EventId>,
+    {
+        self.events.extend(events);
+        // Hard assert (not debug-only): a silently wrapped u32 offset would
+        // make every later view slice the wrong events. ~4.29 billion
+        // events is the store's documented capacity ceiling.
+        assert!(
+            self.events.len() <= u32::MAX as usize,
+            "SeqStore offsets are u32: more than u32::MAX total events"
+        );
+        self.offsets.push(self.events.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// Number of sequences in the store.
+    pub fn num_sequences(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of events over all sequences (the arena length).
+    pub fn total_length(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the store holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.num_sequences() == 0
+    }
+
+    /// Length of sequence `seq`, or 0 when out of range.
+    pub fn seq_len(&self, seq: usize) -> usize {
+        self.view(seq).map_or(0, |v| v.len())
+    }
+
+    /// Length of the longest sequence.
+    pub fn max_sequence_length(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The events of sequence `seq` as a slice into the arena.
+    pub fn view(&self, seq: usize) -> Option<SeqView<'_>> {
+        if seq + 1 >= self.offsets.len() {
+            return None;
+        }
+        let start = self.offsets[seq] as usize;
+        let end = self.offsets[seq + 1] as usize;
+        Some(SeqView {
+            events: &self.events[start..end],
+        })
+    }
+
+    /// Iterates over all sequences as [`SeqView`] slices.
+    pub fn iter(&self) -> SeqIter<'_> {
+        SeqIter {
+            store: self,
+            next: 0,
+        }
+    }
+
+    /// The whole event arena (all sequences concatenated).
+    pub fn arena(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// The CSR offsets table (one entry per sequence plus a sentinel).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Heap bytes of live data held by the store (arena + offsets table).
+    ///
+    /// Counts lengths rather than capacities, so the number is deterministic
+    /// for a given database regardless of how it was built.
+    pub fn heap_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<EventId>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl FromIterator<Sequence> for SeqStore {
+    fn from_iter<T: IntoIterator<Item = Sequence>>(iter: T) -> Self {
+        let mut store = SeqStore::new();
+        for sequence in iter {
+            store.push_events(sequence.events().iter().copied());
+        }
+        store
+    }
+}
+
+/// A borrowed view of one sequence: a slice into the [`SeqStore`] arena.
+///
+/// `SeqView` is `Copy` and mirrors the read API of the owned
+/// [`Sequence`] type (1-based positions, subsequence scan,
+/// landmark search), so call sites work identically on flat storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqView<'a> {
+    events: &'a [EventId],
+}
+
+impl<'a> SeqView<'a> {
+    /// Wraps a raw event slice as a view.
+    pub fn from_events(events: &'a [EventId]) -> Self {
+        Self { events }
+    }
+
+    /// Number of events in the sequence (`length` in the paper).
+    pub fn len(self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the sequence contains no events.
+    pub fn is_empty(self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event at **1-based** position `pos` (`S[pos]` in the paper).
+    ///
+    /// Returns `None` when `pos == 0` or `pos > len`.
+    pub fn at(self, pos: usize) -> Option<EventId> {
+        if pos == 0 {
+            return None;
+        }
+        self.events.get(pos - 1).copied()
+    }
+
+    /// The underlying events as a slice (0-based indexing). The lifetime is
+    /// that of the store, not of the view value.
+    pub fn events(self) -> &'a [EventId] {
+        self.events
+    }
+
+    /// Iterates over `(position, event)` pairs with 1-based positions.
+    pub fn iter_positions(self) -> impl Iterator<Item = (usize, EventId)> + 'a {
+        self.events
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, e)| (i + 1, e))
+    }
+
+    /// Counts occurrences of a single event in the sequence.
+    pub fn count_event(self, event: EventId) -> usize {
+        self.events.iter().filter(|&&e| e == event).count()
+    }
+
+    /// Returns `true` if `pattern` occurs in this sequence as a (gapped)
+    /// subsequence (Definition 2.1); greedy left-to-right scan, `O(len)`.
+    pub fn contains_subsequence(self, pattern: &[EventId]) -> bool {
+        if pattern.is_empty() {
+            return true;
+        }
+        let mut j = 0;
+        for &e in self.events {
+            if e == pattern[j] {
+                j += 1;
+                if j == pattern.len() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Finds the *leftmost landmark* of `pattern` starting strictly after
+    /// position `after` (1-based), if any. Returns 1-based positions.
+    pub fn leftmost_landmark_after(self, pattern: &[EventId], after: usize) -> Option<Vec<usize>> {
+        if pattern.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut landmark = Vec::with_capacity(pattern.len());
+        let mut j = 0;
+        for (pos, e) in self.iter_positions() {
+            if pos <= after {
+                continue;
+            }
+            if e == pattern[j] {
+                landmark.push(pos);
+                j += 1;
+                if j == pattern.len() {
+                    return Some(landmark);
+                }
+            }
+        }
+        None
+    }
+
+    /// Copies the view into an owned [`Sequence`].
+    pub fn to_sequence(self) -> Sequence {
+        Sequence::from_events(self.events.to_vec())
+    }
+}
+
+/// Iterator over the sequences of a [`SeqStore`], yielding [`SeqView`]s.
+#[derive(Debug, Clone)]
+pub struct SeqIter<'a> {
+    store: &'a SeqStore,
+    next: usize,
+}
+
+impl<'a> Iterator for SeqIter<'a> {
+    type Item = SeqView<'a>;
+
+    fn next(&mut self) -> Option<SeqView<'a>> {
+        let view = self.store.view(self.next)?;
+        self.next += 1;
+        Some(view)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.store.num_sequences().saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SeqIter<'_> {}
+impl std::iter::FusedIterator for SeqIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(rows: &[&[u32]]) -> SeqStore {
+        let mut store = SeqStore::new();
+        for row in rows {
+            store.push_events(row.iter().map(|&i| EventId(i)));
+        }
+        store
+    }
+
+    #[test]
+    fn csr_layout_slices_sequences_out_of_one_arena() {
+        let s = store(&[&[1, 2, 3], &[], &[4, 5]]);
+        assert_eq!(s.num_sequences(), 3);
+        assert_eq!(s.total_length(), 5);
+        assert_eq!(s.offsets(), &[0, 3, 3, 5]);
+        assert_eq!(
+            s.view(0).unwrap().events(),
+            &[EventId(1), EventId(2), EventId(3)]
+        );
+        assert!(s.view(1).unwrap().is_empty());
+        assert_eq!(s.view(2).unwrap().events(), &[EventId(4), EventId(5)]);
+        assert_eq!(s.view(3), None);
+        assert_eq!(s.max_sequence_length(), 3);
+        assert_eq!(s.seq_len(2), 2);
+        assert_eq!(s.seq_len(9), 0);
+    }
+
+    #[test]
+    fn empty_store_reports_zeroes() {
+        let s = SeqStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.num_sequences(), 0);
+        assert_eq!(s.max_sequence_length(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.view(0), None);
+    }
+
+    #[test]
+    fn iter_is_exact_size_and_yields_views_in_order() {
+        let s = store(&[&[7], &[8, 9]]);
+        let mut iter = s.iter();
+        assert_eq!(iter.len(), 2);
+        assert_eq!(iter.next().unwrap().events(), &[EventId(7)]);
+        assert_eq!(iter.len(), 1);
+        assert_eq!(iter.next().unwrap().events(), &[EventId(8), EventId(9)]);
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.next(), None); // fused
+    }
+
+    #[test]
+    fn view_mirrors_sequence_semantics() {
+        let s = store(&[&[0, 1, 2, 0, 1, 2, 0]]);
+        let v = s.view(0).unwrap();
+        assert_eq!(v.at(0), None);
+        assert_eq!(v.at(1), Some(EventId(0)));
+        assert_eq!(v.at(7), Some(EventId(0)));
+        assert_eq!(v.at(8), None);
+        assert_eq!(v.count_event(EventId(0)), 3);
+        assert!(v.contains_subsequence(&[EventId(0), EventId(1), EventId(0)]));
+        assert!(!v.contains_subsequence(&[EventId(2), EventId(2), EventId(2)]));
+        assert_eq!(
+            v.leftmost_landmark_after(&[EventId(0), EventId(1)], 1),
+            Some(vec![4, 5])
+        );
+        assert_eq!(v.to_sequence().len(), 7);
+    }
+
+    #[test]
+    fn from_iterator_of_sequences_flattens() {
+        let s: SeqStore = vec![
+            Sequence::from_events(vec![EventId(1)]),
+            Sequence::from_events(vec![EventId(2), EventId(3)]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.num_sequences(), 2);
+        assert_eq!(s.arena(), &[EventId(1), EventId(2), EventId(3)]);
+    }
+
+    #[test]
+    fn heap_bytes_counts_arena_and_offsets() {
+        let s = store(&[&[1, 2, 3, 4]]);
+        assert!(s.heap_bytes() >= 4 * std::mem::size_of::<EventId>() + 2 * 4);
+    }
+}

@@ -159,7 +159,6 @@ mod tests {
         let db = small_config().with_seed(5).generate();
         let longest = db
             .sequences()
-            .iter()
             .max_by_key(|s| s.len())
             .expect("non-empty database");
         let mut counts = std::collections::HashMap::new();

@@ -285,7 +285,7 @@ mod tests {
             .iter()
             .map(|l| db.catalog().id(l).expect("label interned"))
             .collect();
-        for (i, seq) in db.sequences().iter().enumerate() {
+        for (i, seq) in db.sequences().enumerate() {
             assert!(
                 seq.contains_subsequence(&behaviour),
                 "trace {i} misses the end-to-end behaviour"
@@ -311,7 +311,6 @@ mod tests {
         let enlist = db.catalog().id("TransImpl.enlistResource").unwrap();
         let repeated = db
             .sequences()
-            .iter()
             .filter(|s| s.count_event(enlist) >= 2)
             .count();
         assert!(

@@ -179,7 +179,6 @@ mod tests {
         let mean_errors = |class: &str| {
             let (total, count) = db
                 .sequences()
-                .iter()
                 .zip(&labels)
                 .filter(|(_, l)| l.as_str() == class)
                 .fold((0usize, 0usize), |(t, c), (s, _)| {
@@ -201,7 +200,7 @@ mod tests {
         // classes; every trace of either class uses the core events.
         let (db, labels) = small().generate();
         let acquire = db.catalog().id("acquire").unwrap();
-        for (seq, label) in db.sequences().iter().zip(&labels) {
+        for (seq, label) in db.sequences().zip(&labels) {
             assert!(
                 seq.count_event(acquire) >= 1,
                 "trace of class {label} lacks the shared vocabulary"
@@ -214,7 +213,7 @@ mod tests {
         let (db, labels) = small().generate();
         let acquire = db.catalog().id("acquire").unwrap();
         let release = db.catalog().id("release").unwrap();
-        for (seq, label) in db.sequences().iter().zip(&labels) {
+        for (seq, label) in db.sequences().zip(&labels) {
             if label == NORMAL_LABEL {
                 assert_eq!(seq.count_event(acquire), seq.count_event(release));
             }

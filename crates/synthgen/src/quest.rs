@@ -262,7 +262,6 @@ mod tests {
         let db = config.generate();
         let repeated = db
             .sequences()
-            .iter()
             .filter(|s| {
                 let mut counts = std::collections::HashMap::new();
                 for &e in s.events() {

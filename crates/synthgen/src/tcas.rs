@@ -149,7 +149,6 @@ mod tests {
         // repeat its first event at least twice.
         let repeated = db
             .sequences()
-            .iter()
             .filter(|s| {
                 let mut counts = std::collections::HashMap::new();
                 for &e in s.events() {
