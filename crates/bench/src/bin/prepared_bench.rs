@@ -1,12 +1,21 @@
 //! Prepared-engine benchmark binary.
 //!
 //! Measures the parallel-mining speedup and the prepared-reuse speedup on
-//! the features pipeline and writes the result to
-//! `BENCH_prepared_engine.json` (repository root by convention).
+//! the features pipeline (`BENCH_prepared_engine.json`), the columnar
+//! storage layer (`BENCH_columnar_store.json`), and the snapshot
+//! cold-start paths — build-from-text vs open-snapshot latency, bytes on
+//! disk vs arena bytes (`BENCH_snapshot.json`). All three files land at
+//! the repository root by convention.
 //!
 //! ```text
 //! prepared_bench [--scale dev|paper] [--threads N] [--repeats N] [--out FILE]
+//!                [--columnar-out FILE] [--snapshot-out FILE]
+//!                [--only prepared|columnar|snapshot]
 //! ```
+//!
+//! `--only` restricts the run to one benchmark (and its output file) —
+//! CI uses `--only snapshot` so the artifact job does not pay for the
+//! other two suites.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +30,9 @@ fn main() -> ExitCode {
     let mut repeats = 3usize;
     let mut out = PathBuf::from("BENCH_prepared_engine.json");
     let mut columnar_out = PathBuf::from("BENCH_columnar_store.json");
+    let mut snapshot_out = PathBuf::from("BENCH_snapshot.json");
+    // Which benchmarks to run: (prepared, columnar, snapshot).
+    let mut phases = (true, true, true);
 
     let mut i = 0;
     while i < args.len() {
@@ -64,10 +76,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--snapshot-out" => match need_value(&mut i) {
+                Some(path) => snapshot_out = PathBuf::from(path),
+                None => {
+                    eprintln!("--snapshot-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--only" => match need_value(&mut i).as_deref() {
+                Some("prepared") => phases = (true, false, false),
+                Some("columnar") => phases = (false, true, false),
+                Some("snapshot") => phases = (false, false, true),
+                _ => {
+                    eprintln!("--only needs prepared|columnar|snapshot");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "prepared_bench [--scale dev|paper] [--threads N] [--repeats N] \
-                     [--out FILE] [--columnar-out FILE]"
+                     [--out FILE] [--columnar-out FILE] [--snapshot-out FILE] \
+                     [--only prepared|columnar|snapshot]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,38 +108,68 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let report = prepared_bench::run(scale, threads, repeats);
-    let json = report.to_json();
-    println!("{json}");
-    println!(
-        "# parallel speedup: {:.2}x ({} threads, identical output: {}); \
-         prepared-reuse speedup on the pipeline sweep: {:.2}x",
-        report.parallel_speedup,
-        report.threads,
-        report.parallel_output_identical,
-        report.prepared_reuse_speedup,
-    );
-    if let Err(err) = std::fs::write(&out, &json) {
-        eprintln!("error: cannot write {}: {err}", out.display());
-        return ExitCode::FAILURE;
-    }
-    eprintln!("# written to {}", out.display());
-
-    // Storage-layer measurements of the columnar refactor (index build
-    // time, byte footprints, instance-growth throughput on Fig. 2/5/6).
-    let columnar = prepared_bench::run_columnar(scale, repeats);
-    let columnar_json = columnar.to_json();
-    println!("{columnar_json}");
-    for w in &columnar.workloads {
+    if phases.0 {
+        let report = prepared_bench::run(scale, threads, repeats);
+        let json = report.to_json();
+        println!("{json}");
         println!(
-            "# {}: {:.0} growths/s, index build {:.4}s, {:.1} B/event",
-            w.dataset, w.growths_per_second, w.index_build_seconds, w.bytes_per_event
+            "# parallel speedup: {:.2}x ({} threads, identical output: {}); \
+             prepared-reuse speedup on the pipeline sweep: {:.2}x",
+            report.parallel_speedup,
+            report.threads,
+            report.parallel_output_identical,
+            report.prepared_reuse_speedup,
         );
+        if let Err(err) = std::fs::write(&out, &json) {
+            eprintln!("error: cannot write {}: {err}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# written to {}", out.display());
     }
-    if let Err(err) = std::fs::write(&columnar_out, &columnar_json) {
-        eprintln!("error: cannot write {}: {err}", columnar_out.display());
-        return ExitCode::FAILURE;
+
+    if phases.1 {
+        // Storage-layer measurements of the columnar refactor (index build
+        // time, byte footprints, instance-growth throughput on Fig. 2/5/6).
+        let columnar = prepared_bench::run_columnar(scale, repeats);
+        let columnar_json = columnar.to_json();
+        println!("{columnar_json}");
+        for w in &columnar.workloads {
+            println!(
+                "# {}: {:.0} growths/s, index build {:.4}s, {:.1} B/event",
+                w.dataset, w.growths_per_second, w.index_build_seconds, w.bytes_per_event
+            );
+        }
+        if let Err(err) = std::fs::write(&columnar_out, &columnar_json) {
+            eprintln!("error: cannot write {}: {err}", columnar_out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# written to {}", columnar_out.display());
     }
-    eprintln!("# written to {}", columnar_out.display());
+
+    if phases.2 {
+        // Snapshot cold starts: build-from-text vs open-snapshot on the same
+        // workloads, plus bytes on disk vs arena bytes and the bit-identical
+        // round-trip check.
+        let snapshot = prepared_bench::run_snapshot(scale, repeats);
+        let snapshot_json = snapshot.to_json();
+        println!("{snapshot_json}");
+        for w in &snapshot.workloads {
+            println!(
+                "# {}: cold open {:.2}x faster than rebuild ({:.4}s vs {:.4}s), \
+                 {} bytes on disk, identical output: {}",
+                w.dataset,
+                w.cold_start_speedup,
+                w.open_snapshot_seconds,
+                w.build_from_text_seconds,
+                w.snapshot_bytes,
+                w.roundtrip_identical,
+            );
+        }
+        if let Err(err) = std::fs::write(&snapshot_out, &snapshot_json) {
+            eprintln!("error: cannot write {}: {err}", snapshot_out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# written to {}", snapshot_out.display());
+    }
     ExitCode::SUCCESS
 }

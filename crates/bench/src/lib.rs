@@ -13,7 +13,14 @@
 //!   pattern counts,
 //! * [`report`] — small table/markdown/JSON reporting utilities,
 //! * [`experiments`] — one function per experiment, returning a
-//!   [`report::ExperimentReport`].
+//!   [`report::ExperimentReport`],
+//! * [`prepared_bench`] — the engine-level benchmarks behind the
+//!   `BENCH_*.json` entries at the repository root: parallel and
+//!   prepared-reuse speedups (`BENCH_prepared_engine.json`), columnar
+//!   storage measurements (`BENCH_columnar_store.json`), and the snapshot
+//!   cold-start comparison — build-from-text vs zero-copy open
+//!   (`BENCH_snapshot.json`) — all runnable via
+//!   `cargo run --release -p rgs-bench --bin prepared_bench`.
 //!
 //! Absolute runtimes are hardware-dependent; what the harness is expected to
 //! reproduce is the *shape* of every figure: the closed miner reports far
@@ -21,6 +28,35 @@
 //! patterns blows up, runtimes grow with the number of sequences and with
 //! the average sequence length, and the case study recovers the long
 //! end-to-end behaviour plus the lock→unlock micro-pattern.
+//!
+//! # Example — render a cold-start report entry
+//!
+//! Dataset generation and mining are too heavy for a doctest (the real
+//! runs live behind the `prepared_bench` binary); the report types are
+//! plain data and render hand-rolled JSON:
+//!
+//! ```
+//! use rgs_bench::prepared_bench::{SnapshotReport, SnapshotWorkload};
+//!
+//! let report = SnapshotReport {
+//!     scale: "dev".into(),
+//!     workloads: vec![SnapshotWorkload {
+//!         dataset: "QUEST C10T8S8I8: 2000 sequences".into(),
+//!         min_sup: 20,
+//!         build_from_text_seconds: 0.031,
+//!         write_seconds: 0.002,
+//!         open_snapshot_seconds: 0.0004,
+//!         cold_start_speedup: 77.5,
+//!         snapshot_bytes: 250_432,
+//!         heap_bytes: 248_120,
+//!         mmap: true,
+//!         roundtrip_identical: true,
+//!     }],
+//! };
+//! let json = report.to_json();
+//! assert!(json.contains("\"benchmark\": \"snapshot_cold_start\""));
+//! assert_eq!(json.matches('{').count(), json.matches('}').count());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

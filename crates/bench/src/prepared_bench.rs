@@ -9,6 +9,14 @@
 //! throughput on the Fig. 2/5/6 workloads — written to
 //! `BENCH_columnar_store.json` so regressions against the PR 2 baseline
 //! (`BENCH_prepared_engine.json`) stay visible.
+//!
+//! The snapshot subsystem gets its own cold-start benchmark
+//! ([`run_snapshot`], written to `BENCH_snapshot.json`): on each Fig. 2/5/6
+//! workload it compares *build-from-text* (parse the token file, intern,
+//! build the CSR index, compute the counts) against *open-snapshot* (map
+//! one image file and validate its checksum), records bytes on disk next
+//! to `PreparedDb::heap_bytes`, and asserts that mining the reopened
+//! snapshot is bit-identical to mining the original.
 
 use std::time::Instant;
 
@@ -354,6 +362,188 @@ pub fn run_columnar(scale: Scale, repeats: usize) -> ColumnarStoreReport {
     }
 }
 
+/// Cold-start measurements of one Fig. 2/5/6 workload.
+#[derive(Debug, Clone)]
+pub struct SnapshotWorkload {
+    /// Dataset description (name + stats summary).
+    pub dataset: String,
+    /// Support threshold of the round-trip mining check.
+    pub min_sup: u64,
+    /// Best-of-N wall time of a cold build from text: parse the token
+    /// file, intern every label, flatten into the store, build the CSR
+    /// index, and compute the per-event counts (what a service restart
+    /// costs *without* snapshots).
+    pub build_from_text_seconds: f64,
+    /// Best-of-N wall time of one `PreparedDb::write_snapshot`.
+    pub write_seconds: f64,
+    /// Best-of-N wall time of one `PreparedDb::open_snapshot`: map the
+    /// image, verify the checksum, reconstruct every arena zero-copy.
+    pub open_snapshot_seconds: f64,
+    /// `build_from_text_seconds / open_snapshot_seconds` — the cold-start
+    /// win of shipping an image instead of text.
+    pub cold_start_speedup: f64,
+    /// Size of the image file on disk.
+    pub snapshot_bytes: u64,
+    /// `PreparedDb::heap_bytes` of the snapshotted arenas — the disk image
+    /// is this plus header, section table, catalog, counts, and padding.
+    pub heap_bytes: usize,
+    /// Whether the open used `mmap` (zero-copy) or the buffered fallback.
+    pub mmap: bool,
+    /// Whether closed mining on the reopened snapshot was bit-identical to
+    /// mining the in-memory preparation.
+    pub roundtrip_identical: bool,
+}
+
+impl SnapshotWorkload {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": {}, \"min_sup\": {}, \
+             \"build_from_text_seconds\": {:.6}, \"write_seconds\": {:.6}, \
+             \"open_snapshot_seconds\": {:.6}, \"cold_start_speedup\": {:.2}, \
+             \"snapshot_bytes\": {}, \"heap_bytes\": {}, \"mmap\": {}, \
+             \"roundtrip_identical\": {}}}",
+            escape(&self.dataset),
+            self.min_sup,
+            self.build_from_text_seconds,
+            self.write_seconds,
+            self.open_snapshot_seconds,
+            self.cold_start_speedup,
+            self.snapshot_bytes,
+            self.heap_bytes,
+            self.mmap,
+            self.roundtrip_identical,
+        )
+    }
+}
+
+/// The snapshot cold-start benchmark report (`BENCH_snapshot.json`).
+#[derive(Debug, Clone)]
+pub struct SnapshotReport {
+    /// Benchmark scale (dev/paper).
+    pub scale: String,
+    /// Per-workload cold-start measurements (Fig. 2, 5, 6).
+    pub workloads: Vec<SnapshotWorkload>,
+}
+
+impl SnapshotReport {
+    /// Renders the report as a JSON object (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let workloads: Vec<String> = self
+            .workloads
+            .iter()
+            .map(|w| format!("    {}", w.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"snapshot_cold_start\",\n  \"scale\": {},\n  \
+             \"workloads\": [\n{}\n  ]\n}}\n",
+            escape(&self.scale),
+            workloads.join(",\n"),
+        )
+    }
+}
+
+/// Measures one workload's cold-start paths. Both temp files (the token
+/// text and the image) are removed before returning.
+fn snapshot_workload(
+    name: &str,
+    db: &seqdb::SequenceDatabase,
+    min_sup: u64,
+    repeats: usize,
+) -> SnapshotWorkload {
+    let dir = std::env::temp_dir();
+    let tag = format!("rgs-snapbench-{}-{name}", std::process::id()).replace([' ', '/'], "-");
+    let text_path = dir.join(format!("{tag}.tokens"));
+    let image_path = dir.join(format!("{tag}.snap"));
+
+    seqdb::io::write_tokens_file(db, &text_path).expect("write token file");
+    let (build_from_text_seconds, prepared) = best_of(repeats, || {
+        let db = seqdb::io::read_tokens_file(&text_path).expect("read token file");
+        PreparedDb::from_database(db)
+    });
+
+    let (write_seconds, snapshot_bytes) = best_of(repeats, || {
+        prepared
+            .write_snapshot(&image_path)
+            .expect("write snapshot")
+    });
+    let (open_snapshot_seconds, reopened) = best_of(repeats, || {
+        PreparedDb::open_snapshot(&image_path).expect("open snapshot")
+    });
+    let mmap = seqdb::SnapshotImage::open(&image_path)
+        .map(|image| image.is_mapped())
+        .unwrap_or(false);
+
+    // Closed mining explodes combinatorially at the Fig. 5/6 thresholds
+    // (the columnar benchmark caps its growth runs for the same reason), so
+    // the bit-identity check applies a uniform cap to both sides — the
+    // compared prefixes are still exact.
+    let fresh = prepared
+        .miner()
+        .min_sup(min_sup)
+        .mode(Mode::Closed)
+        .max_patterns(GROWTH_PATTERN_CAP)
+        .run();
+    let cold = reopened
+        .miner()
+        .min_sup(min_sup)
+        .mode(Mode::Closed)
+        .max_patterns(GROWTH_PATTERN_CAP)
+        .run();
+    let roundtrip_identical = fresh.patterns == cold.patterns;
+
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&image_path).ok();
+
+    SnapshotWorkload {
+        dataset: format!("{name}: {}", db.stats().summary()),
+        min_sup,
+        build_from_text_seconds,
+        write_seconds,
+        open_snapshot_seconds,
+        cold_start_speedup: build_from_text_seconds / open_snapshot_seconds.max(1e-12),
+        snapshot_bytes,
+        heap_bytes: prepared.heap_bytes(),
+        mmap,
+        roundtrip_identical,
+    }
+}
+
+/// Runs the snapshot cold-start benchmark on the Fig. 2/5/6 workloads.
+pub fn run_snapshot(scale: Scale, repeats: usize) -> SnapshotReport {
+    let mut workloads = Vec::new();
+
+    let (fig2_name, fig2_db) = datasets::fig2_dataset(scale);
+    let fig2_thresholds = datasets::fig2_thresholds(scale);
+    let fig2_min_sup = fig2_thresholds[fig2_thresholds.len() - 1];
+    workloads.push(snapshot_workload(
+        &fig2_name,
+        &fig2_db,
+        fig2_min_sup,
+        repeats,
+    ));
+
+    let fig56_min_sup = datasets::fig5_fig6_threshold(scale);
+    let (fig5_name, fig5_db) = datasets::fig5_largest(scale);
+    workloads.push(snapshot_workload(
+        &fig5_name,
+        &fig5_db,
+        fig56_min_sup,
+        repeats,
+    ));
+    let (fig6_name, fig6_db) = datasets::fig6_largest(scale);
+    workloads.push(snapshot_workload(
+        &fig6_name,
+        &fig6_db,
+        fig56_min_sup,
+        repeats,
+    ));
+
+    SnapshotReport {
+        scale: format!("{scale:?}").to_lowercase(),
+        workloads,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +606,42 @@ mod tests {
         assert!(json.contains("\"growths_per_second\": 10000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_report_serializes_to_balanced_json() {
+        let report = SnapshotReport {
+            scale: "dev".into(),
+            workloads: vec![SnapshotWorkload {
+                dataset: "toy".into(),
+                min_sup: 4,
+                build_from_text_seconds: 0.2,
+                write_seconds: 0.01,
+                open_snapshot_seconds: 0.002,
+                cold_start_speedup: 100.0,
+                snapshot_bytes: 4096,
+                heap_bytes: 3500,
+                mmap: true,
+                roundtrip_identical: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"snapshot_cold_start\""));
+        assert!(json.contains("\"cold_start_speedup\": 100.00"));
+        assert!(json.contains("\"roundtrip_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_workload_round_trips_a_small_database() {
+        let db = seqdb::SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let w = snapshot_workload("running example", &db, 2, 1);
+        assert!(w.roundtrip_identical, "snapshot round trip diverged");
+        assert!(w.snapshot_bytes as usize >= w.heap_bytes);
+        assert!(w.build_from_text_seconds >= 0.0);
+        assert!(w.open_snapshot_seconds >= 0.0);
+        assert!(w.write_seconds >= 0.0);
     }
 
     #[test]

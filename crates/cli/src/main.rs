@@ -2,18 +2,21 @@
 //! subsequences, built on the unified `Miner` engine.
 //!
 //! ```text
-//! rgs-mine [mine] --input FILE [--format tokens|spmf|chars|json] --min-sup K
+//! rgs-mine [mine] --input FILE|--snapshot IMG [--format tokens|spmf|chars|json]
+//!          --min-sup K
 //!          [--mode all|closed|maximal] [--closed] [--all] [--maximal-mode]
 //!          [--min-gap G] [--max-gap G] [--max-window W]
 //!          [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]
 //!          [--threads N] [--top T] [--density R] [--maximal] [--stream]
-//! rgs-mine topk  --input FILE -k K [--min-sup FLOOR] [--threads N] [...]
-//! rgs-mine stats --input FILE [--format tokens|spmf|chars]
+//! rgs-mine topk  --input FILE|--snapshot IMG -k K [--min-sup FLOOR] [...]
+//! rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars]
+//! rgs-mine snapshot build --input FILE [--format ...] --out IMG
+//! rgs-mine snapshot info  --snapshot IMG
 //! rgs-mine demo  [--min-sup K] [--mode ...]
 //! ```
 //!
 //! The `stats` subcommand prints the dataset summary (rows, events,
-//! alphabet size, lengths) together with the memory footprint of the
+//! alphabet size, lengths) together with the byte footprint of the
 //! columnar store and the CSR inverted index, so store-size regressions are
 //! visible without a profiler. The `topk` subcommand ranks the best `k`
 //! closed patterns and composes with the gap/window constraint flags — gap-constrained top-k mining from
@@ -22,6 +25,13 @@
 //! mines on N worker threads (bit-identical output), and `--format json`
 //! switches the output to a JSON document containing the `MiningReport`
 //! and the reported patterns.
+//!
+//! `snapshot build` prepares a database once (interning, inverted index,
+//! frequent-event counts) and serializes it into a single image file;
+//! `--snapshot IMG` then serves any mining/stats invocation straight from
+//! that image — the file is `mmap`ed and validated, nothing is
+//! re-tokenized or re-indexed. `snapshot info` prints the image's header
+//! and section table after validating its checksum.
 
 use std::ops::ControlFlow;
 use std::path::PathBuf;
@@ -29,14 +39,21 @@ use std::process::ExitCode;
 
 use rgs_core::{
     json, postprocess, sort_patterns_for_report, CollectSink, GapConstraints, MinedPattern, Miner,
-    Mode, PostProcessConfig,
+    Mode, PostProcessConfig, PreparedDb,
 };
+use seqdb::snapshot::{section_id, SnapshotImage};
 use seqdb::{io as seqio, SequenceDatabase};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 struct Options {
     input: Option<PathBuf>,
+    /// Mine/stat straight from a snapshot image instead of a text file.
+    snapshot: Option<PathBuf>,
+    /// Output path of `snapshot build`.
+    out: Option<PathBuf>,
+    /// Which `snapshot` subcommand ran, if any.
+    snapshot_cmd: Option<SnapshotCmd>,
     format: Format,
     min_sup: u64,
     mode: Mode,
@@ -64,10 +81,19 @@ enum Format {
     Chars,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SnapshotCmd {
+    Build,
+    Info,
+}
+
 impl Default for Options {
     fn default() -> Self {
         Self {
             input: None,
+            snapshot: None,
+            out: None,
+            snapshot_cmd: None,
             format: Format::Tokens,
             min_sup: 2,
             mode: Mode::Closed,
@@ -105,8 +131,9 @@ impl Options {
         constraints
     }
 
-    fn miner<'a>(&self, db: &'a SequenceDatabase) -> Miner<'a> {
-        let mut miner = Miner::new(db)
+    /// Applies every query option to a miner builder, whatever its source.
+    fn apply<'a>(&self, miner: Miner<'a>) -> Miner<'a> {
+        let mut miner = miner
             .min_sup(self.min_sup)
             .mode(self.mode)
             .constraints(self.constraints());
@@ -125,6 +152,12 @@ impl Options {
         miner.threads(self.threads)
     }
 
+    /// Test convenience: a lazily-preparing miner over a bare database.
+    #[cfg(test)]
+    fn miner<'a>(&self, db: &'a SequenceDatabase) -> Miner<'a> {
+        self.apply(Miner::new(db))
+    }
+
     fn mode_label(&self) -> String {
         let base = match self.mode {
             Mode::All => "frequent",
@@ -136,6 +169,70 @@ impl Options {
             format!("top-{} {base}", self.top_k.unwrap_or(0))
         } else {
             base.to_owned()
+        }
+    }
+}
+
+/// Where the miner's data came from: a text file parsed into a fresh
+/// database, or a prepared snapshot image mapped from disk.
+enum Loaded {
+    Text(SequenceDatabase),
+    Snapshot(PreparedDb),
+}
+
+impl Loaded {
+    fn database(&self) -> &SequenceDatabase {
+        match self {
+            Loaded::Text(db) => db,
+            Loaded::Snapshot(prepared) => prepared.database(),
+        }
+    }
+
+    /// A miner over this source with every query option applied. The
+    /// snapshot path skips all preparation — the image already holds the
+    /// index and counts.
+    fn miner(&self, options: &Options) -> Miner<'_> {
+        match self {
+            Loaded::Text(db) => options.apply(Miner::new(db)),
+            Loaded::Snapshot(prepared) => options.apply(prepared.miner()),
+        }
+    }
+}
+
+/// Loads the mining source: `--snapshot` image, `--input` text file, or the
+/// built-in demo database (Table III of the paper).
+fn load_source(options: &Options) -> Result<Loaded, ExitCode> {
+    if let Some(path) = &options.snapshot {
+        return match PreparedDb::open_snapshot(path) {
+            Ok(prepared) => Ok(Loaded::Snapshot(prepared)),
+            Err(err) => {
+                eprintln!("error: cannot open snapshot {}: {err}", path.display());
+                Err(ExitCode::FAILURE)
+            }
+        };
+    }
+    if options.demo {
+        // The running example of the paper (Table III).
+        return Ok(Loaded::Text(SequenceDatabase::from_str_rows(&[
+            "ABCACBDDB",
+            "ACDBACADD",
+        ])));
+    }
+    let Some(path) = &options.input else {
+        eprintln!("error: --input FILE, --snapshot IMG, or the demo subcommand is required");
+        print_usage();
+        return Err(ExitCode::FAILURE);
+    };
+    let loaded = match options.format {
+        Format::Tokens => seqio::read_tokens_file(path),
+        Format::Spmf => seqio::read_spmf_file(path),
+        Format::Chars => seqio::read_chars_file(path),
+    };
+    match loaded {
+        Ok(db) => Ok(Loaded::Text(db)),
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", path.display());
+            Err(ExitCode::FAILURE)
         }
     }
 }
@@ -152,33 +249,22 @@ fn main() -> ExitCode {
         }
     };
 
-    let db = if options.demo {
-        // The running example of the paper (Table III).
-        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
-    } else {
-        let Some(path) = &options.input else {
-            eprintln!("error: --input FILE or the demo subcommand is required");
-            print_usage();
-            return ExitCode::FAILURE;
-        };
-        let loaded = match options.format {
-            Format::Tokens => seqio::read_tokens_file(path),
-            Format::Spmf => seqio::read_spmf_file(path),
-            Format::Chars => seqio::read_chars_file(path),
-        };
-        match loaded {
-            Ok(db) => db,
-            Err(err) => {
-                eprintln!("error: cannot read {}: {err}", path.display());
-                return ExitCode::FAILURE;
-            }
-        }
+    match options.snapshot_cmd {
+        Some(SnapshotCmd::Build) => return run_snapshot_build(&options),
+        Some(SnapshotCmd::Info) => return run_snapshot_info(&options),
+        None => {}
+    }
+
+    let source = match load_source(&options) {
+        Ok(source) => source,
+        Err(code) => return code,
     };
 
     if options.stats_only {
-        return run_stats(&db);
+        return run_stats(&source);
     }
 
+    let db = source.database();
     eprintln!("# dataset: {}", db.stats().summary());
     let constraints = options.constraints();
     if !constraints.is_unbounded() {
@@ -186,13 +272,13 @@ fn main() -> ExitCode {
     }
 
     if options.json_output {
-        return run_json(&db, &options);
+        return run_json(&source, &options);
     }
     if options.stream {
-        return run_streaming(&db, &options);
+        return run_streaming(&source, &options);
     }
 
-    let mut outcome = options.miner(&db).run();
+    let mut outcome = source.miner(&options).run();
     eprintln!(
         "# {} {} patterns mined in {:.3}s (visited {} nodes{})",
         outcome.len(),
@@ -215,18 +301,97 @@ fn main() -> ExitCode {
     };
 
     for mined in patterns.iter().take(options.top) {
-        print_pattern(&db, mined);
+        print_pattern(db, mined);
     }
     ExitCode::SUCCESS
 }
 
-/// `stats` subcommand: dataset summary plus the memory footprint of the
+/// `snapshot build`: prepare the input once (interning, inverted index,
+/// occurrence counts) and serialize the result into one image file.
+fn run_snapshot_build(options: &Options) -> ExitCode {
+    // parse_args is the single validation point for required flags.
+    let out = options.out.as_ref().expect("parse_args enforced --out");
+    let source = match load_source(options) {
+        Ok(source) => source,
+        Err(code) => return code,
+    };
+    let prepared = match source {
+        Loaded::Text(db) => PreparedDb::from_database(db),
+        // Rebuilding an image from an image is a copy, but a valid one.
+        Loaded::Snapshot(prepared) => prepared,
+    };
+    match prepared.write_snapshot(out) {
+        Ok(bytes) => {
+            let stats = prepared.database().stats();
+            eprintln!("# dataset: {}", stats.summary());
+            println!(
+                "written {}: {bytes} bytes on disk ({} bytes of arenas + header/catalog)",
+                out.display(),
+                prepared.heap_bytes()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: cannot write {}: {err}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `snapshot info`: validate an image (header, checksum, section table) and
+/// print what it holds without reconstructing the database.
+fn run_snapshot_info(options: &Options) -> ExitCode {
+    // parse_args is the single validation point for required flags.
+    let path = options
+        .snapshot
+        .as_ref()
+        .expect("parse_args enforced --snapshot");
+    let image = match SnapshotImage::open(path) {
+        Ok(image) => image,
+        Err(err) => {
+            eprintln!("error: cannot open snapshot {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("snapshot:  {}", path.display());
+    println!("size:      {} bytes", image.len_bytes());
+    println!(
+        "access:    {}",
+        if image.is_mapped() {
+            "mmap (zero-copy)"
+        } else {
+            "buffered read"
+        }
+    );
+    if let Ok(&[sequences, events, total_length]) = image.u64s(section_id::META) {
+        println!("contents:  {sequences} sequences, {events} events, {total_length} total length");
+    }
+    println!("sections:");
+    for entry in image.sections() {
+        println!(
+            "  {:16} id={:<3} {:>12} bytes  {:>12} x {}B",
+            section_id::name(entry.id),
+            entry.id,
+            entry.byte_len,
+            entry.count,
+            entry.elem_size,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `stats` subcommand: dataset summary plus the byte footprint of the
 /// columnar layers (flat event store, CSR inverted index), so store-size
-/// regressions show up in plain numbers instead of a profiler.
-fn run_stats(db: &SequenceDatabase) -> ExitCode {
+/// regressions show up in plain numbers instead of a profiler. With
+/// `--snapshot` the index comes straight from the image instead of being
+/// rebuilt.
+fn run_stats(source: &Loaded) -> ExitCode {
+    let db = source.database();
     let stats = db.stats();
-    let index = db.inverted_index();
-    let index_bytes = index.heap_bytes();
+    let index_bytes = match source {
+        Loaded::Text(db) => db.inverted_index().heap_bytes(),
+        Loaded::Snapshot(prepared) => prepared.index().heap_bytes(),
+    };
     println!("sequences:             {}", stats.num_sequences);
     println!("events (alphabet):     {}", stats.num_events);
     println!("total length:          {}", stats.total_length);
@@ -252,9 +417,10 @@ fn run_stats(db: &SequenceDatabase) -> ExitCode {
 /// statistics, truncation/cancellation flags) and the reported patterns,
 /// serialized with the workspace's hand-rolled JSON writer. The `--top`,
 /// `--density` and `--maximal` report filters apply as in text mode.
-fn run_json(db: &SequenceDatabase, options: &Options) -> ExitCode {
+fn run_json(source: &Loaded, options: &Options) -> ExitCode {
+    let db = source.database();
     let mut collect = CollectSink::new();
-    let report = options.miner(db).run_with_sink(&mut collect);
+    let report = source.miner(options).run_with_sink(&mut collect);
     let mut patterns = collect.into_patterns();
     if options.density.is_some() || options.maximal_filter {
         let pp = PostProcessConfig {
@@ -291,25 +457,28 @@ fn run_json(db: &SequenceDatabase, options: &Options) -> ExitCode {
 
 /// `--stream`: patterns are printed the moment the engine finds them,
 /// bounded by `--top` through sink cancellation.
-fn run_streaming(db: &SequenceDatabase, options: &Options) -> ExitCode {
+fn run_streaming(source: &Loaded, options: &Options) -> ExitCode {
+    let db = source.database();
     let limit = options.top;
     if limit == 0 {
         eprintln!("# streamed 0 {} patterns (--top 0)", options.mode_label());
         return ExitCode::SUCCESS;
     }
     let mut printed = 0usize;
-    let report = options.miner(db).run_with_sink(&mut |mined: MinedPattern| {
-        if printed >= limit {
-            return ControlFlow::Break(());
-        }
-        print_pattern(db, &mined);
-        printed += 1;
-        if printed >= limit {
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
-        }
-    });
+    let report = source
+        .miner(options)
+        .run_with_sink(&mut |mined: MinedPattern| {
+            if printed >= limit {
+                return ControlFlow::Break(());
+            }
+            print_pattern(db, &mined);
+            printed += 1;
+            if printed >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
     eprintln!(
         "# streamed {} {} patterns in {:.3}s (visited {} nodes{}{})",
         report.emitted,
@@ -344,6 +513,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     // Optional leading subcommand.
     match args.first().map(String::as_str) {
         Some("mine") => i = 1,
+        Some("snapshot") => {
+            options.snapshot_cmd = match args.get(1).map(String::as_str) {
+                Some("build") => Some(SnapshotCmd::Build),
+                Some("info") => Some(SnapshotCmd::Info),
+                other => {
+                    return Err(format!(
+                        "snapshot needs a build|info subcommand, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            };
+            i = 2;
+        }
         Some("topk") => {
             options.mode = Mode::Closed;
             options.top_k = Some(10);
@@ -381,6 +563,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 return Ok(None);
             }
             "--input" | "-i" => options.input = Some(PathBuf::from(next_value(&mut i)?)),
+            "--snapshot" => options.snapshot = Some(PathBuf::from(next_value(&mut i)?)),
+            "--out" | "-o" => options.out = Some(PathBuf::from(next_value(&mut i)?)),
             "--format" | "-f" => match next_value(&mut i)?.as_str() {
                 "tokens" => options.format = Format::Tokens,
                 "spmf" => options.format = Format::Spmf,
@@ -457,6 +641,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if explicit_all && explicit_closed {
         return Err("--all and --closed are mutually exclusive".to_owned());
     }
+    if options.snapshot.is_some() && options.input.is_some() {
+        return Err("--input and --snapshot are mutually exclusive".to_owned());
+    }
+    if options.snapshot_cmd == Some(SnapshotCmd::Build) && options.out.is_none() {
+        return Err("snapshot build needs --out IMG".to_owned());
+    }
+    if options.snapshot_cmd == Some(SnapshotCmd::Info) && options.snapshot.is_none() {
+        return Err("snapshot info needs --snapshot IMG".to_owned());
+    }
     if options.stream && options.json_output {
         return Err(
             "--stream and --format json are mutually exclusive (JSON output \
@@ -472,24 +665,33 @@ fn print_usage() {
         "rgs-mine: mine (closed) repetitive gapped subsequences\n\
          \n\
          usage:\n\
-           rgs-mine [mine] --input FILE [--format tokens|spmf|chars|json] --min-sup K\n\
+           rgs-mine [mine] --input FILE|--snapshot IMG [--format tokens|spmf|chars|json]\n\
+                    --min-sup K\n\
                     [--mode all|closed|maximal] [--closed|--all|--maximal-mode]\n\
                     [--min-gap G] [--max-gap G] [--max-window W]\n\
                     [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]\n\
                     [--threads N] [--top T] [--density R] [--maximal] [--stream]\n\
-           rgs-mine topk --input FILE -k K [--min-sup FLOOR] [--threads N] ...\n\
-           rgs-mine stats --input FILE [--format tokens|spmf|chars]\n\
+           rgs-mine topk --input FILE|--snapshot IMG -k K [--min-sup FLOOR] ...\n\
+           rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars]\n\
+           rgs-mine snapshot build --input FILE [--format ...] --out IMG\n\
+           rgs-mine snapshot info  --snapshot IMG\n\
            rgs-mine demo [--min-sup K] [--mode ...]\n\
          \n\
          subcommands:\n\
-           mine   (default) mine the requested pattern family\n\
-           topk   rank the k best closed patterns (composes with gap/window\n\
-                  constraints: gap-constrained top-k mining)\n\
-           stats  print dataset statistics and the memory footprint of the\n\
-                  columnar store and CSR inverted index\n\
-           demo   run on the paper's running example (Table III)\n\
+           mine      (default) mine the requested pattern family\n\
+           topk      rank the k best closed patterns (composes with gap/window\n\
+                     constraints: gap-constrained top-k mining)\n\
+           stats     print dataset statistics and the byte footprint of the\n\
+                     flat columnar store and the CSR inverted index\n\
+           snapshot  build: prepare once (intern + index + counts) and write\n\
+                     a single mmap-able image file; info: validate an image\n\
+                     and print its header and section table\n\
+           demo      run on the paper's running example (Table III)\n\
          \n\
          notable flags:\n\
+           --snapshot IMG  serve mine/topk/stats straight from a prepared\n\
+                           snapshot image (mmap'ed, checksum-validated; no\n\
+                           re-tokenizing or re-indexing on start)\n\
            --threads N     mine on N worker threads (default 1; the reported\n\
                            patterns are bit-identical to a sequential run)\n\
            --format json   emit one JSON document with the MiningReport and\n\
@@ -611,6 +813,43 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn snapshot_subcommands_parse_and_validate() {
+        let build = parse(&["snapshot", "build", "--input", "x", "--out", "y"]);
+        assert_eq!(build.snapshot_cmd, Some(SnapshotCmd::Build));
+        assert_eq!(build.out, Some(PathBuf::from("y")));
+
+        let info = parse(&["snapshot", "info", "--snapshot", "z"]);
+        assert_eq!(info.snapshot_cmd, Some(SnapshotCmd::Info));
+        assert_eq!(info.snapshot, Some(PathBuf::from("z")));
+
+        let fail = |tokens: &[&str]| {
+            let args: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{tokens:?} should fail");
+        };
+        fail(&["snapshot"]);
+        fail(&["snapshot", "verify"]);
+        fail(&["snapshot", "build", "--input", "x"]); // missing --out
+        fail(&["snapshot", "info"]); // missing --snapshot
+        fail(&["--input", "x", "--snapshot", "y"]); // mutually exclusive
+    }
+
+    #[test]
+    fn snapshot_build_then_mine_round_trips() {
+        let dir = std::env::temp_dir();
+        let image = dir.join(format!("rgs-cli-test-{}.snap", std::process::id()));
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        PreparedDb::new(&db).write_snapshot(&image).expect("write");
+
+        let options = parse(&["--snapshot", image.to_str().unwrap(), "--min-sup", "2"]);
+        let source = load_source(&options).unwrap_or_else(|_| panic!("snapshot loads"));
+        assert!(matches!(source, Loaded::Snapshot(_)));
+        let from_image = source.miner(&options).run();
+        let fresh = options.miner(&db).run();
+        assert_eq!(from_image.patterns, fresh.patterns);
+        std::fs::remove_file(&image).ok();
     }
 
     #[test]

@@ -27,8 +27,9 @@ use crate::support::SupportSet;
 /// respect to `config.min_sup` (Algorithm 4, CloGSgrow).
 #[deprecated(
     since = "0.2.0",
-    note = "use `Miner::new(db).from_config(config).mode(Mode::Closed).run()` — \
-            see `rgs_core::Miner`"
+    note = "use `Miner::new(db).from_config(config).mode(Mode::Closed).run()`; for \
+            repeated queries prepare once (`PreparedDb::new`) or open a \
+            snapshot (`Miner::from_snapshot`) instead of re-indexing per call"
 )]
 pub fn mine_closed(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
     Miner::new(db).from_config(config).mode(Mode::Closed).run()

@@ -190,8 +190,9 @@ pub fn constrained_support(
 /// [`crate::mine_all`].
 #[deprecated(
     since = "0.2.0",
-    note = "use `Miner::new(db).from_config(config).mode(Mode::All).constraints(constraints).run()` — \
-            see `rgs_core::Miner`"
+    note = "use `Miner::new(db).from_config(config).mode(Mode::All).constraints(constraints).run()`; \
+            for repeated queries prepare once (`PreparedDb::new`) or open a \
+            snapshot (`Miner::from_snapshot`) instead of re-indexing per call"
 )]
 pub fn mine_all_constrained(
     db: &SequenceDatabase,
@@ -276,8 +277,9 @@ pub(crate) fn mine_all_constrained_seed(
 /// anti-monotonicity guarantees the frequent set is complete.
 #[deprecated(
     since = "0.2.0",
-    note = "use `Miner::new(db).from_config(config).mode(Mode::Closed).constraints(constraints).run()` — \
-            see `rgs_core::Miner`"
+    note = "use `Miner::new(db).from_config(config).mode(Mode::Closed).constraints(constraints).run()`; \
+            for repeated queries prepare once (`PreparedDb::new`) or open a \
+            snapshot (`Miner::from_snapshot`) instead of re-indexing per call"
 )]
 pub fn mine_closed_constrained(
     db: &SequenceDatabase,

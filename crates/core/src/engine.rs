@@ -280,6 +280,21 @@ impl<'a> Miner<'a> {
         }
     }
 
+    /// Starts a builder over a snapshot image on disk (the cold-start
+    /// path): opens and validates the file written by
+    /// [`PreparedDb::write_snapshot`], mapping every arena zero-copy
+    /// instead of re-tokenizing and re-indexing. The returned miner
+    /// co-owns the snapshot like [`Miner::from_shared`], so it is
+    /// `'static` and its output is bit-identical to mining the original
+    /// in-memory preparation.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Miner<'static>, seqdb::SnapshotError> {
+        Ok(Miner::from_shared(Arc::new(PreparedDb::open_snapshot(
+            path,
+        )?)))
+    }
+
     /// Binds an existing request to a database (lazy preparation, like
     /// [`Miner::new`]).
     pub fn from_request(db: &'a SequenceDatabase, request: MiningRequest) -> Self {

@@ -24,8 +24,9 @@ use crate::support::SupportSet;
 /// `config.min_sup` (Algorithm 3, GSgrow).
 #[deprecated(
     since = "0.2.0",
-    note = "use `Miner::new(db).from_config(config).mode(Mode::All).run()` — \
-            see `rgs_core::Miner`"
+    note = "use `Miner::new(db).from_config(config).mode(Mode::All).run()`; for \
+            repeated queries prepare once (`PreparedDb::new`) or open a \
+            snapshot (`Miner::from_snapshot`) instead of re-indexing per call"
 )]
 pub fn mine_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
     Miner::new(db).from_config(config).mode(Mode::All).run()

@@ -76,6 +76,40 @@
 //! [`SequenceDatabase`](seqdb::SequenceDatabase) and prepares lazily on
 //! each run.
 //!
+//! # Snapshots — zero-copy cold starts
+//!
+//! A [`PreparedDb`] serializes into a **single image file**
+//! ([`PreparedDb::write_snapshot`]) holding every arena the preparation
+//! computed: the columnar event store, the CSR inverted index, the
+//! per-event counts, the candidate order, and the catalog. Reopening
+//! ([`PreparedDb::open_snapshot`] or [`Miner::from_snapshot`]) `mmap`s the
+//! file and reconstructs each structure as a borrowed slice over the
+//! mapping — no re-tokenizing, no re-indexing, no copies — after
+//! validating a full-file checksum, so a restarted service answers its
+//! first query at memory-map speed. The format is specified byte by byte
+//! in [`snapshot`] and `ARCHITECTURE.md`:
+//!
+//! ```
+//! use seqdb::SequenceDatabase;
+//! use rgs_core::{Miner, Mode, PreparedDb};
+//!
+//! let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+//!
+//! // Prepare once, persist once.
+//! let prepared = Miner::new(&db).prepare();
+//! let path = std::env::temp_dir().join(format!("rgs-lib-doc-{}.snap", std::process::id()));
+//! let bytes_on_disk = prepared.write_snapshot(&path)?;
+//! assert!(bytes_on_disk as usize >= prepared.heap_bytes());
+//!
+//! // Cold start: open the image and stream a query from it.
+//! let reopened = PreparedDb::open_snapshot(&path)?;
+//! let session = reopened.miner().min_sup(2).mode(Mode::Closed).session();
+//! let cold: Vec<_> = session.stream().collect();
+//! assert_eq!(cold, prepared.miner().min_sup(2).mode(Mode::Closed).run().patterns);
+//! std::fs::remove_file(&path)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! # Streaming — push and pull
 //!
 //! Results can be consumed incrementally through a push-based
@@ -135,6 +169,7 @@ pub mod prepared;
 pub mod reference;
 pub mod result;
 pub mod sink;
+pub mod snapshot;
 pub mod stream;
 pub mod support;
 pub mod topk;
@@ -161,6 +196,7 @@ pub use pattern::Pattern;
 pub use postprocess::{postprocess, PostProcessConfig};
 pub use prepared::PreparedDb;
 pub use result::{sort_patterns_for_report, MinedPattern, MiningOutcome, MiningStats};
+pub use seqdb::SnapshotError;
 pub use sink::{BudgetSink, CollectSink, CountSink, DeadlineSink, PatternSink};
 pub use stream::PatternStream;
 pub use support::SupportSet;

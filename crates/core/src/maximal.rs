@@ -37,8 +37,9 @@ use crate::result::{MinedPattern, MiningOutcome};
 /// set.
 #[deprecated(
     since = "0.2.0",
-    note = "use `Miner::new(db).from_config(config).mode(Mode::Maximal).run()` — \
-            see `rgs_core::Miner`"
+    note = "use `Miner::new(db).from_config(config).mode(Mode::Maximal).run()`; for \
+            repeated queries prepare once (`PreparedDb::new`) or open a \
+            snapshot (`Miner::from_snapshot`) instead of re-indexing per call"
 )]
 pub fn mine_maximal(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
     Miner::new(db).from_config(config).mode(Mode::Maximal).run()

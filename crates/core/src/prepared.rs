@@ -30,7 +30,9 @@
 //! assert_eq!(handle.join().unwrap(), closed.len());
 //! ```
 
-use seqdb::{EventCatalog, EventId, InvertedIndex, SequenceDatabase};
+use std::path::Path;
+
+use seqdb::{EventCatalog, EventId, InvertedIndex, SequenceDatabase, SharedSlice, SnapshotError};
 
 use crate::engine::Miner;
 use crate::growth::SupportComputer;
@@ -40,17 +42,22 @@ use crate::growth::SupportComputer;
 /// order. Shared by [`PreparedDb`] (which owns its database) and the lazy
 /// path of [`Miner::new`] (which borrows the caller's database and prepares
 /// these parts per run).
+///
+/// Every column is a [`SharedSlice`], so the parts are either computed in
+/// memory ([`PreparedParts::build`]) or reconstructed zero-copy from a
+/// snapshot image ([`PreparedDb::open_snapshot`]) — queries cannot tell
+/// the difference.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct PreparedParts {
     /// The inverted event index of §III-D.
     pub index: InvertedIndex,
     /// `occurrence_counts[event.index()]` = total occurrences of `event`,
     /// i.e. the repetitive support of the single-event pattern.
-    pub occurrence_counts: Vec<u64>,
+    pub occurrence_counts: SharedSlice<u64>,
     /// The events that occur at least once, in catalog order — the
     /// candidate order every DFS iterates, so pattern emission order is
     /// identical no matter how the database was prepared.
-    pub event_order: Vec<EventId>,
+    pub event_order: SharedSlice<EventId>,
 }
 
 impl PreparedParts {
@@ -62,11 +69,11 @@ impl PreparedParts {
             .catalog()
             .ids()
             .filter(|e| occurrence_counts[e.index()] > 0)
-            .collect();
+            .collect::<Vec<_>>();
         Self {
             index,
-            occurrence_counts,
-            event_order,
+            occurrence_counts: occurrence_counts.into(),
+            event_order: event_order.into(),
         }
     }
 
@@ -134,6 +141,35 @@ impl PreparedDb {
         Self { db, parts }
     }
 
+    /// Serializes this snapshot into a single on-disk image file (see
+    /// [`crate::snapshot`] for the format) and returns the number of bytes
+    /// written. The image holds everything [`PreparedDb::new`] computes —
+    /// store, index, counts, event order, catalog — so
+    /// [`PreparedDb::open_snapshot`] restores an equivalent snapshot
+    /// without touching the original text or re-indexing.
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        crate::snapshot::write_prepared(self, path.as_ref())
+    }
+
+    /// Opens a snapshot image written by [`PreparedDb::write_snapshot`].
+    ///
+    /// On unix the file is `mmap`ed and every arena is reconstructed as a
+    /// zero-copy slice over the mapping (elsewhere the file is read once
+    /// into an aligned buffer). The header, a full-file checksum, and every
+    /// structural invariant are validated first: a truncated, bit-flipped,
+    /// wrong-magic, or wrong-version file is rejected with a descriptive
+    /// [`SnapshotError`] and never panics. Mining output over the reopened
+    /// snapshot is bit-identical to the in-memory original.
+    pub fn open_snapshot(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        crate::snapshot::open_prepared(path.as_ref())
+    }
+
+    /// Assembles a snapshot from already-validated parts (the snapshot
+    /// loader's constructor).
+    pub(crate) fn from_parts(db: SequenceDatabase, parts: PreparedParts) -> Self {
+        Self { db, parts }
+    }
+
     /// The snapshotted database.
     pub fn database(&self) -> &SequenceDatabase {
         &self.db
@@ -183,6 +219,11 @@ impl PreparedDb {
     /// Starts a [`Miner`] builder executing against this snapshot.
     pub fn miner(&self) -> Miner<'_> {
         Miner::from_prepared(self)
+    }
+
+    /// The prepared parts (snapshot serialization reads them directly).
+    pub(crate) fn parts(&self) -> &PreparedParts {
+        &self.parts
     }
 
     pub(crate) fn as_prepared_ref(&self) -> PreparedRef<'_> {

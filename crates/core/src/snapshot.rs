@@ -1,0 +1,229 @@
+//! Prepared-database snapshots: what goes into the single-file image and
+//! how it comes back out with zero copies.
+//!
+//! The format layer — header, section table, checksum, `mmap` — lives in
+//! [`seqdb::snapshot`]; this module is the *composition*: it knows that a
+//! [`PreparedDb`] is exactly eight sections and how to validate them
+//! against each other when reopening:
+//!
+//! | section | contents |
+//! |---|---|
+//! | `meta` | `[num_sequences, num_events, total_length]` as `u64`s |
+//! | `store.events` | the flat [`seqdb::SeqStore`] event arena |
+//! | `store.offsets` | the store's CSR offsets (per sequence + sentinel) |
+//! | `index.offsets` | the [`seqdb::InvertedIndex`] per-`(seq, event)` CSR ranges |
+//! | `index.positions` | the index's flat positions arena |
+//! | `catalog` | the interned event labels, length-prefixed UTF-8 |
+//! | `event.counts` | per-event total occurrence counts (`u64`) |
+//! | `event.order` | the frequency-pruned candidate event order |
+//!
+//! Opening reconstructs every array as a [`seqdb::SharedSlice`] borrowing
+//! the mapped image — no arena is copied — and then cross-checks the
+//! sections (dimensions against `meta`, catalog length against
+//! `num_events`, event-order ids against the alphabet), so a reopened
+//! snapshot upholds the same invariants as one built by
+//! [`PreparedDb::new`]. The only owned reconstruction is the catalog,
+//! whose label strings and lookup map want owned storage and are tiny next
+//! to the arenas.
+//!
+//! Entry points: [`PreparedDb::write_snapshot`],
+//! [`PreparedDb::open_snapshot`], and
+//! [`Miner::from_snapshot`](crate::Miner::from_snapshot). See
+//! `ARCHITECTURE.md` at the repository root for the byte-level
+//! walk-through.
+
+use std::path::Path;
+
+use seqdb::snapshot::{
+    catalog_from_bytes, catalog_to_bytes, corrupt, section_id, SectionPayload, SnapshotImage,
+    SnapshotWriter,
+};
+use seqdb::{SeqStore, SequenceDatabase, SnapshotError};
+
+use crate::prepared::{PreparedDb, PreparedParts};
+
+/// Serializes `prepared` to `path` in one pass; returns bytes written.
+pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, SnapshotError> {
+    let db = prepared.database();
+    let index = prepared.index();
+    let meta = [
+        db.num_sequences() as u64,
+        db.num_events() as u64,
+        db.total_length() as u64,
+    ];
+    let catalog_bytes = catalog_to_bytes(db.catalog());
+    let parts = prepared.parts();
+
+    let mut writer = SnapshotWriter::new();
+    writer
+        .section(section_id::META, SectionPayload::U64s(&meta))
+        .section(
+            section_id::STORE_EVENTS,
+            SectionPayload::EventIds(db.store().arena()),
+        )
+        .section(
+            section_id::STORE_OFFSETS,
+            SectionPayload::U32s(db.store().offsets()),
+        )
+        .section(
+            section_id::INDEX_OFFSETS,
+            SectionPayload::U32s(index.offsets()),
+        )
+        .section(
+            section_id::INDEX_POSITIONS,
+            SectionPayload::U32s(index.positions()),
+        )
+        .section(section_id::CATALOG, SectionPayload::Bytes(&catalog_bytes))
+        .section(
+            section_id::EVENT_COUNTS,
+            SectionPayload::U64s(&parts.occurrence_counts),
+        )
+        .section(
+            section_id::EVENT_ORDER,
+            SectionPayload::EventIds(&parts.event_order),
+        );
+    writer.write_to_path(path)
+}
+
+/// Opens and cross-validates an image, reconstructing every arena as a
+/// zero-copy slice over it.
+pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
+    let image = std::sync::Arc::new(SnapshotImage::open(path)?);
+
+    let meta = image.u64s(section_id::META)?;
+    let [num_sequences, num_events, total_length] = *meta else {
+        return Err(corrupt(format!(
+            "meta section holds {} values, expected 3",
+            meta.len()
+        )));
+    };
+    let (num_sequences, num_events, total_length) = (
+        usize::try_from(num_sequences).map_err(|_| corrupt("sequence count overflows usize"))?,
+        usize::try_from(num_events).map_err(|_| corrupt("event count overflows usize"))?,
+        usize::try_from(total_length).map_err(|_| corrupt("total length overflows usize"))?,
+    );
+
+    let catalog = catalog_from_bytes(image.section_bytes(section_id::CATALOG)?)?;
+    if catalog.len() != num_events {
+        return Err(corrupt(format!(
+            "catalog holds {} labels but meta records {num_events} events",
+            catalog.len()
+        )));
+    }
+
+    let store = SeqStore::from_shared_parts(
+        image.shared_event_ids(section_id::STORE_EVENTS)?,
+        image.shared_u32s(section_id::STORE_OFFSETS)?,
+    )
+    .map_err(corrupt)?;
+    if store.num_sequences() != num_sequences || store.total_length() != total_length {
+        return Err(corrupt(format!(
+            "store holds {} sequences / {} events but meta records \
+             {num_sequences} / {total_length}",
+            store.num_sequences(),
+            store.total_length()
+        )));
+    }
+    if store.arena().iter().any(|e| e.index() >= num_events) {
+        return Err(corrupt(
+            "store arena references an event id outside the catalog",
+        ));
+    }
+
+    let index = seqdb::InvertedIndex::from_shared_parts(
+        image.shared_u32s(section_id::INDEX_OFFSETS)?,
+        image.shared_u32s(section_id::INDEX_POSITIONS)?,
+        num_sequences,
+        num_events,
+    )
+    .map_err(corrupt)?;
+    if index.positions().len() != total_length {
+        return Err(corrupt(format!(
+            "index positions arena holds {} entries but meta records {total_length}",
+            index.positions().len()
+        )));
+    }
+
+    let occurrence_counts = image.shared_u64s(section_id::EVENT_COUNTS)?;
+    if occurrence_counts.len() != num_events {
+        return Err(corrupt(format!(
+            "event counts hold {} entries but meta records {num_events} events",
+            occurrence_counts.len()
+        )));
+    }
+
+    let event_order = image.shared_event_ids(section_id::EVENT_ORDER)?;
+    if event_order.iter().any(|e| e.index() >= num_events) {
+        return Err(corrupt(
+            "event order references an event id outside the catalog",
+        ));
+    }
+
+    let db = SequenceDatabase::from_store(catalog, store);
+    let parts = PreparedParts {
+        index,
+        occurrence_counts,
+        event_order,
+    };
+    Ok(PreparedDb::from_parts(db, parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Miner, Mode, PreparedDb};
+    use seqdb::SequenceDatabase;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rgs-core-snap-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn write_open_round_trip_restores_the_snapshot() {
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let prepared = PreparedDb::new(&db);
+        let path = temp_path("roundtrip");
+        let bytes = prepared.write_snapshot(&path).expect("write");
+        assert!(bytes as usize >= prepared.heap_bytes());
+
+        let reopened = PreparedDb::open_snapshot(&path).expect("open");
+        assert_eq!(reopened, prepared);
+        assert_eq!(reopened.heap_bytes(), prepared.heap_bytes());
+        let fresh = prepared.miner().min_sup(2).mode(Mode::Closed).run();
+        let cold = reopened.miner().min_sup(2).mode(Mode::Closed).run();
+        assert_eq!(fresh.patterns, cold.patterns);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let prepared = PreparedDb::new(&SequenceDatabase::new());
+        let path = temp_path("empty");
+        prepared.write_snapshot(&path).expect("write");
+        let reopened = PreparedDb::open_snapshot(&path).expect("open");
+        assert_eq!(reopened, prepared);
+        assert!(reopened.miner().min_sup(1).run().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn miner_from_snapshot_runs_queries() {
+        let db = SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"]);
+        let prepared = PreparedDb::new(&db);
+        let path = temp_path("miner");
+        prepared.write_snapshot(&path).expect("write");
+        let outcome = Miner::from_snapshot(&path)
+            .expect("open")
+            .min_sup(2)
+            .mode(Mode::All)
+            .run();
+        let expected = prepared.miner().min_sup(2).mode(Mode::All).run();
+        assert_eq!(outcome.patterns, expected.patterns);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn opening_a_missing_file_is_an_io_error() {
+        let err = PreparedDb::open_snapshot(temp_path("never-written")).unwrap_err();
+        assert!(matches!(err, seqdb::SnapshotError::Io(_)), "{err}");
+    }
+}

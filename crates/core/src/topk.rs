@@ -90,8 +90,9 @@ impl TopKConfig {
 /// order, so the result always has at most `k` patterns.
 #[deprecated(
     since = "0.2.0",
-    note = "use `Miner::new(db).min_sup(floor).mode(Mode::Closed).top_k(k).min_len(2).run()` — \
-            see `rgs_core::Miner`"
+    note = "use `Miner::new(db).min_sup(floor).mode(Mode::Closed).top_k(k).min_len(2).run()`; \
+            for repeated queries prepare once (`PreparedDb::new`) or open a \
+            snapshot (`Miner::from_snapshot`) instead of re-indexing per call"
 )]
 pub fn mine_top_k(db: &SequenceDatabase, config: &TopKConfig) -> MiningOutcome {
     let mut miner = Miner::new(db)

@@ -24,6 +24,13 @@
 //!   k-fold cross validation,
 //! * [`pipeline`] — a one-call "mine → select → train → evaluate" pipeline.
 //!
+//! The pipeline rides on the prepared-query engine: threshold sweeps and
+//! cross-validation hoist **one** [`rgs_core::PreparedDb`] per training
+//! split ([`pipeline::run_pipeline_prepared`], [`pipeline::sweep_min_sup`],
+//! [`pipeline::cross_validate_pipeline`]) instead of re-indexing per call —
+//! and a long-lived service can persist that snapshot with
+//! `PreparedDb::write_snapshot` and reopen it zero-copy on restart.
+//!
 //! # Example
 //!
 //! ```

@@ -14,7 +14,13 @@ use std::fmt;
 /// Identifiers are assigned in first-seen order starting from `0`, so a
 /// catalog with `n` distinct events uses exactly the ids `0..n`. This makes
 /// it possible to use plain vectors indexed by event id in hot paths.
+///
+/// The type is `repr(transparent)` over `u32`: an `&[EventId]` has the
+/// exact layout of an `&[u32]`, which is what lets the
+/// [`snapshot`](crate::snapshot) layer serialize event arenas as plain
+/// `u32` sections and map them back without copying.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct EventId(pub u32);
 
 impl EventId {

@@ -16,21 +16,28 @@
 
 use crate::catalog::EventId;
 use crate::database::SequenceDatabase;
+use crate::shared::SharedSlice;
 
 /// Per-database inverted event index in CSR layout.
 ///
 /// Slot `seq * num_events + event.index()` of the offsets table delimits the
 /// sorted, 1-based position list of `event` in `seq` inside the flat
 /// positions arena. Lookups never hash and never chase pointers.
+///
+/// Both columns are [`SharedSlice`]s, so an index can be rebuilt from a
+/// database ([`InvertedIndex::build`]) or reconstructed zero-copy from a
+/// [`snapshot`](crate::snapshot) image
+/// ([`InvertedIndex::from_shared_parts`]) — queries are identical either
+/// way.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvertedIndex {
     /// CSR offsets: slot `s * num_events + e` holds the arena range
     /// `offsets[slot]..offsets[slot + 1]`. Length `slots + 1` (with a
     /// leading implicit 0 stored explicitly).
-    offsets: Vec<u32>,
+    offsets: SharedSlice<u32>,
     /// All position lists, concatenated in slot order. Length equals the
     /// database's total length.
-    positions: Vec<u32>,
+    positions: SharedSlice<u32>,
     num_events: usize,
     num_sequences: usize,
 }
@@ -79,11 +86,88 @@ impl InvertedIndex {
         }
 
         Self {
+            offsets: offsets.into(),
+            positions: positions.into(),
+            num_events,
+            num_sequences,
+        }
+    }
+
+    /// Reassembles an index from its two CSR columns, typically zero-copy
+    /// slices of a [`snapshot`](crate::snapshot) image. Every structural
+    /// invariant is checked; the error string names the violated one.
+    pub fn from_shared_parts(
+        offsets: SharedSlice<u32>,
+        positions: SharedSlice<u32>,
+        num_sequences: usize,
+        num_events: usize,
+    ) -> Result<Self, String> {
+        let slots = num_sequences
+            .checked_mul(num_events)
+            .ok_or("index slot count overflows")?;
+        if offsets.len() != slots + 1 {
+            return Err(format!(
+                "index offsets hold {} entries, expected {} ({num_sequences} sequences x \
+                 {num_events} events + 1)",
+                offsets.len(),
+                slots + 1
+            ));
+        }
+        if offsets[0] != 0 {
+            return Err(format!("index offsets start at {}, not 0", offsets[0]));
+        }
+        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!(
+                "index offsets are not monotone ({} > {})",
+                w[0], w[1]
+            ));
+        }
+        let last = offsets[offsets.len() - 1] as usize;
+        if last != positions.len() {
+            return Err(format!(
+                "index offsets end at {last} but the positions arena holds {} entries",
+                positions.len()
+            ));
+        }
+        // Each slot's posting list must be strictly ascending and 1-based:
+        // `next` binary-searches it, so an unsorted list would silently
+        // skip occurrences instead of failing. One linear pass over the
+        // arena, same cost class as the offset checks above.
+        for slot in 0..slots {
+            let list = &positions[offsets[slot] as usize..offsets[slot + 1] as usize];
+            if let Some(&first) = list.first() {
+                if first == 0 {
+                    return Err(format!(
+                        "index positions for slot {slot} start at 0 (positions are 1-based)"
+                    ));
+                }
+            }
+            if let Some(w) = list.windows(2).find(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "index positions for slot {slot} are not strictly ascending \
+                     ({} then {})",
+                    w[0], w[1]
+                ));
+            }
+        }
+        Ok(Self {
             offsets,
             positions,
             num_events,
             num_sequences,
-        }
+        })
+    }
+
+    /// The CSR offsets column: slot `s * num_events + e` delimits the arena
+    /// range of `(sequence s, event e)`. Exposed for snapshot serialization.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat positions arena (all posting lists concatenated in slot
+    /// order). Exposed for snapshot serialization.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
     }
 
     /// Number of sequences covered by the index.
@@ -171,10 +255,10 @@ impl InvertedIndex {
         })
     }
 
-    /// Heap bytes of live data held by the index (positions arena + CSR
-    /// offsets table) — the number the `stats` CLI and the columnar-store
-    /// benchmark report. Counts lengths, not capacities, so it is
-    /// deterministic for a given database.
+    /// Bytes of live data held by the index (positions arena + CSR offsets
+    /// table) — the number the `stats` CLI and the columnar-store benchmark
+    /// report, and the index's contribution to a snapshot image. Counts
+    /// lengths, not capacities, so it is deterministic for a given database.
     pub fn heap_bytes(&self) -> usize {
         (self.positions.len() + self.offsets.len()) * std::mem::size_of::<u32>()
     }

@@ -17,8 +17,15 @@
 //! * [`InvertedIndex`] — the *inverted event index* of §III-D of the paper
 //!   in the same CSR layout (flat positions arena + per-`(sequence, event)`
 //!   ranges), answering `next(S, e, lowest)` queries in `O(log L)` time,
-//! * [`io`] — readers and writers for common on-disk formats (SPMF integer
-//!   format, whitespace-token format, single-character string format, CSV),
+//! * [`SharedSlice`] — the owned-or-mapped buffer backing every columnar
+//!   arena, so the same read path serves in-memory builds and zero-copy
+//!   snapshot loads,
+//! * [`snapshot`] — the versioned, checksummed, 64-byte-aligned single-file
+//!   image format ([`SnapshotWriter`] / [`SnapshotImage`]) behind
+//!   `PreparedDb::write_snapshot` / `open_snapshot` in `rgs-core`,
+//! * [`io`] — readers and writers for common on-disk text formats (SPMF
+//!   integer format, whitespace-token format, single-character string
+//!   format, CSV),
 //! * [`stats`] — dataset summary statistics used by the experiment harness.
 //!
 //! # Example
@@ -37,8 +44,41 @@
 //! let a = db.catalog().id("C").unwrap();
 //! assert_eq!(index.next(0, a, 0), Some(3));
 //! ```
+//!
+//! # Example — snapshot a store and map it back
+//!
+//! The format layer is generic over sections; this round-trips the two
+//! columns of a store through one image file with zero copies on the way
+//! back (see `rgs-core::PreparedDb` for the full prepared-database
+//! composition):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use seqdb::snapshot::{section_id, SectionPayload, SnapshotImage, SnapshotWriter};
+//! use seqdb::{SeqStore, SequenceDatabase};
+//!
+//! let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]);
+//! let path = std::env::temp_dir().join(format!("seqdb-doc-{}.snap", std::process::id()));
+//!
+//! let mut writer = SnapshotWriter::new();
+//! writer.section(section_id::STORE_EVENTS, SectionPayload::EventIds(db.store().arena()));
+//! writer.section(section_id::STORE_OFFSETS, SectionPayload::U32s(db.store().offsets()));
+//! writer.write_to_path(&path)?;
+//!
+//! let image = Arc::new(SnapshotImage::open(&path)?);
+//! let store = SeqStore::from_shared_parts(
+//!     image.shared_event_ids(section_id::STORE_EVENTS)?,
+//!     image.shared_u32s(section_id::STORE_OFFSETS)?,
+//! ).expect("validated by the image checksum");
+//! assert_eq!(&store, db.store());
+//! std::fs::remove_file(&path)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
-#![forbid(unsafe_code)]
+// `shared` and `snapshot` need `unsafe` for mmap and in-place slice
+// reinterpretation; they opt in locally with documented safety arguments.
+// Everything else stays forbidden.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
@@ -46,6 +86,8 @@ pub mod database;
 pub mod index;
 pub mod io;
 pub mod sequence;
+pub mod shared;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 
@@ -53,5 +95,7 @@ pub use catalog::{EventCatalog, EventId};
 pub use database::{DatabaseBuilder, SequenceDatabase};
 pub use index::InvertedIndex;
 pub use sequence::Sequence;
+pub use shared::SharedSlice;
+pub use snapshot::{SnapshotError, SnapshotImage, SnapshotWriter};
 pub use stats::DatabaseStats;
 pub use store::{SeqStore, SeqView};

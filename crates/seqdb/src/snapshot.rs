@@ -1,0 +1,1012 @@
+//! The single-file snapshot image: a versioned, little-endian, 64-byte-
+//! aligned on-disk format for the columnar arenas, opened with zero copies.
+//!
+//! A prepared database is a handful of contiguous arrays (the
+//! [`crate::SeqStore`] event arena and CSR offsets, the
+//! [`crate::InvertedIndex`] positions arena and
+//! per-`(sequence, event)` ranges, the per-event counts, the catalog — see
+//! [`crate::SeqStore`], [`crate::InvertedIndex`]). This module serializes
+//! those arrays into **one file** and maps them back as borrowed slices, so
+//! a cold start is an `mmap` plus one checksum scan instead of re-tokenizing
+//! and re-indexing the corpus. `ARCHITECTURE.md` at the repository root
+//! walks the format byte by byte.
+//!
+//! # File layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic  "RGS1SNAP"
+//!      8     4  format version (u32 LE) = 1
+//!     12     4  endianness marker (u32 LE) = 0x0A0B_0C0D
+//!     16     8  file length in bytes (u64 LE)
+//!     24     8  FNV-1a 64 checksum (u64 LE) of every file byte EXCEPT
+//!               this field itself (bytes [0, 24) and [32, file_len))
+//!     32     4  section count (u32 LE)
+//!     36    28  reserved, must be zero
+//!     64   32n  section table: n entries of
+//!               { id: u32, elem_size: u32 (1|4|8), offset: u64,
+//!                 byte_len: u64, count: u64 }
+//!      -     -  section payloads, each starting at a 64-byte-aligned
+//!               offset, zero-padded in between
+//! ```
+//!
+//! All integers are little-endian. Payload offsets are 64-byte aligned so
+//! that a page-aligned `mmap` (or the 8-byte-aligned read fallback) can
+//! reinterpret a `u32`/`u64` section in place, without copying — the
+//! alignment is rechecked defensively on every typed access. The checksum
+//! makes corruption detection exhaustive: any single bit flip anywhere in
+//! the file is rejected with a descriptive [`SnapshotError`] (pinned by
+//! `tests/snapshot_corruption.rs`).
+//!
+//! # Who writes what
+//!
+//! This module provides the format-level [`SnapshotWriter`] /
+//! [`SnapshotImage`] plus the section-id registry ([`section_id`]) for the
+//! whole stack. The composition — which sections a prepared database
+//! consists of — lives in `rgs-core` (`PreparedDb::write_snapshot` /
+//! `PreparedDb::open_snapshot`).
+
+// mmap, the aligned read buffer, and in-place slice reinterpretation are
+// inherently `unsafe`; every use carries a local safety argument, and all
+// offsets/lengths/alignments are validated against the header first.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::catalog::{EventCatalog, EventId};
+use crate::shared::{event_ids_as_u32s, SharedSlice};
+
+/// The 8-byte magic at offset 0 of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RGS1SNAP";
+
+/// The format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Alignment (bytes) of every section payload within the file.
+pub const SECTION_ALIGN: u64 = 64;
+
+/// Value of the endianness marker field when read on a matching host.
+const ENDIAN_MARKER: u32 = 0x0A0B_0C0D;
+
+/// Byte length of the fixed header.
+const HEADER_LEN: u64 = 64;
+
+/// Byte length of one section-table entry.
+const ENTRY_LEN: u64 = 32;
+
+/// Well-known section identifiers.
+///
+/// The format itself is agnostic to ids; this registry fixes what the
+/// prepared-database composition in `rgs-core` writes. Ids are stable
+/// across versions — new sections get new ids.
+pub mod section_id {
+    /// `u64` triple `[num_sequences, num_events, total_length]`.
+    pub const META: u32 = 1;
+    /// The [`SeqStore`](crate::SeqStore) event arena (`u32` per event).
+    pub const STORE_EVENTS: u32 = 2;
+    /// The [`SeqStore`](crate::SeqStore) CSR offsets (`u32`, one per
+    /// sequence plus a sentinel).
+    pub const STORE_OFFSETS: u32 = 3;
+    /// The [`InvertedIndex`](crate::InvertedIndex) CSR offsets (`u32`, one
+    /// per `(sequence, event)` slot plus a sentinel).
+    pub const INDEX_OFFSETS: u32 = 4;
+    /// The [`InvertedIndex`](crate::InvertedIndex) positions arena (`u32`).
+    pub const INDEX_POSITIONS: u32 = 5;
+    /// The serialized [`EventCatalog`](crate::EventCatalog) (length-prefixed
+    /// UTF-8 labels; see [`catalog_to_bytes`](crate::snapshot::catalog_to_bytes)).
+    pub const CATALOG: u32 = 6;
+    /// Per-event total occurrence counts (`u64`, indexed by event id).
+    pub const EVENT_COUNTS: u32 = 7;
+    /// The frequency-pruned candidate event order (`u32` event ids).
+    pub const EVENT_ORDER: u32 = 8;
+
+    /// Human-readable name of a well-known section id (for `snapshot info`).
+    pub fn name(id: u32) -> &'static str {
+        match id {
+            META => "meta",
+            STORE_EVENTS => "store.events",
+            STORE_OFFSETS => "store.offsets",
+            INDEX_OFFSETS => "index.offsets",
+            INDEX_POSITIONS => "index.positions",
+            CATALOG => "catalog",
+            EVENT_COUNTS => "event.counts",
+            EVENT_ORDER => "event.order",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Why a snapshot could not be written or opened.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying filesystem error.
+    Io(io::Error),
+    /// The file is not a valid snapshot: bad magic, failed checksum,
+    /// truncation, out-of-bounds or misaligned sections, or inconsistent
+    /// content.
+    Corrupt(String),
+    /// The file is a snapshot, but this build cannot read it (format
+    /// version or endianness mismatch).
+    Unsupported(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(err) => write!(f, "snapshot I/O error: {err}"),
+            SnapshotError::Corrupt(detail) => write!(f, "corrupt snapshot: {detail}"),
+            SnapshotError::Unsupported(detail) => write!(f, "unsupported snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(err: io::Error) -> Self {
+        SnapshotError::Io(err)
+    }
+}
+
+/// Shorthand constructor for [`SnapshotError::Corrupt`] — also used by the
+/// composition layer in `rgs-core` for its cross-section validation.
+pub fn corrupt(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(detail.into())
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a 64
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 hasher over raw bytes.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = hash;
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// One section's data, borrowed from the caller for the duration of the
+/// write. Typed variants serialize as packed little-endian arrays.
+#[derive(Debug, Clone, Copy)]
+pub enum SectionPayload<'a> {
+    /// Raw bytes (`elem_size` 1).
+    Bytes(&'a [u8]),
+    /// Packed `u32`s (`elem_size` 4).
+    U32s(&'a [u32]),
+    /// Packed `u64`s (`elem_size` 8).
+    U64s(&'a [u64]),
+    /// Packed [`EventId`]s, serialized as their raw `u32`s (`elem_size` 4).
+    EventIds(&'a [EventId]),
+}
+
+impl SectionPayload<'_> {
+    fn elem_size(&self) -> u64 {
+        match self {
+            SectionPayload::Bytes(_) => 1,
+            SectionPayload::U32s(_) | SectionPayload::EventIds(_) => 4,
+            SectionPayload::U64s(_) => 8,
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            SectionPayload::Bytes(b) => b.len() as u64,
+            SectionPayload::U32s(v) => v.len() as u64,
+            SectionPayload::U64s(v) => v.len() as u64,
+            SectionPayload::EventIds(v) => v.len() as u64,
+        }
+    }
+
+    fn byte_len(&self) -> u64 {
+        self.count() * self.elem_size()
+    }
+
+    /// Writes the payload as little-endian bytes into `out`.
+    fn write_le(&self, out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+        match self {
+            SectionPayload::Bytes(bytes) => out.write_hashed(bytes),
+            SectionPayload::U32s(values) => write_u32s_le(values, out),
+            SectionPayload::EventIds(ids) => write_u32s_le(event_ids_as_u32s(ids), out),
+            SectionPayload::U64s(values) => write_u64s_le(values, out),
+        }
+    }
+}
+
+#[cfg(target_endian = "little")]
+fn write_u32s_le(values: &[u32], out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+    // SAFETY: reinterpreting an initialized &[u32] as bytes is always valid;
+    // on a little-endian host the in-memory bytes ARE the wire format.
+    let bytes =
+        unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+    out.write_hashed(bytes)
+}
+
+#[cfg(not(target_endian = "little"))]
+fn write_u32s_le(values: &[u32], out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+    for value in values {
+        out.write_hashed(&value.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(target_endian = "little")]
+fn write_u64s_le(values: &[u64], out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+    // SAFETY: as in `write_u32s_le`.
+    let bytes =
+        unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 8) };
+    out.write_hashed(bytes)
+}
+
+#[cfg(not(target_endian = "little"))]
+fn write_u64s_le(values: &[u64], out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+    for value in values {
+        out.write_hashed(&value.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// A writer that feeds everything it writes into the running checksum.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: Fnv1a::new(),
+        }
+    }
+
+    /// Writes bytes that are covered by the checksum.
+    fn write_hashed(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)
+    }
+
+    /// Writes bytes that are excluded from the checksum (the checksum field
+    /// itself).
+    fn write_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write_all(bytes)
+    }
+}
+
+/// Builds and writes one snapshot image.
+///
+/// Add sections with [`SnapshotWriter::section`] (ids must be unique), then
+/// serialize everything in one pass with [`SnapshotWriter::write_to_path`].
+/// Payloads are borrowed, so writing a multi-gigabyte prepared database
+/// never copies an arena.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter<'a> {
+    sections: Vec<(u32, SectionPayload<'a>)>,
+}
+
+impl<'a> SnapshotWriter<'a> {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section. Panics on a duplicate id — that is a programming
+    /// error in the composition, not a runtime condition.
+    pub fn section(&mut self, id: u32, payload: SectionPayload<'a>) -> &mut Self {
+        assert!(
+            self.sections.iter().all(|(existing, _)| *existing != id),
+            "duplicate snapshot section id {id}"
+        );
+        self.sections.push((id, payload));
+        self
+    }
+
+    /// Serializes header, section table, and payloads to `path` in one
+    /// pass, then patches the checksum into the header. Returns the number
+    /// of bytes written.
+    ///
+    /// The write is **atomic**: everything goes to a temporary file in the
+    /// destination's directory, synced, and then renamed over `path`. A
+    /// crash or full disk mid-write therefore never destroys a previous
+    /// good image — and because the old inode stays alive until unmapped,
+    /// it is safe to rebuild a snapshot onto its own source file while
+    /// payloads still borrow its mapping.
+    pub fn write_to_path(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        // pid + process-wide counter: concurrent writers to the same
+        // destination (even from different threads) get distinct temp
+        // files, so the last rename wins with a complete image.
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = self.write_to_tmp(&tmp).and_then(|file_len| {
+            std::fs::rename(&tmp, path)?;
+            Ok(file_len)
+        });
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
+    }
+
+    fn write_to_tmp(&self, tmp: &Path) -> Result<u64, SnapshotError> {
+        // Lay out the file: header, table, then payloads at aligned offsets.
+        let table_end = HEADER_LEN + ENTRY_LEN * self.sections.len() as u64;
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        let mut cursor = table_end;
+        for (_, payload) in &self.sections {
+            cursor = align_up(cursor, SECTION_ALIGN);
+            offsets.push(cursor);
+            cursor += payload.byte_len();
+        }
+        let file_len = cursor;
+
+        let file = File::create(tmp)?;
+        let mut out = HashingWriter::new(io::BufWriter::new(file));
+
+        // Header. The checksum field is written as a placeholder and patched
+        // after the pass; it is the only region excluded from the hash.
+        out.write_hashed(&SNAPSHOT_MAGIC)?;
+        out.write_hashed(&SNAPSHOT_VERSION.to_le_bytes())?;
+        out.write_hashed(&ENDIAN_MARKER.to_le_bytes())?;
+        out.write_hashed(&file_len.to_le_bytes())?;
+        out.write_raw(&0u64.to_le_bytes())?;
+        out.write_hashed(&(self.sections.len() as u32).to_le_bytes())?;
+        out.write_hashed(&[0u8; 28])?;
+
+        // Section table.
+        for ((id, payload), offset) in self.sections.iter().zip(&offsets) {
+            out.write_hashed(&id.to_le_bytes())?;
+            out.write_hashed(&(payload.elem_size() as u32).to_le_bytes())?;
+            out.write_hashed(&offset.to_le_bytes())?;
+            out.write_hashed(&payload.byte_len().to_le_bytes())?;
+            out.write_hashed(&payload.count().to_le_bytes())?;
+        }
+
+        // Payloads, zero-padded to their aligned offsets.
+        let mut written = table_end;
+        for ((_, payload), offset) in self.sections.iter().zip(&offsets) {
+            let pad = (offset - written) as usize;
+            out.write_hashed(&vec![0u8; pad])?;
+            payload.write_le(&mut out)?;
+            written = offset + payload.byte_len();
+        }
+
+        let checksum = out.hash.finish();
+        let mut file = out
+            .inner
+            .into_inner()
+            .map_err(|err| SnapshotError::Io(err.into_error()))?;
+        file.seek(SeekFrom::Start(24))?;
+        file.write_all(&checksum.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(file_len)
+    }
+}
+
+fn align_up(value: u64, align: u64) -> u64 {
+    value.div_ceil(align) * align
+}
+
+// ---------------------------------------------------------------------------
+// Image bytes: mmap on unix, aligned read everywhere
+// ---------------------------------------------------------------------------
+
+/// A read-only `mmap` of a whole file (64-bit unix only: the extern
+/// declaration hardcodes a 64-bit `off_t`, which matches the C ABI only
+/// there; 32-bit targets use the read fallback). Unmapped on drop.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mapping {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    use core::ffi::c_void;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A page-aligned read-only view of a file, courtesy of the kernel.
+    #[derive(Debug)]
+    pub struct MmapRegion {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ/MAP_PRIVATE — immutable shared
+    // memory, valid until munmap in Drop.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Maps `len` bytes of `file` read-only. `len` must be non-zero.
+        pub fn map(file: &File, len: usize) -> io::Result<Self> {
+            debug_assert!(len > 0, "caller rejects empty files first");
+            // SAFETY: plain read-only mapping of an open fd; failure is
+            // reported as MAP_FAILED (-1) and turned into an io::Error.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len come from a successful mmap that lives until
+            // Drop; the mapping is never written.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            // SAFETY: exact ptr/len pair returned by mmap.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Fallback storage: the whole file read into one 8-byte-aligned buffer
+/// (`Vec<u64>` backing), so typed section access works exactly as it does
+/// on a mapping.
+#[derive(Debug)]
+struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    fn read(file: &mut File, len: usize) -> io::Result<Self> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the Vec<u64> allocation is valid for `len` bytes
+        // (len <= words.len() * 8) and u8 has no validity requirements.
+        let buf = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) };
+        file.read_exact(buf)?;
+        Ok(Self { words, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: as in `read`; every byte was initialized (zeroed, then
+        // overwritten by read_exact).
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+#[derive(Debug)]
+enum ImageBytes {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(mapping::MmapRegion),
+    Owned(AlignedBytes),
+}
+
+impl ImageBytes {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            ImageBytes::Mapped(region) => region.bytes(),
+            ImageBytes::Owned(buffer) => buffer.bytes(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Image
+// ---------------------------------------------------------------------------
+
+/// One entry of the section table, as validated at open time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section identifier (see [`section_id`]).
+    pub id: u32,
+    /// Bytes per element: 1, 4, or 8.
+    pub elem_size: u32,
+    /// Byte offset of the payload from the start of the file (64-aligned).
+    pub offset: u64,
+    /// Exact payload length in bytes (`count * elem_size`).
+    pub byte_len: u64,
+    /// Number of elements.
+    pub count: u64,
+}
+
+/// An opened, validated snapshot file: the byte image (mapped or read) plus
+/// its parsed section table.
+///
+/// Opening validates the magic, version, endianness, recorded file length,
+/// full-file checksum, and every table entry (bounds, alignment, element
+/// size, id uniqueness) before any data is handed out — a snapshot that
+/// opens successfully cannot carry a single flipped bit. Typed accessors
+/// then reinterpret payloads in place; the
+/// [`shared_u32s`](SnapshotImage::shared_u32s) family wraps them as
+/// [`SharedSlice`]s that keep the image alive via `Arc`.
+#[derive(Debug)]
+pub struct SnapshotImage {
+    bytes: ImageBytes,
+    sections: Vec<SectionEntry>,
+}
+
+impl SnapshotImage {
+    /// Opens and fully validates a snapshot file. On unix the file is
+    /// `mmap`ed (zero-copy); elsewhere, or when mapping fails, it is read
+    /// into one aligned buffer.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let path = path.as_ref();
+        #[cfg(target_endian = "big")]
+        {
+            return Err(SnapshotError::Unsupported(
+                "snapshot images are little-endian; this host is big-endian".to_owned(),
+            ));
+        }
+        #[cfg(not(target_endian = "big"))]
+        {
+            let mut file = File::open(path)?;
+            let actual_len = file.metadata()?.len();
+            if actual_len < HEADER_LEN {
+                return Err(corrupt(format!(
+                    "file is {actual_len} bytes, shorter than the {HEADER_LEN}-byte header"
+                )));
+            }
+            if actual_len > usize::MAX as u64 {
+                return Err(SnapshotError::Unsupported(
+                    "file does not fit in this platform's address space".to_owned(),
+                ));
+            }
+            let len = actual_len as usize;
+
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            let bytes = match mapping::MmapRegion::map(&file, len) {
+                Ok(region) => ImageBytes::Mapped(region),
+                Err(_) => ImageBytes::Owned(AlignedBytes::read(&mut file, len)?),
+            };
+            #[cfg(not(all(unix, target_pointer_width = "64")))]
+            let bytes = ImageBytes::Owned(AlignedBytes::read(&mut file, len)?);
+
+            let sections = Self::validate(bytes.bytes(), actual_len)?;
+            Ok(Self { bytes, sections })
+        }
+    }
+
+    /// Header + table + checksum validation; returns the parsed table.
+    fn validate(data: &[u8], actual_len: u64) -> Result<Vec<SectionEntry>, SnapshotError> {
+        if data[..8] != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad magic: not a snapshot file"));
+        }
+        let version = read_u32(data, 8);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Unsupported(format!(
+                "format version {version}; this build reads version {SNAPSHOT_VERSION}"
+            )));
+        }
+        let endian = read_u32(data, 12);
+        if endian != ENDIAN_MARKER {
+            return Err(SnapshotError::Unsupported(format!(
+                "endianness marker {endian:#010x} (expected {ENDIAN_MARKER:#010x}); \
+                 the file was written on an incompatible host"
+            )));
+        }
+        let recorded_len = read_u64(data, 16);
+        if recorded_len != actual_len {
+            return Err(corrupt(format!(
+                "truncated or padded: header records {recorded_len} bytes, file has {actual_len}"
+            )));
+        }
+        if data[36..64].iter().any(|&b| b != 0) {
+            return Err(corrupt("reserved header bytes are not zero"));
+        }
+
+        // The checksum covers every byte except its own field, so a flip in
+        // any unvalidated region (table, padding, payloads, reserved bits of
+        // the header) is still caught here.
+        let recorded_checksum = read_u64(data, 24);
+        let mut hash = Fnv1a::new();
+        hash.update(&data[..24]);
+        hash.update(&data[32..]);
+        let computed = hash.finish();
+        if computed != recorded_checksum {
+            return Err(corrupt(format!(
+                "checksum mismatch: header records {recorded_checksum:#018x}, \
+                 file hashes to {computed:#018x} (bit corruption)"
+            )));
+        }
+
+        let section_count = read_u32(data, 32) as u64;
+        let table_end = HEADER_LEN
+            .checked_add(ENTRY_LEN.checked_mul(section_count).ok_or_else(|| {
+                corrupt(format!("section count {section_count} overflows the table"))
+            })?)
+            .ok_or_else(|| corrupt("section table overflows"))?;
+        if table_end > actual_len {
+            return Err(corrupt(format!(
+                "section table ({section_count} entries) exceeds the file length"
+            )));
+        }
+
+        let mut sections: Vec<SectionEntry> = Vec::with_capacity(section_count as usize);
+        for i in 0..section_count {
+            let base = (HEADER_LEN + i * ENTRY_LEN) as usize;
+            let entry = SectionEntry {
+                id: read_u32(data, base),
+                elem_size: read_u32(data, base + 4),
+                offset: read_u64(data, base + 8),
+                byte_len: read_u64(data, base + 16),
+                count: read_u64(data, base + 24),
+            };
+            if !matches!(entry.elem_size, 1 | 4 | 8) {
+                return Err(corrupt(format!(
+                    "section {}: element size {} is not 1, 4, or 8",
+                    entry.id, entry.elem_size
+                )));
+            }
+            if !entry.offset.is_multiple_of(SECTION_ALIGN) {
+                return Err(corrupt(format!(
+                    "section {}: payload offset {} is not {SECTION_ALIGN}-byte aligned",
+                    entry.id, entry.offset
+                )));
+            }
+            if entry.offset < table_end {
+                return Err(corrupt(format!(
+                    "section {}: payload overlaps the header or table",
+                    entry.id
+                )));
+            }
+            let end = entry
+                .offset
+                .checked_add(entry.byte_len)
+                .ok_or_else(|| corrupt(format!("section {}: payload overflows", entry.id)))?;
+            if end > actual_len {
+                return Err(corrupt(format!(
+                    "section {}: payload [{}, {end}) exceeds the {actual_len}-byte file",
+                    entry.id, entry.offset
+                )));
+            }
+            if entry
+                .count
+                .checked_mul(u64::from(entry.elem_size))
+                .is_none_or(|expected| entry.byte_len != expected)
+            {
+                return Err(corrupt(format!(
+                    "section {}: byte length {} != count {} x element size {}",
+                    entry.id, entry.byte_len, entry.count, entry.elem_size
+                )));
+            }
+            if sections.iter().any(|s| s.id == entry.id) {
+                return Err(corrupt(format!("duplicate section id {}", entry.id)));
+            }
+            sections.push(entry);
+        }
+        Ok(sections)
+    }
+
+    /// The validated section table, in file order.
+    pub fn sections(&self) -> &[SectionEntry] {
+        &self.sections
+    }
+
+    /// Looks up a section by id.
+    pub fn section(&self, id: u32) -> Option<&SectionEntry> {
+        self.sections.iter().find(|entry| entry.id == id)
+    }
+
+    fn require(&self, id: u32) -> Result<&SectionEntry, SnapshotError> {
+        self.section(id)
+            .ok_or_else(|| corrupt(format!("missing section {id} ({})", section_id::name(id))))
+    }
+
+    /// Total size of the image in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.bytes().len()
+    }
+
+    /// `true` when the image is an `mmap` rather than an in-memory copy.
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.bytes, ImageBytes::Mapped(_))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
+
+    /// The raw bytes of section `id`.
+    pub fn section_bytes(&self, id: u32) -> Result<&[u8], SnapshotError> {
+        let entry = self.require(id)?;
+        let start = entry.offset as usize;
+        Ok(&self.bytes.bytes()[start..start + entry.byte_len as usize])
+    }
+
+    /// Reinterprets section `id` as `&[T]` in place. `T` is one of the wire
+    /// element types (u32/u64); bounds were validated at open, element size
+    /// and alignment are rechecked here.
+    fn typed<T: Copy>(&self, id: u32) -> Result<&[T], SnapshotError> {
+        let entry = self.require(id)?;
+        let size = std::mem::size_of::<T>();
+        if entry.elem_size as usize != size {
+            return Err(corrupt(format!(
+                "section {id} ({}) holds {}-byte elements, expected {size}",
+                section_id::name(id),
+                entry.elem_size
+            )));
+        }
+        let bytes = self.section_bytes(id)?;
+        let ptr = bytes.as_ptr();
+        if ptr.align_offset(std::mem::align_of::<T>()) != 0 {
+            return Err(corrupt(format!(
+                "section {id} payload is not aligned for {size}-byte elements"
+            )));
+        }
+        // SAFETY: bounds validated at open, alignment just checked, u32/u64
+        // accept every bit pattern, and the image is immutable while alive.
+        Ok(unsafe { std::slice::from_raw_parts(ptr.cast::<T>(), entry.count as usize) })
+    }
+
+    /// Section `id` as a borrowed `&[u32]`.
+    pub fn u32s(&self, id: u32) -> Result<&[u32], SnapshotError> {
+        self.typed::<u32>(id)
+    }
+
+    /// Section `id` as a borrowed `&[u64]`.
+    pub fn u64s(&self, id: u32) -> Result<&[u64], SnapshotError> {
+        self.typed::<u64>(id)
+    }
+
+    /// Section `id` as a zero-copy [`SharedSlice<u32>`] that co-owns this
+    /// image.
+    pub fn shared_u32s(self: &Arc<Self>, id: u32) -> Result<SharedSlice<u32>, SnapshotError> {
+        let slice = self.u32s(id)?;
+        let (ptr, len) = (slice.as_ptr(), slice.len());
+        let owner: Arc<dyn Any + Send + Sync> = self.clone();
+        // SAFETY: ptr/len were validated by `typed`; the SharedSlice holds
+        // the Arc, so the mapping outlives every reader.
+        Ok(unsafe { SharedSlice::from_raw_parts(owner, ptr, len) })
+    }
+
+    /// Section `id` as a zero-copy [`SharedSlice<u64>`].
+    pub fn shared_u64s(self: &Arc<Self>, id: u32) -> Result<SharedSlice<u64>, SnapshotError> {
+        let slice = self.u64s(id)?;
+        let (ptr, len) = (slice.as_ptr(), slice.len());
+        let owner: Arc<dyn Any + Send + Sync> = self.clone();
+        // SAFETY: as in `shared_u32s`.
+        Ok(unsafe { SharedSlice::from_raw_parts(owner, ptr, len) })
+    }
+
+    /// Section `id` as a zero-copy [`SharedSlice<EventId>`] (the wire format
+    /// stores raw `u32` ids; `EventId` is `repr(transparent)` over `u32`).
+    pub fn shared_event_ids(
+        self: &Arc<Self>,
+        id: u32,
+    ) -> Result<SharedSlice<EventId>, SnapshotError> {
+        let slice = self.u32s(id)?;
+        let (ptr, len) = (slice.as_ptr().cast::<EventId>(), slice.len());
+        let owner: Arc<dyn Any + Send + Sync> = self.clone();
+        // SAFETY: as in `shared_u32s`, plus EventId is repr(transparent)
+        // over u32, so the cast preserves layout and validity.
+        Ok(unsafe { SharedSlice::from_raw_parts(owner, ptr, len) })
+    }
+}
+
+fn read_u32(data: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(data: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(data[offset..offset + 8].try_into().expect("8 bytes"))
+}
+
+// ---------------------------------------------------------------------------
+// Catalog codec
+// ---------------------------------------------------------------------------
+
+/// Serializes an [`EventCatalog`] for the [`section_id::CATALOG`] section:
+/// a `u32` label count followed by, per label in id order, a `u32` byte
+/// length and the UTF-8 bytes. Labels are owned data either way — unlike
+/// the arenas, the catalog is copied out of the image on open (it is tiny
+/// next to the event data, and the id→label vector plus the label→id map
+/// want owned strings anyway).
+pub fn catalog_to_bytes(catalog: &EventCatalog) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(catalog.len() as u32).to_le_bytes());
+    for (_, label) in catalog.iter() {
+        out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+        out.extend_from_slice(label.as_bytes());
+    }
+    out
+}
+
+/// Deserializes the [`section_id::CATALOG`] section. Rejects truncated
+/// data, invalid UTF-8, trailing garbage, and duplicate labels (which would
+/// silently renumber every event).
+pub fn catalog_from_bytes(bytes: &[u8]) -> Result<EventCatalog, SnapshotError> {
+    let mut cursor = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], SnapshotError> {
+        let end = cursor
+            .checked_add(n)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| corrupt("catalog section is truncated"))?;
+        let slice = &bytes[cursor..end];
+        cursor = end;
+        Ok(slice)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let mut catalog = EventCatalog::new();
+    for i in 0..count {
+        let len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let label = std::str::from_utf8(take(len)?)
+            .map_err(|_| corrupt(format!("catalog label {i} is not valid UTF-8")))?;
+        catalog.intern(label);
+        if catalog.len() != i + 1 {
+            return Err(corrupt(format!(
+                "catalog label {i} ({label:?}) is a duplicate"
+            )));
+        }
+    }
+    if cursor != bytes.len() {
+        return Err(corrupt(format!(
+            "catalog section has {} trailing bytes",
+            bytes.len() - cursor
+        )));
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("seqdb-snapshot-{}-{tag}.bin", std::process::id()))
+    }
+
+    fn sample_file(tag: &str) -> std::path::PathBuf {
+        let path = temp_path(tag);
+        let mut writer = SnapshotWriter::new();
+        let words = [1u64, 2, 3];
+        writer.section(section_id::META, SectionPayload::U64s(&words));
+        writer.section(7, SectionPayload::U32s(&[10, 20, 30, 40]));
+        writer.section(9, SectionPayload::Bytes(b"hello"));
+        writer.section(11, SectionPayload::EventIds(&[EventId(5), EventId(6)]));
+        writer.write_to_path(&path).expect("write snapshot");
+        path
+    }
+
+    #[test]
+    fn round_trip_preserves_every_section() {
+        let path = sample_file("roundtrip");
+        let image = Arc::new(SnapshotImage::open(&path).expect("open"));
+        assert_eq!(image.sections().len(), 4);
+        assert_eq!(image.u64s(section_id::META).unwrap(), &[1, 2, 3]);
+        assert_eq!(image.u32s(7).unwrap(), &[10, 20, 30, 40]);
+        assert_eq!(image.section_bytes(9).unwrap(), b"hello");
+        let ids = image.shared_event_ids(11).unwrap();
+        assert_eq!(&ids[..], &[EventId(5), EventId(6)]);
+        let shared = image.shared_u32s(7).unwrap();
+        assert!(shared.is_mapped());
+        assert_eq!(&shared[..], &[10, 20, 30, 40]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_slices_keep_the_image_alive() {
+        let path = sample_file("keepalive");
+        let shared = {
+            let image = Arc::new(SnapshotImage::open(&path).expect("open"));
+            image.shared_u32s(7).unwrap()
+        };
+        // The Arc<SnapshotImage> went out of scope; the slice still reads.
+        assert_eq!(&shared[..], &[10, 20, 30, 40]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_offsets_are_aligned() {
+        let path = sample_file("aligned");
+        let image = SnapshotImage::open(&path).expect("open");
+        for entry in image.sections() {
+            assert_eq!(entry.offset % SECTION_ALIGN, 0, "{entry:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_mistyped_sections_error() {
+        let path = sample_file("missing");
+        let image = SnapshotImage::open(&path).expect("open");
+        assert!(matches!(image.u32s(99), Err(SnapshotError::Corrupt(_))));
+        // Section 7 holds u32s; asking for u64s must fail loudly.
+        assert!(matches!(image.u64s(7), Err(SnapshotError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn catalog_codec_round_trips_and_rejects_garbage() {
+        let catalog = EventCatalog::from_labels(["lock", "unlock", "naïve-label"]);
+        let bytes = catalog_to_bytes(&catalog);
+        let back = catalog_from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, catalog);
+
+        assert!(catalog_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(catalog_from_bytes(&trailing).is_err());
+        let dup = catalog_to_bytes(&EventCatalog::from_labels(["a", "b"]));
+        let mut dup_bytes = dup.clone();
+        // Rewrite label 1 ("b") to "a" to forge a duplicate.
+        let pos = dup_bytes.len() - 1;
+        dup_bytes[pos] = b'a';
+        assert!(catalog_from_bytes(&dup_bytes).is_err());
+    }
+
+    #[test]
+    fn empty_writer_produces_a_valid_header_only_image() {
+        let path = temp_path("empty");
+        SnapshotWriter::new().write_to_path(&path).expect("write");
+        let image = SnapshotImage::open(&path).expect("open");
+        assert!(image.sections().is_empty());
+        assert_eq!(image.len_bytes(), 64);
+        std::fs::remove_file(&path).ok();
+    }
+}

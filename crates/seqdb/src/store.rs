@@ -12,9 +12,15 @@
 //! [`Sequence`] type remains as the *construction* unit
 //! (builders flatten it into the store), while all *access* goes through
 //! [`SeqView`] slices.
+//!
+//! Both columns are [`SharedSlice`]s: built in memory they are plain
+//! `Vec`s, reconstructed from a [`snapshot`](crate::snapshot) they are
+//! zero-copy windows into the mapped image — the read path is identical
+//! either way.
 
 use crate::catalog::EventId;
 use crate::sequence::Sequence;
+use crate::shared::SharedSlice;
 
 /// Flat columnar storage for the events of a whole database.
 ///
@@ -24,18 +30,18 @@ use crate::sequence::Sequence;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqStore {
     /// All events of all sequences, concatenated.
-    events: Vec<EventId>,
+    events: SharedSlice<EventId>,
     /// CSR offsets: `offsets[i]..offsets[i + 1]` is sequence `i`.
     /// Invariant: `offsets[0] == 0`, monotone non-decreasing, and the last
     /// entry equals `events.len()`.
-    offsets: Vec<u32>,
+    offsets: SharedSlice<u32>,
 }
 
 impl Default for SeqStore {
     fn default() -> Self {
         Self {
-            events: Vec::new(),
-            offsets: vec![0],
+            events: SharedSlice::default(),
+            offsets: vec![0].into(),
         }
     }
 }
@@ -52,18 +58,48 @@ impl SeqStore {
         let mut offsets = Vec::with_capacity(sequences + 1);
         offsets.push(0);
         Self {
-            events: Vec::with_capacity(events),
-            offsets,
+            events: Vec::with_capacity(events).into(),
+            offsets: offsets.into(),
         }
     }
 
+    /// Reassembles a store from its two columns, typically zero-copy slices
+    /// of a [`snapshot`](crate::snapshot) image. Every CSR invariant is
+    /// checked; the error string names the violated one.
+    pub fn from_shared_parts(
+        events: SharedSlice<EventId>,
+        offsets: SharedSlice<u32>,
+    ) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("store offsets are empty (the sentinel entry is mandatory)".to_owned());
+        }
+        if offsets[0] != 0 {
+            return Err(format!("store offsets start at {}, not 0", offsets[0]));
+        }
+        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!(
+                "store offsets are not monotone ({} > {})",
+                w[0], w[1]
+            ));
+        }
+        let last = offsets[offsets.len() - 1] as usize;
+        if last != events.len() {
+            return Err(format!(
+                "store offsets end at {last} but the event arena holds {} events",
+                events.len()
+            ));
+        }
+        Ok(Self { events, offsets })
+    }
+
     /// Appends one sequence given as an iterator of events; returns its
-    /// 0-based index.
+    /// 0-based index. On a snapshot-backed store this first materializes
+    /// owned columns (copy-on-write).
     pub fn push_events<I>(&mut self, events: I) -> usize
     where
         I: IntoIterator<Item = EventId>,
     {
-        self.events.extend(events);
+        self.events.to_mut().extend(events);
         // Hard assert (not debug-only): a silently wrapped u32 offset would
         // make every later view slice the wrong events. ~4.29 billion
         // events is the store's documented capacity ceiling.
@@ -71,8 +107,10 @@ impl SeqStore {
             self.events.len() <= u32::MAX as usize,
             "SeqStore offsets are u32: more than u32::MAX total events"
         );
-        self.offsets.push(self.events.len() as u32);
-        self.offsets.len() - 2
+        let total = self.events.len() as u32;
+        let offsets = self.offsets.to_mut();
+        offsets.push(total);
+        offsets.len() - 2
     }
 
     /// Number of sequences in the store.
@@ -134,7 +172,9 @@ impl SeqStore {
         &self.offsets
     }
 
-    /// Heap bytes of live data held by the store (arena + offsets table).
+    /// Bytes of live data held by the store (arena + offsets table) —
+    /// heap-resident when owned, mapped when snapshot-backed; either way
+    /// this is the store's contribution to a snapshot image.
     ///
     /// Counts lengths rather than capacities, so the number is deterministic
     /// for a given database regardless of how it was built.

@@ -73,6 +73,15 @@
 //!     .min_len(2)
 //!     .run();
 //! assert!(constrained_topk.len() <= 5);
+//!
+//! // Phase 1 persists: write the snapshot once, reopen it zero-copy on
+//! // every cold start (mmap + checksum; no re-tokenizing or re-indexing).
+//! let path = std::env::temp_dir().join(format!("rgm-doc-{}.snap", std::process::id()));
+//! prepared.write_snapshot(&path).unwrap();
+//! let reopened = PreparedDb::open_snapshot(&path).unwrap();
+//! let cold = reopened.miner().min_sup(2).mode(Mode::Closed).run();
+//! assert_eq!(cold.patterns, closed.patterns);
+//! std::fs::remove_file(&path).unwrap();
 //! ```
 
 #![forbid(unsafe_code)]
@@ -107,5 +116,6 @@ pub mod prelude {
     };
     pub use seqdb::{
         DatabaseBuilder, EventCatalog, EventId, InvertedIndex, Sequence, SequenceDatabase,
+        SnapshotError,
     };
 }
