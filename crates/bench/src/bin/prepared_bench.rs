@@ -8,14 +8,17 @@
 //! the repository root by convention.
 //!
 //! ```text
-//! prepared_bench [--scale dev|paper] [--threads N] [--repeats N] [--out FILE]
-//!                [--columnar-out FILE] [--snapshot-out FILE]
-//!                [--only prepared|columnar|snapshot]
+//! prepared_bench [--scale dev|paper] [--threads N] [--shards N] [--repeats N]
+//!                [--out FILE] [--columnar-out FILE] [--snapshot-out FILE]
+//!                [--sharded-out FILE]
+//!                [--only prepared|columnar|snapshot|sharded]
 //! ```
 //!
 //! `--only` restricts the run to one benchmark (and its output file) —
-//! CI uses `--only snapshot` so the artifact job does not pay for the
-//! other two suites.
+//! CI uses `--only snapshot` / `--only sharded` so each artifact job pays
+//! only for its own suite. The sharded suite (`BENCH_shard.json`) measures
+//! flat vs sharded prepare time, per-shard byte footprints, and
+//! shard-parallel growth throughput against the PR 3 columnar baseline.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,12 +30,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Dev;
     let mut threads = 4usize;
+    let mut shards = 4usize;
     let mut repeats = 3usize;
     let mut out = PathBuf::from("BENCH_prepared_engine.json");
     let mut columnar_out = PathBuf::from("BENCH_columnar_store.json");
     let mut snapshot_out = PathBuf::from("BENCH_snapshot.json");
-    // Which benchmarks to run: (prepared, columnar, snapshot).
-    let mut phases = (true, true, true);
+    let mut sharded_out = PathBuf::from("BENCH_shard.json");
+    // Which benchmarks to run: (prepared, columnar, snapshot, sharded).
+    let mut phases = (true, true, true, true);
 
     let mut i = 0;
     while i < args.len() {
@@ -52,6 +57,13 @@ fn main() -> ExitCode {
                 Some(n) => threads = n,
                 None => {
                     eprintln!("--threads needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match need_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => shards = n,
+                None => {
+                    eprintln!("--shards needs an integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -83,20 +95,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--sharded-out" => match need_value(&mut i) {
+                Some(path) => sharded_out = PathBuf::from(path),
+                None => {
+                    eprintln!("--sharded-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--only" => match need_value(&mut i).as_deref() {
-                Some("prepared") => phases = (true, false, false),
-                Some("columnar") => phases = (false, true, false),
-                Some("snapshot") => phases = (false, false, true),
+                Some("prepared") => phases = (true, false, false, false),
+                Some("columnar") => phases = (false, true, false, false),
+                Some("snapshot") => phases = (false, false, true, false),
+                Some("sharded") => phases = (false, false, false, true),
                 _ => {
-                    eprintln!("--only needs prepared|columnar|snapshot");
+                    eprintln!("--only needs prepared|columnar|snapshot|sharded");
                     return ExitCode::FAILURE;
                 }
             },
             "--help" | "-h" => {
                 println!(
-                    "prepared_bench [--scale dev|paper] [--threads N] [--repeats N] \
-                     [--out FILE] [--columnar-out FILE] [--snapshot-out FILE] \
-                     [--only prepared|columnar|snapshot]"
+                    "prepared_bench [--scale dev|paper] [--threads N] [--shards N] \
+                     [--repeats N] [--out FILE] [--columnar-out FILE] \
+                     [--snapshot-out FILE] [--sharded-out FILE] \
+                     [--only prepared|columnar|snapshot|sharded]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -170,6 +191,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("# written to {}", snapshot_out.display());
+    }
+
+    if phases.3 {
+        // Sharded stores: flat vs sharded prepare, per-shard bytes, and
+        // shard-parallel growth throughput against the PR 3 baseline, with
+        // the bit-identity check.
+        let sharded = prepared_bench::run_sharded(scale, shards, threads, repeats);
+        let sharded_json = sharded.to_json();
+        println!("{sharded_json}");
+        for w in &sharded.workloads {
+            println!(
+                "# {}: {} shards, prepare {:.2}x, growth {:.2}x ({:.0} growths/s), \
+                 identical output: {}",
+                w.dataset,
+                w.shards,
+                w.prepare_speedup,
+                w.growth_speedup,
+                w.growths_per_second,
+                w.output_identical,
+            );
+        }
+        if let Err(err) = std::fs::write(&sharded_out, &sharded_json) {
+            eprintln!("error: cannot write {}: {err}", sharded_out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# written to {}", sharded_out.display());
     }
     ExitCode::SUCCESS
 }

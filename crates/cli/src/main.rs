@@ -7,10 +7,10 @@
 //!          [--mode all|closed|maximal] [--closed] [--all] [--maximal-mode]
 //!          [--min-gap G] [--max-gap G] [--max-window W]
 //!          [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]
-//!          [--threads N] [--top T] [--density R] [--maximal] [--stream]
+//!          [--threads N] [--shards N] [--top T] [--density R] [--maximal] [--stream]
 //! rgs-mine topk  --input FILE|--snapshot IMG -k K [--min-sup FLOOR] [...]
-//! rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars]
-//! rgs-mine snapshot build --input FILE [--format ...] --out IMG
+//! rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars] [--shards N]
+//! rgs-mine snapshot build --input FILE [--format ...] [--shards N] --out IMG
 //! rgs-mine snapshot info  --snapshot IMG
 //! rgs-mine demo  [--min-sup K] [--mode ...]
 //! ```
@@ -65,6 +65,9 @@ struct Options {
     max_len: Option<usize>,
     max_patterns: Option<usize>,
     threads: usize,
+    /// Partition the store into N shards at preparation time (mine/topk/
+    /// stats/snapshot build; 1 = flat).
+    shards: usize,
     top: usize,
     density: Option<f64>,
     maximal_filter: bool,
@@ -105,6 +108,7 @@ impl Default for Options {
             max_len: None,
             max_patterns: None,
             threads: 1,
+            shards: 1,
             top: 20,
             density: None,
             maximal_filter: false,
@@ -174,27 +178,28 @@ impl Options {
 }
 
 /// Where the miner's data came from: a text file parsed into a fresh
-/// database, or a prepared snapshot image mapped from disk.
+/// database, or a [`PreparedDb`] — mapped from a snapshot image, or built
+/// eagerly because `--shards N` asked for a partitioned store.
 enum Loaded {
     Text(SequenceDatabase),
-    Snapshot(PreparedDb),
+    Prepared(Box<PreparedDb>),
 }
 
 impl Loaded {
     fn database(&self) -> &SequenceDatabase {
         match self {
             Loaded::Text(db) => db,
-            Loaded::Snapshot(prepared) => prepared.database(),
+            Loaded::Prepared(prepared) => prepared.database(),
         }
     }
 
     /// A miner over this source with every query option applied. The
-    /// snapshot path skips all preparation — the image already holds the
-    /// index and counts.
+    /// prepared path skips all per-run preparation — the snapshot (or the
+    /// sharded build) already holds the index and counts.
     fn miner(&self, options: &Options) -> Miner<'_> {
         match self {
             Loaded::Text(db) => options.apply(Miner::new(db)),
-            Loaded::Snapshot(prepared) => options.apply(prepared.miner()),
+            Loaded::Prepared(prepared) => options.apply(prepared.miner()),
         }
     }
 }
@@ -204,7 +209,13 @@ impl Loaded {
 fn load_source(options: &Options) -> Result<Loaded, ExitCode> {
     if let Some(path) = &options.snapshot {
         return match PreparedDb::open_snapshot(path) {
-            Ok(prepared) => Ok(Loaded::Snapshot(prepared)),
+            // --shards N re-partitions an image prepared with a different
+            // shard count (windows re-derive zero-copy; indexes rebuild),
+            // so the flag means the same thing on every subcommand.
+            Ok(prepared) if options.shards > 1 && prepared.shard_count() != options.shards => Ok(
+                Loaded::Prepared(Box::new(prepared.reshard(options.shards, options.threads))),
+            ),
+            Ok(prepared) => Ok(Loaded::Prepared(Box::new(prepared))),
             Err(err) => {
                 eprintln!("error: cannot open snapshot {}: {err}", path.display());
                 Err(ExitCode::FAILURE)
@@ -213,10 +224,10 @@ fn load_source(options: &Options) -> Result<Loaded, ExitCode> {
     }
     if options.demo {
         // The running example of the paper (Table III).
-        return Ok(Loaded::Text(SequenceDatabase::from_str_rows(&[
-            "ABCACBDDB",
-            "ACDBACADD",
-        ])));
+        return Ok(from_text(
+            SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]),
+            options,
+        ));
     }
     let Some(path) = &options.input else {
         eprintln!("error: --input FILE, --snapshot IMG, or the demo subcommand is required");
@@ -229,11 +240,26 @@ fn load_source(options: &Options) -> Result<Loaded, ExitCode> {
         Format::Chars => seqio::read_chars_file(path),
     };
     match loaded {
-        Ok(db) => Ok(Loaded::Text(db)),
+        Ok(db) => Ok(from_text(db, options)),
         Err(err) => {
             eprintln!("error: cannot read {}: {err}", path.display());
             Err(ExitCode::FAILURE)
         }
+    }
+}
+
+/// Wraps a freshly parsed database: flat by default, eagerly prepared with
+/// a partitioned store under `--shards N` so every later query (and the
+/// snapshot writer) sees the shards.
+fn from_text(db: SequenceDatabase, options: &Options) -> Loaded {
+    if options.shards > 1 {
+        Loaded::Prepared(Box::new(PreparedDb::from_database_sharded(
+            db,
+            options.shards,
+            options.threads,
+        )))
+    } else {
+        Loaded::Text(db)
     }
 }
 
@@ -316,18 +342,25 @@ fn run_snapshot_build(options: &Options) -> ExitCode {
         Err(code) => return code,
     };
     let prepared = match source {
-        Loaded::Text(db) => PreparedDb::from_database(db),
-        // Rebuilding an image from an image is a copy, but a valid one.
-        Loaded::Snapshot(prepared) => prepared,
+        Loaded::Text(db) => PreparedDb::from_database_sharded(db, options.shards, options.threads),
+        // Rebuilding an image from an image is a copy, but a valid one
+        // (and, with --shards, a re-partitioning one).
+        Loaded::Prepared(prepared) if options.shards > 1 => {
+            prepared.reshard(options.shards, options.threads)
+        }
+        Loaded::Prepared(prepared) => *prepared,
     };
     match prepared.write_snapshot(out) {
         Ok(bytes) => {
-            let stats = prepared.database().stats();
+            let stats = prepared.stats();
             eprintln!("# dataset: {}", stats.summary());
             println!(
-                "written {}: {bytes} bytes on disk ({} bytes of arenas + header/catalog)",
+                "written {}: {bytes} bytes on disk ({} bytes of arenas + header/catalog, \
+                 {} shard{})",
                 out.display(),
-                prepared.heap_bytes()
+                prepared.heap_bytes(),
+                prepared.shard_count(),
+                if prepared.shard_count() == 1 { "" } else { "s" },
             );
             ExitCode::SUCCESS
         }
@@ -366,15 +399,16 @@ fn run_snapshot_info(options: &Options) -> ExitCode {
     if let Ok(&[sequences, events, total_length]) = image.u64s(section_id::META) {
         println!("contents:  {sequences} sequences, {events} events, {total_length} total length");
     }
-    println!("sections:");
+    println!("version:   {}", image.version());
+    println!("sections:  (name, id, offset, bytes, elements)");
     for entry in image.sections() {
+        let name = match section_id::shard_of(entry.id) {
+            Some(shard) => format!("{}[{shard}]", section_id::name(entry.id)),
+            None => section_id::name(entry.id).to_owned(),
+        };
         println!(
-            "  {:16} id={:<3} {:>12} bytes  {:>12} x {}B",
-            section_id::name(entry.id),
-            entry.id,
-            entry.byte_len,
-            entry.count,
-            entry.elem_size,
+            "  {name:24} id={:<6} @{:>10} {:>12} bytes  {:>12} x {}B",
+            entry.id, entry.offset, entry.byte_len, entry.count, entry.elem_size,
         );
     }
     ExitCode::SUCCESS
@@ -386,11 +420,13 @@ fn run_snapshot_info(options: &Options) -> ExitCode {
 /// `--snapshot` the index comes straight from the image instead of being
 /// rebuilt.
 fn run_stats(source: &Loaded) -> ExitCode {
-    let db = source.database();
-    let stats = db.stats();
+    let stats = match source {
+        Loaded::Text(db) => db.stats(),
+        Loaded::Prepared(prepared) => prepared.stats(),
+    };
     let index_bytes = match source {
         Loaded::Text(db) => db.inverted_index().heap_bytes(),
-        Loaded::Snapshot(prepared) => prepared.index().heap_bytes(),
+        Loaded::Prepared(prepared) => prepared.index().heap_bytes(),
     };
     println!("sequences:             {}", stats.num_sequences);
     println!("events (alphabet):     {}", stats.num_events);
@@ -409,6 +445,17 @@ fn run_stats(source: &Loaded) -> ExitCode {
             stats.store_bytes as f64 / stats.total_length as f64,
             index_bytes as f64 / stats.total_length as f64
         );
+    }
+    println!("shards:                {}", stats.num_shards);
+    if let Loaded::Prepared(prepared) = source {
+        if prepared.shard_count() > 1 {
+            for f in prepared.shard_footprints() {
+                println!(
+                    "  shard {:<3} {:>8} sequences  {:>10} events  {:>12} store B  {:>12} index B",
+                    f.shard, f.sequences, f.events, f.store_bytes, f.index_bytes,
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -620,6 +667,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--threads" | "-j" => {
                 options.threads = parse_num(next_value(&mut i)?, "threads")?.max(1) as usize;
             }
+            "--shards" => {
+                options.shards = parse_num(next_value(&mut i)?, "shards")?.max(1) as usize;
+            }
             "--top" => {
                 options.top = parse_num(next_value(&mut i)?, "top")? as usize;
             }
@@ -670,10 +720,10 @@ fn print_usage() {
                     [--mode all|closed|maximal] [--closed|--all|--maximal-mode]\n\
                     [--min-gap G] [--max-gap G] [--max-window W]\n\
                     [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]\n\
-                    [--threads N] [--top T] [--density R] [--maximal] [--stream]\n\
+                    [--threads N] [--shards N] [--top T] [--density R] [--maximal] [--stream]\n\
            rgs-mine topk --input FILE|--snapshot IMG -k K [--min-sup FLOOR] ...\n\
-           rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars]\n\
-           rgs-mine snapshot build --input FILE [--format ...] --out IMG\n\
+           rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars] [--shards N]\n\
+           rgs-mine snapshot build --input FILE [--format ...] [--shards N] --out IMG\n\
            rgs-mine snapshot info  --snapshot IMG\n\
            rgs-mine demo [--min-sup K] [--mode ...]\n\
          \n\
@@ -694,6 +744,11 @@ fn print_usage() {
                            re-tokenizing or re-indexing on start)\n\
            --threads N     mine on N worker threads (default 1; the reported\n\
                            patterns are bit-identical to a sequential run)\n\
+           --shards N      partition the store into N shards at sequence\n\
+                           boundaries (balanced by event mass); mining output\n\
+                           is bit-identical, per-shard indexes build in\n\
+                           parallel, and snapshot build writes a v2 image\n\
+                           whose shard subsets map independently\n\
            --format json   emit one JSON document with the MiningReport and\n\
                            the reported patterns instead of text output\n"
     );
@@ -837,6 +892,42 @@ mod tests {
     }
 
     #[test]
+    fn shards_flag_parses_and_keeps_output_identical() {
+        let options = parse(&["--demo", "--min-sup", "2", "--shards", "3"]);
+        assert_eq!(options.shards, 3);
+        assert_eq!(parse(&["--demo"]).shards, 1);
+        let flat = parse(&["--demo", "--min-sup", "2"]);
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let sharded = PreparedDb::from_database_sharded(db.clone(), 2, 1);
+        assert_eq!(
+            options.apply(sharded.miner()).run().patterns,
+            flat.miner(&db).run().patterns,
+            "sharded CLI output diverges from flat"
+        );
+    }
+
+    #[test]
+    fn sharded_snapshot_build_source_round_trips() {
+        let dir = std::env::temp_dir();
+        let image = dir.join(format!("rgs-cli-shards-{}.snap", std::process::id()));
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD", "AABB"]);
+        PreparedDb::from_database_sharded(db.clone(), 2, 1)
+            .write_snapshot(&image)
+            .expect("write");
+        let options = parse(&["--snapshot", image.to_str().unwrap(), "--min-sup", "2"]);
+        let source = load_source(&options).unwrap_or_else(|_| panic!("snapshot loads"));
+        let Loaded::Prepared(ref prepared) = source else {
+            panic!("snapshot source must be prepared");
+        };
+        assert_eq!(prepared.shard_count(), 2);
+        assert_eq!(
+            source.miner(&options).run().patterns,
+            options.miner(&db).run().patterns
+        );
+        std::fs::remove_file(&image).ok();
+    }
+
+    #[test]
     fn snapshot_build_then_mine_round_trips() {
         let dir = std::env::temp_dir();
         let image = dir.join(format!("rgs-cli-test-{}.snap", std::process::id()));
@@ -845,7 +936,7 @@ mod tests {
 
         let options = parse(&["--snapshot", image.to_str().unwrap(), "--min-sup", "2"]);
         let source = load_source(&options).unwrap_or_else(|_| panic!("snapshot loads"));
-        assert!(matches!(source, Loaded::Snapshot(_)));
+        assert!(matches!(source, Loaded::Prepared(_)));
         let from_image = source.miner(&options).run();
         let fresh = options.miner(&db).run();
         assert_eq!(from_image.patterns, fresh.patterns);

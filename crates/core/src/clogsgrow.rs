@@ -50,8 +50,9 @@ pub(crate) fn mine_closed_streaming(
     let checker = ClosureChecker::new(&sc, &events);
     let mut stats = MiningStats::default();
     for &seed in &events {
+        let initial = sc.initial_support_set(seed);
         let (seed_stats, flow) =
-            mine_closed_seed(&sc, &checker, config, min_sup, &events, seed, emit);
+            mine_closed_seed(&sc, &checker, config, min_sup, &events, seed, initial, emit);
         stats.merge(&seed_stats);
         if flow.is_break() {
             break;
@@ -61,10 +62,13 @@ pub(crate) fn mine_closed_streaming(
 }
 
 /// Mines the closed patterns of the DFS subtree rooted at `seed` (one
-/// iteration of Algorithm 4's outer loop). Like GSgrow's, the per-seed
-/// subtrees are fully independent — the closure and landmark-border checks
-/// only consult the (shared, immutable) database — so per-seed results can
-/// be concatenated in seed order to reproduce the sequential stream.
+/// iteration of Algorithm 4's outer loop), starting from the
+/// caller-supplied `initial` leftmost support set of the seed. Like
+/// GSgrow's, the per-seed subtrees are fully independent — the closure and
+/// landmark-border checks only consult the (shared, immutable) database —
+/// so per-seed results can be concatenated in seed order to reproduce the
+/// sequential stream.
+#[allow(clippy::too_many_arguments)] // internal dispatch, not an API
 pub(crate) fn mine_closed_seed(
     sc: &SupportComputer<'_>,
     checker: &ClosureChecker<'_, '_>,
@@ -72,6 +76,7 @@ pub(crate) fn mine_closed_seed(
     min_sup: u64,
     events: &[EventId],
     seed: EventId,
+    initial: SupportSet,
     emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 ) -> (MiningStats, ControlFlow<()>) {
     let mut miner = CloGsGrow {
@@ -86,7 +91,7 @@ pub(crate) fn mine_closed_seed(
         scratch: CheckScratch::new(),
         emit,
     };
-    let support = miner.sc.initial_support_set(seed);
+    let support = initial;
     if support.support() >= min_sup {
         let mut stack = vec![support];
         miner.mine(Pattern::single(seed), &mut stack);

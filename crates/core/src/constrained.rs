@@ -222,8 +222,9 @@ pub(crate) fn mine_all_constrained_streaming(
     let events = prepared.parts.frequent_events(min_sup);
     let mut stats = MiningStats::default();
     for &seed in &events {
+        let initial = csc.initial_support_set(seed);
         let (seed_stats, flow) =
-            mine_all_constrained_seed(&csc, config, min_sup, &events, seed, emit);
+            mine_all_constrained_seed(&csc, config, min_sup, &events, seed, initial, emit);
         stats.merge(&seed_stats);
         if flow.is_break() {
             break;
@@ -233,15 +234,18 @@ pub(crate) fn mine_all_constrained_streaming(
 }
 
 /// Mines the constrained DFS subtree rooted at `seed` (one iteration of the
-/// constrained miner's outer loop). Subtrees of distinct seeds are
-/// independent, so per-seed emissions concatenated in seed order reproduce
-/// the sequential stream exactly.
+/// constrained miner's outer loop), starting from the caller-supplied
+/// `initial` support set of the seed (constraints never restrict single
+/// events). Subtrees of distinct seeds are independent, so per-seed
+/// emissions concatenated in seed order reproduce the sequential stream
+/// exactly.
 pub(crate) fn mine_all_constrained_seed(
     csc: &ConstrainedSupportComputer<'_>,
     config: &MiningConfig,
     min_sup: u64,
     events: &[EventId],
     seed: EventId,
+    initial: SupportSet,
     emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 ) -> (MiningStats, ControlFlow<()>) {
     let mut miner = ConstrainedMiner {
@@ -254,7 +258,7 @@ pub(crate) fn mine_all_constrained_seed(
         pool: SetPool::new(),
         emit,
     };
-    let support = miner.csc.initial_support_set(seed);
+    let support = initial;
     if support.support() >= min_sup {
         miner.mine(Pattern::single(seed), support);
     }

@@ -55,7 +55,7 @@ use crate::constrained::{
 use crate::constraints::GapConstraints;
 use crate::gsgrow::{mine_all_seed, mine_all_streaming};
 use crate::maximal::maximal_subset;
-use crate::parallel::fan_out_seeds;
+use crate::parallel::fan_out_shard_seeds;
 use crate::pattern::Pattern;
 use crate::prepared::{PreparedDb, PreparedParts, PreparedRef};
 use crate::reference::closed_subset;
@@ -616,8 +616,13 @@ impl MiningSession<'_> {
     }
 
     /// Fans the frequent seeds of one streaming mode (`All`/`Closed`
-    /// unbounded, constrained `All`) out across workers and returns the
-    /// merged pattern list in sequential emission order.
+    /// unbounded, constrained `All`) out across workers through the
+    /// two-level (shard × seed) queue and returns the merged pattern list
+    /// in sequential emission order: the grid phase computes each seed's
+    /// per-shard initial support fragments, the seed phase glues them (in
+    /// shard order, which is global sequence order) and mines the subtree
+    /// with shard-routed support computation. With one shard the fragment
+    /// *is* the initial support set — the unsharded path is the same code.
     ///
     /// `min_len`, `keep`, and the per-seed `cap` mirror the emission gate:
     /// within a single seed's buffer only the first `cap` patterns can ever
@@ -637,6 +642,7 @@ impl MiningSession<'_> {
         let req = &self.request;
         let min_sup = config.effective_min_sup();
         let events = prepared.parts.frequent_events(min_sup);
+        let num_shards = prepared.parts.index.num_shards();
         let sc = prepared.support_computer();
         let unbounded = req.constraints.is_unbounded();
         let checker = if mode == Mode::Closed {
@@ -653,46 +659,64 @@ impl MiningSession<'_> {
             ))
         };
 
-        let buffers = fan_out_seeds(threads, events.len(), |i| {
-            let seed = events[i];
-            let mut patterns: Vec<MinedPattern> = Vec::new();
-            let mut emit = |p: &Pattern, s: &SupportSet| -> ControlFlow<()> {
-                if p.len() < min_len {
-                    return ControlFlow::Continue(());
+        let buffers = fan_out_shard_seeds(
+            threads,
+            num_shards,
+            events.len(),
+            |i, shard| {
+                let mut fragment = SupportSet::new();
+                sc.initial_support_fragment_into(events[i], shard, &mut fragment);
+                fragment
+            },
+            |i, fragments| {
+                let seed = events[i];
+                let mut initial = SupportSet::new();
+                for fragment in &fragments {
+                    initial.append_fragment(fragment);
                 }
-                let mut mined = MinedPattern::new(p.clone(), s.support());
-                if keep {
-                    mined.support_set = Some(s.clone());
-                }
-                patterns.push(mined);
-                if cap.is_some_and(|c| patterns.len() >= c) {
-                    return ControlFlow::Break(());
-                }
-                ControlFlow::Continue(())
-            };
-            let (stats, _) = match (mode, unbounded) {
-                (Mode::All, true) => mine_all_seed(&sc, config, min_sup, &events, seed, &mut emit),
-                (Mode::Closed, true) => mine_closed_seed(
-                    &sc,
-                    checker.as_ref().expect("closed checker"),
-                    config,
-                    min_sup,
-                    &events,
-                    seed,
-                    &mut emit,
-                ),
-                (Mode::All, false) => mine_all_constrained_seed(
-                    csc.as_ref().expect("constrained computer"),
-                    config,
-                    min_sup,
-                    &events,
-                    seed,
-                    &mut emit,
-                ),
-                _ => unreachable!("only streaming modes are merged in parallel"),
-            };
-            (patterns, stats)
-        });
+                let mut patterns: Vec<MinedPattern> = Vec::new();
+                let mut emit = |p: &Pattern, s: &SupportSet| -> ControlFlow<()> {
+                    if p.len() < min_len {
+                        return ControlFlow::Continue(());
+                    }
+                    let mut mined = MinedPattern::new(p.clone(), s.support());
+                    if keep {
+                        mined.support_set = Some(s.clone());
+                    }
+                    patterns.push(mined);
+                    if cap.is_some_and(|c| patterns.len() >= c) {
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                };
+                let (stats, _) = match (mode, unbounded) {
+                    (Mode::All, true) => {
+                        mine_all_seed(&sc, config, min_sup, &events, seed, initial, &mut emit)
+                    }
+                    (Mode::Closed, true) => mine_closed_seed(
+                        &sc,
+                        checker.as_ref().expect("closed checker"),
+                        config,
+                        min_sup,
+                        &events,
+                        seed,
+                        initial,
+                        &mut emit,
+                    ),
+                    (Mode::All, false) => mine_all_constrained_seed(
+                        csc.as_ref().expect("constrained computer"),
+                        config,
+                        min_sup,
+                        &events,
+                        seed,
+                        initial,
+                        &mut emit,
+                    ),
+                    _ => unreachable!("only streaming modes are merged in parallel"),
+                };
+                (patterns, stats)
+            },
+        );
 
         let mut stats = MiningStats::default();
         let mut merged = Vec::new();

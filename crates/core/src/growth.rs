@@ -7,7 +7,7 @@
 //! this greedy extension yields a *maximum-size* non-redundant instance set,
 //! so the size of the result is exactly the repetitive support of `P ◦ e`.
 
-use seqdb::{EventId, InvertedIndex, SequenceDatabase};
+use seqdb::{EventId, InvertedIndex, SequenceDatabase, ShardedIndex};
 
 use crate::instance::{Instance, Landmark};
 use crate::pattern::Pattern;
@@ -21,40 +21,48 @@ use crate::support::{reconstruct_landmarks_impl, SupportSet};
 /// ([`SupportComputer::new`], [`SupportComputer::with_index`]) or borrowed
 /// from a longer-lived snapshot such as a
 /// [`PreparedDb`](crate::PreparedDb) ([`SupportComputer::borrowed`], O(1)).
+///
+/// Since the sharding refactor the index is a [`ShardedIndex`]: one CSR
+/// index per shard, queried through global sequence ids. A single-shard
+/// index routes with zero overhead, and a multi-shard one returns
+/// bit-identical answers (posting lists are the same rows, split), so every
+/// support computation — and therefore every mining mode — is oblivious to
+/// the partition.
 #[derive(Debug)]
 pub struct SupportComputer<'a> {
     db: &'a SequenceDatabase,
     index: IndexHandle<'a>,
 }
 
-/// Owned-or-borrowed storage for the inverted index.
+/// Owned-or-borrowed storage for the (sharded) inverted index.
 #[derive(Debug)]
 enum IndexHandle<'a> {
-    Owned(InvertedIndex),
-    Borrowed(&'a InvertedIndex),
+    Owned(ShardedIndex),
+    Borrowed(&'a ShardedIndex),
 }
 
 impl<'a> SupportComputer<'a> {
     /// Builds the inverted index for `db` and wraps both.
     pub fn new(db: &'a SequenceDatabase) -> Self {
         Self {
-            index: IndexHandle::Owned(db.inverted_index()),
+            index: IndexHandle::Owned(ShardedIndex::single(db.inverted_index())),
             db,
         }
     }
 
-    /// Wraps a database together with a pre-built index.
+    /// Wraps a database together with a pre-built flat index (treated as a
+    /// single shard).
     pub fn with_index(db: &'a SequenceDatabase, index: InvertedIndex) -> Self {
         Self {
             db,
-            index: IndexHandle::Owned(index),
+            index: IndexHandle::Owned(ShardedIndex::single(index)),
         }
     }
 
     /// Wraps a database together with a borrowed pre-built index — O(1), no
     /// index construction. This is how queries share the index owned by a
     /// [`PreparedDb`](crate::PreparedDb).
-    pub fn borrowed(db: &'a SequenceDatabase, index: &'a InvertedIndex) -> Self {
+    pub fn borrowed(db: &'a SequenceDatabase, index: &'a ShardedIndex) -> Self {
         Self {
             db,
             index: IndexHandle::Borrowed(index),
@@ -66,8 +74,8 @@ impl<'a> SupportComputer<'a> {
         self.db
     }
 
-    /// The underlying inverted index.
-    pub fn index(&self) -> &InvertedIndex {
+    /// The underlying (sharded) inverted index.
+    pub fn index(&self) -> &ShardedIndex {
         match &self.index {
             IndexHandle::Owned(index) => index,
             IndexHandle::Borrowed(index) => index,
@@ -88,6 +96,25 @@ impl<'a> SupportComputer<'a> {
     pub fn initial_support_set_into(&self, event: EventId, out: &mut SupportSet) {
         out.clear();
         for (seq, positions) in self.index().sequences_with_event(event) {
+            for &pos in positions {
+                out.push(Instance::new(seq as u32, pos, pos));
+            }
+        }
+    }
+
+    /// The fragment of [`Self::initial_support_set`] contributed by one
+    /// shard: every occurrence of `event` inside `shard`'s sequence range,
+    /// with **global** sequence ids. Fragments concatenated in shard order
+    /// are exactly the full initial support set — this per-`(seed, shard)`
+    /// unit is what the two-level parallel work queue fans out.
+    pub fn initial_support_fragment_into(
+        &self,
+        event: EventId,
+        shard: usize,
+        out: &mut SupportSet,
+    ) {
+        out.clear();
+        for (seq, positions) in self.index().shard_sequences_with_event(shard, event) {
             for &pos in positions {
                 out.push(Instance::new(seq as u32, pos, pos));
             }

@@ -46,7 +46,8 @@ pub(crate) fn mine_all_streaming(
     let events = prepared.parts.frequent_events(min_sup);
     let mut stats = MiningStats::default();
     for &seed in &events {
-        let (seed_stats, flow) = mine_all_seed(&sc, config, min_sup, &events, seed, emit);
+        let initial = sc.initial_support_set(seed);
+        let (seed_stats, flow) = mine_all_seed(&sc, config, min_sup, &events, seed, initial, emit);
         stats.merge(&seed_stats);
         if flow.is_break() {
             break;
@@ -56,17 +57,21 @@ pub(crate) fn mine_all_streaming(
 }
 
 /// Mines the complete DFS subtree rooted at the single-event pattern
-/// `seed` (one iteration of Algorithm 3's outer loop). Subtrees of distinct
-/// seeds are independent, which is what makes first-level parallelism
-/// deterministic: running the seeds in any order and concatenating the
-/// per-seed emissions in seed order reproduces the sequential stream
-/// exactly.
+/// `seed` (one iteration of Algorithm 3's outer loop), starting from the
+/// caller-supplied `initial` leftmost support set of the seed — either
+/// computed whole ([`SupportComputer::initial_support_set`]) or assembled
+/// from per-shard fragments by the two-level work queue. Subtrees of
+/// distinct seeds are independent, which is what makes first-level
+/// parallelism deterministic: running the seeds in any order and
+/// concatenating the per-seed emissions in seed order reproduces the
+/// sequential stream exactly.
 pub(crate) fn mine_all_seed(
     sc: &SupportComputer<'_>,
     config: &MiningConfig,
     min_sup: u64,
     events: &[EventId],
     seed: EventId,
+    initial: SupportSet,
     emit: &mut dyn FnMut(&Pattern, &SupportSet) -> ControlFlow<()>,
 ) -> (MiningStats, ControlFlow<()>) {
     let mut miner = GsGrow {
@@ -79,7 +84,7 @@ pub(crate) fn mine_all_seed(
         pool: SetPool::new(),
         emit,
     };
-    let support = miner.sc.initial_support_set(seed);
+    let support = initial;
     if support.support() >= min_sup {
         miner.mine_fre(Pattern::single(seed), support);
     }

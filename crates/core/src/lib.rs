@@ -194,7 +194,7 @@ pub use instbuf::InstanceBuffer;
 pub use maximal::{is_maximal, mine_maximal};
 pub use pattern::Pattern;
 pub use postprocess::{postprocess, PostProcessConfig};
-pub use prepared::PreparedDb;
+pub use prepared::{PreparedDb, ShardFootprint};
 pub use result::{sort_patterns_for_report, MinedPattern, MiningOutcome, MiningStats};
 pub use seqdb::SnapshotError;
 pub use sink::{BudgetSink, CollectSink, CountSink, DeadlineSink, PatternSink};

@@ -4,7 +4,7 @@
 //! interning, the inverted event index of §III-D, and the per-event
 //! occurrence counts behind the frequent-event scan of Algorithms 3 and 4.
 //! [`PreparedDb`] performs that work exactly once and owns the result — the
-//! event catalog, the sequences, the [`InvertedIndex`], the occurrence
+//! event catalog, the sequences, the [`ShardedIndex`], the occurrence
 //! counts, and the frequency-pruned event order — as an immutable snapshot
 //! that any number of queries (and threads: the snapshot is `Send + Sync`
 //! and `Arc`-shareable) can borrow.
@@ -32,7 +32,10 @@
 
 use std::path::Path;
 
-use seqdb::{EventCatalog, EventId, InvertedIndex, SequenceDatabase, SharedSlice, SnapshotError};
+use seqdb::{
+    DatabaseStats, EventCatalog, EventId, SequenceDatabase, ShardedIndex, ShardedSeqStore,
+    SharedSlice, SnapshotError,
+};
 
 use crate::engine::Miner;
 use crate::growth::SupportComputer;
@@ -49,8 +52,10 @@ use crate::growth::SupportComputer;
 /// the difference.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct PreparedParts {
-    /// The inverted event index of §III-D.
-    pub index: InvertedIndex,
+    /// The inverted event index of §III-D — one CSR index per shard,
+    /// queried through global sequence ids (a single shard when the
+    /// database was prepared flat).
+    pub index: ShardedIndex,
     /// `occurrence_counts[event.index()]` = total occurrences of `event`,
     /// i.e. the repetitive support of the single-event pattern.
     pub occurrence_counts: SharedSlice<u64>,
@@ -61,9 +66,19 @@ pub(crate) struct PreparedParts {
 }
 
 impl PreparedParts {
-    /// Builds the parts in one pass over `db`.
+    /// Builds the parts in one pass over `db` (single shard).
     pub fn build(db: &SequenceDatabase) -> Self {
-        let index = db.inverted_index();
+        Self::from_index(db, ShardedIndex::single(db.inverted_index()))
+    }
+
+    /// Builds the parts over a sharded store: one index per shard, built on
+    /// up to `threads` workers. Counts and event order are identical to the
+    /// flat build (per-shard totals sum exactly).
+    pub fn build_sharded(db: &SequenceDatabase, store: &ShardedSeqStore, threads: usize) -> Self {
+        Self::from_index(db, ShardedIndex::build(store, db.num_events(), threads))
+    }
+
+    fn from_index(db: &SequenceDatabase, index: ShardedIndex) -> Self {
         let occurrence_counts = index.total_counts();
         let event_order = db
             .catalog()
@@ -124,6 +139,10 @@ impl<'a> PreparedRef<'a> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedDb {
     db: SequenceDatabase,
+    /// The store split into per-shard windows (a single full-range window
+    /// when prepared flat). After `share_store` the windows alias the
+    /// database's arena, so this costs offset tables, not event copies.
+    store_shards: ShardedSeqStore,
     parts: PreparedParts,
 }
 
@@ -137,8 +156,44 @@ impl PreparedDb {
 
     /// Prepares a snapshot taking ownership of `db` (no clone).
     pub fn from_database(db: SequenceDatabase) -> Self {
-        let parts = PreparedParts::build(&db);
-        Self { db, parts }
+        Self::from_database_sharded(db, 1, 1)
+    }
+
+    /// [`PreparedDb::new`] with the store partitioned into `shards` shards
+    /// at event-mass-balanced sequence boundaries.
+    pub fn new_sharded(db: &SequenceDatabase, shards: usize, threads: usize) -> Self {
+        Self::from_database_sharded(db.clone(), shards, threads)
+    }
+
+    /// Prepares a sharded snapshot taking ownership of `db`: the flat store
+    /// is promoted to shared storage and split into per-shard zero-copy
+    /// windows, and one inverted index per shard is built on up to
+    /// `threads` workers. Every query — and every mining mode — over the
+    /// sharded snapshot is bit-identical to the flat preparation; only the
+    /// physical layout (and the parallelism it unlocks) changes.
+    pub fn from_database_sharded(mut db: SequenceDatabase, shards: usize, threads: usize) -> Self {
+        db.share_store();
+        let store_shards = ShardedSeqStore::from_store(db.store().clone(), shards);
+        let parts = PreparedParts::build_sharded(&db, &store_shards, threads);
+        Self {
+            db,
+            store_shards,
+            parts,
+        }
+    }
+
+    /// Re-prepares this snapshot with a different shard count (the
+    /// rebalance path): the shared arena is re-windowed — no event is
+    /// copied — and per-shard indexes are rebuilt on up to `threads`
+    /// workers.
+    pub fn reshard(&self, shards: usize, threads: usize) -> Self {
+        let store_shards = self.store_shards.rebalance(shards);
+        let parts = PreparedParts::build_sharded(&self.db, &store_shards, threads);
+        Self {
+            db: self.db.clone(),
+            store_shards,
+            parts,
+        }
     }
 
     /// Serializes this snapshot into a single on-disk image file (see
@@ -166,8 +221,16 @@ impl PreparedDb {
 
     /// Assembles a snapshot from already-validated parts (the snapshot
     /// loader's constructor).
-    pub(crate) fn from_parts(db: SequenceDatabase, parts: PreparedParts) -> Self {
-        Self { db, parts }
+    pub(crate) fn from_parts(
+        db: SequenceDatabase,
+        store_shards: ShardedSeqStore,
+        parts: PreparedParts,
+    ) -> Self {
+        Self {
+            db,
+            store_shards,
+            parts,
+        }
     }
 
     /// The snapshotted database.
@@ -180,9 +243,48 @@ impl PreparedDb {
         self.db.catalog()
     }
 
-    /// The inverted event index built at preparation time.
-    pub fn index(&self) -> &InvertedIndex {
+    /// The (sharded) inverted event index built at preparation time.
+    pub fn index(&self) -> &ShardedIndex {
         &self.parts.index
+    }
+
+    /// Number of shards this snapshot is partitioned into (1 when prepared
+    /// flat).
+    pub fn shard_count(&self) -> usize {
+        self.store_shards.num_shards()
+    }
+
+    /// The per-shard store windows.
+    pub fn store_shards(&self) -> &ShardedSeqStore {
+        &self.store_shards
+    }
+
+    /// Per-shard footprint breakdown: sequences, events, and the store /
+    /// index byte contributions of each shard. Summed over shards this
+    /// matches the whole-database numbers (the store column counts each
+    /// shard's window — arena slice plus local offsets — so the total can
+    /// exceed [`seqdb::SeqStore::heap_bytes`] of the flat store only by the
+    /// duplicated offset tables).
+    pub fn shard_footprints(&self) -> Vec<ShardFootprint> {
+        (0..self.shard_count())
+            .map(|k| {
+                let store = self.store_shards.shard(k);
+                let index = self.parts.index.shard(k);
+                ShardFootprint {
+                    shard: k,
+                    sequences: store.num_sequences(),
+                    events: store.total_length(),
+                    store_bytes: store.heap_bytes(),
+                    index_bytes: index.heap_bytes(),
+                }
+            })
+            .collect()
+    }
+
+    /// Summary statistics of the snapshotted database with the shard count
+    /// filled in — what `rgs-mine stats` prints, truthful under sharding.
+    pub fn stats(&self) -> DatabaseStats {
+        self.db.stats().with_shards(self.shard_count())
     }
 
     /// Total occurrences of `event` (the repetitive support of the
@@ -208,12 +310,19 @@ impl PreparedDb {
         self.as_prepared_ref().support_computer()
     }
 
-    /// Heap bytes held by the snapshot's arenas: the columnar event store
-    /// plus the CSR inverted index. These are the two flat buffers every
-    /// query (and every parallel seed worker, through `PreparedRef`
-    /// slices) shares without copying.
+    /// Heap bytes held by the snapshot's arenas: the columnar event store,
+    /// the CSR inverted index (summed over shards), and — under sharding —
+    /// the per-shard window tables (local offsets plus the shard map; the
+    /// windows alias the shared event arena, which is counted once). These
+    /// are the flat buffers every query (and every parallel worker, through
+    /// `PreparedRef` slices) shares without copying.
     pub fn heap_bytes(&self) -> usize {
-        self.db.store().heap_bytes() + self.parts.index.heap_bytes()
+        let window_overhead = if self.shard_count() > 1 {
+            self.store_shards.window_overhead_bytes()
+        } else {
+            0
+        };
+        self.db.store().heap_bytes() + self.parts.index.heap_bytes() + window_overhead
     }
 
     /// Starts a [`Miner`] builder executing against this snapshot.
@@ -232,6 +341,22 @@ impl PreparedDb {
             parts: &self.parts,
         }
     }
+}
+
+/// The byte footprint of one shard of a [`PreparedDb`], as reported by
+/// [`PreparedDb::shard_footprints`] and the `rgs-mine stats` breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFootprint {
+    /// Shard number (0-based, map order).
+    pub shard: usize,
+    /// Sequences in the shard.
+    pub sequences: usize,
+    /// Total events in the shard (its share of the arena).
+    pub events: usize,
+    /// Bytes of the shard's store window (arena slice + local offsets).
+    pub store_bytes: usize,
+    /// Bytes of the shard's CSR inverted index.
+    pub index_bytes: usize,
 }
 
 #[cfg(test)]

@@ -2,29 +2,38 @@
 //! how it comes back out with zero copies.
 //!
 //! The format layer — header, section table, checksum, `mmap` — lives in
-//! [`seqdb::snapshot`]; this module is the *composition*: it knows that a
-//! [`PreparedDb`] is exactly eight sections and how to validate them
-//! against each other when reopening:
+//! [`seqdb::snapshot`]; this module is the *composition*. A format v2 image
+//! (what this build writes) holds the global sections plus one section
+//! triple per shard:
 //!
 //! | section | contents |
 //! |---|---|
 //! | `meta` | `[num_sequences, num_events, total_length]` as `u64`s |
-//! | `store.events` | the flat [`seqdb::SeqStore`] event arena |
+//! | `store.events` | the flat [`seqdb::SeqStore`] event arena (global) |
 //! | `store.offsets` | the store's CSR offsets (per sequence + sentinel) |
-//! | `index.offsets` | the [`seqdb::InvertedIndex`] per-`(seq, event)` CSR ranges |
-//! | `index.positions` | the index's flat positions arena |
 //! | `catalog` | the interned event labels, length-prefixed UTF-8 |
 //! | `event.counts` | per-event total occurrence counts (`u64`) |
 //! | `event.order` | the frequency-pruned candidate event order |
+//! | `shard.table` | the [`seqdb::ShardMap`] boundaries (`u64`, shards + 1) |
+//! | `shard.store.offsets` ×N | shard `k`'s local CSR offsets (rebased to 0) |
+//! | `shard.index.offsets` ×N | shard `k`'s index CSR ranges |
+//! | `shard.index.positions` ×N | shard `k`'s flat positions arena |
+//!
+//! A shard's event window is **not** duplicated: it is a zero-copy
+//! [`seqdb::SharedSlice`] window of `store.events`, delimited by the shard
+//! table and the global offsets — so one mapped file can hand every process
+//! (or, later, every node) its shard subset without copying. Format v1
+//! images (a single global `index.offsets`/`index.positions` pair, no
+//! shard table) still open, as one shard.
 //!
 //! Opening reconstructs every array as a [`seqdb::SharedSlice`] borrowing
-//! the mapped image — no arena is copied — and then cross-checks the
-//! sections (dimensions against `meta`, catalog length against
+//! the mapped image and cross-checks the sections (dimensions against
+//! `meta`, the shard table against the store, catalog length against
 //! `num_events`, event-order ids against the alphabet), so a reopened
 //! snapshot upholds the same invariants as one built by
-//! [`PreparedDb::new`]. The only owned reconstruction is the catalog,
-//! whose label strings and lookup map want owned storage and are tiny next
-//! to the arenas.
+//! [`PreparedDb::new`]. The only owned reconstructions are the catalog
+//! (label strings want owned storage) and interior shards' local offset
+//! rebasing checks — both tiny next to the arenas.
 //!
 //! Entry points: [`PreparedDb::write_snapshot`],
 //! [`PreparedDb::open_snapshot`], and
@@ -38,20 +47,31 @@ use seqdb::snapshot::{
     catalog_from_bytes, catalog_to_bytes, corrupt, section_id, SectionPayload, SnapshotImage,
     SnapshotWriter,
 };
-use seqdb::{SeqStore, SequenceDatabase, SnapshotError};
+use seqdb::{
+    InvertedIndex, SeqStore, SequenceDatabase, ShardMap, ShardedIndex, ShardedSeqStore,
+    SnapshotError,
+};
 
 use crate::prepared::{PreparedDb, PreparedParts};
 
-/// Serializes `prepared` to `path` in one pass; returns bytes written.
+/// Serializes `prepared` to `path` in one pass (format v2); returns bytes
+/// written.
 pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, SnapshotError> {
     let db = prepared.database();
     let index = prepared.index();
+    let store_shards = prepared.store_shards();
     let meta = [
         db.num_sequences() as u64,
         db.num_events() as u64,
         db.total_length() as u64,
     ];
     let catalog_bytes = catalog_to_bytes(db.catalog());
+    let shard_table: Vec<u64> = store_shards
+        .map()
+        .bounds()
+        .iter()
+        .map(|&b| u64::from(b))
+        .collect();
     let parts = prepared.parts();
 
     let mut writer = SnapshotWriter::new();
@@ -65,14 +85,6 @@ pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, 
             section_id::STORE_OFFSETS,
             SectionPayload::U32s(db.store().offsets()),
         )
-        .section(
-            section_id::INDEX_OFFSETS,
-            SectionPayload::U32s(index.offsets()),
-        )
-        .section(
-            section_id::INDEX_POSITIONS,
-            SectionPayload::U32s(index.positions()),
-        )
         .section(section_id::CATALOG, SectionPayload::Bytes(&catalog_bytes))
         .section(
             section_id::EVENT_COUNTS,
@@ -81,12 +93,30 @@ pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, 
         .section(
             section_id::EVENT_ORDER,
             SectionPayload::EventIds(&parts.event_order),
-        );
+        )
+        .section(section_id::SHARD_TABLE, SectionPayload::U64s(&shard_table));
+    for k in 0..store_shards.num_shards() {
+        let shard_store = store_shards.shard(k);
+        let shard_index = index.shard(k);
+        writer
+            .section(
+                section_id::shard_store_offsets(k as u32),
+                SectionPayload::U32s(shard_store.offsets()),
+            )
+            .section(
+                section_id::shard_index_offsets(k as u32),
+                SectionPayload::U32s(shard_index.offsets()),
+            )
+            .section(
+                section_id::shard_index_positions(k as u32),
+                SectionPayload::U32s(shard_index.positions()),
+            );
+    }
     writer.write_to_path(path)
 }
 
-/// Opens and cross-validates an image, reconstructing every arena as a
-/// zero-copy slice over it.
+/// Opens and cross-validates an image (format v1 or v2), reconstructing
+/// every arena as a zero-copy slice over it.
 pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
     let image = std::sync::Arc::new(SnapshotImage::open(path)?);
 
@@ -130,19 +160,11 @@ pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
         ));
     }
 
-    let index = seqdb::InvertedIndex::from_shared_parts(
-        image.shared_u32s(section_id::INDEX_OFFSETS)?,
-        image.shared_u32s(section_id::INDEX_POSITIONS)?,
-        num_sequences,
-        num_events,
-    )
-    .map_err(corrupt)?;
-    if index.positions().len() != total_length {
-        return Err(corrupt(format!(
-            "index positions arena holds {} entries but meta records {total_length}",
-            index.positions().len()
-        )));
-    }
+    let (store_shards, index) = if image.version() >= 2 {
+        open_shards(&image, &store, num_sequences, num_events, total_length)?
+    } else {
+        open_v1_single_shard(&image, &store, num_sequences, num_events, total_length)?
+    };
 
     let occurrence_counts = image.shared_u64s(section_id::EVENT_COUNTS)?;
     if occurrence_counts.len() != num_events {
@@ -165,12 +187,95 @@ pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
         occurrence_counts,
         event_order,
     };
-    Ok(PreparedDb::from_parts(db, parts))
+    Ok(PreparedDb::from_parts(db, store_shards, parts))
+}
+
+/// Format v1: a single global index pair and no shard table — reconstructed
+/// as one shard whose window spans the whole store.
+fn open_v1_single_shard(
+    image: &std::sync::Arc<SnapshotImage>,
+    store: &SeqStore,
+    num_sequences: usize,
+    num_events: usize,
+    total_length: usize,
+) -> Result<(ShardedSeqStore, ShardedIndex), SnapshotError> {
+    let index = InvertedIndex::from_shared_parts(
+        image.shared_u32s(section_id::INDEX_OFFSETS)?,
+        image.shared_u32s(section_id::INDEX_POSITIONS)?,
+        num_sequences,
+        num_events,
+    )
+    .map_err(corrupt)?;
+    if index.positions().len() != total_length {
+        return Err(corrupt(format!(
+            "index positions arena holds {} entries but meta records {total_length}",
+            index.positions().len()
+        )));
+    }
+    // The image-backed store columns are shared, so the full-range window
+    // is zero-copy.
+    let store_shards =
+        ShardedSeqStore::from_store_with_map(store.clone(), ShardMap::single(num_sequences));
+    Ok((store_shards, ShardedIndex::single(index)))
+}
+
+/// Format v2: shard table plus one (store offsets, index offsets, index
+/// positions) section triple per shard. Event windows are zero-copy slices
+/// of the global arena.
+fn open_shards(
+    image: &std::sync::Arc<SnapshotImage>,
+    store: &SeqStore,
+    num_sequences: usize,
+    num_events: usize,
+    total_length: usize,
+) -> Result<(ShardedSeqStore, ShardedIndex), SnapshotError> {
+    let table = image.u64s(section_id::SHARD_TABLE)?;
+    let bounds: Vec<u32> = table
+        .iter()
+        .map(|&b| u32::try_from(b).map_err(|_| corrupt(format!("shard boundary {b} overflows"))))
+        .collect::<Result<_, _>>()?;
+    let map = ShardMap::from_bounds(bounds, num_sequences).map_err(corrupt)?;
+
+    let global_events = image.shared_event_ids(section_id::STORE_EVENTS)?;
+    let global_offsets = store.offsets();
+    let mut shard_stores = Vec::with_capacity(map.num_shards());
+    let mut shard_indexes = Vec::with_capacity(map.num_shards());
+    let mut positions_total = 0usize;
+    for k in 0..map.num_shards() {
+        let range = map.range(k);
+        let event_range = global_offsets[range.start] as usize..global_offsets[range.end] as usize;
+        let shard_store = SeqStore::from_shared_parts(
+            global_events.window(event_range),
+            image.shared_u32s(section_id::shard_store_offsets(k as u32))?,
+        )
+        .map_err(|detail| corrupt(format!("shard {k}: {detail}")))?;
+        let shard_index = InvertedIndex::from_shared_parts(
+            image.shared_u32s(section_id::shard_index_offsets(k as u32))?,
+            image.shared_u32s(section_id::shard_index_positions(k as u32))?,
+            range.len(),
+            num_events,
+        )
+        .map_err(|detail| corrupt(format!("shard {k}: {detail}")))?;
+        positions_total += shard_index.positions().len();
+        shard_stores.push(shard_store);
+        shard_indexes.push(shard_index);
+    }
+    if positions_total != total_length {
+        return Err(corrupt(format!(
+            "shard index positions hold {positions_total} entries in total but meta \
+             records {total_length}"
+        )));
+    }
+    let store_shards =
+        ShardedSeqStore::from_parts(store.clone(), shard_stores, map.clone()).map_err(corrupt)?;
+    let index = ShardedIndex::from_parts(shard_indexes, map, num_events).map_err(corrupt)?;
+    Ok((store_shards, index))
 }
 
 #[cfg(test)]
 mod tests {
     use crate::{Miner, Mode, PreparedDb};
+    use seqdb::snapshot::{section_id, SectionPayload, SnapshotImage, SnapshotWriter};
     use seqdb::SequenceDatabase;
 
     fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -191,6 +296,82 @@ mod tests {
         let fresh = prepared.miner().min_sup(2).mode(Mode::Closed).run();
         let cold = reopened.miner().min_sup(2).mode(Mode::Closed).run();
         assert_eq!(fresh.patterns, cold.patterns);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_snapshot_round_trips_with_every_shard_intact() {
+        let db =
+            SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD", "AAAA", "BCBC", "DDDD"]);
+        for shards in [2, 3] {
+            let prepared = PreparedDb::new_sharded(&db, shards, 1);
+            let path = temp_path(&format!("sharded-{shards}"));
+            prepared.write_snapshot(&path).expect("write");
+            let reopened = PreparedDb::open_snapshot(&path).expect("open");
+            assert_eq!(reopened, prepared);
+            assert_eq!(reopened.shard_count(), shards);
+            assert_eq!(reopened.shard_footprints(), prepared.shard_footprints());
+            let fresh = prepared.miner().min_sup(2).mode(Mode::Closed).run();
+            let cold = reopened.miner().min_sup(2).mode(Mode::Closed).run();
+            assert_eq!(fresh.patterns, cold.patterns);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v1_images_still_open_as_a_single_shard() {
+        // Hand-compose a version-1 image: the old eight-section layout with
+        // one global index pair and no shard table.
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let index = db.inverted_index();
+        let counts = index.total_counts();
+        let order: Vec<seqdb::EventId> = db
+            .catalog()
+            .ids()
+            .filter(|e| counts[e.index()] > 0)
+            .collect();
+        let meta = [
+            db.num_sequences() as u64,
+            db.num_events() as u64,
+            db.total_length() as u64,
+        ];
+        let catalog_bytes = seqdb::snapshot::catalog_to_bytes(db.catalog());
+        let path = temp_path("v1-compat");
+        let mut writer = SnapshotWriter::new().with_version(1);
+        writer
+            .section(section_id::META, SectionPayload::U64s(&meta))
+            .section(
+                section_id::STORE_EVENTS,
+                SectionPayload::EventIds(db.store().arena()),
+            )
+            .section(
+                section_id::STORE_OFFSETS,
+                SectionPayload::U32s(db.store().offsets()),
+            )
+            .section(
+                section_id::INDEX_OFFSETS,
+                SectionPayload::U32s(index.offsets()),
+            )
+            .section(
+                section_id::INDEX_POSITIONS,
+                SectionPayload::U32s(index.positions()),
+            )
+            .section(section_id::CATALOG, SectionPayload::Bytes(&catalog_bytes))
+            .section(section_id::EVENT_COUNTS, SectionPayload::U64s(&counts))
+            .section(section_id::EVENT_ORDER, SectionPayload::EventIds(&order));
+        writer.write_to_path(&path).expect("write v1");
+        assert_eq!(SnapshotImage::open(&path).expect("open image").version(), 1);
+
+        let reopened = PreparedDb::open_snapshot(&path).expect("open v1");
+        assert_eq!(reopened.shard_count(), 1);
+        let fresh = PreparedDb::new(&db);
+        for mode in [Mode::All, Mode::Closed, Mode::Maximal, Mode::TopK] {
+            assert_eq!(
+                reopened.miner().min_sup(2).mode(mode).run().patterns,
+                fresh.miner().min_sup(2).mode(mode).run().patterns,
+                "{mode:?} diverges on a v1 image"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -11,7 +11,7 @@
 //! order. [`SupportSet::reconstruct_landmarks`] rebuilds full landmarks when
 //! they are needed for reporting.
 
-use seqdb::{EventId, InvertedIndex, SequenceDatabase};
+use seqdb::{EventId, SequenceDatabase, ShardedIndex};
 
 use crate::constraints::GapConstraints;
 use crate::instance::{Instance, Landmark};
@@ -66,6 +66,21 @@ impl SupportSet {
         self.instances.clear();
     }
 
+    /// Appends a whole fragment whose instances all follow this set in
+    /// `(seq, last)` order — the assembly step of the two-level work queue,
+    /// gluing per-shard fragments together in shard order (shard order *is*
+    /// global sequence order, so the result equals the unsharded set).
+    pub(crate) fn append_fragment(&mut self, fragment: &SupportSet) {
+        debug_assert!(
+            match (self.instances.last(), fragment.instances.first()) {
+                (Some(prev), Some(next)) => (prev.seq, prev.last) <= (next.seq, next.last),
+                _ => true,
+            },
+            "fragments must be appended in (seq, last) order"
+        );
+        self.instances.extend_from_slice(&fragment.instances);
+    }
+
     /// Appends an instance; the caller must respect the `(seq, last)` order.
     pub(crate) fn push(&mut self, instance: Instance) {
         debug_assert!(
@@ -109,7 +124,7 @@ impl SupportSet {
     /// positions are recomputed by replaying the greedy instance growth of
     /// Algorithm 2 on the inverted index. The result corresponds instance by
     /// instance to [`Self::instances`].
-    pub fn reconstruct_landmarks(&self, index: &InvertedIndex, pattern: &Pattern) -> Vec<Landmark> {
+    pub fn reconstruct_landmarks(&self, index: &ShardedIndex, pattern: &Pattern) -> Vec<Landmark> {
         reconstruct_landmarks_impl(index, pattern)
             .into_iter()
             .take(self.instances.len())
@@ -145,10 +160,7 @@ impl<'a> Iterator for PerSequence<'a> {
 /// the verbose API in [`crate::growth`], and (with real constraints) the
 /// constrained miner in [`crate::constrained`] — one loop instead of the
 /// seed's copy-paste twins.
-pub(crate) fn reconstruct_landmarks_impl(
-    index: &InvertedIndex,
-    pattern: &Pattern,
-) -> Vec<Landmark> {
+pub(crate) fn reconstruct_landmarks_impl(index: &ShardedIndex, pattern: &Pattern) -> Vec<Landmark> {
     let mut buffer = InstanceBuffer::new();
     buffer.reconstruct(index, pattern, &GapConstraints::unbounded());
     buffer.to_landmarks()
@@ -219,7 +231,7 @@ mod tests {
         // Table IV: the leftmost support set of ACB is
         // {(1,<1,3,6>), (1,<4,5,9>), (2,<1,2,4>)}.
         let db = running_example();
-        let index = db.inverted_index();
+        let index = ShardedIndex::single(db.inverted_index());
         let pattern = Pattern::new(db.pattern_from_str("ACB").unwrap());
         let landmarks = reconstruct_landmarks_impl(&index, &pattern);
         assert_eq!(
@@ -238,7 +250,7 @@ mod tests {
     fn reconstruct_landmarks_of_aca_allows_reuse_at_different_indices() {
         // Example 3.1 step 3': I_ACA = {(1,<1,3,4>), (2,<1,2,5>), (2,<5,6,7>)}.
         let db = running_example();
-        let index = db.inverted_index();
+        let index = ShardedIndex::single(db.inverted_index());
         let pattern = Pattern::new(db.pattern_from_str("ACA").unwrap());
         let landmarks = reconstruct_landmarks_impl(&index, &pattern);
         assert_eq!(
@@ -277,7 +289,7 @@ mod tests {
     #[test]
     fn empty_pattern_has_no_landmarks() {
         let db = running_example();
-        let index = db.inverted_index();
+        let index = ShardedIndex::single(db.inverted_index());
         assert!(reconstruct_landmarks_impl(&index, &Pattern::empty()).is_empty());
     }
 

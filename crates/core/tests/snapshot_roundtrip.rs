@@ -261,7 +261,8 @@ fn cross_section_inconsistencies_are_rejected() {
 
     let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
     let prepared = PreparedDb::new(&db);
-    let index = prepared.index();
+    // A single-shard preparation's shard-0 index is exactly the flat index.
+    let index = prepared.index().shard(0);
     let catalog_bytes = catalog_to_bytes(db.catalog());
     let counts: Vec<u64> = db
         .catalog()

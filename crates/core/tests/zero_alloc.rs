@@ -47,19 +47,27 @@ fn allocations() -> u64 {
 
 /// Runs `hot` once to warm every buffer, then `repeats` more times under
 /// the counter and asserts not a single allocation happened.
+///
+/// The counter is process-global, and the libtest harness thread
+/// occasionally performs a couple of allocations of its own at an
+/// unpredictable moment — so a non-zero measurement is re-measured (twice)
+/// before failing. A genuine per-step allocation in the hot loop shows up
+/// in *every* attempt (at least `repeats` counts each), so the retry can
+/// only absorb unrelated O(1) noise, never a real regression.
 fn assert_zero_alloc(label: &str, repeats: usize, mut hot: impl FnMut()) {
     hot();
-    let before = allocations();
-    for _ in 0..repeats {
-        hot();
+    let mut measured = 0;
+    for _ in 0..3 {
+        let before = allocations();
+        for _ in 0..repeats {
+            hot();
+        }
+        measured = allocations() - before;
+        if measured == 0 {
+            return;
+        }
     }
-    let after = allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "{label}: {} allocations in {repeats} warm iterations",
-        after - before
-    );
+    panic!("{label}: {measured} allocations in {repeats} warm iterations");
 }
 
 #[test]
@@ -71,7 +79,7 @@ fn steady_state_growth_allocates_nothing() {
         "ACDBACADDACDBACADD",
         "ABCABCAABBCCABCABC",
     ]);
-    let index = db.inverted_index();
+    let index = seqdb::ShardedIndex::single(db.inverted_index());
     let sc = SupportComputer::borrowed(&db, &index);
     let pattern = Pattern::new(db.pattern_from_str("ACBD").unwrap());
     let events: Vec<_> = db.catalog().ids().collect();
@@ -115,6 +123,39 @@ fn steady_state_growth_allocates_nothing() {
     assert_zero_alloc("per-node growth fan", 100, || {
         for &event in &events {
             sc.instance_growth_into(&base, event, usize::MAX, &mut grown);
+        }
+    });
+
+    // 5. Shard-parallel growth: the same hot loops through a sharded
+    //    prepared database, where every `next` query routes through the
+    //    shard map. Routing is a binary search over the boundaries — no
+    //    heap — so steady-state sharded growth must stay allocation-free
+    //    too.
+    let sharded = rgs_core::PreparedDb::new_sharded(&db, 3, 1);
+    assert_eq!(sharded.shard_count(), 3);
+    let ssc = sharded.support_computer();
+    let mut support = SupportSet::new();
+    let mut spare = SupportSet::new();
+    assert_zero_alloc("sharded instance_growth_into chain", 100, || {
+        ssc.initial_support_set_into(first, &mut support);
+        for &event in &pattern.events()[1..] {
+            ssc.instance_growth_into(&support, event, usize::MAX, &mut spare);
+            std::mem::swap(&mut support, &mut spare);
+        }
+        assert!(!support.is_empty());
+    });
+    // Per-shard fragments (the two-level queue's grid unit) recycle their
+    // buffer the same way.
+    let mut fragment = SupportSet::new();
+    assert_zero_alloc("sharded initial-support fragments", 100, || {
+        for shard in 0..sharded.shard_count() {
+            ssc.initial_support_fragment_into(first, shard, &mut fragment);
+        }
+    });
+    let sharded_base = ssc.support_set(&Pattern::new(db.pattern_from_str("AC").unwrap()));
+    assert_zero_alloc("sharded per-node growth fan", 100, || {
+        for &event in &events {
+            ssc.instance_growth_into(&sharded_base, event, usize::MAX, &mut grown);
         }
     });
 }

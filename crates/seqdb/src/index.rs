@@ -47,23 +47,40 @@ impl InvertedIndex {
     /// (`O(total_length)` time and space; a counting pass sizes the CSR
     /// ranges, a fill pass scatters the positions).
     pub fn build(db: &SequenceDatabase) -> Self {
-        let num_events = db.num_events();
-        let num_sequences = db.num_sequences();
+        Self::build_for_store(db.store(), db.num_events())
+    }
+
+    /// Builds the index for a bare [`SeqStore`](crate::SeqStore) over an alphabet of
+    /// `num_events` events. This is the shard-level entry point: a sharded
+    /// database indexes each per-shard store window independently (and in
+    /// parallel) against the **global** alphabet, so slot layout and posting
+    /// lists line up across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the store references an event id `>= num_events`.
+    pub fn build_for_store(store: &crate::store::SeqStore, num_events: usize) -> Self {
+        let num_sequences = store.num_sequences();
         let slots = num_sequences * num_events;
         // The CSR offsets are u32: a wrapped count would silently misalign
         // every posting list, so fail loudly instead (the store enforces
         // the same ceiling on its own offsets).
         assert!(
-            db.total_length() <= u32::MAX as usize,
+            store.total_length() <= u32::MAX as usize,
             "InvertedIndex offsets are u32: more than u32::MAX total events"
         );
 
         // Pass 1: count occurrences per (sequence, event) slot, shifted by
         // one so the in-place prefix sum turns counts into offsets.
         let mut offsets = vec![0u32; slots + 1];
-        for (seq, view) in db.sequences().enumerate() {
+        for (seq, view) in store.iter().enumerate() {
             let base = seq * num_events;
             for &event in view.events() {
+                assert!(
+                    event.index() < num_events,
+                    "store references event id {} outside the {num_events}-event alphabet",
+                    event.index()
+                );
                 offsets[base + event.index() + 1] += 1;
             }
         }
@@ -74,9 +91,9 @@ impl InvertedIndex {
         // Pass 2: scatter 1-based positions into the arena. Within one
         // sequence events are visited in position order, so every slot's
         // list comes out sorted ascending.
-        let mut positions = vec![0u32; db.total_length()];
+        let mut positions = vec![0u32; store.total_length()];
         let mut cursor: Vec<u32> = offsets[..slots].to_vec();
-        for (seq, view) in db.sequences().enumerate() {
+        for (seq, view) in store.iter().enumerate() {
             let base = seq * num_events;
             for (pos, event) in view.iter_positions() {
                 let c = &mut cursor[base + event.index()];

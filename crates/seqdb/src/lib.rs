@@ -17,6 +17,10 @@
 //! * [`InvertedIndex`] — the *inverted event index* of §III-D of the paper
 //!   in the same CSR layout (flat positions arena + per-`(sequence, event)`
 //!   ranges), answering `next(S, e, lowest)` queries in `O(log L)` time,
+//! * [`ShardMap`], [`ShardedSeqStore`], [`ShardedIndex`] — the
+//!   [`shard`] layer: the store split at sequence boundaries into zero-copy
+//!   per-shard windows (boundaries chosen by event mass), with per-shard
+//!   indexes built in parallel and queried through global sequence ids,
 //! * [`SharedSlice`] — the owned-or-mapped buffer backing every columnar
 //!   arena, so the same read path serves in-memory builds and zero-copy
 //!   snapshot loads,
@@ -86,6 +90,7 @@ pub mod database;
 pub mod index;
 pub mod io;
 pub mod sequence;
+pub mod shard;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
@@ -95,6 +100,7 @@ pub use catalog::{EventCatalog, EventId};
 pub use database::{DatabaseBuilder, SequenceDatabase};
 pub use index::InvertedIndex;
 pub use sequence::Sequence;
+pub use shard::{ShardMap, ShardedIndex, ShardedSeqStore};
 pub use shared::SharedSlice;
 pub use snapshot::{SnapshotError, SnapshotImage, SnapshotWriter};
 pub use stats::DatabaseStats;

@@ -11,13 +11,23 @@
 //! and re-indexing the corpus. `ARCHITECTURE.md` at the repository root
 //! walks the format byte by byte.
 //!
-//! # File layout (version 1)
+//! # File layout (versions 1 and 2)
+//!
+//! The container layout is identical across versions; only the section
+//! *composition* differs. Version 1 images carry one global inverted-index
+//! pair ([`section_id::INDEX_OFFSETS`] / [`section_id::INDEX_POSITIONS`]);
+//! version 2 images carry a [`section_id::SHARD_TABLE`] plus, per shard,
+//! local store offsets and an index pair (ids from
+//! [`section_id::shard_store_offsets`] and friends), so one file can hand
+//! each process — or, later, each node — a shard subset. Old images still
+//! open (as a single shard); the composition rules live in
+//! `rgs-core::snapshot`.
 //!
 //! ```text
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------------
 //!      0     8  magic  "RGS1SNAP"
-//!      8     4  format version (u32 LE) = 1
+//!      8     4  format version (u32 LE) = 1 or 2
 //!     12     4  endianness marker (u32 LE) = 0x0A0B_0C0D
 //!     16     8  file length in bytes (u64 LE)
 //!     24     8  FNV-1a 64 checksum (u64 LE) of every file byte EXCEPT
@@ -65,8 +75,17 @@ use crate::shared::{event_ids_as_u32s, SharedSlice};
 /// The 8-byte magic at offset 0 of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RGS1SNAP";
 
-/// The format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The newest format version this build writes and reads.
+///
+/// Version 2 adds the shard layer: a [`section_id::SHARD_TABLE`] section
+/// with the sequence-boundary partition, per-shard store-offset sections,
+/// and per-shard index sections in place of the global index pair. Version
+/// 1 files (single global index, no shard table) still open — the reader
+/// treats them as one shard.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+pub const SNAPSHOT_VERSION_MIN: u32 = 1;
 
 /// Alignment (bytes) of every section payload within the file.
 pub const SECTION_ALIGN: u64 = 64;
@@ -105,6 +124,30 @@ pub mod section_id {
     pub const EVENT_COUNTS: u32 = 7;
     /// The frequency-pruned candidate event order (`u32` event ids).
     pub const EVENT_ORDER: u32 = 8;
+    /// Format v2: the [`ShardMap`](crate::ShardMap) boundaries (`u64`, one
+    /// per shard plus a sentinel).
+    pub const SHARD_TABLE: u32 = 9;
+
+    /// First id of the per-shard section range; shard `k` owns the three
+    /// ids `SHARD_BASE + 3k .. SHARD_BASE + 3k + 3`.
+    pub const SHARD_BASE: u32 = 0x1000;
+
+    /// Format v2: shard `k`'s local CSR store offsets (`u32`, rebased to
+    /// start at 0; the shard's events are a window of
+    /// [`STORE_EVENTS`]).
+    pub fn shard_store_offsets(k: u32) -> u32 {
+        SHARD_BASE + 3 * k
+    }
+
+    /// Format v2: shard `k`'s inverted-index CSR offsets (`u32`).
+    pub fn shard_index_offsets(k: u32) -> u32 {
+        SHARD_BASE + 3 * k + 1
+    }
+
+    /// Format v2: shard `k`'s inverted-index positions arena (`u32`).
+    pub fn shard_index_positions(k: u32) -> u32 {
+        SHARD_BASE + 3 * k + 2
+    }
 
     /// Human-readable name of a well-known section id (for `snapshot info`).
     pub fn name(id: u32) -> &'static str {
@@ -117,8 +160,19 @@ pub mod section_id {
             CATALOG => "catalog",
             EVENT_COUNTS => "event.counts",
             EVENT_ORDER => "event.order",
+            SHARD_TABLE => "shard.table",
+            id if id >= SHARD_BASE => match (id - SHARD_BASE) % 3 {
+                0 => "shard.store.offsets",
+                1 => "shard.index.offsets",
+                _ => "shard.index.positions",
+            },
             _ => "unknown",
         }
+    }
+
+    /// The shard number a per-shard section id belongs to, if any.
+    pub fn shard_of(id: u32) -> Option<u32> {
+        (id >= SHARD_BASE).then(|| (id - SHARD_BASE) / 3)
     }
 }
 
@@ -314,15 +368,43 @@ impl<W: Write> HashingWriter<W> {
 /// serialize everything in one pass with [`SnapshotWriter::write_to_path`].
 /// Payloads are borrowed, so writing a multi-gigabyte prepared database
 /// never copies an arena.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SnapshotWriter<'a> {
     sections: Vec<(u32, SectionPayload<'a>)>,
+    version: u32,
+}
+
+impl Default for SnapshotWriter<'_> {
+    fn default() -> Self {
+        Self {
+            sections: Vec::new(),
+            version: SNAPSHOT_VERSION,
+        }
+    }
 }
 
 impl<'a> SnapshotWriter<'a> {
-    /// Creates an empty writer.
+    /// Creates an empty writer targeting the current format version.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Overrides the format version stamped into the header. The payload
+    /// layout is entirely the caller's (the format layer is agnostic to
+    /// section composition); this exists so compatibility tests and
+    /// downgrade tooling can emit version-1 images.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a version outside
+    /// `[SNAPSHOT_VERSION_MIN, SNAPSHOT_VERSION]`.
+    pub fn with_version(mut self, version: u32) -> Self {
+        assert!(
+            (SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&version),
+            "unsupported snapshot version {version}"
+        );
+        self.version = version;
+        self
     }
 
     /// Appends a section. Panics on a duplicate id — that is a programming
@@ -387,7 +469,7 @@ impl<'a> SnapshotWriter<'a> {
         // Header. The checksum field is written as a placeholder and patched
         // after the pass; it is the only region excluded from the hash.
         out.write_hashed(&SNAPSHOT_MAGIC)?;
-        out.write_hashed(&SNAPSHOT_VERSION.to_le_bytes())?;
+        out.write_hashed(&self.version.to_le_bytes())?;
         out.write_hashed(&ENDIAN_MARKER.to_le_bytes())?;
         out.write_hashed(&file_len.to_le_bytes())?;
         out.write_raw(&0u64.to_le_bytes())?;
@@ -586,6 +668,7 @@ pub struct SectionEntry {
 pub struct SnapshotImage {
     bytes: ImageBytes,
     sections: Vec<SectionEntry>,
+    version: u32,
 }
 
 impl SnapshotImage {
@@ -624,20 +707,26 @@ impl SnapshotImage {
             #[cfg(not(all(unix, target_pointer_width = "64")))]
             let bytes = ImageBytes::Owned(AlignedBytes::read(&mut file, len)?);
 
-            let sections = Self::validate(bytes.bytes(), actual_len)?;
-            Ok(Self { bytes, sections })
+            let (sections, version) = Self::validate(bytes.bytes(), actual_len)?;
+            Ok(Self {
+                bytes,
+                sections,
+                version,
+            })
         }
     }
 
-    /// Header + table + checksum validation; returns the parsed table.
-    fn validate(data: &[u8], actual_len: u64) -> Result<Vec<SectionEntry>, SnapshotError> {
+    /// Header + table + checksum validation; returns the parsed table and
+    /// the format version.
+    fn validate(data: &[u8], actual_len: u64) -> Result<(Vec<SectionEntry>, u32), SnapshotError> {
         if data[..8] != SNAPSHOT_MAGIC {
             return Err(corrupt("bad magic: not a snapshot file"));
         }
         let version = read_u32(data, 8);
-        if version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_VERSION_MIN..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::Unsupported(format!(
-                "format version {version}; this build reads version {SNAPSHOT_VERSION}"
+                "format version {version}; this build reads versions \
+                 {SNAPSHOT_VERSION_MIN} through {SNAPSHOT_VERSION}"
             )));
         }
         let endian = read_u32(data, 12);
@@ -737,7 +826,12 @@ impl SnapshotImage {
             }
             sections.push(entry);
         }
-        Ok(sections)
+        Ok((sections, version))
+    }
+
+    /// The format version stamped into the header (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The validated section table, in file order.

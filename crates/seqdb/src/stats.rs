@@ -35,6 +35,11 @@ pub struct DatabaseStats {
     /// Heap bytes held by the columnar event store (arena + CSR offsets) —
     /// makes store-size regressions visible without a profiler.
     pub store_bytes: usize,
+    /// Number of shards the store is partitioned into (1 for a flat,
+    /// unsharded database; [`DatabaseStats::compute`] always reports 1 —
+    /// callers holding a sharded store fill it via
+    /// [`DatabaseStats::with_shards`]).
+    pub num_shards: usize,
 }
 
 impl DatabaseStats {
@@ -78,7 +83,15 @@ impl DatabaseStats {
             max_event_occurrences,
             avg_event_occurrences,
             store_bytes: db.store().heap_bytes(),
+            num_shards: 1,
         }
+    }
+
+    /// Marks the statistics as describing a store partitioned into
+    /// `num_shards` shards (clamped to at least 1).
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards.max(1);
+        self
     }
 
     /// Renders the statistics as a short single-line summary.

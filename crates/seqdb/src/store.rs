@@ -172,6 +172,54 @@ impl SeqStore {
         &self.offsets
     }
 
+    /// Promotes both columns into shared (`Arc`-owned) storage so that
+    /// [`SeqStore::window`] can hand out zero-copy per-shard views. No
+    /// event is copied; snapshot-backed stores are already shared.
+    pub fn share(&mut self) {
+        self.events.share();
+        self.offsets.share();
+    }
+
+    /// Returns `true` when both columns are shared (mapped) storage, i.e.
+    /// windows of this store are zero-copy.
+    pub fn is_shared(&self) -> bool {
+        self.events.is_mapped() && self.offsets.is_mapped()
+    }
+
+    /// A store holding exactly the sequences `seq_range` of this store.
+    ///
+    /// The returned store renumbers the sequences to `0..len`: its CSR
+    /// offsets start at 0 again. On a shared store ([`SeqStore::share`] or a
+    /// snapshot-backed one) the event arena of the window is a **zero-copy**
+    /// [`SharedSlice`] view into this store's arena; the offsets column is
+    /// zero-copy too when the window starts at the beginning of the arena
+    /// and is otherwise rebased into a fresh table (4 bytes per sequence —
+    /// negligible next to the event mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seq_range` exceeds [`SeqStore::num_sequences`].
+    pub fn window(&self, seq_range: std::ops::Range<usize>) -> SeqStore {
+        assert!(
+            seq_range.start <= seq_range.end && seq_range.end <= self.num_sequences(),
+            "window {seq_range:?} out of bounds for a store of {} sequences",
+            self.num_sequences()
+        );
+        let base = self.offsets[seq_range.start];
+        let end = self.offsets[seq_range.end];
+        let events = self.events.window(base as usize..end as usize);
+        let offsets = if base == 0 {
+            self.offsets.window(seq_range.start..seq_range.end + 1)
+        } else {
+            self.offsets[seq_range.start..seq_range.end + 1]
+                .iter()
+                .map(|&o| o - base)
+                .collect::<Vec<u32>>()
+                .into()
+        };
+        SeqStore { events, offsets }
+    }
+
     /// Bytes of live data held by the store (arena + offsets table) —
     /// heap-resident when owned, mapped when snapshot-backed; either way
     /// this is the store's contribution to a snapshot image.
@@ -402,6 +450,32 @@ mod tests {
         .collect();
         assert_eq!(s.num_sequences(), 2);
         assert_eq!(s.arena(), &[EventId(1), EventId(2), EventId(3)]);
+    }
+
+    #[test]
+    fn windows_slice_out_sequence_ranges_with_local_numbering() {
+        let mut s = store(&[&[1, 2, 3], &[], &[4, 5], &[6]]);
+        s.share();
+        assert!(s.is_shared());
+
+        let head = s.window(0..2);
+        assert_eq!(head.num_sequences(), 2);
+        assert_eq!(head.offsets(), &[0, 3, 3]);
+        assert_eq!(head.view(0).unwrap().events(), s.view(0).unwrap().events());
+        // Leading window: both columns alias the parent (zero copy).
+        assert_eq!(head.arena().as_ptr(), s.arena().as_ptr());
+
+        let tail = s.window(2..4);
+        assert_eq!(tail.num_sequences(), 2);
+        assert_eq!(tail.offsets(), &[0, 2, 3]);
+        assert_eq!(tail.view(0).unwrap().events(), &[EventId(4), EventId(5)]);
+        assert_eq!(tail.view(1).unwrap().events(), &[EventId(6)]);
+        // The event arena still aliases the parent at the right offset.
+        assert_eq!(tail.arena().as_ptr(), s.arena()[3..].as_ptr());
+
+        let empty = s.window(1..1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.offsets(), &[3 - 3]);
     }
 
     #[test]

@@ -52,6 +52,13 @@
 //!     .run();
 //! assert_eq!(closed.patterns, parallel.patterns);
 //!
+//! // ...and so is a sharded preparation (sequence-boundary partition,
+//! // per-shard indexes built in parallel, shard-routed queries):
+//! let sharded = PreparedDb::new_sharded(&db, 2, 2);
+//! assert_eq!(sharded.shard_count(), 2);
+//! let from_shards = sharded.miner().min_sup(2).mode(Mode::Closed).threads(4).run();
+//! assert_eq!(closed.patterns, from_shards.patterns);
+//!
 //! // Pull-based consumption composes with iterator adapters:
 //! let session = prepared.miner().min_sup(2).mode(Mode::All).session();
 //! let first = session.stream().next().expect("at least one pattern");
@@ -99,6 +106,7 @@ pub use synthgen;
 /// still re-exported so existing code keeps compiling; migrate to
 /// [`Miner`](rgs_core::Miner) — see the crate README for the mapping.
 pub mod prelude {
+    pub use rgs_core::ShardFootprint;
     pub use rgs_core::{
         constrained_support, instance_growth, postprocess, repetitive_support, support_set,
         BudgetSink, CollectSink, CountSink, DeadlineSink, ExecutionPolicy, GapConstraints,
@@ -116,6 +124,6 @@ pub mod prelude {
     };
     pub use seqdb::{
         DatabaseBuilder, EventCatalog, EventId, InvertedIndex, Sequence, SequenceDatabase,
-        SnapshotError,
+        ShardMap, ShardedIndex, ShardedSeqStore, SnapshotError,
     };
 }
