@@ -187,13 +187,12 @@ pub fn mine_sequential_spam(
         if truncated {
             break;
         }
-        let bitmaps = vertical.event(event).to_vec();
         descend(
             &vertical,
             config,
             &frequent_events,
-            vec![event],
-            bitmaps,
+            &[event],
+            vertical.event(event),
             &mut result,
             &mut truncated,
         );
@@ -206,17 +205,17 @@ fn descend(
     vertical: &VerticalDatabase,
     config: &SequentialConfig,
     frequent_events: &[EventId],
-    pattern: Vec<EventId>,
-    bitmaps: Vec<PositionBitmap>,
+    pattern: &[EventId],
+    bitmaps: &[PositionBitmap],
     result: &mut Vec<SequentialPattern>,
     truncated: &mut bool,
 ) {
-    let support = VerticalDatabase::support(&bitmaps);
+    let support = VerticalDatabase::support(bitmaps);
     if support < config.min_sup.max(1) {
         return;
     }
     result.push(SequentialPattern {
-        events: pattern.clone(),
+        events: pattern.to_vec(),
         support,
     });
     if let Some(cap) = config.max_patterns {
@@ -235,15 +234,15 @@ fn descend(
         if *truncated {
             return;
         }
-        let extended = vertical.extend(&bitmaps, event);
-        let mut grown = pattern.clone();
+        let extended = vertical.extend(bitmaps, event);
+        let mut grown = pattern.to_vec();
         grown.push(event);
         descend(
             vertical,
             config,
             frequent_events,
-            grown,
-            extended,
+            &grown,
+            &extended,
             result,
             truncated,
         );

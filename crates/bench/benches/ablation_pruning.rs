@@ -33,7 +33,7 @@ fn bench_ablation(c: &mut Criterion) {
                     .mode(Mode::Closed)
                     .max_patterns(cap)
                     .run()
-            })
+            });
         },
     );
     group.bench_with_input(
@@ -47,7 +47,7 @@ fn bench_ablation(c: &mut Criterion) {
                     .max_patterns(cap)
                     .landmark_pruning(false)
                     .run()
-            })
+            });
         },
     );
     group.finish();

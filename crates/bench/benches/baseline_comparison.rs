@@ -20,14 +20,14 @@ fn bench_baselines(c: &mut Criterion) {
     let repetitive_min_sup = thresholds[thresholds.len() / 2];
     // Sequential miners use sequence-count support: threshold as a fraction
     // of the number of sequences.
-    let sequential_min_sup = ((db.num_sequences() as f64) * 0.05).ceil() as u64;
+    let sequential_min_sup = db.num_sequences().div_ceil(20) as u64;
 
     let mut group = c.benchmark_group("baseline_comparison");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
     group.bench_function(BenchmarkId::new("CloGSgrow", repetitive_min_sup), |b| {
-        b.iter(|| run_miner(&db, MinerKind::CloGsGrow, repetitive_min_sup, limits))
+        b.iter(|| run_miner(&db, MinerKind::CloGsGrow, repetitive_min_sup, limits));
     });
     for (label, miner) in [
         ("PrefixSpan", MinerKind::PrefixSpan),
@@ -35,7 +35,7 @@ fn bench_baselines(c: &mut Criterion) {
         ("CloSpan-lite", MinerKind::CloSpanLite),
     ] {
         group.bench_function(BenchmarkId::new(label, sequential_min_sup), |b| {
-            b.iter(|| run_miner(&db, miner, sequential_min_sup, limits))
+            b.iter(|| run_miner(&db, miner, sequential_min_sup, limits));
         });
     }
     group.finish();

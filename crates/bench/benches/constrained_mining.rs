@@ -42,7 +42,7 @@ fn bench_constrained(c: &mut Criterion) {
                         .constraints(constraints)
                         .max_patterns(200_000)
                         .run()
-                })
+                });
             },
         );
     }

@@ -48,7 +48,7 @@ fn bench_features(c: &mut Criterion) {
                 &PipelineConfig::new(40, 6).with_max_pattern_length(4),
             )
             .expect("pipeline runs")
-        })
+        });
     });
     group.finish();
 }

@@ -32,7 +32,7 @@ fn bench_fig4(c: &mut Criterion) {
     }
     let top = thresholds[0];
     group.bench_with_input(BenchmarkId::new("all_gsgrow", top), &top, |b, &min_sup| {
-        b.iter(|| run_miner(&db, MinerKind::GsGrow, min_sup, limits))
+        b.iter(|| run_miner(&db, MinerKind::GsGrow, min_sup, limits));
     });
     group.finish();
 }

@@ -19,14 +19,14 @@ fn bench_fig5(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for (idx, (name, db)) in datasets.iter().enumerate() {
         group.bench_with_input(BenchmarkId::new("closed_clogsgrow", name), db, |b, db| {
-            b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits))
+            b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits));
         });
         // The all-pattern miner stops terminating in reasonable time on the
         // larger settings (the paper stops it at ~15K sequences); to keep
         // the bench suite short it is only benchmarked on the smallest one.
         if idx == 0 {
             group.bench_with_input(BenchmarkId::new("all_gsgrow", name), db, |b, db| {
-                b.iter(|| run_miner(db, MinerKind::GsGrow, min_sup, limits))
+                b.iter(|| run_miner(db, MinerKind::GsGrow, min_sup, limits));
             });
         }
     }

@@ -19,14 +19,14 @@ fn bench_fig6(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for (idx, (name, db)) in datasets.iter().enumerate() {
         group.bench_with_input(BenchmarkId::new("closed_clogsgrow", name), db, |b, db| {
-            b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits))
+            b.iter(|| run_miner(db, MinerKind::CloGsGrow, min_sup, limits));
         });
         // GSgrow is cut off from average length 80 onwards in the paper; to
         // keep the bench suite short it is only benchmarked on the two
         // shortest settings.
         if idx <= 1 {
             group.bench_with_input(BenchmarkId::new("all_gsgrow", name), db, |b, db| {
-                b.iter(|| run_miner(db, MinerKind::GsGrow, min_sup, limits))
+                b.iter(|| run_miner(db, MinerKind::GsGrow, min_sup, limits));
             });
         }
     }

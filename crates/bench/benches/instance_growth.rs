@@ -45,16 +45,16 @@ fn bench_primitives(c: &mut Criterion) {
                 }
             }
             total
-        })
+        });
     });
 
     group.bench_function("initial_support_set", |b| {
-        b.iter(|| sc.initial_support_set(top[0]))
+        b.iter(|| sc.initial_support_set(top[0]));
     });
 
     group.bench_function("insgrow_one_step", |b| {
         let base = sc.initial_support_set(top[0]);
-        b.iter(|| sc.instance_growth(&base, top[1]))
+        b.iter(|| sc.instance_growth(&base, top[1]));
     });
 
     for len in [2usize, 3] {
@@ -63,13 +63,13 @@ fn bench_primitives(c: &mut Criterion) {
             &len,
             |b, &len| {
                 let p = Pattern::new(top.iter().take(len).copied().collect());
-                b.iter(|| sc.support(&p))
+                b.iter(|| sc.support(&p));
             },
         );
     }
 
     group.bench_function("support_landmark_reconstruction", |b| {
-        b.iter(|| sc.support_landmarks(&pattern))
+        b.iter(|| sc.support_landmarks(&pattern));
     });
 
     group.finish();

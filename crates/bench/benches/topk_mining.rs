@@ -23,7 +23,7 @@ fn bench_topk(c: &mut Criterion) {
                     .top_k(k)
                     .min_len(2)
                     .run()
-            })
+            });
         });
     }
     for min_sup in [20u64, 30] {

@@ -212,7 +212,7 @@ pub fn fig4(scale: Scale) -> ExperimentReport {
 fn dataset_sweep(
     id: &str,
     title: &str,
-    datasets: Vec<(String, SequenceDatabase)>,
+    datasets: &[(String, SequenceDatabase)],
     min_sup: u64,
     expectation: &str,
     limits: RunLimits,
@@ -254,7 +254,7 @@ pub fn fig5(scale: Scale) -> ExperimentReport {
     dataset_sweep(
         "fig5",
         "Varying the number of sequences |SeqDB|",
-        datasets::fig5_datasets(scale),
+        &datasets::fig5_datasets(scale),
         datasets::fig5_fig6_threshold(scale),
         "Runtime grows with the number of sequences; GSgrow stops terminating in \
          reasonable time around the middle of the sweep while CloGSgrow handles the \
@@ -270,7 +270,7 @@ pub fn fig6(scale: Scale) -> ExperimentReport {
     dataset_sweep(
         "fig6",
         "Varying the average sequence length",
-        datasets::fig6_datasets(scale),
+        &datasets::fig6_datasets(scale),
         datasets::fig5_fig6_threshold(scale),
         "Both miners slow down as sequences get longer (more frequent patterns at the \
          same threshold); GSgrow is cut off from average length 80 onwards while \
@@ -303,7 +303,7 @@ pub fn baselines_comparison(scale: Scale) -> ExperimentReport {
     let min_sup = thresholds[thresholds.len() / 2];
     // Sequence-count supports are bounded by the number of sequences, so the
     // sequential miners get a threshold scaled to sequence count.
-    let seq_min_sup = ((stats.num_sequences as f64 * 0.05).ceil() as u64).max(2);
+    let seq_min_sup = (stats.num_sequences.div_ceil(20) as u64).max(2);
     let prepared = PreparedDb::new(&db);
     let runs = vec![
         run_miner_on(&prepared, MinerKind::CloGsGrow, min_sup, limits),

@@ -12,6 +12,7 @@
 //! rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars] [--shards N]
 //! rgs-mine snapshot build --input FILE [--format ...] [--shards N] --out IMG
 //! rgs-mine snapshot info  --snapshot IMG
+//! rgs-mine snapshot verify --snapshot IMG
 //! rgs-mine demo  [--min-sup K] [--mode ...]
 //! ```
 //!
@@ -31,7 +32,11 @@
 //! `--snapshot IMG` then serves any mining/stats invocation straight from
 //! that image — the file is `mmap`ed and validated, nothing is
 //! re-tokenized or re-indexed. `snapshot info` prints the image's header
-//! and section table after validating its checksum.
+//! and section table after validating its checksum, and `snapshot verify`
+//! statically proves every cross-section invariant of the image — CSR
+//! monotonicity, shard-table partitioning, catalog bijectivity, checksum —
+//! without constructing a database, reporting each violation with its
+//! section and byte offset.
 
 use std::ops::ControlFlow;
 use std::path::PathBuf;
@@ -41,7 +46,7 @@ use rgs_core::{
     json, postprocess, sort_patterns_for_report, CollectSink, GapConstraints, MinedPattern, Miner,
     Mode, PostProcessConfig, PreparedDb,
 };
-use seqdb::snapshot::{section_id, SnapshotImage};
+use seqdb::snapshot::{section_id, verify, SnapshotImage};
 use seqdb::{io as seqio, SequenceDatabase};
 
 /// Parsed command-line options.
@@ -88,6 +93,7 @@ enum Format {
 enum SnapshotCmd {
     Build,
     Info,
+    Verify,
 }
 
 impl Default for Options {
@@ -278,6 +284,7 @@ fn main() -> ExitCode {
     match options.snapshot_cmd {
         Some(SnapshotCmd::Build) => return run_snapshot_build(&options),
         Some(SnapshotCmd::Info) => return run_snapshot_info(&options),
+        Some(SnapshotCmd::Verify) => return run_snapshot_verify(&options),
         None => {}
     }
 
@@ -412,6 +419,48 @@ fn run_snapshot_info(options: &Options) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `snapshot verify`: statically prove every invariant of an image on the
+/// raw bytes — no `PreparedDb` is constructed — and report each violation
+/// with its owning section and absolute byte offset. Exit code 0 iff the
+/// image is clean.
+fn run_snapshot_verify(options: &Options) -> ExitCode {
+    // parse_args is the single validation point for required flags.
+    let path = options
+        .snapshot
+        .as_ref()
+        .expect("parse_args enforced --snapshot");
+    let report = match verify::verify_file(path) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: cannot read snapshot {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("snapshot:  {}", path.display());
+    if let Some(version) = report.version {
+        println!("version:   {version}");
+    }
+    println!("size:      {} bytes", report.file_len);
+    println!("sections:  {}", report.section_count);
+    if report.is_clean() {
+        println!("verify:    OK — structure, checksum, and layout invariants all hold");
+        return ExitCode::SUCCESS;
+    }
+    for violation in &report.violations {
+        println!("  {violation}");
+    }
+    let n = report.violations.len();
+    if report.checksum_broken_only() {
+        println!("verify:    FAILED — checksum mismatch with intact sections (bit rot)");
+    } else {
+        println!(
+            "verify:    FAILED — {n} invariant violation{}",
+            if n == 1 { "" } else { "s" }
+        );
+    }
+    ExitCode::FAILURE
 }
 
 /// `stats` subcommand: dataset summary plus the byte footprint of the
@@ -564,9 +613,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             options.snapshot_cmd = match args.get(1).map(String::as_str) {
                 Some("build") => Some(SnapshotCmd::Build),
                 Some("info") => Some(SnapshotCmd::Info),
+                Some("verify") => Some(SnapshotCmd::Verify),
                 other => {
                     return Err(format!(
-                        "snapshot needs a build|info subcommand, got {:?}",
+                        "snapshot needs a build|info|verify subcommand, got {:?}",
                         other.unwrap_or("nothing")
                     ))
                 }
@@ -678,7 +728,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     next_value(&mut i)?
                         .parse()
                         .map_err(|_| "density must be a number".to_owned())?,
-                )
+                );
             }
             "--maximal" => options.maximal_filter = true,
             "--stream" => options.stream = true,
@@ -699,6 +749,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if options.snapshot_cmd == Some(SnapshotCmd::Info) && options.snapshot.is_none() {
         return Err("snapshot info needs --snapshot IMG".to_owned());
+    }
+    if options.snapshot_cmd == Some(SnapshotCmd::Verify) && options.snapshot.is_none() {
+        return Err("snapshot verify needs --snapshot IMG".to_owned());
     }
     if options.stream && options.json_output {
         return Err(
@@ -725,6 +778,7 @@ fn print_usage() {
            rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars] [--shards N]\n\
            rgs-mine snapshot build --input FILE [--format ...] [--shards N] --out IMG\n\
            rgs-mine snapshot info  --snapshot IMG\n\
+           rgs-mine snapshot verify --snapshot IMG\n\
            rgs-mine demo [--min-sup K] [--mode ...]\n\
          \n\
          subcommands:\n\
@@ -735,7 +789,10 @@ fn print_usage() {
                      flat columnar store and the CSR inverted index\n\
            snapshot  build: prepare once (intern + index + counts) and write\n\
                      a single mmap-able image file; info: validate an image\n\
-                     and print its header and section table\n\
+                     and print its header and section table; verify: prove\n\
+                     every cross-section invariant of an image (CSR offsets,\n\
+                     shard partitioning, catalog, checksum) on the raw bytes\n\
+                     and report each violation with section + byte offset\n\
            demo      run on the paper's running example (Table III)\n\
          \n\
          notable flags:\n\
@@ -759,7 +816,10 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Options {
-        let args: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = tokens
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         parse_args(&args).expect("parse ok").expect("not --help")
     }
 
@@ -814,7 +874,7 @@ mod tests {
     fn all_and_closed_remain_mutually_exclusive() {
         let args: Vec<String> = ["--demo", "--all", "--closed"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         assert!(parse_args(&args).is_err());
     }
@@ -865,7 +925,7 @@ mod tests {
     fn stream_and_json_output_are_mutually_exclusive() {
         let args: Vec<String> = ["--demo", "--stream", "--format", "json"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         assert!(parse_args(&args).is_err());
     }
@@ -880,14 +940,22 @@ mod tests {
         assert_eq!(info.snapshot_cmd, Some(SnapshotCmd::Info));
         assert_eq!(info.snapshot, Some(PathBuf::from("z")));
 
+        let verify = parse(&["snapshot", "verify", "--snapshot", "z"]);
+        assert_eq!(verify.snapshot_cmd, Some(SnapshotCmd::Verify));
+        assert_eq!(verify.snapshot, Some(PathBuf::from("z")));
+
         let fail = |tokens: &[&str]| {
-            let args: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+            let args: Vec<String> = tokens
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             assert!(parse_args(&args).is_err(), "{tokens:?} should fail");
         };
         fail(&["snapshot"]);
-        fail(&["snapshot", "verify"]);
+        fail(&["snapshot", "check"]); // unknown subcommand
         fail(&["snapshot", "build", "--input", "x"]); // missing --out
         fail(&["snapshot", "info"]); // missing --snapshot
+        fail(&["snapshot", "verify"]); // missing --snapshot
         fail(&["--input", "x", "--snapshot", "y"]); // mutually exclusive
     }
 

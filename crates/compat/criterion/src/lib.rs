@@ -61,6 +61,7 @@ impl fmt::Display for BenchmarkId {
 }
 
 /// Runs one benchmark body repeatedly and records timings.
+#[derive(Debug)]
 pub struct Bencher {
     iterations: usize,
     warm_up: Duration,
@@ -111,6 +112,7 @@ impl Bencher {
 }
 
 /// A named group of related benchmarks with shared configuration.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,

@@ -94,7 +94,7 @@ pub(crate) fn mine_closed_seed(
     let support = initial;
     if support.support() >= min_sup {
         let mut stack = vec![support];
-        miner.mine(Pattern::single(seed), &mut stack);
+        miner.mine(&Pattern::single(seed), &mut stack);
         debug_assert_eq!(stack.len(), 1);
     }
     let flow = if miner.stopped {
@@ -123,7 +123,7 @@ struct CloGsGrow<'a, 'b, 'e> {
 impl CloGsGrow<'_, '_, '_> {
     /// Visits pattern `P` whose prefix support sets (including `P`'s own)
     /// are on `stack`.
-    fn mine(&mut self, pattern: Pattern, stack: &mut Vec<SupportSet>) {
+    fn mine(&mut self, pattern: &Pattern, stack: &mut Vec<SupportSet>) {
         self.stats.visited += 1;
         let support = stack.last().expect("stack holds P's support set").support();
 
@@ -154,7 +154,7 @@ impl CloGsGrow<'_, '_, '_> {
 
         match self
             .checker
-            .check(&pattern, stack, append_equal, &mut self.scratch)
+            .check(pattern, stack, append_equal, &mut self.scratch)
         {
             ClosureStatus::Prune if self.config.use_landmark_pruning => {
                 self.stats.landmark_border_prunes += 1;
@@ -169,7 +169,7 @@ impl CloGsGrow<'_, '_, '_> {
             }
             ClosureStatus::Closed => {
                 let set = stack.last().expect("support set");
-                if (self.emit)(&pattern, set).is_break() {
+                if (self.emit)(pattern, set).is_break() {
                     self.stopped = true;
                 }
             }
@@ -186,7 +186,7 @@ impl CloGsGrow<'_, '_, '_> {
                 break;
             }
             stack.push(grown);
-            self.mine(pattern.grow(event), stack);
+            self.mine(&pattern.grow(event), stack);
             let done = stack.pop().expect("pushed above");
             self.pool.give(done);
         }
@@ -203,11 +203,29 @@ impl CloGsGrow<'_, '_, '_> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims must keep behaving like the originals
 
     use super::*;
-    use crate::gsgrow::mine_all;
     use crate::reference::{closed_subset, pattern_set};
+
+    fn all_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::All)
+            .run()
+    }
+
+    fn closed_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::Closed)
+            .run()
+    }
 
     fn running_example() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
@@ -221,9 +239,9 @@ mod tests {
     fn closed_set_equals_reference_filter_of_all_patterns_table_iii() {
         let db = running_example();
         for min_sup in [2, 3, 4, 5] {
-            let all = mine_all(&db, &MiningConfig::new(min_sup));
+            let all = all_patterns(&db, &MiningConfig::new(min_sup));
             let expected = closed_subset(&all.patterns);
-            let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+            let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
             assert_eq!(
                 pattern_set(&closed.patterns),
                 pattern_set(&expected),
@@ -239,9 +257,9 @@ mod tests {
     fn closed_set_equals_reference_filter_on_table_ii() {
         let db = simple_example();
         for min_sup in [2, 3, 4] {
-            let all = mine_all(&db, &MiningConfig::new(min_sup));
+            let all = all_patterns(&db, &MiningConfig::new(min_sup));
             let expected = closed_subset(&all.patterns);
-            let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+            let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
             assert_eq!(
                 pattern_set(&closed.patterns),
                 pattern_set(&expected),
@@ -254,7 +272,7 @@ mod tests {
     fn ab_is_not_reported_but_abd_is() {
         // Example 3.5/3.6 with min_sup = 3.
         let db = running_example();
-        let closed = mine_closed(&db, &MiningConfig::new(3));
+        let closed = closed_patterns(&db, &MiningConfig::new(3));
         let ab = Pattern::new(db.pattern_from_str("AB").unwrap());
         let abd = Pattern::new(db.pattern_from_str("ABD").unwrap());
         let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
@@ -277,10 +295,10 @@ mod tests {
     #[test]
     fn landmark_border_pruning_fires_on_the_running_example() {
         let db = running_example();
-        let closed = mine_closed(&db, &MiningConfig::new(3));
+        let closed = closed_patterns(&db, &MiningConfig::new(3));
         assert!(closed.stats.landmark_border_prunes > 0);
         // Pruning must visit no more nodes than plain GSgrow.
-        let all = mine_all(&db, &MiningConfig::new(3));
+        let all = all_patterns(&db, &MiningConfig::new(3));
         assert!(closed.stats.visited <= all.stats.visited);
     }
 
@@ -294,8 +312,8 @@ mod tests {
         ] {
             let db = SequenceDatabase::from_str_rows(&rows);
             for min_sup in [1, 2, 3] {
-                let all = mine_all(&db, &MiningConfig::new(min_sup));
-                let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+                let all = all_patterns(&db, &MiningConfig::new(min_sup));
+                let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
                 assert!(closed.len() <= all.len(), "rows {rows:?} min_sup {min_sup}");
             }
         }
@@ -307,8 +325,8 @@ mod tests {
         // representation (Lemma 2).
         let db = running_example();
         let min_sup = 2;
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
+        let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
         for mp in &all.patterns {
             let covered = closed.patterns.iter().any(|cp| {
                 cp.support == mp.support
@@ -329,9 +347,9 @@ mod tests {
         ] {
             let db = SequenceDatabase::from_str_rows(&rows);
             for min_sup in [2, 3] {
-                let pruned = mine_closed(&db, &MiningConfig::new(min_sup));
+                let pruned = closed_patterns(&db, &MiningConfig::new(min_sup));
                 let unpruned =
-                    mine_closed(&db, &MiningConfig::new(min_sup).without_landmark_pruning());
+                    closed_patterns(&db, &MiningConfig::new(min_sup).without_landmark_pruning());
                 assert_eq!(
                     crate::reference::pattern_set(&pruned.patterns),
                     crate::reference::pattern_set(&unpruned.patterns),
@@ -346,7 +364,7 @@ mod tests {
     #[test]
     fn max_patterns_truncates_closed_mining_too() {
         let db = running_example();
-        let closed = mine_closed(&db, &MiningConfig::new(1).with_max_patterns(3));
+        let closed = closed_patterns(&db, &MiningConfig::new(1).with_max_patterns(3));
         assert!(closed.truncated);
         assert_eq!(closed.len(), 3);
     }
@@ -354,7 +372,7 @@ mod tests {
     #[test]
     fn empty_database_yields_empty_closed_result() {
         let db = SequenceDatabase::new();
-        let closed = mine_closed(&db, &MiningConfig::new(1));
+        let closed = closed_patterns(&db, &MiningConfig::new(1));
         assert!(closed.is_empty());
     }
 
@@ -366,7 +384,7 @@ mod tests {
         // sup(AAAA) = 1. With min_sup = 2 all of A, AA, AAA are closed
         // (each super-pattern has strictly smaller support).
         let db = SequenceDatabase::from_str_rows(&["AAAA"]);
-        let closed = mine_closed(&db, &MiningConfig::new(2));
+        let closed = closed_patterns(&db, &MiningConfig::new(2));
         let a = Pattern::new(db.pattern_from_str("A").unwrap());
         let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
         let aaa = Pattern::new(db.pattern_from_str("AAA").unwrap());

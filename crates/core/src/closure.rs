@@ -120,7 +120,11 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
         append_has_equal_support: bool,
         scratch: &mut CheckScratch,
     ) -> ClosureStatus {
-        let support_set = prefix_stack.last().expect("non-empty prefix stack");
+        let Some(support_set) = prefix_stack.last() else {
+            // The empty pattern has no extensions on the stack to compare
+            // against; it is never emitted, so the verdict is moot.
+            return ClosureStatus::Closed;
+        };
         let support = support_set.support();
         debug_assert_eq!(prefix_stack.len(), pattern.len());
 
@@ -192,14 +196,15 @@ impl<'a, 'b> ClosureChecker<'a, 'b> {
         if slot == 0 {
             self.sc.initial_support_set_into(event, current);
         } else {
+            let prefix = prefix_stack.get(slot - 1)?;
             self.sc
-                .instance_growth_into(&prefix_stack[slot - 1], event, target_usize, current);
+                .instance_growth_into(prefix, event, target_usize, current);
         }
         if current.support() < target {
             return None;
         }
         // Grow the remaining suffix e_{slot+1}..e_m.
-        for &suffix_event in &pattern.events()[slot..] {
+        for &suffix_event in pattern.events().get(slot..).unwrap_or(&[]) {
             self.sc
                 .instance_growth_into(current, suffix_event, target_usize, spare);
             std::mem::swap(&mut current, &mut spare);

@@ -260,7 +260,7 @@ pub(crate) fn mine_all_constrained_seed(
     };
     let support = initial;
     if support.support() >= min_sup {
-        miner.mine(Pattern::single(seed), support);
+        miner.mine(&Pattern::single(seed), support);
     }
     let flow = if miner.stopped {
         ControlFlow::Break(())
@@ -311,9 +311,9 @@ struct ConstrainedMiner<'a, 'b, 'e> {
 }
 
 impl ConstrainedMiner<'_, '_, '_> {
-    fn mine(&mut self, pattern: Pattern, support: SupportSet) {
+    fn mine(&mut self, pattern: &Pattern, support: SupportSet) {
         self.stats.visited += 1;
-        if (self.emit)(&pattern, &support).is_break() {
+        if (self.emit)(pattern, &support).is_break() {
             self.stopped = true;
         }
         if self.stopped || !self.config.allows_growth(pattern.len()) {
@@ -329,7 +329,7 @@ impl ConstrainedMiner<'_, '_, '_> {
             let mut grown = self.pool.take();
             self.csc.instance_growth_into(&support, event, &mut grown);
             if grown.support() >= self.min_sup {
-                self.mine(pattern.grow(event), grown);
+                self.mine(&pattern.grow(event), grown);
             } else {
                 self.pool.give(grown);
             }
@@ -340,16 +340,41 @@ impl ConstrainedMiner<'_, '_, '_> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims must keep behaving like the originals
-
     use super::*;
-    use crate::gsgrow::mine_all;
     use crate::reference::pattern_set;
     use crate::support::{are_valid_instances, is_non_redundant};
 
     /// Table III: S1 = ABCACBDDB, S2 = ACDBACADD.
     fn running_example() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    fn all_patterns(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
+        Miner::new(db).from_config(config).mode(Mode::All).run()
+    }
+
+    fn constrained_all(
+        db: &SequenceDatabase,
+        config: &MiningConfig,
+        constraints: GapConstraints,
+    ) -> MiningOutcome {
+        Miner::new(db)
+            .from_config(config)
+            .mode(Mode::All)
+            .constraints(constraints)
+            .run()
+    }
+
+    fn constrained_closed(
+        db: &SequenceDatabase,
+        config: &MiningConfig,
+        constraints: GapConstraints,
+    ) -> MiningOutcome {
+        Miner::new(db)
+            .from_config(config)
+            .mode(Mode::Closed)
+            .constraints(constraints)
+            .run()
     }
 
     fn pattern(db: &SequenceDatabase, s: &str) -> Pattern {
@@ -510,8 +535,8 @@ mod tests {
         let db = running_example();
         for min_sup in [2, 3] {
             let config = MiningConfig::new(min_sup);
-            let plain = mine_all(&db, &config);
-            let constrained = mine_all_constrained(&db, &config, GapConstraints::unbounded());
+            let plain = all_patterns(&db, &config);
+            let constrained = constrained_all(&db, &config, GapConstraints::unbounded());
             assert_eq!(
                 pattern_set(&plain.patterns),
                 pattern_set(&constrained.patterns)
@@ -527,7 +552,7 @@ mod tests {
         let db = running_example();
         let config = MiningConfig::new(2);
         let constraints = GapConstraints::max_gap(2);
-        let mined = mine_all_constrained(&db, &config, constraints);
+        let mined = constrained_all(&db, &config, constraints);
         for mp in &mined.patterns {
             assert!(mp.support >= 2);
             assert_eq!(
@@ -535,7 +560,7 @@ mod tests {
                 constrained_support(&db, mp.pattern.events(), constraints)
             );
         }
-        let unconstrained = mine_all(&db, &MiningConfig::new(1));
+        let unconstrained = all_patterns(&db, &MiningConfig::new(1));
         for mp in &unconstrained.patterns {
             let csup = constrained_support(&db, mp.pattern.events(), constraints);
             if csup >= 2 {
@@ -554,8 +579,8 @@ mod tests {
         let db = running_example();
         let config = MiningConfig::new(2);
         let constraints = GapConstraints::max_gap(3);
-        let all = mine_all_constrained(&db, &config, constraints);
-        let closed = mine_closed_constrained(&db, &config, constraints);
+        let all = constrained_all(&db, &config, constraints);
+        let closed = constrained_closed(&db, &config, constraints);
         assert!(!closed.is_empty());
         assert!(closed.len() <= all.len());
         // No closed pattern has a frequent super-pattern of equal support.
@@ -598,7 +623,7 @@ mod tests {
     #[test]
     fn empty_database_and_empty_pattern_edge_cases() {
         let db = SequenceDatabase::new();
-        let outcome = mine_all_constrained(&db, &MiningConfig::new(1), GapConstraints::max_gap(1));
+        let outcome = constrained_all(&db, &MiningConfig::new(1), GapConstraints::max_gap(1));
         assert!(outcome.is_empty());
         let db2 = running_example();
         let csc = ConstrainedSupportComputer::new(&db2, GapConstraints::max_gap(1));
@@ -612,14 +637,14 @@ mod tests {
         let config = MiningConfig::new(1)
             .with_max_patterns(4)
             .with_support_sets();
-        let mined = mine_all_constrained(&db, &config, GapConstraints::max_gap(2));
+        let mined = constrained_all(&db, &config, GapConstraints::max_gap(2));
         assert!(mined.truncated);
         assert_eq!(mined.len(), 4);
         for mp in &mined.patterns {
             assert!(mp.support_set.is_some());
         }
         let capped = MiningConfig::new(1).with_max_pattern_length(2);
-        let short = mine_all_constrained(&db, &capped, GapConstraints::max_gap(2));
+        let short = constrained_all(&db, &capped, GapConstraints::max_gap(2));
         assert!(short.max_pattern_length() <= 2);
     }
 }

@@ -954,16 +954,36 @@ impl EmitGate<'_> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // engine outputs are checked against the shims
 
     use super::*;
-    use crate::clogsgrow::mine_closed;
-    use crate::constrained::{constrained_support, mine_all_constrained, mine_closed_constrained};
-    use crate::gsgrow::mine_all;
-    use crate::maximal::mine_maximal;
+    use crate::constrained::constrained_support;
     use crate::reference::pattern_set;
+
+    fn constrained_all(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+        constraints: crate::GapConstraints,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::All)
+            .constraints(constraints)
+            .run()
+    }
+
+    fn constrained_closed(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+        constraints: crate::GapConstraints,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::Closed)
+            .constraints(constraints)
+            .run()
+    }
+
     use crate::sink::{BudgetSink, CountSink};
-    use crate::topk::{mine_top_k, TopKConfig};
 
     fn running_example() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
@@ -971,59 +991,6 @@ mod tests {
 
     fn example_1_1() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["AABCDABB", "ABCD"])
-    }
-
-    #[test]
-    fn engine_reproduces_all_six_legacy_entry_points() {
-        for db in [running_example(), example_1_1()] {
-            let config = MiningConfig::new(2);
-            let constraints = GapConstraints::max_gap(2);
-
-            assert_eq!(
-                Miner::new(&db).min_sup(2).mode(Mode::All).run().patterns,
-                mine_all(&db, &config).patterns
-            );
-            assert_eq!(
-                Miner::new(&db).min_sup(2).mode(Mode::Closed).run().patterns,
-                mine_closed(&db, &config).patterns
-            );
-            assert_eq!(
-                Miner::new(&db)
-                    .min_sup(2)
-                    .mode(Mode::Maximal)
-                    .run()
-                    .patterns,
-                mine_maximal(&db, &config).patterns
-            );
-            assert_eq!(
-                Miner::new(&db)
-                    .min_sup(2)
-                    .mode(Mode::All)
-                    .constraints(constraints)
-                    .run()
-                    .patterns,
-                mine_all_constrained(&db, &config, constraints).patterns
-            );
-            assert_eq!(
-                Miner::new(&db)
-                    .min_sup(2)
-                    .mode(Mode::Closed)
-                    .constraints(constraints)
-                    .run()
-                    .patterns,
-                mine_closed_constrained(&db, &config, constraints).patterns
-            );
-            assert_eq!(
-                Miner::new(&db)
-                    .min_sup(1)
-                    .mode(Mode::Closed)
-                    .top_k(5)
-                    .min_len(2)
-                    .run()
-                    .patterns,
-                mine_top_k(&db, &TopKConfig::new(5).with_min_sup_floor(1)).patterns
-            );
-        }
     }
 
     #[test]
@@ -1067,7 +1034,7 @@ mod tests {
             assert!(w[0].support >= w[1].support);
         }
         // And it agrees with ranking the full constrained closed set.
-        let mut full = mine_closed_constrained(&db, &MiningConfig::new(1), constraints);
+        let mut full = constrained_closed(&db, &MiningConfig::new(1), constraints);
         full.patterns.retain(|mp| mp.pattern.len() >= 2);
         full.sort_for_report();
         full.patterns.truncate(4);
@@ -1083,7 +1050,7 @@ mod tests {
             .mode(Mode::Maximal)
             .constraints(constraints)
             .run();
-        let all = mine_all_constrained(&db, &MiningConfig::new(2), constraints);
+        let all = constrained_all(&db, &MiningConfig::new(2), constraints);
         assert!(!maximal.is_empty());
         // Frontier property within the constrained-frequent set.
         for mp in &maximal.patterns {

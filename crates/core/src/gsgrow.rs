@@ -86,7 +86,7 @@ pub(crate) fn mine_all_seed(
     };
     let support = initial;
     if support.support() >= min_sup {
-        miner.mine_fre(Pattern::single(seed), support);
+        miner.mine_fre(&Pattern::single(seed), support);
     }
     let flow = if miner.stopped {
         ControlFlow::Break(())
@@ -126,9 +126,9 @@ struct GsGrow<'a, 'b, 'e> {
 impl GsGrow<'_, '_, '_> {
     /// `mineFre(SeqDB, P, I)`: emits `P` and recursively grows it. The
     /// support set is returned to the pool when the subtree is done.
-    fn mine_fre(&mut self, pattern: Pattern, support: SupportSet) {
+    fn mine_fre(&mut self, pattern: &Pattern, support: SupportSet) {
         self.stats.visited += 1;
-        if (self.emit)(&pattern, &support).is_break() {
+        if (self.emit)(pattern, &support).is_break() {
             self.stopped = true;
         }
         if self.stopped || !self.config.allows_growth(pattern.len()) {
@@ -145,7 +145,7 @@ impl GsGrow<'_, '_, '_> {
             self.sc
                 .instance_growth_into(&support, event, usize::MAX, &mut grown);
             if grown.support() >= self.min_sup {
-                self.mine_fre(pattern.grow(event), grown);
+                self.mine_fre(&pattern.grow(event), grown);
             } else {
                 self.pool.give(grown);
             }
@@ -241,10 +241,19 @@ pub fn count_all(db: &SequenceDatabase, config: &MiningConfig) -> MiningStats {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims must keep behaving like the originals
 
     use super::*;
     use crate::reference::{enumerate_frequent, pattern_set};
+
+    fn all_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::All)
+            .run()
+    }
 
     fn simple_example() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"])
@@ -257,7 +266,7 @@ mod tests {
     #[test]
     fn gsgrow_matches_brute_force_on_table_ii() {
         let db = simple_example();
-        let mined = mine_all(&db, &MiningConfig::new(2));
+        let mined = all_patterns(&db, &MiningConfig::new(2));
         let brute = enumerate_frequent(&db, 2, 16);
         assert_eq!(pattern_set(&mined.patterns), pattern_set(&brute));
         for mp in &brute {
@@ -269,7 +278,7 @@ mod tests {
     fn gsgrow_matches_brute_force_on_table_iii() {
         let db = running_example();
         for min_sup in [2, 3, 4] {
-            let mined = mine_all(&db, &MiningConfig::new(min_sup));
+            let mined = all_patterns(&db, &MiningConfig::new(min_sup));
             let brute = enumerate_frequent(&db, min_sup, 16);
             assert_eq!(
                 pattern_set(&mined.patterns),
@@ -284,7 +293,7 @@ mod tests {
         // With min_sup = 3 on Table III, AA is frequent but AAA is not
         // (|I_AAA| = 1 < 3).
         let db = running_example();
-        let mined = mine_all(&db, &MiningConfig::new(3));
+        let mined = all_patterns(&db, &MiningConfig::new(3));
         let aa = Pattern::new(db.pattern_from_str("AA").unwrap());
         let aaa = Pattern::new(db.pattern_from_str("AAA").unwrap());
         assert_eq!(mined.support_of(&aa), Some(3));
@@ -295,7 +304,7 @@ mod tests {
     fn every_emitted_pattern_meets_the_threshold() {
         let db = running_example();
         let config = MiningConfig::new(2).with_support_sets();
-        let mined = mine_all(&db, &config);
+        let mined = all_patterns(&db, &config);
         assert!(!mined.is_empty());
         for mp in &mined.patterns {
             assert!(mp.support >= 2);
@@ -308,7 +317,7 @@ mod tests {
     fn max_pattern_length_caps_the_dfs() {
         let db = running_example();
         let config = MiningConfig::new(2).with_max_pattern_length(2);
-        let mined = mine_all(&db, &config);
+        let mined = all_patterns(&db, &config);
         assert!(mined.max_pattern_length() <= 2);
         assert!(!mined.is_empty());
     }
@@ -317,7 +326,7 @@ mod tests {
     fn max_patterns_truncates_the_run() {
         let db = running_example();
         let config = MiningConfig::new(1).with_max_patterns(5);
-        let mined = mine_all(&db, &config);
+        let mined = all_patterns(&db, &config);
         assert!(mined.truncated);
         assert_eq!(mined.len(), 5);
     }
@@ -325,19 +334,19 @@ mod tests {
     #[test]
     fn high_threshold_yields_only_single_events_or_nothing() {
         let db = simple_example();
-        let mined = mine_all(&db, &MiningConfig::new(5));
+        let mined = all_patterns(&db, &MiningConfig::new(5));
         // A occurs 5 times; B and C occur 5 times? A: 4+... let's just check
         // every mined pattern really has support >= 5 and no super-pattern
         // sneaks in below threshold.
         for mp in &mined.patterns {
-            assert!(mp.support >= 5, "{:?}", mp);
+            assert!(mp.support >= 5, "{mp:?}");
         }
     }
 
     #[test]
     fn empty_database_yields_empty_result() {
         let db = SequenceDatabase::new();
-        let mined = mine_all(&db, &MiningConfig::new(1));
+        let mined = all_patterns(&db, &MiningConfig::new(1));
         assert!(mined.is_empty());
         assert!(!mined.truncated);
     }
@@ -346,7 +355,7 @@ mod tests {
     fn count_all_agrees_with_mine_all_on_visited_nodes() {
         let db = running_example();
         let config = MiningConfig::new(2);
-        let mined = mine_all(&db, &config);
+        let mined = all_patterns(&db, &config);
         let counted = count_all(&db, &config);
         assert_eq!(counted.visited, mined.stats.visited);
         assert_eq!(counted.visited as usize, mined.len());
@@ -355,7 +364,7 @@ mod tests {
     #[test]
     fn stats_report_positive_work() {
         let db = running_example();
-        let mined = mine_all(&db, &MiningConfig::new(2));
+        let mined = all_patterns(&db, &MiningConfig::new(2));
         assert!(mined.stats.visited > 0);
         assert!(mined.stats.instance_growths > 0);
         assert!(mined.stats.elapsed_seconds >= 0.0);

@@ -77,12 +77,26 @@ impl InstanceBuffer {
     }
 
     /// The sequence index of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
     pub fn seq(&self, i: usize) -> u32 {
+        // Documented panic on an out-of-range instance id at the API
+        // boundary; the growth loops never call this.
+        // audit:allow(indexing): see above
         self.seqs[i]
     }
 
     /// The landmark positions of instance `i` (a slice into the arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
     pub fn landmark(&self, i: usize) -> &[u32] {
+        // Documented panic on an out-of-range instance id at the API
+        // boundary; the growth loops never call this.
+        // audit:allow(indexing): see above
         &self.positions[i * self.stride..(i + 1) * self.stride]
     }
 
@@ -134,19 +148,22 @@ impl InstanceBuffer {
         let len = seqs.len();
         let mut i = 0;
         while i < len {
-            let seq = seqs[i];
-            let mut end = i + 1;
-            while end < len && seqs[end] == seq {
-                end += 1;
-            }
+            let Some(rest) = seqs.get(i..) else { break };
+            let Some(&seq) = rest.first() else { break };
+            let end = i + rest.iter().take_while(|&&s| s == seq).count();
             // Within one sequence: greedy right-shift-order extension with
             // the strictly-increasing `last_position` watermark of
             // Algorithm 2, line 5.
             let mut last_position = 0u32;
             for j in i..end {
-                let landmark = &positions[j * stride..(j + 1) * stride];
-                let first = landmark[0];
-                let prev = landmark[stride - 1];
+                let Some(landmark) = positions.get(j * stride..(j + 1) * stride) else {
+                    break;
+                };
+                // A landmark slice is never empty: stride > 0 is asserted on
+                // entry, so first/last always exist.
+                let (Some(&first), Some(&prev)) = (landmark.first(), landmark.last()) else {
+                    break;
+                };
                 let lowest = last_position.max(constraints.lowest_exclusive(prev));
                 let highest = constraints.highest_inclusive(first, prev);
                 match index.next(seq as usize, event, lowest) {
@@ -208,9 +225,17 @@ impl InstanceBuffer {
     }
 
     /// The compressed `(seq, first, last)` triple of instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
     pub fn compressed(&self, i: usize) -> Instance {
         let landmark = self.landmark(i);
-        Instance::new(self.seq(i), landmark[0], landmark[self.stride - 1])
+        Instance::new(
+            self.seq(i),
+            landmark.first().copied().unwrap_or(0),
+            landmark.last().copied().unwrap_or(0),
+        )
     }
 }
 

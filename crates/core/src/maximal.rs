@@ -88,11 +88,38 @@ pub fn is_maximal(db: &SequenceDatabase, pattern: &Pattern, min_sup: u64) -> boo
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims must keep behaving like the originals
 
     use super::*;
-    use crate::clogsgrow::mine_closed;
-    use crate::gsgrow::mine_all;
+
+    fn all_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::All)
+            .run()
+    }
+
+    fn closed_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::Closed)
+            .run()
+    }
+
+    fn maximal_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::Maximal)
+            .run()
+    }
 
     fn running_example() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
@@ -106,8 +133,8 @@ mod tests {
     fn maximal_patterns_are_a_subset_of_closed_patterns() {
         let db = running_example();
         for min_sup in [2, 3] {
-            let closed = mine_closed(&db, &MiningConfig::new(min_sup));
-            let maximal = mine_maximal(&db, &MiningConfig::new(min_sup));
+            let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
+            let maximal = maximal_patterns(&db, &MiningConfig::new(min_sup));
             assert!(!maximal.is_empty());
             assert!(maximal.len() <= closed.len());
             for mp in &maximal.patterns {
@@ -120,8 +147,8 @@ mod tests {
     fn no_maximal_pattern_is_contained_in_another_frequent_pattern() {
         let db = running_example();
         let min_sup = 3;
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let maximal = mine_maximal(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
+        let maximal = maximal_patterns(&db, &MiningConfig::new(min_sup));
         for mp in &maximal.patterns {
             for other in &all.patterns {
                 assert!(
@@ -138,8 +165,8 @@ mod tests {
     fn every_frequent_pattern_is_contained_in_some_maximal_pattern() {
         let db = simple_example();
         let min_sup = 2;
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let maximal = mine_maximal(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
+        let maximal = maximal_patterns(&db, &MiningConfig::new(min_sup));
         for mp in &all.patterns {
             assert!(
                 maximal
@@ -157,8 +184,8 @@ mod tests {
     fn mine_maximal_agrees_with_the_direct_definition_check() {
         let db = running_example();
         let min_sup = 3;
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let maximal = mine_maximal(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
+        let maximal = maximal_patterns(&db, &MiningConfig::new(min_sup));
         for mp in &all.patterns {
             let in_maximal = maximal.contains(&mp.pattern);
             assert_eq!(

@@ -125,7 +125,11 @@ impl Pattern {
 
 impl fmt::Display for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let rendered: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        let rendered: Vec<String> = self
+            .events
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         write!(f, "[{}]", rendered.join(" "))
     }
 }

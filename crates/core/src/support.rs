@@ -141,17 +141,11 @@ impl<'a> Iterator for PerSequence<'a> {
     type Item = (usize, &'a [Instance]);
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.start >= self.instances.len() {
-            return None;
-        }
-        let seq = self.instances[self.start].seq;
-        let mut end = self.start + 1;
-        while end < self.instances.len() && self.instances[end].seq == seq {
-            end += 1;
-        }
-        let slice = &self.instances[self.start..end];
-        self.start = end;
-        Some((seq as usize, slice))
+        let rest = self.instances.get(self.start..)?;
+        let first = rest.first()?;
+        let len = rest.iter().take_while(|inst| inst.seq == first.seq).count();
+        self.start += len;
+        Some((first.seq as usize, rest.get(..len).unwrap_or(rest)))
     }
 }
 
@@ -171,7 +165,7 @@ pub(crate) fn reconstruct_landmarks_impl(index: &ShardedIndex, pattern: &Pattern
 /// reference implementation.
 pub fn is_non_redundant(landmarks: &[Landmark]) -> bool {
     for (i, a) in landmarks.iter().enumerate() {
-        for b in &landmarks[i + 1..] {
+        for b in landmarks.iter().skip(i + 1) {
             if a.overlaps(b) {
                 return false;
             }
@@ -190,7 +184,12 @@ pub fn are_valid_instances(
         if landmark.positions.len() != pattern.len() {
             return false;
         }
-        if !landmark.positions.windows(2).all(|w| w[0] < w[1]) {
+        let ascending = landmark
+            .positions
+            .iter()
+            .zip(landmark.positions.iter().skip(1))
+            .all(|(a, b)| a < b);
+        if !ascending {
             return false;
         }
         let Some(sequence) = db.sequence(landmark.seq) else {

@@ -159,7 +159,7 @@ pub(crate) fn run_top_k(
         let support = sc.initial_support_set(event);
         if support.support() >= state.threshold() {
             let mut stack = vec![support];
-            state.descend(Pattern::single(event), &mut stack);
+            state.descend(&Pattern::single(event), &mut stack);
         }
     }
     stats.visited = state.visited;
@@ -209,7 +209,7 @@ pub(crate) fn run_top_k_parallel(
         let support = sc.initial_support_set(events[i]);
         if support.support() >= state.threshold() {
             let mut stack = vec![support];
-            state.descend(Pattern::single(events[i]), &mut stack);
+            state.descend(&Pattern::single(events[i]), &mut stack);
         }
         (state.collected, state.visited, state.growths)
     });
@@ -277,7 +277,7 @@ impl TopKState<'_, '_> {
 
     /// Visits `pattern`, whose prefix support sets (including its own, on
     /// top) are held by `stack`.
-    fn descend(&mut self, pattern: Pattern, stack: &mut Vec<SupportSet>) {
+    fn descend(&mut self, pattern: &Pattern, stack: &mut Vec<SupportSet>) {
         self.visited += 1;
         let sup = stack.last().expect("support of pattern").support();
 
@@ -311,7 +311,7 @@ impl TopKState<'_, '_> {
         if pattern.len() >= self.params.min_len && sup >= self.threshold() {
             let qualifies = if self.params.closed_only {
                 self.checker
-                    .check(&pattern, stack, append_equal, &mut self.scratch)
+                    .check(pattern, stack, append_equal, &mut self.scratch)
                     == ClosureStatus::Closed
             } else {
                 true
@@ -342,7 +342,7 @@ impl TopKState<'_, '_> {
             // pattern in this subtree can have higher support than `grown`.
             if grown.support() >= self.threshold() {
                 stack.push(grown);
-                self.descend(pattern.grow(event), stack);
+                self.descend(&pattern.grow(event), stack);
                 let done = stack.pop().expect("pushed above");
                 self.pool.give(done);
             } else {
@@ -354,12 +354,49 @@ impl TopKState<'_, '_> {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // the shims must keep behaving like the originals
 
     use super::*;
-    use crate::clogsgrow::mine_closed;
+
+    fn all_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::All)
+            .run()
+    }
+
+    fn closed_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::MiningConfig,
+    ) -> crate::MiningOutcome {
+        crate::Miner::new(db)
+            .from_config(config)
+            .mode(crate::Mode::Closed)
+            .run()
+    }
+
+    fn top_k_patterns(
+        db: &seqdb::SequenceDatabase,
+        config: &crate::TopKConfig,
+    ) -> crate::MiningOutcome {
+        let mut miner = crate::Miner::new(db)
+            .min_sup(config.min_sup_floor)
+            .mode(if config.closed_only {
+                crate::Mode::Closed
+            } else {
+                crate::Mode::All
+            })
+            .top_k(config.k)
+            .min_len(config.min_len);
+        if let Some(len) = config.max_pattern_length {
+            miner = miner.max_pattern_length(len);
+        }
+        miner.run()
+    }
+
     use crate::config::MiningConfig;
-    use crate::gsgrow::mine_all;
 
     fn running_example() -> SequenceDatabase {
         SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
@@ -372,7 +409,7 @@ mod tests {
     #[test]
     fn top_k_returns_at_most_k_patterns_sorted_by_support() {
         let db = running_example();
-        let outcome = mine_top_k(&db, &TopKConfig::new(5));
+        let outcome = top_k_patterns(&db, &TopKConfig::new(5));
         assert!(outcome.len() <= 5);
         assert!(!outcome.is_empty());
         for w in outcome.patterns.windows(2) {
@@ -389,8 +426,8 @@ mod tests {
         // multiset) with sorting the full closed result.
         let db = running_example();
         for k in [1, 3, 5, 10] {
-            let topk = mine_top_k(&db, &TopKConfig::new(k));
-            let mut full = mine_closed(&db, &MiningConfig::new(1));
+            let topk = top_k_patterns(&db, &TopKConfig::new(k));
+            let mut full = closed_patterns(&db, &MiningConfig::new(1));
             full.patterns.retain(|mp| mp.pattern.len() >= 2);
             full.sort_for_report();
             let expected: Vec<u64> = full.patterns.iter().take(k).map(|mp| mp.support).collect();
@@ -403,8 +440,8 @@ mod tests {
     fn top_k_including_non_closed_matches_exhaustive_all_mining() {
         let db = simple_example();
         for k in [1, 4, 8] {
-            let topk = mine_top_k(&db, &TopKConfig::new(k).including_non_closed());
-            let mut full = mine_all(&db, &MiningConfig::new(1));
+            let topk = top_k_patterns(&db, &TopKConfig::new(k).including_non_closed());
+            let mut full = all_patterns(&db, &MiningConfig::new(1));
             full.patterns.retain(|mp| mp.pattern.len() >= 2);
             full.sort_for_report();
             let expected: Vec<u64> = full.patterns.iter().take(k).map(|mp| mp.support).collect();
@@ -416,7 +453,7 @@ mod tests {
     #[test]
     fn min_len_one_lets_single_events_compete() {
         let db = running_example();
-        let outcome = mine_top_k(
+        let outcome = top_k_patterns(
             &db,
             &TopKConfig::new(3).with_min_len(1).including_non_closed(),
         );
@@ -433,25 +470,25 @@ mod tests {
     fn support_floor_filters_low_support_patterns() {
         let db = running_example();
         let config = TopKConfig::new(50).with_min_sup_floor(3);
-        let outcome = mine_top_k(&db, &config);
+        let outcome = top_k_patterns(&db, &config);
         assert!(!outcome.is_empty());
         for mp in &outcome.patterns {
-            assert!(mp.support >= 3, "{:?}", mp);
+            assert!(mp.support >= 3, "{mp:?}");
         }
     }
 
     #[test]
     fn k_zero_and_empty_database_yield_empty_results() {
         let db = running_example();
-        assert!(mine_top_k(&db, &TopKConfig::new(0)).is_empty());
+        assert!(top_k_patterns(&db, &TopKConfig::new(0)).is_empty());
         let empty = SequenceDatabase::new();
-        assert!(mine_top_k(&empty, &TopKConfig::new(5)).is_empty());
+        assert!(top_k_patterns(&empty, &TopKConfig::new(5)).is_empty());
     }
 
     #[test]
     fn max_pattern_length_caps_exploration() {
         let db = running_example();
-        let outcome = mine_top_k(
+        let outcome = top_k_patterns(
             &db,
             &TopKConfig::new(10)
                 .including_non_closed()
@@ -464,7 +501,7 @@ mod tests {
     fn every_reported_pattern_has_its_true_support() {
         let db = simple_example();
         let sc = SupportComputer::new(&db);
-        let outcome = mine_top_k(&db, &TopKConfig::new(6));
+        let outcome = top_k_patterns(&db, &TopKConfig::new(6));
         for mp in &outcome.patterns {
             assert_eq!(sc.support(&mp.pattern), mp.support);
         }

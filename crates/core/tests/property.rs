@@ -7,17 +7,25 @@
 //! Cases are generated with a deterministic seeded PRNG, so failures are
 //! reproducible from the printed case description.
 
-#![allow(deprecated)] // the legacy entry points stay covered until removal
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rgs_core::reference::{closed_subset, enumerate_frequent, max_non_overlapping, pattern_set};
-use rgs_core::{mine_all, mine_closed, repetitive_support, MiningConfig, Pattern, SupportComputer};
+use rgs_core::{
+    repetitive_support, Miner, MiningConfig, MiningOutcome, Mode, Pattern, SupportComputer,
+};
 use seqdb::{EventId, SequenceDatabase};
 
 const LABELS: [&str; 4] = ["A", "B", "C", "D"];
 const CASES: usize = 96;
+
+fn all_patterns(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
+    Miner::new(db).from_config(config).mode(Mode::All).run()
+}
+
+fn closed_patterns(db: &SequenceDatabase, config: &MiningConfig) -> MiningOutcome {
+    Miner::new(db).from_config(config).mode(Mode::Closed).run()
+}
 
 /// A small random database: 1–4 sequences of length 0–10 over 4 events.
 fn small_database(rng: &mut StdRng) -> SequenceDatabase {
@@ -114,7 +122,7 @@ fn gsgrow_is_complete_and_sound() {
     for case in 0..CASES {
         let db = small_database(&mut rng);
         let min_sup = rng.gen_range(1..4u64);
-        let mined = mine_all(&db, &MiningConfig::new(min_sup));
+        let mined = all_patterns(&db, &MiningConfig::new(min_sup));
         let brute = enumerate_frequent(&db, min_sup, 12);
         assert_eq!(
             pattern_set(&mined.patterns),
@@ -134,9 +142,9 @@ fn clogsgrow_equals_closed_subset_of_all() {
     for case in 0..CASES {
         let db = small_database(&mut rng);
         let min_sup = rng.gen_range(1..4u64);
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
         let expected = closed_subset(&all.patterns);
-        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
         assert_eq!(
             pattern_set(&closed.patterns),
             pattern_set(&expected),
@@ -156,8 +164,8 @@ fn closed_set_is_a_lossless_summary() {
     for case in 0..CASES {
         let db = small_database(&mut rng);
         let min_sup = rng.gen_range(1..4u64);
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
+        let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
         for mp in &all.patterns {
             let covered = closed.patterns.iter().any(|cp| {
                 cp.support == mp.support
@@ -180,8 +188,8 @@ fn pruning_never_increases_visited_nodes() {
     for case in 0..CASES {
         let db = small_database(&mut rng);
         let min_sup = rng.gen_range(1..4u64);
-        let all = mine_all(&db, &MiningConfig::new(min_sup));
-        let closed = mine_closed(&db, &MiningConfig::new(min_sup));
+        let all = all_patterns(&db, &MiningConfig::new(min_sup));
+        let closed = closed_patterns(&db, &MiningConfig::new(min_sup));
         assert!(closed.stats.visited <= all.stats.visited, "case {case}");
         assert!(closed.len() <= all.len(), "case {case}");
     }

@@ -2,20 +2,51 @@
 //! mining, top-k mining, maximal mining) on random small databases, driven
 //! by a deterministic seeded PRNG.
 
-#![allow(deprecated)] // the legacy entry points stay covered until removal
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rgs_core::reference::{max_non_overlapping, max_non_overlapping_constrained, pattern_set};
 use rgs_core::{
-    constrained_support, mine_all, mine_all_constrained, mine_closed, mine_closed_constrained,
-    mine_maximal, mine_top_k, repetitive_support, GapConstraints, MiningConfig, TopKConfig,
+    constrained_support, repetitive_support, GapConstraints, Miner, MiningConfig, MiningOutcome,
+    Mode, TopKConfig,
 };
 use seqdb::{EventId, SequenceDatabase};
 
 const LABELS: [&str; 4] = ["A", "B", "C", "D"];
 const CASES: usize = 48;
+
+fn mine(db: &SequenceDatabase, config: &MiningConfig, mode: Mode) -> MiningOutcome {
+    Miner::new(db).from_config(config).mode(mode).run()
+}
+
+fn mine_constrained(
+    db: &SequenceDatabase,
+    config: &MiningConfig,
+    mode: Mode,
+    constraints: GapConstraints,
+) -> MiningOutcome {
+    Miner::new(db)
+        .from_config(config)
+        .mode(mode)
+        .constraints(constraints)
+        .run()
+}
+
+fn top_k_patterns(db: &SequenceDatabase, config: &TopKConfig) -> MiningOutcome {
+    let mut miner = Miner::new(db)
+        .min_sup(config.min_sup_floor)
+        .mode(if config.closed_only {
+            Mode::Closed
+        } else {
+            Mode::All
+        })
+        .top_k(config.k)
+        .min_len(config.min_len);
+    if let Some(len) = config.max_pattern_length {
+        miner = miner.max_pattern_length(len);
+    }
+    miner.run()
+}
 
 /// Small random databases over up to 4 events: 1–4 sequences of length 0–9.
 fn small_database(rng: &mut StdRng) -> SequenceDatabase {
@@ -97,10 +128,11 @@ fn constrained_mining_reduces_to_gsgrow_when_unbounded() {
     for case in 0..CASES {
         let db = small_database(&mut rng);
         let min_sup = rng.gen_range(2..4u64);
-        let plain = mine_all(&db, &MiningConfig::new(min_sup));
-        let constrained = mine_all_constrained(
+        let plain = mine(&db, &MiningConfig::new(min_sup), Mode::All);
+        let constrained = mine_constrained(
             &db,
             &MiningConfig::new(min_sup),
+            Mode::All,
             GapConstraints::unbounded(),
         );
         assert_eq!(
@@ -121,13 +153,13 @@ fn constrained_mining_reports_true_supports() {
         let min_sup = rng.gen_range(2..4u64);
         let constraints = small_constraints(&mut rng);
         let config = MiningConfig::new(min_sup);
-        let all = mine_all_constrained(&db, &config, constraints);
+        let all = mine_constrained(&db, &config, Mode::All, constraints);
         for mp in &all.patterns {
             let sup = constrained_support(&db, mp.pattern.events(), constraints);
             assert_eq!(mp.support, sup, "case {case}");
             assert!(sup >= min_sup, "case {case}");
         }
-        let closed = mine_closed_constrained(&db, &config, constraints);
+        let closed = mine_constrained(&db, &config, Mode::Closed, constraints);
         assert!(closed.len() <= all.len(), "case {case}");
         for c in &closed.patterns {
             for other in &all.patterns {
@@ -151,8 +183,8 @@ fn top_k_matches_sorted_exhaustive_mining() {
             .with_min_len(1)
             .including_non_closed()
             .with_min_sup_floor(1);
-        let topk = mine_top_k(&db, &config);
-        let mut full = mine_all(&db, &MiningConfig::new(1));
+        let topk = top_k_patterns(&db, &config);
+        let mut full = mine(&db, &MiningConfig::new(1), Mode::All);
         full.sort_for_report();
         let expected: Vec<u64> = full.patterns.iter().take(k).map(|mp| mp.support).collect();
         let got: Vec<u64> = topk.patterns.iter().map(|mp| mp.support).collect();
@@ -168,8 +200,8 @@ fn top_k_closed_matches_sorted_closed_mining() {
         let db = small_database(&mut rng);
         let k = rng.gen_range(1..6usize);
         let config = TopKConfig::new(k).with_min_len(2).with_min_sup_floor(1);
-        let topk = mine_top_k(&db, &config);
-        let mut closed = mine_closed(&db, &MiningConfig::new(1));
+        let topk = top_k_patterns(&db, &config);
+        let mut closed = mine(&db, &MiningConfig::new(1), Mode::Closed);
         closed.patterns.retain(|mp| mp.pattern.len() >= 2);
         closed.sort_for_report();
         let expected: Vec<u64> = closed
@@ -193,9 +225,9 @@ fn maximal_patterns_form_a_frontier() {
         let db = small_database(&mut rng);
         let min_sup = rng.gen_range(2..4u64);
         let config = MiningConfig::new(min_sup);
-        let all = mine_all(&db, &config);
-        let closed = mine_closed(&db, &config);
-        let maximal = mine_maximal(&db, &config);
+        let all = mine(&db, &config, Mode::All);
+        let closed = mine(&db, &config, Mode::Closed);
+        let maximal = mine(&db, &config, Mode::Maximal);
         assert!(maximal.len() <= closed.len(), "case {case}");
         assert!(closed.len() <= all.len(), "case {case}");
         for mp in &maximal.patterns {

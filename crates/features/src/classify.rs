@@ -209,7 +209,7 @@ impl KnnClassifier {
 impl Classifier for KnnClassifier {
     fn fit(&mut self, features: &FeatureMatrix, labels: &[ClassId]) {
         validate_training_input(features, labels);
-        self.rows = features.rows().map(|r| r.to_vec()).collect();
+        self.rows = features.rows().map(<[f64]>::to_vec).collect();
         self.labels = labels.to_vec();
     }
 

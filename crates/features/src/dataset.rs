@@ -152,7 +152,7 @@ impl LabeledDatabase {
     pub fn subset(&self, indices: &[usize]) -> LabeledDatabase {
         let sequences: Vec<Sequence> = indices
             .iter()
-            .filter_map(|&i| self.database.sequence(i).map(|v| v.to_sequence()))
+            .filter_map(|&i| self.database.sequence(i).map(seqdb::SeqView::to_sequence))
             .collect();
         let class_ids: Vec<ClassId> = indices.iter().filter_map(|&i| self.class_of(i)).collect();
         LabeledDatabase {
@@ -167,7 +167,7 @@ impl LabeledDatabase {
         let indices = self.sequences_of_class(class);
         let sequences: Vec<Sequence> = indices
             .iter()
-            .filter_map(|&i| self.database.sequence(i).map(|v| v.to_sequence()))
+            .filter_map(|&i| self.database.sequence(i).map(seqdb::SeqView::to_sequence))
             .collect();
         SequenceDatabase::from_parts(self.database.catalog().clone(), sequences)
     }
@@ -199,6 +199,8 @@ impl LabeledDatabase {
                 });
             }
             members.shuffle(&mut rng);
+            // Sign loss is impossible: the fraction and the length are non-negative.
+            #[allow(clippy::cast_sign_loss)]
             let mut train_count = ((members.len() as f64) * train_fraction).round() as usize;
             train_count = train_count.clamp(1, members.len() - 1);
             train_indices.extend_from_slice(&members[..train_count]);

@@ -190,7 +190,7 @@ mod tests {
         let matrix = extract_features(&db, &pats);
         for (j, p) in pats.iter().enumerate() {
             let total: f64 = matrix.column(j).iter().sum();
-            assert_eq!(total as u64, sc.support(p), "pattern {:?}", p);
+            assert_eq!(total, sc.support(p) as f64, "pattern {p:?}");
         }
     }
 

@@ -82,7 +82,9 @@ impl EventCatalog {
         if let Some(&id) = self.by_label.get(label) {
             return id;
         }
-        let id = EventId(self.labels.len() as u32);
+        let id = EventId(
+            crate::cast::usize_to_u32(self.labels.len()).expect("more than u32::MAX event labels"),
+        );
         self.labels.push(label.to_owned());
         self.by_label.insert(label.to_owned(), id);
         id
@@ -117,6 +119,8 @@ impl EventCatalog {
     }
 
     /// Iterates over `(id, label)` pairs in id order.
+    // `intern` bounds the catalog to u32::MAX labels, so `i` always fits.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn iter(&self) -> impl Iterator<Item = (EventId, &str)> {
         self.labels
             .iter()
@@ -125,6 +129,8 @@ impl EventCatalog {
     }
 
     /// All ids currently in the catalog, in ascending order.
+    // `intern` bounds the catalog to u32::MAX labels, so `len` always fits.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
         (0..self.labels.len() as u32).map(EventId)
     }

@@ -216,7 +216,7 @@ impl DatabaseBuilder {
     /// Adds an already-interned sequence, flattening it into the store. The
     /// caller is responsible for the ids being valid for this builder's
     /// catalog.
-    pub fn push_sequence(&mut self, sequence: Sequence) -> usize {
+    pub fn push_sequence(&mut self, sequence: &Sequence) -> usize {
         self.store.push_events(sequence.events().iter().copied())
     }
 
@@ -344,7 +344,7 @@ mod tests {
             sharded
                 .shards()
                 .iter()
-                .map(|s| s.total_length())
+                .map(super::super::store::SeqStore::total_length)
                 .sum::<usize>(),
             db.total_length()
         );
@@ -360,7 +360,7 @@ mod tests {
     fn builder_appends_straight_into_the_flat_store() {
         let mut builder = DatabaseBuilder::new();
         builder.push_tokens(["x", "y"]);
-        builder.push_sequence(Sequence::from_events(vec![EventId(0)]));
+        builder.push_sequence(&Sequence::from_events(vec![EventId(0)]));
         assert_eq!(builder.len(), 2);
         let db = builder.finish();
         assert_eq!(db.store().offsets(), &[0, 2, 3]);

@@ -14,6 +14,7 @@
 //! whole index is two `Vec`s (compare the seed's `Vec<Vec<Vec<u32>>>`,
 //! which paid one heap allocation and one pointer hop per non-empty list).
 
+use crate::cast::{u32_to_usize, usize_to_u32};
 use crate::catalog::EventId;
 use crate::database::SequenceDatabase;
 use crate::shared::SharedSlice;
@@ -66,7 +67,7 @@ impl InvertedIndex {
         // every posting list, so fail loudly instead (the store enforces
         // the same ceiling on its own offsets).
         assert!(
-            store.total_length() <= u32::MAX as usize,
+            usize_to_u32(store.total_length()).is_some(),
             "InvertedIndex offsets are u32: more than u32::MAX total events"
         );
 
@@ -81,23 +82,34 @@ impl InvertedIndex {
                     "store references event id {} outside the {num_events}-event alphabet",
                     event.index()
                 );
-                offsets[base + event.index() + 1] += 1;
+                // In bounds: asserted just above, and `base + num_events <= slots`.
+                if let Some(count) = offsets.get_mut(base + event.index() + 1) {
+                    *count += 1;
+                }
             }
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
+        let mut running = 0u32;
+        for offset in &mut offsets {
+            running += *offset;
+            *offset = running;
         }
 
         // Pass 2: scatter 1-based positions into the arena. Within one
         // sequence events are visited in position order, so every slot's
-        // list comes out sorted ascending.
+        // list comes out sorted ascending. Bounds: the cursor slot exists
+        // (asserted in pass 1) and the cursor value stays below the next
+        // offset, which is at most the arena length.
         let mut positions = vec![0u32; store.total_length()];
-        let mut cursor: Vec<u32> = offsets[..slots].to_vec();
+        let mut cursor: Vec<u32> = offsets.get(..slots).unwrap_or(&[]).to_vec();
         for (seq, view) in store.iter().enumerate() {
             let base = seq * num_events;
             for (pos, event) in view.iter_positions() {
-                let c = &mut cursor[base + event.index()];
-                positions[*c as usize] = pos as u32;
+                let Some(c) = cursor.get_mut(base + event.index()) else {
+                    continue;
+                };
+                if let Some(target) = positions.get_mut(u32_to_usize(*c)) {
+                    *target = usize_to_u32(pos).unwrap_or(u32::MAX);
+                }
                 *c += 1;
             }
         }
@@ -130,16 +142,20 @@ impl InvertedIndex {
                 slots + 1
             ));
         }
-        if offsets[0] != 0 {
-            return Err(format!("index offsets start at {}, not 0", offsets[0]));
-        }
-        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+        if offsets.first() != Some(&0) {
             return Err(format!(
-                "index offsets are not monotone ({} > {})",
-                w[0], w[1]
+                "index offsets start at {}, not 0",
+                offsets.first().copied().unwrap_or(0)
             ));
         }
-        let last = offsets[offsets.len() - 1] as usize;
+        if let Some((a, b)) = offsets
+            .iter()
+            .zip(offsets.iter().skip(1))
+            .find(|(a, b)| a > b)
+        {
+            return Err(format!("index offsets are not monotone ({a} > {b})"));
+        }
+        let last = u32_to_usize(offsets.last().copied().unwrap_or(0));
         if last != positions.len() {
             return Err(format!(
                 "index offsets end at {last} but the positions arena holds {} entries",
@@ -151,19 +167,21 @@ impl InvertedIndex {
         // skip occurrences instead of failing. One linear pass over the
         // arena, same cost class as the offset checks above.
         for slot in 0..slots {
-            let list = &positions[offsets[slot] as usize..offsets[slot + 1] as usize];
-            if let Some(&first) = list.first() {
-                if first == 0 {
-                    return Err(format!(
-                        "index positions for slot {slot} start at 0 (positions are 1-based)"
-                    ));
-                }
+            let range = match (offsets.get(slot), offsets.get(slot + 1)) {
+                (Some(&a), Some(&b)) => u32_to_usize(a)..u32_to_usize(b),
+                // Unreachable: offsets.len() == slots + 1 was checked above.
+                _ => 0..0,
+            };
+            let list = positions.get(range).unwrap_or(&[]);
+            if list.first() == Some(&0) {
+                return Err(format!(
+                    "index positions for slot {slot} start at 0 (positions are 1-based)"
+                ));
             }
-            if let Some(w) = list.windows(2).find(|w| w[0] >= w[1]) {
+            if let Some((a, b)) = list.iter().zip(list.iter().skip(1)).find(|(a, b)| a >= b) {
                 return Err(format!(
                     "index positions for slot {slot} are not strictly ascending \
-                     ({} then {})",
-                    w[0], w[1]
+                     ({a} then {b})"
                 ));
             }
         }
@@ -217,9 +235,9 @@ impl InvertedIndex {
             return None;
         }
         let slot = seq * self.num_events + event.index();
-        let start = self.offsets[slot] as usize;
-        let end = self.offsets[slot + 1] as usize;
-        Some(&self.positions[start..end])
+        let start = u32_to_usize(*self.offsets.get(slot)?);
+        let end = u32_to_usize(*self.offsets.get(slot + 1)?);
+        self.positions.get(start..end)
     }
 
     /// Number of occurrences of `event` in sequence `seq`.
@@ -245,7 +263,9 @@ impl InvertedIndex {
             let base = seq * self.num_events;
             for (event, count) in counts.iter_mut().enumerate() {
                 let slot = base + event;
-                *count += u64::from(self.offsets[slot + 1] - self.offsets[slot]);
+                if let (Some(&a), Some(&b)) = (self.offsets.get(slot), self.offsets.get(slot + 1)) {
+                    *count += u64::from(b - a);
+                }
             }
         }
         counts

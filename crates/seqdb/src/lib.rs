@@ -84,7 +84,9 @@
 // Everything else stays forbidden.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::cast_possible_truncation)]
 
+pub mod cast;
 pub mod catalog;
 pub mod database;
 pub mod index;

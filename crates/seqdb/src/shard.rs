@@ -23,9 +23,21 @@
 //! which is what makes sharded mining bit-identical to unsharded mining
 //! upstream in `rgs-core`.
 
+use crate::cast::{u32_to_usize, usize_to_u32};
 use crate::catalog::EventId;
 use crate::index::InvertedIndex;
 use crate::store::SeqStore;
+
+/// Narrows a sequence count/boundary to the `u32` a [`ShardMap`] stores,
+/// failing loudly (instead of wrapping) past the documented store ceiling.
+fn seq_id_u32(n: usize) -> u32 {
+    let narrowed = usize_to_u32(n);
+    assert!(
+        narrowed.is_some(),
+        "shard maps hold u32 sequence ids: more than u32::MAX sequences"
+    );
+    narrowed.unwrap_or(u32::MAX) // unreachable fallback: asserted Some above
+}
 
 /// A partition of `0..num_sequences` into consecutive half-open ranges.
 ///
@@ -42,7 +54,7 @@ impl ShardMap {
     /// The trivial single-shard map over `num_sequences` sequences.
     pub fn single(num_sequences: usize) -> Self {
         Self {
-            bounds: vec![0, num_sequences as u32],
+            bounds: vec![0, seq_id_u32(num_sequences)],
         }
     }
 
@@ -55,16 +67,20 @@ impl ShardMap {
                 bounds.len()
             ));
         }
-        if bounds[0] != 0 {
-            return Err(format!("shard map starts at {}, not 0", bounds[0]));
-        }
-        if let Some(w) = bounds.windows(2).find(|w| w[0] > w[1]) {
+        if bounds.first() != Some(&0) {
             return Err(format!(
-                "shard map boundaries are not monotone ({} > {})",
-                w[0], w[1]
+                "shard map starts at {}, not 0",
+                bounds.first().copied().unwrap_or(0)
             ));
         }
-        let last = bounds[bounds.len() - 1] as usize;
+        if let Some((a, b)) = bounds
+            .iter()
+            .zip(bounds.iter().skip(1))
+            .find(|(a, b)| a > b)
+        {
+            return Err(format!("shard map boundaries are not monotone ({a} > {b})"));
+        }
+        let last = u32_to_usize(bounds.last().copied().unwrap_or(0));
         if last != num_sequences {
             return Err(format!(
                 "shard map ends at {last} but the store holds {num_sequences} sequences"
@@ -81,17 +97,21 @@ impl ShardMap {
     /// `[1, max(1, num_sequences)]`.
     pub fn by_event_mass(offsets: &[u32], shards: usize) -> Self {
         let num_sequences = offsets.len().saturating_sub(1);
+        let last_seq = seq_id_u32(num_sequences);
         let shards = shards.clamp(1, num_sequences.max(1));
         let total = u64::from(*offsets.last().unwrap_or(&0));
         let mut bounds = Vec::with_capacity(shards + 1);
         bounds.push(0u32);
         for k in 1..shards {
-            let ideal = total * k as u64 / shards as u64;
-            let cut = offsets.partition_point(|&o| u64::from(o) < ideal) as u32;
-            let prev = *bounds.last().expect("non-empty");
-            bounds.push(cut.clamp(prev, num_sequences as u32));
+            let ideal = total * crate::cast::usize_to_u64(k) / crate::cast::usize_to_u64(shards);
+            let cut = offsets.partition_point(|&o| u64::from(o) < ideal);
+            // `cut <= offsets.len() - 1 = num_sequences` once clamped, and
+            // `num_sequences` fits u32 (checked above).
+            let cut = usize_to_u32(cut).unwrap_or(last_seq);
+            let prev = bounds.last().copied().unwrap_or(0);
+            bounds.push(cut.clamp(prev, last_seq));
         }
-        bounds.push(num_sequences as u32);
+        bounds.push(last_seq);
         Self { bounds }
     }
 
@@ -102,18 +122,21 @@ impl ShardMap {
 
     /// Total number of sequences covered by the map.
     pub fn num_sequences(&self) -> usize {
-        self.bounds[self.bounds.len() - 1] as usize
+        u32_to_usize(self.bounds.last().copied().unwrap_or(0))
     }
 
-    /// The sequence-id range of shard `k`.
+    /// The sequence-id range of shard `k`, empty when `k` is out of range.
     pub fn range(&self, shard: usize) -> std::ops::Range<usize> {
-        self.bounds[shard] as usize..self.bounds[shard + 1] as usize
+        match (self.bounds.get(shard), self.bounds.get(shard + 1)) {
+            (Some(&start), Some(&end)) => u32_to_usize(start)..u32_to_usize(end),
+            _ => 0..0,
+        }
     }
 
     /// The first global sequence id of shard `k` (the offset added to
-    /// shard-local ids).
+    /// shard-local ids), or 0 when `k` is out of range.
     pub fn seq_base(&self, shard: usize) -> usize {
-        self.bounds[shard] as usize
+        self.bounds.get(shard).map_or(0, |&b| u32_to_usize(b))
     }
 
     /// The shard containing global sequence `seq`, or `None` when out of
@@ -124,9 +147,11 @@ impl ShardMap {
         if seq >= self.num_sequences() {
             return None;
         }
-        let seq = seq as u32;
-        // First boundary strictly greater than seq, minus one.
-        Some(self.bounds.partition_point(|&b| b <= seq) - 1)
+        // In range (checked above), so it fits the u32 boundary width.
+        let seq = usize_to_u32(seq)?;
+        // First boundary strictly greater than seq, minus one; `bounds[0]`
+        // is 0 <= seq, so the partition point is at least 1.
+        self.bounds.partition_point(|&b| b <= seq).checked_sub(1)
     }
 
     /// The raw boundaries (one per shard plus a sentinel).
@@ -240,7 +265,14 @@ impl ShardedSeqStore {
     }
 
     /// The window of shard `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= num_shards()`.
     pub fn shard(&self, k: usize) -> &SeqStore {
+        // Documented panic on an out-of-range shard id at the API
+        // boundary; never called from a mining loop.
+        // audit:allow(indexing): see above
         &self.shards[k]
     }
 
@@ -300,8 +332,13 @@ impl Eq for ShardedIndex {}
 fn routing_table(map: &ShardMap) -> Vec<u32> {
     let mut table = vec![0u32; map.num_sequences()];
     for shard in 0..map.num_shards() {
-        for slot in &mut table[map.range(shard)] {
-            *slot = shard as u32;
+        // `num_shards <= num_sequences + 1` and ranges stay inside
+        // `0..num_sequences` by the map invariants.
+        let id = usize_to_u32(shard).unwrap_or(u32::MAX);
+        if let Some(slots) = table.get_mut(map.range(shard)) {
+            for slot in slots {
+                *slot = id;
+            }
         }
     }
     table
@@ -343,13 +380,10 @@ impl ShardedIndex {
                             let mut out = Vec::new();
                             loop {
                                 let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if k >= shards.len() {
+                                let Some(shard) = shards.get(k) else {
                                     break;
-                                }
-                                out.push((
-                                    k,
-                                    InvertedIndex::build_for_store(&shards[k], num_events),
-                                ));
+                                };
+                                out.push((k, InvertedIndex::build_for_store(shard, num_events)));
                             }
                             out
                         })
@@ -357,7 +391,11 @@ impl ShardedIndex {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("index build worker panicked"))
+                    .flat_map(|h| {
+                        let joined = h.join();
+                        assert!(joined.is_ok(), "index build worker panicked");
+                        joined.unwrap_or_default()
+                    })
                     .collect()
             });
             indexed.sort_unstable_by_key(|(k, _)| *k);
@@ -416,7 +454,7 @@ impl ShardedIndex {
             // Unsharded fast path: not even a table load.
             return (seq < self.map.num_sequences()).then_some((0, seq));
         }
-        let shard = *self.seq_shard.get(seq)? as usize;
+        let shard = u32_to_usize(*self.seq_shard.get(seq)?);
         Some((shard, seq - self.map.seq_base(shard)))
     }
 
@@ -431,7 +469,14 @@ impl ShardedIndex {
     }
 
     /// The index of shard `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= num_shards()`.
     pub fn shard(&self, k: usize) -> &InvertedIndex {
+        // Documented panic on an out-of-range shard id at the API
+        // boundary; never called from a mining loop.
+        // audit:allow(indexing): see above
         &self.shards[k]
     }
 
@@ -456,14 +501,14 @@ impl ShardedIndex {
     #[inline]
     pub fn next(&self, seq: usize, event: EventId, lowest: u32) -> Option<u32> {
         let (shard, local) = self.locate(seq)?;
-        self.shards[shard].next(local, event, lowest)
+        self.shards.get(shard)?.next(local, event, lowest)
     }
 
     /// All positions of `event` in global sequence `seq`, sorted ascending.
     #[inline]
     pub fn event_positions(&self, seq: usize, event: EventId) -> Option<&[u32]> {
         let (shard, local) = self.locate(seq)?;
-        self.shards[shard].event_positions(local, event)
+        self.shards.get(shard)?.event_positions(local, event)
     }
 
     /// Number of occurrences of `event` in global sequence `seq`.
@@ -520,7 +565,7 @@ impl ShardedIndex {
         event: EventId,
     ) -> impl Iterator<Item = (usize, &[u32])> + '_ {
         let base = self.map.seq_base(shard);
-        self.shards[shard]
+        self.shard(shard)
             .sequences_with_event(event)
             .map(move |(local, positions)| (base + local, positions))
     }

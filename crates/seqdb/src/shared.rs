@@ -54,6 +54,7 @@ enum Inner<T: Copy> {
 // alive by the `Arc` owner, so sharing it across threads is no different
 // from sharing an `Arc<[T]>`. `T: Send + Sync` carries over from the data.
 unsafe impl<T: Copy + Send + Sync> Send for SharedSlice<T> {}
+// SAFETY: same argument as `Send` above — shared access to immutable memory.
 unsafe impl<T: Copy + Send + Sync> Sync for SharedSlice<T> {}
 
 impl<T: Copy> SharedSlice<T> {
@@ -263,6 +264,8 @@ mod tests {
     fn mapped_slice_reads_through_owner_and_copies_on_write() {
         let backing: Arc<Vec<u32>> = Arc::new(vec![7, 8, 9]);
         let owner: Arc<dyn Any + Send + Sync> = backing.clone();
+        // SAFETY: `owner` keeps `backing` alive for the slice's lifetime and
+        // the Vec's buffer is aligned, initialized, and never written again.
         let mut shared =
             unsafe { SharedSlice::from_raw_parts(owner, backing.as_ptr(), backing.len()) };
         assert!(shared.is_mapped());

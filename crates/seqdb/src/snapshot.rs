@@ -69,6 +69,7 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
+use crate::cast::{u32_to_usize, u64_to_usize, usize_to_u32, usize_to_u64};
 use crate::catalog::{EventCatalog, EventId};
 use crate::shared::{event_ids_as_u32s, SharedSlice};
 
@@ -251,6 +252,28 @@ impl Fnv1a {
     }
 }
 
+/// The FNV-1a 64 checksum of a whole image, computed exactly as the header
+/// records it: every file byte except the checksum field itself (bytes
+/// `[24, 32)`). Data shorter than the 32-byte prefix is hashed as-is.
+///
+/// Exposed for the [`verify`] layer and its mutation-sweep tests, which
+/// need to re-seal deliberately corrupted images to tell layout violations
+/// apart from checksum failures.
+pub fn checksum_of(data: &[u8]) -> u64 {
+    let mut hash = Fnv1a::new();
+    match (data.get(..24), data.get(32..)) {
+        (Some(head), Some(tail)) => {
+            hash.update(head);
+            hash.update(tail);
+        }
+        _ => hash.update(data),
+    }
+    hash.finish()
+}
+
+#[path = "snapshot_verify.rs"]
+pub mod verify;
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
@@ -280,10 +303,10 @@ impl SectionPayload<'_> {
 
     fn count(&self) -> u64 {
         match self {
-            SectionPayload::Bytes(b) => b.len() as u64,
-            SectionPayload::U32s(v) => v.len() as u64,
-            SectionPayload::U64s(v) => v.len() as u64,
-            SectionPayload::EventIds(v) => v.len() as u64,
+            SectionPayload::Bytes(b) => usize_to_u64(b.len()),
+            SectionPayload::U32s(v) => usize_to_u64(v.len()),
+            SectionPayload::U64s(v) => usize_to_u64(v.len()),
+            SectionPayload::EventIds(v) => usize_to_u64(v.len()),
         }
     }
 
@@ -453,7 +476,7 @@ impl<'a> SnapshotWriter<'a> {
 
     fn write_to_tmp(&self, tmp: &Path) -> Result<u64, SnapshotError> {
         // Lay out the file: header, table, then payloads at aligned offsets.
-        let table_end = HEADER_LEN + ENTRY_LEN * self.sections.len() as u64;
+        let table_end = HEADER_LEN + ENTRY_LEN * usize_to_u64(self.sections.len());
         let mut offsets = Vec::with_capacity(self.sections.len());
         let mut cursor = table_end;
         for (_, payload) in &self.sections {
@@ -473,13 +496,17 @@ impl<'a> SnapshotWriter<'a> {
         out.write_hashed(&ENDIAN_MARKER.to_le_bytes())?;
         out.write_hashed(&file_len.to_le_bytes())?;
         out.write_raw(&0u64.to_le_bytes())?;
-        out.write_hashed(&(self.sections.len() as u32).to_le_bytes())?;
+        let section_count = usize_to_u32(self.sections.len())
+            .ok_or_else(|| corrupt("more than u32::MAX sections"))?;
+        out.write_hashed(&section_count.to_le_bytes())?;
         out.write_hashed(&[0u8; 28])?;
 
         // Section table.
         for ((id, payload), offset) in self.sections.iter().zip(&offsets) {
             out.write_hashed(&id.to_le_bytes())?;
-            out.write_hashed(&(payload.elem_size() as u32).to_le_bytes())?;
+            let elem_size = crate::cast::u64_to_u32(payload.elem_size())
+                .ok_or_else(|| corrupt("element size overflows"))?;
+            out.write_hashed(&elem_size.to_le_bytes())?;
             out.write_hashed(&offset.to_le_bytes())?;
             out.write_hashed(&payload.byte_len().to_le_bytes())?;
             out.write_hashed(&payload.count().to_le_bytes())?;
@@ -488,7 +515,8 @@ impl<'a> SnapshotWriter<'a> {
         // Payloads, zero-padded to their aligned offsets.
         let mut written = table_end;
         for ((_, payload), offset) in self.sections.iter().zip(&offsets) {
-            let pad = (offset - written) as usize;
+            let pad = u64_to_usize(offset - written)
+                .ok_or_else(|| corrupt("section padding exceeds the address space"))?;
             out.write_hashed(&vec![0u8; pad])?;
             payload.write_le(&mut out)?;
             written = offset + payload.byte_len();
@@ -517,7 +545,7 @@ fn align_up(value: u64, align: u64) -> u64 {
 /// A read-only `mmap` of a whole file (64-bit unix only: the extern
 /// declaration hardcodes a 64-bit `off_t`, which matches the C ABI only
 /// there; 32-bit targets use the read fallback). Unmapped on drop.
-#[cfg(all(unix, target_pointer_width = "64"))]
+#[cfg(all(unix, target_pointer_width = "64", not(miri)))]
 mod mapping {
     use std::fs::File;
     use std::io;
@@ -568,7 +596,7 @@ mod mapping {
                     0,
                 )
             };
-            if ptr as usize == usize::MAX {
+            if ptr.addr() == usize::MAX {
                 return Err(io::Error::last_os_error());
             }
             Ok(Self { ptr, len })
@@ -620,7 +648,7 @@ impl AlignedBytes {
 
 #[derive(Debug)]
 enum ImageBytes {
-    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
     Mapped(mapping::MmapRegion),
     Owned(AlignedBytes),
 }
@@ -628,7 +656,7 @@ enum ImageBytes {
 impl ImageBytes {
     fn bytes(&self) -> &[u8] {
         match self {
-            #[cfg(all(unix, target_pointer_width = "64"))]
+            #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
             ImageBytes::Mapped(region) => region.bytes(),
             ImageBytes::Owned(buffer) => buffer.bytes(),
         }
@@ -692,19 +720,18 @@ impl SnapshotImage {
                     "file is {actual_len} bytes, shorter than the {HEADER_LEN}-byte header"
                 )));
             }
-            if actual_len > usize::MAX as u64 {
+            let Some(len) = u64_to_usize(actual_len) else {
                 return Err(SnapshotError::Unsupported(
                     "file does not fit in this platform's address space".to_owned(),
                 ));
-            }
-            let len = actual_len as usize;
+            };
 
-            #[cfg(all(unix, target_pointer_width = "64"))]
+            #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
             let bytes = match mapping::MmapRegion::map(&file, len) {
                 Ok(region) => ImageBytes::Mapped(region),
                 Err(_) => ImageBytes::Owned(AlignedBytes::read(&mut file, len)?),
             };
-            #[cfg(not(all(unix, target_pointer_width = "64")))]
+            #[cfg(not(all(unix, target_pointer_width = "64", not(miri))))]
             let bytes = ImageBytes::Owned(AlignedBytes::read(&mut file, len)?);
 
             let (sections, version) = Self::validate(bytes.bytes(), actual_len)?;
@@ -761,7 +788,7 @@ impl SnapshotImage {
             )));
         }
 
-        let section_count = read_u32(data, 32) as u64;
+        let section_count = u64::from(read_u32(data, 32));
         let table_end = HEADER_LEN
             .checked_add(ENTRY_LEN.checked_mul(section_count).ok_or_else(|| {
                 corrupt(format!("section count {section_count} overflows the table"))
@@ -773,9 +800,12 @@ impl SnapshotImage {
             )));
         }
 
-        let mut sections: Vec<SectionEntry> = Vec::with_capacity(section_count as usize);
+        let mut sections: Vec<SectionEntry> =
+            Vec::with_capacity(u64_to_usize(section_count).unwrap_or(0));
         for i in 0..section_count {
-            let base = (HEADER_LEN + i * ENTRY_LEN) as usize;
+            // In bounds: `table_end <= actual_len` fits usize (checked at open).
+            let base = u64_to_usize(HEADER_LEN + i * ENTRY_LEN)
+                .ok_or_else(|| corrupt("section table exceeds the address space"))?;
             let entry = SectionEntry {
                 id: read_u32(data, base),
                 elem_size: read_u32(data, base + 4),
@@ -856,11 +886,11 @@ impl SnapshotImage {
 
     /// `true` when the image is an `mmap` rather than an in-memory copy.
     pub fn is_mapped(&self) -> bool {
-        #[cfg(all(unix, target_pointer_width = "64"))]
+        #[cfg(all(unix, target_pointer_width = "64", not(miri)))]
         {
             matches!(self.bytes, ImageBytes::Mapped(_))
         }
-        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        #[cfg(not(all(unix, target_pointer_width = "64", not(miri))))]
         {
             false
         }
@@ -869,8 +899,13 @@ impl SnapshotImage {
     /// The raw bytes of section `id`.
     pub fn section_bytes(&self, id: u32) -> Result<&[u8], SnapshotError> {
         let entry = self.require(id)?;
-        let start = entry.offset as usize;
-        Ok(&self.bytes.bytes()[start..start + entry.byte_len as usize])
+        let (Some(start), Some(len)) = (u64_to_usize(entry.offset), u64_to_usize(entry.byte_len))
+        else {
+            return Err(corrupt(format!(
+                "section {id} does not fit in this platform's address space"
+            )));
+        };
+        Ok(&self.bytes.bytes()[start..start + len])
     }
 
     /// Reinterprets section `id` as `&[T]` in place. `T` is one of the wire
@@ -879,7 +914,7 @@ impl SnapshotImage {
     fn typed<T: Copy>(&self, id: u32) -> Result<&[T], SnapshotError> {
         let entry = self.require(id)?;
         let size = std::mem::size_of::<T>();
-        if entry.elem_size as usize != size {
+        if u32_to_usize(entry.elem_size) != size {
             return Err(corrupt(format!(
                 "section {id} ({}) holds {}-byte elements, expected {size}",
                 section_id::name(id),
@@ -893,9 +928,11 @@ impl SnapshotImage {
                 "section {id} payload is not aligned for {size}-byte elements"
             )));
         }
+        let count = u64_to_usize(entry.count)
+            .ok_or_else(|| corrupt(format!("section {id} count overflows usize")))?;
         // SAFETY: bounds validated at open, alignment just checked, u32/u64
         // accept every bit pattern, and the image is immutable while alive.
-        Ok(unsafe { std::slice::from_raw_parts(ptr.cast::<T>(), entry.count as usize) })
+        Ok(unsafe { std::slice::from_raw_parts(ptr.cast::<T>(), count) })
     }
 
     /// Section `id` as a borrowed `&[u32]`.
@@ -963,9 +1000,11 @@ fn read_u64(data: &[u8], offset: usize) -> u64 {
 /// want owned strings anyway).
 pub fn catalog_to_bytes(catalog: &EventCatalog) -> Vec<u8> {
     let mut out = Vec::new();
-    out.extend_from_slice(&(catalog.len() as u32).to_le_bytes());
+    let count = usize_to_u32(catalog.len()).expect("catalog label count fits u32");
+    out.extend_from_slice(&count.to_le_bytes());
     for (_, label) in catalog.iter() {
-        out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+        let len = usize_to_u32(label.len()).expect("catalog label length fits u32");
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(label.as_bytes());
     }
     out
@@ -985,10 +1024,10 @@ pub fn catalog_from_bytes(bytes: &[u8]) -> Result<EventCatalog, SnapshotError> {
         cursor = end;
         Ok(slice)
     };
-    let count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let count = u32_to_usize(u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")));
     let mut catalog = EventCatalog::new();
     for i in 0..count {
-        let len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let len = u32_to_usize(u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")));
         let label = std::str::from_utf8(take(len)?)
             .map_err(|_| corrupt(format!("catalog label {i} is not valid UTF-8")))?;
         catalog.intern(label);

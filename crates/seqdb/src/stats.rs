@@ -45,7 +45,7 @@ pub struct DatabaseStats {
 impl DatabaseStats {
     /// Computes the statistics for `db`.
     pub fn compute(db: &SequenceDatabase) -> Self {
-        let mut lengths: Vec<usize> = db.sequences().map(|s| s.len()).collect();
+        let mut lengths: Vec<usize> = db.sequences().map(super::store::SeqView::len).collect();
         lengths.sort_unstable();
         let num_sequences = lengths.len();
         let total_length: usize = lengths.iter().sum();

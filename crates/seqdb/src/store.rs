@@ -18,6 +18,7 @@
 //! zero-copy windows into the mapped image — the read path is identical
 //! either way.
 
+use crate::cast::{u32_to_usize, usize_to_u32};
 use crate::catalog::EventId;
 use crate::sequence::Sequence;
 use crate::shared::SharedSlice;
@@ -70,19 +71,20 @@ impl SeqStore {
         events: SharedSlice<EventId>,
         offsets: SharedSlice<u32>,
     ) -> Result<Self, String> {
-        if offsets.is_empty() {
+        let (Some(&first), Some(&sentinel)) = (offsets.first(), offsets.last()) else {
             return Err("store offsets are empty (the sentinel entry is mandatory)".to_owned());
+        };
+        if first != 0 {
+            return Err(format!("store offsets start at {first}, not 0"));
         }
-        if offsets[0] != 0 {
-            return Err(format!("store offsets start at {}, not 0", offsets[0]));
+        if let Some((a, b)) = offsets
+            .iter()
+            .zip(offsets.iter().skip(1))
+            .find(|(a, b)| a > b)
+        {
+            return Err(format!("store offsets are not monotone ({a} > {b})"));
         }
-        if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
-            return Err(format!(
-                "store offsets are not monotone ({} > {})",
-                w[0], w[1]
-            ));
-        }
-        let last = offsets[offsets.len() - 1] as usize;
+        let last = u32_to_usize(sentinel);
         if last != events.len() {
             return Err(format!(
                 "store offsets end at {last} but the event arena holds {} events",
@@ -103,11 +105,12 @@ impl SeqStore {
         // Hard assert (not debug-only): a silently wrapped u32 offset would
         // make every later view slice the wrong events. ~4.29 billion
         // events is the store's documented capacity ceiling.
+        let total = usize_to_u32(self.events.len());
         assert!(
-            self.events.len() <= u32::MAX as usize,
+            total.is_some(),
             "SeqStore offsets are u32: more than u32::MAX total events"
         );
-        let total = self.events.len() as u32;
+        let total = total.unwrap_or(u32::MAX); // unreachable fallback: asserted Some above
         let offsets = self.offsets.to_mut();
         offsets.push(total);
         offsets.len() - 2
@@ -130,27 +133,27 @@ impl SeqStore {
 
     /// Length of sequence `seq`, or 0 when out of range.
     pub fn seq_len(&self, seq: usize) -> usize {
-        self.view(seq).map_or(0, |v| v.len())
+        self.view(seq).map_or(0, SeqView::len)
     }
 
     /// Length of the longest sequence.
     pub fn max_sequence_length(&self) -> usize {
         self.offsets
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as usize)
+            .iter()
+            .zip(self.offsets.iter().skip(1))
+            .map(|(&a, &b)| u32_to_usize(b - a))
             .max()
             .unwrap_or(0)
     }
 
     /// The events of sequence `seq` as a slice into the arena.
     pub fn view(&self, seq: usize) -> Option<SeqView<'_>> {
-        if seq + 1 >= self.offsets.len() {
-            return None;
-        }
-        let start = self.offsets[seq] as usize;
-        let end = self.offsets[seq + 1] as usize;
+        let start = u32_to_usize(*self.offsets.get(seq)?);
+        let end = u32_to_usize(*self.offsets.get(seq.checked_add(1)?)?);
         Some(SeqView {
-            events: &self.events[start..end],
+            // The CSR invariant (monotone offsets ending at the arena
+            // length) makes this range valid; `?` keeps the path panic-free.
+            events: self.events.get(start..end)?,
         })
     }
 
@@ -205,13 +208,17 @@ impl SeqStore {
             "window {seq_range:?} out of bounds for a store of {} sequences",
             self.num_sequences()
         );
-        let base = self.offsets[seq_range.start];
-        let end = self.offsets[seq_range.end];
-        let events = self.events.window(base as usize..end as usize);
+        // The assert above makes every lookup below in-bounds; the
+        // `unwrap_or` fallbacks are unreachable and keep the path panic-free.
+        let base = self.offsets.get(seq_range.start).copied().unwrap_or(0);
+        let end = self.offsets.get(seq_range.end).copied().unwrap_or(base);
+        let events = self.events.window(u32_to_usize(base)..u32_to_usize(end));
         let offsets = if base == 0 {
             self.offsets.window(seq_range.start..seq_range.end + 1)
         } else {
-            self.offsets[seq_range.start..seq_range.end + 1]
+            self.offsets
+                .get(seq_range.start..seq_range.end + 1)
+                .unwrap_or(&[])
                 .iter()
                 .map(|&o| o - base)
                 .collect::<Vec<u32>>()
@@ -306,7 +313,7 @@ impl<'a> SeqView<'a> {
         }
         let mut j = 0;
         for &e in self.events {
-            if e == pattern[j] {
+            if pattern.get(j) == Some(&e) {
                 j += 1;
                 if j == pattern.len() {
                     return true;
@@ -328,7 +335,7 @@ impl<'a> SeqView<'a> {
             if pos <= after {
                 continue;
             }
-            if e == pattern[j] {
+            if pattern.get(j) == Some(&e) {
                 landmark.push(pos);
                 j += 1;
                 if j == pattern.len() {

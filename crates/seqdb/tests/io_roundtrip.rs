@@ -64,7 +64,7 @@ fn token_round_trip_preserves_catalog_positions_and_stats() {
     let mut rng = StdRng::seed_from_u64(0x10_CAFE);
     for round in 0..40 {
         let db = random_database(&mut rng, round % 2 == 0);
-        if db.sequences().any(|s| s.is_empty()) {
+        if db.sequences().any(seqdb::SeqView::is_empty) {
             // A blank line is a separator in the token format, so empty
             // rows cannot round-trip here; the SPMF test covers them.
             continue;
@@ -107,7 +107,7 @@ fn char_format_round_trips_single_character_alphabets() {
     let mut rng = StdRng::seed_from_u64(0xC4A2);
     for round in 0..40 {
         let db = random_database(&mut rng, false);
-        if db.sequences().any(|s| s.is_empty()) {
+        if db.sequences().any(seqdb::SeqView::is_empty) {
             // The character format cannot represent empty rows (blank lines
             // are skipped as separators); skip those shapes.
             continue;

@@ -105,9 +105,9 @@ impl QuestConfig {
     pub fn name(&self) -> String {
         format!(
             "D{}C{}N{}S{}",
-            (self.num_sequences as f64 / 1000.0).round() as usize,
+            (self.num_sequences + 500) / 1000,
             self.avg_sequence_length,
-            (self.num_events as f64 / 1000.0).round() as usize,
+            (self.num_events + 500) / 1000,
             self.avg_pattern_length
         )
     }

@@ -58,6 +58,8 @@ pub fn sample_length(rng: &mut StdRng, mean: f64, min: usize, max: usize) -> usi
     } else {
         0.0
     };
+    // Sign loss is impossible: base and tail are sums of non-negative draws.
+    #[allow(clippy::cast_sign_loss)]
     ((base + tail).round() as usize).clamp(min, max)
 }
 
@@ -76,7 +78,10 @@ pub fn sample_heavy_tail_length(
         // Quadratic skew towards the lower end of the tail.
         let u: f64 = rng.gen_range(0.0..1.0);
         let span = (max - short_max) as f64;
-        short_max + (u * u * span).round() as usize
+        // Sign loss is impossible: u and span are non-negative.
+        #[allow(clippy::cast_sign_loss)]
+        let tail = (u * u * span).round() as usize;
+        short_max + tail
     } else {
         rng.gen_range(min..=short_max.max(min))
     }
@@ -123,7 +128,7 @@ mod tests {
             assert!((1..=100).contains(&len));
             total += len;
         }
-        let mean = total as f64 / n as f64;
+        let mean = total as f64 / f64::from(n);
         assert!((mean - 20.0).abs() < 5.0, "mean = {mean}");
     }
 

@@ -1,0 +1,62 @@
+//! Entry point for workspace maintenance tasks. Today there is one:
+//!
+//! ```text
+//! cargo run -p xtask -- audit
+//! ```
+//!
+//! which runs the repo-specific static-analysis rules in [`xtask::audit`]
+//! and exits non-zero if any un-waived violation remains.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("audit") => run_audit(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n\nusage: cargo run -p xtask -- audit");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- audit");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_audit() -> ExitCode {
+    // The workspace root is two levels above this crate's manifest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let report = xtask::audit(&root);
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    let waived = if report.waived > 0 {
+        format!(", {} waived by audit:allow", report.waived)
+    } else {
+        String::new()
+    };
+    if report.is_clean() {
+        println!(
+            "audit: OK — {} files scanned, 0 violations{waived}",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "audit: FAILED — {} files scanned, {} violation{}{waived}",
+            report.files_scanned,
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                ""
+            } else {
+                "s"
+            }
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -3,7 +3,7 @@
 //! feature extraction, selection, training, and evaluation (rgs-features).
 
 use repetitive_gapped_mining::features::classify::{
-    cross_validate, MultinomialNaiveBayes, NearestCentroid,
+    cross_validate, Evaluation, MultinomialNaiveBayes, NearestCentroid,
 };
 use repetitive_gapped_mining::features::pipeline::{run_pipeline, ClassifierKind, PipelineConfig};
 use repetitive_gapped_mining::features::{
@@ -101,7 +101,7 @@ fn both_classifiers_beat_a_majority_baseline_in_cross_validation() {
     );
     for evals in [&nc_evals, &nb_evals] {
         let mean_accuracy: f64 =
-            evals.iter().map(|e| e.accuracy()).sum::<f64>() / evals.len() as f64;
+            evals.iter().map(Evaluation::accuracy).sum::<f64>() / evals.len() as f64;
         assert!(
             mean_accuracy > 0.6,
             "cross-validated accuracy {mean_accuracy} is not better than chance"

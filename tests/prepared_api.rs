@@ -59,7 +59,7 @@ fn arc_shared_snapshot_answers_concurrent_queries() {
     let prepared = Arc::new(PreparedDb::from_database(tcas()));
     let min_sup = (prepared.database().num_sequences() as u64) * 2;
     let expected = prepared.miner().min_sup(min_sup).mode(Mode::Closed).run();
-    let handles: Vec<_> = (0..4)
+    let handles: Vec<_> = (0..4u64)
         .map(|worker| {
             let shared = Arc::clone(&prepared);
             std::thread::spawn(move || {
@@ -70,7 +70,7 @@ fn arc_shared_snapshot_answers_concurrent_queries() {
                     .mode(Mode::Closed)
                     .run();
                 let own = Miner::from_shared(shared)
-                    .min_sup(min_sup + worker as u64)
+                    .min_sup(min_sup + worker)
                     .mode(Mode::All)
                     .run();
                 (common.patterns, own.len())
