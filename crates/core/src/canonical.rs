@@ -1,0 +1,212 @@
+//! Request canonicalization: a stable, order-normalized cache key for a
+//! [`MiningRequest`].
+//!
+//! The serve layer caches mining results under `(image checksum, canonical
+//! request)`. For that key to be *correct* it must identify exactly the
+//! information that determines the mined pattern set — nothing more (or
+//! equivalent requests miss the cache) and nothing less (or different
+//! requests collide). [`canonical_key`] therefore:
+//!
+//! * **normalizes equivalent spellings** — `min_sup: 0` behaves as `1`
+//!   (support is at least 1 for any reported pattern), and
+//!   [`Mode::TopK`](crate::Mode) is exactly `Mode::Closed` plus
+//!   `top_k: Some(DEFAULT_TOP_K)` ([`MiningRequest::base_mode`] /
+//!   [`MiningRequest::effective_k`]), so both spellings map to one key;
+//! * **drops non-semantic knobs** — [`ExecutionPolicy`](crate::ExecutionPolicy)
+//!   and `use_landmark_pruning` are pinned bit-identical by the engine's
+//!   equivalence suites (they change wall-clock, never the pattern set),
+//!   and `keep_support_sets` only attaches extra per-pattern data the wire
+//!   protocol never serializes;
+//! * **fixes the field order** — the key is one flat string with every
+//!   semantic field in a fixed position, so two requests built in any
+//!   field order (or parsed from JSON bodies with shuffled members)
+//!   compare equal byte for byte.
+//!
+//! The seeded property test in `crates/serve/tests/canonical_key.rs` pins
+//! both directions: equivalent requests agree, semantically different
+//! requests differ.
+
+use crate::engine::MiningRequest;
+use crate::Mode;
+
+/// Version tag baked into every key so a future change to the key grammar
+/// (or to what counts as "semantic") invalidates old cache entries instead
+/// of silently colliding with them.
+const KEY_VERSION: u32 = 1;
+
+/// Formats an optional bound as its value or `-` (absent).
+fn opt<T: std::fmt::Display>(value: Option<T>) -> String {
+    value.map_or_else(|| "-".to_owned(), |v| v.to_string())
+}
+
+/// The canonical, order-normalized cache key of `request`.
+///
+/// Two requests receive the same key **iff** the engine guarantees them the
+/// same pattern payload (same patterns, same order, same truncation flag).
+///
+/// ```
+/// use rgs_core::{canonical_key, MiningRequest, Mode, ExecutionPolicy, DEFAULT_TOP_K};
+///
+/// // TopK mode is closed mining plus a rank cap — one key for both.
+/// let spelled_out = MiningRequest {
+///     mode: Mode::Closed,
+///     top_k: Some(DEFAULT_TOP_K),
+///     ..MiningRequest::default()
+/// };
+/// let shorthand = MiningRequest { mode: Mode::TopK, ..MiningRequest::default() };
+/// assert_eq!(canonical_key(&spelled_out), canonical_key(&shorthand));
+///
+/// // Execution policy never changes the mined set, so it never splits keys.
+/// let parallel = MiningRequest {
+///     execution: ExecutionPolicy::Parallel { threads: 8 },
+///     ..MiningRequest::default()
+/// };
+/// assert_eq!(canonical_key(&parallel), canonical_key(&MiningRequest::default()));
+/// ```
+pub fn canonical_key(request: &MiningRequest) -> String {
+    // A reported pattern always has support >= 1, so thresholds 0 and 1
+    // admit identical sets.
+    let min_sup = request.min_sup.max(1);
+    let mode = match request.base_mode() {
+        Mode::All => "all",
+        Mode::Closed => "closed",
+        Mode::Maximal => "maximal",
+        // base_mode() resolves TopK to Closed; unreachable by construction.
+        Mode::TopK => "closed",
+    };
+    let k = request.is_ranked().then(|| request.effective_k());
+    let c = &request.constraints;
+    format!(
+        "v{KEY_VERSION};sup={min_sup};mode={mode};k={};ming={};maxg={};maxw={};minl={};maxl={};maxp={}",
+        opt(k),
+        c.min_gap,
+        opt(c.max_gap),
+        opt(c.max_window),
+        request.min_len,
+        opt(request.max_pattern_length),
+        opt(request.max_patterns),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionPolicy, GapConstraints, DEFAULT_TOP_K};
+
+    #[test]
+    fn default_request_has_a_stable_spelled_out_key() {
+        assert_eq!(
+            canonical_key(&MiningRequest::default()),
+            "v1;sup=2;mode=closed;k=-;ming=0;maxg=-;maxw=-;minl=0;maxl=-;maxp=-"
+        );
+    }
+
+    #[test]
+    fn equivalent_spellings_collapse_to_one_key() {
+        let base = MiningRequest::default();
+        let zero_sup = MiningRequest {
+            min_sup: 0,
+            ..base.clone()
+        };
+        let one_sup = MiningRequest {
+            min_sup: 1,
+            ..base.clone()
+        };
+        assert_eq!(canonical_key(&zero_sup), canonical_key(&one_sup));
+
+        let topk_mode = MiningRequest {
+            mode: Mode::TopK,
+            ..base.clone()
+        };
+        let closed_ranked = MiningRequest {
+            top_k: Some(DEFAULT_TOP_K),
+            ..base.clone()
+        };
+        assert_eq!(canonical_key(&topk_mode), canonical_key(&closed_ranked));
+
+        for variant in [
+            MiningRequest {
+                execution: ExecutionPolicy::Parallel { threads: 4 },
+                ..base.clone()
+            },
+            MiningRequest {
+                use_landmark_pruning: false,
+                ..base.clone()
+            },
+            MiningRequest {
+                keep_support_sets: true,
+                ..base.clone()
+            },
+        ] {
+            assert_eq!(canonical_key(&variant), canonical_key(&base));
+        }
+    }
+
+    #[test]
+    fn every_semantic_field_splits_the_key() {
+        let base = MiningRequest::default();
+        let variants = [
+            MiningRequest {
+                min_sup: 3,
+                ..base.clone()
+            },
+            MiningRequest {
+                mode: Mode::All,
+                ..base.clone()
+            },
+            MiningRequest {
+                mode: Mode::Maximal,
+                ..base.clone()
+            },
+            MiningRequest {
+                top_k: Some(5),
+                ..base.clone()
+            },
+            MiningRequest {
+                constraints: GapConstraints::unbounded().with_min_gap(1),
+                ..base.clone()
+            },
+            MiningRequest {
+                constraints: GapConstraints::max_gap(2),
+                ..base.clone()
+            },
+            MiningRequest {
+                constraints: GapConstraints::max_window(9),
+                ..base.clone()
+            },
+            MiningRequest {
+                min_len: 2,
+                ..base.clone()
+            },
+            MiningRequest {
+                max_pattern_length: Some(4),
+                ..base.clone()
+            },
+            MiningRequest {
+                max_patterns: Some(100),
+                ..base.clone()
+            },
+        ];
+        let base_key = canonical_key(&base);
+        let mut keys: Vec<String> = variants.iter().map(canonical_key).collect();
+        for key in &keys {
+            assert_ne!(key, &base_key);
+        }
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len(), "two variants collided");
+    }
+
+    #[test]
+    fn bound_value_and_absent_bound_never_collide() {
+        // `max_gap: None` must not collide with any literal value spelling.
+        let unbounded = canonical_key(&MiningRequest::default());
+        for g in 0..5 {
+            let bounded = MiningRequest {
+                constraints: GapConstraints::max_gap(g),
+                ..MiningRequest::default()
+            };
+            assert_ne!(canonical_key(&bounded), unbounded);
+        }
+    }
+}

@@ -328,6 +328,14 @@ impl<'a> Miner<'a> {
         self
     }
 
+    /// Replaces the whole request in one piece — the handle for callers
+    /// that assemble a [`MiningRequest`] elsewhere (the serve layer builds
+    /// one from each wire body) rather than through the fluent setters.
+    pub fn with_request(mut self, request: MiningRequest) -> Self {
+        self.request = request;
+        self
+    }
+
     /// Sets the support threshold (floor, under top-k ranking).
     pub fn min_sup(mut self, min_sup: u64) -> Self {
         self.request.min_sup = min_sup;

@@ -1,8 +1,13 @@
-//! Minimal hand-rolled JSON writing helpers.
+//! Minimal hand-rolled JSON helpers: escaping for writers, and a small
+//! recursive-descent parser for readers.
 //!
 //! The workspace is fully offline (no serde); every crate that emits JSON
 //! — the bench reports, the CLI's `--format json` mode — shares these
-//! helpers so string escaping exists exactly once.
+//! helpers so string escaping exists exactly once. The serve layer's wire
+//! protocol reads request bodies through [`parse`], which accepts the full
+//! JSON grammar (RFC 8259) with a recursion-depth limit and reports errors
+//! with a byte offset, so a malformed request turns into a structured 400
+//! instead of a panic.
 
 /// Escapes `s` as a JSON string literal, including the surrounding quotes.
 pub fn escape(s: &str) -> String {
@@ -25,6 +30,378 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum nesting depth [`parse`] accepts before rejecting the document —
+/// deep enough for any request this workspace exchanges, shallow enough
+/// that hostile input cannot exhaust the stack.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON document.
+///
+/// Objects keep their members as an ordered `Vec` (insertion order, with
+/// [`Value::get`] returning the first match on duplicates) — the consumers
+/// here iterate members to reject unknown fields, so a map would buy
+/// nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64` (integers are exact up to 2^53).
+    Num(f64),
+    /// A string, with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact non-negative integer: `Some` only for a
+    /// number with no fractional part in `[0, 2^53]` (beyond which `f64`
+    /// cannot represent every integer, so "exact" would be a lie).
+    pub fn as_u64(&self) -> Option<u64> {
+        const EXACT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && (0.0..=EXACT_MAX).contains(n) => {
+                // In range and integral (checked above), so the cast is exact.
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Why a document failed to parse: a byte offset into the input and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        let end = self.pos + literal.len();
+        if self.bytes.get(self.pos..end) == Some(literal.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected '{literal}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(format!("unexpected byte {other:#04x}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (the input is a &str, so
+                    // char boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let Ok(text) = std::str::from_utf8(rest) else {
+                        return Err(self.error("invalid UTF-8 in string"));
+                    };
+                    let Some(c) = text.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// The four hex digits after `\u`, combining surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let first = self.hex4()?;
+        let code = if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: require an immediately following \uXXXX low
+            // surrogate and combine.
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(self.error("high surrogate not followed by a low surrogate"));
+            }
+            self.pos += 2;
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+        } else {
+            first
+        };
+        char::from_u32(code).ok_or_else(|| self.error("escape is not a Unicode scalar"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.error("expected four hex digits")),
+            };
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a lone 0, or a nonzero digit run (no leading zeros).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The span is ASCII digits/signs by construction, so from_utf8 holds.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        let parsed: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        if !parsed.is_finite() {
+            return Err(self.error("number overflows f64"));
+        }
+        Ok(Value::Num(parsed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +413,94 @@ mod tests {
         assert_eq!(escape("a\\b"), "\"a\\\\b\"");
         assert_eq!(escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
         assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let doc = parse(
+            r#"{"null": null, "t": true, "f": false, "n": -2.5e1,
+               "s": "hé\"\\\n\u0041\u00e9", "a": [1, 2, 3], "o": {"k": 0}}"#,
+        )
+        .expect("valid document");
+        assert!(doc.get("null").unwrap().is_null());
+        assert_eq!(doc.get("t").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("f").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("n").unwrap().as_f64(), Some(-25.0));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("hé\"\\\nAé"));
+        let arr = doc.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.iter().filter_map(Value::as_u64).sum::<u64>(), 6);
+        assert_eq!(doc.get("o").unwrap().get("k").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let doc = parse(r#"{"b": 1, "a": 2, "b": 3}"#).expect("valid");
+        let keys: Vec<&str> = doc
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["b", "a", "b"]);
+        // First match wins on duplicates.
+        assert_eq!(doc.get("b").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn exact_integer_extraction_rejects_fractions_and_negatives() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.0").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1e300").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        assert_eq!(
+            parse(r#""\ud83e\udd80""#).unwrap().as_str(),
+            Some("\u{1f980}")
+        );
+        assert!(parse(r#""\ud83e""#).is_err());
+        assert!(parse(r#""\udd80""#).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_report_an_offset() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"\x01\"",
+            "{\"a\" 1}",
+            "[1] extra",
+            "nullnull",
+            "+1",
+            "'s'",
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert!(err.offset <= bad.len(), "{bad:?}: {err}");
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_hostile_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn escape_and_parse_round_trip() {
+        for s in ["plain", "a\"b\\c", "line\nbreak", "\u{1}\u{1f980}é"] {
+            assert_eq!(parse(&escape(s)).unwrap().as_str(), Some(s));
+        }
     }
 }

@@ -150,6 +150,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canonical;
 pub mod clogsgrow;
 pub mod closure;
 pub mod config;
@@ -174,6 +175,7 @@ pub mod stream;
 pub mod support;
 pub mod topk;
 
+pub use canonical::canonical_key;
 #[allow(deprecated)]
 pub use clogsgrow::mine_closed;
 pub use config::MiningConfig;
@@ -194,7 +196,7 @@ pub use instbuf::InstanceBuffer;
 pub use maximal::{is_maximal, mine_maximal};
 pub use pattern::Pattern;
 pub use postprocess::{postprocess, PostProcessConfig};
-pub use prepared::{PreparedDb, ShardFootprint};
+pub use prepared::{ImageInfo, PreparedDb, ShardFootprint};
 pub use result::{sort_patterns_for_report, MinedPattern, MiningOutcome, MiningStats};
 pub use seqdb::SnapshotError;
 pub use sink::{BudgetSink, CollectSink, CountSink, DeadlineSink, PatternSink};

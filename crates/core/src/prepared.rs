@@ -127,6 +127,21 @@ impl<'a> PreparedRef<'a> {
     }
 }
 
+/// Provenance of a snapshot-backed preparation: the opened image's recorded
+/// checksum and format version, as reported by
+/// [`PreparedDb::image_checksum`] / [`PreparedDb::image_version`].
+///
+/// The checksum was verified against every file byte at open time and the
+/// mapping is immutable, so it is a stable identity for the corpus — the
+/// serve layer's result cache keys on it instead of re-hashing the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageInfo {
+    /// The FNV-1a 64 full-file checksum from the image header.
+    pub checksum: u64,
+    /// The snapshot format version (1 or 2).
+    pub version: u32,
+}
+
 /// An immutable, `Arc`-shareable snapshot of a database prepared for
 /// mining: the catalog and sequences, the inverted event index, the
 /// per-event occurrence counts, and the frequency-pruned event order.
@@ -136,7 +151,7 @@ impl<'a> PreparedRef<'a> {
 /// [`Miner::from_prepared`], or [`Miner::from_shared`]. Queries only borrow
 /// the snapshot, so one `PreparedDb` behind an `Arc` can serve concurrent
 /// requests from many threads.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PreparedDb {
     db: SequenceDatabase,
     /// The store split into per-shard windows (a single full-range window
@@ -144,6 +159,18 @@ pub struct PreparedDb {
     /// database's arena, so this costs offset tables, not event copies.
     store_shards: ShardedSeqStore,
     parts: PreparedParts,
+    /// `Some` when this preparation was reconstructed from a snapshot
+    /// image, `None` for heap builds.
+    image: Option<ImageInfo>,
+}
+
+impl PartialEq for PreparedDb {
+    fn eq(&self, other: &Self) -> bool {
+        // `image` is provenance, not content: a snapshot reopened from disk
+        // equals the heap-built preparation it was written from (the
+        // round-trip suites assert exactly that).
+        self.db == other.db && self.store_shards == other.store_shards && self.parts == other.parts
+    }
 }
 
 impl PreparedDb {
@@ -179,13 +206,16 @@ impl PreparedDb {
             db,
             store_shards,
             parts,
+            image: None,
         }
     }
 
     /// Re-prepares this snapshot with a different shard count (the
     /// rebalance path): the shared arena is re-windowed — no event is
     /// copied — and per-shard indexes are rebuilt on up to `threads`
-    /// workers.
+    /// workers. Image provenance carries over: the corpus bytes are
+    /// unchanged, and mining output is shard-invariant, so the checksum
+    /// still identifies the result set.
     pub fn reshard(&self, shards: usize, threads: usize) -> Self {
         let store_shards = self.store_shards.rebalance(shards);
         let parts = PreparedParts::build_sharded(&self.db, &store_shards, threads);
@@ -193,6 +223,7 @@ impl PreparedDb {
             db: self.db.clone(),
             store_shards,
             parts,
+            image: self.image,
         }
     }
 
@@ -220,22 +251,43 @@ impl PreparedDb {
     }
 
     /// Assembles a snapshot from already-validated parts (the snapshot
-    /// loader's constructor).
+    /// loader's constructor), recording which image it came from.
     pub(crate) fn from_parts(
         db: SequenceDatabase,
         store_shards: ShardedSeqStore,
         parts: PreparedParts,
+        image: Option<ImageInfo>,
     ) -> Self {
         Self {
             db,
             store_shards,
             parts,
+            image,
         }
     }
 
     /// The snapshotted database.
     pub fn database(&self) -> &SequenceDatabase {
         &self.db
+    }
+
+    /// The provenance of a snapshot-backed preparation, `None` for heap
+    /// builds.
+    pub fn image_info(&self) -> Option<ImageInfo> {
+        self.image
+    }
+
+    /// The verified full-file checksum of the image this preparation was
+    /// opened from — the stable corpus identity serve-layer cache keys use.
+    /// `None` for heap builds, which have no on-disk identity.
+    pub fn image_checksum(&self) -> Option<u64> {
+        self.image.map(|info| info.checksum)
+    }
+
+    /// The snapshot format version (1 or 2) of the backing image, `None`
+    /// for heap builds.
+    pub fn image_version(&self) -> Option<u32> {
+        self.image.map(|info| info.version)
     }
 
     /// The snapshotted event catalog.

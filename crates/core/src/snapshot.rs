@@ -52,7 +52,7 @@ use seqdb::{
     SnapshotError,
 };
 
-use crate::prepared::{PreparedDb, PreparedParts};
+use crate::prepared::{ImageInfo, PreparedDb, PreparedParts};
 
 /// Serializes `prepared` to `path` in one pass (format v2); returns bytes
 /// written.
@@ -187,7 +187,11 @@ pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
         occurrence_counts,
         event_order,
     };
-    Ok(PreparedDb::from_parts(db, store_shards, parts))
+    let info = ImageInfo {
+        checksum: image.checksum(),
+        version: image.version(),
+    };
+    Ok(PreparedDb::from_parts(db, store_shards, parts, Some(info)))
 }
 
 /// Format v1: a single global index pair and no shard table — reconstructed
@@ -372,6 +376,29 @@ mod tests {
                 "{mode:?} diverges on a v1 image"
             );
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn image_provenance_is_exposed_on_reopen_and_absent_on_heap_builds() {
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let prepared = PreparedDb::new(&db);
+        assert_eq!(prepared.image_checksum(), None);
+        assert_eq!(prepared.image_version(), None);
+
+        let path = temp_path("provenance");
+        prepared.write_snapshot(&path).expect("write");
+        let image = SnapshotImage::open(&path).expect("open image");
+        let reopened = PreparedDb::open_snapshot(&path).expect("open");
+        assert_eq!(reopened.image_checksum(), Some(image.checksum()));
+        assert_eq!(reopened.image_version(), Some(image.version()));
+        // Provenance is identity, not content: reopen still equals the
+        // heap build, and resharding the mapped corpus keeps the identity.
+        assert_eq!(reopened, prepared);
+        assert_eq!(
+            reopened.reshard(2, 1).image_checksum(),
+            Some(image.checksum())
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -344,6 +344,14 @@ fn routing_table(map: &ShardMap) -> Vec<u32> {
     table
 }
 
+/// Below this many total events, [`ShardedIndex::build`] always builds its
+/// shard indexes inline even when asked for threads: spawning scoped
+/// workers costs tens of microseconds, while a two-pass CSR build over a
+/// corpus this small finishes in single-digit microseconds per shard
+/// (BENCH_shard.json measured `prepare_speedup: 0.451` — a 2.2× *slowdown* —
+/// on a 10k-event corpus before this cutoff existed).
+pub const PARALLEL_BUILD_MIN_EVENTS: usize = 1 << 16;
+
 impl ShardedIndex {
     /// Wraps a flat index as a single shard (zero routing overhead).
     pub fn single(index: InvertedIndex) -> Self {
@@ -360,13 +368,16 @@ impl ShardedIndex {
 
     /// Builds one index per shard of `store`, on up to `threads` worker
     /// threads (shards are independent two-pass builds over disjoint
-    /// windows). `threads <= 1` builds inline. The result is identical
-    /// regardless of thread count.
+    /// windows). `threads <= 1` builds inline, as does any store below
+    /// [`PARALLEL_BUILD_MIN_EVENTS`] total events (thread spawn overhead
+    /// dwarfs the build at that scale). The result is identical regardless
+    /// of thread count.
     pub fn build(store: &ShardedSeqStore, num_events: usize, threads: usize) -> Self {
         let map = store.map().clone();
         let shards = store.shards();
         let threads = threads.clamp(1, shards.len().max(1));
-        let indexes: Vec<InvertedIndex> = if threads <= 1 || shards.len() <= 1 {
+        let tiny = store.full().total_length() < PARALLEL_BUILD_MIN_EVENTS;
+        let indexes: Vec<InvertedIndex> = if threads <= 1 || shards.len() <= 1 || tiny {
             shards
                 .iter()
                 .map(|s| InvertedIndex::build_for_store(s, num_events))
@@ -768,6 +779,19 @@ mod tests {
             map
         )
         .is_err());
+    }
+
+    #[test]
+    fn tiny_stores_build_identically_whatever_the_thread_count() {
+        // Every corpus in this suite sits far below PARALLEL_BUILD_MIN_EVENTS,
+        // so a threaded build request takes the inline path — and must still
+        // produce exactly the same indexes as an explicit threads=1 build.
+        let db = db();
+        assert!(db.store().total_length() < PARALLEL_BUILD_MIN_EVENTS);
+        let sharded_store = ShardedSeqStore::from_store(db.store().clone(), 3);
+        let inline = ShardedIndex::build(&sharded_store, db.num_events(), 1);
+        let threaded = ShardedIndex::build(&sharded_store, db.num_events(), 8);
+        assert_eq!(inline, threaded);
     }
 
     #[test]

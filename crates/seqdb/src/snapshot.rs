@@ -864,6 +864,14 @@ impl SnapshotImage {
         self.version
     }
 
+    /// The FNV-1a 64 checksum recorded in the header and verified at open
+    /// time. Because the image is immutable while mapped, this value is a
+    /// stable identity for the corpus bytes — downstream layers (the serve
+    /// result cache, `/stats`) reuse it instead of re-hashing the file.
+    pub fn checksum(&self) -> u64 {
+        read_u64(self.bytes.bytes(), 24)
+    }
+
     /// The validated section table, in file order.
     pub fn sections(&self) -> &[SectionEntry] {
         &self.sections

@@ -1,0 +1,95 @@
+//! A minimal blocking client for talking to a running `rgs-serve`.
+//!
+//! The server speaks one-request-per-connection HTTP/1.1 with
+//! `Connection: close`, so the client is symmetric and simple: connect,
+//! write the request, read to EOF, split status from body. Used by the
+//! e2e test, the load generator, and the `rgs-serve query` subcommand —
+//! all three exercising the exact bytes a real client would see.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A complete exchange: the response status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code from the status line.
+    pub status: u16,
+    /// The response body (always JSON from this server).
+    pub body: String,
+    /// Raw header block, for tests asserting on e.g. `Retry-After`.
+    pub headers: String,
+}
+
+/// Sends one request and reads the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+
+    let message = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes())?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path` with an empty body.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<Response> {
+    request(addr, "GET", path, "", timeout)
+}
+
+/// `POST /mine` with a JSON body.
+pub fn mine(addr: SocketAddr, body: &str, timeout: Duration) -> io::Result<Response> {
+    request(addr, "POST", "/mine", body, timeout)
+}
+
+fn parse_response(raw: &str) -> io::Result<Response> {
+    let bad = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, detail.to_owned());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let (status_line, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    // "HTTP/1.1 200 OK" — the status code is the second token.
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| bad("response status line is malformed"))?;
+    Ok(Response {
+        status,
+        body: body.to_owned(),
+        headers: headers.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_with_headers_and_body() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\
+                   Connection: close\r\n\r\n{\"error\":{}}";
+        let response = parse_response(raw).expect("parse");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.body, "{\"error\":{}}");
+        assert!(response.headers.contains("Retry-After: 1"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http").is_err());
+        assert!(parse_response("BOOP woo\r\n\r\nbody").is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The workspace is offline, so there is no HTTP crate to lean on — and the
+//! service needs only a sliver of the protocol: one request per connection
+//! (`Connection: close` on every response), `Content-Length` bodies, and a
+//! handful of response codes. Everything else is rejected with a
+//! descriptive status instead of being half-implemented: no chunked
+//! transfer encoding, no keep-alive, no continuation lines.
+//!
+//! Hard limits keep a hostile or confused client from holding a worker:
+//! headers are capped at [`MAX_HEAD_BYTES`], bodies at [`MAX_BODY_BYTES`],
+//! and the caller sets a socket read timeout before parsing.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers accepted before `431`.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum request body bytes accepted before `413`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request: the method, the request target, and the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased by the client per spec (`GET`, `POST`).
+    pub method: String,
+    /// The request target, e.g. `/mine` (query strings are kept verbatim).
+    pub path: String,
+    /// The decoded UTF-8 body (empty when the request carries none).
+    pub body: String,
+}
+
+/// Why a request could not be read. Each variant maps to one response
+/// status via [`ReadError::status`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// The socket failed or timed out mid-request.
+    Io(io::Error),
+    /// The bytes are not a well-formed HTTP/1.1 request.
+    BadRequest(String),
+    /// Headers exceeded [`MAX_HEAD_BYTES`].
+    HeadersTooLarge,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The request uses a transfer mechanism this server does not speak.
+    Unsupported(String),
+}
+
+impl ReadError {
+    /// The `(status, reason, detail)` triple the error should be answered
+    /// with.
+    pub fn status(&self) -> (u16, &'static str, String) {
+        match self {
+            ReadError::Io(err) if err.kind() == io::ErrorKind::WouldBlock => (
+                408,
+                "Request Timeout",
+                "connection idle past the read timeout".to_owned(),
+            ),
+            ReadError::Io(err) if err.kind() == io::ErrorKind::TimedOut => (
+                408,
+                "Request Timeout",
+                "connection idle past the read timeout".to_owned(),
+            ),
+            ReadError::Io(err) => (400, "Bad Request", format!("read failed: {err}")),
+            ReadError::BadRequest(detail) => (400, "Bad Request", detail.clone()),
+            ReadError::HeadersTooLarge => (
+                431,
+                "Request Header Fields Too Large",
+                format!("headers exceed {MAX_HEAD_BYTES} bytes"),
+            ),
+            ReadError::BodyTooLarge => (
+                413,
+                "Content Too Large",
+                format!("body exceeds {MAX_BODY_BYTES} bytes"),
+            ),
+            ReadError::Unsupported(detail) => (501, "Not Implemented", detail.clone()),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(err: io::Error) -> Self {
+        ReadError::Io(err)
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// The stream should already carry a read timeout (the worker sets one), so
+/// a stalled client surfaces as a `WouldBlock`/`TimedOut` I/O error rather
+/// than a hung thread.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let (head, mut leftover) = read_head(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("empty request".to_owned()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::BadRequest("missing method".to_owned()))?;
+    let path = parts
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or_else(|| ReadError::BadRequest("missing request target".to_owned()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("missing HTTP version".to_owned()))?;
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(ReadError::Unsupported(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    ReadError::BadRequest(format!("invalid Content-Length {value:?}"))
+                })?;
+            }
+            "transfer-encoding" => {
+                return Err(ReadError::Unsupported(
+                    "chunked transfer encoding is not supported; send Content-Length".to_owned(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::BodyTooLarge);
+    }
+
+    // The head read may have pulled in a prefix of the body; take the rest
+    // off the wire exactly.
+    if leftover.len() > content_length {
+        return Err(ReadError::BadRequest(
+            "more body bytes than Content-Length declares".to_owned(),
+        ));
+    }
+    let mut body = Vec::with_capacity(content_length);
+    body.append(&mut leftover);
+    let missing = content_length - body.len();
+    if missing > 0 {
+        let mut rest = vec![0u8; missing];
+        stream.read_exact(&mut rest)?;
+        body.extend_from_slice(&rest);
+    }
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::BadRequest("body is not valid UTF-8".to_owned()))?;
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+/// Reads until the `\r\n\r\n` head terminator; returns the head text and
+/// any body bytes that came along in the final read.
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_terminator(&buf) {
+            if end > MAX_HEAD_BYTES {
+                return Err(ReadError::HeadersTooLarge);
+            }
+            let leftover = buf.split_off(end + 4);
+            buf.truncate(end);
+            let head = String::from_utf8(buf)
+                .map_err(|_| ReadError::BadRequest("headers are not valid UTF-8".to_owned()))?;
+            return Ok((head, leftover));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::HeadersTooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::BadRequest(
+                "connection closed before the headers ended".to_owned(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one complete response and flushes it. Every response carries
+/// `Connection: close`; the caller drops the stream afterwards.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut out = String::with_capacity(body.len() + 256);
+    out.push_str(&format!("HTTP/1.1 {status} {reason}\r\n"));
+    out.push_str("Content-Type: application/json\r\n");
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    out.push_str("Connection: close\r\n");
+    for (name, value) in extra_headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `read_request` against raw bytes pushed through a real socket
+    /// pair.
+    fn parse_bytes(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).expect("connect");
+            client.write_all(&raw).expect("write");
+            // Keep the connection open briefly so a short read sees EOF
+            // only when the bytes genuinely ran out.
+            client.shutdown(std::net::Shutdown::Write).ok();
+        });
+        let (mut server, _) = listener.accept().expect("accept");
+        server
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        let result = read_request(&mut server);
+        writer.join().expect("writer");
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_bytes(
+            b"POST /mine HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"min_sup\":2}",
+        )
+        .expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/mine");
+        assert_eq!(req.body, "{\"min_sup\":2}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse_bytes(b"GET /stats HTTP/1.1\r\n\r\n").expect("valid request");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_the_right_status() {
+        let cases: [(&[u8], u16); 5] = [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"GET /x HTTP/2\r\n\r\n", 501),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413),
+        ];
+        for (raw, expected) in cases {
+            let err = parse_bytes(raw).expect_err("must fail");
+            assert_eq!(err.status().0, expected, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_headers_are_cut_off() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
+        let err = parse_bytes(&raw).expect_err("too large");
+        assert_eq!(err.status().0, 431);
+    }
+
+    #[test]
+    fn response_writer_emits_a_complete_message() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let mut text = String::new();
+            client.read_to_string(&mut text).expect("read");
+            text
+        });
+        let (mut server, _) = listener.accept().expect("accept");
+        write_response(
+            &mut server,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", "1")],
+            "{}",
+        )
+        .expect("write");
+        drop(server);
+        let text = reader.join().expect("reader");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,343 @@
+//! The load generator behind `rgs-serve loadgen`.
+//!
+//! Boots a real server (snapshot on disk, verified, ephemeral port) for
+//! each benchmark dataset and drives it with concurrent closed-loop
+//! clients over real sockets — the measured path is exactly what a
+//! production caller sees: connect, HTTP round-trip, parse.
+//!
+//! Two phases per dataset:
+//!
+//! - **`cache_cold`** — every request is distinct (thresholds × modes ×
+//!   gap constraints), so each one mines. This measures end-to-end mining
+//!   latency through the service.
+//! - **`cache_hot`** — one fixed request repeated from every client; after
+//!   the first miss the cache serves everything. This measures the
+//!   service's saturating QPS and protocol overhead.
+//!
+//! Results land in `BENCH_serve.json` next to the other `BENCH_*.json`
+//! reports.
+
+use std::io::{self, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rgs_bench::datasets::{
+    fig2_dataset, fig2_thresholds, fig5_fig6_threshold, fig5_largest, Scale,
+};
+use rgs_core::PreparedDb;
+use seqdb::SequenceDatabase;
+
+use crate::client;
+use crate::server::{boot_snapshot, ServeConfig, Server};
+
+/// Loadgen tunables (all settable from the CLI).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Dataset scale (`dev` or `paper`).
+    pub scale: Scale,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+    /// Concurrent closed-loop clients.
+    pub client_threads: usize,
+    /// Requests per client in the `cache_hot` phase.
+    pub hot_requests_per_thread: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            scale: Scale::Dev,
+            out: PathBuf::from("BENCH_serve.json"),
+            client_threads: 4,
+            hot_requests_per_thread: 150,
+        }
+    }
+}
+
+/// One measured phase.
+#[derive(Debug, Clone)]
+struct PhaseResult {
+    phase: &'static str,
+    requests: usize,
+    errors: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+/// Runs the full benchmark and writes the report to `config.out`.
+/// Returns the JSON text that was written.
+pub fn run(config: &LoadgenConfig) -> io::Result<String> {
+    let serve_config = ServeConfig {
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    };
+    let mut dataset_reports = Vec::new();
+
+    let (fig2_name, fig2_db) = fig2_dataset(config.scale);
+    // The upper thresholds of the Fig. 2 sweep; the lowest ones are deep
+    // mining runs that belong in the offline benchmarks, not a QPS probe.
+    let thresholds = fig2_thresholds(config.scale);
+    let thresholds = &thresholds[..thresholds.len().min(3)];
+    let fig2_bodies: Vec<String> = mine_bodies(thresholds);
+    dataset_reports.push(bench_dataset(
+        &fig2_name,
+        &fig2_db,
+        &fig2_bodies,
+        &serve_config,
+        config,
+    )?);
+
+    let (fig5_name, fig5_db) = fig5_largest(config.scale);
+    let fig5_bodies: Vec<String> = mine_bodies(&[fig5_fig6_threshold(config.scale)]);
+    dataset_reports.push(bench_dataset(
+        &fig5_name,
+        &fig5_db,
+        &fig5_bodies,
+        &serve_config,
+        config,
+    )?);
+
+    let json = report_json(config, &serve_config, &dataset_reports);
+    let mut file = std::fs::File::create(&config.out)?;
+    file.write_all(json.as_bytes())?;
+    Ok(json)
+}
+
+/// The distinct request bodies for the `cache_cold` phase: every support
+/// threshold crossed with three modes and two gap-constraint settings.
+///
+/// Every body carries a pattern-length and output budget so one
+/// pathological (threshold, corpus) pair cannot stall the whole benchmark
+/// — the point here is service throughput, not exhaustive enumeration
+/// (the mining benchmarks in `rgs-bench` cover that).
+fn mine_bodies(thresholds: &[u64]) -> Vec<String> {
+    let mut bodies = Vec::new();
+    for &min_sup in thresholds {
+        for mode in ["closed", "maximal", "top-k"] {
+            bodies.push(format!(
+                "{{\"min_sup\":{min_sup},\"mode\":\"{mode}\",\"max_len\":8,\
+                 \"max_patterns\":2000}}"
+            ));
+            bodies.push(format!(
+                "{{\"min_sup\":{min_sup},\"mode\":\"{mode}\",\"max_gap\":4,\
+                 \"max_window\":20,\"max_len\":8,\"max_patterns\":2000}}"
+            ));
+        }
+    }
+    bodies
+}
+
+fn bench_dataset(
+    name: &str,
+    db: &SequenceDatabase,
+    cold_bodies: &[String],
+    serve_config: &ServeConfig,
+    config: &LoadgenConfig,
+) -> io::Result<String> {
+    // Serve from a real snapshot image so the measured path includes the
+    // mmap-backed store, exactly like production.
+    let snapshot_path = temp_snapshot_path(name);
+    let prepared = PreparedDb::from_database(db.clone());
+    let snapshot_bytes = prepared
+        .write_snapshot(&snapshot_path)
+        .map_err(|err| io::Error::other(format!("write snapshot: {err}")))?;
+    drop(prepared);
+    let shared = boot_snapshot(&snapshot_path).map_err(io::Error::other)?;
+    let checksum = shared.image_checksum().unwrap_or(0);
+
+    let server = Server::start(Arc::clone(&shared), ("127.0.0.1", 0), serve_config.clone())?;
+    let addr = server.local_addr();
+
+    let cold = drive(addr, cold_bodies, config.client_threads, 1, "cache_cold");
+    // One fixed body, repeated: everything after the first request is a
+    // cache hit.
+    let hot_body = cold_bodies
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "{}".to_owned());
+    let hot = drive(
+        addr,
+        std::slice::from_ref(&hot_body),
+        config.client_threads,
+        config.hot_requests_per_thread,
+        "cache_hot",
+    );
+
+    let cache = server.context().cache.stats();
+    server.shutdown();
+    let _ = std::fs::remove_file(&snapshot_path);
+
+    Ok(format!(
+        "{{\"dataset\": \"{name}\", \"snapshot_bytes\": {snapshot_bytes}, \
+         \"checksum\": \"{checksum:016x}\", \"phases\": [{}, {}], \
+         \"cache_hits\": {}, \"cache_misses\": {}}}",
+        phase_json(&cold),
+        phase_json(&hot),
+        cache.hits,
+        cache.misses,
+    ))
+}
+
+/// Runs `threads` closed-loop clients, each sending `rounds` passes over
+/// its share of `bodies`, and aggregates latencies.
+fn drive(
+    addr: SocketAddr,
+    bodies: &[String],
+    threads: usize,
+    rounds: usize,
+    phase: &'static str,
+) -> PhaseResult {
+    let bodies: Arc<Vec<String>> = Arc::new(bodies.to_vec());
+    let threads = threads.max(1);
+    let timeout = Duration::from_secs(60);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let mut errors = 0usize;
+                for _round in 0..rounds {
+                    for i in 0..bodies.len() {
+                        // Stripe the request mix across clients so they do
+                        // not march through it in lockstep.
+                        let body = &bodies[(t + i) % bodies.len()];
+                        let sent = Instant::now();
+                        match client::mine(addr, body, timeout) {
+                            Ok(response) if response.status == 200 => {
+                                latencies.push(sent.elapsed());
+                            }
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut all = Vec::new();
+    let mut errors = 0usize;
+    for handle in handles {
+        if let Ok((latencies, errs)) = handle.join() {
+            all.extend(latencies);
+            errors += errs;
+        } else {
+            errors += 1;
+        }
+    }
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    all.sort_unstable();
+
+    #[allow(clippy::cast_precision_loss)]
+    let qps = all.len() as f64 / wall;
+    PhaseResult {
+        phase,
+        requests: all.len(),
+        errors,
+        qps,
+        p50_ms: percentile_ms(&all, 0.50),
+        p99_ms: percentile_ms(&all, 0.99),
+        max_ms: all.last().map_or(0.0, |d| d.as_secs_f64() * 1000.0),
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted
+        .get(rank - 1)
+        .map_or(0.0, |d| d.as_secs_f64() * 1000.0)
+}
+
+fn phase_json(result: &PhaseResult) -> String {
+    format!(
+        "{{\"phase\": \"{}\", \"requests\": {}, \"errors\": {}, \"qps\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+        result.phase,
+        result.requests,
+        result.errors,
+        result.qps,
+        result.p50_ms,
+        result.p99_ms,
+        result.max_ms
+    )
+}
+
+fn report_json(
+    config: &LoadgenConfig,
+    serve_config: &ServeConfig,
+    dataset_reports: &[String],
+) -> String {
+    let scale = match config.scale {
+        Scale::Dev => "dev",
+        Scale::Paper => "paper",
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"serve\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"workers\": {},\n", serve_config.workers));
+    out.push_str(&format!(
+        "  \"client_threads\": {},\n",
+        config.client_threads
+    ));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str("  \"datasets\": [\n");
+    for (i, report) in dataset_reports.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(report);
+        if i + 1 < dataset_reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn temp_snapshot_path(name: &str) -> PathBuf {
+    let tag: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    std::env::temp_dir().join(format!(
+        "rgs-serve-loadgen-{}-{tag}.snapshot",
+        std::process::id()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_bodies_are_distinct() {
+        let bodies = mine_bodies(&[40, 30, 20]);
+        assert_eq!(bodies.len(), 3 * 3 * 2);
+        let unique: std::collections::HashSet<_> = bodies.iter().collect();
+        assert_eq!(unique.len(), bodies.len());
+    }
+
+    #[test]
+    fn percentiles_pick_the_right_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert!((percentile_ms(&sorted, 0.50) - 50.0).abs() < 1e-9);
+        assert!((percentile_ms(&sorted, 0.99) - 99.0).abs() < 1e-9);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+}

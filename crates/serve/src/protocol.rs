@@ -1,0 +1,281 @@
+//! The wire protocol: JSON bodies in, JSON bodies out.
+//!
+//! A `POST /mine` body is a flat JSON object describing a
+//! [`MiningRequest`]. Every field is optional — omitted fields take the
+//! library defaults, so `{}` means "closed patterns, min_sup 2". Unknown
+//! fields are rejected by name rather than ignored: a typo like
+//! `"min_supp"` silently mining with the default support would be far
+//! worse than a 400.
+//!
+//! Responses use a single envelope shape (see [`mine_response_body`]) so
+//! clients can always look at `truncated` / `deadline_exceeded` / `cached`
+//! regardless of how the request went.
+
+use rgs_core::json::{self, Value};
+use rgs_core::{MinedPattern, MiningRequest, Mode};
+use seqdb::EventCatalog;
+
+/// A parsed `/mine` body: the mining request plus serve-level options that
+/// are not part of the canonical mining key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineRequest {
+    /// The mining parameters, canonicalized by `rgs_core::canonical_key`.
+    pub request: MiningRequest,
+    /// Per-request deadline in milliseconds, overriding the server default.
+    pub timeout_ms: Option<u64>,
+}
+
+/// A request the server refuses: carries the HTTP status to answer with
+/// and a message naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// HTTP status code (always 400 today; kept explicit for future codes).
+    pub status: u16,
+    /// Human-readable reason, quoted back in the error body.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn bad(message: impl Into<String>) -> Self {
+        ProtocolError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses a `/mine` request body.
+///
+/// An empty body is treated as `{}`: every field at its default.
+pub fn parse_mine_request(body: &str) -> Result<MineRequest, ProtocolError> {
+    let text = if body.trim().is_empty() { "{}" } else { body };
+    let value =
+        json::parse(text).map_err(|err| ProtocolError::bad(format!("invalid JSON: {err}")))?;
+    let members = value
+        .as_obj()
+        .ok_or_else(|| ProtocolError::bad("request body must be a JSON object"))?;
+
+    let mut request = MiningRequest::default();
+    let mut timeout_ms = None;
+    for (name, field) in members {
+        match name.as_str() {
+            "min_sup" => request.min_sup = parse_u64(name, field)?,
+            "mode" => request.mode = parse_mode(field)?,
+            "min_gap" => request.constraints.min_gap = parse_u32(name, field)?,
+            "max_gap" => request.constraints.max_gap = parse_opt_u32(name, field)?,
+            "max_window" => request.constraints.max_window = parse_opt_u32(name, field)?,
+            "top_k" => request.top_k = parse_opt_usize(name, field)?,
+            "min_len" => request.min_len = parse_usize(name, field)?,
+            "max_len" => request.max_pattern_length = parse_opt_usize(name, field)?,
+            "max_patterns" => request.max_patterns = parse_opt_usize(name, field)?,
+            "timeout_ms" => {
+                timeout_ms = if field.is_null() {
+                    None
+                } else {
+                    Some(parse_u64(name, field)?)
+                };
+            }
+            other => {
+                return Err(ProtocolError::bad(format!(
+                    "unknown field {other:?}; accepted fields: min_sup, mode, min_gap, \
+                     max_gap, max_window, top_k, min_len, max_len, max_patterns, timeout_ms"
+                )));
+            }
+        }
+    }
+    Ok(MineRequest {
+        request,
+        timeout_ms,
+    })
+}
+
+fn parse_u64(name: &str, field: &Value) -> Result<u64, ProtocolError> {
+    field
+        .as_u64()
+        .ok_or_else(|| ProtocolError::bad(format!("field {name:?} must be a non-negative integer")))
+}
+
+fn parse_u32(name: &str, field: &Value) -> Result<u32, ProtocolError> {
+    let raw = parse_u64(name, field)?;
+    u32::try_from(raw)
+        .map_err(|_| ProtocolError::bad(format!("field {name:?} exceeds the u32 range")))
+}
+
+fn parse_usize(name: &str, field: &Value) -> Result<usize, ProtocolError> {
+    let raw = parse_u64(name, field)?;
+    usize::try_from(raw)
+        .map_err(|_| ProtocolError::bad(format!("field {name:?} exceeds the usize range")))
+}
+
+fn parse_opt_u32(name: &str, field: &Value) -> Result<Option<u32>, ProtocolError> {
+    if field.is_null() {
+        Ok(None)
+    } else {
+        parse_u32(name, field).map(Some)
+    }
+}
+
+fn parse_opt_usize(name: &str, field: &Value) -> Result<Option<usize>, ProtocolError> {
+    if field.is_null() {
+        Ok(None)
+    } else {
+        parse_usize(name, field).map(Some)
+    }
+}
+
+fn parse_mode(field: &Value) -> Result<Mode, ProtocolError> {
+    let text = field
+        .as_str()
+        .ok_or_else(|| ProtocolError::bad("field \"mode\" must be a string"))?;
+    match text {
+        "all" => Ok(Mode::All),
+        "closed" => Ok(Mode::Closed),
+        "maximal" => Ok(Mode::Maximal),
+        "top-k" | "topk" | "top_k" => Ok(Mode::TopK),
+        other => Err(ProtocolError::bad(format!(
+            "unknown mode {other:?}; one of \"all\", \"closed\", \"maximal\", \"top-k\""
+        ))),
+    }
+}
+
+/// Renders mined patterns as a JSON array of
+/// `{"pattern": "A B", "support": 4, "len": 2}` objects.
+pub fn render_patterns(patterns: &[MinedPattern], catalog: &EventCatalog) -> String {
+    let mut out = String::with_capacity(patterns.len() * 48 + 2);
+    out.push('[');
+    for (i, mined) in patterns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"pattern\":");
+        out.push_str(&json::escape(&mined.pattern.render_with(catalog, " ")));
+        out.push_str(&format!(
+            ",\"support\":{},\"len\":{}}}",
+            mined.support,
+            mined.pattern.len()
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Builds the `/mine` response envelope around an already-rendered
+/// `patterns_json` array.
+pub fn mine_response_body(
+    patterns_json: &str,
+    count: usize,
+    truncated: bool,
+    deadline_exceeded: bool,
+    cached: bool,
+    elapsed_ms: f64,
+) -> String {
+    format!(
+        "{{\"patterns\":{patterns_json},\"count\":{count},\"truncated\":{truncated},\
+         \"deadline_exceeded\":{deadline_exceeded},\"cached\":{cached},\
+         \"elapsed_ms\":{elapsed_ms:.3}}}"
+    )
+}
+
+/// Builds the uniform error body: `{"error":{"code":400,"message":"…"}}`.
+pub fn error_body(code: u16, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":{code},\"message\":{}}}}}",
+        json::escape(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgs_core::DEFAULT_TOP_K;
+
+    #[test]
+    fn empty_body_means_all_defaults() {
+        let parsed = parse_mine_request("").expect("empty body");
+        assert_eq!(parsed.request, MiningRequest::default());
+        assert_eq!(parsed.timeout_ms, None);
+        assert_eq!(parsed, parse_mine_request("{}").expect("empty object"));
+    }
+
+    #[test]
+    fn every_field_lands_in_the_request() {
+        let parsed = parse_mine_request(
+            r#"{"min_sup": 7, "mode": "top-k", "min_gap": 1, "max_gap": 4,
+                "max_window": 12, "top_k": 25, "min_len": 2, "max_len": 9,
+                "max_patterns": 1000, "timeout_ms": 250}"#,
+        )
+        .expect("full body");
+        let r = &parsed.request;
+        assert_eq!(r.min_sup, 7);
+        assert_eq!(r.mode, Mode::TopK);
+        assert_eq!(r.constraints.min_gap, 1);
+        assert_eq!(r.constraints.max_gap, Some(4));
+        assert_eq!(r.constraints.max_window, Some(12));
+        assert_eq!(r.top_k, Some(25));
+        assert_eq!(r.min_len, 2);
+        assert_eq!(r.max_pattern_length, Some(9));
+        assert_eq!(r.max_patterns, Some(1000));
+        assert_eq!(parsed.timeout_ms, Some(250));
+        assert!(r.is_ranked());
+        assert_eq!(r.effective_k(), 25);
+    }
+
+    #[test]
+    fn mode_spellings_and_nulls() {
+        for (text, mode) in [
+            ("all", Mode::All),
+            ("closed", Mode::Closed),
+            ("maximal", Mode::Maximal),
+            ("top-k", Mode::TopK),
+            ("topk", Mode::TopK),
+            ("top_k", Mode::TopK),
+        ] {
+            let parsed = parse_mine_request(&format!("{{\"mode\":\"{text}\"}}")).expect(text);
+            assert_eq!(parsed.request.mode, mode, "{text}");
+        }
+        let parsed = parse_mine_request(r#"{"max_gap": null, "timeout_ms": null}"#).expect("nulls");
+        assert_eq!(parsed.request.constraints.max_gap, None);
+        assert_eq!(parsed.timeout_ms, None);
+        assert_eq!(parsed.request.effective_k(), DEFAULT_TOP_K);
+    }
+
+    #[test]
+    fn bad_bodies_name_the_problem() {
+        let cases = [
+            ("[1,2]", "JSON object"),
+            ("{\"min_supp\": 3}", "min_supp"),
+            ("{\"min_sup\": -1}", "non-negative"),
+            ("{\"min_sup\": 1.5}", "non-negative"),
+            ("{\"mode\": \"openish\"}", "openish"),
+            ("{\"mode\": 4}", "must be a string"),
+            ("{\"min_gap\": 4294967296}", "u32"),
+            ("{not json", "invalid JSON"),
+        ];
+        for (body, needle) in cases {
+            let err = parse_mine_request(body).expect_err(body);
+            assert_eq!(err.status, 400, "{body}");
+            assert!(err.message.contains(needle), "{body} -> {}", err.message);
+        }
+    }
+
+    #[test]
+    fn response_bodies_are_valid_json() {
+        let body = mine_response_body("[]", 0, false, true, false, 1.25);
+        let value = json::parse(&body).expect("envelope parses");
+        assert_eq!(value.get("count").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            value.get("deadline_exceeded").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(value.get("cached").and_then(Value::as_bool), Some(false));
+
+        let err = error_body(429, "queue full \"now\"");
+        let value = json::parse(&err).expect("error parses");
+        let error = value.get("error").expect("error member");
+        assert_eq!(error.get("code").and_then(Value::as_u64), Some(429));
+        assert_eq!(
+            error.get("message").and_then(Value::as_str),
+            Some("queue full \"now\"")
+        );
+    }
+}

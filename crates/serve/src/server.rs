@@ -1,0 +1,268 @@
+//! Server assembly: boot, accept loop, worker pool, graceful shutdown.
+//!
+//! One process holds one [`PreparedDb`] behind an [`Arc`] and serves every
+//! request from it. The acceptor thread owns the listener and applies
+//! admission control inline: a connection either enters the bounded queue
+//! or is answered `429` right there — the worker pool never sees load it
+//! cannot absorb. Workers block on the queue, handle one connection at a
+//! time, and drain whatever is queued when shutdown closes the queue.
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rgs_core::PreparedDb;
+use seqdb::snapshot::verify;
+use seqdb::DatabaseStats;
+
+use crate::admission::{AdmissionQueue, Admit};
+use crate::cache::ResultCache;
+use crate::http;
+use crate::metrics::{Histogram, ServeCounters};
+use crate::protocol;
+use crate::worker;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads mining concurrently.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before shedding starts.
+    pub queue_capacity: usize,
+    /// Result-cache entries ([`ResultCache`]); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry `timeout_ms`.
+    /// `None` means no default deadline.
+    pub default_timeout_ms: Option<u64>,
+    /// Socket read timeout while parsing a request, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Value of the `Retry-After` header on shed (`429`) responses.
+    pub retry_after_seconds: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_timeout_ms: None,
+            read_timeout_ms: 10_000,
+            retry_after_seconds: 1,
+        }
+    }
+}
+
+/// Everything a worker needs to answer a request, shared via [`Arc`].
+#[derive(Debug)]
+pub struct ServeContext {
+    /// The one corpus this process serves.
+    pub prepared: Arc<PreparedDb>,
+    /// The admission queue between acceptor and workers.
+    pub queue: AdmissionQueue,
+    /// The mining result cache.
+    pub cache: ResultCache,
+    /// End-to-end `/mine` latency (read → response written).
+    pub latency: Histogram,
+    /// Time connections spend queued before a worker picks them up.
+    pub queue_wait: Histogram,
+    /// Monotonic request counters.
+    pub counters: ServeCounters,
+    /// The configuration the server was started with.
+    pub config: ServeConfig,
+    /// When the server started (for `/healthz` uptime).
+    pub started: Instant,
+    /// Corpus statistics, computed once at boot for `/stats`.
+    pub db_stats: DatabaseStats,
+}
+
+/// A running server: the listener thread, the worker pool, and the shared
+/// context. Dropping without [`Server::shutdown`] detaches the threads;
+/// call `shutdown` for a graceful drain.
+#[derive(Debug)]
+pub struct Server {
+    context: Arc<ServeContext>,
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker threads.
+    pub fn start(
+        prepared: Arc<PreparedDb>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let db_stats = prepared.stats();
+        let context = Arc::new(ServeContext {
+            prepared,
+            queue: AdmissionQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            latency: Histogram::default(),
+            queue_wait: Histogram::default(),
+            counters: ServeCounters::default(),
+            config,
+            started: Instant::now(),
+            db_stats,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let ctx = Arc::clone(&context);
+                std::thread::Builder::new()
+                    .name(format!("rgs-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = ctx.queue.pop() {
+                            worker::handle(&ctx, job);
+                        }
+                    })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let ctx = Arc::clone(&context);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("rgs-serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &ctx, &stop))?
+        };
+
+        Ok(Server {
+            context,
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (the actual port when started with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared context — exposed so tests and the load generator can
+    /// read counters without going through `/stats`.
+    pub fn context(&self) -> &Arc<ServeContext> {
+        &self.context
+    }
+
+    /// Stops accepting, drains queued requests, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // accept() has no timeout; poke the listener so the acceptor wakes
+        // up, observes the flag, and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // Closing the queue wakes idle workers; busy ones finish their
+        // in-flight request, drain what is queued, then exit.
+        self.context.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<ServeContext>, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            // This may be the shutdown poke itself; either way, stop.
+            refuse(
+                stream,
+                ctx,
+                503,
+                "Service Unavailable",
+                "server is shutting down",
+            );
+            return;
+        }
+        ctx.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        match ctx.queue.try_admit(stream) {
+            Admit::Queued(_) => {}
+            Admit::Full(stream) => {
+                ctx.counters.shed.fetch_add(1, Ordering::Relaxed);
+                refuse(
+                    stream,
+                    ctx,
+                    429,
+                    "Too Many Requests",
+                    "admission queue is full; retry shortly",
+                );
+            }
+            Admit::Closed(stream) => {
+                refuse(
+                    stream,
+                    ctx,
+                    503,
+                    "Service Unavailable",
+                    "server is shutting down",
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Writes a one-off refusal on a connection that never reached a worker.
+fn refuse(
+    mut stream: TcpStream,
+    ctx: &Arc<ServeContext>,
+    status: u16,
+    reason: &str,
+    message: &str,
+) {
+    let retry = ctx.config.retry_after_seconds.to_string();
+    let headers: &[(&str, &str)] = if status == 429 {
+        &[("Retry-After", retry.as_str())]
+    } else {
+        &[]
+    };
+    let _ = http::write_response(
+        &mut stream,
+        status,
+        reason,
+        headers,
+        &protocol::error_body(status, message),
+    );
+}
+
+/// Opens and verifies a snapshot image for serving.
+///
+/// The image is checked with [`seqdb::snapshot::verify`] first — a server
+/// must refuse to boot on a corrupt or truncated image rather than crash
+/// on request N — then opened zero-copy into a [`PreparedDb`].
+pub fn boot_snapshot(path: &std::path::Path) -> Result<Arc<PreparedDb>, String> {
+    let report = verify::verify_file(path)
+        .map_err(|err| format!("cannot read snapshot {}: {err}", path.display()))?;
+    if !report.is_clean() {
+        let mut lines = format!(
+            "snapshot {} failed verification ({} violations):",
+            path.display(),
+            report.violations.len()
+        );
+        for violation in &report.violations {
+            lines.push_str(&format!("\n  - {violation}"));
+        }
+        return Err(lines);
+    }
+    let prepared = PreparedDb::open_snapshot(path)
+        .map_err(|err| format!("cannot open snapshot {}: {err}", path.display()))?;
+    Ok(Arc::new(prepared))
+}

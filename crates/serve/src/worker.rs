@@ -1,0 +1,260 @@
+//! The request worker: one connection in, one response out.
+//!
+//! Lifecycle of a `/mine` request: read → parse → canonicalize → cache
+//! probe → mine (with an optional deadline sink) → respond, recording
+//! latency and counters along the way. Cached responses skip the mining
+//! step entirely and are flagged `"cached": true` in the envelope.
+//!
+//! This module is on the xtask audit hot-path list: no panics, no
+//! `unwrap`/`expect`, no bare indexing. Every I/O failure on the response
+//! path is swallowed — if the client hung up there is nobody left to tell.
+
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rgs_core::{canonical_key, CollectSink, DeadlineSink, MinedPattern, Miner, MiningReport};
+
+use crate::admission::Job;
+use crate::cache::{CachedResult, ResultCache};
+use crate::http::{self, Request};
+use crate::metrics::HistogramSnapshot;
+use crate::protocol;
+use crate::server::ServeContext;
+
+/// Handles one admitted connection from read to response.
+pub fn handle(ctx: &ServeContext, job: Job) {
+    let Job {
+        mut stream,
+        accepted_at,
+    } = job;
+    ctx.queue_wait.record(accepted_at.elapsed());
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        ctx.config.read_timeout_ms.max(1),
+    )));
+
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(err) => {
+            let (status, reason, detail) = err.status();
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(&mut stream, status, reason, &detail);
+            return;
+        }
+    };
+    route(ctx, &mut stream, &request);
+}
+
+fn route(ctx: &ServeContext, stream: &mut TcpStream, request: &Request) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = http::write_response(stream, 200, "OK", &[], &health_body(ctx));
+        }
+        ("GET", "/stats") => {
+            let _ = http::write_response(stream, 200, "OK", &[], &stats_body(ctx));
+        }
+        ("POST", "/mine") => mine(ctx, stream, &request.body),
+        ("GET", "/mine") => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, 405, "Method Not Allowed", "use POST /mine");
+        }
+        (_, path) => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(
+                stream,
+                404,
+                "Not Found",
+                &format!("unknown route {path:?}; try POST /mine, GET /stats, GET /healthz"),
+            );
+        }
+    }
+}
+
+fn mine(ctx: &ServeContext, stream: &mut TcpStream, body: &str) {
+    let started = Instant::now();
+    let parsed = match protocol::parse_mine_request(body) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, err.status, "Bad Request", &err.message);
+            return;
+        }
+    };
+
+    let canonical = canonical_key(&parsed.request);
+    let key = ResultCache::key(ctx.prepared.image_checksum(), &canonical);
+    if let Some(hit) = ctx.cache.get(&key) {
+        ctx.counters.cache_served.fetch_add(1, Ordering::Relaxed);
+        ctx.counters.mined.fetch_add(1, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        let envelope = protocol::mine_response_body(
+            &hit.patterns_json,
+            hit.count,
+            hit.truncated,
+            false,
+            true,
+            elapsed.as_secs_f64() * 1000.0,
+        );
+        let _ = http::write_response(stream, 200, "OK", &[], &envelope);
+        ctx.latency.record(elapsed);
+        return;
+    }
+
+    let timeout_ms = parsed.timeout_ms.or(ctx.config.default_timeout_ms);
+    let miner = Miner::from_shared(Arc::clone(&ctx.prepared)).with_request(parsed.request);
+    let (patterns, report) = run(miner, timeout_ms);
+
+    let deadline_exceeded = report.cancelled;
+    if deadline_exceeded {
+        ctx.counters
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    let patterns_json = protocol::render_patterns(&patterns, ctx.prepared.catalog());
+    let truncated = report.truncated;
+    // A deadline-cut run is a partial answer; caching it would serve the
+    // partial result to future callers who gave the server more time.
+    if !deadline_exceeded {
+        ctx.cache.insert(
+            key,
+            CachedResult {
+                patterns_json: patterns_json.clone(),
+                count: patterns.len(),
+                truncated,
+            },
+        );
+    }
+    ctx.counters.mined.fetch_add(1, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    let envelope = protocol::mine_response_body(
+        &patterns_json,
+        patterns.len(),
+        truncated,
+        deadline_exceeded,
+        false,
+        elapsed.as_secs_f64() * 1000.0,
+    );
+    let _ = http::write_response(stream, 200, "OK", &[], &envelope);
+    ctx.latency.record(elapsed);
+}
+
+/// Runs the miner, wrapping the collector in a [`DeadlineSink`] when a
+/// timeout applies. The report's `cancelled` flag is the deadline signal.
+fn run(miner: Miner<'static>, timeout_ms: Option<u64>) -> (Vec<MinedPattern>, MiningReport) {
+    match timeout_ms {
+        Some(ms) => {
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            let mut sink = DeadlineSink::new(CollectSink::new(), deadline);
+            let report = miner.run_with_sink(&mut sink);
+            (sink.into_inner().into_patterns(), report)
+        }
+        None => {
+            let mut sink = CollectSink::new();
+            let report = miner.run_with_sink(&mut sink);
+            (sink.into_patterns(), report)
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, reason: &str, message: &str) {
+    let _ = http::write_response(
+        stream,
+        status,
+        reason,
+        &[],
+        &protocol::error_body(status, message),
+    );
+}
+
+fn health_body(ctx: &ServeContext) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"uptime_s\":{:.1},\"workers\":{},\"snapshot_checksum\":{}}}",
+        ctx.started.elapsed().as_secs_f64(),
+        ctx.config.workers.max(1),
+        checksum_json(ctx),
+    )
+}
+
+fn checksum_json(ctx: &ServeContext) -> String {
+    match ctx.prepared.image_checksum() {
+        Some(sum) => format!("\"{sum:016x}\""),
+        None => "null".to_owned(),
+    }
+}
+
+fn histogram_json(snap: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\
+         \"p99_ms\":{:.3},\"max_ms\":{:.3}}}",
+        snap.count, snap.mean_ms, snap.p50_ms, snap.p90_ms, snap.p99_ms, snap.max_ms
+    )
+}
+
+/// Builds the `/stats` document: counters, queue, cache, latency
+/// histograms, snapshot identity, and the corpus-level [`DatabaseStats`]
+/// computed once at boot.
+///
+/// [`DatabaseStats`]: seqdb::DatabaseStats
+fn stats_body(ctx: &ServeContext) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+
+    out.push_str("\"counters\":{");
+    for (i, (name, value)) in ctx.counters.load().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push_str("},");
+
+    out.push_str(&format!(
+        "\"queue\":{{\"depth\":{},\"capacity\":{}}},",
+        ctx.queue.depth(),
+        ctx.queue.capacity()
+    ));
+
+    let cache = ctx.cache.stats();
+    out.push_str(&format!(
+        "\"cache\":{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\
+         \"len\":{},\"capacity\":{}}},",
+        cache.hits, cache.misses, cache.insertions, cache.evictions, cache.len, cache.capacity
+    ));
+
+    out.push_str(&format!(
+        "\"latency\":{},",
+        histogram_json(&ctx.latency.snapshot())
+    ));
+    out.push_str(&format!(
+        "\"queue_wait\":{},",
+        histogram_json(&ctx.queue_wait.snapshot())
+    ));
+
+    out.push_str(&format!(
+        "\"snapshot\":{{\"checksum\":{},\"version\":{}}},",
+        checksum_json(ctx),
+        match ctx.prepared.image_version() {
+            Some(version) => version.to_string(),
+            None => "null".to_owned(),
+        }
+    ));
+
+    let db = &ctx.db_stats;
+    out.push_str(&format!(
+        "\"database\":{{\"num_sequences\":{},\"num_events\":{},\"total_length\":{},\
+         \"min_length\":{},\"max_length\":{},\"avg_length\":{:.3},\"store_bytes\":{},\
+         \"num_shards\":{}}}",
+        db.num_sequences,
+        db.num_events,
+        db.total_length,
+        db.min_length,
+        db.max_length,
+        db.avg_length,
+        db.store_bytes,
+        db.num_shards
+    ));
+
+    out.push('}');
+    out
+}

@@ -1,0 +1,201 @@
+//! Seeded property tests of request canonicalization on the wire path.
+//!
+//! The result cache is only correct if `canonical_key` is a *semantic*
+//! fingerprint of a wire request: two JSON bodies that mean the same
+//! mining job must map to the same key regardless of field order, omitted
+//! defaults, or `null`s — and any body that means a different job must map
+//! to a different key. Cases are generated with a deterministic seeded
+//! PRNG, so failures reproduce from the printed case.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rgs_core::canonical_key;
+use rgs_serve::protocol::parse_mine_request;
+
+const CASES: usize = 128;
+
+/// One randomly drawn request, kept as field fragments so the test can
+/// render it with shuffled order and optional default elision.
+#[derive(Debug, Clone)]
+struct Case {
+    min_sup: u64,
+    mode: &'static str,
+    min_gap: u32,
+    max_gap: Option<u32>,
+    max_window: Option<u32>,
+    top_k: Option<usize>,
+    min_len: usize,
+    max_len: Option<usize>,
+    max_patterns: Option<usize>,
+}
+
+fn draw(rng: &mut StdRng) -> Case {
+    let modes = ["all", "closed", "maximal", "top-k"];
+    Case {
+        min_sup: rng.gen_range(1..50u64),
+        mode: modes[rng.gen_range(0..modes.len())],
+        min_gap: rng.gen_range(0..3u32),
+        max_gap: rng.gen_bool(0.5).then(|| rng.gen_range(1..8u32)),
+        max_window: rng.gen_bool(0.5).then(|| rng.gen_range(5..30u32)),
+        top_k: rng.gen_bool(0.4).then(|| rng.gen_range(1..20usize)),
+        min_len: rng.gen_range(0..4usize),
+        max_len: rng.gen_bool(0.5).then(|| rng.gen_range(2..10usize)),
+        max_patterns: rng.gen_bool(0.3).then(|| rng.gen_range(10..1000usize)),
+    }
+}
+
+impl Case {
+    /// Renders the case as JSON field fragments. With `elide_defaults`,
+    /// fields at their wire default are randomly omitted or written
+    /// explicitly (`null` for absent optionals) — both spell the same
+    /// request.
+    fn fields(&self, rng: &mut StdRng, elide_defaults: bool) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut push = |rng: &mut StdRng, is_default: bool, explicit: String| {
+            if !(elide_defaults && is_default && rng.gen_bool(0.5)) {
+                fields.push(explicit);
+            }
+        };
+        push(
+            rng,
+            self.min_sup == 2,
+            format!("\"min_sup\":{}", self.min_sup),
+        );
+        push(
+            rng,
+            self.mode == "closed",
+            format!("\"mode\":\"{}\"", self.mode),
+        );
+        push(
+            rng,
+            self.min_gap == 0,
+            format!("\"min_gap\":{}", self.min_gap),
+        );
+        push(rng, self.max_gap.is_none(), opt("max_gap", self.max_gap));
+        push(
+            rng,
+            self.max_window.is_none(),
+            opt("max_window", self.max_window),
+        );
+        push(rng, self.top_k.is_none(), opt("top_k", self.top_k));
+        push(
+            rng,
+            self.min_len == 0,
+            format!("\"min_len\":{}", self.min_len),
+        );
+        push(rng, self.max_len.is_none(), opt("max_len", self.max_len));
+        push(
+            rng,
+            self.max_patterns.is_none(),
+            opt("max_patterns", self.max_patterns),
+        );
+        fields
+    }
+
+    fn body(&self, rng: &mut StdRng, shuffle: bool, elide_defaults: bool) -> String {
+        let mut fields = self.fields(rng, elide_defaults);
+        if shuffle {
+            fields.shuffle(rng);
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+
+    fn key(&self, body: &str) -> String {
+        let parsed = parse_mine_request(body)
+            .unwrap_or_else(|err| panic!("case {self:?}: body {body} rejected: {}", err.message));
+        canonical_key(&parsed.request)
+    }
+}
+
+fn opt<T: std::fmt::Display>(name: &str, value: Option<T>) -> String {
+    match value {
+        Some(v) => format!("\"{name}\":{v}"),
+        None => format!("\"{name}\":null"),
+    }
+}
+
+#[test]
+fn field_order_and_elided_defaults_never_change_the_key() {
+    let mut rng = StdRng::seed_from_u64(0xCA9A_11CE);
+    for case_no in 0..CASES {
+        let case = draw(&mut rng);
+        let reference = case.key(&case.body(&mut rng, false, false));
+        for variant in 0..4 {
+            let body = case.body(&mut rng, true, true);
+            let key = case.key(&body);
+            assert_eq!(
+                key, reference,
+                "case {case_no} variant {variant}: {case:?}\nbody {body}"
+            );
+        }
+        // timeout_ms is a serve-level option, not a mining parameter: it
+        // must never split the key.
+        let timed = format!(
+            "{{\"timeout_ms\":{},{}}}",
+            rng.gen_range(1..10_000u64),
+            case.fields(&mut rng, false).join(",")
+        );
+        assert_eq!(case.key(&timed), reference, "case {case_no}: {timed}");
+    }
+}
+
+#[test]
+fn semantic_differences_always_split_the_key() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
+    for case_no in 0..CASES {
+        let case = draw(&mut rng);
+        let reference = case.key(&case.body(&mut rng, false, false));
+
+        let mut mutated = Vec::new();
+        let mut bump = case.clone();
+        bump.min_sup += 1;
+        mutated.push(bump);
+        let mut gap = case.clone();
+        gap.min_gap += 1;
+        mutated.push(gap);
+        let mut window = case.clone();
+        window.max_window = Some(window.max_window.map_or(5, |w| w + 1));
+        mutated.push(window);
+        let mut len = case.clone();
+        len.min_len += 1;
+        mutated.push(len);
+        let mut cap = case.clone();
+        cap.max_patterns = Some(cap.max_patterns.map_or(10, |c| c + 1));
+        mutated.push(cap);
+
+        for (i, variant) in mutated.iter().enumerate() {
+            let key = variant.key(&variant.body(&mut rng, true, false));
+            assert_ne!(
+                key, reference,
+                "case {case_no} mutation {i}: {case:?} vs {variant:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn known_equivalences_collapse_to_one_key() {
+    // mode top-k with the default k IS top_k=10 over closed patterns.
+    let a = parse_mine_request("{\"mode\":\"top-k\"}")
+        .expect("a")
+        .request;
+    let b = parse_mine_request("{\"mode\":\"closed\",\"top_k\":10}")
+        .expect("b")
+        .request;
+    assert_eq!(canonical_key(&a), canonical_key(&b));
+
+    // min_sup 0 normalizes to 1 (support is at least one occurrence).
+    let zero = parse_mine_request("{\"min_sup\":0}").expect("zero").request;
+    let one = parse_mine_request("{\"min_sup\":1}").expect("one").request;
+    assert_eq!(canonical_key(&zero), canonical_key(&one));
+
+    // The three top-k spellings agree.
+    for spelling in ["top-k", "topk", "top_k"] {
+        let parsed = parse_mine_request(&format!("{{\"mode\":\"{spelling}\"}}"))
+            .expect(spelling)
+            .request;
+        assert_eq!(canonical_key(&parsed), canonical_key(&a), "{spelling}");
+    }
+}

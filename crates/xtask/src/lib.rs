@@ -8,8 +8,10 @@
 //!   preceding line.
 //! * **panic-free hot paths** — the zero-alloc mining loops
 //!   (`core/src/{support,instbuf,closure,constrained}.rs`,
-//!   `seqdb/src/{store,index,shard}.rs`) may not use `.unwrap()`,
-//!   `.expect(...)`, `panic!`-family macros, or bare slice indexing.
+//!   `seqdb/src/{store,index,shard}.rs`) and the serving request path
+//!   (`serve/src/{worker,cache}.rs` — a panicking worker thread would
+//!   silently shrink the pool) may not use `.unwrap()`, `.expect(...)`,
+//!   `panic!`-family macros, or bare slice indexing.
 //!   `assert!`/`debug_assert!` bodies are exempt: asserts are documented
 //!   invariants, not accidental panics.
 //! * **cast** — the CSR offset/length math in
@@ -32,7 +34,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The hot-path modules whose loops must be panic-free (repo-relative).
-const HOT_PATH_FILES: [&str; 7] = [
+const HOT_PATH_FILES: [&str; 9] = [
     "crates/core/src/support.rs",
     "crates/core/src/instbuf.rs",
     "crates/core/src/closure.rs",
@@ -40,6 +42,8 @@ const HOT_PATH_FILES: [&str; 7] = [
     "crates/seqdb/src/store.rs",
     "crates/seqdb/src/index.rs",
     "crates/seqdb/src/shard.rs",
+    "crates/serve/src/worker.rs",
+    "crates/serve/src/cache.rs",
 ];
 
 /// The files whose offset/length math must use the checked `seqdb::cast`
