@@ -56,9 +56,9 @@ impl Bide<'_> {
         }
         let mut counts: HashMap<EventId, u64> = HashMap::new();
         for &(seq, offset) in projection {
-            let events = self.db.sequence(seq).expect("sequence exists").events();
+            let view = self.db.sequence(seq).expect("sequence exists");
             let mut seen: Vec<EventId> = Vec::new();
-            for &e in &events[offset..] {
+            for e in view.iter_events_from(offset) {
                 if !seen.contains(&e) {
                     seen.push(e);
                     *counts.entry(e).or_insert(0) += 1;
@@ -91,8 +91,8 @@ impl Bide<'_> {
             }
             let mut projected: Vec<(usize, usize)> = Vec::with_capacity(projection.len());
             for &(seq, offset) in projection {
-                let events = self.db.sequence(seq).expect("sequence exists").events();
-                if let Some(pos) = events[offset..].iter().position(|&e| e == event) {
+                let view = self.db.sequence(seq).expect("sequence exists");
+                if let Some(pos) = view.iter_events_from(offset).position(|e| e == event) {
                     projected.push((seq, offset + pos + 1));
                 }
             }

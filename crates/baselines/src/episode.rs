@@ -75,7 +75,7 @@ pub fn mine_episodes(sequence: SeqView<'_>, config: &EpisodeConfig) -> Vec<Episo
     if config.window_width == 0 || sequence.is_empty() {
         return Vec::new();
     }
-    let mut alphabet: Vec<EventId> = sequence.events().to_vec();
+    let mut alphabet: Vec<EventId> = sequence.to_vec();
     alphabet.sort_unstable();
     alphabet.dedup();
 

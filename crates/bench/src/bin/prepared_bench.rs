@@ -10,8 +10,9 @@
 //! ```text
 //! prepared_bench [--scale dev|paper] [--threads N] [--shards N] [--repeats N]
 //!                [--out FILE] [--columnar-out FILE] [--snapshot-out FILE]
-//!                [--sharded-out FILE]
-//!                [--only prepared|columnar|snapshot|sharded]
+//!                [--sharded-out FILE] [--growth-out FILE]
+//!                [--growth-floor BASELINE_FILE]
+//!                [--only prepared|columnar|snapshot|sharded|growth]
 //! ```
 //!
 //! `--only` restricts the run to one benchmark (and its output file) —
@@ -19,6 +20,10 @@
 //! only for its own suite. The sharded suite (`BENCH_shard.json`) measures
 //! flat vs sharded prepare time, per-shard byte footprints, and
 //! shard-parallel growth throughput against the PR 3 columnar baseline.
+//! The growth suite (`BENCH_growth_kernel.json`) measures the batched
+//! cursor kernels on long-sequence workloads; `--growth-floor` compares the
+//! fresh numbers against a committed baseline file and fails the run when
+//! any workload regressed by more than 30%.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,8 +41,10 @@ fn main() -> ExitCode {
     let mut columnar_out = PathBuf::from("BENCH_columnar_store.json");
     let mut snapshot_out = PathBuf::from("BENCH_snapshot.json");
     let mut sharded_out = PathBuf::from("BENCH_shard.json");
-    // Which benchmarks to run: (prepared, columnar, snapshot, sharded).
-    let mut phases = (true, true, true, true);
+    let mut growth_out = PathBuf::from("BENCH_growth_kernel.json");
+    let mut growth_floor: Option<PathBuf> = None;
+    // Which benchmarks to run: (prepared, columnar, snapshot, sharded, growth).
+    let mut phases = (true, true, true, true, true);
 
     let mut i = 0;
     while i < args.len() {
@@ -102,13 +109,28 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--growth-out" => match need_value(&mut i) {
+                Some(path) => growth_out = PathBuf::from(path),
+                None => {
+                    eprintln!("--growth-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--growth-floor" => match need_value(&mut i) {
+                Some(path) => growth_floor = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--growth-floor needs a baseline file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--only" => match need_value(&mut i).as_deref() {
-                Some("prepared") => phases = (true, false, false, false),
-                Some("columnar") => phases = (false, true, false, false),
-                Some("snapshot") => phases = (false, false, true, false),
-                Some("sharded") => phases = (false, false, false, true),
+                Some("prepared") => phases = (true, false, false, false, false),
+                Some("columnar") => phases = (false, true, false, false, false),
+                Some("snapshot") => phases = (false, false, true, false, false),
+                Some("sharded") => phases = (false, false, false, true, false),
+                Some("growth") => phases = (false, false, false, false, true),
                 _ => {
-                    eprintln!("--only needs prepared|columnar|snapshot|sharded");
+                    eprintln!("--only needs prepared|columnar|snapshot|sharded|growth");
                     return ExitCode::FAILURE;
                 }
             },
@@ -116,8 +138,9 @@ fn main() -> ExitCode {
                 println!(
                     "prepared_bench [--scale dev|paper] [--threads N] [--shards N] \
                      [--repeats N] [--out FILE] [--columnar-out FILE] \
-                     [--snapshot-out FILE] [--sharded-out FILE] \
-                     [--only prepared|columnar|snapshot|sharded]"
+                     [--snapshot-out FILE] [--sharded-out FILE] [--growth-out FILE] \
+                     [--growth-floor BASELINE_FILE] \
+                     [--only prepared|columnar|snapshot|sharded|growth]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -217,6 +240,45 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("# written to {}", sharded_out.display());
+    }
+
+    if phases.4 {
+        // Growth kernels: batched-cursor instance-growth throughput on the
+        // avg-~103/~200/~400 workloads plus the narrow-column byte savings,
+        // with an optional regression floor against a committed baseline.
+        let growth = prepared_bench::run_growth_kernel(scale, repeats);
+        let growth_json = growth.to_json();
+        println!("{growth_json}");
+        for w in &growth.workloads {
+            let saved = w.store_bytes_wide.saturating_sub(w.store_bytes);
+            println!(
+                "# {}: {:.0} growths/s, {}-byte events, {} store bytes ({} saved vs wide)",
+                w.dataset, w.growths_per_second, w.event_elem_bytes, w.store_bytes, saved,
+            );
+        }
+        if let Some(baseline_path) = &growth_floor {
+            match std::fs::read_to_string(baseline_path) {
+                Ok(baseline) => {
+                    if let Err(err) = prepared_bench::check_growth_floor(&growth, &baseline, 0.30) {
+                        eprintln!("error: growth-throughput floor violated: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "# growth floor OK against {} (max regression 30%)",
+                        baseline_path.display()
+                    );
+                }
+                Err(err) => {
+                    eprintln!("error: cannot read {}: {err}", baseline_path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Err(err) = std::fs::write(&growth_out, &growth_json) {
+            eprintln!("error: cannot write {}: {err}", growth_out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# written to {}", growth_out.display());
     }
     ExitCode::SUCCESS
 }

@@ -157,6 +157,24 @@ pub fn fig6_largest(scale: Scale) -> (String, SequenceDatabase) {
     (config.name(), config.generate())
 }
 
+/// Long-sequence QUEST datasets for the growth-kernel benchmark: the
+/// Figure 6 shape stretched past the paper's `C = S` sweep to average
+/// lengths of roughly 200 and 400 events, where posting rows are long and
+/// per-call probes (slot re-derivation + whole-row binary search) hurt the
+/// most — exactly the regime the batched cursor kernels target.
+pub fn long_seq_datasets(scale: Scale) -> Vec<(String, SequenceDatabase)> {
+    LONG_SEQ_LENGTHS
+        .iter()
+        .map(|&len| {
+            let config = fig6_config(scale, len);
+            (config.name(), config.generate())
+        })
+        .collect()
+}
+
+/// The average-length sweep of the long-sequence growth workloads.
+const LONG_SEQ_LENGTHS: [usize; 2] = [200, 400];
+
 /// The JBoss-like case-study dataset (§IV-B); it is small in the paper (28
 /// traces), so both scales generate the same data.
 pub fn case_study_dataset(_scale: Scale) -> (String, SequenceDatabase) {
@@ -190,6 +208,20 @@ mod tests {
         assert!(fig4.num_sequences() <= 200);
         assert_eq!(fig5_datasets(Scale::Dev).len(), 5);
         assert_eq!(fig6_datasets(Scale::Dev).len(), 5);
+    }
+
+    #[test]
+    fn long_sequence_datasets_stretch_the_average_length() {
+        let long = long_seq_datasets(Scale::Dev);
+        assert_eq!(long.len(), 2);
+        let avg = |db: &SequenceDatabase| db.total_length() as f64 / db.num_sequences() as f64;
+        let (_, d200) = &long[0];
+        let (_, d400) = &long[1];
+        assert!(avg(d200) >= 150.0, "avg {}", avg(d200));
+        assert!(avg(d400) >= 300.0, "avg {}", avg(d400));
+        assert!(avg(d400) > avg(d200));
+        // Dev scale stays CI-sized.
+        assert!(d400.num_sequences() <= 200);
     }
 
     #[test]

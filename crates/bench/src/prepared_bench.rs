@@ -508,6 +508,192 @@ fn snapshot_workload(
     }
 }
 
+/// Growth-kernel measurements of one workload: batched-cursor instance
+/// growth throughput plus the narrow-column storage footprint.
+#[derive(Debug, Clone)]
+pub struct GrowthKernelWorkload {
+    /// Dataset description (name + stats summary).
+    pub dataset: String,
+    /// Support threshold of the growth run.
+    pub min_sup: u64,
+    /// Pattern budget of the capped GSgrow run (see
+    /// [`ColumnarWorkload::pattern_cap`]).
+    pub pattern_cap: usize,
+    /// Physical bytes of one event-arena element (2 narrow, 4 wide).
+    pub event_elem_bytes: usize,
+    /// Live bytes of the event store at its actual width.
+    pub store_bytes: usize,
+    /// What the same store would occupy at 4 bytes per event —
+    /// `store_bytes_wide - store_bytes` is the narrow-column saving.
+    pub store_bytes_wide: usize,
+    /// Instance growths performed by one capped GSgrow run at `min_sup`.
+    pub instance_growths: u64,
+    /// Best-of-N wall time of that run (prepared snapshot; no index build).
+    pub growth_seconds: f64,
+    /// `instance_growths / growth_seconds`.
+    pub growths_per_second: f64,
+}
+
+impl GrowthKernelWorkload {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": {}, \"min_sup\": {}, \"pattern_cap\": {}, \
+             \"event_elem_bytes\": {}, \"store_bytes\": {}, \"store_bytes_wide\": {}, \
+             \"instance_growths\": {}, \"growth_seconds\": {:.6}, \
+             \"growths_per_second\": {:.0}}}",
+            escape(&self.dataset),
+            self.min_sup,
+            self.pattern_cap,
+            self.event_elem_bytes,
+            self.store_bytes,
+            self.store_bytes_wide,
+            self.instance_growths,
+            self.growth_seconds,
+            self.growths_per_second,
+        )
+    }
+}
+
+/// The growth-kernel benchmark report (`BENCH_growth_kernel.json`).
+#[derive(Debug, Clone)]
+pub struct GrowthKernelReport {
+    /// Benchmark scale (dev/paper).
+    pub scale: String,
+    /// The pre-kernel baseline these numbers are compared against: its
+    /// third workload is the same avg-length-~103 Fig. 6 dataset measured
+    /// with the per-call `next()` probe.
+    pub baseline: String,
+    /// Per-workload measurements: the Fig. 6 avg-~103 workload (the
+    /// baseline comparison point) plus the avg-~200 / avg-~400
+    /// long-sequence datasets.
+    pub workloads: Vec<GrowthKernelWorkload>,
+}
+
+impl GrowthKernelReport {
+    /// Renders the report as a JSON object (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let workloads: Vec<String> = self
+            .workloads
+            .iter()
+            .map(|w| format!("    {}", w.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"growth_kernel\",\n  \"scale\": {},\n  \
+             \"baseline\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+            escape(&self.scale),
+            escape(&self.baseline),
+            workloads.join(",\n"),
+        )
+    }
+}
+
+/// Measures one growth-kernel workload: narrow-column byte footprints from
+/// the dataset statistics plus the capped-GSgrow growth throughput of
+/// [`columnar_workload`]'s measurement loop.
+fn growth_kernel_workload(
+    name: &str,
+    db: &seqdb::SequenceDatabase,
+    min_sup: u64,
+    repeats: usize,
+) -> GrowthKernelWorkload {
+    let stats = db.stats();
+    let prepared = PreparedDb::new(db);
+    let (growth_seconds, report) = best_of(repeats, || {
+        let mut sink = CountSink::new();
+        prepared
+            .miner()
+            .min_sup(min_sup)
+            .mode(Mode::All)
+            .max_patterns(GROWTH_PATTERN_CAP)
+            .run_with_sink(&mut sink)
+    });
+    let instance_growths = report.stats.instance_growths;
+    GrowthKernelWorkload {
+        dataset: format!("{name}: {}", stats.summary()),
+        min_sup,
+        pattern_cap: GROWTH_PATTERN_CAP,
+        event_elem_bytes: stats.event_elem_bytes,
+        store_bytes: stats.store_bytes,
+        store_bytes_wide: stats.store_bytes_wide,
+        instance_growths,
+        growth_seconds,
+        growths_per_second: instance_growths as f64 / growth_seconds.max(1e-12),
+    }
+}
+
+/// Runs the growth-kernel benchmark: the Fig. 6 avg-length-~103 workload
+/// (directly comparable against the per-call-probe numbers in
+/// `BENCH_columnar_store.json`) plus the avg-~200 / avg-~400 long-sequence
+/// datasets where batched cursors pay off the most.
+pub fn run_growth_kernel(scale: Scale, repeats: usize) -> GrowthKernelReport {
+    let min_sup = datasets::fig5_fig6_threshold(scale);
+    let mut workloads = Vec::new();
+
+    let (fig6_name, fig6_db) = datasets::fig6_largest(scale);
+    workloads.push(growth_kernel_workload(
+        &fig6_name, &fig6_db, min_sup, repeats,
+    ));
+
+    for (name, db) in datasets::long_seq_datasets(scale) {
+        workloads.push(growth_kernel_workload(&name, &db, min_sup, repeats));
+    }
+
+    GrowthKernelReport {
+        scale: format!("{scale:?}").to_lowercase(),
+        baseline: "BENCH_columnar_store.json (PR 5, per-call next() probe); \
+                   its committed 3,081,641 growths/s predates this container \
+                   - the PR 5 code re-measured here does 2,093,185"
+            .to_owned(),
+        workloads,
+    }
+}
+
+/// Compares a fresh growth-kernel report against a committed baseline
+/// report (the checked-in `BENCH_growth_kernel.json`) and fails when any
+/// shared workload regressed by more than `max_regression` (0.3 = 30%).
+///
+/// The baseline is parsed with the same hand-rolled discipline the reports
+/// are written with: the `"growths_per_second"` values in workload order.
+/// Workloads beyond the baseline's count (or a baseline with no numbers at
+/// all) are skipped rather than failed, so the check tolerates an older or
+/// hand-edited file.
+pub fn check_growth_floor(
+    report: &GrowthKernelReport,
+    baseline_json: &str,
+    max_regression: f64,
+) -> Result<(), String> {
+    let baseline: Vec<f64> = baseline_json
+        .match_indices("\"growths_per_second\":")
+        .filter_map(|(at, key)| {
+            let rest = baseline_json.get(at + key.len()..)?;
+            let number: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            number.parse().ok()
+        })
+        .collect();
+    if baseline.is_empty() {
+        return Err("baseline has no growths_per_second values".to_owned());
+    }
+    for (w, &floor_base) in report.workloads.iter().zip(&baseline) {
+        let floor = floor_base * (1.0 - max_regression);
+        if w.growths_per_second < floor {
+            return Err(format!(
+                "{}: {:.0} growths/s is below the floor {:.0} \
+                 (baseline {:.0}, max regression {:.0}%)",
+                w.dataset,
+                w.growths_per_second,
+                floor,
+                floor_base,
+                max_regression * 100.0,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Per-shard byte footprint of one sharded workload.
 #[derive(Debug, Clone)]
 pub struct ShardBytes {
@@ -997,6 +1183,71 @@ mod tests {
         );
         assert!(w.instance_growths > 0);
         assert!(w.flat_prepare_seconds >= 0.0 && w.sharded_prepare_seconds >= 0.0);
+    }
+
+    #[test]
+    fn growth_kernel_report_serializes_to_balanced_json() {
+        let report = GrowthKernelReport {
+            scale: "dev".into(),
+            baseline: "BENCH_columnar_store.json (PR 5, per-call next() probe)".into(),
+            workloads: vec![GrowthKernelWorkload {
+                dataset: "toy".into(),
+                min_sup: 20,
+                pattern_cap: 50_000,
+                event_elem_bytes: 2,
+                store_bytes: 1000,
+                store_bytes_wide: 1900,
+                instance_growths: 6000,
+                growth_seconds: 0.001,
+                growths_per_second: 6_000_000.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"growth_kernel\""));
+        assert!(json.contains("\"event_elem_bytes\": 2"));
+        assert!(json.contains("\"growths_per_second\": 6000000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn growth_kernel_workload_measures_a_small_database() {
+        let db = seqdb::SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let w = growth_kernel_workload("running example", &db, 2, 1);
+        assert_eq!(w.event_elem_bytes, 2, "4-event alphabet must be narrow");
+        assert!(w.store_bytes < w.store_bytes_wide);
+        assert!(w.instance_growths > 0);
+        assert!(w.growths_per_second > 0.0);
+    }
+
+    #[test]
+    fn growth_floor_check_accepts_equal_and_rejects_regressed_numbers() {
+        let report = GrowthKernelReport {
+            scale: "dev".into(),
+            baseline: "x".into(),
+            workloads: vec![GrowthKernelWorkload {
+                dataset: "toy".into(),
+                min_sup: 20,
+                pattern_cap: 50_000,
+                event_elem_bytes: 2,
+                store_bytes: 1000,
+                store_bytes_wide: 1900,
+                instance_growths: 6000,
+                growth_seconds: 0.001,
+                growths_per_second: 6_000_000.0,
+            }],
+        };
+        let same = report.to_json();
+        assert!(check_growth_floor(&report, &same, 0.3).is_ok());
+        // 30% headroom: a baseline up to 1/0.7 of the measurement passes.
+        let faster = same.replace("6000000", "8000000");
+        assert!(check_growth_floor(&report, &faster, 0.3).is_ok());
+        // Beyond the floor fails with a descriptive message.
+        let much_faster = same.replace("6000000", "10000000");
+        let err = check_growth_floor(&report, &much_faster, 0.3).unwrap_err();
+        assert!(err.contains("below the floor"), "{err}");
+        // A baseline without numbers is an explicit error, not a pass.
+        assert!(check_growth_floor(&report, "{}", 0.3).is_err());
     }
 
     #[test]

@@ -407,6 +407,13 @@ fn run_snapshot_info(options: &Options) -> ExitCode {
         println!("contents:  {sequences} sequences, {events} events, {total_length} total length");
     }
     println!("version:   {}", image.version());
+    if let Some(entry) = image.section(section_id::STORE_EVENTS) {
+        let (width, note) = match entry.elem_size {
+            2 => ("u16 (narrow)", " — half the wide arena's bytes"),
+            _ => ("u32 (wide)", ""),
+        };
+        println!("events:    {width} elements{note}");
+    }
     println!("sections:  (name, id, offset, bytes, elements)");
     for entry in image.sections() {
         let name = match section_id::shard_of(entry.id) {
@@ -486,7 +493,23 @@ fn run_stats(source: &Loaded) -> ExitCode {
     );
     println!("max event occurrences: {}", stats.max_event_occurrences);
     println!("avg event occurrences: {:.2}", stats.avg_event_occurrences);
+    println!(
+        "event element width:   {} bytes ({})",
+        stats.event_elem_bytes,
+        if stats.event_elem_bytes == 2 {
+            "narrow u16 — alphabet fits 65536 ids"
+        } else {
+            "wide u32"
+        }
+    );
     println!("store bytes (CSR):     {}", stats.store_bytes);
+    if stats.store_bytes_wide > stats.store_bytes {
+        println!(
+            "  narrow saving:       {} bytes vs a wide (u32) arena ({})",
+            stats.store_bytes_wide - stats.store_bytes,
+            stats.store_bytes_wide,
+        );
+    }
     println!("index bytes (CSR):     {index_bytes}");
     if stats.total_length > 0 {
         println!(

@@ -49,8 +49,9 @@ use crate::config::MiningConfig;
 use crate::constraints::GapConstraints;
 use crate::engine::{Miner, Mode};
 use crate::growth::{SetPool, SupportComputer};
-use crate::instance::{Instance, Landmark};
+use crate::instance::Landmark;
 use crate::instbuf::InstanceBuffer;
+use crate::kernel;
 use crate::pattern::Pattern;
 use crate::prepared::PreparedRef;
 use crate::result::{MiningOutcome, MiningStats};
@@ -111,28 +112,17 @@ impl<'a> ConstrainedSupportComputer<'a> {
     /// through the miners' set pools.
     pub fn instance_growth_into(&self, support: &SupportSet, event: EventId, out: &mut SupportSet) {
         out.clear();
-        for (seq, instances) in support.per_sequence() {
-            let mut last_position = 0u32;
-            for instance in instances {
-                let lowest = last_position.max(self.constraints.lowest_exclusive(instance.last));
-                let highest = self
-                    .constraints
-                    .highest_inclusive(instance.first, instance.last);
-                match self.sc.index().next(seq, event, lowest) {
-                    Some(pos) if pos <= highest => {
-                        last_position = pos;
-                        out.push(Instance::new(instance.seq, instance.first, pos));
-                    }
-                    // The next occurrence exists but violates a constraint:
-                    // this instance cannot be extended, but instances ending
-                    // further right might still be, so keep scanning.
-                    Some(_) => continue,
-                    // No occurrence of `event` remains in this sequence at
-                    // all: later instances end even further right, so stop.
-                    None => break,
-                }
-            }
-        }
+        // One fused constrained pass: each posting row is resolved once and
+        // swept across the sequence's whole run — a window miss rejects
+        // only the current instance (the cursor keeps the position for the
+        // next one); row exhaustion ends the run.
+        kernel::grow_constrained(
+            self.sc.index(),
+            event,
+            &self.constraints,
+            support.instances(),
+            out,
+        );
     }
 
     /// Constrained `supComp`: the constrained leftmost support set of an

@@ -10,6 +10,7 @@
 use seqdb::{EventId, InvertedIndex, SequenceDatabase, ShardedIndex};
 
 use crate::instance::{Instance, Landmark};
+use crate::kernel;
 use crate::pattern::Pattern;
 use crate::support::{reconstruct_landmarks_impl, SupportSet};
 
@@ -161,31 +162,11 @@ impl<'a> SupportComputer<'a> {
         out: &mut SupportSet,
     ) {
         out.clear();
-        let total = support.instances().len();
-        let mut processed = 0usize;
-        for (seq, instances) in support.per_sequence() {
-            let mut last_position = 0u32;
-            for instance in instances {
-                let lowest = last_position.max(instance.last);
-                match self.index().next(seq, event, lowest) {
-                    Some(pos) => {
-                        last_position = pos;
-                        out.push(Instance::new(instance.seq, instance.first, pos));
-                    }
-                    // No further occurrence of `event` in this sequence: the
-                    // remaining instances of this sequence end even further
-                    // right, so none of them can be extended either.
-                    None => break,
-                }
-            }
-            processed += instances.len();
-            // Early exit: even if every remaining input instance could be
-            // extended, the target cannot be reached.
-            let remaining = total - processed;
-            if target != usize::MAX && out.instances().len() + remaining < target {
-                return;
-            }
-        }
+        // One fused pass: each `(sequence, event)` posting row is resolved
+        // once, the cursor advances through the sequence's whole run
+        // (gallop + branch-free search), and run boundaries are detected
+        // inline instead of by a separate pre-scan.
+        kernel::grow_unconstrained(self.index(), event, support.instances(), target, out);
     }
 
     /// `supComp(SeqDB, P)` (Algorithm 1): the leftmost support set of an

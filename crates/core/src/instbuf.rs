@@ -153,7 +153,13 @@ impl InstanceBuffer {
             let end = i + rest.iter().take_while(|&&s| s == seq).count();
             // Within one sequence: greedy right-shift-order extension with
             // the strictly-increasing `last_position` watermark of
-            // Algorithm 2, line 5.
+            // Algorithm 2, line 5. The `(seq, event)` posting row is
+            // resolved once per run and advanced by a monotone cursor
+            // instead of re-searching the whole row per instance.
+            let Some(mut cursor) = index.cursor(seq as usize, event) else {
+                i = end;
+                continue;
+            };
             let mut last_position = 0u32;
             for j in i..end {
                 let Some(landmark) = positions.get(j * stride..(j + 1) * stride) else {
@@ -166,7 +172,7 @@ impl InstanceBuffer {
                 };
                 let lowest = last_position.max(constraints.lowest_exclusive(prev));
                 let highest = constraints.highest_inclusive(first, prev);
-                match index.next(seq as usize, event, lowest) {
+                match cursor.next_after(lowest) {
                     Some(pos) if pos <= highest => {
                         last_position = pos;
                         spare_seqs.push(seq);

@@ -1,0 +1,279 @@
+//! Batched, branch-free growth kernels: whole-pass instance advancement
+//! over resolved posting rows.
+//!
+//! The per-call probe `next(S, e, lowest)` (Algorithm 2, line 9) pays the
+//! full price on every invocation: derive the `(sequence, event)` CSR slot,
+//! binary-search the entire posting row, return one position. But one
+//! extension pass processes all instances of a sequence **consecutively and
+//! in right-shift order**, and along that run the probe's `lowest` bound is
+//! non-decreasing — the `last_position` watermark only grows, instance
+//! `last` positions are sorted, and the constrained lower bound
+//! `lowest_exclusive` is monotone in them. So the row can be resolved
+//! *once* (a [`PostingCursor`](seqdb::PostingCursor)) and advanced
+//! monotonically: each probe gallops forward from the previous landmark for
+//! short strides and falls back to a branch-free binary search over the
+//! galloped bracket for long ones, permanently discarding the consumed
+//! prefix. A run of `k` probes over a row of length `L` costs amortized
+//! `O(L + k·log(stride))` instead of `k` independent `O(log L)` searches
+//! plus `k` slot derivations.
+//!
+//! The kernels also fuse **run detection** into the same pass: a support
+//! set stores its instances sorted by `(seq, last)`, so a sequence's run is
+//! found by watching `seq` change under a single forward index — not by a
+//! separate `take_while` pre-scan that touches every instance twice. A
+//! successfully extended instance is therefore loaded exactly once; only a
+//! run cut short by row exhaustion pays a skip scan over its tail.
+//!
+//! The kernels are drop-in replacements for the per-call probe loops: for
+//! every input they emit exactly the instances the naive loop emits, in the
+//! same order — pinned by the unit tests here, the seeded property suite in
+//! `seqdb` (`posting_cursor.rs`), and the cross-width equivalence suite
+//! (`width_kernel_equivalence.rs`).
+
+use seqdb::{EventId, ShardedIndex};
+
+use crate::constraints::GapConstraints;
+use crate::instance::Instance;
+use crate::support::SupportSet;
+
+/// One unconstrained extension pass (Algorithm 2): grows every instance of
+/// `instances` (sorted by `(seq, last)`) by `event`, appending the grown
+/// instances to `out` in the same order.
+///
+/// Within a sequence's run the row cursor advances under the
+/// strictly-increasing `last_position` watermark; the run stops at the
+/// first instance with no further occurrence of the event, because later
+/// instances end even further right. With `target != usize::MAX` the pass
+/// returns early once even extending every remaining instance could not
+/// reach `target` grown instances (the caller is about to discard the set
+/// as infrequent anyway).
+#[inline]
+pub(crate) fn grow_unconstrained(
+    index: &ShardedIndex,
+    event: EventId,
+    instances: &[Instance],
+    target: usize,
+    out: &mut SupportSet,
+) {
+    let total = instances.len();
+    let mut i = 0usize;
+    while let Some(head) = instances.get(i) {
+        let seq = head.seq;
+        let Some(mut cursor) = index.cursor(seq as usize, event) else {
+            // Out-of-range ids resolve no cursor: skip the whole run.
+            while instances.get(i).is_some_and(|inst| inst.seq == seq) {
+                i += 1;
+            }
+            continue;
+        };
+        let mut last_position = 0u32;
+        while let Some(instance) = instances.get(i) {
+            if instance.seq != seq {
+                break;
+            }
+            // The consuming probe is sound here: the watermark makes every
+            // later bound at least the emitted position, so an emitted
+            // position can never be the answer again within this run.
+            match cursor.next_after_consuming(last_position.max(instance.last)) {
+                Some(pos) => {
+                    last_position = pos;
+                    out.push(Instance::new(seq, instance.first, pos));
+                    i += 1;
+                }
+                None => {
+                    // Row exhausted: the remaining instances of this run
+                    // end even further right, so none of them can be
+                    // extended either — skip the run's tail.
+                    while instances.get(i).is_some_and(|inst| inst.seq == seq) {
+                        i += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        // Early exit: even if every remaining input instance could be
+        // extended, the target cannot be reached.
+        if target != usize::MAX && out.instances().len() + (total - i) < target {
+            return;
+        }
+    }
+}
+
+/// One gap-constrained extension pass: like [`grow_unconstrained`], but
+/// each probe's window is bounded by `constraints` relative to the instance
+/// being grown.
+///
+/// A position outside the window rejects only the current instance (the
+/// cursor does **not** consume it — the same position may satisfy the next
+/// instance's window, whose bounds differ); row exhaustion ends the run for
+/// every remaining instance of the sequence.
+#[inline]
+pub(crate) fn grow_constrained(
+    index: &ShardedIndex,
+    event: EventId,
+    constraints: &GapConstraints,
+    instances: &[Instance],
+    out: &mut SupportSet,
+) {
+    let mut i = 0usize;
+    while let Some(head) = instances.get(i) {
+        let seq = head.seq;
+        let Some(mut cursor) = index.cursor(seq as usize, event) else {
+            // Out-of-range ids resolve no cursor: skip the whole run.
+            while instances.get(i).is_some_and(|inst| inst.seq == seq) {
+                i += 1;
+            }
+            continue;
+        };
+        let mut last_position = 0u32;
+        while let Some(instance) = instances.get(i) {
+            if instance.seq != seq {
+                break;
+            }
+            // `lowest` stays non-decreasing along the run: the watermark
+            // only grows and `lowest_exclusive` is monotone in the sorted
+            // `last` positions — exactly the cursor's contract. The probe
+            // must NOT consume: a position rejected for this instance's
+            // window may satisfy the next instance's.
+            let lowest = last_position.max(constraints.lowest_exclusive(instance.last));
+            let highest = constraints.highest_inclusive(instance.first, instance.last);
+            match cursor.next_after(lowest) {
+                Some(pos) if pos <= highest => {
+                    last_position = pos;
+                    out.push(Instance::new(seq, instance.first, pos));
+                    i += 1;
+                }
+                // Window miss: reject this instance only; the position
+                // stays at the cursor front for the next instance.
+                Some(_) => i += 1,
+                None => {
+                    while instances.get(i).is_some_and(|inst| inst.seq == seq) {
+                        i += 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdb::SequenceDatabase;
+
+    /// Table III: S1 = ABCACBDDB, S2 = ACDBACADD.
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    /// The naive per-call loop the unconstrained kernel replaces.
+    fn naive_unconstrained(
+        index: &ShardedIndex,
+        event: EventId,
+        instances: &[Instance],
+    ) -> Vec<Instance> {
+        let mut out = Vec::new();
+        let mut current_seq = u32::MAX;
+        let mut last_position = 0u32;
+        let mut dead = false;
+        for instance in instances {
+            if instance.seq != current_seq {
+                current_seq = instance.seq;
+                last_position = 0;
+                dead = false;
+            }
+            if dead {
+                continue;
+            }
+            let lowest = last_position.max(instance.last);
+            match index.next(instance.seq as usize, event, lowest) {
+                Some(pos) => {
+                    last_position = pos;
+                    out.push(Instance::new(instance.seq, instance.first, pos));
+                }
+                None => dead = true,
+            }
+        }
+        out
+    }
+
+    fn multi_run_instances() -> Vec<Instance> {
+        vec![
+            Instance::new(0, 1, 1),
+            Instance::new(0, 2, 3),
+            Instance::new(0, 4, 6),
+            Instance::new(1, 1, 2),
+            Instance::new(1, 3, 5),
+        ]
+    }
+
+    #[test]
+    fn unconstrained_kernel_matches_the_per_call_probe() {
+        let db = running_example();
+        let index = ShardedIndex::single(db.inverted_index());
+        let instances = multi_run_instances();
+        for event in db.catalog().ids() {
+            let expected = naive_unconstrained(&index, event, &instances);
+            let mut out = SupportSet::new();
+            grow_unconstrained(&index, event, &instances, usize::MAX, &mut out);
+            assert_eq!(out.instances(), expected.as_slice(), "event {event:?}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_kernel_honors_the_target_early_exit() {
+        let db = running_example();
+        let index = ShardedIndex::single(db.inverted_index());
+        let b = db.catalog().id("B").expect("B interned");
+        let instances = multi_run_instances();
+        // An unreachable target aborts after the first sequence's run.
+        let mut out = SupportSet::new();
+        grow_unconstrained(&index, b, &instances, instances.len() + 1, &mut out);
+        assert!(out.instances().len() < instances.len());
+    }
+
+    #[test]
+    fn constrained_kernel_rejects_without_consuming() {
+        // S1 = ABCACBDDB: D at positions {7, 8}. With max_gap 0 an instance
+        // ending at 3 cannot reach 7, but the rejected position 7 must stay
+        // available for a later instance ending at 6.
+        let db = running_example();
+        let index = ShardedIndex::single(db.inverted_index());
+        let d = db.catalog().id("D").expect("D interned");
+        let contiguous = GapConstraints::max_gap(0);
+        let instances = vec![
+            Instance::new(0, 1, 3),
+            Instance::new(0, 2, 6),
+            Instance::new(0, 4, 7),
+        ];
+        let mut out = SupportSet::new();
+        grow_constrained(&index, d, &contiguous, &instances, &mut out);
+        // (1,3): next D after 3 is 7, gap too large — rejected, not consumed.
+        // (2,6): next D after 6 is 7, contiguous — emitted.
+        // (4,7): next D after 7 is 8, contiguous — emitted.
+        assert_eq!(
+            out.instances(),
+            &[Instance::new(0, 2, 7), Instance::new(0, 4, 8)]
+        );
+    }
+
+    #[test]
+    fn unbounded_constraints_degenerate_to_the_unconstrained_kernel() {
+        let db = running_example();
+        let index = ShardedIndex::single(db.inverted_index());
+        let unbounded = GapConstraints::unbounded();
+        let instances = multi_run_instances();
+        for event in db.catalog().ids() {
+            let mut plain = SupportSet::new();
+            grow_unconstrained(&index, event, &instances, usize::MAX, &mut plain);
+            let mut constrained = SupportSet::new();
+            grow_constrained(&index, event, &unbounded, &instances, &mut constrained);
+            assert_eq!(
+                plain.instances(),
+                constrained.instances(),
+                "event {event:?}"
+            );
+        }
+    }
+}

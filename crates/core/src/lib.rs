@@ -162,6 +162,7 @@ pub mod gsgrow;
 pub mod instance;
 pub mod instbuf;
 pub mod json;
+pub mod kernel;
 pub mod maximal;
 mod parallel;
 pub mod pattern;

@@ -138,7 +138,7 @@ impl<'a> PreparedRef<'a> {
 pub struct ImageInfo {
     /// The FNV-1a 64 full-file checksum from the image header.
     pub checksum: u64,
-    /// The snapshot format version (1 or 2).
+    /// The snapshot format version (1 through 3).
     pub version: u32,
 }
 
@@ -284,8 +284,8 @@ impl PreparedDb {
         self.image.map(|info| info.checksum)
     }
 
-    /// The snapshot format version (1 or 2) of the backing image, `None`
-    /// for heap builds.
+    /// The snapshot format version (1 through 3) of the backing image,
+    /// `None` for heap builds.
     pub fn image_version(&self) -> Option<u32> {
         self.image.map(|info| info.version)
     }
@@ -408,8 +408,8 @@ impl PreparedDb {
                 store.total_length()
             ));
         }
-        if let Some((i, &event)) = store
-            .arena()
+        if let Some((i, event)) = store
+            .event_column()
             .iter()
             .enumerate()
             .find(|(_, e)| e.index() >= num_events)
@@ -470,7 +470,7 @@ impl PreparedDb {
 
         // Counts and candidate order against an actual recount of the arena.
         let mut histogram = vec![0u64; num_events];
-        for event in store.arena() {
+        for event in store.event_column().iter() {
             if let Some(slot) = histogram.get_mut(event.index()) {
                 *slot += 1;
             }

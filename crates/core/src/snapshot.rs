@@ -2,14 +2,14 @@
 //! how it comes back out with zero copies.
 //!
 //! The format layer — header, section table, checksum, `mmap` — lives in
-//! [`seqdb::snapshot`]; this module is the *composition*. A format v2 image
+//! [`seqdb::snapshot`]; this module is the *composition*. A format v3 image
 //! (what this build writes) holds the global sections plus one section
 //! triple per shard:
 //!
 //! | section | contents |
 //! |---|---|
 //! | `meta` | `[num_sequences, num_events, total_length]` as `u64`s |
-//! | `store.events` | the flat [`seqdb::SeqStore`] event arena (global) |
+//! | `store.events` | the flat [`seqdb::SeqStore`] event arena (global), at its narrowest width |
 //! | `store.offsets` | the store's CSR offsets (per sequence + sentinel) |
 //! | `catalog` | the interned event labels, length-prefixed UTF-8 |
 //! | `event.counts` | per-event total occurrence counts (`u64`) |
@@ -25,6 +25,13 @@
 //! (or, later, every node) its shard subset without copying. Format v1
 //! images (a single global `index.offsets`/`index.positions` pair, no
 //! shard table) still open, as one shard.
+//!
+//! The `store.events` section is written **narrowest-fit** (format v3):
+//! when every event id fits `u16` the arena is serialized at 2 bytes per
+//! element and mapped back as an [`seqdb::EventColumn::Narrow`] column —
+//! half the on-disk and resident event bytes. Larger alphabets stay at 4
+//! bytes. Opening dispatches on the section's recorded element size, so
+//! wide v1/v2 images (and wide v3 images) keep opening unchanged.
 //!
 //! Opening reconstructs every array as a [`seqdb::SharedSlice`] borrowing
 //! the mapped image and cross-checks the sections (dimensions against
@@ -48,13 +55,13 @@ use seqdb::snapshot::{
     SnapshotWriter,
 };
 use seqdb::{
-    InvertedIndex, SeqStore, SequenceDatabase, ShardMap, ShardedIndex, ShardedSeqStore,
-    SnapshotError,
+    EventColumn, EventWidth, InvertedIndex, SeqStore, SequenceDatabase, ShardMap, ShardedIndex,
+    ShardedSeqStore, SnapshotError,
 };
 
 use crate::prepared::{ImageInfo, PreparedDb, PreparedParts};
 
-/// Serializes `prepared` to `path` in one pass (format v2); returns bytes
+/// Serializes `prepared` to `path` in one pass (format v3); returns bytes
 /// written.
 pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, SnapshotError> {
     let db = prepared.database();
@@ -74,13 +81,25 @@ pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, 
         .collect();
     let parts = prepared.parts();
 
+    // Narrowest-fit event column: an already-narrow column serializes its
+    // u16 arena as-is; a wide column whose ids all fit u16 (e.g. one mapped
+    // from a pre-v3 wide image) is re-narrowed for the new image; only a
+    // genuinely large alphabet stays at 4 bytes per event.
+    let column = db.store().event_column();
+    let renarrowed: Option<Vec<u16>> = if column.is_narrow() {
+        None
+    } else {
+        column.iter().map(u16::from_event).collect()
+    };
+    let events_payload = match renarrowed.as_deref().or_else(|| column.narrow_slice()) {
+        Some(narrow) => SectionPayload::U16s(narrow),
+        None => SectionPayload::EventIds(column.wide_slice().unwrap_or(&[])),
+    };
+
     let mut writer = SnapshotWriter::new();
     writer
         .section(section_id::META, SectionPayload::U64s(&meta))
-        .section(
-            section_id::STORE_EVENTS,
-            SectionPayload::EventIds(db.store().arena()),
-        )
+        .section(section_id::STORE_EVENTS, events_payload)
         .section(
             section_id::STORE_OFFSETS,
             SectionPayload::U32s(db.store().offsets()),
@@ -115,7 +134,7 @@ pub(crate) fn write_prepared(prepared: &PreparedDb, path: &Path) -> Result<u64, 
     writer.write_to_path(path)
 }
 
-/// Opens and cross-validates an image (format v1 or v2), reconstructing
+/// Opens and cross-validates an image (format v1, v2 or v3), reconstructing
 /// every arena as a zero-copy slice over it.
 pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
     let image = std::sync::Arc::new(SnapshotImage::open(path)?);
@@ -141,11 +160,18 @@ pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
         )));
     }
 
-    let store = SeqStore::from_shared_parts(
-        image.shared_event_ids(section_id::STORE_EVENTS)?,
-        image.shared_u32s(section_id::STORE_OFFSETS)?,
-    )
-    .map_err(corrupt)?;
+    // Width dispatch: the section table records the element size the arena
+    // was written at — 2 maps back narrow, 4 maps back wide.
+    let narrow_events = image
+        .section(section_id::STORE_EVENTS)
+        .is_some_and(|entry| entry.elem_size == 2);
+    let events = if narrow_events {
+        EventColumn::Narrow(image.shared_u16s(section_id::STORE_EVENTS)?)
+    } else {
+        EventColumn::Wide(image.shared_event_ids(section_id::STORE_EVENTS)?)
+    };
+    let store = SeqStore::from_shared_parts(events, image.shared_u32s(section_id::STORE_OFFSETS)?)
+        .map_err(corrupt)?;
     if store.num_sequences() != num_sequences || store.total_length() != total_length {
         return Err(corrupt(format!(
             "store holds {} sequences / {} events but meta records \
@@ -154,7 +180,7 @@ pub(crate) fn open_prepared(path: &Path) -> Result<PreparedDb, SnapshotError> {
             store.total_length()
         )));
     }
-    if store.arena().iter().any(|e| e.index() >= num_events) {
+    if store.event_column().iter().any(|e| e.index() >= num_events) {
         return Err(corrupt(
             "store arena references an event id outside the catalog",
         ));
@@ -240,7 +266,9 @@ fn open_shards(
         .collect::<Result<_, _>>()?;
     let map = ShardMap::from_bounds(bounds, num_sequences).map_err(corrupt)?;
 
-    let global_events = image.shared_event_ids(section_id::STORE_EVENTS)?;
+    // Shard event windows slice the (already width-dispatched) global
+    // column; the mapped backing makes them zero-copy at either width.
+    let global_events = store.event_column();
     let global_offsets = store.offsets();
     let mut shard_stores = Vec::with_capacity(map.num_shards());
     let mut shard_indexes = Vec::with_capacity(map.num_shards());
@@ -340,13 +368,15 @@ mod tests {
             db.total_length() as u64,
         ];
         let catalog_bytes = seqdb::snapshot::catalog_to_bytes(db.catalog());
+        // v1 images only ever carried wide arenas.
+        let wide_events = db.store().event_column().to_wide_vec();
         let path = temp_path("v1-compat");
         let mut writer = SnapshotWriter::new().with_version(1);
         writer
             .section(section_id::META, SectionPayload::U64s(&meta))
             .section(
                 section_id::STORE_EVENTS,
-                SectionPayload::EventIds(db.store().arena()),
+                SectionPayload::EventIds(&wide_events),
             )
             .section(
                 section_id::STORE_OFFSETS,

@@ -270,6 +270,7 @@ fn cross_section_inconsistencies_are_rejected() {
         .map(|e| prepared.occurrence_count(e))
         .collect();
     let order: Vec<seqdb::EventId> = prepared.frequent_events(1);
+    let wide_events = db.store().event_column().to_wide_vec();
 
     let meta = [
         db.num_sequences() as u64 + 1, // lie
@@ -281,7 +282,7 @@ fn cross_section_inconsistencies_are_rejected() {
         .section(section_id::META, SectionPayload::U64s(&meta))
         .section(
             section_id::STORE_EVENTS,
-            SectionPayload::EventIds(db.store().arena()),
+            SectionPayload::EventIds(&wide_events),
         )
         .section(
             section_id::STORE_OFFSETS,

@@ -133,7 +133,14 @@ impl SequenceDatabase {
     ///
     /// For a single-event pattern this equals its repetitive support.
     pub fn event_occurrences(&self, event: EventId) -> usize {
-        self.store.arena().iter().filter(|&&e| e == event).count()
+        self.store.event_column().count(event)
+    }
+
+    /// Converts the store's event arena to wide (`u32`) storage in place.
+    /// Tests and benches use this to pin that mining output and bench
+    /// numbers are width-independent; normal callers never need it.
+    pub fn widen_store(&mut self) {
+        self.store.widen();
     }
 
     /// Number of sequences that contain `event` at least once.
@@ -328,8 +335,11 @@ mod tests {
             ],
         );
         assert_eq!(db.store().offsets(), &[0, 2, 3]);
-        assert_eq!(db.store().arena(), &[EventId(0), EventId(1), EventId(1)]);
-        assert_eq!(db.sequence(1).unwrap().events(), &[EventId(1)]);
+        assert_eq!(
+            db.store().event_column().to_wide_vec(),
+            vec![EventId(0), EventId(1), EventId(1)]
+        );
+        assert_eq!(db.sequence(1).unwrap().to_vec(), vec![EventId(1)]);
     }
 
     #[test]
@@ -349,10 +359,15 @@ mod tests {
             db.total_length()
         );
         assert!(db.store().is_shared());
-        // Shard 0 aliases the database's arena.
+        // Shard 0 aliases the database's (narrow) arena.
         assert_eq!(
-            sharded.shard(0).arena().as_ptr(),
-            db.store().arena().as_ptr()
+            sharded
+                .shard(0)
+                .event_column()
+                .narrow_slice()
+                .unwrap()
+                .as_ptr(),
+            db.store().event_column().narrow_slice().unwrap().as_ptr()
         );
     }
 

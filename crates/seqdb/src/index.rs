@@ -76,7 +76,7 @@ impl InvertedIndex {
         let mut offsets = vec![0u32; slots + 1];
         for (seq, view) in store.iter().enumerate() {
             let base = seq * num_events;
-            for &event in view.events() {
+            for event in view.iter_events() {
                 assert!(
                     event.index() < num_events,
                     "store references event id {} outside the {num_events}-event alphabet",
@@ -219,6 +219,13 @@ impl InvertedIndex {
     /// smallest 1-based position `l` in sequence `seq` with `l > lowest` and
     /// `S[l] = event`, or `None` (the paper's `∞`) when no such position
     /// exists.
+    ///
+    /// This is the *naive reference* probe: every call re-derives the CSR
+    /// slot (one multiply plus two bounds-checked offset loads) and runs an
+    /// independent `partition_point` over the whole row. Hot loops resolve
+    /// the row **once** via [`InvertedIndex::cursor`] instead and advance a
+    /// [`PostingCursor`] through it; the property suite pins the cursor
+    /// bit-identical to this probe.
     #[inline]
     pub fn next(&self, seq: usize, event: EventId, lowest: u32) -> Option<u32> {
         let list = self.event_positions(seq, event)?;
@@ -229,6 +236,10 @@ impl InvertedIndex {
     /// All positions of `event` in sequence `seq` (sorted ascending) as a
     /// slice into the flat arena, or `None` when the sequence id or event id
     /// is out of range.
+    ///
+    /// This is the *cached row handle*: it pays the CSR slot derivation
+    /// exactly once, and every probe a caller performs against the returned
+    /// slice (or a [`PostingCursor`] over it) is a plain slice operation.
     #[inline]
     pub fn event_positions(&self, seq: usize, event: EventId) -> Option<&[u32]> {
         if seq >= self.num_sequences || event.index() >= self.num_events {
@@ -238,6 +249,15 @@ impl InvertedIndex {
         let start = u32_to_usize(*self.offsets.get(slot)?);
         let end = u32_to_usize(*self.offsets.get(slot + 1)?);
         self.positions.get(start..end)
+    }
+
+    /// Resolves the posting row of `(seq, event)` once and returns a
+    /// monotone [`PostingCursor`] over it, or `None` when the ids are out
+    /// of range. The growth kernel calls this once per (sequence, event)
+    /// run instead of [`InvertedIndex::next`] once per instance.
+    #[inline]
+    pub fn cursor(&self, seq: usize, event: EventId) -> Option<PostingCursor<'_>> {
+        self.event_positions(seq, event).map(PostingCursor::new)
     }
 
     /// Number of occurrences of `event` in sequence `seq`.
@@ -298,6 +318,134 @@ impl InvertedIndex {
     /// lengths, not capacities, so it is deterministic for a given database.
     pub fn heap_bytes(&self) -> usize {
         (self.positions.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// A resolved posting row with a forward-only, monotone probe cursor.
+///
+/// Within one (sequence, event) run of a growth pass the successive
+/// `lowest` watermarks are **non-decreasing**: instances arrive in
+/// right-shift order (`Instance.last` non-decreasing) and the support
+/// computer's `last_position` watermark only ever grows. The cursor
+/// exploits this by permanently discarding the row prefix `<= lowest` on
+/// every probe, so a whole run costs `O(row_len + k · log(stride))`
+/// amortized instead of `k` independent `O(log row_len)` searches that
+/// each re-derive the CSR slot.
+///
+/// Each probe **gallops** from the previous landmark (doubling strides —
+/// cheap for the short strides that dominate real runs) and finishes with
+/// a **branch-free binary search** inside the bracketed window (a
+/// conditional-move select per halving, no hard-to-predict compare
+/// branch). The returned position is *not* consumed: under gap constraints
+/// a position rejected for one instance (`pos > highest`) can legitimately
+/// be the answer for the next instance, whose window differs. Only the
+/// prefix `<= lowest` is dropped, which is always safe because `lowest`
+/// never decreases.
+///
+/// `next_after(lowest)` returns exactly what
+/// `row.partition_point(|&p| p <= lowest)` followed by `row.get(..)` would
+/// — pinned by the seeded property suite in `tests/posting_cursor.rs`.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    /// The not-yet-discarded suffix of the posting row.
+    rest: &'a [u32],
+    /// Monotonicity guard: probes must use non-decreasing `lowest`.
+    #[cfg(debug_assertions)]
+    prev_lowest: u32,
+}
+
+impl<'a> PostingCursor<'a> {
+    /// Wraps a sorted posting row (1-based positions, strictly ascending).
+    #[inline]
+    pub fn new(row: &'a [u32]) -> Self {
+        Self {
+            rest: row,
+            #[cfg(debug_assertions)]
+            prev_lowest: 0,
+        }
+    }
+
+    /// Number of positions not yet discarded.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.rest.len()
+    }
+
+    /// Returns `true` when every position has been discarded.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    /// The smallest remaining position `> lowest`, or `None` when the row
+    /// is exhausted past `lowest`. Equivalent to the paper's
+    /// `next(S, e, lowest)` restricted to non-decreasing `lowest`.
+    ///
+    /// The returned position stays at the front of the cursor (it may be
+    /// returned again by a later probe with the same `lowest` bound); only
+    /// the prefix `<= lowest` is discarded.
+    #[inline]
+    pub fn next_after(&mut self, lowest: u32) -> Option<u32> {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                lowest >= self.prev_lowest,
+                "PostingCursor probes must use non-decreasing lowest \
+                 ({lowest} after {})",
+                self.prev_lowest
+            );
+            self.prev_lowest = lowest;
+        }
+        let &front = self.rest.first()?;
+        if front > lowest {
+            // Fast path (~2 compares): the previous landmark already
+            // cleared the prefix — by far the common case mid-run.
+            return Some(front);
+        }
+        // Gallop: probe indices 1, 3, 7, 15, ... until one exceeds
+        // `lowest` (or the row ends). On exit, index (hi - 1) / 2 was the
+        // last probe known `<= lowest` (index 0 checked above), so the
+        // partition point lies in ((hi - 1) / 2, min(hi + 1, len)).
+        let len = self.rest.len();
+        let mut hi = 1usize;
+        while self.rest.get(hi).is_some_and(|&p| p <= lowest) {
+            hi = hi * 2 + 1;
+        }
+        let mut base = (hi - 1) / 2 + 1;
+        let mut size = hi.saturating_add(1).min(len) - base;
+        // Branch-free binary search for the partition point inside the
+        // bracket: each halving is a bounds-checked load plus a
+        // conditional add the compiler lowers to a select/cmov, never a
+        // data-dependent branch.
+        while size > 1 {
+            let half = size / 2;
+            let mid = base + half;
+            // In bounds: mid < base + size <= min(hi + 1, len) <= len.
+            base += usize::from(self.rest.get(mid).is_some_and(|&p| p <= lowest)) * half;
+            size -= half;
+        }
+        let idx = base + usize::from(self.rest.get(base).is_some_and(|&p| p <= lowest));
+        // idx <= len, so the suffix always exists; `unwrap_or` keeps the
+        // path panic-free.
+        self.rest = self.rest.get(idx..).unwrap_or(&[]);
+        self.rest.first().copied()
+    }
+
+    /// [`Self::next_after`], additionally consuming the returned position.
+    ///
+    /// Correct only when the caller can never ask for the same position
+    /// again — the unconstrained growth kernel qualifies, because its
+    /// watermark makes every later bound at least the emitted position, and
+    /// probes are strictly greater than their bound. Consuming keeps the
+    /// cursor front strictly ahead of the watermark, so mid-run probes hit
+    /// the two-compare fast path instead of re-galloping over the emitted
+    /// position. Gap-constrained sweeps must keep using [`Self::next_after`]
+    /// (a rejected position may be the answer for the next instance).
+    #[inline]
+    pub fn next_after_consuming(&mut self, lowest: u32) -> Option<u32> {
+        let pos = self.next_after(lowest)?;
+        self.rest = self.rest.get(1..).unwrap_or(&[]);
+        Some(pos)
     }
 }
 
@@ -403,6 +551,42 @@ mod tests {
             .sum();
         assert_eq!(total, db.total_length());
         assert!(index.heap_bytes() >= db.total_length() * 4);
+    }
+
+    #[test]
+    fn cursor_matches_naive_next_over_the_running_example() {
+        let db = running_example();
+        let index = db.inverted_index();
+        for seq in 0..db.num_sequences() {
+            for event in db.catalog().ids() {
+                let mut cursor = index.cursor(seq, event).unwrap();
+                for lowest in 0..=12u32 {
+                    assert_eq!(
+                        cursor.next_after(lowest),
+                        index.next(seq, event, lowest),
+                        "seq {seq} event {event} lowest {lowest}"
+                    );
+                }
+                assert!(cursor.is_exhausted());
+            }
+        }
+        assert!(index.cursor(99, EventId(0)).is_none());
+    }
+
+    #[test]
+    fn cursor_does_not_consume_the_returned_position() {
+        let db = running_example();
+        let index = db.inverted_index();
+        let d = db.catalog().id("D").unwrap();
+        // D occurs at {7, 8} in S1: a rejected probe (same lowest) must see
+        // the same front again, as constrained growth depends on it.
+        let mut cursor = index.cursor(0, d).unwrap();
+        assert_eq!(cursor.next_after(3), Some(7));
+        assert_eq!(cursor.next_after(3), Some(7));
+        assert_eq!(cursor.next_after(7), Some(8));
+        assert_eq!(cursor.remaining(), 1);
+        assert_eq!(cursor.next_after(8), None);
+        assert_eq!(cursor.next_after(12), None);
     }
 
     #[test]

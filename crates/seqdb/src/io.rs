@@ -151,7 +151,7 @@ pub fn read_chars_file<P: AsRef<Path>>(path: P) -> Result<SequenceDatabase, IoEr
 pub fn write_spmf<W: Write>(db: &SequenceDatabase, writer: &mut W) -> io::Result<()> {
     for sequence in db.sequences() {
         let mut first = true;
-        for event in sequence.events() {
+        for event in sequence.iter_events() {
             if !first {
                 write!(writer, " ")?;
             }
@@ -172,9 +172,8 @@ pub fn write_spmf<W: Write>(db: &SequenceDatabase, writer: &mut W) -> io::Result
 pub fn write_tokens<W: Write>(db: &SequenceDatabase, writer: &mut W) -> io::Result<()> {
     for sequence in db.sequences() {
         let row: Vec<String> = sequence
-            .events()
-            .iter()
-            .map(|&e| db.catalog().label_or_default(e))
+            .iter_events()
+            .map(|e| db.catalog().label_or_default(e))
             .collect();
         writeln!(writer, "{}", row.join(" "))?;
     }

@@ -11,12 +11,17 @@
 //!   that the mining algorithms work on small integers,
 //! * [`SeqStore`] and [`SeqView`] — flat columnar event storage: one
 //!   contiguous arena plus a CSR offsets table, with sequences read as
-//!   borrowed slices,
+//!   borrowed slices; the arena is an [`EventColumn`] that picks the
+//!   narrowest element width ([`width`]: `u16` when the alphabet fits,
+//!   `u32` otherwise) and compares events at that native width,
 //! * [`Sequence`] and [`SequenceDatabase`] — the database model (a thin
 //!   facade over the store) with builders and statistics,
 //! * [`InvertedIndex`] — the *inverted event index* of §III-D of the paper
 //!   in the same CSR layout (flat positions arena + per-`(sequence, event)`
-//!   ranges), answering `next(S, e, lowest)` queries in `O(log L)` time,
+//!   ranges), answering `next(S, e, lowest)` queries in `O(log L)` time
+//!   and handing growth kernels a [`PostingCursor`] that resolves a
+//!   `(sequence, event)` row once and advances through a whole extension
+//!   pass with galloping + branch-free search,
 //! * [`ShardMap`], [`ShardedSeqStore`], [`ShardedIndex`] — the
 //!   [`shard`] layer: the store split at sequence boundaries into zero-copy
 //!   per-shard windows (boundaries chosen by event mass), with per-shard
@@ -53,25 +58,27 @@
 //!
 //! The format layer is generic over sections; this round-trips the two
 //! columns of a store through one image file with zero copies on the way
-//! back (see `rgs-core::PreparedDb` for the full prepared-database
-//! composition):
+//! back. A small alphabet builds a narrow (`u16`) arena, which format v3
+//! writes and maps at 2 bytes per event (see `rgs-core::PreparedDb` for
+//! the full prepared-database composition):
 //!
 //! ```
 //! use std::sync::Arc;
 //! use seqdb::snapshot::{section_id, SectionPayload, SnapshotImage, SnapshotWriter};
-//! use seqdb::{SeqStore, SequenceDatabase};
+//! use seqdb::{EventColumn, SeqStore, SequenceDatabase};
 //!
 //! let db = SequenceDatabase::from_str_rows(&["ABCABCA", "AABBCCC"]);
 //! let path = std::env::temp_dir().join(format!("seqdb-doc-{}.snap", std::process::id()));
 //!
+//! let narrow = db.store().event_column().narrow_slice().expect("3-event alphabet");
 //! let mut writer = SnapshotWriter::new();
-//! writer.section(section_id::STORE_EVENTS, SectionPayload::EventIds(db.store().arena()));
+//! writer.section(section_id::STORE_EVENTS, SectionPayload::U16s(narrow));
 //! writer.section(section_id::STORE_OFFSETS, SectionPayload::U32s(db.store().offsets()));
 //! writer.write_to_path(&path)?;
 //!
 //! let image = Arc::new(SnapshotImage::open(&path)?);
 //! let store = SeqStore::from_shared_parts(
-//!     image.shared_event_ids(section_id::STORE_EVENTS)?,
+//!     EventColumn::Narrow(image.shared_u16s(section_id::STORE_EVENTS)?),
 //!     image.shared_u32s(section_id::STORE_OFFSETS)?,
 //! ).expect("validated by the image checksum");
 //! assert_eq!(&store, db.store());
@@ -97,13 +104,15 @@ pub mod shared;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod width;
 
 pub use catalog::{EventCatalog, EventId};
 pub use database::{DatabaseBuilder, SequenceDatabase};
-pub use index::InvertedIndex;
+pub use index::{InvertedIndex, PostingCursor};
 pub use sequence::Sequence;
 pub use shard::{ShardMap, ShardedIndex, ShardedSeqStore};
 pub use shared::SharedSlice;
 pub use snapshot::{SnapshotError, SnapshotImage, SnapshotWriter};
 pub use stats::DatabaseStats;
-pub use store::{SeqStore, SeqView};
+pub use store::{EventColumn, EventsIter, SeqStore, SeqView};
+pub use width::{EventWidth, NARROW_MAX_EVENT};

@@ -25,7 +25,7 @@
 
 use crate::cast::{u32_to_usize, usize_to_u32};
 use crate::catalog::EventId;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, PostingCursor};
 use crate::store::SeqStore;
 
 /// Narrows a sequence count/boundary to the `u32` a [`ShardMap`] stores,
@@ -516,10 +516,25 @@ impl ShardedIndex {
     }
 
     /// All positions of `event` in global sequence `seq`, sorted ascending.
+    ///
+    /// Like [`InvertedIndex::event_positions`], this is the cached row
+    /// handle: routing (one table load) and CSR slot derivation happen
+    /// once, and the caller probes the returned slice directly.
     #[inline]
     pub fn event_positions(&self, seq: usize, event: EventId) -> Option<&[u32]> {
         let (shard, local) = self.locate(seq)?;
         self.shards.get(shard)?.event_positions(local, event)
+    }
+
+    /// Resolves the posting row of `(seq, event)` once — one routing-table
+    /// load plus one CSR slot derivation — and returns a monotone
+    /// [`PostingCursor`] over it. The growth kernel calls this once per
+    /// (sequence, event) run instead of [`ShardedIndex::next`] once per
+    /// instance.
+    #[inline]
+    pub fn cursor(&self, seq: usize, event: EventId) -> Option<PostingCursor<'_>> {
+        let (shard, local) = self.locate(seq)?;
+        self.shards.get(shard)?.cursor(local, event)
     }
 
     /// Number of occurrences of `event` in global sequence `seq`.
@@ -670,19 +685,17 @@ mod tests {
             for k in 0..shards {
                 let base = sharded.map().seq_base(k);
                 for (j, view) in sharded.shard(k).iter().enumerate() {
-                    assert_eq!(
-                        view.events(),
-                        sharded.full().view(base + j).unwrap().events()
-                    );
+                    assert_eq!(view, sharded.full().view(base + j).unwrap());
                 }
             }
-            // Windows alias the shared full arena (zero copy).
+            // Windows alias the shared full arena (zero copy), at the
+            // parent's width (a str-rows alphabet is always narrow).
             for (k, shard) in sharded.shards().iter().enumerate() {
                 if shard.total_length() > 0 {
                     let base = sharded.full().offsets()[sharded.map().seq_base(k)] as usize;
                     assert_eq!(
-                        shard.arena().as_ptr(),
-                        sharded.full().arena()[base..].as_ptr(),
+                        shard.event_column().narrow_slice().unwrap().as_ptr(),
+                        sharded.full().event_column().narrow_slice().unwrap()[base..].as_ptr(),
                         "shard {k} copied its events"
                     );
                 }
@@ -725,18 +738,27 @@ mod tests {
                             index.event_positions(seq, event),
                             flat.event_positions(seq, event)
                         );
+                        let mut cursor = index.cursor(seq, event);
                         for lowest in 0..=10u32 {
                             assert_eq!(
                                 index.next(seq, event, lowest),
                                 flat.next(seq, event, lowest),
                                 "next({seq}, {event:?}, {lowest}) diverges at {shards} shards"
                             );
+                            // The routed cursor agrees probe by probe.
+                            if let Some(cursor) = cursor.as_mut() {
+                                assert_eq!(
+                                    cursor.next_after(lowest),
+                                    flat.next(seq, event, lowest)
+                                );
+                            }
                         }
                     }
                 }
                 // Out-of-range lookups stay None.
                 assert_eq!(index.next(db.num_sequences(), EventId(0), 0), None);
                 assert_eq!(index.event_positions(99, EventId(0)), None);
+                assert!(index.cursor(99, EventId(0)).is_none());
             }
         }
     }

@@ -11,7 +11,7 @@
 //! and re-indexing the corpus. `ARCHITECTURE.md` at the repository root
 //! walks the format byte by byte.
 //!
-//! # File layout (versions 1 and 2)
+//! # File layout (versions 1 through 3)
 //!
 //! The container layout is identical across versions; only the section
 //! *composition* differs. Version 1 images carry one global inverted-index
@@ -19,15 +19,19 @@
 //! version 2 images carry a [`section_id::SHARD_TABLE`] plus, per shard,
 //! local store offsets and an index pair (ids from
 //! [`section_id::shard_store_offsets`] and friends), so one file can hand
-//! each process — or, later, each node — a shard subset. Old images still
-//! open (as a single shard); the composition rules live in
-//! `rgs-core::snapshot`.
+//! each process — or, later, each node — a shard subset. Version 3 adds
+//! **width-tagged event sections**: [`section_id::STORE_EVENTS`] may carry
+//! 2-byte elements (a narrow `u16` arena, written when the alphabet fits)
+//! — the existing per-section `elem_size` field *is* the width tag, so no
+//! new header fields are needed and the narrow arena maps back zero-copy.
+//! Old images still open (as a single shard, at the wide `u32` width); the
+//! composition rules live in `rgs-core::snapshot`.
 //!
 //! ```text
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------------
 //!      0     8  magic  "RGS1SNAP"
-//!      8     4  format version (u32 LE) = 1 or 2
+//!      8     4  format version (u32 LE) = 1, 2, or 3
 //!     12     4  endianness marker (u32 LE) = 0x0A0B_0C0D
 //!     16     8  file length in bytes (u64 LE)
 //!     24     8  FNV-1a 64 checksum (u64 LE) of every file byte EXCEPT
@@ -35,7 +39,7 @@
 //!     32     4  section count (u32 LE)
 //!     36    28  reserved, must be zero
 //!     64   32n  section table: n entries of
-//!               { id: u32, elem_size: u32 (1|4|8), offset: u64,
+//!               { id: u32, elem_size: u32 (1|2|4|8), offset: u64,
 //!                 byte_len: u64, count: u64 }
 //!      -     -  section payloads, each starting at a 64-byte-aligned
 //!               offset, zero-padded in between
@@ -81,9 +85,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"RGS1SNAP";
 /// Version 2 adds the shard layer: a [`section_id::SHARD_TABLE`] section
 /// with the sequence-boundary partition, per-shard store-offset sections,
 /// and per-shard index sections in place of the global index pair. Version
-/// 1 files (single global index, no shard table) still open — the reader
-/// treats them as one shard.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// 3 adds narrow event columns: [`section_id::STORE_EVENTS`] may carry
+/// 2-byte (`u16`) elements when the alphabet fits, tagged by the section's
+/// `elem_size` field. Version 1 files (single global index, no shard
+/// table) still open — the reader treats them as one shard — and v1/v2
+/// event arenas are always 4-byte.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads.
 pub const SNAPSHOT_VERSION_MIN: u32 = 1;
@@ -108,7 +115,10 @@ const ENTRY_LEN: u64 = 32;
 pub mod section_id {
     /// `u64` triple `[num_sequences, num_events, total_length]`.
     pub const META: u32 = 1;
-    /// The [`SeqStore`](crate::SeqStore) event arena (`u32` per event).
+    /// The [`SeqStore`](crate::SeqStore) event arena. Element size 4
+    /// (`u32` per event) in every version; format v3 additionally allows
+    /// element size 2 (`u16` per event) when the alphabet fits a narrow
+    /// column — the section's `elem_size` field is the width tag.
     pub const STORE_EVENTS: u32 = 2;
     /// The [`SeqStore`](crate::SeqStore) CSR offsets (`u32`, one per
     /// sequence plus a sentinel).
@@ -284,6 +294,8 @@ pub mod verify;
 pub enum SectionPayload<'a> {
     /// Raw bytes (`elem_size` 1).
     Bytes(&'a [u8]),
+    /// Packed `u16`s (`elem_size` 2) — the narrow event arena of format v3.
+    U16s(&'a [u16]),
     /// Packed `u32`s (`elem_size` 4).
     U32s(&'a [u32]),
     /// Packed `u64`s (`elem_size` 8).
@@ -296,6 +308,7 @@ impl SectionPayload<'_> {
     fn elem_size(&self) -> u64 {
         match self {
             SectionPayload::Bytes(_) => 1,
+            SectionPayload::U16s(_) => 2,
             SectionPayload::U32s(_) | SectionPayload::EventIds(_) => 4,
             SectionPayload::U64s(_) => 8,
         }
@@ -304,6 +317,7 @@ impl SectionPayload<'_> {
     fn count(&self) -> u64 {
         match self {
             SectionPayload::Bytes(b) => usize_to_u64(b.len()),
+            SectionPayload::U16s(v) => usize_to_u64(v.len()),
             SectionPayload::U32s(v) => usize_to_u64(v.len()),
             SectionPayload::U64s(v) => usize_to_u64(v.len()),
             SectionPayload::EventIds(v) => usize_to_u64(v.len()),
@@ -318,11 +332,29 @@ impl SectionPayload<'_> {
     fn write_le(&self, out: &mut HashingWriter<impl Write>) -> io::Result<()> {
         match self {
             SectionPayload::Bytes(bytes) => out.write_hashed(bytes),
+            SectionPayload::U16s(values) => write_u16s_le(values, out),
             SectionPayload::U32s(values) => write_u32s_le(values, out),
             SectionPayload::EventIds(ids) => write_u32s_le(event_ids_as_u32s(ids), out),
             SectionPayload::U64s(values) => write_u64s_le(values, out),
         }
     }
+}
+
+#[cfg(target_endian = "little")]
+fn write_u16s_le(values: &[u16], out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+    // SAFETY: reinterpreting an initialized &[u16] as bytes is always valid;
+    // on a little-endian host the in-memory bytes ARE the wire format.
+    let bytes =
+        unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 2) };
+    out.write_hashed(bytes)
+}
+
+#[cfg(not(target_endian = "little"))]
+fn write_u16s_le(values: &[u16], out: &mut HashingWriter<impl Write>) -> io::Result<()> {
+    for value in values {
+        out.write_hashed(&value.to_le_bytes())?;
+    }
+    Ok(())
 }
 
 #[cfg(target_endian = "little")]
@@ -813,9 +845,9 @@ impl SnapshotImage {
                 byte_len: read_u64(data, base + 16),
                 count: read_u64(data, base + 24),
             };
-            if !matches!(entry.elem_size, 1 | 4 | 8) {
+            if !matches!(entry.elem_size, 1 | 2 | 4 | 8) {
                 return Err(corrupt(format!(
-                    "section {}: element size {} is not 1, 4, or 8",
+                    "section {}: element size {} is not 1, 2, 4, or 8",
                     entry.id, entry.elem_size
                 )));
             }
@@ -859,7 +891,7 @@ impl SnapshotImage {
         Ok((sections, version))
     }
 
-    /// The format version stamped into the header (1 or 2).
+    /// The format version stamped into the header (1 through 3).
     pub fn version(&self) -> u32 {
         self.version
     }
@@ -943,6 +975,11 @@ impl SnapshotImage {
         Ok(unsafe { std::slice::from_raw_parts(ptr.cast::<T>(), count) })
     }
 
+    /// Section `id` as a borrowed `&[u16]` (a v3 narrow event arena).
+    pub fn u16s(&self, id: u32) -> Result<&[u16], SnapshotError> {
+        self.typed::<u16>(id)
+    }
+
     /// Section `id` as a borrowed `&[u32]`.
     pub fn u32s(&self, id: u32) -> Result<&[u32], SnapshotError> {
         self.typed::<u32>(id)
@@ -951,6 +988,17 @@ impl SnapshotImage {
     /// Section `id` as a borrowed `&[u64]`.
     pub fn u64s(&self, id: u32) -> Result<&[u64], SnapshotError> {
         self.typed::<u64>(id)
+    }
+
+    /// Section `id` as a zero-copy [`SharedSlice<u16>`] that co-owns this
+    /// image (a v3 narrow event arena).
+    pub fn shared_u16s(self: &Arc<Self>, id: u32) -> Result<SharedSlice<u16>, SnapshotError> {
+        let slice = self.u16s(id)?;
+        let (ptr, len) = (slice.as_ptr(), slice.len());
+        let owner: Arc<dyn Any + Send + Sync> = self.clone();
+        // SAFETY: ptr/len were validated by `typed`; the SharedSlice holds
+        // the Arc, so the mapping outlives every reader.
+        Ok(unsafe { SharedSlice::from_raw_parts(owner, ptr, len) })
     }
 
     /// Section `id` as a zero-copy [`SharedSlice<u32>`] that co-owns this
@@ -1087,6 +1135,27 @@ mod tests {
         let shared = image.shared_u32s(7).unwrap();
         assert!(shared.is_mapped());
         assert_eq!(&shared[..], &[10, 20, 30, 40]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn u16_sections_round_trip_zero_copy() {
+        let path = temp_path("u16");
+        let narrow = [7u16, 0, 65_535, 42];
+        let mut writer = SnapshotWriter::new();
+        writer.section(section_id::STORE_EVENTS, SectionPayload::U16s(&narrow));
+        writer.write_to_path(&path).expect("write snapshot");
+
+        let image = Arc::new(SnapshotImage::open(&path).expect("open"));
+        let entry = image.section(section_id::STORE_EVENTS).unwrap();
+        assert_eq!(entry.elem_size, 2);
+        assert_eq!(entry.byte_len, 8);
+        assert_eq!(image.u16s(section_id::STORE_EVENTS).unwrap(), &narrow);
+        let shared = image.shared_u16s(section_id::STORE_EVENTS).unwrap();
+        assert!(shared.is_mapped());
+        assert_eq!(&shared[..], &narrow);
+        // A u16 section is not a u32 section.
+        assert!(image.u32s(section_id::STORE_EVENTS).is_err());
         std::fs::remove_file(&path).ok();
     }
 

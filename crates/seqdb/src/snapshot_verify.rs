@@ -1,7 +1,7 @@
 //! Deep static verification of snapshot images.
 //!
 //! [`verify_bytes`] proves (or refutes) every cross-section invariant of a
-//! v1/v2 prepared-database image **directly on the bytes** — no
+//! v1–v3 prepared-database image **directly on the bytes** — no
 //! `PreparedDb`, no `mmap`, no in-place reinterpretation — so it is safe to
 //! point at untrusted or suspect files. Unlike
 //! [`SnapshotImage::open`](super::SnapshotImage::open), which fails fast on
@@ -19,7 +19,9 @@
 //!   field itself;
 //! * **layout** — the cross-section semantics of the prepared-database
 //!   composition: `meta` arity, store CSR offsets monotone and ending at
-//!   the arena length, every arena event inside the catalog alphabet,
+//!   the arena length, the event arena's element width legal for the
+//!   header version (narrow `u16` arenas need format v3),
+//!   every arena event inside the catalog alphabet,
 //!   catalog bijectivity (label count = alphabet size, no duplicates,
 //!   valid UTF-8, no trailing bytes), per-event counts equal to an actual
 //!   recount of the arena, the candidate order exactly the occurring
@@ -182,6 +184,12 @@ fn iter_u32(section: &[u8]) -> impl Iterator<Item = u32> + '_ {
         .map(|c| u32::from_le_bytes(c.try_into().unwrap_or([0; 4])))
 }
 
+fn iter_u16(section: &[u8]) -> impl Iterator<Item = u16> + '_ {
+    section
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes(c.try_into().unwrap_or([0; 2])))
+}
+
 struct Verifier<'a> {
     data: &'a [u8],
     report: Report,
@@ -333,11 +341,11 @@ impl<'a> Verifier<'a> {
                 count: u64_at(data, base_idx + 24).unwrap_or(0),
             };
             let mut usable = true;
-            if !matches!(entry.elem_size, 1 | 4 | 8) {
+            if !matches!(entry.elem_size, 1 | 2 | 4 | 8) {
                 self.structure(
                     base + 4,
                     format!(
-                        "section {}: element size {} is not 1, 4, or 8",
+                        "section {}: element size {} is not 1, 2, 4, or 8",
                         entry.id, entry.elem_size
                     ),
                 );
@@ -522,15 +530,54 @@ impl<'a> Verifier<'a> {
             }
         };
 
-        // store.events: every event inside the alphabet.
-        let events_entry = self.expect_section(
-            sections,
-            section_id::STORE_EVENTS,
-            4,
-            Some(usize_to_u64(meta.total_length)),
-        );
+        // store.events: element width legal for the header version (narrow
+        // u16 arenas need format v3), every event inside the alphabet.
+        let narrow_allowed = matches!(self.report.version, Some(v) if v >= 3);
+        let events_entry = match Self::find(sections, section_id::STORE_EVENTS) {
+            None => {
+                self.layout_section(section_id::STORE_EVENTS, "section is missing".to_owned());
+                None
+            }
+            Some(&entry) => {
+                if !(entry.elem_size == 4 || (narrow_allowed && entry.elem_size == 2)) {
+                    let allowed = if narrow_allowed {
+                        "2 or 4"
+                    } else {
+                        "4 (narrow u16 arenas need format v3)"
+                    };
+                    self.layout(
+                        &entry,
+                        0,
+                        format!(
+                            "holds {}-byte elements, expected {allowed}",
+                            entry.elem_size
+                        ),
+                    );
+                    None
+                } else if entry.count != usize_to_u64(meta.total_length) {
+                    self.layout(
+                        &entry,
+                        0,
+                        format!(
+                            "holds {} elements, expected {}",
+                            entry.count, meta.total_length
+                        ),
+                    );
+                    None
+                } else {
+                    Some(entry)
+                }
+            }
+        };
         let arena: Vec<u32> = events_entry
-            .map(|e| iter_u32(self.payload(&e)).collect())
+            .map(|e| {
+                let payload = self.payload(&e);
+                if e.elem_size == 2 {
+                    iter_u16(payload).map(u32::from).collect()
+                } else {
+                    iter_u32(payload).collect()
+                }
+            })
             .unwrap_or_default();
         if let Some(entry) = events_entry {
             let bad = arena
@@ -988,13 +1035,15 @@ mod tests {
             db.total_length() as u64,
         ];
         let catalog_bytes = super::super::catalog_to_bytes(db.catalog());
+        // v1/v2 event arenas are always wide (u32), whatever the build width.
+        let wide_events = db.store().event_column().to_wide_vec();
         let path = temp_path("compose-v1");
         let mut writer = SnapshotWriter::new().with_version(1);
         writer
             .section(section_id::META, SectionPayload::U64s(&meta))
             .section(
                 section_id::STORE_EVENTS,
-                SectionPayload::EventIds(db.store().arena()),
+                SectionPayload::EventIds(&wide_events),
             )
             .section(
                 section_id::STORE_OFFSETS,
@@ -1021,6 +1070,85 @@ mod tests {
     fn reseal(bytes: &mut [u8]) {
         let checksum = checksum_of(bytes);
         bytes[24..32].copy_from_slice(&checksum.to_le_bytes());
+    }
+
+    /// Hand-composes a valid single-shard v3 image with a narrow (`u16`)
+    /// event arena.
+    fn v3_narrow_image_bytes() -> Vec<u8> {
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let index = InvertedIndex::build(&db);
+        let counts = index.total_counts();
+        let order: Vec<crate::EventId> = db
+            .catalog()
+            .ids()
+            .filter(|e| counts[e.index()] > 0)
+            .collect();
+        let meta = [
+            db.num_sequences() as u64,
+            db.num_events() as u64,
+            db.total_length() as u64,
+        ];
+        let catalog_bytes = super::super::catalog_to_bytes(db.catalog());
+        let narrow = db
+            .store()
+            .event_column()
+            .narrow_slice()
+            .expect("a 4-event alphabet builds narrow")
+            .to_vec();
+        let shard_table = [0u64, db.num_sequences() as u64];
+        let path = temp_path("compose-v3");
+        let mut writer = SnapshotWriter::new();
+        writer
+            .section(section_id::META, SectionPayload::U64s(&meta))
+            .section(section_id::STORE_EVENTS, SectionPayload::U16s(&narrow))
+            .section(
+                section_id::STORE_OFFSETS,
+                SectionPayload::U32s(db.store().offsets()),
+            )
+            .section(section_id::CATALOG, SectionPayload::Bytes(&catalog_bytes))
+            .section(section_id::EVENT_COUNTS, SectionPayload::U64s(&counts))
+            .section(section_id::EVENT_ORDER, SectionPayload::EventIds(&order))
+            .section(section_id::SHARD_TABLE, SectionPayload::U64s(&shard_table))
+            .section(
+                section_id::shard_store_offsets(0),
+                SectionPayload::U32s(db.store().offsets()),
+            )
+            .section(
+                section_id::shard_index_offsets(0),
+                SectionPayload::U32s(index.offsets()),
+            )
+            .section(
+                section_id::shard_index_positions(0),
+                SectionPayload::U32s(index.positions()),
+            );
+        writer.write_to_path(&path).expect("write v3");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        bytes
+    }
+
+    #[test]
+    fn a_narrow_v3_image_verifies_clean() {
+        let bytes = v3_narrow_image_bytes();
+        let report = verify_bytes(&bytes);
+        assert!(report.is_clean(), "{:#?}", report.violations);
+        assert_eq!(report.version, Some(3));
+    }
+
+    #[test]
+    fn a_narrow_arena_in_a_pre_v3_image_is_a_layout_violation() {
+        let mut bytes = v3_narrow_image_bytes();
+        // Downgrade the header version to 2 and re-seal: the narrow arena
+        // stays structurally valid but is illegal for the claimed version.
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        reseal(&mut bytes);
+        let report = verify_bytes(&bytes);
+        assert!(
+            report.has(ViolationKind::Layout),
+            "{:#?}",
+            report.violations
+        );
+        assert!(!report.has(ViolationKind::Structure));
     }
 
     #[test]

@@ -33,8 +33,16 @@ pub struct DatabaseStats {
     /// Mean number of occurrences per distinct event.
     pub avg_event_occurrences: f64,
     /// Heap bytes held by the columnar event store (arena + CSR offsets) —
-    /// makes store-size regressions visible without a profiler.
+    /// makes store-size regressions visible without a profiler. A narrow
+    /// (`u16`) arena counts 2 bytes per event.
     pub store_bytes: usize,
+    /// Physical size of one event-arena element in bytes: 2 when the
+    /// alphabet fits a narrow (`u16`) column, 4 otherwise.
+    pub event_elem_bytes: usize,
+    /// What `store_bytes` would be at the legacy wide (`u32`) width —
+    /// `store_bytes_wide - store_bytes` is the narrow-column saving the
+    /// stats CLI prints.
+    pub store_bytes_wide: usize,
     /// Number of shards the store is partitioned into (1 for a flat,
     /// unsharded database; [`DatabaseStats::compute`] always reports 1 —
     /// callers holding a sharded store fill it via
@@ -51,7 +59,7 @@ impl DatabaseStats {
         let total_length: usize = lengths.iter().sum();
         let mut event_counts: HashMap<EventId, usize> = HashMap::new();
         for sequence in db.sequences() {
-            for &event in sequence.events() {
+            for event in sequence.iter_events() {
                 *event_counts.entry(event).or_insert(0) += 1;
             }
         }
@@ -83,6 +91,8 @@ impl DatabaseStats {
             max_event_occurrences,
             avg_event_occurrences,
             store_bytes: db.store().heap_bytes(),
+            event_elem_bytes: db.store().element_bytes(),
+            store_bytes_wide: total_length * 4 + (num_sequences + 1) * 4,
             num_shards: 1,
         }
     }
@@ -143,6 +153,19 @@ mod tests {
         assert!((stats.median_length - 2.5).abs() < 1e-9);
         assert_eq!(stats.min_length, 1);
         assert_eq!(stats.max_length, 4);
+    }
+
+    #[test]
+    fn narrow_store_halves_arena_bytes() {
+        let mut db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let stats = db.stats();
+        assert_eq!(stats.event_elem_bytes, 2);
+        assert_eq!(stats.store_bytes, 18 * 2 + 3 * 4);
+        assert_eq!(stats.store_bytes_wide, 18 * 4 + 3 * 4);
+        db.widen_store();
+        let wide = db.stats();
+        assert_eq!(wide.event_elem_bytes, 4);
+        assert_eq!(wide.store_bytes, wide.store_bytes_wide);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Seeded property suite pinning [`seqdb::PostingCursor`] — the batched,
+//! branch-free row cursor behind the growth kernels — against the naive
+//! `partition_point` probe it replaces, over adversarial posting rows:
+//! empty rows, probes at or past the row's last position, single-occurrence
+//! events, and stride-1 runs (consecutive positions, where galloping's
+//! fast path must not skip), at both event-column widths.
+
+use seqdb::{EventId, SequenceDatabase};
+
+/// A tiny deterministic LCG (no external RNG crates in this workspace).
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Self(
+            seed.wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493),
+        )
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform-ish draw in `0..n` (`n >= 1`).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// The per-call probe semantics the cursor must reproduce exactly: the
+/// first position strictly greater than `lowest`.
+fn naive_next(row: &[u32], lowest: u32) -> Option<u32> {
+    let idx = row.partition_point(|&p| p <= lowest);
+    row.get(idx).copied()
+}
+
+/// A random database over an alphabet of `alphabet` letters with `rows`
+/// sequences of length up to `max_len` (possibly 0).
+fn random_db(rng: &mut Lcg, rows: usize, alphabet: u64, max_len: u64) -> SequenceDatabase {
+    let strings: Vec<String> = (0..rows)
+        .map(|_| {
+            let len = rng.below(max_len + 1) as usize;
+            (0..len)
+                .map(|_| char::from(b'A' + rng.below(alphabet) as u8))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&str> = strings.iter().map(String::as_str).collect();
+    SequenceDatabase::from_str_rows(&refs)
+}
+
+/// Drives one `(seq, event)` row through a full monotone probe chain and
+/// checks the cursor against the naive probe at every step.
+fn check_row(db: &SequenceDatabase, seq: usize, event: EventId, rng: &mut Lcg) {
+    let index = db.inverted_index();
+    let row: &[u32] = index.event_positions(seq, event).unwrap_or(&[]);
+    // In-range ids always resolve a cursor — an empty row just yields one
+    // that is exhausted from the start, matching the naive probe's `None`.
+    let mut cursor = index.cursor(seq, event);
+    assert!(cursor.is_some(), "in-range ids must resolve a cursor");
+    assert_eq!(
+        cursor.as_ref().map(seqdb::PostingCursor::remaining),
+        Some(row.len()),
+        "a fresh cursor spans the whole row (seq {seq}, event {event:?})"
+    );
+
+    // A non-decreasing lowest chain: mixed small steps (stride-1 regime),
+    // repeats (same lowest twice — the constrained-rejection replay), and
+    // occasional jumps at or past the row's maximum.
+    let top = row.last().copied().unwrap_or(0) + 3;
+    let mut lowest = 0u32;
+    for _ in 0..64 {
+        let expected = naive_next(row, lowest);
+        let got = cursor.as_mut().and_then(|c| c.next_after(lowest));
+        assert_eq!(
+            got, expected,
+            "seq {seq} event {event:?} lowest {lowest} row {row:?}"
+        );
+        lowest = match rng.below(8) {
+            0 => lowest,                       // replay
+            1..=4 => lowest.saturating_add(1), // stride-1 walk
+            5 | 6 => lowest.saturating_add(rng.below(5) as u32 + 1),
+            _ => top.max(lowest), // past the end
+        };
+    }
+}
+
+#[test]
+fn cursor_matches_the_naive_probe_on_random_rows() {
+    for seed in 0..24u64 {
+        let mut rng = Lcg::new(seed);
+        // Alphabet sizes 1..=6 cover single-event rows covering whole
+        // sequences (stride-1 runs) up to sparse rows; lengths up to 40.
+        let alphabet = rng.below(6) + 1;
+        let db = random_db(&mut rng, 5, alphabet, 40);
+        for seq in 0..db.num_sequences() {
+            for event in db.catalog().ids() {
+                check_row(&db, seq, event, &mut rng);
+            }
+        }
+    }
+}
+
+#[test]
+fn cursor_handles_the_adversarial_rows() {
+    // One database exhibiting every adversarial shape at once:
+    //   S0 "AAAAAAAA"  — a stride-1 run covering the whole sequence,
+    //   S1 "B"         — a single-occurrence event,
+    //   S2 ""          — an empty sequence (every row empty),
+    //   S3 "ABABAB"    — interleaved stride-2 rows.
+    let db = SequenceDatabase::from_str_rows(&["AAAAAAAA", "B", "", "ABABAB"]);
+    let index = db.inverted_index();
+    let a = db.catalog().id("A").expect("A interned");
+    let b = db.catalog().id("B").expect("B interned");
+
+    // Empty rows: the cursor resolves but starts exhausted, and out-of-range
+    // ids resolve no cursor at all.
+    for (seq, event) in [(1, a), (2, a), (2, b)] {
+        let mut cursor = index.cursor(seq, event).expect("ids are in range");
+        assert!(cursor.is_exhausted(), "empty row starts exhausted");
+        assert_eq!(cursor.next_after(0), None);
+    }
+    assert!(index.cursor(4, a).is_none(), "sequence id out of range");
+
+    // Stride-1 run: every probe advances by exactly one position.
+    let mut cursor = index.cursor(0, a).expect("A covers S0");
+    for lowest in 0..8u32 {
+        assert_eq!(cursor.next_after(lowest), Some(lowest + 1));
+    }
+    assert_eq!(cursor.next_after(8), None, "row exhausted");
+    assert_eq!(cursor.next_after(100), None, "stays exhausted");
+
+    // Single-occurrence row, and a probe with lowest at/past the only
+    // position.
+    let mut cursor = index.cursor(1, b).expect("B occurs once in S1");
+    assert_eq!(cursor.next_after(0), Some(1));
+    assert_eq!(cursor.next_after(1), None);
+
+    // A fresh cursor probed immediately past the row's last position.
+    let mut cursor = index.cursor(3, b).expect("B occurs in S3");
+    assert_eq!(cursor.next_after(6), None, "lowest == last position");
+
+    // Interleaved rows stay independent: exhausting A's cursor in S3 does
+    // not disturb a separately resolved B cursor.
+    let mut a_cursor = index.cursor(3, a).expect("A occurs in S3");
+    assert_eq!(a_cursor.next_after(0), Some(1));
+    assert_eq!(a_cursor.next_after(3), Some(5));
+    assert_eq!(a_cursor.next_after(5), None);
+    let mut b_cursor = index.cursor(3, b).expect("B occurs in S3");
+    assert_eq!(b_cursor.next_after(0), Some(2));
+}
+
+#[test]
+fn consuming_probe_matches_the_naive_probe_under_its_contract() {
+    // `next_after_consuming` drops the emitted position from the row. That
+    // is sound exactly when every later `lowest` is at least the previously
+    // emitted position — the unconstrained kernel's watermark contract. Under
+    // that contract the consumed prefix can never hold a future answer, so
+    // the probe must still match the naive full-row probe at every step.
+    for seed in 0..24u64 {
+        let mut rng = Lcg::new(0xBADCAB ^ seed);
+        let alphabet = rng.below(6) + 1;
+        let db = random_db(&mut rng, 5, alphabet, 40);
+        let index = db.inverted_index();
+        for seq in 0..db.num_sequences() {
+            for event in db.catalog().ids() {
+                let row: &[u32] = index.event_positions(seq, event).unwrap_or(&[]);
+                let mut cursor = index.cursor(seq, event).expect("ids are in range");
+                let mut watermark = 0u32;
+                let mut bound = 0u32;
+                for _ in 0..48 {
+                    let lowest = bound.max(watermark);
+                    let expected = naive_next(row, lowest);
+                    let got = cursor.next_after_consuming(lowest);
+                    assert_eq!(
+                        got, expected,
+                        "seq {seq} event {event:?} lowest {lowest} row {row:?}"
+                    );
+                    if let Some(pos) = got {
+                        watermark = pos;
+                    }
+                    bound = bound.saturating_add(rng.below(4) as u32);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cursor_rows_are_identical_at_both_store_widths() {
+    // The inverted index is derived from the store; the cursor must behave
+    // identically whether the event column is narrow (u16) or widened to
+    // u32 — the positions arena never changes width.
+    for seed in 0..8u64 {
+        let mut rng = Lcg::new(0xC0FFEE ^ seed);
+        let narrow_db = random_db(&mut rng, 4, 4, 24);
+        let mut wide_db = narrow_db.clone();
+        wide_db.widen_store();
+        assert!(narrow_db.store().is_narrow() || narrow_db.total_length() == 0);
+        assert!(!wide_db.store().is_narrow());
+
+        let narrow_index = narrow_db.inverted_index();
+        let wide_index = wide_db.inverted_index();
+        for seq in 0..narrow_db.num_sequences() {
+            for event in narrow_db.catalog().ids() {
+                assert_eq!(
+                    narrow_index.event_positions(seq, event),
+                    wide_index.event_positions(seq, event),
+                    "rows diverge at seq {seq}, event {event:?}"
+                );
+                let mut narrow_cursor = narrow_index.cursor(seq, event);
+                let mut wide_cursor = wide_index.cursor(seq, event);
+                let mut lowest = 0u32;
+                for _ in 0..32 {
+                    let n = narrow_cursor.as_mut().and_then(|c| c.next_after(lowest));
+                    let w = wide_cursor.as_mut().and_then(|c| c.next_after(lowest));
+                    assert_eq!(n, w, "seq {seq} event {event:?} lowest {lowest}");
+                    lowest = lowest.saturating_add(rng.below(3) as u32);
+                }
+            }
+        }
+    }
+}

@@ -252,27 +252,27 @@ fn store_reconstruction_validates_csr_invariants() {
     let events: SharedSlice<EventId> = vec![EventId(0), EventId(1)].into();
 
     let empty: SharedSlice<u32> = Vec::new().into();
-    assert!(SeqStore::from_shared_parts(events.clone(), empty)
+    assert!(SeqStore::from_wide_parts(events.clone(), empty)
         .unwrap_err()
         .contains("sentinel"));
 
     let bad_start: SharedSlice<u32> = vec![1, 2].into();
-    assert!(SeqStore::from_shared_parts(events.clone(), bad_start)
+    assert!(SeqStore::from_wide_parts(events.clone(), bad_start)
         .unwrap_err()
         .contains("start"));
 
     let not_monotone: SharedSlice<u32> = vec![0, 2, 1, 2].into();
-    assert!(SeqStore::from_shared_parts(events.clone(), not_monotone)
+    assert!(SeqStore::from_wide_parts(events.clone(), not_monotone)
         .unwrap_err()
         .contains("monotone"));
 
     let bad_end: SharedSlice<u32> = vec![0, 1].into();
-    assert!(SeqStore::from_shared_parts(events.clone(), bad_end)
+    assert!(SeqStore::from_wide_parts(events.clone(), bad_end)
         .unwrap_err()
         .contains("arena"));
 
     let good: SharedSlice<u32> = vec![0, 1, 2].into();
-    let store = SeqStore::from_shared_parts(events, good).expect("valid CSR");
+    let store = SeqStore::from_wide_parts(events, good).expect("valid CSR");
     assert_eq!(store.num_sequences(), 2);
 }
 

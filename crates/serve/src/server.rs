@@ -241,6 +241,14 @@ fn refuse(
         headers,
         &protocol::error_body(status, message),
     );
+    // The request bytes were never read off this connection, so dropping
+    // the stream now would send RST and could destroy the buffered
+    // response before the client reads it. Half-close the write side and
+    // drain what the client already sent, bounded by a short timeout.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let mut sink = [0u8; 512];
+    while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
 }
 
 /// Opens and verifies a snapshot image for serving.

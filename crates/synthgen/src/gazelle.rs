@@ -165,7 +165,7 @@ mod tests {
             .max_by_key(|s| s.len())
             .expect("non-empty database");
         let mut counts = std::collections::HashMap::new();
-        for &e in longest.events() {
+        for e in longest.iter_events() {
             *counts.entry(e).or_insert(0usize) += 1;
         }
         let max_repeat = counts.values().copied().max().unwrap_or(0);

@@ -151,7 +151,7 @@ mod tests {
             .sequences()
             .filter(|s| {
                 let mut counts = std::collections::HashMap::new();
-                for &e in s.events() {
+                for e in s.iter_events() {
                     *counts.entry(e).or_insert(0usize) += 1;
                 }
                 counts.values().any(|&c| c >= 2)

@@ -34,11 +34,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The hot-path modules whose loops must be panic-free (repo-relative).
-const HOT_PATH_FILES: [&str; 9] = [
+const HOT_PATH_FILES: [&str; 10] = [
     "crates/core/src/support.rs",
     "crates/core/src/instbuf.rs",
     "crates/core/src/closure.rs",
     "crates/core/src/constrained.rs",
+    "crates/core/src/kernel.rs",
     "crates/seqdb/src/store.rs",
     "crates/seqdb/src/index.rs",
     "crates/seqdb/src/shard.rs",
@@ -48,8 +49,9 @@ const HOT_PATH_FILES: [&str; 9] = [
 
 /// The files whose offset/length math must use the checked `seqdb::cast`
 /// helpers instead of lossy `as` casts (repo-relative).
-const CAST_CHECKED_FILES: [&str; 5] = [
+const CAST_CHECKED_FILES: [&str; 6] = [
     "crates/seqdb/src/store.rs",
+    "crates/seqdb/src/width.rs",
     "crates/seqdb/src/index.rs",
     "crates/seqdb/src/shard.rs",
     "crates/seqdb/src/snapshot.rs",
