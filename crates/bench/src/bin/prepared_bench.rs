@@ -10,9 +10,9 @@
 //! ```text
 //! prepared_bench [--scale dev|paper] [--threads N] [--shards N] [--repeats N]
 //!                [--out FILE] [--columnar-out FILE] [--snapshot-out FILE]
-//!                [--sharded-out FILE] [--growth-out FILE]
-//!                [--growth-floor BASELINE_FILE]
-//!                [--only prepared|columnar|snapshot|sharded|growth]
+//!                [--sharded-out FILE] [--growth-out FILE] [--batch-out FILE]
+//!                [--growth-floor BASELINE_FILE] [--batch-floor SPEEDUP]
+//!                [--only prepared|columnar|snapshot|sharded|growth|batch]
 //! ```
 //!
 //! `--only` restricts the run to one benchmark (and its output file) —
@@ -23,7 +23,11 @@
 //! The growth suite (`BENCH_growth_kernel.json`) measures the batched
 //! cursor kernels on long-sequence workloads; `--growth-floor` compares the
 //! fresh numbers against a committed baseline file and fails the run when
-//! any workload regressed by more than 30%.
+//! any workload regressed by more than 30%. The batch suite
+//! (`BENCH_batch.json`) mines stepped-threshold request sweeps one-by-one
+//! vs in one shared DFS pass; `--batch-floor 1.2` fails the run when any
+//! sweep's batched run is less than 1.2x the one-by-one loop or its output
+//! diverges from it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,8 +47,11 @@ fn main() -> ExitCode {
     let mut sharded_out = PathBuf::from("BENCH_shard.json");
     let mut growth_out = PathBuf::from("BENCH_growth_kernel.json");
     let mut growth_floor: Option<PathBuf> = None;
-    // Which benchmarks to run: (prepared, columnar, snapshot, sharded, growth).
-    let mut phases = (true, true, true, true, true);
+    let mut batch_out = PathBuf::from("BENCH_batch.json");
+    let mut batch_floor: Option<f64> = None;
+    // Which benchmarks to run:
+    // (prepared, columnar, snapshot, sharded, growth, batch).
+    let mut phases = (true, true, true, true, true, true);
 
     let mut i = 0;
     while i < args.len() {
@@ -123,14 +130,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--batch-out" => match need_value(&mut i) {
+                Some(path) => batch_out = PathBuf::from(path),
+                None => {
+                    eprintln!("--batch-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch-floor" => match need_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(speedup) => batch_floor = Some(speedup),
+                None => {
+                    eprintln!("--batch-floor needs a minimum speedup (e.g. 1.2)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--only" => match need_value(&mut i).as_deref() {
-                Some("prepared") => phases = (true, false, false, false, false),
-                Some("columnar") => phases = (false, true, false, false, false),
-                Some("snapshot") => phases = (false, false, true, false, false),
-                Some("sharded") => phases = (false, false, false, true, false),
-                Some("growth") => phases = (false, false, false, false, true),
+                Some("prepared") => phases = (true, false, false, false, false, false),
+                Some("columnar") => phases = (false, true, false, false, false, false),
+                Some("snapshot") => phases = (false, false, true, false, false, false),
+                Some("sharded") => phases = (false, false, false, true, false, false),
+                Some("growth") => phases = (false, false, false, false, true, false),
+                Some("batch") => phases = (false, false, false, false, false, true),
                 _ => {
-                    eprintln!("--only needs prepared|columnar|snapshot|sharded|growth");
+                    eprintln!("--only needs prepared|columnar|snapshot|sharded|growth|batch");
                     return ExitCode::FAILURE;
                 }
             },
@@ -139,8 +161,9 @@ fn main() -> ExitCode {
                     "prepared_bench [--scale dev|paper] [--threads N] [--shards N] \
                      [--repeats N] [--out FILE] [--columnar-out FILE] \
                      [--snapshot-out FILE] [--sharded-out FILE] [--growth-out FILE] \
-                     [--growth-floor BASELINE_FILE] \
-                     [--only prepared|columnar|snapshot|sharded|growth]"
+                     [--batch-out FILE] [--growth-floor BASELINE_FILE] \
+                     [--batch-floor SPEEDUP] \
+                     [--only prepared|columnar|snapshot|sharded|growth|batch]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -279,6 +302,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("# written to {}", growth_out.display());
+    }
+
+    if phases.5 {
+        // Batch engine: stepped-threshold request sweeps mined one-by-one
+        // vs in one shared DFS pass, with the bit-identity verdict and an
+        // optional minimum-speedup floor.
+        let batch = prepared_bench::run_batch(scale, repeats);
+        let batch_json = batch.to_json();
+        println!("{batch_json}");
+        for w in &batch.workloads {
+            println!(
+                "# {}: {} requests batched {:.2}x faster than one-by-one \
+                 ({:.4}s vs {:.4}s), identical output: {}",
+                w.dataset,
+                w.requests,
+                w.batch_speedup,
+                w.batched_seconds,
+                w.one_by_one_seconds,
+                w.output_identical,
+            );
+        }
+        if let Some(min_speedup) = batch_floor {
+            if let Err(err) = prepared_bench::check_batch_floor(&batch, min_speedup) {
+                eprintln!("error: batch-speedup floor violated: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("# batch floor OK (every sweep >= {min_speedup:.2}x, bit-identical)");
+        }
+        if let Err(err) = std::fs::write(&batch_out, &batch_json) {
+            eprintln!("error: cannot write {}: {err}", batch_out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# written to {}", batch_out.display());
     }
     ExitCode::SUCCESS
 }

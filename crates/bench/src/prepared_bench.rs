@@ -21,7 +21,7 @@
 use std::time::Instant;
 
 use rgs_core::json::escape;
-use rgs_core::{CountSink, Instance, Mode, PreparedDb};
+use rgs_core::{CountSink, Instance, MiningRequest, Mode, PreparedDb};
 use rgs_features::pipeline::{run_pipeline, sweep_min_sup, PipelineConfig};
 use rgs_features::LabeledDatabase;
 use synthgen::labeled::LabeledTraceConfig;
@@ -694,6 +694,173 @@ pub fn check_growth_floor(
     Ok(())
 }
 
+/// Batch-engine measurements of one workload: a stepped-threshold request
+/// sweep mined one-by-one through the solo engine vs in one shared DFS
+/// pass through [`PreparedDb::batch`].
+#[derive(Debug, Clone)]
+pub struct BatchWorkload {
+    /// Dataset description (name + stats summary).
+    pub dataset: String,
+    /// Number of requests in the sweep.
+    pub requests: usize,
+    /// The support thresholds of the swept requests.
+    pub min_sups: Vec<u64>,
+    /// Best-of-N wall time of the sequential one-by-one loop.
+    pub one_by_one_seconds: f64,
+    /// Best-of-N wall time of the single [`PreparedDb::batch`] call.
+    pub batched_seconds: f64,
+    /// `one_by_one_seconds / batched_seconds`.
+    pub batch_speedup: f64,
+    /// Whether every batch member's patterns (and truncation flag) were
+    /// bit-identical to its solo run.
+    pub output_identical: bool,
+}
+
+impl BatchWorkload {
+    fn to_json(&self) -> String {
+        let sups: Vec<String> = self.min_sups.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"dataset\": {}, \"requests\": {}, \"min_sups\": [{}], \
+             \"one_by_one_seconds\": {:.6}, \"batched_seconds\": {:.6}, \
+             \"batch_speedup\": {:.3}, \"output_identical\": {}}}",
+            escape(&self.dataset),
+            self.requests,
+            sups.join(", "),
+            self.one_by_one_seconds,
+            self.batched_seconds,
+            self.batch_speedup,
+            self.output_identical,
+        )
+    }
+}
+
+/// The batch-engine benchmark report (`BENCH_batch.json`).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Benchmark scale (dev/paper).
+    pub scale: String,
+    /// What the batched numbers are compared against.
+    pub baseline: String,
+    /// Per-workload measurements.
+    pub workloads: Vec<BatchWorkload>,
+}
+
+impl BatchReport {
+    /// Renders the report as a JSON object (hand-rolled, no serde).
+    pub fn to_json(&self) -> String {
+        let workloads: Vec<String> = self
+            .workloads
+            .iter()
+            .map(|w| format!("    {}", w.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"benchmark\": \"batch_engine\",\n  \"scale\": {},\n  \
+             \"baseline\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+            escape(&self.scale),
+            escape(&self.baseline),
+            workloads.join(",\n"),
+        )
+    }
+}
+
+/// Measures one batch workload: the stepped-threshold closed-mining sweep
+/// of `min_sups` on `db`, one-by-one vs batched, plus the bit-identity
+/// verdict across every member.
+fn batch_workload(
+    name: &str,
+    db: &seqdb::SequenceDatabase,
+    min_sups: &[u64],
+    repeats: usize,
+) -> BatchWorkload {
+    let prepared = PreparedDb::new(db);
+    let requests: Vec<MiningRequest> = min_sups
+        .iter()
+        .map(|&min_sup| MiningRequest {
+            min_sup,
+            mode: Mode::Closed,
+            ..MiningRequest::default()
+        })
+        .collect();
+
+    let (one_by_one_seconds, solo) = best_of(repeats, || {
+        requests
+            .iter()
+            .map(|request| prepared.miner().with_request(request.clone()).run())
+            .collect::<Vec<_>>()
+    });
+    let (batched_seconds, batched) = best_of(repeats, || prepared.batch(&requests));
+
+    let output_identical = solo.len() == batched.len()
+        && solo
+            .iter()
+            .zip(&batched)
+            .all(|(s, b)| s.patterns == b.outcome.patterns && s.truncated == b.outcome.truncated);
+
+    BatchWorkload {
+        dataset: format!("{name}: {}", db.stats().summary()),
+        requests: requests.len(),
+        min_sups: min_sups.to_vec(),
+        one_by_one_seconds,
+        batched_seconds,
+        batch_speedup: one_by_one_seconds / batched_seconds.max(1e-12),
+        output_identical,
+    }
+}
+
+/// Runs the batch-engine benchmark: the Figure 2 threshold sweep (the same
+/// shape the features pipeline's `sweep_min_sup` issues) and a stepped
+/// sweep on the heaviest Fig. 5 dataset. Both sweeps land in a single
+/// shared-DFS group, so the batched run pays for one scan at the lowest
+/// threshold where the loop pays for every step.
+///
+/// The Fig. 5 thresholds step from 40% to 60% of the sequence count
+/// (200..=300 at dev scale). Closed mining on that dataset explodes
+/// combinatorially below ~20% of the sequence count (minutes per solo run),
+/// so the sweep sits in the band where every solo run finishes in well under
+/// a second and the whole suite stays CI-sized.
+pub fn run_batch(scale: Scale, repeats: usize) -> BatchReport {
+    let mut workloads = Vec::new();
+
+    let (fig2_name, fig2_db) = datasets::fig2_dataset(scale);
+    let fig2_sups = datasets::fig2_thresholds(scale);
+    workloads.push(batch_workload(&fig2_name, &fig2_db, &fig2_sups, repeats));
+
+    let (fig5_name, fig5_db) = datasets::fig5_largest(scale);
+    let seqs = fig5_db.num_sequences() as u64;
+    let fig5_sups: Vec<u64> = (0..6).map(|i| seqs * (40 + 4 * i) / 100).collect();
+    workloads.push(batch_workload(&fig5_name, &fig5_db, &fig5_sups, repeats));
+
+    BatchReport {
+        scale: format!("{scale:?}").to_lowercase(),
+        baseline: "the same requests mined one-by-one through the solo engine \
+                   (Miner::with_request) on the same prepared snapshot"
+            .to_owned(),
+        workloads,
+    }
+}
+
+/// Checks the batch report against its regression floor: every workload
+/// must be bit-identical to the one-by-one loop and at least `min_speedup`
+/// times faster than it (1.2 = batched must beat the loop by 20%).
+pub fn check_batch_floor(report: &BatchReport, min_speedup: f64) -> Result<(), String> {
+    for w in &report.workloads {
+        if !w.output_identical {
+            return Err(format!(
+                "{}: batched output diverged from the one-by-one loop",
+                w.dataset
+            ));
+        }
+        if w.batch_speedup < min_speedup {
+            return Err(format!(
+                "{}: batched run is only {:.2}x the one-by-one loop \
+                 (floor {min_speedup:.2}x)",
+                w.dataset, w.batch_speedup,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Per-shard byte footprint of one sharded workload.
 #[derive(Debug, Clone)]
 pub struct ShardBytes {
@@ -1248,6 +1415,72 @@ mod tests {
         assert!(err.contains("below the floor"), "{err}");
         // A baseline without numbers is an explicit error, not a pass.
         assert!(check_growth_floor(&report, "{}", 0.3).is_err());
+    }
+
+    #[test]
+    fn batch_report_serializes_to_balanced_json() {
+        let report = BatchReport {
+            scale: "dev".into(),
+            baseline: "one-by-one loop".into(),
+            workloads: vec![BatchWorkload {
+                dataset: "toy".into(),
+                requests: 5,
+                min_sups: vec![40, 30, 20, 15, 10],
+                one_by_one_seconds: 0.5,
+                batched_seconds: 0.2,
+                batch_speedup: 2.5,
+                output_identical: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benchmark\": \"batch_engine\""));
+        assert!(json.contains("\"min_sups\": [40, 30, 20, 15, 10]"));
+        assert!(json.contains("\"batch_speedup\": 2.500"));
+        assert!(json.contains("\"output_identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn batch_workload_stays_bit_identical_on_a_small_database() {
+        let db = seqdb::SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let w = batch_workload("running example", &db, &[4, 3, 2], 1);
+        assert!(w.output_identical, "batched sweep diverged from the loop");
+        assert_eq!(w.requests, 3);
+        assert!(w.one_by_one_seconds >= 0.0 && w.batched_seconds >= 0.0);
+    }
+
+    #[test]
+    fn batch_floor_check_rejects_slow_or_divergent_workloads() {
+        let good = BatchWorkload {
+            dataset: "toy".into(),
+            requests: 5,
+            min_sups: vec![40, 30, 20, 15, 10],
+            one_by_one_seconds: 0.5,
+            batched_seconds: 0.2,
+            batch_speedup: 2.5,
+            output_identical: true,
+        };
+        let mut report = BatchReport {
+            scale: "dev".into(),
+            baseline: "one-by-one loop".into(),
+            workloads: vec![good.clone()],
+        };
+        assert!(check_batch_floor(&report, 1.2).is_ok());
+
+        report.workloads.push(BatchWorkload {
+            batch_speedup: 1.1,
+            ..good.clone()
+        });
+        let err = check_batch_floor(&report, 1.2).unwrap_err();
+        assert!(err.contains("only 1.10x"), "{err}");
+
+        report.workloads[1] = BatchWorkload {
+            output_identical: false,
+            ..good
+        };
+        let err = check_batch_floor(&report, 1.2).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
     }
 
     #[test]

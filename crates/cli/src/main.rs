@@ -9,6 +9,7 @@
 //!          [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]
 //!          [--threads N] [--shards N] [--top T] [--density R] [--maximal] [--stream]
 //! rgs-mine topk  --input FILE|--snapshot IMG -k K [--min-sup FLOOR] [...]
+//! rgs-mine batch --input FILE|--snapshot IMG --requests FILE [--top T]
 //! rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars] [--shards N]
 //! rgs-mine snapshot build --input FILE [--format ...] [--shards N] --out IMG
 //! rgs-mine snapshot info  --snapshot IMG
@@ -27,6 +28,15 @@
 //! switches the output to a JSON document containing the `MiningReport`
 //! and the reported patterns.
 //!
+//! The `batch` subcommand mines many requests in **one** shared DFS pass
+//! over the prepared snapshot ([`PreparedDb::batch_with_deadlines`]): the
+//! request file holds one JSON object per line in the same shape as a
+//! `POST /mine` body (`{"min_sup": 3, "mode": "closed", "max_gap": 2}`;
+//! blank lines and `#` comments are skipped), and each request's answer is
+//! bit-identical to running it alone. A per-line `timeout_ms` becomes that
+//! member's private deadline — an expired member comes back truncated
+//! without affecting its siblings.
+//!
 //! `snapshot build` prepares a database once (interning, inverted index,
 //! frequent-event counts) and serializes it into a single image file;
 //! `--snapshot IMG` then serves any mining/stats invocation straight from
@@ -43,8 +53,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rgs_core::{
-    json, postprocess, sort_patterns_for_report, CollectSink, GapConstraints, MinedPattern, Miner,
-    Mode, PostProcessConfig, PreparedDb,
+    canonical_key, json, postprocess, sort_patterns_for_report, CollectSink, GapConstraints,
+    MinedPattern, Miner, MiningRequest, Mode, PostProcessConfig, PreparedDb,
 };
 use seqdb::snapshot::{section_id, verify, SnapshotImage};
 use seqdb::{io as seqio, SequenceDatabase};
@@ -59,6 +69,10 @@ struct Options {
     out: Option<PathBuf>,
     /// Which `snapshot` subcommand ran, if any.
     snapshot_cmd: Option<SnapshotCmd>,
+    /// Whether the `batch` subcommand ran.
+    batch: bool,
+    /// Request file of the `batch` subcommand (one JSON object per line).
+    requests: Option<PathBuf>,
     format: Format,
     min_sup: u64,
     mode: Mode,
@@ -103,6 +117,8 @@ impl Default for Options {
             snapshot: None,
             out: None,
             snapshot_cmd: None,
+            batch: false,
+            requests: None,
             format: Format::Tokens,
             min_sup: 2,
             mode: Mode::Closed,
@@ -296,6 +312,9 @@ fn main() -> ExitCode {
     if options.stats_only {
         return run_stats(&source);
     }
+    if options.batch {
+        return run_batch(&source, &options);
+    }
 
     let db = source.database();
     eprintln!("# dataset: {}", db.stats().summary());
@@ -468,6 +487,224 @@ fn run_snapshot_verify(options: &Options) -> ExitCode {
         );
     }
     ExitCode::FAILURE
+}
+
+/// One parsed line of a `batch` request file: the mining parameters plus
+/// the optional per-request deadline.
+#[derive(Debug, Clone, PartialEq)]
+struct BatchLine {
+    request: MiningRequest,
+    timeout_ms: Option<u64>,
+}
+
+/// Parses one request line of a `batch` file. The accepted shape is the
+/// `POST /mine` body of `rgs-serve`: a flat JSON object whose fields are
+/// all optional, with unknown fields rejected by name (a typo like
+/// `"min_supp"` silently mining with the default support would be far
+/// worse than an error).
+fn parse_batch_line(line: &str) -> Result<BatchLine, String> {
+    let value = json::parse(line).map_err(|err| format!("invalid JSON: {err}"))?;
+    let members = value
+        .as_obj()
+        .ok_or_else(|| "request must be a JSON object".to_owned())?;
+
+    let as_u64 = |name: &str, field: &json::Value| -> Result<u64, String> {
+        field
+            .as_u64()
+            .ok_or_else(|| format!("field {name:?} must be a non-negative integer"))
+    };
+    let as_u32 = |name: &str, field: &json::Value| -> Result<u32, String> {
+        u32::try_from(as_u64(name, field)?)
+            .map_err(|_| format!("field {name:?} exceeds the u32 range"))
+    };
+    let as_usize = |name: &str, field: &json::Value| -> Result<usize, String> {
+        usize::try_from(as_u64(name, field)?)
+            .map_err(|_| format!("field {name:?} exceeds the usize range"))
+    };
+
+    // `null` on any optional field means "use the default", exactly as in
+    // the serve protocol.
+    let opt_u32 = |name: &str, field: &json::Value| -> Result<Option<u32>, String> {
+        if field.is_null() {
+            Ok(None)
+        } else {
+            as_u32(name, field).map(Some)
+        }
+    };
+    let opt_usize = |name: &str, field: &json::Value| -> Result<Option<usize>, String> {
+        if field.is_null() {
+            Ok(None)
+        } else {
+            as_usize(name, field).map(Some)
+        }
+    };
+
+    let mut request = MiningRequest::default();
+    let mut timeout_ms = None;
+    for (name, field) in members {
+        match name.as_str() {
+            "min_sup" => request.min_sup = as_u64(name, field)?,
+            "mode" => {
+                request.mode = match field.as_str() {
+                    Some("all") => Mode::All,
+                    Some("closed") => Mode::Closed,
+                    Some("maximal") => Mode::Maximal,
+                    Some("top-k" | "topk" | "top_k") => Mode::TopK,
+                    Some(other) => return Err(format!("unknown mode {other:?}")),
+                    None => return Err("field \"mode\" must be a string".to_owned()),
+                }
+            }
+            "min_gap" => request.constraints.min_gap = as_u32(name, field)?,
+            "max_gap" => request.constraints.max_gap = opt_u32(name, field)?,
+            "max_window" => request.constraints.max_window = opt_u32(name, field)?,
+            "top_k" => request.top_k = opt_usize(name, field)?,
+            "min_len" => request.min_len = as_usize(name, field)?,
+            "max_len" => request.max_pattern_length = opt_usize(name, field)?,
+            "max_patterns" => request.max_patterns = opt_usize(name, field)?,
+            "timeout_ms" => {
+                timeout_ms = if field.is_null() {
+                    None
+                } else {
+                    Some(as_u64(name, field)?)
+                };
+            }
+            other => {
+                return Err(format!(
+                    "unknown field {other:?}; accepted fields: min_sup, mode, min_gap, \
+                     max_gap, max_window, top_k, min_len, max_len, max_patterns, timeout_ms"
+                ));
+            }
+        }
+    }
+    Ok(BatchLine {
+        request,
+        timeout_ms,
+    })
+}
+
+/// Parses a whole `batch` request file: one JSON object per line, blank
+/// lines and `#` comments skipped, errors prefixed with the line number.
+fn parse_batch_file(text: &str) -> Result<Vec<BatchLine>, String> {
+    let mut lines = Vec::new();
+    for (at, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = parse_batch_line(line).map_err(|err| format!("line {}: {err}", at + 1))?;
+        lines.push(parsed);
+    }
+    if lines.is_empty() {
+        return Err("request file holds no requests".to_owned());
+    }
+    Ok(lines)
+}
+
+/// `batch` subcommand: mine every request of the file in **one** shared
+/// DFS pass over the prepared source, then print each member's
+/// solo-identical answer.
+fn run_batch(source: &Loaded, options: &Options) -> ExitCode {
+    // parse_args is the single validation point for required flags.
+    let path = options
+        .requests
+        .as_ref()
+        .expect("parse_args enforced --requests");
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let lines = match parse_batch_file(&text) {
+        Ok(lines) => lines,
+        Err(err) => {
+            eprintln!("error: {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The batch engine runs on a prepared snapshot; a plain text source is
+    // prepared once here — the whole point is that N requests share it.
+    let built;
+    let prepared: &PreparedDb = match source {
+        Loaded::Text(db) => {
+            built = PreparedDb::new(db);
+            &built
+        }
+        Loaded::Prepared(prepared) => prepared,
+    };
+    let requests: Vec<MiningRequest> = lines.iter().map(|l| l.request.clone()).collect();
+    let deadlines: Vec<Option<std::time::Instant>> = lines
+        .iter()
+        .map(|l| {
+            l.timeout_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms))
+        })
+        .collect();
+    let results = prepared.batch_with_deadlines(&requests, &deadlines);
+
+    let db = prepared.database();
+    if options.json_output {
+        let mut out = String::from("{\n  \"batch\": [\n");
+        for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
+            out.push_str(&format!(
+                "    {{\"request\": {}, \"count\": {}, \"truncated\": {}, \
+                 \"deadline_exceeded\": {}, \"patterns\": [",
+                json::escape(&canonical_key(request)),
+                result.outcome.len(),
+                result.outcome.truncated,
+                result.cancelled,
+            ));
+            for (j, mined) in result.outcome.patterns.iter().take(options.top).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"pattern\": {}, \"support\": {}, \"len\": {}}}",
+                    json::escape(&mined.pattern.render_with(db.catalog(), " ")),
+                    mined.support,
+                    mined.pattern.len(),
+                ));
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < requests.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "# {} requests mined in one shared pass over {}",
+        requests.len(),
+        db.stats().summary()
+    );
+    for (i, (request, result)) in requests.iter().zip(&results).enumerate() {
+        println!(
+            "## request {}/{}: {} -> {} patterns{}{}",
+            i + 1,
+            requests.len(),
+            canonical_key(request),
+            result.outcome.len(),
+            if result.outcome.truncated {
+                ", TRUNCATED"
+            } else {
+                ""
+            },
+            if result.cancelled {
+                ", DEADLINE EXCEEDED"
+            } else {
+                ""
+            },
+        );
+        for mined in result.outcome.patterns.iter().take(options.top) {
+            print_pattern(db, mined);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `stats` subcommand: dataset summary plus the byte footprint of the
@@ -653,6 +890,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             options.min_sup = 1;
             i = 1;
         }
+        Some("batch") => {
+            // The request file carries the query parameters; the remaining
+            // flags only select the data source and output shaping.
+            options.batch = true;
+            i = 1;
+        }
         Some("stats") => {
             options.stats_only = true;
             i = 1;
@@ -684,6 +927,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--input" | "-i" => options.input = Some(PathBuf::from(next_value(&mut i)?)),
             "--snapshot" => options.snapshot = Some(PathBuf::from(next_value(&mut i)?)),
+            "--requests" => options.requests = Some(PathBuf::from(next_value(&mut i)?)),
             "--out" | "-o" => options.out = Some(PathBuf::from(next_value(&mut i)?)),
             "--format" | "-f" => match next_value(&mut i)?.as_str() {
                 "tokens" => options.format = Format::Tokens,
@@ -767,6 +1011,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if options.snapshot.is_some() && options.input.is_some() {
         return Err("--input and --snapshot are mutually exclusive".to_owned());
     }
+    if options.batch && options.requests.is_none() {
+        return Err("batch needs --requests FILE (one JSON request per line)".to_owned());
+    }
+    if options.requests.is_some() && !options.batch {
+        return Err("--requests only applies to the batch subcommand".to_owned());
+    }
     if options.snapshot_cmd == Some(SnapshotCmd::Build) && options.out.is_none() {
         return Err("snapshot build needs --out IMG".to_owned());
     }
@@ -798,6 +1048,7 @@ fn print_usage() {
                     [--top-k K] [--min-len L] [--max-len L] [--max-patterns N]\n\
                     [--threads N] [--shards N] [--top T] [--density R] [--maximal] [--stream]\n\
            rgs-mine topk --input FILE|--snapshot IMG -k K [--min-sup FLOOR] ...\n\
+           rgs-mine batch --input FILE|--snapshot IMG --requests FILE [--top T] [--format json]\n\
            rgs-mine stats --input FILE|--snapshot IMG [--format tokens|spmf|chars] [--shards N]\n\
            rgs-mine snapshot build --input FILE [--format ...] [--shards N] --out IMG\n\
            rgs-mine snapshot info  --snapshot IMG\n\
@@ -808,6 +1059,11 @@ fn print_usage() {
            mine      (default) mine the requested pattern family\n\
            topk      rank the k best closed patterns (composes with gap/window\n\
                      constraints: gap-constrained top-k mining)\n\
+           batch     mine every request of --requests FILE (one JSON object\n\
+                     per line, the POST /mine body shape; '#' comments ok) in\n\
+                     one shared DFS pass — each answer is bit-identical to\n\
+                     running that request alone, and a per-line timeout_ms\n\
+                     deadline-bounds only its own member\n\
            stats     print dataset statistics and the byte footprint of the\n\
                      flat columnar store and the CSR inverted index\n\
            snapshot  build: prepare once (intern + index + counts) and write\n\
@@ -1032,6 +1288,90 @@ mod tests {
         let fresh = options.miner(&db).run();
         assert_eq!(from_image.patterns, fresh.patterns);
         std::fs::remove_file(&image).ok();
+    }
+
+    #[test]
+    fn batch_subcommand_requires_a_request_file() {
+        let fail = |tokens: &[&str]| {
+            let args: Vec<String> = tokens
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
+            assert!(parse_args(&args).is_err(), "{tokens:?} should fail");
+        };
+        fail(&["batch", "--demo"]); // missing --requests
+        fail(&["--demo", "--requests", "x"]); // --requests without batch
+
+        let options = parse(&["batch", "--demo", "--requests", "reqs.jsonl"]);
+        assert!(options.batch);
+        assert_eq!(options.requests, Some(PathBuf::from("reqs.jsonl")));
+    }
+
+    #[test]
+    fn batch_lines_parse_the_mine_body_shape() {
+        let line = parse_batch_line(
+            r#"{"min_sup": 3, "mode": "top-k", "max_gap": 2, "top_k": 5, "timeout_ms": 250}"#,
+        )
+        .expect("full line");
+        assert_eq!(line.request.min_sup, 3);
+        assert_eq!(line.request.mode, Mode::TopK);
+        assert_eq!(line.request.constraints.max_gap, Some(2));
+        assert_eq!(line.request.top_k, Some(5));
+        assert_eq!(line.timeout_ms, Some(250));
+
+        let defaults = parse_batch_line("{}").expect("empty object");
+        assert_eq!(defaults.request, MiningRequest::default());
+        assert_eq!(defaults.timeout_ms, None);
+
+        let nulls = parse_batch_line(r#"{"max_gap": null, "timeout_ms": null}"#).expect("nulls");
+        assert_eq!(nulls.request.constraints.max_gap, None);
+        assert_eq!(nulls.timeout_ms, None);
+
+        for (bad, needle) in [
+            ("[1]", "JSON object"),
+            (r#"{"min_supp": 3}"#, "min_supp"),
+            (r#"{"mode": "openish"}"#, "openish"),
+            (r#"{"min_sup": null}"#, "non-negative"),
+            ("{not json", "invalid JSON"),
+        ] {
+            let err = parse_batch_line(bad).expect_err(bad);
+            assert!(err.contains(needle), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn batch_files_skip_blanks_and_comments_and_number_errors() {
+        let lines = parse_batch_file(
+            "# sweep\n\n{\"min_sup\": 4}\n  {\"min_sup\": 3, \"mode\": \"all\"}\n",
+        )
+        .expect("file parses");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].request.min_sup, 4);
+        assert_eq!(lines[1].request.mode, Mode::All);
+
+        let err = parse_batch_file("{}\n{oops\n").expect_err("bad line");
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(parse_batch_file("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn batch_answers_match_solo_runs_on_the_demo_database() {
+        let db = SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"]);
+        let lines = parse_batch_file(
+            "{\"min_sup\": 2}\n{\"min_sup\": 3}\n\
+             {\"min_sup\": 2, \"mode\": \"all\", \"max_gap\": 1}\n\
+             {\"min_sup\": 2, \"mode\": \"top-k\", \"top_k\": 4}\n",
+        )
+        .expect("file parses");
+        let requests: Vec<MiningRequest> = lines.iter().map(|l| l.request.clone()).collect();
+        let prepared = PreparedDb::new(&db);
+        let results = prepared.batch(&requests);
+        assert_eq!(results.len(), requests.len());
+        for (request, result) in requests.iter().zip(&results) {
+            let solo = prepared.miner().with_request(request.clone()).run();
+            assert_eq!(result.outcome.patterns, solo.patterns, "{request:?}");
+            assert!(!result.cancelled);
+        }
     }
 
     #[test]

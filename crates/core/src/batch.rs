@@ -1,0 +1,1277 @@
+//! Batch execution: one shared DFS serving many mining requests.
+//!
+//! The growth DFS is anti-monotone in `min_sup` (Theorem 1): the search
+//! tree of a request at threshold `t` is a subtree of the search tree at
+//! any lower threshold. A whole batch of requests over one
+//! [`PreparedDb`](crate::PreparedDb)
+//! can therefore be served by a *single* pass at the batch's minimum
+//! threshold, with a multiplexing sink that routes every visited pattern to
+//! each subscribed request it satisfies.
+//!
+//! # Grouping rules
+//!
+//! Requests are grouped by the *shape* of the DFS they need, not by their
+//! thresholds:
+//!
+//! * **All-scan** — the plain GSgrow tree over one [`GapConstraints`]
+//!   value. Serves unconstrained `All` streams, constrained `All` streams,
+//!   the constrained basis behind constrained `Closed`/`Maximal`/ranked
+//!   requests, and the unconstrained TSP-style top-k search (which walks
+//!   the same tree with a dynamic per-request threshold).
+//! * **Closed-scan** — the CloGSgrow tree (closure checking plus landmark
+//!   border pruning), keyed by the pruning ablation switch. Serves
+//!   unconstrained `Closed` streams and the closed basis behind
+//!   unconstrained `Maximal` and ranked-`Maximal` requests.
+//!
+//! Within a group the scan runs once at `t_min`, the minimum of the
+//! members' effective thresholds. Each member keeps its own per-node
+//! "alive" flag: a node is alive for a member exactly when the member's
+//! solo DFS would visit it (its support clears the member's threshold along
+//! the whole prefix and the member's caps allow the depth). Restricting the
+//! shared preorder to a member's alive nodes replays that member's solo run
+//! — emissions, truncation, and work counters included — which is what pins
+//! batch output bit-identical to the one-by-one loop.
+//!
+//! # Why shared-floor top-k is sound (and why it is not shared)
+//!
+//! Top-k members keep *per-member* heaps and dynamic thresholds. Sharing a
+//! single floor across subscribers would be unsound: one subscriber's
+//! raised k-th-best support would prune subtrees another subscriber (with a
+//! smaller `k` satisfied later, or a lower floor) still needs. The shared
+//! scan only ever descends a child when *some* member's own threshold
+//! admits it, so no member can starve another.
+//!
+//! # Deadlines
+//!
+//! Each request may carry its own deadline. Streaming members check it at
+//! every emission (exactly where a solo run's `DeadlineSink` sits behind
+//! the emission gate) and detach without disturbing their siblings; basis
+//! and ranked members observe it at their final drain, again matching the
+//! solo path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use seqdb::EventId;
+
+use crate::closure::{CheckScratch, ClosureChecker, ClosureStatus};
+use crate::constrained::ConstrainedSupportComputer;
+use crate::constraints::GapConstraints;
+use crate::engine::{MiningRequest, Mode};
+use crate::growth::{SetPool, SupportComputer};
+use crate::maximal::maximal_subset;
+use crate::pattern::Pattern;
+use crate::prepared::PreparedRef;
+use crate::reference::closed_subset;
+use crate::result::{sort_patterns_for_report, MinedPattern, MiningOutcome, MiningStats};
+use crate::support::SupportSet;
+
+/// The outcome of one request executed through [`crate::PreparedDb::batch`]:
+/// the [`MiningOutcome`] a solo [`crate::MiningSession::run`] would produce
+/// for the same request, plus the emission-gate bookkeeping a streamed solo
+/// run reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MiningResult {
+    /// Patterns (in the request's own emission order), work counters, and
+    /// the truncation flag — field for field what a solo run returns.
+    /// `stats.elapsed_seconds` is the whole batch's wall-clock time.
+    pub outcome: MiningOutcome,
+    /// Number of patterns that passed this request's emission gate
+    /// (the [`crate::MiningReport::emitted`] equivalent).
+    pub emitted: usize,
+    /// `true` when this request's deadline expired mid-run; its siblings in
+    /// the batch are unaffected.
+    pub cancelled: bool,
+}
+
+/// Executes `requests` against one prepared snapshot, sharing the
+/// frequent-event scan and the DFS across compatible requests. `deadlines`
+/// is indexed by request slot; missing entries mean no deadline.
+///
+/// Output contract: `results[i]` is bit-identical (patterns, supports,
+/// order, truncation, work counters) to running `requests[i]` solo under
+/// sequential execution, except that `elapsed_seconds` covers the whole
+/// batch.
+pub(crate) fn run_batch(
+    prepared: PreparedRef<'_>,
+    requests: &[MiningRequest],
+    deadlines: &[Option<Instant>],
+) -> Vec<MiningResult> {
+    let start = Instant::now();
+    let mut results: Vec<MiningResult> = requests.iter().map(|_| MiningResult::default()).collect();
+
+    // Group request slots by scan shape (linear scan: batches are small).
+    let mut groups: Vec<(ScanKind, Vec<usize>)> = Vec::new();
+    for (slot, request) in requests.iter().enumerate() {
+        let kind = scan_kind(request);
+        if kind == ScanKind::Trivial {
+            continue;
+        }
+        match groups.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, slots)) => slots.push(slot),
+            None => groups.push((kind, vec![slot])),
+        }
+    }
+
+    for (kind, slots) in groups {
+        match kind {
+            ScanKind::Trivial => {}
+            ScanKind::All { constraints } => {
+                run_all_scan(
+                    prepared,
+                    requests,
+                    deadlines,
+                    constraints,
+                    &slots,
+                    &mut results,
+                );
+            }
+            ScanKind::Closed { pruning } => {
+                run_closed_scan(prepared, requests, deadlines, pruning, &slots, &mut results);
+            }
+        }
+    }
+
+    let elapsed = start.elapsed();
+    for result in &mut results {
+        result.outcome.stats.set_elapsed(elapsed);
+    }
+    results
+}
+
+/// The DFS shape a request subscribes to. Requests with equal kinds share
+/// one scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanKind {
+    /// No search at all (ranked with `k == 0`): the solo engine returns an
+    /// empty, untruncated result without scanning.
+    Trivial,
+    /// The GSgrow tree under one constraint set (unbounded constraints are
+    /// canonicalized to [`GapConstraints::unbounded`] so equal-meaning
+    /// values land in one group).
+    All { constraints: GapConstraints },
+    /// The CloGSgrow tree, keyed by the landmark-pruning ablation (the
+    /// switch changes which nodes the DFS visits).
+    Closed { pruning: bool },
+}
+
+/// Maps a request onto the scan its solo run executes (mirror of the
+/// engine's `run_with_sink`/`collect_ranked` dispatch).
+fn scan_kind(request: &MiningRequest) -> ScanKind {
+    let unbounded = request.constraints.is_unbounded();
+    let constraints = if unbounded {
+        GapConstraints::unbounded()
+    } else {
+        request.constraints
+    };
+    if request.is_ranked() {
+        if request.effective_k() == 0 {
+            return ScanKind::Trivial;
+        }
+        if unbounded && request.base_mode() != Mode::Maximal {
+            // TSP-style top-k walks the plain GSgrow tree with its own
+            // dynamic threshold.
+            return ScanKind::All { constraints };
+        }
+        if unbounded {
+            // Ranked maximal: ranked filter over the closed basis.
+            return ScanKind::Closed {
+                pruning: request.use_landmark_pruning,
+            };
+        }
+        // Constrained ranked (any base): ranked filter over the
+        // constrained-frequent basis.
+        return ScanKind::All { constraints };
+    }
+    match (request.base_mode(), unbounded) {
+        (Mode::All, _) => ScanKind::All { constraints },
+        (Mode::Closed | Mode::Maximal | Mode::TopK, true) => ScanKind::Closed {
+            pruning: request.use_landmark_pruning,
+        },
+        // Constrained closed/maximal: filter the constrained-frequent set
+        // (Theorem 5 pruning is unsound under constraints).
+        (Mode::Closed | Mode::Maximal | Mode::TopK, false) => ScanKind::All { constraints },
+    }
+}
+
+/// How a basis member's collected patterns become its final output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankedFilter {
+    AsIs,
+    Closed,
+    Maximal,
+    ClosedThenMaximal,
+}
+
+/// What happens to a basis member's collected patterns at finish time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BasisFinish {
+    /// Non-ranked closed-under-constraints: `closed_subset` then drain.
+    Closed,
+    /// Non-ranked maximal: `maximal_subset` then drain.
+    Maximal,
+    /// Ranked: filter, `min_len` retain, report sort, truncate to `k`.
+    Ranked { k: usize, filter: RankedFilter },
+}
+
+/// A member's role in the shared scan.
+enum Shape {
+    /// Streams through the emission gate at every alive node (solo
+    /// streaming modes: unconstrained `All`/`Closed`, constrained `All`).
+    Stream,
+    /// Collects a basis (no `min_len` filter, cap mid-search) and filters
+    /// at finish time (solo basis modes: maximal, constrained closed /
+    /// maximal, ranked-over-basis).
+    Basis {
+        collected: Vec<MinedPattern>,
+        truncated: bool,
+        finish: BasisFinish,
+    },
+    /// Per-member TSP-style top-k with its own heap and dynamic threshold
+    /// (solo `run_top_k`).
+    TopK {
+        k: usize,
+        closed_only: bool,
+        heap: BinaryHeap<Reverse<u64>>,
+        collected: Vec<MinedPattern>,
+    },
+}
+
+/// Maps a request onto its member role within its scan group.
+fn member_shape(request: &MiningRequest) -> Shape {
+    let unbounded = request.constraints.is_unbounded();
+    if request.is_ranked() {
+        let k = request.effective_k();
+        if unbounded && request.base_mode() != Mode::Maximal {
+            return Shape::TopK {
+                k,
+                closed_only: request.base_mode() == Mode::Closed,
+                heap: BinaryHeap::new(),
+                collected: Vec::new(),
+            };
+        }
+        let filter = match (request.base_mode(), unbounded) {
+            (Mode::All, _) => RankedFilter::AsIs,
+            (Mode::Closed | Mode::TopK, _) => RankedFilter::Closed,
+            (Mode::Maximal, true) => RankedFilter::Maximal,
+            (Mode::Maximal, false) => RankedFilter::ClosedThenMaximal,
+        };
+        return Shape::Basis {
+            collected: Vec::new(),
+            truncated: false,
+            finish: BasisFinish::Ranked { k, filter },
+        };
+    }
+    match (request.base_mode(), unbounded) {
+        (Mode::All, _) | (Mode::Closed | Mode::TopK, true) => Shape::Stream,
+        (Mode::Maximal, _) => Shape::Basis {
+            collected: Vec::new(),
+            truncated: false,
+            finish: BasisFinish::Maximal,
+        },
+        (Mode::Closed | Mode::TopK, false) => Shape::Basis {
+            collected: Vec::new(),
+            truncated: false,
+            finish: BasisFinish::Closed,
+        },
+    }
+}
+
+/// One request's subscription to a shared scan: its thresholds and caps,
+/// its private emission gate, and its work counters.
+struct Member {
+    /// Index into `requests`/`results`.
+    slot: usize,
+    /// Effective support threshold: `min_sup.max(1)` (the top-k floor for
+    /// [`Shape::TopK`] members).
+    floor: u64,
+    min_len: usize,
+    keep: bool,
+    /// `max_patterns` — the uniform emission cap.
+    cap: Option<usize>,
+    /// `max_pattern_length` — the DFS depth cap.
+    max_len: Option<usize>,
+    deadline: Option<Instant>,
+    /// `eligible[i]` — whether scan event `i` is frequent at this member's
+    /// own floor, i.e. whether the event is in the member's solo candidate
+    /// list.
+    eligible: Vec<bool>,
+    /// Number of `true` entries in `eligible`.
+    eligible_count: u64,
+    /// Set when the member's solo run would have stopped scanning (cap hit
+    /// or deadline expired mid-stream).
+    detached: bool,
+    stats: MiningStats,
+    emitted: usize,
+    truncated: bool,
+    cancelled: bool,
+    /// Patterns that passed the emission gate, in emission order.
+    out: Vec<MinedPattern>,
+    shape: Shape,
+}
+
+impl Member {
+    fn new(slot: usize, request: &MiningRequest, deadline: Option<Instant>) -> Member {
+        Member {
+            slot,
+            floor: request.min_sup.max(1),
+            min_len: request.min_len,
+            keep: request.keep_support_sets,
+            cap: request.max_patterns,
+            max_len: request.max_pattern_length,
+            deadline,
+            eligible: Vec::new(),
+            eligible_count: 0,
+            detached: false,
+            stats: MiningStats::default(),
+            emitted: 0,
+            truncated: false,
+            cancelled: false,
+            out: Vec::new(),
+            shape: member_shape(request),
+        }
+    }
+
+    /// Whether the member's DFS may grow a pattern of length `len`.
+    fn allows_growth(&self, len: usize) -> bool {
+        self.max_len.is_none_or(|max| len < max)
+    }
+
+    /// Whether scan event `i` is in this member's solo candidate list.
+    fn eligible_at(&self, i: usize) -> bool {
+        self.eligible.get(i).copied().unwrap_or(false)
+    }
+
+    /// The member's dynamic top-k threshold (solo `TopKState::threshold`);
+    /// the plain floor for non-top-k members.
+    fn topk_threshold(&self) -> u64 {
+        let Shape::TopK { k, heap, .. } = &self.shape else {
+            return self.floor;
+        };
+        if heap.len() < *k {
+            self.floor
+        } else {
+            heap.peek()
+                .map(|&Reverse(s)| s)
+                .unwrap_or(self.floor)
+                .max(self.floor)
+        }
+    }
+
+    /// The emission gate (solo `EmitGate::forward` with the deadline sink
+    /// inlined). Returns `true` when the member must stop receiving.
+    fn gate_forward(&mut self, mined: MinedPattern) -> bool {
+        self.emitted += 1;
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            // A solo DeadlineSink drops the pattern and cancels the run.
+            self.cancelled = true;
+            return true;
+        }
+        self.out.push(mined);
+        if self.cap.is_some_and(|cap| self.emitted >= cap) {
+            self.truncated = true;
+            return true;
+        }
+        false
+    }
+
+    /// Streaming emission point (solo `EmitGate::emit`): `min_len` filter,
+    /// support-set retention, then the gate. A stop detaches the member
+    /// from the rest of the scan.
+    fn gate_emit(&mut self, pattern: &Pattern, support: &SupportSet) {
+        if pattern.len() < self.min_len {
+            return;
+        }
+        let mut mined = MinedPattern::new(pattern.clone(), support.support());
+        if self.keep {
+            mined.support_set = Some(support.clone());
+        }
+        if self.gate_forward(mined) {
+            self.detached = true;
+        }
+    }
+
+    /// Drains a pre-collected list through the gate (solo
+    /// `EmitGate::drain`).
+    fn gate_drain(&mut self, patterns: Vec<MinedPattern>) {
+        for mined in patterns {
+            if mined.pattern.len() < self.min_len {
+                continue;
+            }
+            if self.gate_forward(mined) {
+                break;
+            }
+        }
+    }
+
+    /// Basis collection point (solo `Collector::emit`): no `min_len`
+    /// filter, cap applied mid-search. A full basis detaches the member.
+    fn collect_basis(&mut self, pattern: &Pattern, support: &SupportSet) {
+        let mut mined = MinedPattern::new(pattern.clone(), support.support());
+        if self.keep {
+            mined.support_set = Some(support.clone());
+        }
+        let cap = self.cap;
+        let Shape::Basis {
+            collected,
+            truncated,
+            ..
+        } = &mut self.shape
+        else {
+            return;
+        };
+        collected.push(mined);
+        if cap.is_some_and(|c| collected.len() >= c) {
+            *truncated = true;
+            self.detached = true;
+        }
+    }
+
+    /// Finishes the member after its scan: applies the basis filter or the
+    /// top-k sort, drains through the gate, and writes the result slot.
+    fn finish(&mut self, results: &mut [MiningResult]) {
+        let shape = std::mem::replace(&mut self.shape, Shape::Stream);
+        match shape {
+            Shape::Stream => {}
+            Shape::TopK { k, collected, .. } => {
+                // Solo `finish_top_k`: report sort, truncate to k, drain.
+                let mut patterns = collected;
+                sort_patterns_for_report(&mut patterns);
+                patterns.truncate(k);
+                self.gate_drain(patterns);
+            }
+            Shape::Basis {
+                collected,
+                truncated,
+                finish,
+            } => {
+                self.truncated |= truncated;
+                let patterns = match finish {
+                    BasisFinish::Closed => closed_subset(&collected),
+                    BasisFinish::Maximal => maximal_subset(&collected),
+                    BasisFinish::Ranked { k, filter } => {
+                        let mut patterns = match filter {
+                            RankedFilter::AsIs => collected,
+                            RankedFilter::Closed => closed_subset(&collected),
+                            RankedFilter::Maximal => maximal_subset(&collected),
+                            RankedFilter::ClosedThenMaximal => {
+                                maximal_subset(&closed_subset(&collected))
+                            }
+                        };
+                        patterns.retain(|mp| mp.pattern.len() >= self.min_len);
+                        sort_patterns_for_report(&mut patterns);
+                        patterns.truncate(k);
+                        patterns
+                    }
+                };
+                self.gate_drain(patterns);
+            }
+        }
+        let Some(result) = results.get_mut(self.slot) else {
+            return;
+        };
+        result.outcome.patterns = std::mem::take(&mut self.out);
+        result.outcome.stats = self.stats.clone();
+        result.outcome.truncated = self.truncated;
+        result.emitted = self.emitted;
+        result.cancelled = self.cancelled;
+    }
+}
+
+/// Builds the member table of one scan group and its per-member event
+/// eligibility over the shared scan's candidate list.
+fn build_members(
+    requests: &[MiningRequest],
+    deadlines: &[Option<Instant>],
+    slots: &[usize],
+) -> Vec<Member> {
+    let mut members = Vec::with_capacity(slots.len());
+    for &slot in slots {
+        let Some(request) = requests.get(slot) else {
+            continue;
+        };
+        let deadline = deadlines.get(slot).copied().flatten();
+        members.push(Member::new(slot, request, deadline));
+    }
+    members
+}
+
+/// Fills each member's eligibility bitmap: scan event `i` is eligible for a
+/// member exactly when its total occurrence count clears the member's own
+/// floor — i.e. the member's solo candidate list, as a mask over the shared
+/// (lower-threshold) candidate list.
+fn fill_eligibility(prepared: PreparedRef<'_>, events: &[EventId], members: &mut [Member]) {
+    for member in members.iter_mut() {
+        member.eligible = events
+            .iter()
+            .map(|e| {
+                prepared
+                    .parts
+                    .occurrence_counts
+                    .get(e.index())
+                    .copied()
+                    .unwrap_or(0)
+                    >= member.floor
+            })
+            .collect();
+        member.eligible_count = member.eligible.iter().filter(|&&b| b).count() as u64;
+    }
+}
+
+/// Runs one shared GSgrow scan (plain or constrained) for `slots`.
+fn run_all_scan(
+    prepared: PreparedRef<'_>,
+    requests: &[MiningRequest],
+    deadlines: &[Option<Instant>],
+    constraints: GapConstraints,
+    slots: &[usize],
+    results: &mut [MiningResult],
+) {
+    let mut members = build_members(requests, deadlines, slots);
+    let Some(t_min) = members.iter().map(|m| m.floor).min() else {
+        return;
+    };
+    let events = prepared.parts.frequent_events(t_min);
+    fill_eligibility(prepared, &events, &mut members);
+    let sc = prepared.support_computer();
+    let csc = if constraints.is_unbounded() {
+        None
+    } else {
+        Some(ConstrainedSupportComputer::with_support_computer(
+            prepared.support_computer(),
+            constraints,
+        ))
+    };
+    // The closure checker is only consulted by closed-only top-k members
+    // (solo `run_top_k` with `closed_only`); its verdict is independent of
+    // which threshold built the candidate list, because candidates are
+    // viability-filtered by the visited pattern's support.
+    let need_checker = members.iter().any(|m| {
+        matches!(
+            m.shape,
+            Shape::TopK {
+                closed_only: true,
+                ..
+            }
+        )
+    });
+    let checker = if need_checker {
+        Some(ClosureChecker::new(&sc, &events))
+    } else {
+        None
+    };
+
+    let mut scan = AllScan {
+        sc: &sc,
+        csc: csc.as_ref(),
+        checker: checker.as_ref(),
+        events: &events,
+        t_min,
+        members: &mut members,
+        pool: SetPool::new(),
+        scratch: CheckScratch::new(),
+        alive: Vec::new(),
+    };
+    scan.run();
+
+    for member in &mut members {
+        member.finish(results);
+    }
+}
+
+/// The shared GSgrow walk: one DFS over the group's candidate events at
+/// `t_min`, with per-member routing. `alive` holds one flags-frame per
+/// open DFS level (members-length each); a member is alive at a node iff
+/// its solo DFS visits that node.
+struct AllScan<'m, 'a, 'b> {
+    sc: &'a SupportComputer<'b>,
+    csc: Option<&'a ConstrainedSupportComputer<'b>>,
+    checker: Option<&'a ClosureChecker<'a, 'b>>,
+    events: &'a [EventId],
+    t_min: u64,
+    members: &'m mut [Member],
+    pool: SetPool,
+    scratch: CheckScratch,
+    alive: Vec<bool>,
+}
+
+impl AllScan<'_, '_, '_> {
+    fn run(&mut self) {
+        let mut stack: Vec<SupportSet> = Vec::new();
+        for (i, &seed) in self.events.iter().enumerate() {
+            // Skip the seed entirely when no member can use it — solo runs
+            // that stopped (or never listed the event) compute nothing
+            // here, and top-k members never stop scanning seeds.
+            let needed = self.members.iter().any(|m| {
+                m.eligible_at(i) && (matches!(m.shape, Shape::TopK { .. }) || !m.detached)
+            });
+            if !needed {
+                continue;
+            }
+            let initial = self.sc.initial_support_set(seed);
+            let sup = initial.support();
+            let base = self.alive.len();
+            let mut any = false;
+            for member in self.members.iter_mut() {
+                let flag = if matches!(member.shape, Shape::TopK { .. }) {
+                    member.eligible_at(i) && sup >= member.topk_threshold()
+                } else {
+                    member.eligible_at(i) && !member.detached && sup >= member.floor
+                };
+                any |= flag;
+                self.alive.push(flag);
+            }
+            if any {
+                stack.push(initial);
+                self.node(&Pattern::single(seed), &mut stack, base);
+                if let Some(done) = stack.pop() {
+                    self.pool.give(done);
+                }
+            } else {
+                self.pool.give(initial);
+            }
+            self.alive.truncate(base);
+        }
+    }
+
+    /// Visits one shared DFS node whose prefix support sets (including its
+    /// own, on top) are held by `stack`; `base` indexes this node's alive
+    /// frame.
+    fn node(&mut self, pattern: &Pattern, stack: &mut Vec<SupportSet>, base: usize) {
+        let len = pattern.len();
+        let sup = stack.last().map_or(0, SupportSet::support);
+
+        // 1. Per-member visit: count the node and stream/collect it
+        //    (solo: `visited += 1` then emit, before any growth).
+        for (j, member) in self.members.iter_mut().enumerate() {
+            if !self.alive.get(base + j).copied().unwrap_or(false) {
+                continue;
+            }
+            member.stats.visited += 1;
+            match member.shape {
+                Shape::Stream => {
+                    if let Some(support) = stack.last() {
+                        member.gate_emit(pattern, support);
+                    }
+                }
+                Shape::Basis { .. } => {
+                    if let Some(support) = stack.last() {
+                        member.collect_basis(pattern, support);
+                    }
+                }
+                Shape::TopK { .. } => {}
+            }
+        }
+
+        // 2. Shared child computation, once for the whole group, kept when
+        //    the grown support clears the batch threshold. Index-aligned
+        //    with `events` so eligibility masks route per edge.
+        let mut need_children = false;
+        for (j, member) in self.members.iter().enumerate() {
+            if !self.alive.get(base + j).copied().unwrap_or(false) {
+                continue;
+            }
+            let grows = member.allows_growth(len);
+            if matches!(member.shape, Shape::TopK { .. }) {
+                need_children |= grows;
+            } else {
+                need_children |= !member.detached && grows;
+            }
+        }
+        let mut children: Vec<Option<SupportSet>> = Vec::new();
+        let mut append_equal = false;
+        if need_children {
+            children.reserve(self.events.len());
+            for &event in self.events {
+                let mut grown = self.pool.take();
+                if let Some(support) = stack.last() {
+                    match self.csc {
+                        Some(csc) => csc.instance_growth_into(support, event, &mut grown),
+                        None => {
+                            self.sc
+                                .instance_growth_into(support, event, usize::MAX, &mut grown);
+                        }
+                    }
+                }
+                append_equal |= grown.support() == sup;
+                if grown.support() >= self.t_min {
+                    children.push(Some(grown));
+                } else {
+                    self.pool.give(grown);
+                    children.push(None);
+                }
+            }
+        }
+
+        // 3. Top-k processing (solo `TopKState::descend` after its child
+        //    pass): growth counters, then qualification against the
+        //    member's own dynamic threshold. The closure verdict is
+        //    memoized per append-equal flag — a member capped at this depth
+        //    computes no children solo, so its flag is forced false.
+        let mut verdict_when_growing: Option<bool> = None;
+        let mut verdict_when_capped: Option<bool> = None;
+        let mut need_growing = false;
+        let mut need_capped = false;
+        for (j, member) in self.members.iter().enumerate() {
+            if !self.alive.get(base + j).copied().unwrap_or(false) {
+                continue;
+            }
+            let Shape::TopK { closed_only, .. } = member.shape else {
+                continue;
+            };
+            if !closed_only || len < member.min_len || sup < member.topk_threshold() {
+                continue;
+            }
+            if member.allows_growth(len) {
+                need_growing = true;
+            } else {
+                need_capped = true;
+            }
+        }
+        if need_growing {
+            verdict_when_growing = Some(self.closed_verdict(pattern, stack, append_equal));
+        }
+        if need_capped {
+            verdict_when_capped = Some(self.closed_verdict(pattern, stack, false));
+        }
+        for (j, member) in self.members.iter_mut().enumerate() {
+            if !self.alive.get(base + j).copied().unwrap_or(false) {
+                continue;
+            }
+            let grows = member.allows_growth(len);
+            let threshold = member.topk_threshold();
+            let eligible_count = member.eligible_count;
+            let min_len = member.min_len;
+            let keep = member.keep;
+            let Shape::TopK {
+                k,
+                closed_only,
+                heap,
+                collected,
+            } = &mut member.shape
+            else {
+                continue;
+            };
+            if grows {
+                member.stats.instance_growths += eligible_count;
+            }
+            if len < min_len || sup < threshold {
+                continue;
+            }
+            let qualifies = if *closed_only {
+                let verdict = if grows {
+                    verdict_when_growing
+                } else {
+                    verdict_when_capped
+                };
+                verdict.unwrap_or(false)
+            } else {
+                true
+            };
+            if qualifies {
+                heap.push(Reverse(sup));
+                if heap.len() > *k {
+                    heap.pop();
+                }
+                let mut mined = MinedPattern::new(pattern.clone(), sup);
+                if keep {
+                    mined.support_set = stack.last().cloned();
+                }
+                collected.push(mined);
+            }
+        }
+
+        // 4. Per-edge descent: growth counters for streaming/basis members
+        //    (solo counts one growth per candidate event, stopping when the
+        //    member stops), then per-member child aliveness. Top-k members
+        //    re-read their dynamic threshold at the moment of descent,
+        //    exactly like the solo search.
+        if !need_children {
+            return;
+        }
+        for i in 0..self.events.len() {
+            let Some(&event) = self.events.get(i) else {
+                continue;
+            };
+            let child = children.get_mut(i).and_then(Option::take);
+            let child_sup = child.as_ref().map_or(0, SupportSet::support);
+            let frame = self.alive.len();
+            let mut any = false;
+            for (j, member) in self.members.iter_mut().enumerate() {
+                let parent_alive = self.alive.get(base + j).copied().unwrap_or(false);
+                let mut child_alive = false;
+                if parent_alive {
+                    if matches!(member.shape, Shape::TopK { .. }) {
+                        child_alive = member.allows_growth(len)
+                            && member.eligible_at(i)
+                            && child_sup >= member.topk_threshold();
+                    } else if !member.detached && member.allows_growth(len) && member.eligible_at(i)
+                    {
+                        member.stats.instance_growths += 1;
+                        child_alive = child_sup >= member.floor;
+                    }
+                }
+                any |= child_alive;
+                self.alive.push(child_alive);
+            }
+            if any {
+                if let Some(set) = child {
+                    stack.push(set);
+                    self.node(&pattern.grow(event), stack, frame);
+                    if let Some(done) = stack.pop() {
+                        self.pool.give(done);
+                    }
+                }
+            } else if let Some(set) = child {
+                self.pool.give(set);
+            }
+            self.alive.truncate(frame);
+        }
+    }
+
+    /// One closure check against this node's prefix stack (only reachable
+    /// when the group carries a closed-only top-k member, which implies the
+    /// checker was built).
+    fn closed_verdict(&mut self, pattern: &Pattern, stack: &[SupportSet], flag: bool) -> bool {
+        let Some(checker) = self.checker else {
+            return false;
+        };
+        checker.check(pattern, stack, flag, &mut self.scratch) == ClosureStatus::Closed
+    }
+}
+
+/// Runs one shared CloGSgrow scan for `slots`.
+fn run_closed_scan(
+    prepared: PreparedRef<'_>,
+    requests: &[MiningRequest],
+    deadlines: &[Option<Instant>],
+    pruning: bool,
+    slots: &[usize],
+    results: &mut [MiningResult],
+) {
+    let mut members = build_members(requests, deadlines, slots);
+    let Some(t_min) = members.iter().map(|m| m.floor).min() else {
+        return;
+    };
+    let events = prepared.parts.frequent_events(t_min);
+    fill_eligibility(prepared, &events, &mut members);
+    let sc = prepared.support_computer();
+    let checker = ClosureChecker::new(&sc, &events);
+
+    let mut scan = ClosedScan {
+        sc: &sc,
+        checker: &checker,
+        events: &events,
+        t_min,
+        pruning,
+        members: &mut members,
+        pool: SetPool::new(),
+        scratch: CheckScratch::new(),
+        alive: Vec::new(),
+    };
+    scan.run();
+
+    for member in &mut members {
+        member.finish(results);
+    }
+}
+
+/// The shared CloGSgrow walk. One closure/landmark verdict is computed per
+/// node and shared by every alive member: the verdict only depends on the
+/// pattern, its prefix supports, and the append-equal flag — all of which
+/// are identical across members at a shared node (CloGSgrow computes its
+/// append children unconditionally, so no member's flag diverges).
+struct ClosedScan<'m, 'a, 'b> {
+    sc: &'a SupportComputer<'b>,
+    checker: &'a ClosureChecker<'a, 'b>,
+    events: &'a [EventId],
+    t_min: u64,
+    pruning: bool,
+    members: &'m mut [Member],
+    pool: SetPool,
+    scratch: CheckScratch,
+    alive: Vec<bool>,
+}
+
+impl ClosedScan<'_, '_, '_> {
+    fn run(&mut self) {
+        let mut stack: Vec<SupportSet> = Vec::new();
+        for (i, &seed) in self.events.iter().enumerate() {
+            let needed = self.members.iter().any(|m| m.eligible_at(i) && !m.detached);
+            if !needed {
+                continue;
+            }
+            let initial = self.sc.initial_support_set(seed);
+            let sup = initial.support();
+            let base = self.alive.len();
+            let mut any = false;
+            for member in self.members.iter_mut() {
+                let flag = member.eligible_at(i) && !member.detached && sup >= member.floor;
+                any |= flag;
+                self.alive.push(flag);
+            }
+            if any {
+                stack.push(initial);
+                self.node(&Pattern::single(seed), &mut stack, base);
+                if let Some(done) = stack.pop() {
+                    self.pool.give(done);
+                }
+            } else {
+                self.pool.give(initial);
+            }
+            self.alive.truncate(base);
+        }
+    }
+
+    fn node(&mut self, pattern: &Pattern, stack: &mut Vec<SupportSet>, base: usize) {
+        let len = pattern.len();
+        let sup = stack.last().map_or(0, SupportSet::support);
+
+        // 1. Per-member visit + growth counters. CloGSgrow computes its
+        //    append children before any cap check, so every alive member
+        //    pays one growth per event of its own candidate list here.
+        for (j, member) in self.members.iter_mut().enumerate() {
+            if !self.alive.get(base + j).copied().unwrap_or(false) {
+                continue;
+            }
+            member.stats.visited += 1;
+            member.stats.instance_growths += member.eligible_count;
+        }
+
+        // 2. Shared child computation (always: the verdict needs the
+        //    append-equal flag even at depth caps).
+        let mut children: Vec<Option<SupportSet>> = Vec::with_capacity(self.events.len());
+        let mut append_equal = false;
+        for &event in self.events {
+            let mut grown = self.pool.take();
+            if let Some(support) = stack.last() {
+                self.sc
+                    .instance_growth_into(support, event, usize::MAX, &mut grown);
+            }
+            append_equal |= grown.support() == sup;
+            if grown.support() >= self.t_min {
+                children.push(Some(grown));
+            } else {
+                self.pool.give(grown);
+                children.push(None);
+            }
+        }
+
+        // 3. One shared verdict for every alive member.
+        let verdict = self
+            .checker
+            .check(pattern, stack, append_equal, &mut self.scratch);
+        match verdict {
+            ClosureStatus::Prune if self.pruning => {
+                // Theorem 5: no pattern with this prefix is closed — the
+                // whole subtree is skipped for every member (sound because
+                // members not alive here have no alive descendants).
+                for (j, member) in self.members.iter_mut().enumerate() {
+                    if self.alive.get(base + j).copied().unwrap_or(false) {
+                        member.stats.landmark_border_prunes += 1;
+                    }
+                }
+                for set in children.into_iter().flatten() {
+                    self.pool.give(set);
+                }
+                return;
+            }
+            ClosureStatus::Prune | ClosureStatus::NonClosed => {
+                for (j, member) in self.members.iter_mut().enumerate() {
+                    if self.alive.get(base + j).copied().unwrap_or(false) {
+                        member.stats.non_closed_filtered += 1;
+                    }
+                }
+            }
+            ClosureStatus::Closed => {
+                for (j, member) in self.members.iter_mut().enumerate() {
+                    if !self.alive.get(base + j).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    match member.shape {
+                        Shape::Stream => {
+                            if let Some(support) = stack.last() {
+                                member.gate_emit(pattern, support);
+                            }
+                        }
+                        Shape::Basis { .. } => {
+                            if let Some(support) = stack.last() {
+                                member.collect_basis(pattern, support);
+                            }
+                        }
+                        Shape::TopK { .. } => {}
+                    }
+                }
+            }
+        }
+
+        // 4. Per-edge descent over the kept children.
+        for i in 0..self.events.len() {
+            let Some(&event) = self.events.get(i) else {
+                continue;
+            };
+            let child = children.get_mut(i).and_then(Option::take);
+            let child_sup = child.as_ref().map_or(0, SupportSet::support);
+            let frame = self.alive.len();
+            let mut any = false;
+            for (j, member) in self.members.iter().enumerate() {
+                let parent_alive = self.alive.get(base + j).copied().unwrap_or(false);
+                let child_alive = parent_alive
+                    && !member.detached
+                    && member.allows_growth(len)
+                    && member.eligible_at(i)
+                    && child_sup >= member.floor;
+                any |= child_alive;
+                self.alive.push(child_alive);
+            }
+            if any {
+                if let Some(set) = child {
+                    stack.push(set);
+                    self.node(&pattern.grow(event), stack, frame);
+                    if let Some(done) = stack.pop() {
+                        self.pool.give(done);
+                    }
+                }
+            } else if let Some(set) = child {
+                self.pool.give(set);
+            }
+            self.alive.truncate(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExecutionPolicy;
+    use crate::prepared::PreparedDb;
+    use seqdb::SequenceDatabase;
+
+    fn running_example() -> SequenceDatabase {
+        SequenceDatabase::from_str_rows(&["ABCACBDDB", "ACDBACADD"])
+    }
+
+    fn solo(prepared: &PreparedDb, request: &MiningRequest) -> MiningOutcome {
+        prepared.miner().with_request(request.clone()).run()
+    }
+
+    fn assert_matches_solo(prepared: &PreparedDb, requests: &[MiningRequest]) {
+        let batched = prepared.batch(requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, result) in requests.iter().zip(&batched) {
+            let expected = solo(prepared, request);
+            assert_eq!(
+                result.outcome.patterns, expected.patterns,
+                "patterns diverge for {request:?}"
+            );
+            assert_eq!(
+                result.outcome.truncated, expected.truncated,
+                "truncation diverges for {request:?}"
+            );
+            assert_eq!(
+                result.outcome.stats.visited, expected.stats.visited,
+                "visited diverges for {request:?}"
+            );
+            assert_eq!(
+                result.outcome.stats.instance_growths, expected.stats.instance_growths,
+                "growths diverge for {request:?}"
+            );
+            assert_eq!(
+                result.outcome.stats.non_closed_filtered, expected.stats.non_closed_filtered,
+                "closure counters diverge for {request:?}"
+            );
+            assert_eq!(
+                result.outcome.stats.landmark_border_prunes, expected.stats.landmark_border_prunes,
+                "pruning counters diverge for {request:?}"
+            );
+            assert!(!result.cancelled);
+        }
+    }
+
+    fn request(mode: Mode, min_sup: u64) -> MiningRequest {
+        MiningRequest {
+            min_sup,
+            mode,
+            ..MiningRequest::default()
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_no_results() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        assert!(prepared.batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_request_batches_match_solo_across_modes() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        for mode in [Mode::All, Mode::Closed, Mode::Maximal, Mode::TopK] {
+            for min_sup in [1, 2, 3] {
+                assert_matches_solo(&prepared, &[request(mode, min_sup)]);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_threshold_group_matches_solo() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let requests = vec![
+            request(Mode::All, 1),
+            request(Mode::All, 2),
+            request(Mode::All, 4),
+            request(Mode::All, 2), // duplicate of an earlier member
+        ];
+        assert_matches_solo(&prepared, &requests);
+    }
+
+    #[test]
+    fn cross_mode_batch_matches_solo() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let mut constrained = request(Mode::Closed, 2);
+        constrained.constraints = GapConstraints::max_gap(2);
+        let mut ranked = request(Mode::Closed, 1);
+        ranked.top_k = Some(4);
+        ranked.min_len = 2;
+        let requests = vec![
+            request(Mode::All, 2),
+            request(Mode::Closed, 2),
+            request(Mode::Maximal, 2),
+            constrained,
+            ranked,
+        ];
+        assert_matches_solo(&prepared, &requests);
+    }
+
+    #[test]
+    fn impossible_threshold_yields_empty_but_well_formed_result() {
+        // Adversarial sink case: one subscriber's min_sup exceeds every
+        // pattern's support; it must come back empty (not truncated, not
+        // cancelled, zero emissions) while its siblings are unaffected.
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let requests = vec![request(Mode::All, 2), request(Mode::Closed, 1_000_000)];
+        assert_matches_solo(&prepared, &requests);
+        let batched = prepared.batch(&requests);
+        let Some(impossible) = batched.get(1) else {
+            panic!("missing result");
+        };
+        assert!(impossible.outcome.patterns.is_empty());
+        assert!(!impossible.outcome.truncated);
+        assert!(!impossible.cancelled);
+        assert_eq!(impossible.emitted, 0);
+        let Some(sibling) = batched.first() else {
+            panic!("missing result");
+        };
+        assert!(!sibling.outcome.patterns.is_empty());
+    }
+
+    #[test]
+    fn topk_floor_of_one_subscriber_does_not_prune_siblings() {
+        // Shared-floor leakage regression: a tiny-k subscriber raises its
+        // own dynamic threshold almost immediately; a low-threshold stream
+        // subscriber in the same scan group must still see every pattern.
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let mut tight_topk = request(Mode::All, 1);
+        tight_topk.top_k = Some(1);
+        tight_topk.min_len = 2;
+        let full_stream = request(Mode::All, 1);
+        let requests = vec![tight_topk, full_stream.clone()];
+        assert_matches_solo(&prepared, &requests);
+        let batched = prepared.batch(&requests);
+        let expected = solo(&prepared, &full_stream);
+        let Some(stream_result) = batched.get(1) else {
+            panic!("missing result");
+        };
+        assert_eq!(stream_result.outcome.patterns, expected.patterns);
+        assert!(
+            stream_result.outcome.patterns.len() > 1,
+            "stream must not be pruned to k"
+        );
+    }
+
+    #[test]
+    fn two_topk_subscribers_keep_private_thresholds() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let mut tight = request(Mode::Closed, 1);
+        tight.top_k = Some(1);
+        tight.min_len = 2;
+        let mut wide = request(Mode::Closed, 1);
+        wide.top_k = Some(50);
+        wide.min_len = 2;
+        assert_matches_solo(&prepared, &[tight, wide]);
+    }
+
+    #[test]
+    fn caps_and_filters_stay_per_member() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let mut capped = request(Mode::All, 1);
+        capped.max_patterns = Some(3);
+        let mut short = request(Mode::All, 1);
+        short.max_pattern_length = Some(2);
+        let mut long_only = request(Mode::All, 1);
+        long_only.min_len = 3;
+        assert_matches_solo(
+            &prepared,
+            &[capped, short, long_only, request(Mode::All, 1)],
+        );
+    }
+
+    #[test]
+    fn ranked_k_zero_is_trivially_empty() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let mut zero = request(Mode::Closed, 1);
+        zero.top_k = Some(0);
+        assert_matches_solo(&prepared, &[zero, request(Mode::Closed, 2)]);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_only_its_own_member() {
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let requests = vec![request(Mode::All, 1), request(Mode::All, 1)];
+        let deadlines = vec![
+            Some(Instant::now() - std::time::Duration::from_secs(1)),
+            None,
+        ];
+        let batched = prepared.batch_with_deadlines(&requests, &deadlines);
+        let Some(expired) = batched.first() else {
+            panic!("missing result");
+        };
+        assert!(expired.cancelled);
+        assert!(expired.outcome.patterns.is_empty());
+        let Some(healthy) = batched.get(1) else {
+            panic!("missing result");
+        };
+        assert!(!healthy.cancelled);
+        let expected = solo(&prepared, &request(Mode::All, 1));
+        assert_eq!(healthy.outcome.patterns, expected.patterns);
+    }
+
+    #[test]
+    fn execution_policy_is_ignored_and_matches_sequential_solo() {
+        // Batch always replays sequential semantics, whatever the request
+        // says; pin that the counters match the sequential run.
+        let db = running_example();
+        let prepared = PreparedDb::new(&db);
+        let mut parallel = request(Mode::Closed, 2);
+        parallel.execution = ExecutionPolicy::Parallel { threads: 4 };
+        let batched = prepared.batch(std::slice::from_ref(&parallel));
+        let mut sequential = parallel.clone();
+        sequential.execution = ExecutionPolicy::Sequential;
+        let expected = solo(&prepared, &sequential);
+        let Some(result) = batched.first() else {
+            panic!("missing result");
+        };
+        assert_eq!(result.outcome.patterns, expected.patterns);
+        assert_eq!(result.outcome.stats.visited, expected.stats.visited);
+    }
+}

@@ -150,6 +150,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod canonical;
 pub mod clogsgrow;
 pub mod closure;
@@ -176,6 +177,7 @@ pub mod stream;
 pub mod support;
 pub mod topk;
 
+pub use batch::MiningResult;
 pub use canonical::canonical_key;
 #[allow(deprecated)]
 pub use clogsgrow::mine_closed;

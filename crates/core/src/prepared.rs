@@ -37,7 +37,7 @@ use seqdb::{
     SharedSlice, SnapshotError,
 };
 
-use crate::engine::Miner;
+use crate::engine::{Miner, MiningRequest};
 use crate::growth::SupportComputer;
 
 /// The query-independent artifacts derived from a database: the inverted
@@ -502,6 +502,27 @@ impl PreparedDb {
     /// Starts a [`Miner`] builder executing against this snapshot.
     pub fn miner(&self) -> Miner<'_> {
         Miner::from_prepared(self)
+    }
+
+    /// Executes a whole batch of requests through one shared DFS per
+    /// compatible group (see [`crate::batch`]). `results[i]` is
+    /// bit-identical — patterns, supports, order, truncation, work
+    /// counters — to running `requests[i]` solo under sequential
+    /// execution; only `elapsed_seconds` (whole-batch wall clock) differs.
+    pub fn batch(&self, requests: &[MiningRequest]) -> Vec<crate::batch::MiningResult> {
+        self.batch_with_deadlines(requests, &[])
+    }
+
+    /// [`Self::batch`] with per-request deadlines (indexed by request
+    /// slot; missing or `None` entries mean no deadline). A request whose
+    /// deadline expires mid-run comes back `cancelled` and truncated at
+    /// the deadline, without affecting its batch siblings.
+    pub fn batch_with_deadlines(
+        &self,
+        requests: &[MiningRequest],
+        deadlines: &[Option<std::time::Instant>],
+    ) -> Vec<crate::batch::MiningResult> {
+        crate::batch::run_batch(self.as_prepared_ref(), requests, deadlines)
     }
 
     /// The prepared parts (snapshot serialization reads them directly).

@@ -16,7 +16,7 @@
 //! prepared-reuse win is measured by the bench harness
 //! (`BENCH_prepared_engine.json`).
 
-use rgs_core::{Mode, Pattern, PreparedDb};
+use rgs_core::{MiningOutcome, MiningRequest, Mode, Pattern, PreparedDb};
 
 use crate::classify::{Classifier, Evaluation, MultinomialNaiveBayes, NearestCentroid};
 use crate::dataset::{ClassId, LabelError, LabeledDatabase};
@@ -196,6 +196,34 @@ pub fn run_pipeline_prepared(
         miner = miner.max_pattern_length(max_len);
     }
     let mined = miner.run();
+    fit_mined(prepared, train, config, &mined)
+}
+
+/// The mining request a pipeline configuration resolves to — the same
+/// request `run_pipeline_prepared` builds through the [`Miner`] builder,
+/// expressed as plain data so a threshold sweep can hand the whole set to
+/// [`PreparedDb::batch`] at once.
+///
+/// [`Miner`]: rgs_core::Miner
+fn mining_request(config: &PipelineConfig) -> MiningRequest {
+    MiningRequest {
+        min_sup: config.min_sup,
+        mode: Mode::Closed,
+        max_patterns: Some(config.max_patterns),
+        max_pattern_length: config.max_pattern_length,
+        ..MiningRequest::default()
+    }
+}
+
+/// The selection/training back half of the pipeline, fed with an already
+/// mined closed-pattern set (solo or batched — the batch engine pins its
+/// outcomes bit-identical to solo runs, so the split is exact).
+fn fit_mined(
+    prepared: &PreparedDb,
+    train: &LabeledDatabase,
+    config: &PipelineConfig,
+    mined: &MiningOutcome,
+) -> Result<PipelineReport, LabelError> {
     let candidates: Vec<Pattern> = mined
         .patterns
         .iter()
@@ -252,19 +280,33 @@ pub fn run_pipeline_prepared(
 /// snapshot of the training split (the threshold sweep is the classic
 /// model-selection loop; re-preparing per threshold is pure waste).
 /// Returns `(min_sup, report)` pairs in input order.
+///
+/// All thresholds are mined in **one** [`PreparedDb::batch`] call: the
+/// batch engine shares a single closed-pattern DFS at the lowest threshold
+/// and routes each pattern to every threshold it satisfies, with each
+/// outcome pinned bit-identical to the per-threshold solo run the sweep
+/// previously looped over.
 pub fn sweep_min_sup(
     train: &LabeledDatabase,
     min_sups: &[u64],
     base: &PipelineConfig,
 ) -> Result<Vec<(u64, PipelineReport)>, LabelError> {
     let prepared = PreparedDb::new(train.database());
-    let mut reports = Vec::with_capacity(min_sups.len());
-    for &min_sup in min_sups {
-        let config = PipelineConfig {
+    let configs: Vec<PipelineConfig> = min_sups
+        .iter()
+        .map(|&min_sup| PipelineConfig {
             min_sup,
             ..base.clone()
-        };
-        reports.push((min_sup, run_pipeline_prepared(&prepared, train, &config)?));
+        })
+        .collect();
+    let requests: Vec<MiningRequest> = configs.iter().map(mining_request).collect();
+    let mined = prepared.batch(&requests);
+    let mut reports = Vec::with_capacity(min_sups.len());
+    for (config, result) in configs.iter().zip(&mined) {
+        reports.push((
+            config.min_sup,
+            fit_mined(&prepared, train, config, &result.outcome)?,
+        ));
     }
     Ok(reports)
 }
@@ -453,6 +495,61 @@ mod tests {
                 fresh.pipeline.feature_patterns()
             );
         }
+    }
+
+    #[test]
+    fn batched_sweep_matches_old_stepped_loop_exactly() {
+        // The pre-batch implementation looped `run_pipeline_prepared` per
+        // threshold; reproduce that loop verbatim and pin the batched
+        // sweep against it, including the mined-pattern counts the batch
+        // engine must replay bit-identically.
+        let data = labeled_example();
+        let base = PipelineConfig::new(2, 4).with_max_pattern_length(5);
+        let min_sups = [1u64, 2, 3, 4, 6];
+        let swept = sweep_min_sup(&data, &min_sups, &base).unwrap();
+        let prepared = PreparedDb::new(data.database());
+        for (&min_sup, (reported_sup, report)) in min_sups.iter().zip(&swept) {
+            let config = PipelineConfig {
+                min_sup,
+                ..base.clone()
+            };
+            let stepped = run_pipeline_prepared(&prepared, &data, &config).unwrap();
+            assert_eq!(*reported_sup, min_sup);
+            assert_eq!(report.mined_patterns, stepped.mined_patterns, "{min_sup}");
+            assert_eq!(report.training_accuracy, stepped.training_accuracy);
+            assert_eq!(
+                report.pipeline.feature_patterns(),
+                stepped.pipeline.feature_patterns(),
+                "min_sup {min_sup}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_validation_stays_pinned_to_solo_mining() {
+        // The cross-validation path intentionally stays on solo mining
+        // (each fold has its own training split, so there is nothing to
+        // batch); pin its per-fold numbers so a future rewire can't drift
+        // them silently.
+        let data = labeled_example();
+        let config = PipelineConfig::new(2, 4);
+        let first = cross_validate_pipeline(&data, 2, 7, &config).unwrap();
+        let second = cross_validate_pipeline(&data, 2, 7, &config).unwrap();
+        assert_eq!(first.fold_accuracies, second.fold_accuracies);
+        // Reproduce fold 0 by hand through the solo pipeline and check the
+        // held-out evaluation matches what cross-validation reported.
+        let fold_indices = data.stratified_folds(2, 7).unwrap();
+        let mut train_indices: Vec<usize> = fold_indices.get(1).cloned().unwrap_or_default();
+        train_indices.sort_unstable();
+        let train = data.subset(&train_indices);
+        let test = data.subset(fold_indices.first().map(Vec::as_slice).unwrap_or(&[]));
+        let report = run_pipeline(&train, &config).unwrap();
+        let evaluation = report.pipeline.evaluate(&test);
+        assert_eq!(
+            first.fold_accuracies.first().copied(),
+            Some(evaluation.accuracy()),
+            "fold 0 drifted off the solo-mining path"
+        );
     }
 
     #[test]

@@ -99,6 +99,29 @@ impl AdmissionQueue {
         }
     }
 
+    /// Blocks until at least one job is available, then drains up to
+    /// `max` jobs in one grab — the server's "join the current batch"
+    /// dequeue. Whatever is queued *right now* becomes one mining batch;
+    /// nobody waits for stragglers. `None` tells the worker to exit.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !inner.queue.is_empty() {
+                let take = inner.queue.len().min(max);
+                let batch: Vec<Job> = inner.queue.drain(..take).collect();
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
     /// Marks the queue closed and wakes every blocked worker. Jobs already
     /// queued are still handed out (graceful drain); new admissions get
     /// [`Admit::Closed`].
@@ -173,6 +196,22 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(waiter.join().expect("join"), "worker saw shutdown");
+    }
+
+    #[test]
+    fn pop_batch_drains_whatever_is_queued_up_to_max() {
+        let q = AdmissionQueue::new(8);
+        for _ in 0..5 {
+            assert!(matches!(q.try_admit(socket()), Admit::Queued(_)));
+        }
+        let batch = q.pop_batch(3).expect("batch");
+        assert_eq!(batch.len(), 3);
+        let rest = q.pop_batch(16).expect("rest");
+        assert_eq!(rest.len(), 2);
+        assert_eq!(q.depth(), 0);
+        // Closed and empty → workers see None.
+        q.close();
+        assert!(q.pop_batch(4).is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! rgs-serve serve   --snapshot IMG [--addr HOST:PORT] [--port P]
 //!                   [--workers N] [--queue N] [--cache N]
-//!                   [--timeout-ms MS] [--read-timeout-ms MS]
+//!                   [--timeout-ms MS] [--read-timeout-ms MS] [--max-batch N]
 //! rgs-serve query   --addr HOST:PORT [--body JSON] [--stats] [--healthz]
 //!                   [--timeout-ms MS]
 //! rgs-serve loadgen [--scale dev|paper] [--out PATH] [--threads N]
@@ -61,7 +61,7 @@ fn print_usage() {
          USAGE:\n  \
          rgs-serve serve   --snapshot IMG [--addr HOST:PORT] [--port P]\n                    \
          [--workers N] [--queue N] [--cache N]\n                    \
-         [--timeout-ms MS] [--read-timeout-ms MS]\n  \
+         [--timeout-ms MS] [--read-timeout-ms MS] [--max-batch N]\n  \
          rgs-serve query   --addr HOST:PORT [--body JSON] [--stats] [--healthz]\n  \
          rgs-serve loadgen [--scale dev|paper] [--out PATH] [--threads N]\n\n\
          Endpoints: POST /mine, GET /stats, GET /healthz.\n\
@@ -113,6 +113,10 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
             }
             "--read-timeout-ms" => {
                 config.read_timeout_ms = parse_num(next_value(&mut i)?, "read-timeout-ms")?;
+            }
+            "--max-batch" => {
+                config.max_batch = usize::try_from(parse_num(next_value(&mut i)?, "max-batch")?)
+                    .map_err(|_| "max-batch out of range".to_owned())?;
             }
             other => return Err(format!("unknown flag {other:?} for serve")),
         }

@@ -140,12 +140,20 @@ pub struct ServeCounters {
     pub errors: AtomicU64,
     /// `/mine` responses whose deadline expired mid-mining (truncated).
     pub deadline_exceeded: AtomicU64,
+    /// Mining batches executed (one shared DFS pass per batch; cache hits
+    /// and errors are answered before batching and do not join).
+    pub batches: AtomicU64,
+    /// `/mine` requests that went through a mining batch (sum of batch
+    /// sizes; `batched_requests / batches` is the mean batch size).
+    pub batched_requests: AtomicU64,
+    /// Largest mining batch executed so far.
+    pub max_batch_size: AtomicU64,
 }
 
 impl ServeCounters {
     /// Relaxed load of every counter as `(name, value)` pairs, in a stable
     /// order for JSON export.
-    pub fn load(&self) -> [(&'static str, u64); 6] {
+    pub fn load(&self) -> [(&'static str, u64); 9] {
         [
             ("accepted", self.accepted.load(Ordering::Relaxed)),
             ("mined", self.mined.load(Ordering::Relaxed)),
@@ -155,6 +163,15 @@ impl ServeCounters {
             (
                 "deadline_exceeded",
                 self.deadline_exceeded.load(Ordering::Relaxed),
+            ),
+            ("batches", self.batches.load(Ordering::Relaxed)),
+            (
+                "batched_requests",
+                self.batched_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "max_batch_size",
+                self.max_batch_size.load(Ordering::Relaxed),
             ),
         ]
     }

@@ -40,6 +40,12 @@ pub struct ServeConfig {
     pub read_timeout_ms: u64,
     /// Value of the `Retry-After` header on shed (`429`) responses.
     pub retry_after_seconds: u32,
+    /// Largest mining batch one worker drains per dequeue: everything
+    /// queued at that moment (up to this cap) is mined in one shared DFS
+    /// pass via [`PreparedDb::batch_with_deadlines`]. 1 disables batching.
+    ///
+    /// [`PreparedDb::batch_with_deadlines`]: rgs_core::PreparedDb::batch_with_deadlines
+    pub max_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +57,7 @@ impl Default for ServeConfig {
             default_timeout_ms: None,
             read_timeout_ms: 10_000,
             retry_after_seconds: 1,
+            max_batch: 16,
         }
     }
 }
@@ -121,8 +128,9 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("rgs-serve-worker-{i}"))
                     .spawn(move || {
-                        while let Some(job) = ctx.queue.pop() {
-                            worker::handle(&ctx, job);
+                        let max_batch = ctx.config.max_batch.max(1);
+                        while let Some(jobs) = ctx.queue.pop_batch(max_batch) {
+                            worker::handle_batch(&ctx, jobs);
                         }
                     })
             })

@@ -1,20 +1,27 @@
-//! The request worker: one connection in, one response out.
+//! The request worker: a drained batch of connections in, one response out
+//! on each.
 //!
 //! Lifecycle of a `/mine` request: read → parse → canonicalize → cache
-//! probe → mine (with an optional deadline sink) → respond, recording
-//! latency and counters along the way. Cached responses skip the mining
-//! step entirely and are flagged `"cached": true` in the envelope.
+//! probe → join the dequeue's mining batch → respond, recording latency
+//! and counters along the way. Cached responses, protocol errors, and
+//! non-mining routes are answered before the batch forms; the remaining
+//! cache misses are mined together in **one** shared DFS pass
+//! ([`PreparedDb::batch_with_deadlines`]), whose per-request results are
+//! pinned bit-identical to solo runs — so coalescing is invisible on the
+//! wire. Each member carries its own deadline; an expired member comes
+//! back truncated without poisoning its siblings.
 //!
 //! This module is on the xtask audit hot-path list: no panics, no
 //! `unwrap`/`expect`, no bare indexing. Every I/O failure on the response
 //! path is swallowed — if the client hung up there is nobody left to tell.
+//!
+//! [`PreparedDb::batch_with_deadlines`]: rgs_core::PreparedDb::batch_with_deadlines
 
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rgs_core::{canonical_key, CollectSink, DeadlineSink, MinedPattern, Miner, MiningReport};
+use rgs_core::{canonical_key, MiningRequest};
 
 use crate::admission::Job;
 use crate::cache::{CachedResult, ResultCache};
@@ -23,8 +30,55 @@ use crate::metrics::HistogramSnapshot;
 use crate::protocol;
 use crate::server::ServeContext;
 
-/// Handles one admitted connection from read to response.
+/// A `/mine` cache miss waiting for its batch: the connection plus
+/// everything needed to mine and respond.
+struct PendingMine {
+    stream: TcpStream,
+    request: MiningRequest,
+    cache_key: String,
+    started: Instant,
+    deadline: Option<Instant>,
+}
+
+/// Handles one admitted connection from read to response (a batch of one).
 pub fn handle(ctx: &ServeContext, job: Job) {
+    handle_batch(ctx, vec![job]);
+}
+
+/// Handles one drained batch of admitted connections: answers everything
+/// that needs no mining, then mines the remaining requests in one shared
+/// DFS pass and responds to each.
+pub fn handle_batch(ctx: &ServeContext, jobs: Vec<Job>) {
+    let mut pending: Vec<PendingMine> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if let Some(mine) = receive(ctx, job) {
+            pending.push(mine);
+        }
+    }
+    if pending.is_empty() {
+        return;
+    }
+
+    let batch_size = pending.len() as u64;
+    ctx.counters.batches.fetch_add(1, Ordering::Relaxed);
+    ctx.counters
+        .batched_requests
+        .fetch_add(batch_size, Ordering::Relaxed);
+    ctx.counters
+        .max_batch_size
+        .fetch_max(batch_size, Ordering::Relaxed);
+
+    let requests: Vec<MiningRequest> = pending.iter().map(|p| p.request.clone()).collect();
+    let deadlines: Vec<Option<Instant>> = pending.iter().map(|p| p.deadline).collect();
+    let results = ctx.prepared.batch_with_deadlines(&requests, &deadlines);
+    for (mine, result) in pending.into_iter().zip(results) {
+        respond_mined(ctx, mine, &result);
+    }
+}
+
+/// Reads and routes one connection. Returns the pending mining work when
+/// the request is a `/mine` cache miss; everything else is answered here.
+fn receive(ctx: &ServeContext, job: Job) -> Option<PendingMine> {
     let Job {
         mut stream,
         accepted_at,
@@ -40,51 +94,54 @@ pub fn handle(ctx: &ServeContext, job: Job) {
             let (status, reason, detail) = err.status();
             ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
             respond_error(&mut stream, status, reason, &detail);
-            return;
+            return None;
         }
     };
-    route(ctx, &mut stream, &request);
+    route(ctx, stream, &request)
 }
 
-fn route(ctx: &ServeContext, stream: &mut TcpStream, request: &Request) {
+fn route(ctx: &ServeContext, mut stream: TcpStream, request: &Request) -> Option<PendingMine> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let _ = http::write_response(stream, 200, "OK", &[], &health_body(ctx));
+            let _ = http::write_response(&mut stream, 200, "OK", &[], &health_body(ctx));
         }
         ("GET", "/stats") => {
-            let _ = http::write_response(stream, 200, "OK", &[], &stats_body(ctx));
+            let _ = http::write_response(&mut stream, 200, "OK", &[], &stats_body(ctx));
         }
-        ("POST", "/mine") => mine(ctx, stream, &request.body),
+        ("POST", "/mine") => return mine(ctx, stream, &request.body),
         ("GET", "/mine") => {
             ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, 405, "Method Not Allowed", "use POST /mine");
+            respond_error(&mut stream, 405, "Method Not Allowed", "use POST /mine");
         }
         (_, path) => {
             ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
             respond_error(
-                stream,
+                &mut stream,
                 404,
                 "Not Found",
                 &format!("unknown route {path:?}; try POST /mine, GET /stats, GET /healthz"),
             );
         }
     }
+    None
 }
 
-fn mine(ctx: &ServeContext, stream: &mut TcpStream, body: &str) {
+/// Parses a `/mine` body and probes the cache. A hit (or error) is
+/// answered right away; a miss joins the worker's current mining batch.
+fn mine(ctx: &ServeContext, mut stream: TcpStream, body: &str) -> Option<PendingMine> {
     let started = Instant::now();
     let parsed = match protocol::parse_mine_request(body) {
         Ok(parsed) => parsed,
         Err(err) => {
             ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, err.status, "Bad Request", &err.message);
-            return;
+            respond_error(&mut stream, err.status, "Bad Request", &err.message);
+            return None;
         }
     };
 
     let canonical = canonical_key(&parsed.request);
-    let key = ResultCache::key(ctx.prepared.image_checksum(), &canonical);
-    if let Some(hit) = ctx.cache.get(&key) {
+    let cache_key = ResultCache::key(ctx.prepared.image_checksum(), &canonical);
+    if let Some(hit) = ctx.cache.get(&cache_key) {
         ctx.counters.cache_served.fetch_add(1, Ordering::Relaxed);
         ctx.counters.mined.fetch_add(1, Ordering::Relaxed);
         let elapsed = started.elapsed();
@@ -96,28 +153,47 @@ fn mine(ctx: &ServeContext, stream: &mut TcpStream, body: &str) {
             true,
             elapsed.as_secs_f64() * 1000.0,
         );
-        let _ = http::write_response(stream, 200, "OK", &[], &envelope);
+        let _ = http::write_response(&mut stream, 200, "OK", &[], &envelope);
         ctx.latency.record(elapsed);
-        return;
+        return None;
     }
 
-    let timeout_ms = parsed.timeout_ms.or(ctx.config.default_timeout_ms);
-    let miner = Miner::from_shared(Arc::clone(&ctx.prepared)).with_request(parsed.request);
-    let (patterns, report) = run(miner, timeout_ms);
+    let deadline = parsed
+        .timeout_ms
+        .or(ctx.config.default_timeout_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    Some(PendingMine {
+        stream,
+        request: parsed.request,
+        cache_key,
+        started,
+        deadline,
+    })
+}
 
-    let deadline_exceeded = report.cancelled;
+/// Responds to one batch member with its (solo-identical) mining result
+/// and caches it when its deadline did not cut it short.
+fn respond_mined(ctx: &ServeContext, mine: PendingMine, result: &rgs_core::MiningResult) {
+    let PendingMine {
+        mut stream,
+        cache_key,
+        started,
+        ..
+    } = mine;
+    let deadline_exceeded = result.cancelled;
     if deadline_exceeded {
         ctx.counters
             .deadline_exceeded
             .fetch_add(1, Ordering::Relaxed);
     }
-    let patterns_json = protocol::render_patterns(&patterns, ctx.prepared.catalog());
-    let truncated = report.truncated;
+    let patterns = &result.outcome.patterns;
+    let patterns_json = protocol::render_patterns(patterns, ctx.prepared.catalog());
+    let truncated = result.outcome.truncated;
     // A deadline-cut run is a partial answer; caching it would serve the
     // partial result to future callers who gave the server more time.
     if !deadline_exceeded {
         ctx.cache.insert(
-            key,
+            cache_key,
             CachedResult {
                 patterns_json: patterns_json.clone(),
                 count: patterns.len(),
@@ -135,26 +211,8 @@ fn mine(ctx: &ServeContext, stream: &mut TcpStream, body: &str) {
         false,
         elapsed.as_secs_f64() * 1000.0,
     );
-    let _ = http::write_response(stream, 200, "OK", &[], &envelope);
+    let _ = http::write_response(&mut stream, 200, "OK", &[], &envelope);
     ctx.latency.record(elapsed);
-}
-
-/// Runs the miner, wrapping the collector in a [`DeadlineSink`] when a
-/// timeout applies. The report's `cancelled` flag is the deadline signal.
-fn run(miner: Miner<'static>, timeout_ms: Option<u64>) -> (Vec<MinedPattern>, MiningReport) {
-    match timeout_ms {
-        Some(ms) => {
-            let deadline = Instant::now() + Duration::from_millis(ms);
-            let mut sink = DeadlineSink::new(CollectSink::new(), deadline);
-            let report = miner.run_with_sink(&mut sink);
-            (sink.into_inner().into_patterns(), report)
-        }
-        None => {
-            let mut sink = CollectSink::new();
-            let report = miner.run_with_sink(&mut sink);
-            (sink.into_patterns(), report)
-        }
-    }
 }
 
 fn respond_error(stream: &mut TcpStream, status: u16, reason: &str, message: &str) {

@@ -277,6 +277,174 @@ fn repeated_requests_hit_the_result_cache() {
     let _ = std::fs::remove_file(path);
 }
 
+/// Occupies the single worker with a connection that sends nothing, so
+/// every request admitted meanwhile queues up and is drained as one batch
+/// the moment the holder is released.
+fn occupy_worker(addr: std::net::SocketAddr) -> TcpStream {
+    let holder = TcpStream::connect(addr).expect("holder connect");
+    std::thread::sleep(Duration::from_millis(200));
+    holder
+}
+
+#[test]
+fn concurrent_requests_coalesce_into_one_batch_with_identical_bytes() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 16,
+        read_timeout_ms: 3_000,
+        ..ServeConfig::default()
+    };
+    let (server, shared, path) = boot("batch", config);
+    let addr = server.local_addr();
+
+    // Distinct requests (no cache collisions) spanning modes, thresholds,
+    // constraints, and top-k — the shapes the batch engine must keep
+    // private per member.
+    let bodies = [
+        "{\"min_sup\":15,\"mode\":\"closed\"}".to_owned(),
+        "{\"min_sup\":25,\"mode\":\"closed\"}".to_owned(),
+        "{\"min_sup\":15,\"mode\":\"maximal\"}".to_owned(),
+        "{\"min_sup\":15,\"mode\":\"all\",\"max_len\":3}".to_owned(),
+        "{\"min_sup\":15,\"mode\":\"top-k\",\"top_k\":5}".to_owned(),
+        "{\"min_sup\":15,\"mode\":\"closed\",\"min_gap\":1,\"max_gap\":4}".to_owned(),
+    ];
+
+    // Stall the lone worker, let every client queue up behind it, then
+    // release: the worker drains them all in one pop and mines one batch.
+    let holder = occupy_worker(addr);
+    let clients: Vec<_> = bodies
+        .iter()
+        .map(|body| {
+            let body = body.clone();
+            std::thread::spawn(move || client::mine(addr, &body, TIMEOUT).expect("mine"))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(500));
+    drop(holder);
+
+    for (body, client) in bodies.iter().zip(clients) {
+        let response = client.join().expect("client thread");
+        assert_eq!(response.status, 200, "{body}: {}", response.body);
+        // Bit-identity vs a solo in-process run of the same wire request.
+        let request = parse_mine_request(body).expect("parse body").request;
+        let mut sink = CollectSink::new();
+        Miner::from_shared(Arc::clone(&shared))
+            .with_request(request)
+            .run_with_sink(&mut sink);
+        let expected = render_patterns(sink.patterns(), shared.catalog());
+        assert_eq!(
+            patterns_field(&response.body),
+            expected,
+            "batched response diverges from solo for {body}"
+        );
+        assert_eq!(
+            parse(&response.body)
+                .get("deadline_exceeded")
+                .and_then(Value::as_bool),
+            Some(false)
+        );
+    }
+
+    // The batch counters must show real coalescing: all six requests went
+    // through fewer batches than requests, and one batch held several.
+    let stats = parse(&client::get(addr, "/stats", TIMEOUT).expect("stats").body);
+    let counters = stats.get("counters").expect("counters");
+    let batches = counters
+        .get("batches")
+        .and_then(Value::as_u64)
+        .expect("batches counter");
+    let batched_requests = counters
+        .get("batched_requests")
+        .and_then(Value::as_u64)
+        .expect("batched_requests counter");
+    let max_batch_size = counters
+        .get("max_batch_size")
+        .and_then(Value::as_u64)
+        .expect("max_batch_size counter");
+    assert_eq!(batched_requests, bodies.len() as u64);
+    assert!(batches < batched_requests, "requests were not coalesced");
+    assert!(max_batch_size >= 2, "no batch held more than one request");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn deadline_expired_batch_member_does_not_poison_siblings() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 16,
+        read_timeout_ms: 3_000,
+        ..ServeConfig::default()
+    };
+    let (server, shared, path) = boot("batch-deadline", config);
+    let addr = server.local_addr();
+
+    // One member's deadline has already passed when the batch starts; its
+    // sibling (same scan group, no deadline) must still come back complete.
+    let doomed_body = "{\"min_sup\":10,\"mode\":\"closed\",\"timeout_ms\":0}";
+    let healthy_body = "{\"min_sup\":10,\"mode\":\"closed\"}";
+
+    let holder = occupy_worker(addr);
+    let doomed =
+        std::thread::spawn(move || client::mine(addr, doomed_body, TIMEOUT).expect("doomed mine"));
+    let healthy = std::thread::spawn(move || {
+        client::mine(addr, healthy_body, TIMEOUT).expect("healthy mine")
+    });
+    std::thread::sleep(Duration::from_millis(500));
+    drop(holder);
+
+    let doomed = doomed.join().expect("doomed thread");
+    assert_eq!(doomed.status, 200, "{}", doomed.body);
+    assert_eq!(
+        parse(&doomed.body)
+            .get("deadline_exceeded")
+            .and_then(Value::as_bool),
+        Some(true),
+        "{}",
+        doomed.body
+    );
+
+    let healthy = healthy.join().expect("healthy thread");
+    assert_eq!(healthy.status, 200, "{}", healthy.body);
+    let healthy_envelope = parse(&healthy.body);
+    assert_eq!(
+        healthy_envelope
+            .get("deadline_exceeded")
+            .and_then(Value::as_bool),
+        Some(false),
+        "sibling was poisoned: {}",
+        healthy.body
+    );
+    let request = parse_mine_request(healthy_body)
+        .expect("parse body")
+        .request;
+    let mut sink = CollectSink::new();
+    Miner::from_shared(Arc::clone(&shared))
+        .with_request(request)
+        .run_with_sink(&mut sink);
+    assert_eq!(
+        patterns_field(&healthy.body),
+        render_patterns(sink.patterns(), shared.catalog()),
+        "sibling of an expired member lost patterns"
+    );
+
+    let stats = parse(&client::get(addr, "/stats", TIMEOUT).expect("stats").body);
+    let counters = stats.get("counters").expect("counters");
+    assert!(
+        counters
+            .get("deadline_exceeded")
+            .and_then(Value::as_u64)
+            .expect("counter")
+            >= 1
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+}
+
 #[test]
 fn healthz_reports_the_snapshot_identity() {
     let (server, shared, path) = boot("health", ServeConfig::default());

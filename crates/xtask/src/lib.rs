@@ -34,12 +34,13 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The hot-path modules whose loops must be panic-free (repo-relative).
-const HOT_PATH_FILES: [&str; 10] = [
+const HOT_PATH_FILES: [&str; 11] = [
     "crates/core/src/support.rs",
     "crates/core/src/instbuf.rs",
     "crates/core/src/closure.rs",
     "crates/core/src/constrained.rs",
     "crates/core/src/kernel.rs",
+    "crates/core/src/batch.rs",
     "crates/seqdb/src/store.rs",
     "crates/seqdb/src/index.rs",
     "crates/seqdb/src/shard.rs",
@@ -581,13 +582,18 @@ fn check_indexing(file: &FileContext<'_>, report: &mut AuditReport) {
             continue;
         }
         // `name![...]` is a macro invocation and `&'a [T]` is a slice type
-        // behind a lifetime — neither is an index.
+        // behind a lifetime — neither is an index. Likewise `mut [T]` /
+        // `dyn [T]`: keywords cannot name an indexable binding, so a `[`
+        // after them is a slice type in a signature.
         if is_ident_byte(prev) {
             let mut s = p;
             while s > 0 && is_ident_byte(bytes[s - 1]) {
                 s -= 1;
             }
             if s > 0 && (bytes[s - 1] == b'!' || bytes[s - 1] == b'\'') {
+                continue;
+            }
+            if matches!(&code[s..=p], "mut" | "dyn") {
                 continue;
             }
         }
@@ -747,7 +753,7 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, "indexing");
 
-        let good = "#[derive(Debug)]\nstruct S;\nfn f(n: usize) -> Vec<u32> {\n    let x: [u32; 2] = [1, 2];\n    let v = vec![0u32; n];\n    v.iter().copied().chain(x.iter().copied()).collect()\n}\nfn s<'a>(v: &'a [u32]) -> &'a [u32] {\n    v\n}\n";
+        let good = "#[derive(Debug)]\nstruct S;\nfn f(n: usize) -> Vec<u32> {\n    let x: [u32; 2] = [1, 2];\n    let v = vec![0u32; n];\n    v.iter().copied().chain(x.iter().copied()).collect()\n}\nfn s<'a>(v: &'a [u32]) -> &'a [u32] {\n    v\n}\nfn m(out: &mut [u32]) {\n    out.iter_mut().for_each(|x| *x = 0);\n}\n";
         let report = audit_source("crates/seqdb/src/index.rs", good);
         assert!(report.is_clean(), "{:?}", report.violations);
     }

@@ -111,8 +111,8 @@ pub mod prelude {
         constrained_support, instance_growth, postprocess, repetitive_support, support_set,
         BudgetSink, CollectSink, CountSink, DeadlineSink, ExecutionPolicy, GapConstraints,
         Instance, Landmark, MinedPattern, Miner, MiningConfig, MiningOutcome, MiningReport,
-        MiningRequest, MiningSession, Mode, Pattern, PatternSink, PatternStream, PostProcessConfig,
-        PreparedDb, SupportComputer, SupportSet, TopKConfig,
+        MiningRequest, MiningResult, MiningSession, Mode, Pattern, PatternSink, PatternStream,
+        PostProcessConfig, PreparedDb, SupportComputer, SupportSet, TopKConfig,
     };
     #[allow(deprecated)]
     pub use rgs_core::{
