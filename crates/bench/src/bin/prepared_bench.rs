@@ -11,7 +11,8 @@
 //! prepared_bench [--scale dev|paper] [--threads N] [--shards N] [--repeats N]
 //!                [--out FILE] [--columnar-out FILE] [--snapshot-out FILE]
 //!                [--sharded-out FILE] [--growth-out FILE] [--batch-out FILE]
-//!                [--growth-floor BASELINE_FILE] [--batch-floor SPEEDUP]
+//!                [--growth-floor BASELINE_FILE] [--vector-floor SPEEDUP]
+//!                [--batch-floor SPEEDUP]
 //!                [--only prepared|columnar|snapshot|sharded|growth|batch]
 //! ```
 //!
@@ -20,10 +21,12 @@
 //! only for its own suite. The sharded suite (`BENCH_shard.json`) measures
 //! flat vs sharded prepare time, per-shard byte footprints, and
 //! shard-parallel growth throughput against the PR 3 columnar baseline.
-//! The growth suite (`BENCH_growth_kernel.json`) measures the batched
-//! cursor kernels on long-sequence workloads; `--growth-floor` compares the
-//! fresh numbers against a committed baseline file and fails the run when
-//! any workload regressed by more than 30%. The batch suite
+//! The growth suite (`BENCH_growth_kernel.json`) measures the vectorized
+//! growth kernels (and the forced-scalar path, same process) on
+//! long-sequence workloads; `--growth-floor` compares the fresh numbers
+//! against a committed baseline file and fails the run when any workload
+//! regressed by more than 30%, and `--vector-floor 1.15` fails it when no
+//! long-sequence workload reaches a 1.15x vectorized-vs-scalar speedup. The batch suite
 //! (`BENCH_batch.json`) mines stepped-threshold request sweeps one-by-one
 //! vs in one shared DFS pass; `--batch-floor 1.2` fails the run when any
 //! sweep's batched run is less than 1.2x the one-by-one loop or its output
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
     let mut sharded_out = PathBuf::from("BENCH_shard.json");
     let mut growth_out = PathBuf::from("BENCH_growth_kernel.json");
     let mut growth_floor: Option<PathBuf> = None;
+    let mut vector_floor: Option<f64> = None;
     let mut batch_out = PathBuf::from("BENCH_batch.json");
     let mut batch_floor: Option<f64> = None;
     // Which benchmarks to run:
@@ -130,6 +134,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--vector-floor" => match need_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(speedup) => vector_floor = Some(speedup),
+                None => {
+                    eprintln!("--vector-floor needs a minimum speedup (e.g. 1.15)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--batch-out" => match need_value(&mut i) {
                 Some(path) => batch_out = PathBuf::from(path),
                 None => {
@@ -162,7 +173,7 @@ fn main() -> ExitCode {
                      [--repeats N] [--out FILE] [--columnar-out FILE] \
                      [--snapshot-out FILE] [--sharded-out FILE] [--growth-out FILE] \
                      [--batch-out FILE] [--growth-floor BASELINE_FILE] \
-                     [--batch-floor SPEEDUP] \
+                     [--vector-floor SPEEDUP] [--batch-floor SPEEDUP] \
                      [--only prepared|columnar|snapshot|sharded|growth|batch]"
                 );
                 return ExitCode::SUCCESS;
@@ -275,8 +286,27 @@ fn main() -> ExitCode {
         for w in &growth.workloads {
             let saved = w.store_bytes_wide.saturating_sub(w.store_bytes);
             println!(
-                "# {}: {:.0} growths/s, {}-byte events, {} store bytes ({} saved vs wide)",
-                w.dataset, w.growths_per_second, w.event_elem_bytes, w.store_bytes, saved,
+                "# {}: {:.0} growths/s on {} ({:.2}x vs scalar {:.0}), \
+                 {}-byte events, {} store bytes ({} saved vs wide)",
+                w.dataset,
+                w.growths_per_second,
+                growth.backend,
+                w.vector_speedup,
+                w.scalar_growths_per_second,
+                w.event_elem_bytes,
+                w.store_bytes,
+                saved,
+            );
+        }
+        if let Some(min_speedup) = vector_floor {
+            if let Err(err) = prepared_bench::check_vector_floor(&growth, min_speedup) {
+                eprintln!("error: vectorized-kernel floor violated: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "# vector floor OK (backend {}, >= {min_speedup:.2}x scalar on a \
+                 long-sequence workload)",
+                growth.backend
             );
         }
         if let Some(baseline_path) = &growth_floor {

@@ -21,9 +21,10 @@
 use std::time::Instant;
 
 use rgs_core::json::escape;
-use rgs_core::{CountSink, Instance, MiningRequest, Mode, PreparedDb};
+use rgs_core::{CountSink, Instance, MiningRequest, Mode, PreparedDb, SupportComputer};
 use rgs_features::pipeline::{run_pipeline, sweep_min_sup, PipelineConfig};
 use rgs_features::LabeledDatabase;
+use seqdb::EventId;
 use synthgen::labeled::LabeledTraceConfig;
 
 use crate::datasets;
@@ -514,11 +515,9 @@ fn snapshot_workload(
 pub struct GrowthKernelWorkload {
     /// Dataset description (name + stats summary).
     pub dataset: String,
-    /// Support threshold of the growth run.
+    /// Support threshold filtering which single-event seed sets the
+    /// measured extension layers grow.
     pub min_sup: u64,
-    /// Pattern budget of the capped GSgrow run (see
-    /// [`ColumnarWorkload::pattern_cap`]).
-    pub pattern_cap: usize,
     /// Physical bytes of one event-arena element (2 narrow, 4 wide).
     pub event_elem_bytes: usize,
     /// Live bytes of the event store at its actual width.
@@ -526,30 +525,45 @@ pub struct GrowthKernelWorkload {
     /// What the same store would occupy at 4 bytes per event —
     /// `store_bytes_wide - store_bytes` is the narrow-column saving.
     pub store_bytes_wide: usize,
-    /// Instance growths performed by one capped GSgrow run at `min_sup`.
+    /// Instances emitted by one measured run (`GROWTH_LAYER_ITERS` full
+    /// extension layers over the seed sets, kernel work only).
     pub instance_growths: u64,
-    /// Best-of-N wall time of that run (prepared snapshot; no index build).
+    /// Best-of-N wall time of that run on the active (vectorized when the
+    /// CPU allows) kernel backend.
     pub growth_seconds: f64,
-    /// `instance_growths / growth_seconds`.
+    /// `instance_growths / growth_seconds` on the active backend.
     pub growths_per_second: f64,
+    /// Best-of-N wall time of the same run pinned to the scalar kernels
+    /// (via `seqdb::simd::force_backend`) — same machine, same process.
+    pub scalar_growth_seconds: f64,
+    /// `instance_growths / scalar_growth_seconds` (the growth counter is
+    /// bit-identical across backends, asserted at measurement time).
+    pub scalar_growths_per_second: f64,
+    /// `growths_per_second / scalar_growths_per_second`: the same-machine
+    /// win of the vectorized path (1.0 when the active backend *is*
+    /// scalar, e.g. under `RGS_FORCE_SCALAR`).
+    pub vector_speedup: f64,
 }
 
 impl GrowthKernelWorkload {
     fn to_json(&self) -> String {
         format!(
-            "{{\"dataset\": {}, \"min_sup\": {}, \"pattern_cap\": {}, \
+            "{{\"dataset\": {}, \"min_sup\": {}, \
              \"event_elem_bytes\": {}, \"store_bytes\": {}, \"store_bytes_wide\": {}, \
              \"instance_growths\": {}, \"growth_seconds\": {:.6}, \
-             \"growths_per_second\": {:.0}}}",
+             \"growths_per_second\": {:.0}, \"scalar_growth_seconds\": {:.6}, \
+             \"scalar_growths_per_second\": {:.0}, \"vector_speedup\": {:.3}}}",
             escape(&self.dataset),
             self.min_sup,
-            self.pattern_cap,
             self.event_elem_bytes,
             self.store_bytes,
             self.store_bytes_wide,
             self.instance_growths,
             self.growth_seconds,
             self.growths_per_second,
+            self.scalar_growth_seconds,
+            self.scalar_growths_per_second,
+            self.vector_speedup,
         )
     }
 }
@@ -559,13 +573,19 @@ impl GrowthKernelWorkload {
 pub struct GrowthKernelReport {
     /// Benchmark scale (dev/paper).
     pub scale: String,
-    /// The pre-kernel baseline these numbers are compared against: its
-    /// third workload is the same avg-length-~103 Fig. 6 dataset measured
-    /// with the per-call `next()` probe.
+    /// The kernel backend the vectorized numbers ran on
+    /// (`avx2`/`sse2`/`swar`/`scalar` — see `seqdb::simd`).
+    pub backend: String,
+    /// The dispatch-relevant CPU features this machine detected (for
+    /// example `"sse2 avx2"`), so cross-container numbers carry their
+    /// hardware context instead of a prose caveat.
+    pub cpu_features: String,
+    /// Provenance note for the scalar comparison column.
     pub baseline: String,
-    /// Per-workload measurements: the Fig. 6 avg-~103 workload (the
-    /// baseline comparison point) plus the avg-~200 / avg-~400
-    /// long-sequence datasets.
+    /// Per-workload measurements: the Fig. 6 avg-~103 workload plus the
+    /// avg-~200 / avg-~400 long-sequence datasets and the dense
+    /// small-alphabet long-sequence workload where posting rows are long
+    /// enough for the lane-parallel kernels to pay off.
     pub workloads: Vec<GrowthKernelWorkload>,
 }
 
@@ -579,17 +599,31 @@ impl GrowthKernelReport {
             .collect();
         format!(
             "{{\n  \"benchmark\": \"growth_kernel\",\n  \"scale\": {},\n  \
+             \"backend\": {},\n  \"cpu_features\": {},\n  \
              \"baseline\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
             escape(&self.scale),
+            escape(&self.backend),
+            escape(&self.cpu_features),
             escape(&self.baseline),
             workloads.join(",\n"),
         )
     }
 }
 
+/// How many full extension layers one measured run performs: a single
+/// layer over the seed sets takes a few milliseconds at dev scale, so the
+/// measurement loops it to keep the timed window comfortably above timer
+/// and scheduler noise.
+const GROWTH_LAYER_ITERS: usize = 8;
+
 /// Measures one growth-kernel workload: narrow-column byte footprints from
-/// the dataset statistics plus the capped-GSgrow growth throughput of
-/// [`columnar_workload`]'s measurement loop.
+/// the dataset statistics plus the kernel-only throughput of repeated full
+/// extension layers ([`rgs_core::kernel::grow_layer`]) — every frequent
+/// single-event seed support set grown by every frequent event, the exact
+/// grow calls the first `mineFre` level issues. Timing the kernel entry
+/// point directly (instead of a whole mining run) keeps support counting,
+/// closure checks, and tree bookkeeping out of the measured window, so the
+/// scalar-vs-vector ratio measures the kernels and nothing else.
 fn growth_kernel_workload(
     name: &str,
     db: &seqdb::SequenceDatabase,
@@ -597,34 +631,54 @@ fn growth_kernel_workload(
     repeats: usize,
 ) -> GrowthKernelWorkload {
     let stats = db.stats();
-    let prepared = PreparedDb::new(db);
-    let (growth_seconds, report) = best_of(repeats, || {
-        let mut sink = CountSink::new();
-        prepared
-            .miner()
-            .min_sup(min_sup)
-            .mode(Mode::All)
-            .max_patterns(GROWTH_PATTERN_CAP)
-            .run_with_sink(&mut sink)
-    });
-    let instance_growths = report.stats.instance_growths;
+    let sc = SupportComputer::new(db);
+    let seeds: Vec<(EventId, rgs_core::SupportSet)> = (0..db.num_events())
+        .filter_map(|e| u32::try_from(e).ok().map(EventId))
+        .map(|e| (e, sc.initial_support_set(e)))
+        .filter(|(_, set)| set.support() >= min_sup)
+        .collect();
+    let events: Vec<EventId> = seeds.iter().map(|(e, _)| *e).collect();
+    let seed_sets: Vec<rgs_core::SupportSet> = seeds.into_iter().map(|(_, set)| set).collect();
+    let run = || {
+        let mut emitted = 0u64;
+        for _ in 0..GROWTH_LAYER_ITERS {
+            emitted += rgs_core::kernel::grow_layer(sc.index(), &seed_sets, &events);
+        }
+        emitted
+    };
+    // Scalar first, then the active (vectorized, unless overridden)
+    // backend, with the bit-identity contract asserted between them: the
+    // two columns of one workload must emit exactly the same instances.
+    seqdb::simd::force_backend(Some(seqdb::KernelBackend::Scalar));
+    let (scalar_growth_seconds, scalar_emitted) = best_of(repeats, run);
+    seqdb::simd::force_backend(None);
+    let (growth_seconds, instance_growths) = best_of(repeats, run);
+    assert_eq!(
+        instance_growths, scalar_emitted,
+        "scalar and vectorized kernels diverged on {name}"
+    );
+    let growths_per_second = instance_growths as f64 / growth_seconds.max(1e-12);
+    let scalar_growths_per_second = instance_growths as f64 / scalar_growth_seconds.max(1e-12);
     GrowthKernelWorkload {
         dataset: format!("{name}: {}", stats.summary()),
         min_sup,
-        pattern_cap: GROWTH_PATTERN_CAP,
         event_elem_bytes: stats.event_elem_bytes,
         store_bytes: stats.store_bytes,
         store_bytes_wide: stats.store_bytes_wide,
         instance_growths,
         growth_seconds,
-        growths_per_second: instance_growths as f64 / growth_seconds.max(1e-12),
+        growths_per_second,
+        scalar_growth_seconds,
+        scalar_growths_per_second,
+        vector_speedup: growths_per_second / scalar_growths_per_second.max(1e-12),
     }
 }
 
 /// Runs the growth-kernel benchmark: the Fig. 6 avg-length-~103 workload
 /// (directly comparable against the per-call-probe numbers in
 /// `BENCH_columnar_store.json`) plus the avg-~200 / avg-~400 long-sequence
-/// datasets where batched cursors pay off the most.
+/// datasets and the skewed dense workload where batched kernels pay off
+/// the most.
 pub fn run_growth_kernel(scale: Scale, repeats: usize) -> GrowthKernelReport {
     let min_sup = datasets::fig5_fig6_threshold(scale);
     let mut workloads = Vec::new();
@@ -640,9 +694,13 @@ pub fn run_growth_kernel(scale: Scale, repeats: usize) -> GrowthKernelReport {
 
     GrowthKernelReport {
         scale: format!("{scale:?}").to_lowercase(),
-        baseline: "BENCH_columnar_store.json (PR 5, per-call next() probe); \
-                   its committed 3,081,641 growths/s predates this container \
-                   - the PR 5 code re-measured here does 2,093,185"
+        backend: seqdb::simd::active_backend().name().to_owned(),
+        cpu_features: seqdb::simd::detected_features().to_owned(),
+        baseline: "scalar_growths_per_second: the PR 8 scalar cursor kernels \
+                   (gallop + branch-free search), re-measured in this very \
+                   process via RGS_FORCE_SCALAR-equivalent dispatch - \
+                   vector_speedup is therefore a same-machine, same-build \
+                   comparison, never a cross-container one"
             .to_owned(),
         workloads,
     }
@@ -692,6 +750,37 @@ pub fn check_growth_floor(
         }
     }
     Ok(())
+}
+
+/// Checks the vectorized-vs-scalar floor of a fresh growth-kernel report:
+/// at least one **long-sequence** workload (every workload after the
+/// Fig. 6 head entry) must reach `min_speedup` (for example 1.15 = the
+/// vectorized path beats the scalar path by >= 15% on the same machine).
+///
+/// The check is skipped (Ok) when the active backend *is* scalar — a
+/// forced-scalar lane measures `vector_speedup ~ 1.0` by construction and
+/// must not fail on it.
+pub fn check_vector_floor(report: &GrowthKernelReport, min_speedup: f64) -> Result<(), String> {
+    if report.backend == "scalar" {
+        return Ok(());
+    }
+    let long_seq = report.workloads.get(1..).unwrap_or(&[]);
+    if long_seq.is_empty() {
+        return Err("report has no long-sequence workloads".to_owned());
+    }
+    let best = long_seq
+        .iter()
+        .map(|w| w.vector_speedup)
+        .fold(f64::MIN, f64::max);
+    if best >= min_speedup {
+        Ok(())
+    } else {
+        Err(format!(
+            "no long-sequence workload reached the {min_speedup:.2}x \
+             vectorized-vs-scalar floor on backend {} (best {best:.3}x)",
+            report.backend,
+        ))
+    }
 }
 
 /// Batch-engine measurements of one workload: a stepped-threshold request
@@ -1356,23 +1445,30 @@ mod tests {
     fn growth_kernel_report_serializes_to_balanced_json() {
         let report = GrowthKernelReport {
             scale: "dev".into(),
-            baseline: "BENCH_columnar_store.json (PR 5, per-call next() probe)".into(),
+            backend: "avx2".into(),
+            cpu_features: "sse2 avx2".into(),
+            baseline: "same-machine scalar kernels (RGS_FORCE_SCALAR path)".into(),
             workloads: vec![GrowthKernelWorkload {
                 dataset: "toy".into(),
                 min_sup: 20,
-                pattern_cap: 50_000,
                 event_elem_bytes: 2,
                 store_bytes: 1000,
                 store_bytes_wide: 1900,
                 instance_growths: 6000,
                 growth_seconds: 0.001,
                 growths_per_second: 6_000_000.0,
+                scalar_growth_seconds: 0.0012,
+                scalar_growths_per_second: 5_000_000.0,
+                vector_speedup: 1.2,
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"benchmark\": \"growth_kernel\""));
+        assert!(json.contains("\"backend\": \"avx2\""));
+        assert!(json.contains("\"cpu_features\": \"sse2 avx2\""));
         assert!(json.contains("\"event_elem_bytes\": 2"));
         assert!(json.contains("\"growths_per_second\": 6000000"));
+        assert!(json.contains("\"vector_speedup\": 1.200"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
@@ -1391,21 +1487,41 @@ mod tests {
     fn growth_floor_check_accepts_equal_and_rejects_regressed_numbers() {
         let report = GrowthKernelReport {
             scale: "dev".into(),
+            backend: "avx2".into(),
+            cpu_features: "sse2 avx2".into(),
             baseline: "x".into(),
             workloads: vec![GrowthKernelWorkload {
                 dataset: "toy".into(),
                 min_sup: 20,
-                pattern_cap: 50_000,
                 event_elem_bytes: 2,
                 store_bytes: 1000,
                 store_bytes_wide: 1900,
                 instance_growths: 6000,
                 growth_seconds: 0.001,
                 growths_per_second: 6_000_000.0,
+                scalar_growth_seconds: 0.0012,
+                scalar_growths_per_second: 5_000_000.0,
+                vector_speedup: 1.2,
             }],
         };
         let same = report.to_json();
         assert!(check_growth_floor(&report, &same, 0.3).is_ok());
+        // The vectorized-vs-scalar floor looks only at long-sequence
+        // workloads (everything after the Fig. 6 head entry); with a lone
+        // head workload there is nothing to certify.
+        assert!(check_vector_floor(&report, 1.15).is_err());
+        let mut long = report.clone();
+        long.workloads.push(GrowthKernelWorkload {
+            dataset: "long".into(),
+            vector_speedup: 1.3,
+            ..report.workloads.first().cloned().expect("head workload")
+        });
+        assert!(check_vector_floor(&long, 1.15).is_ok());
+        assert!(check_vector_floor(&long, 1.35).is_err());
+        // A forced-scalar run measures ~1.0x by construction; the floor
+        // must not fail that lane.
+        long.backend = "scalar".into();
+        assert!(check_vector_floor(&long, 1.35).is_ok());
         // 30% headroom: a baseline up to 1/0.7 of the measurement passes.
         let faster = same.replace("6000000", "8000000");
         assert!(check_growth_floor(&report, &faster, 0.3).is_ok());

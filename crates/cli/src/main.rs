@@ -756,6 +756,15 @@ fn run_stats(source: &Loaded) -> ExitCode {
         );
     }
     println!("shards:                {}", stats.num_shards);
+    // The growth-kernel dispatch decision for this process: runtime CPU
+    // detection, pinnable to the scalar reference kernels with
+    // RGS_FORCE_SCALAR=1. Surfaced here so throughput reports always name
+    // the backend they ran on.
+    println!(
+        "kernel backend:        {} (cpu: {})",
+        seqdb::simd::active_backend().name(),
+        seqdb::simd::detected_features()
+    );
     if let Loaded::Prepared(prepared) = source {
         if prepared.shard_count() > 1 {
             for f in prepared.shard_footprints() {

@@ -40,6 +40,14 @@
 //! operational extension of the same greedy and a lower bound on the true
 //! maximum. [`crate::reference::max_non_overlapping_constrained`] provides a
 //! brute-force exact maximum for small inputs, used by the property tests.
+//!
+//! Constrained growth shares the batched kernel path: per-instance
+//! `min_gap`/`max_window` lower bounds are *gathered* into lane arrays and
+//! folded with the leftmost-growth watermark, so the same 8-lane
+//! [`seqdb::simd`] compare that drives unconstrained batches also advances
+//! constrained lanes (the `max_gap` upper-bound check stays per-lane, after
+//! the probe). `RGS_FORCE_SCALAR=1` pins this path to the scalar reference
+//! kernels; the equivalence suite asserts bit-identical outcomes either way.
 
 use std::ops::ControlFlow;
 

@@ -6,6 +6,13 @@
 //! into the leftmost support set of `P ◦ e`. The paper proves (Lemma 4) that
 //! this greedy extension yields a *maximum-size* non-redundant instance set,
 //! so the size of the result is exactly the repetitive support of `P ◦ e`.
+//!
+//! The growth step itself is delegated to [`crate::kernel`], which resolves
+//! each posting row once per extension pass and — since the vectorization
+//! pass — walks the per-sequence lanes through the tiered block/batch/serial
+//! kernels over [`seqdb::simd`]. This module owns the *semantics* (which
+//! instances to grow, in what order, into which support set); the kernel
+//! owns the *mechanics* of finding each lane's next admissible position.
 
 use seqdb::{EventId, InvertedIndex, SequenceDatabase, ShardedIndex};
 

@@ -21,6 +21,12 @@
 //! [`SupportSet::reconstruct_landmarks`](crate::SupportSet::reconstruct_landmarks)
 //! and the constrained miner share a single landmark-reconstruction loop
 //! instead of the seed's copy-paste twins.
+//!
+//! Landmark reconstruction stays on the scalar [`seqdb::PostingCursor`]
+//! probe: it runs once per reported pattern (not per growth step), its
+//! per-lane bounds depend on full landmark history, and its cost is noise
+//! next to the mining DFS — so it is deliberately *not* routed through the
+//! batched [`crate::kernel`] tiers that vectorize the hot growth pass.
 
 use seqdb::{EventId, ShardedIndex};
 

@@ -165,3 +165,77 @@ fn snapshot_round_trips_re_narrow_wide_columns_and_stay_bit_identical() {
     std::fs::remove_file(&narrow_path).ok();
     std::fs::remove_file(&wide_path).ok();
 }
+
+#[test]
+fn forced_scalar_and_vectorized_backends_mine_bit_identically() {
+    // The vectorized growth kernels are an *execution strategy*, never a
+    // semantic: pinning the process to the scalar reference kernels (the
+    // `RGS_FORCE_SCALAR` escape hatch) must reproduce every pattern AND
+    // every deterministic search counter — visited nodes, growth calls,
+    // closure filters, landmark prunes — across the full mode x constraint
+    // grid. Only wall-clock time may differ.
+    let strip_elapsed = |mut outcome: rgs_core::MiningOutcome| {
+        outcome.stats.elapsed_seconds = 0.0;
+        outcome
+    };
+    for seed in 0..2u64 {
+        let mut rng = Lcg::new(0x5CA1A7 ^ seed);
+        // One long, heavily skewed row keeps the dominant event's posting
+        // row past 64 positions — the whole-block fast path's minimum —
+        // while the high threshold below keeps the (debug-build) search
+        // tree tiny: only the dominant event's short self-extension chain
+        // stays frequent.
+        let mut strings: Vec<String> = vec![(0..120)
+            .map(|_| {
+                if rng.below(10) < 9 {
+                    'A'
+                } else {
+                    char::from(b'B' + rng.below(3) as u8)
+                }
+            })
+            .collect()];
+        for _ in 0..2 {
+            strings.push(
+                (0..24)
+                    .map(|_| char::from(b'A' + rng.below(4) as u8))
+                    .collect(),
+            );
+        }
+        let refs: Vec<&str> = strings.iter().map(String::as_str).collect();
+        let db = SequenceDatabase::from_str_rows(&refs);
+
+        for mode in MODES {
+            for constraints in constraint_grid() {
+                let run = || {
+                    strip_elapsed(
+                        Miner::new(&db)
+                            .min_sup(24)
+                            .mode(mode)
+                            .constraints(constraints)
+                            .run(),
+                    )
+                };
+                seqdb::simd::force_backend(Some(seqdb::KernelBackend::Scalar));
+                let scalar = run();
+                let mut vectorized = Vec::new();
+                for backend in seqdb::KernelBackend::all() {
+                    if !backend.is_available() {
+                        continue;
+                    }
+                    seqdb::simd::force_backend(Some(backend));
+                    vectorized.push((backend, run()));
+                }
+                seqdb::simd::force_backend(None);
+                for (backend, outcome) in vectorized {
+                    assert_eq!(
+                        scalar,
+                        outcome,
+                        "seed {seed}, {mode:?}, {} diverges between scalar and {}",
+                        constraints.describe(),
+                        backend.name(),
+                    );
+                }
+            }
+        }
+    }
+}

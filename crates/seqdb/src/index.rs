@@ -260,6 +260,18 @@ impl InvertedIndex {
         self.event_positions(seq, event).map(PostingCursor::new)
     }
 
+    /// Resolves the posting row of `(seq, event)` once and returns a
+    /// batched [`MultiCursor`](crate::MultiCursor) over it (up to 8
+    /// monotone probes per pass on the
+    /// [`active_backend`](crate::simd::active_backend)), or `None` when
+    /// the ids are out of range. The vectorized growth kernels use this;
+    /// [`InvertedIndex::cursor`] remains the scalar path.
+    #[inline]
+    pub fn multi_cursor(&self, seq: usize, event: EventId) -> Option<crate::MultiCursor<'_>> {
+        self.event_positions(seq, event)
+            .map(crate::MultiCursor::new)
+    }
+
     /// Number of occurrences of `event` in sequence `seq`.
     pub fn count_in_sequence(&self, seq: usize, event: EventId) -> usize {
         self.event_positions(seq, event).map_or(0, <[u32]>::len)
@@ -429,6 +441,18 @@ impl<'a> PostingCursor<'a> {
         // path panic-free.
         self.rest = self.rest.get(idx..).unwrap_or(&[]);
         self.rest.first().copied()
+    }
+
+    /// Consumes the `n` leading remaining positions without probing — the
+    /// vectorized growth kernels' bulk advance after a whole-batch vector
+    /// compare proved the next `n` positions are emitted (or accepted)
+    /// consecutively, so probing each one individually would be wasted
+    /// work (see `core::kernel`). The caller asserts that every skipped
+    /// position is `<= ` all future probe bounds — the same contract as
+    /// [`Self::next_after_consuming`], `n` positions at a time.
+    #[inline]
+    pub fn advance(&mut self, n: usize) {
+        self.rest = self.rest.get(n..).unwrap_or(&[]);
     }
 
     /// [`Self::next_after`], additionally consuming the returned position.

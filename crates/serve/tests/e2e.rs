@@ -476,6 +476,24 @@ fn healthz_reports_the_snapshot_identity() {
             > 0
     );
 
+    // ... and the growth-kernel backend the workers dispatch to, so
+    // operators can tell vectorized and forced-scalar deployments apart.
+    let kernel = stats.get("kernel").expect("kernel");
+    let backend = kernel
+        .get("backend")
+        .and_then(Value::as_str)
+        .expect("backend");
+    assert_eq!(
+        backend,
+        seqdb::simd::active_backend().name(),
+        "served backend must match the in-process dispatch decision"
+    );
+    assert!(
+        ["scalar", "swar", "sse2", "avx2"].contains(&backend),
+        "unknown backend name {backend}"
+    );
+    assert!(kernel.get("cpu_features").and_then(Value::as_str).is_some());
+
     server.shutdown();
     let _ = std::fs::remove_file(path);
 }

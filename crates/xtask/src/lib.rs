@@ -1,17 +1,26 @@
 //! Repo-specific static-analysis lints behind `cargo run -p xtask -- audit`.
 //!
-//! Four rule families, each tuned to an invariant this workspace actually
+//! Six rule families, each tuned to an invariant this workspace actually
 //! relies on (rustc/clippy cannot express them):
 //!
 //! * **safety** — every `unsafe` block and `unsafe impl`, workspace-wide,
 //!   must carry a `// SAFETY:` comment on the same or an immediately
 //!   preceding line.
+//! * **target-feature-safety** — every `#[target_feature]` function must
+//!   carry a `// SAFETY:` comment above its attribute stack: the
+//!   executability argument moved to call sites with safe
+//!   `target_feature`, but it still has to be written down where the
+//!   specialized code lives.
+//! * **simd-fallback** — a file defining a vector specialization
+//!   (`fn foo_sse2`/`_avx2`/`_swar`) must define the portable reference
+//!   arm `fn foo_scalar` beside it; the scalar kernels are pinned
+//!   first-class fallbacks (`RGS_FORCE_SCALAR`).
 //! * **panic-free hot paths** — the zero-alloc mining loops
 //!   (`core/src/{support,instbuf,closure,constrained}.rs`,
-//!   `seqdb/src/{store,index,shard}.rs`) and the serving request path
-//!   (`serve/src/{worker,cache}.rs` — a panicking worker thread would
-//!   silently shrink the pool) may not use `.unwrap()`, `.expect(...)`,
-//!   `panic!`-family macros, or bare slice indexing.
+//!   `seqdb/src/{store,index,shard,simd}.rs`) and the serving request
+//!   path (`serve/src/{worker,cache}.rs` — a panicking worker thread
+//!   would silently shrink the pool) may not use `.unwrap()`,
+//!   `.expect(...)`, `panic!`-family macros, or bare slice indexing.
 //!   `assert!`/`debug_assert!` bodies are exempt: asserts are documented
 //!   invariants, not accidental panics.
 //! * **cast** — the CSR offset/length math in
@@ -34,7 +43,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The hot-path modules whose loops must be panic-free (repo-relative).
-const HOT_PATH_FILES: [&str; 11] = [
+const HOT_PATH_FILES: [&str; 12] = [
     "crates/core/src/support.rs",
     "crates/core/src/instbuf.rs",
     "crates/core/src/closure.rs",
@@ -44,6 +53,7 @@ const HOT_PATH_FILES: [&str; 11] = [
     "crates/seqdb/src/store.rs",
     "crates/seqdb/src/index.rs",
     "crates/seqdb/src/shard.rs",
+    "crates/seqdb/src/simd.rs",
     "crates/serve/src/worker.rs",
     "crates/serve/src/cache.rs",
 ];
@@ -146,6 +156,8 @@ pub fn audit(root: &Path) -> AuditReport {
 pub fn audit_file(relative: &Path, source: &str, report: &mut AuditReport) {
     let file = FileContext::new(relative, source);
     check_safety_comments(&file, report);
+    check_target_feature_safety(&file, report);
+    check_simd_fallback_pairing(&file, report);
     let rel = relative.to_string_lossy().replace('\\', "/");
     if HOT_PATH_FILES.contains(&rel.as_str()) {
         check_panic_free(&file, report);
@@ -517,6 +529,87 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// Rule `target-feature-safety`: every `#[target_feature(...)]` function
+/// must carry a `// SAFETY:` comment in the lines directly above the
+/// attribute. Safe `target_feature` functions moved the `unsafe` keyword
+/// to the *call site*, but the executability argument (why this code can
+/// only ever run on a CPU with the feature) lives with the declaration —
+/// this rule keeps that argument written down.
+fn check_target_feature_safety(file: &FileContext<'_>, report: &mut AuditReport) {
+    let code = &file.code;
+    let mut from = 0;
+    while let Some(found) = code[from..].find("#[target_feature(") {
+        let at = from + found;
+        from = at + "#[target_feature(".len();
+        let line = file.line_of(at);
+        // Up to four lines of attributes/cfgs may sit between the comment
+        // and the attribute itself (`#[cfg]`, `#[inline]`, ...).
+        let commented = (line.saturating_sub(4)..=line).any(|l| {
+            file.lines
+                .get(l)
+                .is_some_and(|text| text.contains("SAFETY:"))
+        });
+        if !commented {
+            file.push(
+                report,
+                line,
+                "target-feature-safety",
+                "`#[target_feature]` function without a `// SAFETY:` comment above it \
+                 (document why the feature is guaranteed available wherever this runs)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// The vector-backend suffixes every SIMD entry point may specialize to.
+const SIMD_SUFFIXES: [&str; 3] = ["_sse2", "_avx2", "_swar"];
+
+/// Rule `simd-fallback`: a file defining a vector specialization
+/// (`fn foo_sse2` / `fn foo_avx2` / `fn foo_swar`) must also define the
+/// portable reference arm `fn foo_scalar` in the same file. The scalar
+/// kernels are pinned, first-class fallbacks (`RGS_FORCE_SCALAR`), not
+/// historical leftovers — a vector path without its reference twin has
+/// nothing to be bit-identical *to*.
+fn check_simd_fallback_pairing(file: &FileContext<'_>, report: &mut AuditReport) {
+    let code = &file.code;
+    let mut from = 0;
+    while let Some(found) = code[from..].find("fn ") {
+        let at = from + found;
+        from = at + "fn ".len();
+        // Word-bounded `fn` only (not e.g. `pub fn` — the prefix byte may
+        // legitimately be a space — but never an identifier tail).
+        if at > 0 && is_ident_byte(code.as_bytes()[at - 1]) {
+            continue;
+        }
+        let name_start = at + "fn ".len();
+        let name_end = name_start
+            + code[name_start..]
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(0);
+        let name = &code[name_start..name_end];
+        let Some(suffix) = SIMD_SUFFIXES.iter().find(|s| name.ends_with(*s)) else {
+            continue;
+        };
+        let stem = &name[..name.len() - suffix.len()];
+        if stem.is_empty() {
+            continue;
+        }
+        let fallback = format!("fn {stem}_scalar");
+        if !code.contains(&fallback) {
+            file.push(
+                report,
+                file.line_of(at),
+                "simd-fallback",
+                format!(
+                    "`fn {name}` has no scalar reference arm (`{fallback}`) in this file — \
+                     every vector specialization needs its pinned portable twin"
+                ),
+            );
+        }
+    }
+}
+
 /// Rule family for the hot-path modules: no `.unwrap()`, `.expect(`,
 /// panic-macro, or bare slice indexing outside tests and assert bodies.
 fn check_panic_free(file: &FileContext<'_>, report: &mut AuditReport) {
@@ -763,6 +856,41 @@ mod tests {
         let source = "fn f(v: &[u32]) {\n    assert!(v[0] > 0, \"first {}\", v[0]);\n    debug_assert_eq!(v[1], 2);\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1];\n        assert_eq!(v[0], v.first().copied().unwrap());\n    }\n}\n";
         let report = audit_source("crates/seqdb/src/store.rs", source);
         assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn target_feature_fns_need_a_safety_comment_above_the_attribute_stack() {
+        let bad = "#[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2\")]\nfn sum_avx2(v: &[u32]) -> u32 {\n    v.iter().sum()\n}\nfn sum_scalar(v: &[u32]) -> u32 {\n    v.iter().sum()\n}\n";
+        let report = audit_source("crates/seqdb/src/other.rs", bad);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "target-feature-safety");
+        assert_eq!(report.violations[0].line, 2);
+
+        // A SAFETY comment above the attribute stack (cfg + inline between
+        // it and the target_feature line) satisfies the rule.
+        let good = "// SAFETY: dispatch only reaches this after a runtime AVX2 check.\n#[cfg(target_arch = \"x86_64\")]\n#[inline]\n#[target_feature(enable = \"avx2\")]\nfn sum_avx2(v: &[u32]) -> u32 {\n    v.iter().sum()\n}\nfn sum_scalar(v: &[u32]) -> u32 {\n    v.iter().sum()\n}\n";
+        let report = audit_source("crates/seqdb/src/other.rs", good);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn vector_specializations_need_their_scalar_twin_in_the_same_file() {
+        let bad = "fn gt_mask_sse2(a: u32, b: u32) -> u32 {\n    0\n}\n";
+        let report = audit_source("crates/seqdb/src/other.rs", bad);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "simd-fallback");
+        assert!(
+            report.violations[0].message.contains("fn gt_mask_scalar"),
+            "{}",
+            report.violations[0].message
+        );
+
+        let good = "fn gt_mask_scalar(a: u32, b: u32) -> u32 {\n    0\n}\nfn gt_mask_sse2(a: u32, b: u32) -> u32 {\n    0\n}\nfn gt_mask_swar(a: u32, b: u32) -> u32 {\n    0\n}\n";
+        assert!(audit_source("crates/seqdb/src/other.rs", good).is_clean());
+
+        // A bare suffix is not a specialization of the empty stem.
+        let suffix_only = "fn _swar(x: u32) -> u32 {\n    x\n}\n";
+        assert!(audit_source("crates/seqdb/src/other.rs", suffix_only).is_clean());
     }
 
     #[test]
